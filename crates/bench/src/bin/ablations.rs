@@ -1,0 +1,134 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! 1. **Ratio solver** — the paper's Eq. 10 linear balance versus the
+//!    exact balance honoring Table 4's ratio-independent psum term.
+//! 2. **HyPar variants** — the faithful baseline versus the strengthened
+//!    scale-aware multi-path variant (how much of AccPar's ResNet edge
+//!    comes from §5.2 + scale-awareness alone).
+//! 3. **Memory model** — roofline versus compute-only phases in the
+//!    simulator.
+//! 4. **First-layer backward** — including versus eliding the backward
+//!    phase of the first layer.
+//! 5. **Bulk-synchronous vs discrete-event execution** — how much time
+//!    the BSP barriers cost relative to a dependency-driven schedule
+//!    with communication/computation overlap.
+
+use accpar_core::baselines::{hypar_multipath_plan, hypar_plan};
+use accpar_core::{Planner, Strategy};
+use accpar_cost::RatioSolver;
+use accpar_dnn::zoo;
+use accpar_hw::AcceleratorArray;
+use accpar_sim::{simulate_des, MemModel, SimConfig, Simulator};
+
+fn main() {
+    let array = AcceleratorArray::heterogeneous_tpu(128, 128);
+
+    println!("=== Ablation 1: ratio solver (AccPar plan quality) ===");
+    println!(
+        "{:<10} {:>14} {:>14} {:>8}",
+        "network", "PaperLinear ms", "BalancedEx ms", "delta"
+    );
+    for name in ["alexnet", "vgg19", "resnet18"] {
+        let net = zoo::by_name(name, 512).unwrap();
+        let cost = |solver: RatioSolver| {
+            Planner::new(&net, &array)
+                .with_solver(solver)
+                .with_sim_config(SimConfig::default())
+                .plan(Strategy::AccPar)
+                .unwrap()
+                .modeled_cost()
+                * 1e3
+        };
+        let linear = cost(RatioSolver::PaperLinear);
+        let exact = cost(RatioSolver::BalancedExact);
+        println!(
+            "{name:<10} {linear:>14.3} {exact:>14.3} {:>7.1}%",
+            (exact / linear - 1.0) * 100.0
+        );
+    }
+
+    println!("\n=== Ablation 2: HyPar variants on ResNet (step ms) ===");
+    for name in ["resnet18", "resnet34", "resnet50"] {
+        let net = zoo::by_name(name, 512).unwrap();
+        let view = net.train_view().unwrap();
+        let tree = GroupTree::bisect(&array, 8).unwrap();
+        let sim = Simulator::new(SimConfig::default());
+        let faithful = sim
+            .simulate(&view, &hypar_plan(&view, &tree).unwrap(), &tree)
+            .unwrap()
+            .total_secs
+            * 1e3;
+        let strengthened = sim
+            .simulate(&view, &hypar_multipath_plan(&view, &tree).unwrap(), &tree)
+            .unwrap()
+            .total_secs
+            * 1e3;
+        let accpar = Planner::new(&net, &array)
+            .with_sim_config(SimConfig::default())
+            .plan(Strategy::AccPar)
+            .unwrap()
+            .modeled_cost()
+            * 1e3;
+        println!(
+            "{name:<10} faithful {faithful:>9.2}  scale-aware+multipath {strengthened:>9.2}  accpar {accpar:>9.2}"
+        );
+    }
+
+    println!("\n=== Ablation 3: simulator memory model (AlexNet DP, step ms) ===");
+    let net = zoo::alexnet(512).unwrap();
+    for (name, mem_model) in [
+        ("roofline", MemModel::Roofline),
+        ("serial", MemModel::Serial),
+        ("compute-only", MemModel::ComputeOnly),
+    ] {
+        let cost = Planner::new(&net, &array)
+            .with_sim_config(SimConfig {
+                mem_model,
+                ..SimConfig::default()
+            })
+            .plan(Strategy::DataParallel)
+            .unwrap()
+            .modeled_cost()
+            * 1e3;
+        println!("{name:<14} {cost:>10.3}");
+    }
+
+    println!("\n=== Ablation 4: first-layer backward elision (AlexNet AccPar, step ms) ===");
+    for (name, skip) in [("full backward", false), ("skip layer-0 backward", true)] {
+        let cost = Planner::new(&net, &array)
+            .with_sim_config(SimConfig {
+                skip_first_backward: skip,
+                ..SimConfig::default()
+            })
+            .plan(Strategy::AccPar)
+            .unwrap()
+            .modeled_cost()
+            * 1e3;
+        println!("{name:<24} {cost:>10.3}");
+    }
+
+    println!("\n=== Ablation 5: BSP barriers vs discrete-event overlap (step ms) ===");
+    use accpar_core::baselines::data_parallel_plan;
+    use accpar_hw::GroupTree;
+
+    let sim_config = SimConfig::default();
+    for name in ["alexnet", "resnet18"] {
+        let net = zoo::by_name(name, 512).unwrap();
+        let view = net.train_view().unwrap();
+        let tree = GroupTree::bisect(&array, 8).unwrap();
+        let plan = data_parallel_plan(&view, 8);
+        let bsp = Simulator::new(sim_config)
+            .simulate(&view, &plan, &tree)
+            .unwrap()
+            .total_secs
+            * 1e3;
+        let des = simulate_des(&sim_config, &view, &plan, &tree)
+            .unwrap()
+            .total_secs
+            * 1e3;
+        println!(
+            "{name:<10} bsp {bsp:>9.3}  des {des:>9.3}  barrier cost {:>5.1}%",
+            (bsp / des - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Writes the full evaluation's data to `experiments.json` for archival
+//! and external plotting.
+//!
+//! ```sh
+//! cargo run --release -p accpar-bench --bin archive
+//! ```
+
+use accpar_bench::{figure5, figure6, figure7, figure8, geomean};
+use std::fs;
+
+fn main() -> std::io::Result<()> {
+    let fig5 = figure5();
+    let fig6 = figure6();
+    let json = serde_json::json!({
+        "setup": {
+            "batch": accpar_bench::PAPER_BATCH,
+            "heterogeneous_array": "128x tpu-v2 + 128x tpu-v3",
+            "homogeneous_array": "128x tpu-v3",
+        },
+        "figure5": {
+            "rows": fig5,
+            "geomeans": (0..4).map(|i| geomean(&fig5, i)).collect::<Vec<_>>(),
+            "paper_geomeans": [1.00, 2.98, 3.78, 6.30],
+        },
+        "figure6": {
+            "rows": fig6,
+            "geomeans": (0..4).map(|i| geomean(&fig6, i)).collect::<Vec<_>>(),
+            "paper_geomeans": [1.00, 2.94, 3.51, 3.86],
+        },
+        "figure7": figure7(),
+        "figure8": figure8(),
+    });
+    fs::write(
+        "experiments.json",
+        serde_json::to_string_pretty(&json).expect("serializable"),
+    )?;
+    println!("wrote experiments.json");
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Runs the full evaluation: every table and figure, in paper order.
+//! `cargo run --release -p accpar-bench --bin experiments`
+
+use accpar_bench::{figure5, figure6, figure7, figure8, render, tables};
+
+fn main() {
+    println!("{}", tables::render_table3());
+    println!("{}", tables::render_table4());
+    println!("{}", tables::render_table5(0.5));
+    println!("{}", tables::render_table6());
+    println!("{}", tables::render_table7());
+    println!(
+        "{}",
+        render::speedup_table(
+            "Figure 5 — heterogeneous array (128x TPU-v2 + 128x TPU-v3, batch 512)",
+            &figure5(),
+            Some([1.00, 2.98, 3.78, 6.30]),
+        )
+    );
+    println!(
+        "{}",
+        render::speedup_table(
+            "Figure 6 — homogeneous array (128x TPU-v3, batch 512)",
+            &figure6(),
+            Some([1.00, 2.94, 3.51, 3.86]),
+        )
+    );
+    println!("{}", render::figure7_table(&figure7()));
+    println!("{}", render::figure8_table(&figure8()));
+}

@@ -1,0 +1,142 @@
+//! Experiments beyond the paper's evaluation — extensions the paper
+//! motivates but does not report:
+//!
+//! 1. GoogLeNet (four-way `Concat` inception blocks) under all schemes;
+//! 2. a Figure-7-style partition-type census for every zoo model;
+//! 3. per-scheme training memory footprints (the §2.3 motivation: big
+//!    models must be partitioned to fit);
+//! 4. a batch-size sweep showing how the best scheme shifts with the
+//!    compute-to-model ratio;
+//! 5. a straggler-robustness study: within-type heterogeneity (a
+//!    throttled board) that the group-aggregate cost model cannot see.
+
+use accpar_core::{Planner, Strategy};
+use accpar_dnn::zoo;
+use accpar_hw::{AcceleratorArray, AcceleratorSpec, GroupTree};
+use accpar_sim::{memory_report, Optimizer, SimConfig};
+
+fn main() {
+    let array = AcceleratorArray::heterogeneous_tpu(128, 128);
+
+    println!("=== Extension 1: GoogLeNet (inception/Concat blocks) ===");
+    let net = zoo::googlenet(512).expect("googlenet builds");
+    let planner = Planner::new(&net, &array).with_sim_config(SimConfig::default());
+    let mut dp_ms = 0.0;
+    for (i, s) in Strategy::ALL.iter().enumerate() {
+        let ms = planner.plan(*s).expect("plans").modeled_cost() * 1e3;
+        if i == 0 {
+            dp_ms = ms;
+        }
+        println!("  {:>6}: {ms:8.2} ms/step ({:.2}x)", s.to_string(), dp_ms / ms);
+    }
+
+    println!("\n=== Extension 2: partition-type census (AccPar, all levels) ===");
+    println!(
+        "{:<10} {:>7} {:>8} {:>9}   layers mostly using model partitioning",
+        "network", "Type-I", "Type-II", "Type-III"
+    );
+    for name in zoo::EVALUATION_NAMES.iter().chain(["googlenet"].iter()) {
+        let net = zoo::by_name(name, 512).expect("zoo network");
+        let planned = Planner::new(&net, &array)
+            .with_sim_config(SimConfig::default())
+            .plan(Strategy::AccPar)
+            .expect("plans");
+        let counts = planned.plan().per_layer_type_counts();
+        let totals = counts.iter().fold([0usize; 3], |mut acc, c| {
+            for i in 0..3 {
+                acc[i] += c[i];
+            }
+            acc
+        });
+        let model_heavy = counts
+            .iter()
+            .filter(|c| c[1] + c[2] > c[0])
+            .count();
+        println!(
+            "{name:<10} {:>7} {:>8} {:>9}   {model_heavy}/{}",
+            totals[0],
+            totals[1],
+            totals[2],
+            counts.len()
+        );
+    }
+
+    println!("\n=== Extension 3: training memory per leaf (Adam, 16-board array) ===");
+    let small = AcceleratorArray::heterogeneous_tpu(8, 8);
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "network", "DP GB/leaf", "AccPar GB/leaf", "saving"
+    );
+    for name in ["alexnet", "vgg16", "resnet50", "googlenet"] {
+        let net = zoo::by_name(name, 512).expect("zoo network");
+        let view = net.train_view().expect("weighted layers");
+        let planner = Planner::new(&net, &small).with_sim_config(SimConfig::default());
+        let gb = |strategy| {
+            let planned = planner.plan(strategy).expect("plans");
+            let tree = GroupTree::bisect(&small, planned.plan().depth()).expect("bisects");
+            memory_report(&view, planned.plan(), &tree, &SimConfig::default(), Optimizer::Adam)
+                .expect("reports")
+                .peak_bytes()
+                / 1e9
+        };
+        let dp = gb(Strategy::DataParallel);
+        let accpar = gb(Strategy::AccPar);
+        println!(
+            "{name:<10} {dp:>12.2} {accpar:>12.2} {:>9.1}%",
+            (1.0 - accpar / dp) * 100.0
+        );
+    }
+
+    println!("\n=== Extension 4: batch-size sweep (AlexNet, AccPar speedup over DP) ===");
+    println!("{:<8} {:>10} {:>10}", "batch", "DP ms", "AccPar x");
+    for batch in [64usize, 128, 256, 512, 1024] {
+        let net = zoo::alexnet(batch).expect("alexnet builds");
+        let planner = Planner::new(&net, &array).with_sim_config(SimConfig::default());
+        let dp = planner.plan(Strategy::DataParallel).expect("plans").modeled_cost();
+        let accpar = planner.plan(Strategy::AccPar).expect("plans").modeled_cost();
+        println!("{batch:<8} {:>10.2} {:>9.2}x", dp * 1e3, dp / accpar);
+    }
+
+    println!("\n=== Extension 5: straggler robustness (AlexNet, 8+8 boards) ===");
+    // One TPU-v3 board is thermally throttled to half its rates: a
+    // within-type heterogeneity the paper never considers. The planner
+    // only sees group aggregates; the simulator's per-board leaves feel
+    // the straggler directly.
+    let throttled = AcceleratorSpec::new(
+        "tpu-v3-throttled",
+        210e12,
+        128 << 30,
+        2400e9,
+        1e9,
+        8,
+        100e9,
+    )
+    .expect("valid spec");
+    let mut boards = vec![AcceleratorSpec::tpu_v2(); 8];
+    boards.extend(vec![AcceleratorSpec::tpu_v3(); 7]);
+    boards.push(throttled);
+    let degraded = AcceleratorArray::new(boards);
+    let healthy = AcceleratorArray::heterogeneous_tpu(8, 8);
+    let net = zoo::alexnet(512).unwrap();
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "strategy", "healthy ms", "degraded ms", "slowdown"
+    );
+    for s in [Strategy::DataParallel, Strategy::AccPar] {
+        let ms = |array: &AcceleratorArray| {
+            Planner::new(&net, array)
+                .with_sim_config(SimConfig::default())
+                .plan(s)
+                .unwrap()
+                .modeled_cost()
+                * 1e3
+        };
+        let h = ms(&healthy);
+        let d = ms(&degraded);
+        println!(
+            "{:<10} {h:>12.2} {d:>12.2} {:>9.1}%",
+            s.to_string(),
+            (d / h - 1.0) * 100.0
+        );
+    }
+}

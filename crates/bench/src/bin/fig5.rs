@@ -1,0 +1,16 @@
+//! Regenerates Figure 5: speedups of DP / OWT / HyPar / AccPar on the
+//! heterogeneous array (128 TPU-v2 + 128 TPU-v3), batch 512.
+
+use accpar_bench::{figure5, render};
+
+fn main() {
+    let rows = figure5();
+    print!(
+        "{}",
+        render::speedup_table(
+            "Figure 5 — heterogeneous array (128x TPU-v2 + 128x TPU-v3, batch 512)",
+            &rows,
+            Some([1.00, 2.98, 3.78, 6.30]),
+        )
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 6: speedups of DP / OWT / HyPar / AccPar on the
+//! homogeneous array (128 TPU-v3), batch 512.
+
+use accpar_bench::{figure6, render};
+
+fn main() {
+    let rows = figure6();
+    print!(
+        "{}",
+        render::speedup_table(
+            "Figure 6 — homogeneous array (128x TPU-v3, batch 512)",
+            &rows,
+            Some([1.00, 2.94, 3.51, 3.86]),
+        )
+    );
+}

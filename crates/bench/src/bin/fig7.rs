@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: the partition types AccPar selects for each
+//! weighted AlexNet layer with 7 hierarchy levels and batch 128.
+
+use accpar_bench::{figure7, render};
+
+fn main() {
+    print!("{}", render::figure7_table(&figure7()));
+}

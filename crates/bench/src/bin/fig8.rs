@@ -1,0 +1,8 @@
+//! Regenerates Figure 8: VGG-19 speedup under hierarchy levels h = 2..=9
+//! on the heterogeneous array.
+
+use accpar_bench::{figure8, render};
+
+fn main() {
+    print!("{}", render::figure8_table(&figure8()));
+}

@@ -1,0 +1,45 @@
+//! Writes SVG renderings of Figures 5-8 into `figures/`.
+//!
+//! ```sh
+//! cargo run --release -p accpar-bench --bin figures
+//! ```
+
+use accpar_bench::{figure5, figure6, figure7, figure8, svg};
+use std::fs;
+
+fn main() -> std::io::Result<()> {
+    fs::create_dir_all("figures")?;
+    fs::write(
+        "figures/fig5_heterogeneous.svg",
+        svg::speedup_bars(
+            "Figure 5 — heterogeneous array (128x TPU-v2 + 128x TPU-v3, batch 512)",
+            &figure5(),
+        ),
+    )?;
+    fs::write(
+        "figures/fig6_homogeneous.svg",
+        svg::speedup_bars(
+            "Figure 6 — homogeneous array (128x TPU-v3, batch 512)",
+            &figure6(),
+        ),
+    )?;
+    fs::write(
+        "figures/fig7_alexnet_types.svg",
+        svg::type_histogram(
+            "Figure 7 — AccPar partition types per AlexNet layer (h=7, batch 128)",
+            &figure7(),
+        ),
+    )?;
+    fs::write(
+        "figures/fig8_hierarchy.svg",
+        svg::hierarchy_lines(
+            "Figure 8 — VGG-19 speedup vs hierarchy level (heterogeneous array)",
+            &figure8(),
+        ),
+    )?;
+    println!("wrote figures/fig5_heterogeneous.svg");
+    println!("wrote figures/fig6_homogeneous.svg");
+    println!("wrote figures/fig7_alexnet_types.svg");
+    println!("wrote figures/fig8_hierarchy.svg");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Renders Tables 3-7 of the paper from the implementation.
+
+use accpar_bench::tables;
+
+fn main() {
+    println!("{}", tables::render_table3());
+    println!("{}", tables::render_table4());
+    println!("{}", tables::render_table5(0.5));
+    println!("{}", tables::render_table6());
+    println!("{}", tables::render_table7());
+}

@@ -1,0 +1,21 @@
+//! Experiment harness for the AccPar reproduction: one entry point per
+//! table and figure of the paper's evaluation (§6).
+//!
+//! The binaries (`fig5`, `fig6`, `fig7`, `fig8`, `tables`, `ablations`,
+//! `experiments`) print the same rows/series the paper reports; the
+//! Criterion benches in `benches/` measure the implementation itself
+//! (search and simulator throughput) and regenerate the figure data under
+//! timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+pub mod svg;
+pub mod tables;
+
+pub use experiments::{
+    figure5, figure6, figure7, figure8, geomean, speedup_rows, Figure7, Fig8Row, SpeedupRow,
+    PAPER_BATCH,
+};

@@ -1,0 +1,144 @@
+//! Plain-text rendering of experiment results, shared by the binaries.
+
+use crate::experiments::{geomean, Fig8Row, Figure7, SpeedupRow};
+use accpar_core::Strategy;
+use std::fmt::Write as _;
+
+/// Renders a speedup table (Figures 5/6 style) with per-strategy
+/// geometric means, optionally annotated with the paper's reported
+/// geomeans.
+#[must_use]
+pub fn speedup_table(title: &str, rows: &[SpeedupRow], paper_geomeans: Option<[f64; 4]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:<10}", "network");
+    for s in Strategy::ALL {
+        let _ = write!(out, "{:>10}", s.to_string());
+    }
+    let _ = writeln!(out, "   (speedup over DP; step ms in parentheses)");
+    for row in rows {
+        let _ = write!(out, "{:<10}", row.network);
+        for i in 0..4 {
+            let _ = write!(out, "{:>9.2}x", row.speedups[i]);
+        }
+        let _ = write!(out, "   (");
+        for (i, ms) in row.step_ms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}{ms:.2}");
+        }
+        let _ = writeln!(out, ")");
+    }
+    let _ = write!(out, "{:<10}", "geomean");
+    for i in 0..4 {
+        let _ = write!(out, "{:>9.2}x", geomean(rows, i));
+    }
+    let _ = writeln!(out);
+    if let Some(paper) = paper_geomeans {
+        let _ = write!(out, "{:<10}", "paper");
+        for p in paper {
+            let _ = write!(out, "{p:>9.2}x");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the Figure 7 per-layer type-selection histogram.
+#[must_use]
+pub fn figure7_table(fig: &Figure7) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 7 — partition types selected for AlexNet (h=7, batch 128)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>8} {:>9}   selection share",
+        "layer", "Type-I", "Type-II", "Type-III"
+    );
+    for (name, counts) in fig.layer_names.iter().zip(&fig.counts) {
+        let total: usize = counts.iter().sum();
+        let bar: String = {
+            let width = 24usize;
+            let mut bar = String::new();
+            for (i, ch) in ['I', '2', '3'].iter().enumerate() {
+                let n = (counts[i] * width + total / 2) / total.max(1);
+                bar.extend(std::iter::repeat_n(*ch, n));
+            }
+            bar
+        };
+        let _ = writeln!(
+            out,
+            "{name:<8} {:>8} {:>8} {:>9}   {bar}",
+            counts[0], counts[1], counts[2]
+        );
+    }
+    let _ = writeln!(out, "top-level plan: {}", fig.top_level);
+    out
+}
+
+/// Renders the Figure 8 hierarchy sweep.
+#[must_use]
+pub fn figure8_table(rows: &[Fig8Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 8 — VGG-19 speedup vs hierarchy level (heterogeneous array)"
+    );
+    let _ = write!(out, "{:<4}", "h");
+    for s in Strategy::ALL {
+        let _ = write!(out, "{:>10}", s.to_string());
+    }
+    let _ = writeln!(out);
+    for row in rows {
+        let _ = write!(out, "{:<4}", row.levels);
+        for v in row.speedups {
+            let _ = write!(out, "{v:>9.2}x");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<SpeedupRow> {
+        vec![SpeedupRow {
+            network: "toy".into(),
+            step_ms: [4.0, 2.0, 2.0, 1.0],
+            speedups: [1.0, 2.0, 2.0, 4.0],
+        }]
+    }
+
+    #[test]
+    fn speedup_table_contains_geomean_and_paper_row() {
+        let s = speedup_table("t", &rows(), Some([1.0, 2.98, 3.78, 6.30]));
+        assert!(s.contains("geomean"));
+        assert!(s.contains("paper"));
+        assert!(s.contains("4.00x"));
+        assert!(s.contains("6.30x"));
+    }
+
+    #[test]
+    fn figure8_table_lists_levels() {
+        let s = figure8_table(&[Fig8Row {
+            levels: 3,
+            speedups: [1.0, 2.0, 3.0, 4.0],
+        }]);
+        assert!(s.lines().any(|l| l.starts_with("3 ")));
+    }
+
+    #[test]
+    fn figure7_bar_width_is_bounded() {
+        let fig = Figure7 {
+            layer_names: vec!["cv1".into()],
+            counts: vec![[3, 2, 2]],
+            top_level: "I".into(),
+        };
+        let s = figure7_table(&fig);
+        let bar_line = s.lines().find(|l| l.starts_with("cv1")).unwrap();
+        assert!(bar_line.contains('I'));
+    }
+}

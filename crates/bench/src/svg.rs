@@ -1,0 +1,311 @@
+//! Self-contained SVG rendering of the paper's figures — no plotting
+//! dependencies, just strings. `--bin figures` writes the files.
+//!
+//! Three chart shapes cover the evaluation: grouped bars (Figures 5
+//! and 6), a multi-series line chart (Figure 8) and a stacked
+//! type-selection histogram (Figure 7).
+
+use crate::experiments::{Fig8Row, Figure7, SpeedupRow};
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 900.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 60.0;
+const MARGIN_B: f64 = 60.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_R: f64 = 20.0;
+
+/// One color per strategy, DP/OWT/HyPar/AccPar.
+const COLORS: [&str; 4] = ["#9aa0a6", "#f2a03d", "#4f9bd9", "#c3423f"];
+const STRATEGY_NAMES: [&str; 4] = ["DP", "OWT", "HyPar", "AccPar"];
+
+fn header(title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+    );
+    let _ = writeln!(
+        s,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
+        WIDTH / 2.0,
+        escape(title)
+    );
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn legend(out: &mut String, x: f64, y: f64) {
+    for (i, name) in STRATEGY_NAMES.iter().enumerate() {
+        let lx = x + i as f64 * 90.0;
+        let _ = writeln!(
+            out,
+            r#"<rect x="{lx}" y="{y}" width="12" height="12" fill="{}"/>"#,
+            COLORS[i]
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12">{name}</text>"#,
+            lx + 16.0,
+            y + 10.0
+        );
+    }
+}
+
+fn y_axis(out: &mut String, max_v: f64, label: &str) {
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let ticks = 5usize;
+    for t in 0..=ticks {
+        let v = max_v * t as f64 / ticks as f64;
+        let y = HEIGHT - MARGIN_B - plot_h * t as f64 / ticks as f64;
+        let _ = writeln!(
+            out,
+            r##"<line x1="{MARGIN_L}" y1="{y}" x2="{}" y2="{y}" stroke="#dddddd"/>"##,
+            WIDTH - MARGIN_R
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{v:.0}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        r#"<text x="16" y="{}" font-family="sans-serif" font-size="12" transform="rotate(-90 16 {})" text-anchor="middle">{}</text>"#,
+        HEIGHT / 2.0,
+        HEIGHT / 2.0,
+        escape(label)
+    );
+}
+
+/// Renders a Figures-5/6-style grouped bar chart of speedups.
+#[must_use]
+pub fn speedup_bars(title: &str, rows: &[SpeedupRow]) -> String {
+    let mut out = header(title);
+    let max_v = rows
+        .iter()
+        .flat_map(|r| r.speedups.iter().copied())
+        .fold(1.0f64, f64::max)
+        .ceil();
+    y_axis(&mut out, max_v, "speedup over DP");
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let group_w = plot_w / rows.len() as f64;
+    let bar_w = (group_w * 0.8) / 4.0;
+
+    for (gi, row) in rows.iter().enumerate() {
+        let gx = MARGIN_L + gi as f64 * group_w + group_w * 0.1;
+        for (si, &v) in row.speedups.iter().enumerate() {
+            let h = plot_h * v / max_v;
+            let x = gx + si as f64 * bar_w;
+            let y = HEIGHT - MARGIN_B - h;
+            let _ = writeln!(
+                out,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{}"><title>{}: {} {:.2}x</title></rect>"#,
+                COLORS[si],
+                escape(&row.network),
+                STRATEGY_NAMES[si],
+                v
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+            gx + group_w * 0.4,
+            HEIGHT - MARGIN_B + 16.0,
+            escape(&row.network)
+        );
+    }
+    legend(&mut out, MARGIN_L, HEIGHT - 20.0);
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders the Figure-8-style hierarchy sweep as a line chart.
+#[must_use]
+pub fn hierarchy_lines(title: &str, rows: &[Fig8Row]) -> String {
+    let mut out = header(title);
+    let max_v = rows
+        .iter()
+        .flat_map(|r| r.speedups.iter().copied())
+        .fold(1.0f64, f64::max)
+        .ceil();
+    y_axis(&mut out, max_v, "speedup over DP");
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let (h_min, h_max) = (
+        rows.first().map_or(0, |r| r.levels) as f64,
+        rows.last().map_or(1, |r| r.levels) as f64,
+    );
+    let x_of = |h: f64| MARGIN_L + plot_w * (h - h_min) / (h_max - h_min).max(1.0);
+    let y_of = |v: f64| HEIGHT - MARGIN_B - plot_h * v / max_v;
+
+    for row in rows {
+        let x = x_of(row.levels as f64);
+        let _ = writeln!(
+            out,
+            r#"<text x="{x:.1}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+            HEIGHT - MARGIN_B + 16.0,
+            row.levels
+        );
+    }
+
+    for si in 0..4 {
+        let mut path = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            let cmd = if i == 0 { 'M' } else { 'L' };
+            let _ = write!(
+                path,
+                "{cmd}{:.1} {:.1} ",
+                x_of(row.levels as f64),
+                y_of(row.speedups[si])
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"<path d="{path}" fill="none" stroke="{}" stroke-width="2.5"/>"#,
+            COLORS[si]
+        );
+        for row in rows {
+            let _ = writeln!(
+                out,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3.5" fill="{}"><title>h={} {}: {:.2}x</title></circle>"#,
+                x_of(row.levels as f64),
+                y_of(row.speedups[si]),
+                COLORS[si],
+                row.levels,
+                STRATEGY_NAMES[si],
+                row.speedups[si]
+            );
+        }
+    }
+    legend(&mut out, MARGIN_L, HEIGHT - 20.0);
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders the Figure-7-style stacked type-selection histogram.
+#[must_use]
+pub fn type_histogram(title: &str, fig: &Figure7) -> String {
+    let type_colors = ["#9aa0a6", "#4f9bd9", "#c3423f"];
+    let type_names = ["Type-I", "Type-II", "Type-III"];
+    let mut out = header(title);
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let group_w = plot_w / fig.counts.len() as f64;
+    let bar_w = group_w * 0.6;
+
+    for (gi, (name, counts)) in fig.layer_names.iter().zip(&fig.counts).enumerate() {
+        let total: usize = counts.iter().sum();
+        let x = MARGIN_L + gi as f64 * group_w + group_w * 0.2;
+        let mut y = HEIGHT - MARGIN_B;
+        for (ti, &c) in counts.iter().enumerate() {
+            let h = plot_h * c as f64 / total.max(1) as f64;
+            y -= h;
+            let _ = writeln!(
+                out,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{}"><title>{}: {} {}/{}</title></rect>"#,
+                type_colors[ti],
+                escape(name),
+                type_names[ti],
+                c,
+                total
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+            x + bar_w / 2.0,
+            HEIGHT - MARGIN_B + 16.0,
+            escape(name)
+        );
+    }
+    for (i, name) in type_names.iter().enumerate() {
+        let lx = MARGIN_L + i as f64 * 90.0;
+        let y = HEIGHT - 20.0;
+        let _ = writeln!(
+            out,
+            r#"<rect x="{lx}" y="{y}" width="12" height="12" fill="{}"/>"#,
+            type_colors[i]
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12">{name}</text>"#,
+            lx + 16.0,
+            y + 10.0
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<SpeedupRow> {
+        vec![
+            SpeedupRow {
+                network: "alexnet".into(),
+                step_ms: [4.0, 2.0, 2.0, 1.0],
+                speedups: [1.0, 2.0, 2.0, 4.0],
+            },
+            SpeedupRow {
+                network: "vgg<16>".into(),
+                step_ms: [9.0, 3.0, 3.0, 1.0],
+                speedups: [1.0, 3.0, 3.0, 9.0],
+            },
+        ]
+    }
+
+    #[test]
+    fn bars_are_well_formed_svg() {
+        let svg = speedup_bars("Figure 5", &rows());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 2 networks x 4 strategies bars plus the legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 2 * 4 + 4 + 1);
+        // Escaping.
+        assert!(svg.contains("vgg&lt;16&gt;"));
+        assert!(!svg.contains("vgg<16>"));
+    }
+
+    #[test]
+    fn lines_cover_all_levels() {
+        let rows: Vec<Fig8Row> = (2..=5)
+            .map(|h| Fig8Row {
+                levels: h,
+                speedups: [1.0, 2.0, 2.5, h as f64],
+            })
+            .collect();
+        let svg = hierarchy_lines("Figure 8", &rows);
+        assert_eq!(svg.matches("<path").count(), 4);
+        assert_eq!(svg.matches("<circle").count(), 4 * 4);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn histogram_stacks_to_full_height() {
+        let fig = Figure7 {
+            layer_names: vec!["cv1".into(), "fc1".into()],
+            counts: vec![[10, 0, 0], [0, 7, 3]],
+            top_level: "I2".into(),
+        };
+        let svg = type_histogram("Figure 7", &fig);
+        // Zero-count segments still emit (zero-height) rects: 2 layers x 3.
+        assert_eq!(svg.matches("<rect").count(), 2 * 3 + 3 + 1);
+        assert!(svg.contains("cv1"));
+        assert!(svg.contains("Type-III"));
+    }
+}

@@ -1,0 +1,97 @@
+use accpar_dnn::NetworkError;
+use accpar_hw::HwError;
+use accpar_sim::SimError;
+use std::fmt;
+
+/// Errors produced while planning.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The network could not be analyzed.
+    Network(NetworkError),
+    /// The array could not be bisected as requested.
+    Hw(HwError),
+    /// The produced plan failed simulation-time validation (indicates a
+    /// planner bug).
+    Sim(SimError),
+    /// The search was configured with an empty set of partition types.
+    EmptySearchSpace,
+    /// No plan fits the array's HBM, even with every weight sharded.
+    Infeasible {
+        /// Peak per-leaf bytes of the best attempt.
+        required_bytes: f64,
+        /// Peak occupancy (bytes / capacity) of the best attempt.
+        occupancy: f64,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Network(e) => write!(f, "network error: {e}"),
+            PlanError::Hw(e) => write!(f, "hardware error: {e}"),
+            PlanError::Sim(e) => write!(f, "simulation error: {e}"),
+            PlanError::EmptySearchSpace => {
+                write!(f, "search space must contain at least one partition type")
+            }
+            PlanError::Infeasible {
+                required_bytes,
+                occupancy,
+            } => write!(
+                f,
+                "no plan fits the array's memory: peak {:.2} GB per leaf ({:.0}% of HBM)",
+                required_bytes / 1e9,
+                occupancy * 100.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Network(e) => Some(e),
+            PlanError::Hw(e) => Some(e),
+            PlanError::Sim(e) => Some(e),
+            PlanError::EmptySearchSpace | PlanError::Infeasible { .. } => None,
+        }
+    }
+}
+
+impl From<NetworkError> for PlanError {
+    fn from(e: NetworkError) -> Self {
+        PlanError::Network(e)
+    }
+}
+
+impl From<HwError> for PlanError {
+    fn from(e: HwError) -> Self {
+        PlanError::Hw(e)
+    }
+}
+
+impl From<SimError> for PlanError {
+    fn from(e: SimError) -> Self {
+        PlanError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlanError>();
+    }
+
+    #[test]
+    fn conversions_and_sources() {
+        use std::error::Error;
+        let e: PlanError = HwError::EmptyArray.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("hardware"));
+        assert!(PlanError::EmptySearchSpace.source().is_none());
+    }
+}

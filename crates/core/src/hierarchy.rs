@@ -1,0 +1,117 @@
+//! Recursive hierarchical planning (§5.1): apply the layer-wise search
+//! once per bisection level, shrinking the tensors by each level's chosen
+//! shares on the way down.
+//!
+//! On a heterogeneous array the two halves of a cut differ, so the
+//! sub-searches may select different plans inside each half — the result
+//! is therefore a [`PlanTree`], not a flat per-level plan.
+
+use crate::error::PlanError;
+use crate::search::{LevelSearcher, SearchConfig};
+use accpar_cost::{CostModel, PairEnv};
+use accpar_dnn::TrainView;
+use accpar_hw::GroupNode;
+use accpar_partition::{PlanTree, ShardScales};
+
+/// Recursively plans every bisection level below `node`.
+///
+/// Returns `None` when `node` is a leaf (nothing to bisect). The
+/// `scales` argument carries the per-layer shard scales accumulated from
+/// the ancestors; pass `None` at the root.
+///
+/// # Errors
+///
+/// Propagates [`PlanError::EmptySearchSpace`] from the level searcher.
+pub fn plan_node(
+    view: &TrainView,
+    node: &GroupNode,
+    model: &CostModel,
+    config: &SearchConfig,
+    scales: Option<Vec<ShardScales>>,
+) -> Result<Option<PlanTree>, PlanError> {
+    let Some(env) = PairEnv::from_node(node) else {
+        return Ok(None);
+    };
+    let scales = scales.unwrap_or_else(|| vec![ShardScales::full(); view.weighted_len()]);
+    let searcher = LevelSearcher::new(view, model, config, &env, Some(scales.clone()))?;
+    let outcome = searcher.search();
+
+    let (child_a, child_b) = node.children().expect("env implies children");
+    let scales_a: Vec<ShardScales> = scales
+        .iter()
+        .zip(outcome.plan.layers())
+        .map(|(s, entry)| s.shrink(entry.ptype, entry.ratio.value()))
+        .collect();
+    let scales_b: Vec<ShardScales> = scales
+        .iter()
+        .zip(outcome.plan.layers())
+        .map(|(s, entry)| s.shrink(entry.ptype, entry.ratio.complement().value()))
+        .collect();
+
+    let left = plan_node(view, child_a, model, config, Some(scales_a))?;
+    let right = plan_node(view, child_b, model, config, Some(scales_b))?;
+    Ok(Some(match (left, right) {
+        (Some(l), Some(r)) => PlanTree::branch(outcome.plan, l, r),
+        _ => PlanTree::leaf(outcome.plan),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accpar_cost::CostConfig;
+    use accpar_dnn::NetworkBuilder;
+    use accpar_hw::{AcceleratorArray, GroupTree};
+    use accpar_tensor::FeatureShape;
+
+    fn view() -> TrainView {
+        NetworkBuilder::new("t", FeatureShape::fc(128, 512))
+            .linear("fc1", 512, 1024)
+            .linear("fc2", 1024, 256)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_tree_matches_group_tree_depth() {
+        let view = view();
+        let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(4, 4), 3).unwrap();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        let plan = plan_node(&view, tree.root(), &model, &config, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(plan.depth(), 3);
+        assert_eq!(plan.plan().len(), 2);
+    }
+
+    #[test]
+    fn leaf_node_yields_no_plan() {
+        let view = view();
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        let (leaf, _) = tree.root().children().unwrap();
+        assert!(plan_node(&view, leaf, &model, &config, None)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn heterogeneous_halves_may_differ() {
+        // Not a strict requirement, but the machinery must at least
+        // produce independent children structures.
+        let view = view();
+        let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(2, 2), 2).unwrap();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        let plan = plan_node(&view, tree.root(), &model, &config, None)
+            .unwrap()
+            .unwrap();
+        let (l, r) = plan.children().unwrap();
+        assert_eq!(l.depth(), 1);
+        assert_eq!(r.depth(), 1);
+    }
+}

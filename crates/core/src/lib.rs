@@ -1,0 +1,49 @@
+//! The AccPar partitioning algorithm (§5 of the paper) — the primary
+//! contribution of the reproduced system.
+//!
+//! * [`search`] — the layer-wise dynamic program of Eq. 9 over the
+//!   *complete* three-type partition space, with per-layer partition
+//!   ratios from the §5.3 solver and the §5.2 multi-path extension for
+//!   ResNet-style blocks; plus an exhaustive `O(3^N)` reference searcher
+//!   used to certify optimality in tests.
+//! * [`hierarchy`] — the recursive application of the level search down a
+//!   bisected accelerator array (§5.1), producing a
+//!   [`PlanTree`](accpar_partition::PlanTree).
+//! * [`baselines`] — the three comparison schemes of §6: plain data
+//!   parallelism, "One Weird Trick" (CONV → Type-I, FC → Type-II), and
+//!   HyPar (a dynamic search restricted to Types I/II, equal ratios,
+//!   communication-amount objective).
+//! * [`Planner`] — the one-stop API tying a network, an array, a
+//!   strategy and the evaluation together.
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_core::{Planner, Strategy};
+//! use accpar_dnn::zoo;
+//! use accpar_hw::AcceleratorArray;
+//!
+//! let network = zoo::alexnet(512)?;
+//! let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+//! let planner = Planner::new(&network, &array);
+//!
+//! let accpar = planner.plan(Strategy::AccPar)?;
+//! let dp = planner.plan(Strategy::DataParallel)?;
+//! // The complete, heterogeneity-aware search wins clearly on AlexNet.
+//! assert!(accpar.modeled_cost() < dp.modeled_cost());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod error;
+pub mod feasible;
+pub mod hierarchy;
+mod planner;
+pub mod search;
+
+pub use error::PlanError;
+pub use planner::{PlannedNetwork, Planner, Strategy};
+pub use search::{LevelSearcher, SearchConfig, SearchOutcome};

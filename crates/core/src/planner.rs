@@ -1,0 +1,332 @@
+use crate::baselines::{data_parallel_plan, hypar_plan, owt_plan};
+use crate::error::PlanError;
+use crate::hierarchy::plan_node;
+use crate::search::SearchConfig;
+use accpar_cost::{CostConfig, CostModel, RatioSolver};
+use accpar_dnn::Network;
+use accpar_hw::{AcceleratorArray, GroupTree};
+use accpar_partition::PlanTree;
+use accpar_sim::{SimConfig, SimReport, Simulator};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The partitioning schemes compared in §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Plain data parallelism — the normalization baseline.
+    DataParallel,
+    /// "One Weird Trick" (Krizhevsky, 2014).
+    Owt,
+    /// HyPar (Song et al., HPCA 2019).
+    HyPar,
+    /// AccPar — this paper.
+    AccPar,
+}
+
+impl Strategy {
+    /// All four schemes in the paper's presentation order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::DataParallel,
+        Strategy::Owt,
+        Strategy::HyPar,
+        Strategy::AccPar,
+    ];
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::DataParallel => "DP",
+            Strategy::Owt => "OWT",
+            Strategy::HyPar => "HyPar",
+            Strategy::AccPar => "AccPar",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A plan produced by [`Planner::plan`], together with its modeled
+/// performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedNetwork {
+    strategy: Strategy,
+    plan: PlanTree,
+    report: SimReport,
+}
+
+impl PlannedNetwork {
+    /// Which scheme produced the plan.
+    #[must_use]
+    pub const fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The hierarchical plan.
+    #[must_use]
+    pub const fn plan(&self) -> &PlanTree {
+        &self.plan
+    }
+
+    /// The modeled step time in seconds (simulated with the
+    /// cost-model-aligned configuration).
+    #[must_use]
+    pub fn modeled_cost(&self) -> f64 {
+        self.report.total_secs
+    }
+
+    /// The full simulation report behind [`PlannedNetwork::modeled_cost`].
+    #[must_use]
+    pub const fn report(&self) -> &SimReport {
+        &self.report
+    }
+}
+
+impl fmt::Display for PlannedNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} ms/step\n{}",
+            self.strategy,
+            self.modeled_cost() * 1e3,
+            self.plan
+        )
+    }
+}
+
+/// One-stop planning API: pairs a network with an accelerator array and
+/// produces hierarchical partition plans under any of the four schemes.
+///
+/// # Example
+///
+/// ```
+/// use accpar_core::{Planner, Strategy};
+/// use accpar_dnn::zoo;
+/// use accpar_hw::AcceleratorArray;
+///
+/// let network = zoo::lenet(128)?;
+/// let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+/// let planned = Planner::new(&network, &array)
+///     .with_levels(2)
+///     .plan(Strategy::Owt)?;
+/// assert_eq!(planned.plan().depth(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Planner<'a> {
+    network: &'a Network,
+    array: &'a AcceleratorArray,
+    levels: Option<usize>,
+    cost_config: CostConfig,
+    solver: RatioSolver,
+    sim_config: SimConfig,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner over a network and an array.
+    #[must_use]
+    pub fn new(network: &'a Network, array: &'a AcceleratorArray) -> Self {
+        Self {
+            network,
+            array,
+            levels: None,
+            cost_config: CostConfig::default(),
+            solver: RatioSolver::default(),
+            sim_config: SimConfig::cost_model_aligned(),
+        }
+    }
+
+    /// Sets the hierarchy depth (default: bisect down to single boards,
+    /// i.e. `log2(#boards)`).
+    #[must_use]
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        self.levels = Some(levels);
+        self
+    }
+
+    /// Overrides the cost-model configuration used by the AccPar search.
+    #[must_use]
+    pub fn with_cost_config(mut self, config: CostConfig) -> Self {
+        self.cost_config = config;
+        self
+    }
+
+    /// Overrides the ratio solver used by the AccPar search.
+    #[must_use]
+    pub fn with_solver(mut self, solver: RatioSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Overrides the simulator configuration used to evaluate
+    /// [`PlannedNetwork::modeled_cost`].
+    #[must_use]
+    pub fn with_sim_config(mut self, config: SimConfig) -> Self {
+        self.sim_config = config;
+        self
+    }
+
+    /// The hierarchy depth that will be used.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.levels.unwrap_or_else(|| {
+            let boards = self.array.len().max(1);
+            (usize::BITS as usize - 1 - boards.leading_zeros() as usize).max(1)
+        })
+    }
+
+    /// Plans the network under the given strategy and evaluates the plan
+    /// with the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-analysis, bisection and simulation errors.
+    pub fn plan(&self, strategy: Strategy) -> Result<PlannedNetwork, PlanError> {
+        let view = self.network.train_view()?;
+        let levels = self.levels();
+        let tree = GroupTree::bisect(self.array, levels)?;
+
+        let plan = match strategy {
+            Strategy::DataParallel => data_parallel_plan(&view, levels),
+            Strategy::Owt => owt_plan(&view, levels),
+            Strategy::HyPar => hypar_plan(&view, &tree)?,
+            Strategy::AccPar => {
+                let model = CostModel::new(self.cost_config);
+                let config = SearchConfig {
+                    types: accpar_partition::PartitionType::ALL.to_vec(),
+                    solver: self.solver,
+                };
+                plan_node(&view, tree.root(), &model, &config, None)?
+                    .expect("a bisected tree has at least one level")
+            }
+        };
+
+        let report = Simulator::new(self.sim_config).simulate(&view, &plan, &tree)?;
+        Ok(PlannedNetwork {
+            strategy,
+            plan,
+            report,
+        })
+    }
+
+    /// Plans under `strategy`, then repairs the plan for memory
+    /// feasibility under the given optimizer (flipping the heaviest
+    /// replicated layers to Type-II until every leaf's footprint fits its
+    /// HBM) and re-evaluates it.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Infeasible`] when even a fully weight-sharded plan
+    /// cannot fit; otherwise see [`Planner::plan`].
+    pub fn plan_within_memory(
+        &self,
+        strategy: Strategy,
+        optimizer: accpar_sim::Optimizer,
+    ) -> Result<PlannedNetwork, PlanError> {
+        let planned = self.plan(strategy)?;
+        let view = self.network.train_view()?;
+        let tree = GroupTree::bisect(self.array, self.levels())?;
+        let (plan, _report) = crate::feasible::fit_to_memory(
+            &view,
+            planned.plan(),
+            &tree,
+            &self.sim_config,
+            optimizer,
+        )?;
+        let report = Simulator::new(self.sim_config).simulate(&view, &plan, &tree)?;
+        Ok(PlannedNetwork {
+            strategy,
+            plan,
+            report,
+        })
+    }
+
+    /// Plans all four schemes and returns them in [`Strategy::ALL`]
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Planner::plan`].
+    pub fn plan_all(&self) -> Result<Vec<PlannedNetwork>, PlanError> {
+        Strategy::ALL.iter().map(|&s| self.plan(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accpar_dnn::zoo;
+    use accpar_partition::PartitionType;
+
+    #[test]
+    fn default_levels_bisect_to_boards() {
+        let net = zoo::lenet(32).unwrap();
+        let array = AcceleratorArray::heterogeneous_tpu(4, 4);
+        assert_eq!(Planner::new(&net, &array).levels(), 3);
+        let array1 = AcceleratorArray::homogeneous_tpu_v3(1);
+        assert_eq!(Planner::new(&net, &array1).levels(), 1);
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_plans() {
+        let net = zoo::lenet(128).unwrap();
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        let planner = Planner::new(&net, &array).with_levels(2);
+        let all = planner.plan_all().unwrap();
+        assert_eq!(all.len(), 4);
+        for planned in &all {
+            assert_eq!(planned.plan().depth(), 2);
+            assert!(planned.modeled_cost() > 0.0);
+        }
+    }
+
+    #[test]
+    fn accpar_beats_or_ties_every_baseline_on_alexnet() {
+        let net = zoo::alexnet(512).unwrap();
+        let array = AcceleratorArray::heterogeneous_tpu(4, 4);
+        let planner = Planner::new(&net, &array).with_levels(3);
+        let all = planner.plan_all().unwrap();
+        let accpar = all.last().unwrap().modeled_cost();
+        for planned in &all {
+            assert!(
+                accpar <= planned.modeled_cost() * (1.0 + 1e-9),
+                "AccPar {accpar} vs {} {}",
+                planned.strategy(),
+                planned.modeled_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn accpar_uses_unbalanced_ratios_on_heterogeneous_hardware() {
+        let net = zoo::lenet(512).unwrap();
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        let planned = Planner::new(&net, &array)
+            .with_levels(1)
+            .plan(Strategy::AccPar)
+            .unwrap();
+        // The top-level cut separates v2 from v3: ratios must tilt.
+        assert!(planned
+            .plan()
+            .plan()
+            .layers()
+            .iter()
+            .any(|l| !l.ratio.is_balanced()));
+    }
+
+    #[test]
+    fn strategies_display_names() {
+        let names: Vec<String> = Strategy::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, ["DP", "OWT", "HyPar", "AccPar"]);
+    }
+
+    #[test]
+    fn planned_network_exposes_plan_details() {
+        let net = zoo::lenet(64).unwrap();
+        let array = AcceleratorArray::homogeneous_tpu_v3(2);
+        let planned = Planner::new(&net, &array).plan(Strategy::DataParallel).unwrap();
+        assert_eq!(planned.strategy(), Strategy::DataParallel);
+        assert_eq!(planned.plan().count(PartitionType::TypeI), 5);
+        assert!(planned.to_string().contains("DP"));
+        assert!(planned.report().total_secs > 0.0);
+    }
+}

@@ -1,0 +1,957 @@
+//! The layer-wise partition search of §5.1 (Eq. 9) with the multi-path
+//! extension of §5.2.
+//!
+//! For one bisection level — a pair of accelerator groups described by a
+//! [`PairEnv`] — the search assigns every weighted layer a basic
+//! partition type `t ∈ 𝒯` and a partition ratio `α`, minimizing the
+//! accumulated cost
+//!
+//! ```text
+//! c(L_{i+1}, t) = min_{tt ∈ 𝒯} { c(L_i, tt) + E_cp(t) + E_cm(tt, t) }
+//! ```
+//!
+//! by dynamic programming in `O(N·|𝒯|²)` instead of the brute-force
+//! `O(|𝒯|^N)`. The brute-force enumeration is kept as
+//! [`LevelSearcher::exhaustive`], the reference against which the DP's
+//! optimality is certified in tests.
+//!
+//! **Multi-path blocks.** A ResNet residual block forks the trunk into
+//! parallel branches that reconverge at an element-wise join. Following
+//! Figure 4, the search enumerates the partition state on both sides of
+//! the block and optimizes each branch independently between the two
+//! states, summing branch costs (all branches must execute). The join
+//! carries a *junction state*: a pseudo-layer of type `t` whose layout
+//! semantics match a real type-`t` layer, so a single-branch block
+//! degenerates exactly to the plain chain formula. Branch outputs are
+//! re-laid-out into the junction state
+//! ([`CostModel::relayout_cost`]); identity shortcuts pay the
+//! fork-to-junction conversion.
+
+use crate::error::PlanError;
+use accpar_cost::{CostModel, PairEnv, RatioSolver};
+use accpar_dnn::{TrainElem, TrainLayer, TrainView};
+use accpar_partition::{LayerPlan, NetworkPlan, PartitionType, Ratio, ShardScales};
+
+/// Configuration of a level search: the admissible partition types and
+/// the ratio policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// The admissible types (the DP's state set).
+    pub types: Vec<PartitionType>,
+    /// How per-layer ratios are chosen.
+    pub solver: RatioSolver,
+}
+
+impl SearchConfig {
+    /// AccPar: the complete three-type space with the Eq. 10 ratio
+    /// solver (in its exact-balance form; see [`RatioSolver`]).
+    #[must_use]
+    pub fn accpar() -> Self {
+        Self {
+            types: PartitionType::ALL.to_vec(),
+            solver: RatioSolver::default(),
+        }
+    }
+
+    /// HyPar: data/model parallelism only (Type-I / Type-II), equal
+    /// partitioning. Pair with [`accpar_cost::CostConfig::hypar`] for the
+    /// communication-amount objective.
+    #[must_use]
+    pub fn hypar() -> Self {
+        Self {
+            types: vec![PartitionType::TypeI, PartitionType::TypeII],
+            solver: RatioSolver::Fixed(Ratio::EQUAL),
+        }
+    }
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self::accpar()
+    }
+}
+
+/// The result of a level search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The chosen per-layer plan.
+    pub plan: NetworkPlan,
+    /// The accumulated objective value (seconds for the full model,
+    /// elements for the communication-only proxy).
+    pub cost: f64,
+}
+
+/// A layer state: its partition type and solved ratio.
+type State = (PartitionType, Ratio);
+
+/// Backtracking record for one trunk element.
+enum Step {
+    /// A trunk layer: for each exit state, the best predecessor state.
+    Layer {
+        index: usize,
+        prev: Vec<Option<usize>>,
+    },
+    /// A block: predecessor choices plus, per exit state, the chosen
+    /// types of every branch layer.
+    Block {
+        prev: Vec<Option<usize>>,
+        assignments: Vec<Vec<(usize, usize)>>,
+    },
+}
+
+/// The per-level searcher: precomputes per-(layer, type) ratios and
+/// costs, then runs the DP (or the exhaustive reference).
+///
+/// # Example
+///
+/// ```
+/// use accpar_core::{LevelSearcher, SearchConfig};
+/// use accpar_cost::{CostConfig, CostModel, PairEnv};
+/// use accpar_dnn::zoo;
+/// use accpar_hw::{AcceleratorArray, GroupTree};
+///
+/// let net = zoo::alexnet(512)?;
+/// let view = net.train_view()?;
+/// let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(128, 128), 1)?;
+/// let env = PairEnv::from_node(tree.root()).unwrap();
+/// let model = CostModel::new(CostConfig::default());
+/// let config = SearchConfig::accpar();
+///
+/// let searcher = LevelSearcher::new(&view, &model, &config, &env, None)?;
+/// let outcome = searcher.search();
+/// assert_eq!(outcome.plan.len(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct LevelSearcher<'a> {
+    view: &'a TrainView,
+    layers: Vec<&'a TrainLayer>,
+    model: &'a CostModel,
+    config: &'a SearchConfig,
+    env: &'a PairEnv,
+    scales: Vec<ShardScales>,
+    /// `ratios[layer][type index]`.
+    ratios: Vec<Vec<Ratio>>,
+    /// `layer_costs[layer][type index]`, scalarized.
+    layer_costs: Vec<Vec<f64>>,
+}
+
+impl<'a> LevelSearcher<'a> {
+    /// Prepares a searcher. `scales` carries the per-layer shard scales
+    /// from the enclosing hierarchy levels (defaults to the full tensor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::EmptySearchSpace`] when the configuration
+    /// admits no types.
+    pub fn new(
+        view: &'a TrainView,
+        model: &'a CostModel,
+        config: &'a SearchConfig,
+        env: &'a PairEnv,
+        scales: Option<Vec<ShardScales>>,
+    ) -> Result<Self, PlanError> {
+        if config.types.is_empty() {
+            return Err(PlanError::EmptySearchSpace);
+        }
+        let mut layers: Vec<&TrainLayer> = view.layers().collect();
+        layers.sort_by_key(|l| l.index());
+        let scales = scales.unwrap_or_else(|| vec![ShardScales::full(); layers.len()]);
+        assert_eq!(
+            scales.len(),
+            layers.len(),
+            "one shard scale per weighted layer"
+        );
+        let ratios: Vec<Vec<Ratio>> = layers
+            .iter()
+            .zip(&scales)
+            .map(|(layer, &s)| {
+                config
+                    .types
+                    .iter()
+                    .map(|&t| config.solver.solve(model, layer, t, env, s))
+                    .collect()
+            })
+            .collect();
+        let layer_costs: Vec<Vec<f64>> = layers
+            .iter()
+            .enumerate()
+            .map(|(l, layer)| {
+                config
+                    .types
+                    .iter()
+                    .enumerate()
+                    .map(|(ti, &t)| {
+                        model.scalarize(model.layer_cost(
+                            layer,
+                            t,
+                            ratios[l][ti],
+                            env,
+                            scales[l],
+                        ))
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            view,
+            layers,
+            model,
+            config,
+            env,
+            scales,
+            ratios,
+            layer_costs,
+        })
+    }
+
+    /// Number of admissible types.
+    fn k(&self) -> usize {
+        self.config.types.len()
+    }
+
+    /// The state of layer `l` under type index `ti`.
+    fn state(&self, l: usize, ti: usize) -> State {
+        (self.config.types[ti], self.ratios[l][ti])
+    }
+
+    /// Conversion cost from a producer state into layer `to` at type
+    /// index `ti` (Table 5, consumer-boundary convention).
+    fn consume_cost(&self, prev: State, to: usize, ti: usize) -> f64 {
+        let boundary =
+            (self.layers[to].in_fmap().size() as f64 * self.scales[to].f_in).round() as u64;
+        let (t, r) = self.state(to, ti);
+        self.model.scalarize(self.model.edge_cost(
+            prev.0, prev.1, t, r, boundary, boundary, self.env,
+        ))
+    }
+
+    /// Re-layout cost from a producer state into a junction state over a
+    /// boundary of `elems` elements.
+    fn relayout_cost(&self, from: State, to: State, elems: u64) -> f64 {
+        self.model.scalarize(self.model.relayout_cost(
+            from.0, from.1, to.0, to.1, elems, elems, self.env,
+        ))
+    }
+
+    /// The junction state of a block for type index `ti`: the type plus
+    /// the ratio solved for the block's representative layer (the last
+    /// layer of its first non-empty branch).
+    fn junction_state(&self, branches: &[Vec<TrainLayer>], ti: usize) -> State {
+        let rep = branches
+            .iter()
+            .find_map(|b| b.last())
+            .expect("a block has at least one weighted layer");
+        self.state(rep.index(), ti)
+    }
+
+    /// The (scaled) element count a branch contributes to the block's
+    /// join tensor: its own last layer's output (which equals the join
+    /// tensor for element-wise `Add` joins, and the branch's channel
+    /// slice for `Concat` joins). Identity branches carry the fork
+    /// tensor through unchanged.
+    fn branch_exit_elems(&self, branch: &[TrainLayer], fork_elems: u64) -> u64 {
+        match branch.last() {
+            Some(last) => {
+                (last.out_fmap().size() as f64 * self.scales[last.index()].f_out).round() as u64
+            }
+            // Identity (or unweighted) shortcut: the fork tensor flows
+            // through unchanged; `fork_elems` arrives pre-scaled.
+            None => fork_elems,
+        }
+    }
+
+    /// The fork tensor's element count scaled like the block's first
+    /// weighted layer's input (the shard the ancestors left this pair).
+    fn scaled_fork_elems(&self, branches: &[Vec<TrainLayer>], fork_size: u64) -> u64 {
+        let rep = branches
+            .iter()
+            .find_map(|b| b.first())
+            .expect("a block has at least one weighted layer");
+        (fork_size as f64 * self.scales[rep.index()].f_in).round() as u64
+    }
+
+    /// Optimal cost and per-layer type choices for one branch between a
+    /// (possibly absent) entry state and a junction exit state.
+    #[allow(clippy::needless_range_loop)]
+    fn branch_best(
+        &self,
+        branch: &[TrainLayer],
+        entry: Option<State>,
+        exit: State,
+        exit_elems: u64,
+    ) -> (f64, Vec<(usize, usize)>) {
+        let k = self.k();
+        let Some(first) = branch.first() else {
+            // Identity shortcut: the fork tensor is re-laid-out into the
+            // junction state (free when the entry already matches).
+            let cost = entry.map_or(0.0, |e| self.relayout_cost(e, exit, exit_elems));
+            return (cost, Vec::new());
+        };
+        // Chain DP along the branch.
+        let mut cost: Vec<f64> = (0..k)
+            .map(|ti| {
+                let edge = entry.map_or(0.0, |e| self.consume_cost(e, first.index(), ti));
+                edge + self.layer_costs[first.index()][ti]
+            })
+            .collect();
+        let mut back: Vec<Vec<usize>> = Vec::new();
+        for pair in branch.windows(2) {
+            let cur = pair[1].index();
+            let prev_layer = pair[0].index();
+            let mut next_cost = vec![f64::INFINITY; k];
+            let mut choice = vec![0usize; k];
+            for ti in 0..k {
+                for tt in 0..k {
+                    let c = cost[tt]
+                        + self.consume_cost(self.state(prev_layer, tt), cur, ti)
+                        + self.layer_costs[cur][ti];
+                    if c < next_cost[ti] {
+                        next_cost[ti] = c;
+                        choice[ti] = tt;
+                    }
+                }
+            }
+            cost = next_cost;
+            back.push(choice);
+        }
+        // Exit re-layout from the branch's last layer.
+        let last = branch.last().expect("non-empty").index();
+        let (mut best, mut best_ti) = (f64::INFINITY, 0);
+        for ti in 0..k {
+            let c = cost[ti] + self.relayout_cost(self.state(last, ti), exit, exit_elems);
+            if c < best {
+                best = c;
+                best_ti = ti;
+            }
+        }
+        // Backtrack type choices along the branch.
+        let mut types_rev = vec![best_ti];
+        let mut ti = best_ti;
+        for choice in back.iter().rev() {
+            ti = choice[ti];
+            types_rev.push(ti);
+        }
+        types_rev.reverse();
+        let assignment = branch
+            .iter()
+            .zip(types_rev)
+            .map(|(layer, ti)| (layer.index(), ti))
+            .collect();
+        (best, assignment)
+    }
+
+    /// Block cost between an entry state and a junction exit state: the
+    /// sum over branches of each branch's optimal internal path (§5.2).
+    fn block_cost(
+        &self,
+        branches: &[Vec<TrainLayer>],
+        entry: Option<State>,
+        exit: State,
+        fork_elems: u64,
+        forced: Option<&[usize]>,
+    ) -> (f64, Vec<(usize, usize)>) {
+        let mut total = 0.0;
+        let mut assignment = Vec::new();
+        for branch in branches {
+            let exit_elems = self.branch_exit_elems(branch, fork_elems);
+            let (c, a) = match forced {
+                None => self.branch_best(branch, entry, exit, exit_elems),
+                Some(f) => {
+                    if branch.is_empty() {
+                        self.branch_best(branch, entry, exit, exit_elems)
+                    } else {
+                        let types: Vec<usize> =
+                            branch.iter().map(|l| f[l.index()]).collect();
+                        let cost =
+                            self.branch_cost_fixed(branch, &types, entry, exit, exit_elems);
+                        let assignment = branch
+                            .iter()
+                            .zip(&types)
+                            .map(|(l, &ti)| (l.index(), ti))
+                            .collect();
+                        (cost, assignment)
+                    }
+                }
+            };
+            total += c;
+            assignment.extend(a);
+        }
+        (total, assignment)
+    }
+
+    /// Runs the dynamic program (Eq. 9) and returns the optimal plan for
+    /// this level.
+    #[must_use]
+    pub fn search(&self) -> SearchOutcome {
+        self.search_constrained(None)
+    }
+
+    /// Evaluates a *fixed* per-layer type assignment under the search's
+    /// objective: every layer's type is forced to `plan`'s choice (the
+    /// ratio is re-solved — ratios are a function of the type under this
+    /// searcher's solver), and only the blocks' internal junction states
+    /// remain free. By construction
+    /// `search().cost <= evaluate_plan(p)` for every plan `p`, which the
+    /// random-plan property tests assert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` has the wrong number of layers or uses a type
+    /// outside this searcher's configured space.
+    #[must_use]
+    pub fn evaluate_plan(&self, plan: &NetworkPlan) -> f64 {
+        assert_eq!(plan.len(), self.layers.len(), "one entry per weighted layer");
+        let forced: Vec<usize> = plan
+            .layers()
+            .iter()
+            .map(|entry| {
+                self.config
+                    .types
+                    .iter()
+                    .position(|&t| t == entry.ptype)
+                    .expect("plan type must be in the search space")
+            })
+            .collect();
+        self.search_constrained(Some(&forced)).cost
+    }
+
+    /// The DP with an optional per-layer forced type assignment.
+    fn search_constrained(&self, forced: Option<&[usize]>) -> SearchOutcome {
+        let k = self.k();
+        let allowed = |l: usize, ti: usize| forced.is_none_or(|f| f[l] == ti);
+        let mut cost: Option<Vec<f64>> = None;
+        let mut info: Vec<State> = Vec::new();
+        let mut steps: Vec<Step> = Vec::new();
+
+        for elem in self.view.elems() {
+            match elem {
+                TrainElem::Layer(layer) => {
+                    let l = layer.index();
+                    let mut next = vec![f64::INFINITY; k];
+                    let mut prev = vec![None; k];
+                    for ti in 0..k {
+                        if !allowed(l, ti) {
+                            continue;
+                        }
+                        match &cost {
+                            None => {
+                                next[ti] = self.layer_costs[l][ti];
+                            }
+                            Some(c) => {
+                                for tt in 0..k {
+                                    if c[tt].is_infinite() {
+                                        continue;
+                                    }
+                                    let v = c[tt]
+                                        + self.consume_cost(info[tt], l, ti)
+                                        + self.layer_costs[l][ti];
+                                    if v < next[ti] {
+                                        next[ti] = v;
+                                        prev[ti] = Some(tt);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    steps.push(Step::Layer { index: l, prev });
+                    cost = Some(next);
+                    info = (0..k).map(|ti| self.state(l, ti)).collect();
+                }
+                TrainElem::Block { branches, fork, .. } => {
+                    let fork_elems = self.scaled_fork_elems(branches, fork.size());
+                    let mut next = vec![f64::INFINITY; k];
+                    let mut prev = vec![None; k];
+                    let mut assignments: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k];
+                    for ti in 0..k {
+                        let exit = self.junction_state(branches, ti);
+                        match &cost {
+                            None => {
+                                let (c, a) =
+                                    self.block_cost(branches, None, exit, fork_elems, forced);
+                                next[ti] = c;
+                                assignments[ti] = a;
+                            }
+                            Some(cur) => {
+                                for tt in 0..k {
+                                    if cur[tt].is_infinite() {
+                                        continue;
+                                    }
+                                    let (c, a) = self.block_cost(
+                                        branches,
+                                        Some(info[tt]),
+                                        exit,
+                                        fork_elems,
+                                        forced,
+                                    );
+                                    let v = cur[tt] + c;
+                                    if v < next[ti] {
+                                        next[ti] = v;
+                                        prev[ti] = Some(tt);
+                                        assignments[ti] = a;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let junction: Vec<State> =
+                        (0..k).map(|ti| self.junction_state(branches, ti)).collect();
+                    steps.push(Step::Block { prev, assignments });
+                    cost = Some(next);
+                    info = junction;
+                }
+            }
+        }
+
+        let cost = cost.expect("a train view has at least one element");
+        let (mut ti, best) = cost
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i, c))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+            .expect("at least one state");
+
+        // Backtrack.
+        let n_layers = self.layers.len();
+        let mut plan = vec![LayerPlan::data_parallel(); n_layers];
+        for step in steps.iter().rev() {
+            match step {
+                Step::Layer { index, prev } => {
+                    plan[*index] = LayerPlan::new(self.config.types[ti], self.ratios[*index][ti]);
+                    if let Some(p) = prev[ti] {
+                        ti = p;
+                    }
+                }
+                Step::Block { prev, assignments } => {
+                    for &(layer_idx, a_ti) in &assignments[ti] {
+                        plan[layer_idx] =
+                            LayerPlan::new(self.config.types[a_ti], self.ratios[layer_idx][a_ti]);
+                    }
+                    if let Some(p) = prev[ti] {
+                        ti = p;
+                    }
+                }
+            }
+        }
+
+        SearchOutcome {
+            plan: NetworkPlan::new(plan),
+            cost: best,
+        }
+    }
+
+    /// Brute-force reference: enumerates every combination of trunk
+    /// states and block-internal types and returns the best. Exponential —
+    /// use only on small networks (tests and sanity checks).
+    #[must_use]
+    pub fn exhaustive(&self) -> SearchOutcome {
+        let k = self.k();
+        let elems = self.view.elems();
+        let mut best_cost = f64::INFINITY;
+        let mut best_plan: Vec<LayerPlan> = Vec::new();
+
+        // Recursively enumerate per-elem exit states and block internals.
+        #[allow(clippy::too_many_arguments)]
+        fn recurse(
+            s: &LevelSearcher<'_>,
+            elems: &[TrainElem],
+            entry: Option<State>,
+            acc: f64,
+            plan: &mut Vec<LayerPlan>,
+            best_cost: &mut f64,
+            best_plan: &mut Vec<LayerPlan>,
+            k: usize,
+        ) {
+            let Some((elem, rest)) = elems.split_first() else {
+                if acc < *best_cost {
+                    *best_cost = acc;
+                    *best_plan = plan.clone();
+                }
+                return;
+            };
+            match elem {
+                TrainElem::Layer(layer) => {
+                    let l = layer.index();
+                    for ti in 0..k {
+                        let edge = entry.map_or(0.0, |e| s.consume_cost(e, l, ti));
+                        let c = acc + edge + s.layer_costs[l][ti];
+                        plan[l] = LayerPlan::new(s.config.types[ti], s.ratios[l][ti]);
+                        recurse(s, rest, Some(s.state(l, ti)), c, plan, best_cost, best_plan, k);
+                    }
+                }
+                TrainElem::Block { branches, fork, .. } => {
+                    let fork_elems = s.scaled_fork_elems(branches, fork.size());
+                    for ti in 0..k {
+                        let exit = s.junction_state(branches, ti);
+                        // Enumerate every branch-internal assignment.
+                        enumerate_branches(
+                            s, branches, 0, entry, exit, fork_elems, acc, plan, best_cost,
+                            best_plan, rest, k,
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Enumerates internal type assignments branch by branch, then
+        /// continues with the remaining trunk.
+        #[allow(clippy::too_many_arguments)]
+        fn enumerate_branches(
+            s: &LevelSearcher<'_>,
+            branches: &[Vec<TrainLayer>],
+            b: usize,
+            entry: Option<State>,
+            exit: State,
+            fork_elems: u64,
+            acc: f64,
+            plan: &mut Vec<LayerPlan>,
+            best_cost: &mut f64,
+            best_plan: &mut Vec<LayerPlan>,
+            rest: &[TrainElem],
+            k: usize,
+        ) {
+            if b == branches.len() {
+                recurse(s, rest, Some(exit), acc, plan, best_cost, best_plan, k);
+                return;
+            }
+            let branch = &branches[b];
+            let exit_elems = s.branch_exit_elems(branch, fork_elems);
+            if branch.is_empty() {
+                let c = entry.map_or(0.0, |e| s.relayout_cost(e, exit, exit_elems));
+                enumerate_branches(
+                    s, branches, b + 1, entry, exit, fork_elems, acc + c, plan, best_cost,
+                    best_plan, rest, k,
+                );
+                return;
+            }
+            // Enumerate this branch's type vector.
+            let mut assignment = vec![0usize; branch.len()];
+            loop {
+                let c = s.branch_cost_fixed(branch, &assignment, entry, exit, exit_elems);
+                for (layer, &ti) in branch.iter().zip(&assignment) {
+                    plan[layer.index()] =
+                        LayerPlan::new(s.config.types[ti], s.ratios[layer.index()][ti]);
+                }
+                enumerate_branches(
+                    s, branches, b + 1, entry, exit, fork_elems, acc + c, plan, best_cost,
+                    best_plan, rest, k,
+                );
+                // Next assignment (odometer).
+                let mut pos = 0;
+                loop {
+                    if pos == assignment.len() {
+                        return;
+                    }
+                    assignment[pos] += 1;
+                    if assignment[pos] < k {
+                        break;
+                    }
+                    assignment[pos] = 0;
+                    pos += 1;
+                }
+            }
+        }
+
+        let n_layers = self.layers.len();
+        let mut plan = vec![LayerPlan::data_parallel(); n_layers];
+        recurse(
+            self,
+            elems,
+            None,
+            0.0,
+            &mut plan,
+            &mut best_cost,
+            &mut best_plan,
+            k,
+        );
+        SearchOutcome {
+            plan: NetworkPlan::new(best_plan),
+            cost: best_cost,
+        }
+    }
+
+    /// Cost of one branch under a fixed internal type assignment.
+    fn branch_cost_fixed(
+        &self,
+        branch: &[TrainLayer],
+        assignment: &[usize],
+        entry: Option<State>,
+        exit: State,
+        exit_elems: u64,
+    ) -> f64 {
+        let mut cost = 0.0;
+        let first = &branch[0];
+        if let Some(e) = entry {
+            cost += self.consume_cost(e, first.index(), assignment[0]);
+        }
+        cost += self.layer_costs[first.index()][assignment[0]];
+        for (i, pair) in branch.windows(2).enumerate() {
+            let prev = self.state(pair[0].index(), assignment[i]);
+            cost += self.consume_cost(prev, pair[1].index(), assignment[i + 1]);
+            cost += self.layer_costs[pair[1].index()][assignment[i + 1]];
+        }
+        let last = branch.last().expect("non-empty");
+        let last_state = self.state(last.index(), assignment[assignment.len() - 1]);
+        cost + self.relayout_cost(last_state, exit, exit_elems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accpar_cost::CostConfig;
+    use accpar_dnn::{Layer, NetworkBuilder};
+    use accpar_hw::{AcceleratorArray, GroupTree};
+    use accpar_tensor::{ConvGeometry, FeatureShape};
+
+    fn hetero_env() -> PairEnv {
+        let tree =
+            GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(4, 4), 1).unwrap();
+        PairEnv::from_node(tree.root()).unwrap()
+    }
+
+    fn fc_view(batch: usize, dims: &[usize]) -> TrainView {
+        let mut b = NetworkBuilder::new("t", FeatureShape::fc(batch, dims[0]));
+        for (i, pair) in dims.windows(2).enumerate() {
+            b = b.linear(format!("fc{i}"), pair[0], pair[1]);
+        }
+        b.build().unwrap().train_view().unwrap()
+    }
+
+    fn res_view() -> TrainView {
+        NetworkBuilder::new("r", FeatureShape::conv(16, 8, 8, 8))
+            .conv2d("stem", 8, 8, ConvGeometry::same(3))
+            .residual(
+                vec![
+                    Layer::conv2d("b1", 8, 8, ConvGeometry::same(3)),
+                    Layer::conv2d("b2", 8, 8, ConvGeometry::same(3)),
+                ],
+                vec![],
+            )
+            .residual(vec![Layer::conv2d("c1", 8, 8, ConvGeometry::same(3))], vec![])
+            .flatten("f")
+            .linear("fc", 8 * 64, 10)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap()
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_chains() {
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        for dims in [
+            vec![64, 32, 16],
+            vec![100, 200, 50, 25],
+            vec![32, 32, 32, 32, 32],
+        ] {
+            let view = fc_view(64, &dims);
+            let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+            let dp = s.search();
+            let brute = s.exhaustive();
+            assert!(
+                (dp.cost - brute.cost).abs() / brute.cost < 1e-12,
+                "dims {dims:?}: dp {} vs brute {}",
+                dp.cost,
+                brute.cost
+            );
+            assert_eq!(dp.plan, brute.plan, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_with_blocks() {
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        let view = res_view();
+        let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        let dp = s.search();
+        let brute = s.exhaustive();
+        assert!(
+            (dp.cost - brute.cost).abs() / brute.cost < 1e-12,
+            "dp {} vs brute {}",
+            dp.cost,
+            brute.cost
+        );
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_under_hypar_config() {
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::hypar());
+        let config = SearchConfig::hypar();
+        let view = fc_view(128, &[256, 512, 128, 64]);
+        let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        let dp = s.search();
+        let brute = s.exhaustive();
+        assert!((dp.cost - brute.cost).abs() <= 1e-9 * brute.cost.max(1.0));
+        // HyPar plans only use Types I and II.
+        assert_eq!(dp.plan.count(PartitionType::TypeIII), 0);
+    }
+
+    #[test]
+    fn search_beats_static_data_parallelism() {
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        // An MLP with huge weights: model partitioning must win somewhere.
+        let view = fc_view(64, &[4096, 4096, 4096]);
+        let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        let found = s.search();
+
+        // Evaluate all-Type-I-at-equal-ratio with the same cost tables.
+        let dp_types = [0usize; 2];
+        let mut dp_cost = 0.0;
+        let equal_config = SearchConfig {
+            types: vec![PartitionType::TypeI],
+            solver: RatioSolver::Fixed(Ratio::EQUAL),
+        };
+        let dp_search = LevelSearcher::new(&view, &model, &equal_config, &env, None).unwrap();
+        for (l, &ti) in dp_types.iter().enumerate() {
+            dp_cost += dp_search.layer_costs[l][ti];
+            if l > 0 {
+                dp_cost += dp_search.consume_cost(dp_search.state(l - 1, ti), l, ti);
+            }
+        }
+        assert!(found.cost < dp_cost, "{} vs {}", found.cost, dp_cost);
+    }
+
+    #[test]
+    fn empty_search_space_is_rejected() {
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig {
+            types: vec![],
+            solver: RatioSolver::PaperLinear,
+        };
+        let view = fc_view(8, &[4, 4]);
+        let err = LevelSearcher::new(&view, &model, &config, &env, None).unwrap_err();
+        assert_eq!(err, PlanError::EmptySearchSpace);
+    }
+
+    #[test]
+    fn restricting_the_space_never_helps() {
+        // AccPar's complete space must be at least as good as any subset
+        // (§3.5's argument against HyPar's incompleteness).
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let view = fc_view(128, &[512, 1024, 256]);
+        let full = SearchConfig::accpar();
+        let full_cost = LevelSearcher::new(&view, &model, &full, &env, None)
+            .unwrap()
+            .search()
+            .cost;
+        for subset in [
+            vec![PartitionType::TypeI],
+            vec![PartitionType::TypeI, PartitionType::TypeII],
+            vec![PartitionType::TypeII, PartitionType::TypeIII],
+        ] {
+            let config = SearchConfig {
+                types: subset.clone(),
+                solver: RatioSolver::PaperLinear,
+            };
+            let cost = LevelSearcher::new(&view, &model, &config, &env, None)
+                .unwrap()
+                .search()
+                .cost;
+            assert!(full_cost <= cost * (1.0 + 1e-12), "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    fn plans_cover_every_weighted_layer() {
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        let view = res_view();
+        let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        let outcome = s.search();
+        assert_eq!(outcome.plan.len(), view.weighted_len());
+    }
+
+    #[test]
+    fn evaluate_plan_matches_search_on_its_own_result() {
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        for view in [fc_view(64, &[100, 200, 50]), res_view()] {
+            let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+            let outcome = s.search();
+            let evaluated = s.evaluate_plan(&outcome.plan);
+            assert!(
+                (evaluated - outcome.cost).abs() <= 1e-12 * outcome.cost,
+                "search {} vs evaluate {}",
+                outcome.cost,
+                evaluated
+            );
+        }
+    }
+
+    #[test]
+    fn search_is_no_worse_than_any_random_plan() {
+        use accpar_partition::NetworkPlan;
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        for view in [fc_view(128, &[512, 256, 384, 128]), res_view()] {
+            let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+            let best = s.search().cost;
+            // A deterministic pseudo-random sweep over assignments.
+            let n = view.weighted_len();
+            for seed in 0..81usize {
+                let plan: NetworkPlan = (0..n)
+                    .map(|l| {
+                        let t = PartitionType::ALL[(seed / 3usize.pow((l % 4) as u32)) % 3];
+                        LayerPlan::new(t, Ratio::EQUAL)
+                    })
+                    .collect();
+                let cost = s.evaluate_plan(&plan);
+                assert!(
+                    best <= cost * (1.0 + 1e-12),
+                    "seed {seed}: search {best} vs plan {cost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan type must be in the search space")]
+    fn evaluate_plan_rejects_types_outside_the_space() {
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::hypar());
+        let config = SearchConfig::hypar(); // no Type-III
+        let view = fc_view(8, &[4, 4]);
+        let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        let plan = NetworkPlan::uniform(1, LayerPlan::new(PartitionType::TypeIII, Ratio::EQUAL));
+        let _ = s.evaluate_plan(&plan);
+    }
+
+    #[test]
+    fn scaled_search_costs_shrink() {
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        let view = fc_view(128, &[512, 512, 512]);
+        let full = LevelSearcher::new(&view, &model, &config, &env, None)
+            .unwrap()
+            .search()
+            .cost;
+        let quarter = vec![
+            ShardScales {
+                f_in: 0.25,
+                f_out: 0.25,
+                weight: 0.25,
+                flops: 0.25
+            };
+            view.weighted_len()
+        ];
+        let scaled = LevelSearcher::new(&view, &model, &config, &env, Some(quarter))
+            .unwrap()
+            .search()
+            .cost;
+        assert!(scaled < full);
+    }
+}

@@ -1,0 +1,342 @@
+//! Communication volumes: Table 4 (intra-layer partial sums) and Table 5
+//! (inter-layer tensor conversions), generalized to per-layer ratios.
+//!
+//! The paper's Table 5 assumes both layers use the same ratio `α`; AccPar
+//! as implemented here lets each layer carry its own ratio, so the
+//! conversion volume depends on the *producing* layer's ratio (what a
+//! group already holds) and the *consuming* layer's ratio (what it
+//! needs). With equal ratios the formulas reduce exactly to Table 5 —
+//! property-tested below.
+
+use accpar_dnn::TrainLayer;
+use accpar_partition::PartitionType;
+
+/// Elements of the partial-sum tensor one group fetches from its sibling
+/// during the type's psum phase (the numerator of Table 4).
+///
+/// * Type-I — `A(W_l)` (gradient partial sums),
+/// * Type-II — `A(F_{l+1})` (forward partial sums),
+/// * Type-III — `A(E_l) = A(F_l)` (backward partial sums).
+///
+/// Independent of the ratio: "intermediate results are accumulated
+/// locally and partial sum tensors are accessed remotely".
+#[must_use]
+pub fn intra_psum_elems(ptype: PartitionType, layer: &TrainLayer) -> u64 {
+    match ptype {
+        PartitionType::TypeI => layer.weight().size(),
+        PartitionType::TypeII => layer.out_fmap().size(),
+        PartitionType::TypeIII => layer.in_fmap().size(),
+    }
+}
+
+/// How much of a boundary tensor a group covers, in the leading-slice
+/// convention (the first group always takes the leading slice of the
+/// partitioned dimension; its sibling covers the complementary trailing
+/// slice of the same structure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Coverage {
+    /// A `frac` slice of the batch (row) dimension.
+    Rows(f64),
+    /// A `frac` slice of the channel (column) dimension.
+    Cols(f64),
+    /// The whole tensor.
+    Full,
+}
+
+/// Coverage of the boundary feature tensor `F` (output of layer `l`,
+/// input of layer `l+1`) that a group *holds* after layer `l` of type
+/// `t` finishes its forward phase (ratio = the group's share).
+fn holds_f(t: PartitionType, ratio: f64) -> Coverage {
+    match t {
+        // Type-I: F_{l+1} produced split by batch.
+        PartitionType::TypeI => Coverage::Rows(ratio),
+        // Type-II: after the forward psum each group holds the full F_{l+1}.
+        PartitionType::TypeII => Coverage::Full,
+        // Type-III: F_{l+1} produced split by D_o (the boundary channels).
+        PartitionType::TypeIII => Coverage::Cols(ratio),
+    }
+}
+
+/// Coverage of the boundary feature tensor a group *needs* as layer
+/// `l+1`'s input under type `t`.
+fn needs_f(t: PartitionType, ratio: f64) -> Coverage {
+    match t {
+        // Type-I: consumes its batch slice of F_l.
+        PartitionType::TypeI => Coverage::Rows(ratio),
+        // Type-II: consumes its D_i slice (the boundary channels).
+        PartitionType::TypeII => Coverage::Cols(ratio),
+        // Type-III: F_l is replicated — needs the whole tensor.
+        PartitionType::TypeIII => Coverage::Full,
+    }
+}
+
+/// Coverage of the boundary error tensor `E` that a group *holds* after
+/// layer `l+1` of type `t` finishes its backward phase. By the paper's
+/// constraint (`F` and `E` partitioned alike), this mirrors [`needs_f`]:
+/// Type-III's backward psum leaves the full `E_l` on both groups.
+fn holds_e(t: PartitionType, ratio: f64) -> Coverage {
+    match t {
+        PartitionType::TypeI => Coverage::Rows(ratio),
+        PartitionType::TypeII => Coverage::Cols(ratio),
+        PartitionType::TypeIII => Coverage::Full,
+    }
+}
+
+/// Coverage of the boundary error tensor layer `l` of type `t` *needs*
+/// (its input error `E_{l+1}`); mirrors [`holds_f`] — Type-II replicates
+/// `E_{l+1}`.
+fn needs_e(t: PartitionType, ratio: f64) -> Coverage {
+    match t {
+        PartitionType::TypeI => Coverage::Rows(ratio),
+        PartitionType::TypeII => Coverage::Full,
+        PartitionType::TypeIII => Coverage::Cols(ratio),
+    }
+}
+
+/// Fraction of the tensor that must be fetched remotely: `need \ hold` in
+/// the aligned-slice convention.
+fn missing(hold: Coverage, need: Coverage) -> f64 {
+    match (hold, need) {
+        (Coverage::Full, _) => 0.0,
+        // Same dimension: slices are aligned, overlap is the smaller.
+        (Coverage::Rows(h), Coverage::Rows(n)) | (Coverage::Cols(h), Coverage::Cols(n)) => {
+            (n - h).max(0.0)
+        }
+        // Orthogonal slices: the held rows cover an `h` fraction of every
+        // column, so `(1−h)` of the needed `n`-fraction is remote.
+        (Coverage::Rows(h), Coverage::Cols(n)) | (Coverage::Cols(h), Coverage::Rows(n)) => {
+            (1.0 - h) * n
+        }
+        (Coverage::Rows(h), Coverage::Full) | (Coverage::Cols(h), Coverage::Full) => 1.0 - h,
+    }
+}
+
+/// Inter-layer conversion volumes (in *elements*) fetched remotely by
+/// each group across the boundary between layer `l` (type `prev`, first
+/// group's ratio `alpha_prev`) and layer `l+1` (type `next`, ratio
+/// `alpha_next`).
+///
+/// `f_elems` / `e_elems` are `A(F_{l+1})` / `A(E_{l+1})` of the boundary
+/// (equal in the paper; kept separate for clarity). Returns
+/// `(group_a_elems, group_b_elems)` covering both the forward-direction
+/// `F` conversion and the backward-direction `E` conversion.
+#[must_use]
+pub fn inter_conversion_elems(
+    prev: PartitionType,
+    alpha_prev: f64,
+    next: PartitionType,
+    alpha_next: f64,
+    f_elems: u64,
+    e_elems: u64,
+) -> (f64, f64) {
+    let (f, e) = inter_conversion_split(prev, alpha_prev, next, alpha_next, f_elems, e_elems);
+    (f.0 + e.0, f.1 + e.1)
+}
+
+/// Like [`inter_conversion_elems`], but keeping the forward-direction `F`
+/// conversion and the backward-direction `E` conversion separate:
+/// returns `((f_a, f_b), (e_a, e_b))`. The simulator charges the `F` part
+/// at the start of the consumer's forward phase and the `E` part at the
+/// start of the producer's backward phase.
+#[must_use]
+pub fn inter_conversion_split(
+    prev: PartitionType,
+    alpha_prev: f64,
+    next: PartitionType,
+    alpha_next: f64,
+    f_elems: u64,
+    e_elems: u64,
+) -> ((f64, f64), (f64, f64)) {
+    let beta_prev = 1.0 - alpha_prev;
+    let beta_next = 1.0 - alpha_next;
+    let f = (
+        missing(holds_f(prev, alpha_prev), needs_f(next, alpha_next)) * f_elems as f64,
+        missing(holds_f(prev, beta_prev), needs_f(next, beta_next)) * f_elems as f64,
+    );
+    let e = (
+        missing(holds_e(next, alpha_next), needs_e(prev, alpha_prev)) * e_elems as f64,
+        missing(holds_e(next, beta_next), needs_e(prev, beta_prev)) * e_elems as f64,
+    );
+    (f, e)
+}
+
+/// Conversion volumes (in *elements*) needed to re-lay-out a block
+/// branch's output into the block's junction state (§5.2): the branch's
+/// last layer (type `from`) produced the join tensor in its own layout;
+/// the junction pseudo-state `to` requires the layout a type-`to` layer
+/// would have produced. Mirrored for the error direction: the junction
+/// forwards the error laid out as a type-`to` layer would need it, while
+/// the branch's last layer needs its own `needs_e` layout.
+///
+/// Identity (empty) branches use this with `from` = the fork state.
+/// When `from == to` and the ratios agree the volume is zero — a branch
+/// exiting in the junction's own state costs nothing, which is what makes
+/// the junction formulation collapse to plain chain costs on single-path
+/// segments.
+#[must_use]
+pub fn relayout_elems(
+    from: PartitionType,
+    alpha_from: f64,
+    to: PartitionType,
+    alpha_to: f64,
+    f_elems: u64,
+    e_elems: u64,
+) -> (f64, f64) {
+    let beta_from = 1.0 - alpha_from;
+    let beta_to = 1.0 - alpha_to;
+    let a = missing(holds_f(from, alpha_from), holds_f(to, alpha_to)) * f_elems as f64
+        + missing(needs_e(to, alpha_to), needs_e(from, alpha_from)) * e_elems as f64;
+    let b = missing(holds_f(from, beta_from), holds_f(to, beta_to)) * f_elems as f64
+        + missing(needs_e(to, beta_to), needs_e(from, beta_from)) * e_elems as f64;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accpar_dnn::NetworkBuilder;
+    use accpar_tensor::FeatureShape;
+    use proptest::prelude::*;
+    use PartitionType::{TypeI, TypeII, TypeIII};
+
+    fn fc_layer() -> TrainLayer {
+        NetworkBuilder::new("t", FeatureShape::fc(8, 20))
+            .linear("fc", 20, 30)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap()
+            .layers()
+            .next()
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn table_4_psum_tensors() {
+        let l = fc_layer();
+        assert_eq!(intra_psum_elems(TypeI, &l), 20 * 30); // A(W)
+        assert_eq!(intra_psum_elems(TypeII, &l), 8 * 30); // A(F_{l+1})
+        assert_eq!(intra_psum_elems(TypeIII, &l), 8 * 20); // A(E_l)
+    }
+
+    /// Table 5 with equal ratios `α` on both layers, for group a
+    /// (the `b_i` denominator is applied by the caller).
+    fn table5_expected(prev: PartitionType, next: PartitionType, alpha: f64, af: f64, ae: f64) -> f64 {
+        let beta = 1.0 - alpha;
+        match (prev, next) {
+            (TypeI, TypeI) | (TypeII, TypeIII) | (TypeIII, TypeII) => 0.0,
+            (TypeI, TypeII) | (TypeIII, TypeI) => alpha * beta * (af + ae),
+            (TypeI, TypeIII) | (TypeIII, TypeIII) => beta * af,
+            (TypeII, TypeI) | (TypeII, TypeII) => beta * ae,
+        }
+    }
+
+    #[test]
+    fn table_5_reproduced_at_equal_ratios() {
+        let (af, ae) = (240.0, 240.0);
+        for prev in PartitionType::ALL {
+            for next in PartitionType::ALL {
+                for alpha in [0.5, 0.3, 0.8] {
+                    let (got, _) =
+                        inter_conversion_elems(prev, alpha, next, alpha, 240, 240);
+                    let want = table5_expected(prev, next, alpha, af, ae);
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "{prev}->{next} alpha={alpha}: got {got}, want {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_b_mirrors_group_a_under_complement() {
+        for prev in PartitionType::ALL {
+            for next in PartitionType::ALL {
+                let (a, _) = inter_conversion_elems(prev, 0.3, next, 0.3, 100, 100);
+                let (_, b) = inter_conversion_elems(prev, 0.7, next, 0.7, 100, 100);
+                assert!((a - b).abs() < 1e-9, "{prev}->{next}");
+            }
+        }
+    }
+
+    #[test]
+    fn type_i_to_type_i_with_unequal_ratios_spills() {
+        // Same type but the batch slice grows between layers: the growth
+        // must be fetched.
+        let (a, b) = inter_conversion_elems(TypeI, 0.4, TypeI, 0.6, 100, 100);
+        // F: needs 0.6, holds 0.4 -> 0.2 of A(F). E: holds 0.6, needs 0.4 -> 0.
+        assert!((a - 20.0).abs() < 1e-9);
+        // Group b: F needs 0.4, holds 0.6 -> 0; E: holds 0.4, needs 0.6 -> 20.
+        assert!((b - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_c_type_i_to_type_iii() {
+        // §4.1.2: inter-layer amount is β·A(F_{l+1}) for group i, and
+        // α·A(F_{l+1}) for group j.
+        let (a, b) = inter_conversion_elems(TypeI, 0.75, TypeIII, 0.75, 1000, 1000);
+        assert!((a - 250.0).abs() < 1e-9);
+        assert!((b - 750.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn volumes_are_bounded_by_both_tensors(
+            pi in 0usize..3, ni in 0usize..3,
+            ap in 0.0f64..=1.0, an in 0.0f64..=1.0,
+        ) {
+            let (a, b) = inter_conversion_elems(
+                PartitionType::ALL[pi], ap, PartitionType::ALL[ni], an, 100, 100,
+            );
+            prop_assert!(a >= 0.0 && b >= 0.0);
+            prop_assert!(a <= 200.0 + 1e-9);
+            prop_assert!(b <= 200.0 + 1e-9);
+        }
+
+        #[test]
+        fn identical_types_and_ratios_never_convert_f_and_e_together_beyond_table5(
+            ti in 0usize..3, alpha in 0.0f64..=1.0,
+        ) {
+            // Diagonal entries of Table 5: I->I is 0; II->II is β·A(E);
+            // III->III is β·A(F).
+            let t = PartitionType::ALL[ti];
+            let (a, _) = inter_conversion_elems(t, alpha, t, alpha, 100, 100);
+            let want = match t {
+                TypeI => 0.0,
+                TypeII | TypeIII => (1.0 - alpha) * 100.0,
+            };
+            prop_assert!((a - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn relayout_to_same_state_is_free() {
+        for t in PartitionType::ALL {
+            for alpha in [0.25, 0.5, 0.9] {
+                let (a, b) = relayout_elems(t, alpha, t, alpha, 100, 100);
+                assert_eq!((a, b), (0.0, 0.0), "{t} {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn relayout_from_full_producer_is_free_in_f() {
+        // Type-II holds the full F after its psum: re-laying it out into
+        // any junction state moves no F data.
+        for t in PartitionType::ALL {
+            let (a, _) = relayout_elems(TypeII, 0.5, t, 0.5, 100, 0);
+            assert_eq!(a, 0.0, "{t}");
+        }
+    }
+
+    #[test]
+    fn relayout_rows_to_full_fetches_complement() {
+        // Type-I rows → Type-II junction (holds full F after psum):
+        // each group fetches the complement of its row slice.
+        let (a, b) = relayout_elems(TypeI, 0.25, TypeII, 0.25, 100, 0);
+        assert!((a - 75.0).abs() < 1e-9);
+        assert!((b - 25.0).abs() < 1e-9);
+    }
+}

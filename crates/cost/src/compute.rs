@@ -1,0 +1,173 @@
+//! Computation cost: the FLOP counts of Table 6 with the convolutional
+//! extension of §4.3, and the (optional) roofline refinement that bounds
+//! a phase by HBM traffic as well as peak FLOPS.
+
+use accpar_dnn::TrainLayer;
+use accpar_partition::{PartitionType, Phase};
+use accpar_tensor::DataFormat;
+
+/// Full (unpartitioned) FLOPs of one phase of a layer — Table 6:
+///
+/// | Multiplication | FLOP |
+/// |---|---|
+/// | `F_{l+1} = F_l × W_l`      | `A(F_{l+1}) · (2·D_i·k_h·k_w − 1)` |
+/// | `E_l = E_{l+1} × W_lᵀ`     | `A(E_l) · (2·D_o·k_h·k_w − 1)` |
+/// | `ΔW_l = F_lᵀ × E_{l+1}`    | `A(W_l) · (2·B·H_o·W_o − 1)` |
+///
+/// For FC layers the window and spatial factors are 1, reproducing the
+/// table verbatim.
+#[must_use]
+pub fn phase_flops(layer: &TrainLayer, phase: Phase) -> u64 {
+    match phase {
+        Phase::Forward => layer.forward_flops(),
+        Phase::Backward => layer.backward_flops(),
+        Phase::Gradient => layer.gradient_flops(),
+    }
+}
+
+/// Total FLOPs of a training step through the layer.
+#[must_use]
+pub fn total_flops(layer: &TrainLayer) -> u64 {
+    Phase::ALL.iter().map(|&p| phase_flops(layer, p)).sum()
+}
+
+/// Approximate HBM traffic (bytes) of one phase for a group with ratio
+/// `alpha` under partition type `ptype`: operands read + result written,
+/// honoring the type's replication rules. Used only by the roofline
+/// refinement (`CostConfig::roofline`), which is off by default to match
+/// the paper's Eq. 8.
+#[must_use]
+pub fn phase_mem_bytes(
+    layer: &TrainLayer,
+    ptype: PartitionType,
+    phase: Phase,
+    alpha: f64,
+    format: DataFormat,
+) -> f64 {
+    let f_in = layer.in_fmap().size() as f64;
+    let f_out = layer.out_fmap().size() as f64;
+    let w = layer.weight().size() as f64;
+    // Fractions of each tensor this group touches.
+    let (f_in_frac, w_frac, f_out_frac) = match ptype {
+        PartitionType::TypeI => (alpha, 1.0, alpha),
+        PartitionType::TypeII => (alpha, alpha, 1.0),
+        PartitionType::TypeIII => (1.0, alpha, alpha),
+    };
+    let elems = match phase {
+        // read F_l and W_l, write F_{l+1}
+        Phase::Forward => f_in * f_in_frac + w * w_frac + f_out * f_out_frac,
+        // read E_{l+1} and W_l, write E_l
+        Phase::Backward => f_out * f_out_frac + w * w_frac + f_in * f_in_frac,
+        // read F_l and E_{l+1}, write ΔW_l
+        Phase::Gradient => f_in * f_in_frac + f_out * f_out_frac + w * w_frac,
+    };
+    format.bytes_f64(elems)
+}
+
+/// Computation time in seconds for a group with computation density
+/// `c_flops` (FLOP/s) executing its `alpha` share of one phase (Eq. 8),
+/// optionally bounded below by HBM traffic at `mem_bw` bytes/s.
+#[must_use]
+pub fn phase_secs(
+    layer: &TrainLayer,
+    ptype: PartitionType,
+    phase: Phase,
+    alpha: f64,
+    c_flops: f64,
+    roofline: Option<(f64, DataFormat)>,
+) -> f64 {
+    let flops = alpha * phase_flops(layer, phase) as f64;
+    let compute = flops / c_flops;
+    match roofline {
+        None => compute,
+        Some((mem_bw, format)) => {
+            let mem = phase_mem_bytes(layer, ptype, phase, alpha, format) / mem_bw;
+            compute.max(mem)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accpar_dnn::NetworkBuilder;
+    use accpar_tensor::FeatureShape;
+
+    fn fc_layer() -> TrainLayer {
+        NetworkBuilder::new("t", FeatureShape::fc(8, 20))
+            .linear("fc", 20, 30)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap()
+            .layers()
+            .next()
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn table_6_fc_flops() {
+        let l = fc_layer();
+        // (B, D_i, D_o) = (8, 20, 30)
+        assert_eq!(phase_flops(&l, Phase::Forward), 8 * 30 * (2 * 20 - 1));
+        assert_eq!(phase_flops(&l, Phase::Backward), 8 * 20 * (2 * 30 - 1));
+        assert_eq!(phase_flops(&l, Phase::Gradient), 20 * 30 * (2 * 8 - 1));
+        assert_eq!(
+            total_flops(&l),
+            phase_flops(&l, Phase::Forward)
+                + phase_flops(&l, Phase::Backward)
+                + phase_flops(&l, Phase::Gradient)
+        );
+    }
+
+    #[test]
+    fn compute_time_scales_with_ratio_and_density() {
+        let l = fc_layer();
+        let t_full = phase_secs(&l, PartitionType::TypeI, Phase::Forward, 1.0, 1e9, None);
+        let t_half = phase_secs(&l, PartitionType::TypeI, Phase::Forward, 0.5, 1e9, None);
+        let t_fast = phase_secs(&l, PartitionType::TypeI, Phase::Forward, 1.0, 2e9, None);
+        assert!((t_half - t_full / 2.0).abs() < 1e-18);
+        assert!((t_fast - t_full / 2.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn roofline_binds_when_memory_is_slow() {
+        let l = fc_layer();
+        // Absurdly slow memory: time must exceed the pure compute time.
+        let slow = phase_secs(
+            &l,
+            PartitionType::TypeI,
+            Phase::Forward,
+            0.5,
+            1e12,
+            Some((1.0, DataFormat::Bf16)),
+        );
+        let pure = phase_secs(&l, PartitionType::TypeI, Phase::Forward, 0.5, 1e12, None);
+        assert!(slow > pure);
+        // Infinitely fast memory: roofline changes nothing.
+        let fast = phase_secs(
+            &l,
+            PartitionType::TypeI,
+            Phase::Forward,
+            0.5,
+            1e12,
+            Some((f64::INFINITY, DataFormat::Bf16)),
+        );
+        assert_eq!(fast, pure);
+    }
+
+    #[test]
+    fn mem_traffic_respects_replication() {
+        let l = fc_layer();
+        // Type-I touches the whole weight regardless of alpha.
+        let t1 = phase_mem_bytes(&l, PartitionType::TypeI, Phase::Forward, 0.1, DataFormat::Bf16);
+        let t2 = phase_mem_bytes(&l, PartitionType::TypeII, Phase::Forward, 0.1, DataFormat::Bf16);
+        // Type-II reads only its alpha share of W but writes full F_{l+1}.
+        let w = (20 * 30) as f64 * 2.0;
+        let f_in = (8 * 20) as f64 * 2.0;
+        let f_out = (8 * 30) as f64 * 2.0;
+        assert!((t1 - (0.1 * f_in + w + 0.1 * f_out)).abs() < 1e-9);
+        assert!((t2 - (0.1 * f_in + 0.1 * w + f_out)).abs() < 1e-9);
+    }
+}

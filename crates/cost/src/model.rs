@@ -1,0 +1,507 @@
+use crate::{comm, compute};
+use accpar_dnn::TrainLayer;
+use accpar_hw::{GroupCaps, GroupNode};
+use accpar_partition::{PartitionType, Phase, Ratio, ShardScales};
+use accpar_tensor::DataFormat;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the model minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Objective {
+    /// The AccPar objective: computation **and** communication time,
+    /// heterogeneity-aware (Eq. 7 + Eq. 8).
+    #[default]
+    Full,
+    /// The HyPar proxy: total communicated *elements*, ignoring compute
+    /// and bandwidth (§3.5: HyPar "uses only communication as the proxy
+    /// for performance").
+    CommOnly,
+}
+
+/// Configuration of a [`CostModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostConfig {
+    /// Training data format; the paper uses bf16.
+    pub format: DataFormat,
+    /// Full cost or communication-only proxy.
+    pub objective: Objective,
+    /// Bound compute phases by HBM traffic as well as peak FLOPS
+    /// (ablation; the paper's Eq. 8 is pure compute, so default `false`).
+    pub roofline: bool,
+    /// Skip the backward phase of the network's first weighted layer (no
+    /// error propagates to the input). Off by default: the paper's cost
+    /// tables make no exception.
+    pub skip_first_backward: bool,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        Self {
+            format: DataFormat::Bf16,
+            objective: Objective::Full,
+            roofline: false,
+            skip_first_backward: false,
+        }
+    }
+}
+
+impl CostConfig {
+    /// The configuration HyPar's search uses: communication elements only.
+    #[must_use]
+    pub fn hypar() -> Self {
+        Self {
+            objective: Objective::CommOnly,
+            ..Self::default()
+        }
+    }
+}
+
+/// The execution environment of one bisection level: the two groups'
+/// aggregate capabilities and the bandwidth each uses to reach the other
+/// across the cut.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairEnv {
+    /// First group's compute capabilities.
+    pub caps_a: GroupCaps,
+    /// Second group's compute capabilities.
+    pub caps_b: GroupCaps,
+    /// Bandwidth (bytes/s) group A uses to access group B's memory.
+    pub link_a: f64,
+    /// Bandwidth (bytes/s) group B uses to access group A's memory.
+    pub link_b: f64,
+}
+
+impl PairEnv {
+    /// Builds the environment from a bisected [`GroupNode`]'s children.
+    /// Returns `None` for a leaf node.
+    #[must_use]
+    pub fn from_node(node: &GroupNode) -> Option<Self> {
+        let (a, b) = node.children()?;
+        Some(Self {
+            caps_a: a.caps(),
+            caps_b: b.caps(),
+            link_a: a.link_bw(),
+            link_b: b.link_bw(),
+        })
+    }
+
+    /// A symmetric environment (used by tests and the homogeneous
+    /// baselines): both groups share `caps` and `link`.
+    #[must_use]
+    pub fn symmetric(caps: GroupCaps, link: f64) -> Self {
+        Self {
+            caps_a: caps,
+            caps_b: caps,
+            link_a: link,
+            link_b: link,
+        }
+    }
+
+    /// Ratio of group A's compute density to the pair total — the
+    /// compute-proportional share, a useful initial guess for `α`.
+    #[must_use]
+    pub fn flops_share_a(&self) -> f64 {
+        self.caps_a.flops / (self.caps_a.flops + self.caps_b.flops)
+    }
+}
+
+/// A cost borne by the two groups of a pair, in seconds (or element
+/// counts under [`Objective::CommOnly`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PairCost {
+    /// Group A's cost.
+    pub a: f64,
+    /// Group B's cost.
+    pub b: f64,
+}
+
+impl PairCost {
+    /// Zero cost.
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self { a: 0.0, b: 0.0 }
+    }
+
+    /// The pair's makespan: the groups run concurrently, so the step time
+    /// is the slower side.
+    #[must_use]
+    pub fn makespan(&self) -> f64 {
+        self.a.max(self.b)
+    }
+
+    /// Total over both groups (the HyPar communication-amount metric).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.a + self.b
+    }
+
+    /// Element-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: PairCost) -> Self {
+        Self {
+            a: self.a + other.a,
+            b: self.b + other.b,
+        }
+    }
+}
+
+impl fmt::Display for PairCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(a: {:.3e}, b: {:.3e})", self.a, self.b)
+    }
+}
+
+/// The AccPar cost model: computation (Eq. 8, Table 6) plus communication
+/// (Eq. 7, Tables 4 and 5) for a heterogeneous pair of accelerator
+/// groups.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel {
+    config: CostConfig,
+}
+
+impl CostModel {
+    /// Creates a model with the given configuration.
+    #[must_use]
+    pub const fn new(config: CostConfig) -> Self {
+        Self { config }
+    }
+
+    /// The model's configuration.
+    #[must_use]
+    pub const fn config(&self) -> CostConfig {
+        self.config
+    }
+
+    /// Cost of executing one weighted layer under type `ptype` with group
+    /// A's ratio `alpha`: the three compute phases (Eq. 8) plus the
+    /// intra-layer partial-sum exchange (Table 4). `scales` describes the
+    /// shard this pair operates on (the ancestors' shares in a
+    /// hierarchical partition); pass [`ShardScales::full`] at the top
+    /// level.
+    #[must_use]
+    pub fn layer_cost(
+        &self,
+        layer: &TrainLayer,
+        ptype: PartitionType,
+        alpha: Ratio,
+        env: &PairEnv,
+        scales: ShardScales,
+    ) -> PairCost {
+        let psum = comm::intra_psum_elems(ptype, layer) as f64 * scales.psum_scale(ptype);
+        match self.config.objective {
+            Objective::CommOnly => {
+                // HyPar counts communicated elements; both groups fetch
+                // the sibling's partial tensor.
+                PairCost { a: psum, b: psum }
+            }
+            Objective::Full => {
+                let bytes = self.config.format.bytes_f64(psum);
+                PairCost {
+                    a: self.group_secs(
+                        layer,
+                        ptype,
+                        alpha.value() * scales.flops,
+                        &env.caps_a,
+                    ) + bytes / env.link_a,
+                    b: self.group_secs(
+                        layer,
+                        ptype,
+                        alpha.complement().value() * scales.flops,
+                        &env.caps_b,
+                    ) + bytes / env.link_b,
+                }
+            }
+        }
+    }
+
+    /// Compute seconds for one group across the three phases.
+    fn group_secs(
+        &self,
+        layer: &TrainLayer,
+        ptype: PartitionType,
+        share: f64,
+        caps: &GroupCaps,
+    ) -> f64 {
+        let roofline = self
+            .config
+            .roofline
+            .then_some((caps.mem_bw, self.config.format));
+        Phase::ALL
+            .iter()
+            .filter(|&&p| {
+                !(self.config.skip_first_backward && layer.index() == 0 && p == Phase::Backward)
+            })
+            .map(|&p| compute::phase_secs(layer, ptype, p, share, caps.flops, roofline))
+            .sum()
+    }
+
+    /// Cost of the tensor conversion between consecutive layers (Table 5,
+    /// generalized to per-layer ratios): layer `l` of type `prev` with
+    /// group-A ratio `alpha_prev`, layer `l+1` of type `next` with ratio
+    /// `alpha_next`, and a boundary tensor of `f_elems` / `e_elems`
+    /// elements.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn edge_cost(
+        &self,
+        prev: PartitionType,
+        alpha_prev: Ratio,
+        next: PartitionType,
+        alpha_next: Ratio,
+        f_elems: u64,
+        e_elems: u64,
+        env: &PairEnv,
+    ) -> PairCost {
+        let (a_elems, b_elems) = comm::inter_conversion_elems(
+            prev,
+            alpha_prev.value(),
+            next,
+            alpha_next.value(),
+            f_elems,
+            e_elems,
+        );
+        match self.config.objective {
+            Objective::CommOnly => PairCost {
+                a: a_elems,
+                b: b_elems,
+            },
+            Objective::Full => PairCost {
+                a: self.config.format.bytes_f64(a_elems) / env.link_a,
+                b: self.config.format.bytes_f64(b_elems) / env.link_b,
+            },
+        }
+    }
+
+    /// Cost of re-laying-out a block branch's output into a junction
+    /// state (see [`comm::relayout_elems`]); used by the multi-path
+    /// search (§5.2).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn relayout_cost(
+        &self,
+        from: PartitionType,
+        alpha_from: Ratio,
+        to: PartitionType,
+        alpha_to: Ratio,
+        f_elems: u64,
+        e_elems: u64,
+        env: &PairEnv,
+    ) -> PairCost {
+        let (a_elems, b_elems) = comm::relayout_elems(
+            from,
+            alpha_from.value(),
+            to,
+            alpha_to.value(),
+            f_elems,
+            e_elems,
+        );
+        match self.config.objective {
+            Objective::CommOnly => PairCost {
+                a: a_elems,
+                b: b_elems,
+            },
+            Objective::Full => PairCost {
+                a: self.config.format.bytes_f64(a_elems) / env.link_a,
+                b: self.config.format.bytes_f64(b_elems) / env.link_b,
+            },
+        }
+    }
+
+    /// The scalar the DP minimizes for a [`PairCost`]: the makespan under
+    /// the full objective, the total element count under the
+    /// communication-only proxy.
+    #[must_use]
+    pub fn scalarize(&self, cost: PairCost) -> f64 {
+        match self.config.objective {
+            Objective::Full => cost.makespan(),
+            Objective::CommOnly => cost.total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accpar_dnn::NetworkBuilder;
+    use accpar_hw::{AcceleratorArray, GroupTree};
+    use accpar_tensor::FeatureShape;
+
+    fn fc_layer() -> TrainLayer {
+        NetworkBuilder::new("t", FeatureShape::fc(64, 100))
+            .linear("fc", 100, 200)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap()
+            .layers()
+            .next()
+            .unwrap()
+            .clone()
+    }
+
+    fn hetero_env() -> PairEnv {
+        let tree =
+            GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(4, 4), 1).unwrap();
+        PairEnv::from_node(tree.root()).unwrap()
+    }
+
+    #[test]
+    fn equal_split_on_heterogeneous_pair_leaves_v2_as_bottleneck() {
+        let model = CostModel::new(CostConfig::default());
+        let cost = model.layer_cost(&fc_layer(), PartitionType::TypeI, Ratio::EQUAL, &hetero_env(), ShardScales::full());
+        assert!(cost.a > cost.b, "v2 group (a) must be slower: {cost}");
+        assert_eq!(model.scalarize(cost), cost.a);
+    }
+
+    #[test]
+    fn shifting_work_to_v3_reduces_makespan() {
+        let model = CostModel::new(CostConfig::default());
+        let env = hetero_env();
+        let layer = fc_layer();
+        let equal = model.layer_cost(&layer, PartitionType::TypeI, Ratio::EQUAL, &env, ShardScales::full());
+        let shifted =
+            model.layer_cost(&layer, PartitionType::TypeI, Ratio::new(0.3).unwrap(), &env, ShardScales::full());
+        assert!(shifted.makespan() < equal.makespan());
+    }
+
+    #[test]
+    fn comm_only_counts_elements() {
+        let model = CostModel::new(CostConfig::hypar());
+        let layer = fc_layer();
+        let env = hetero_env();
+        let cost = model.layer_cost(&layer, PartitionType::TypeI, Ratio::EQUAL, &env, ShardScales::full());
+        // Both groups fetch A(W) = 100·200 elements.
+        assert_eq!(cost.a, 20_000.0);
+        assert_eq!(cost.b, 20_000.0);
+        assert_eq!(model.scalarize(cost), 40_000.0);
+        // Ratio-independent and hardware-independent.
+        let cost2 = model.layer_cost(&layer, PartitionType::TypeI, Ratio::new(0.9).unwrap(), &env, ShardScales::full());
+        assert_eq!(cost.a, cost2.a);
+    }
+
+    #[test]
+    fn edge_cost_zero_for_free_conversions() {
+        let model = CostModel::new(CostConfig::default());
+        let env = hetero_env();
+        for (prev, next) in [
+            (PartitionType::TypeI, PartitionType::TypeI),
+            (PartitionType::TypeII, PartitionType::TypeIII),
+            (PartitionType::TypeIII, PartitionType::TypeII),
+        ] {
+            let c = model.edge_cost(prev, Ratio::EQUAL, next, Ratio::EQUAL, 1000, 1000, &env);
+            assert_eq!(c.makespan(), 0.0, "{prev}->{next}");
+        }
+    }
+
+    #[test]
+    fn edge_cost_uses_each_groups_own_bandwidth() {
+        let model = CostModel::new(CostConfig::default());
+        let env = hetero_env();
+        // I->III at equal ratio: both groups fetch β·A(F) = α·A(F) elems,
+        // but v3 (group b) fetches at twice the bandwidth.
+        let c = model.edge_cost(
+            PartitionType::TypeI,
+            Ratio::EQUAL,
+            PartitionType::TypeIII,
+            Ratio::EQUAL,
+            1000,
+            1000,
+            &env,
+        );
+        assert!(c.a > c.b);
+        assert!((c.a / c.b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skip_first_backward_reduces_cost() {
+        let layer = fc_layer();
+        let env = hetero_env();
+        let with = CostModel::new(CostConfig::default());
+        let without = CostModel::new(CostConfig {
+            skip_first_backward: true,
+            ..CostConfig::default()
+        });
+        let c_with = with.layer_cost(&layer, PartitionType::TypeI, Ratio::EQUAL, &env, ShardScales::full());
+        let c_without = without.layer_cost(&layer, PartitionType::TypeI, Ratio::EQUAL, &env, ShardScales::full());
+        assert!(c_without.a < c_with.a);
+    }
+
+    #[test]
+    fn roofline_never_reduces_cost() {
+        let layer = fc_layer();
+        let env = hetero_env();
+        let plain = CostModel::new(CostConfig::default());
+        let roofline = CostModel::new(CostConfig {
+            roofline: true,
+            ..CostConfig::default()
+        });
+        for t in PartitionType::ALL {
+            let c0 = plain.layer_cost(&layer, t, Ratio::EQUAL, &env, ShardScales::full());
+            let c1 = roofline.layer_cost(&layer, t, Ratio::EQUAL, &env, ShardScales::full());
+            assert!(c1.a >= c0.a && c1.b >= c0.b, "{t}");
+        }
+    }
+
+    #[test]
+    fn pair_cost_algebra() {
+        let c = PairCost { a: 1.0, b: 2.0 };
+        assert_eq!(c.makespan(), 2.0);
+        assert_eq!(c.total(), 3.0);
+        let s = c.plus(PairCost { a: 0.5, b: 0.5 });
+        assert_eq!(s.a, 1.5);
+        assert_eq!(s.b, 2.5);
+        assert_eq!(PairCost::zero().makespan(), 0.0);
+    }
+
+    #[test]
+    fn swapping_groups_mirrors_the_costs() {
+        // Relabeling the two groups (swap caps/links, complement the
+        // ratio) must swap the per-group costs exactly.
+        let model = CostModel::new(CostConfig::default());
+        let env = hetero_env();
+        let swapped = PairEnv {
+            caps_a: env.caps_b,
+            caps_b: env.caps_a,
+            link_a: env.link_b,
+            link_b: env.link_a,
+        };
+        let layer = fc_layer();
+        for t in PartitionType::ALL {
+            for alpha in [0.2, 0.5, 0.9] {
+                let r = Ratio::new(alpha).unwrap();
+                let c = model.layer_cost(&layer, t, r, &env, ShardScales::full());
+                let m = model.layer_cost(&layer, t, r.complement(), &swapped, ShardScales::full());
+                assert!((c.a - m.b).abs() < 1e-18, "{t} {alpha}");
+                assert!((c.b - m.a).abs() < 1e-18, "{t} {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_costs_shrink_proportionally() {
+        let model = CostModel::new(CostConfig::default());
+        let env = hetero_env();
+        let layer = fc_layer();
+        let half = ShardScales {
+            f_in: 0.5,
+            f_out: 0.5,
+            weight: 0.5,
+            flops: 0.5,
+        };
+        for t in PartitionType::ALL {
+            let full = model.layer_cost(&layer, t, Ratio::EQUAL, &env, ShardScales::full());
+            let scaled = model.layer_cost(&layer, t, Ratio::EQUAL, &env, half);
+            // Every term scales by 1/2 under a uniform half shard.
+            assert!((scaled.a - full.a / 2.0).abs() < 1e-15, "{t}");
+            assert!((scaled.b - full.b / 2.0).abs() < 1e-15, "{t}");
+        }
+    }
+
+    #[test]
+    fn flops_share_matches_v2_v3_ratio() {
+        let env = hetero_env();
+        // 180 / (180 + 420) = 0.3
+        assert!((env.flops_share_a() - 0.3).abs() < 1e-12);
+    }
+}

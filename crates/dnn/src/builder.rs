@@ -1,0 +1,202 @@
+use crate::error::NetworkError;
+use crate::layer::{Activation, Layer, PoolKind};
+use crate::network::{JoinOp, Network, SegmentSpec};
+use accpar_tensor::{ConvGeometry, FeatureShape};
+
+/// Fluent, consuming builder for [`Network`].
+///
+/// Shape resolution happens at [`NetworkBuilder::build`]; until then the
+/// builder only records layer specifications, so construction itself never
+/// fails.
+///
+/// # Example
+///
+/// ```
+/// use accpar_dnn::NetworkBuilder;
+/// use accpar_tensor::{ConvGeometry, FeatureShape};
+///
+/// let net = NetworkBuilder::new("toy", FeatureShape::conv(16, 3, 32, 32))
+///     .conv2d("conv1", 3, 32, ConvGeometry::same(3))
+///     .relu("relu1")
+///     .max_pool("pool1", ConvGeometry::new(2, 2, 0))
+///     .flatten("flat")
+///     .linear("fc", 32 * 16 * 16, 10)
+///     .build()?;
+/// assert_eq!(net.output().channels(), 10);
+/// # Ok::<(), accpar_dnn::NetworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    input: FeatureShape,
+    specs: Vec<SegmentSpec>,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with the given name and batched input shape.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input: FeatureShape) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Appends an arbitrary layer to the trunk.
+    #[must_use]
+    pub fn layer(mut self, layer: Layer) -> Self {
+        self.specs.push(SegmentSpec::Single(layer));
+        self
+    }
+
+    /// Appends a 2-D convolution.
+    #[must_use]
+    pub fn conv2d(
+        self,
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        geom: ConvGeometry,
+    ) -> Self {
+        self.layer(Layer::conv2d(name, c_in, c_out, geom))
+    }
+
+    /// Appends a fully-connected layer.
+    #[must_use]
+    pub fn linear(self, name: impl Into<String>, d_in: usize, d_out: usize) -> Self {
+        self.layer(Layer::linear(name, d_in, d_out))
+    }
+
+    /// Appends a ReLU activation.
+    #[must_use]
+    pub fn relu(self, name: impl Into<String>) -> Self {
+        self.layer(Layer::activation(name, Activation::Relu))
+    }
+
+    /// Appends a max-pooling layer.
+    #[must_use]
+    pub fn max_pool(self, name: impl Into<String>, geom: ConvGeometry) -> Self {
+        self.layer(Layer::pool(name, PoolKind::Max, geom))
+    }
+
+    /// Appends an average-pooling layer.
+    #[must_use]
+    pub fn avg_pool(self, name: impl Into<String>, geom: ConvGeometry) -> Self {
+        self.layer(Layer::pool(name, PoolKind::Avg, geom))
+    }
+
+    /// Appends a batch-normalization layer.
+    #[must_use]
+    pub fn batch_norm(self, name: impl Into<String>) -> Self {
+        self.layer(Layer::new(name, crate::LayerKind::BatchNorm))
+    }
+
+    /// Appends a local-response-normalization layer (AlexNet).
+    #[must_use]
+    pub fn lrn(self, name: impl Into<String>) -> Self {
+        self.layer(Layer::new(name, crate::LayerKind::LocalResponseNorm))
+    }
+
+    /// Appends a dropout layer.
+    #[must_use]
+    pub fn dropout(self, name: impl Into<String>) -> Self {
+        self.layer(Layer::new(name, crate::LayerKind::Dropout))
+    }
+
+    /// Appends a flatten layer.
+    #[must_use]
+    pub fn flatten(self, name: impl Into<String>) -> Self {
+        self.layer(Layer::flatten(name))
+    }
+
+    /// Appends a softmax layer.
+    #[must_use]
+    pub fn softmax(self, name: impl Into<String>) -> Self {
+        self.layer(Layer::new(name, crate::LayerKind::Softmax))
+    }
+
+    /// Appends a multi-branch block. An empty branch is an identity
+    /// shortcut.
+    #[must_use]
+    pub fn block(mut self, join: JoinOp, branches: Vec<Vec<Layer>>) -> Self {
+        self.specs.push(SegmentSpec::Block { branches, join });
+        self
+    }
+
+    /// Appends a residual block: `branch` in parallel with an identity (or
+    /// the given projection) shortcut, joined by element-wise addition.
+    #[must_use]
+    pub fn residual(self, branch: Vec<Layer>, shortcut: Vec<Layer>) -> Self {
+        self.block(JoinOp::Add, vec![branch, shortcut])
+    }
+
+    /// Resolves shapes and produces the network.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::build`].
+    pub fn build(self) -> Result<Network, NetworkError> {
+        Network::build(self.name, self.input, self.specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_manual_construction() {
+        let built = NetworkBuilder::new("m", FeatureShape::fc(2, 8))
+            .linear("fc1", 8, 4)
+            .relu("r")
+            .linear("fc2", 4, 2)
+            .build()
+            .unwrap();
+        let manual = Network::build(
+            "m",
+            FeatureShape::fc(2, 8),
+            vec![
+                SegmentSpec::Single(Layer::linear("fc1", 8, 4)),
+                SegmentSpec::Single(Layer::activation("r", Activation::Relu)),
+                SegmentSpec::Single(Layer::linear("fc2", 4, 2)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(built, manual);
+    }
+
+    #[test]
+    fn residual_builder() {
+        let net = NetworkBuilder::new("r", FeatureShape::conv(2, 8, 4, 4))
+            .residual(
+                vec![
+                    Layer::conv2d("c1", 8, 8, ConvGeometry::same(3)),
+                    Layer::conv2d("c2", 8, 8, ConvGeometry::same(3)),
+                ],
+                vec![],
+            )
+            .build()
+            .unwrap();
+        assert_eq!(net.output(), net.input());
+        assert_eq!(net.weighted_layers().count(), 2);
+    }
+
+    #[test]
+    fn every_helper_compiles_into_a_layer() {
+        let net = NetworkBuilder::new("all", FeatureShape::conv(1, 4, 8, 8))
+            .conv2d("c", 4, 8, ConvGeometry::same(3))
+            .batch_norm("bn")
+            .relu("r")
+            .lrn("lrn")
+            .max_pool("mp", ConvGeometry::new(2, 2, 0))
+            .avg_pool("ap", ConvGeometry::new(2, 2, 0))
+            .dropout("do")
+            .flatten("fl")
+            .linear("fc", 8 * 2 * 2, 4)
+            .softmax("sm")
+            .build()
+            .unwrap();
+        assert_eq!(net.len(), 10);
+    }
+}

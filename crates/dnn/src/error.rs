@@ -1,0 +1,113 @@
+use accpar_tensor::ShapeError;
+use std::fmt;
+
+/// Errors produced while constructing or analyzing a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A layer's expected input does not match the tensor flowing into it.
+    Shape {
+        /// Name of the offending layer.
+        layer: String,
+        /// The underlying shape error.
+        source: ShapeError,
+    },
+    /// A layer expects a different channel count than it receives.
+    ChannelMismatch {
+        /// Name of the offending layer.
+        layer: String,
+        /// Channels the layer was declared with.
+        expected: usize,
+        /// Channels actually flowing in.
+        found: usize,
+    },
+    /// The branches of a parallel block produce different output shapes
+    /// under an element-wise join.
+    BranchMismatch {
+        /// Rendering of the first branch's output shape.
+        first: String,
+        /// Rendering of the mismatching branch's output shape.
+        other: String,
+    },
+    /// A network must contain at least one weighted layer.
+    NoWeightedLayer,
+    /// A parallel block must contain at least one branch with a layer.
+    EmptyBlock,
+    /// The DAG cannot be decomposed into a series-parallel network.
+    NotSeriesParallel(String),
+    /// The DAG is malformed (cycle, missing node, multiple sources/sinks).
+    InvalidGraph(String),
+    /// A fully-connected layer received a non-flat feature map; insert a
+    /// `Flatten` layer first.
+    NotFlattened {
+        /// Name of the offending layer.
+        layer: String,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Shape { layer, source } => {
+                write!(f, "layer `{layer}`: {source}")
+            }
+            NetworkError::ChannelMismatch {
+                layer,
+                expected,
+                found,
+            } => write!(
+                f,
+                "layer `{layer}` expects {expected} input channels but receives {found}"
+            ),
+            NetworkError::BranchMismatch { first, other } => write!(
+                f,
+                "parallel branches disagree on output shape: {first} vs {other}"
+            ),
+            NetworkError::NoWeightedLayer => {
+                write!(f, "network contains no weighted layer to partition")
+            }
+            NetworkError::EmptyBlock => {
+                write!(f, "parallel block contains no layers in any branch")
+            }
+            NetworkError::NotSeriesParallel(msg) => {
+                write!(f, "graph is not series-parallel: {msg}")
+            }
+            NetworkError::InvalidGraph(msg) => write!(f, "invalid layer graph: {msg}"),
+            NetworkError::NotFlattened { layer } => write!(
+                f,
+                "layer `{layer}` is fully-connected but its input is not flat; insert a flatten layer"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Shape { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetworkError>();
+    }
+
+    #[test]
+    fn shape_error_exposes_source() {
+        use std::error::Error;
+        let err = NetworkError::Shape {
+            layer: "conv1".into(),
+            source: ShapeError::ZeroStride,
+        };
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("conv1"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Explicit DAG form of a network, with a series-parallel decomposition.
+//!
+//! [`Network`] stores a network directly in
+//! series-parallel form. When a model is more naturally described as a
+//! graph — nodes and edges, as emitted by an ONNX-style importer —
+//! [`LayerGraph`] accepts that form and [`LayerGraph::into_network`]
+//! recovers the series-parallel structure AccPar's multi-path search
+//! (§5.2) operates on, rejecting graphs that are not series-parallel.
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_dnn::graph::LayerGraph;
+//! use accpar_dnn::Layer;
+//! use accpar_tensor::{ConvGeometry, FeatureShape};
+//!
+//! // stem -> {branch, identity} -> head   (a residual block)
+//! let mut g = LayerGraph::new();
+//! let stem = g.add_layer(Layer::conv2d("stem", 3, 8, ConvGeometry::same(3)));
+//! let body = g.add_layer(Layer::conv2d("body", 8, 8, ConvGeometry::same(3)));
+//! let head = g.add_layer(Layer::conv2d("head", 8, 8, ConvGeometry::same(3)));
+//! g.add_edge(stem, body)?;
+//! g.add_edge(body, head)?;
+//! g.add_edge(stem, head)?; // identity shortcut
+//!
+//! let net = g.into_network("res", FeatureShape::conv(2, 3, 8, 8))?;
+//! assert_eq!(net.weighted_layers().count(), 3);
+//! # Ok::<(), accpar_dnn::NetworkError>(())
+//! ```
+
+use crate::error::NetworkError;
+use crate::layer::Layer;
+use crate::network::{JoinOp, Network, SegmentSpec};
+use accpar_tensor::FeatureShape;
+use std::collections::HashMap;
+
+/// Opaque handle to a node of a [`LayerGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// A DAG of layers under construction.
+#[derive(Debug, Clone, Default)]
+pub struct LayerGraph {
+    nodes: Vec<Layer>,
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+    joins: HashMap<usize, JoinOp>,
+}
+
+impl LayerGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its handle.
+    pub fn add_layer(&mut self, layer: Layer) -> NodeId {
+        self.nodes.push(layer);
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a directed edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidGraph`] for self-loops, duplicate
+    /// edges, or handles from another graph.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), NetworkError> {
+        let (f, t) = (from.0, to.0);
+        if f >= self.nodes.len() || t >= self.nodes.len() {
+            return Err(NetworkError::InvalidGraph("edge endpoint out of range".into()));
+        }
+        if f == t {
+            return Err(NetworkError::InvalidGraph("self-loop".into()));
+        }
+        if self.succ[f].contains(&t) {
+            return Err(NetworkError::InvalidGraph("duplicate edge".into()));
+        }
+        self.succ[f].push(t);
+        self.pred[t].push(f);
+        Ok(())
+    }
+
+    /// Declares the join operation applied where multiple edges converge
+    /// on `node`. Defaults to [`JoinOp::Add`] (the ResNet join).
+    pub fn set_join(&mut self, node: NodeId, op: JoinOp) {
+        self.joins.insert(node.0, op);
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Decomposes the DAG into a series-parallel [`Network`].
+    ///
+    /// The supported shape is a trunk of single nodes interleaved with
+    /// "diamonds": a fork node with several outgoing simple chains that
+    /// reconverge at a single join node. This covers every network in the
+    /// paper's evaluation (linear chains and ResNet residual blocks).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::InvalidGraph`] — empty graph, cycle, or not
+    ///   exactly one source and one sink;
+    /// * [`NetworkError::NotSeriesParallel`] — nested forks, cross edges,
+    ///   or branches that do not reconverge;
+    /// * shape errors from [`Network::build`].
+    pub fn into_network(
+        self,
+        name: impl Into<String>,
+        input: FeatureShape,
+    ) -> Result<Network, NetworkError> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Err(NetworkError::InvalidGraph("empty graph".into()));
+        }
+        self.check_acyclic()?;
+
+        let sources: Vec<usize> = (0..n).filter(|&v| self.pred[v].is_empty()).collect();
+        let sinks: Vec<usize> = (0..n).filter(|&v| self.succ[v].is_empty()).collect();
+        if sources.len() != 1 {
+            return Err(NetworkError::InvalidGraph(format!(
+                "expected exactly one source, found {}",
+                sources.len()
+            )));
+        }
+        if sinks.len() != 1 {
+            return Err(NetworkError::InvalidGraph(format!(
+                "expected exactly one sink, found {}",
+                sinks.len()
+            )));
+        }
+
+        let mut specs = Vec::new();
+        let mut cur = sources[0];
+        let mut visited = 1usize;
+        loop {
+            specs.push(SegmentSpec::Single(self.nodes[cur].clone()));
+            match self.succ[cur].len() {
+                0 => break,
+                1 => {
+                    let next = self.succ[cur][0];
+                    if self.pred[next].len() > 1 {
+                        return Err(NetworkError::NotSeriesParallel(format!(
+                            "node `{}` joins edges without a matching fork",
+                            self.nodes[next].name()
+                        )));
+                    }
+                    cur = next;
+                    visited += 1;
+                }
+                _ => {
+                    let (branches, join, count) = self.walk_diamond(cur)?;
+                    visited += count;
+                    specs.push(SegmentSpec::Block {
+                        branches,
+                        join: self.joins.get(&join).copied().unwrap_or(JoinOp::Add),
+                    });
+                    cur = join;
+                    visited += 1;
+                }
+            }
+        }
+        if visited != n {
+            return Err(NetworkError::NotSeriesParallel(
+                "graph contains nodes unreachable along the trunk".into(),
+            ));
+        }
+        Network::build(name, input, specs)
+    }
+
+    /// Follows every branch out of `fork` until they reconverge.
+    /// Returns the branch layer chains, the join node, and the number of
+    /// interior branch nodes consumed.
+    fn walk_diamond(
+        &self,
+        fork: usize,
+    ) -> Result<(Vec<Vec<Layer>>, usize, usize), NetworkError> {
+        let mut branches = Vec::new();
+        let mut join: Option<usize> = None;
+        let mut consumed = 0usize;
+        for &start in &self.succ[fork] {
+            let mut branch = Vec::new();
+            let mut v = start;
+            let end = loop {
+                if self.pred[v].len() > 1 {
+                    break v; // reached the join node
+                }
+                if self.succ[v].len() != 1 {
+                    return Err(NetworkError::NotSeriesParallel(format!(
+                        "node `{}` forks inside a branch",
+                        self.nodes[v].name()
+                    )));
+                }
+                branch.push(self.nodes[v].clone());
+                consumed += 1;
+                v = self.succ[v][0];
+            };
+            match join {
+                None => join = Some(end),
+                Some(j) if j == end => {}
+                Some(j) => {
+                    return Err(NetworkError::NotSeriesParallel(format!(
+                        "branches reconverge at both `{}` and `{}`",
+                        self.nodes[j].name(),
+                        self.nodes[end].name()
+                    )));
+                }
+            }
+            branches.push(branch);
+        }
+        let join = join.expect("fork has at least two successors");
+        if self.pred[join].len() != branches.len() {
+            return Err(NetworkError::NotSeriesParallel(format!(
+                "join `{}` receives edges from outside the block",
+                self.nodes[join].name()
+            )));
+        }
+        Ok((branches, join, consumed))
+    }
+
+    fn check_acyclic(&self) -> Result<(), NetworkError> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &s in &self.succ[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if seen != n {
+            return Err(NetworkError::InvalidGraph("graph contains a cycle".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accpar_tensor::ConvGeometry;
+
+    fn conv(name: &str, c_in: usize, c_out: usize) -> Layer {
+        Layer::conv2d(name, c_in, c_out, ConvGeometry::same(3))
+    }
+
+    #[test]
+    fn linear_chain_decomposes() {
+        let mut g = LayerGraph::new();
+        let a = g.add_layer(conv("a", 3, 8));
+        let b = g.add_layer(conv("b", 8, 8));
+        let c = g.add_layer(conv("c", 8, 8));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        let net = g.into_network("chain", FeatureShape::conv(1, 3, 8, 8)).unwrap();
+        assert_eq!(net.weighted_layers().count(), 3);
+        assert!(!net.train_view().unwrap().has_blocks());
+    }
+
+    #[test]
+    fn diamond_with_identity_branch() {
+        let mut g = LayerGraph::new();
+        let stem = g.add_layer(conv("stem", 3, 8));
+        let b1 = g.add_layer(conv("b1", 8, 8));
+        let b2 = g.add_layer(conv("b2", 8, 8));
+        let head = g.add_layer(conv("head", 8, 8));
+        g.add_edge(stem, b1).unwrap();
+        g.add_edge(b1, b2).unwrap();
+        g.add_edge(b2, head).unwrap();
+        g.add_edge(stem, head).unwrap();
+        let net = g.into_network("res", FeatureShape::conv(1, 3, 8, 8)).unwrap();
+        let view = net.train_view().unwrap();
+        assert!(view.has_blocks());
+        assert_eq!(view.weighted_len(), 4);
+    }
+
+    #[test]
+    fn two_weighted_branches() {
+        let mut g = LayerGraph::new();
+        let stem = g.add_layer(conv("stem", 3, 8));
+        let p1 = g.add_layer(conv("p1", 8, 8));
+        let p2 = g.add_layer(conv("p2", 8, 8));
+        let head = g.add_layer(conv("head", 8, 8));
+        g.add_edge(stem, p1).unwrap();
+        g.add_edge(stem, p2).unwrap();
+        g.add_edge(p1, head).unwrap();
+        g.add_edge(p2, head).unwrap();
+        let net = g.into_network("par", FeatureShape::conv(1, 3, 8, 8)).unwrap();
+        assert_eq!(net.weighted_layers().count(), 4);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut g = LayerGraph::new();
+        let a = g.add_layer(conv("a", 8, 8));
+        let b = g.add_layer(conv("b", 8, 8));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, a).unwrap();
+        let err = g
+            .into_network("cyc", FeatureShape::conv(1, 8, 8, 8))
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::InvalidGraph(_)));
+    }
+
+    #[test]
+    fn multiple_sources_rejected() {
+        let mut g = LayerGraph::new();
+        let a = g.add_layer(conv("a", 3, 8));
+        let b = g.add_layer(conv("b", 3, 8));
+        let c = g.add_layer(conv("c", 8, 8));
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, c).unwrap();
+        let err = g
+            .into_network("multi", FeatureShape::conv(1, 3, 8, 8))
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::InvalidGraph(_)));
+    }
+
+    #[test]
+    fn nested_fork_rejected() {
+        let mut g = LayerGraph::new();
+        let stem = g.add_layer(conv("stem", 3, 8));
+        let mid = g.add_layer(conv("mid", 8, 8));
+        let x = g.add_layer(conv("x", 8, 8));
+        let y = g.add_layer(conv("y", 8, 8));
+        let head = g.add_layer(conv("head", 8, 8));
+        // stem forks to {mid, head}; mid forks again inside the branch.
+        g.add_edge(stem, mid).unwrap();
+        g.add_edge(stem, head).unwrap();
+        g.add_edge(mid, x).unwrap();
+        g.add_edge(mid, y).unwrap();
+        g.add_edge(x, head).unwrap();
+        g.add_edge(y, head).unwrap();
+        let err = g
+            .into_network("nest", FeatureShape::conv(1, 3, 8, 8))
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::NotSeriesParallel(_)));
+    }
+
+    #[test]
+    fn self_loop_and_duplicate_edges_rejected() {
+        let mut g = LayerGraph::new();
+        let a = g.add_layer(conv("a", 3, 8));
+        let b = g.add_layer(conv("b", 8, 8));
+        assert!(g.add_edge(a, a).is_err());
+        g.add_edge(a, b).unwrap();
+        assert!(g.add_edge(a, b).is_err());
+    }
+
+    #[test]
+    fn concat_join_via_set_join() {
+        let mut g = LayerGraph::new();
+        let stem = g.add_layer(conv("stem", 3, 8));
+        let p1 = g.add_layer(conv("p1", 8, 4));
+        let p2 = g.add_layer(conv("p2", 8, 12));
+        let head = g.add_layer(conv("head", 16, 8));
+        g.add_edge(stem, p1).unwrap();
+        g.add_edge(stem, p2).unwrap();
+        g.add_edge(p1, head).unwrap();
+        g.add_edge(p2, head).unwrap();
+        g.set_join(head, JoinOp::Concat);
+        let net = g.into_network("cat", FeatureShape::conv(1, 3, 8, 8)).unwrap();
+        assert_eq!(net.output().channels(), 8);
+    }
+}

@@ -1,0 +1,331 @@
+use crate::error::NetworkError;
+use accpar_tensor::{ConvGeometry, FeatureShape, KernelShape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Pooling flavor; both reduce the spatial extent identically, so the
+/// distinction only matters for documentation and FLOP accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling (including global average pooling when the window
+    /// equals the input extent).
+    Avg,
+}
+
+/// Element-wise non-linearity. Performed in place; it never affects
+/// partitioning (§3.1: "we do not include the element-wise multiplications
+/// in the space relations since they can be performed in place").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// The computational kind of a [`Layer`].
+///
+/// Only [`Conv2d`](LayerKind::Conv2d) and [`Linear`](LayerKind::Linear)
+/// carry a kernel `W_l` and therefore participate in the partition search;
+/// all other kinds transform shapes and contribute (minor) FLOPs but hold
+/// no partitionable weight tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution with `c_in` input channels, `c_out` output channels
+    /// and the given window geometry.
+    Conv2d {
+        /// Input channel count `D_{i,l}`.
+        c_in: usize,
+        /// Output channel count `D_{o,l}`.
+        c_out: usize,
+        /// Kernel window, stride and padding.
+        geom: ConvGeometry,
+    },
+    /// Fully-connected layer `(d_in → d_out)`; requires a flat input.
+    Linear {
+        /// Input feature count `D_{i,l}`.
+        d_in: usize,
+        /// Output feature count `D_{o,l}`.
+        d_out: usize,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Window geometry.
+        geom: ConvGeometry,
+    },
+    /// Element-wise non-linearity.
+    Activation(Activation),
+    /// Batch normalization (shape preserving).
+    BatchNorm,
+    /// Local response normalization, as used by AlexNet (shape
+    /// preserving).
+    LocalResponseNorm,
+    /// Dropout with the given keep probability (shape preserving; only
+    /// relevant to FLOP/VRAM accounting).
+    Dropout,
+    /// Collapses `(B, C, H, W)` into `(B, C·H·W)`.
+    Flatten,
+    /// Softmax over the channel dimension (shape preserving).
+    Softmax,
+}
+
+impl LayerKind {
+    /// Whether this layer carries a kernel tensor `W_l`.
+    #[must_use]
+    pub const fn is_weighted(&self) -> bool {
+        matches!(self, LayerKind::Conv2d { .. } | LayerKind::Linear { .. })
+    }
+
+    /// The kernel shape, if this layer is weighted.
+    #[must_use]
+    pub fn weight_shape(&self) -> Option<KernelShape> {
+        match *self {
+            LayerKind::Conv2d { c_in, c_out, geom } => {
+                let (kh, kw) = geom.kernel();
+                Some(KernelShape::conv(c_in, c_out, kh, kw))
+            }
+            LayerKind::Linear { d_in, d_out } => Some(KernelShape::fc(d_in, d_out)),
+            _ => None,
+        }
+    }
+}
+
+/// A named layer: the unit of network construction.
+///
+/// # Example
+///
+/// ```
+/// use accpar_dnn::Layer;
+/// use accpar_tensor::{ConvGeometry, FeatureShape};
+///
+/// let conv = Layer::conv2d("conv1", 3, 64, ConvGeometry::same(3));
+/// let out = conv.output_shape(FeatureShape::conv(8, 3, 32, 32))?;
+/// assert_eq!(out, FeatureShape::conv(8, 64, 32, 32));
+/// # Ok::<(), accpar_dnn::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a layer from a name and kind.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Convenience constructor for a 2-D convolution.
+    #[must_use]
+    pub fn conv2d(name: impl Into<String>, c_in: usize, c_out: usize, geom: ConvGeometry) -> Self {
+        Self::new(name, LayerKind::Conv2d { c_in, c_out, geom })
+    }
+
+    /// Convenience constructor for a fully-connected layer.
+    #[must_use]
+    pub fn linear(name: impl Into<String>, d_in: usize, d_out: usize) -> Self {
+        Self::new(name, LayerKind::Linear { d_in, d_out })
+    }
+
+    /// Convenience constructor for a pooling layer.
+    #[must_use]
+    pub fn pool(name: impl Into<String>, kind: PoolKind, geom: ConvGeometry) -> Self {
+        Self::new(name, LayerKind::Pool { kind, geom })
+    }
+
+    /// Convenience constructor for an activation layer.
+    #[must_use]
+    pub fn activation(name: impl Into<String>, act: Activation) -> Self {
+        Self::new(name, LayerKind::Activation(act))
+    }
+
+    /// Convenience constructor for a flatten layer.
+    #[must_use]
+    pub fn flatten(name: impl Into<String>) -> Self {
+        Self::new(name, LayerKind::Flatten)
+    }
+
+    /// The layer's name, unique within a network by convention.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's computational kind.
+    #[must_use]
+    pub const fn kind(&self) -> &LayerKind {
+        &self.kind
+    }
+
+    /// Whether this layer carries a kernel tensor `W_l`.
+    #[must_use]
+    pub const fn is_weighted(&self) -> bool {
+        self.kind.is_weighted()
+    }
+
+    /// The kernel shape, if this layer is weighted.
+    #[must_use]
+    pub fn weight_shape(&self) -> Option<KernelShape> {
+        self.kind.weight_shape()
+    }
+
+    /// Propagates a feature shape through this layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::ChannelMismatch`] when the incoming channel
+    /// count disagrees with a convolution/linear declaration,
+    /// [`NetworkError::NotFlattened`] when a linear layer receives a
+    /// spatial tensor, and [`NetworkError::Shape`] when a window does not
+    /// fit.
+    pub fn output_shape(&self, input: FeatureShape) -> Result<FeatureShape, NetworkError> {
+        let shape_err = |source| NetworkError::Shape {
+            layer: self.name.clone(),
+            source,
+        };
+        match self.kind {
+            LayerKind::Conv2d { c_in, c_out, geom } => {
+                if input.channels() != c_in {
+                    return Err(NetworkError::ChannelMismatch {
+                        layer: self.name.clone(),
+                        expected: c_in,
+                        found: input.channels(),
+                    });
+                }
+                let out = geom.output_extent(input.spatial()).map_err(shape_err)?;
+                FeatureShape::try_new(input.batch(), c_out, out).map_err(shape_err)
+            }
+            LayerKind::Linear { d_in, d_out } => {
+                if !input.is_flat() {
+                    return Err(NetworkError::NotFlattened {
+                        layer: self.name.clone(),
+                    });
+                }
+                if input.channels() != d_in {
+                    return Err(NetworkError::ChannelMismatch {
+                        layer: self.name.clone(),
+                        expected: d_in,
+                        found: input.channels(),
+                    });
+                }
+                FeatureShape::try_new(input.batch(), d_out, (1, 1)).map_err(shape_err)
+            }
+            LayerKind::Pool { geom, .. } => {
+                let out = geom.output_extent(input.spatial()).map_err(shape_err)?;
+                FeatureShape::try_new(input.batch(), input.channels(), out).map_err(shape_err)
+            }
+            LayerKind::Flatten => Ok(input.flatten()),
+            LayerKind::Activation(_)
+            | LayerKind::BatchNorm
+            | LayerKind::LocalResponseNorm
+            | LayerKind::Dropout
+            | LayerKind::Softmax => Ok(input),
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            LayerKind::Conv2d { c_in, c_out, geom } => {
+                write!(f, "{}: conv {}→{} {}", self.name, c_in, c_out, geom)
+            }
+            LayerKind::Linear { d_in, d_out } => {
+                write!(f, "{}: fc {}→{}", self.name, d_in, d_out)
+            }
+            LayerKind::Pool { kind, geom } => {
+                let k = match kind {
+                    PoolKind::Max => "maxpool",
+                    PoolKind::Avg => "avgpool",
+                };
+                write!(f, "{}: {k} {geom}", self.name)
+            }
+            LayerKind::Activation(a) => write!(f, "{}: {:?}", self.name, a),
+            LayerKind::BatchNorm => write!(f, "{}: batchnorm", self.name),
+            LayerKind::LocalResponseNorm => write!(f, "{}: lrn", self.name),
+            LayerKind::Dropout => write!(f, "{}: dropout", self.name),
+            LayerKind::Flatten => write!(f, "{}: flatten", self.name),
+            LayerKind::Softmax => write!(f, "{}: softmax", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_propagates_shape() {
+        let l = Layer::conv2d("c", 3, 96, ConvGeometry::new(11, 4, 2));
+        let out = l.output_shape(FeatureShape::conv(512, 3, 224, 224)).unwrap();
+        assert_eq!(out, FeatureShape::conv(512, 96, 55, 55));
+        assert_eq!(l.weight_shape(), Some(KernelShape::conv(3, 96, 11, 11)));
+    }
+
+    #[test]
+    fn conv_rejects_channel_mismatch() {
+        let l = Layer::conv2d("c", 3, 96, ConvGeometry::same(3));
+        let err = l.output_shape(FeatureShape::conv(1, 4, 8, 8)).unwrap_err();
+        assert!(matches!(err, NetworkError::ChannelMismatch { expected: 3, found: 4, .. }));
+    }
+
+    #[test]
+    fn linear_requires_flat_input() {
+        let l = Layer::linear("fc", 9216, 4096);
+        let err = l.output_shape(FeatureShape::conv(1, 256, 6, 6)).unwrap_err();
+        assert!(matches!(err, NetworkError::NotFlattened { .. }));
+        let ok = l.output_shape(FeatureShape::fc(1, 9216)).unwrap();
+        assert_eq!(ok, FeatureShape::fc(1, 4096));
+        assert_eq!(l.weight_shape(), Some(KernelShape::fc(9216, 4096)));
+    }
+
+    #[test]
+    fn flatten_then_linear() {
+        let flat = Layer::flatten("flat");
+        let input = FeatureShape::conv(2, 256, 6, 6);
+        let mid = flat.output_shape(input).unwrap();
+        assert_eq!(mid, FeatureShape::fc(2, 9216));
+    }
+
+    #[test]
+    fn pool_preserves_channels() {
+        let l = Layer::pool("p", PoolKind::Max, ConvGeometry::new(3, 2, 0));
+        let out = l.output_shape(FeatureShape::conv(1, 96, 55, 55)).unwrap();
+        assert_eq!(out, FeatureShape::conv(1, 96, 27, 27));
+        assert!(!l.is_weighted());
+        assert_eq!(l.weight_shape(), None);
+    }
+
+    #[test]
+    fn shape_preserving_layers() {
+        let input = FeatureShape::conv(4, 16, 8, 8);
+        for kind in [
+            LayerKind::Activation(Activation::Relu),
+            LayerKind::BatchNorm,
+            LayerKind::LocalResponseNorm,
+            LayerKind::Dropout,
+            LayerKind::Softmax,
+        ] {
+            let l = Layer::new("x", kind);
+            assert_eq!(l.output_shape(input).unwrap(), input);
+            assert!(!l.is_weighted());
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = Layer::conv2d("conv1", 3, 64, ConvGeometry::same(3));
+        assert!(l.to_string().contains("conv1"));
+        assert!(l.to_string().contains("3→64"));
+    }
+}

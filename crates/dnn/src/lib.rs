@@ -1,0 +1,52 @@
+//! DNN model representation for the AccPar reproduction.
+//!
+//! AccPar partitions the tensors of DNN *training*, so this crate models
+//! networks at exactly the granularity the partition search needs:
+//!
+//! * [`Layer`] / [`LayerKind`] — convolution, fully-connected, pooling,
+//!   activation, normalization and structural layers with shape
+//!   propagation;
+//! * [`Network`] — a series-parallel composition of layers: a trunk of
+//!   single layers interleaved with multi-branch [blocks](Segment) such as
+//!   ResNet's residual blocks (§5.2 of the paper);
+//! * [`NetworkBuilder`] — fluent construction;
+//! * [`graph::LayerGraph`] — an explicit DAG form with a series-parallel
+//!   decomposition back into a [`Network`];
+//! * [`TrainView`] — the view the partition search consumes: only the
+//!   *weighted* layers (those carrying a kernel `W_l`), each annotated
+//!   with its `F_l` / `F_{l+1}` feature shapes, `D_{i,l}`, `D_{o,l}` and
+//!   kernel shape;
+//! * [`zoo`] — the nine networks of the paper's evaluation: LeNet,
+//!   AlexNet, VGG-11/13/16/19 and ResNet-18/34/50;
+//! * [`NetworkStats`] — parameter, activation and FLOP accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_dnn::zoo;
+//!
+//! let net = zoo::alexnet(512)?;
+//! let view = net.train_view()?;
+//! // AlexNet has 5 convolutional + 3 fully-connected weighted layers.
+//! assert_eq!(view.weighted_len(), 8);
+//! # Ok::<(), accpar_dnn::NetworkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+pub mod graph;
+mod layer;
+mod network;
+mod stats;
+mod train;
+pub mod zoo;
+
+pub use builder::NetworkBuilder;
+pub use error::NetworkError;
+pub use layer::{Activation, Layer, LayerKind, PoolKind};
+pub use network::{JoinOp, Network, PlacedLayer, Segment, SegmentSpec};
+pub use stats::NetworkStats;
+pub use train::{TrainEdge, TrainElem, TrainLayer, TrainView, WeightedKind};

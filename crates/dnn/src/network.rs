@@ -1,0 +1,492 @@
+use crate::error::NetworkError;
+use crate::layer::Layer;
+use accpar_tensor::FeatureShape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the branches of a parallel block are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinOp {
+    /// Element-wise addition — the ResNet residual join. All branches must
+    /// produce identical shapes.
+    Add,
+    /// Channel concatenation — the GoogLeNet/Inception join. Branches must
+    /// agree on batch and spatial extent.
+    Concat,
+}
+
+/// A layer with its resolved input and output feature shapes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedLayer {
+    layer: Layer,
+    input: FeatureShape,
+    output: FeatureShape,
+}
+
+impl PlacedLayer {
+    /// The underlying layer.
+    #[must_use]
+    pub const fn layer(&self) -> &Layer {
+        &self.layer
+    }
+
+    /// The feature shape flowing into this layer (`F_l`).
+    #[must_use]
+    pub const fn input(&self) -> FeatureShape {
+        self.input
+    }
+
+    /// The feature shape this layer produces (`F_{l+1}`).
+    #[must_use]
+    pub const fn output(&self) -> FeatureShape {
+        self.output
+    }
+}
+
+/// One element of a network's series-parallel trunk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Segment {
+    /// A single layer on the trunk.
+    Single(PlacedLayer),
+    /// A multi-branch block between a fork and a join, e.g. a residual
+    /// block. A branch with no layers is an identity shortcut.
+    Block {
+        /// The parallel branches; each is a chain of layers.
+        branches: Vec<Vec<PlacedLayer>>,
+        /// How branch outputs are combined.
+        join: JoinOp,
+        /// Shape at the fork point.
+        input: FeatureShape,
+        /// Shape after the join.
+        output: FeatureShape,
+    },
+}
+
+impl Segment {
+    /// Shape flowing into this segment.
+    #[must_use]
+    pub const fn input(&self) -> FeatureShape {
+        match self {
+            Segment::Single(l) => l.input,
+            Segment::Block { input, .. } => *input,
+        }
+    }
+
+    /// Shape flowing out of this segment.
+    #[must_use]
+    pub const fn output(&self) -> FeatureShape {
+        match self {
+            Segment::Single(l) => l.output,
+            Segment::Block { output, .. } => *output,
+        }
+    }
+
+    /// Iterates over every placed layer in the segment, trunk or branch.
+    pub fn layers(&self) -> impl Iterator<Item = &PlacedLayer> {
+        let (single, block): (Option<&PlacedLayer>, &[Vec<PlacedLayer>]) = match self {
+            Segment::Single(l) => (Some(l), &[]),
+            Segment::Block { branches, .. } => (None, branches.as_slice()),
+        };
+        single.into_iter().chain(block.iter().flatten())
+    }
+}
+
+/// Specification of a segment before shape resolution; consumed by
+/// [`Network::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentSpec {
+    /// A single trunk layer.
+    Single(Layer),
+    /// A multi-branch block.
+    Block {
+        /// Branch chains; an empty chain is an identity shortcut.
+        branches: Vec<Vec<Layer>>,
+        /// How branch outputs are combined.
+        join: JoinOp,
+    },
+}
+
+/// A series-parallel DNN with fully resolved shapes.
+///
+/// Construct with [`Network::build`] or, more conveniently, with
+/// [`NetworkBuilder`](crate::NetworkBuilder). The input shape fixes the
+/// mini-batch size; [`Network::with_batch`] re-derives the network for a
+/// different batch.
+///
+/// # Example
+///
+/// ```
+/// use accpar_dnn::{Layer, Network, SegmentSpec};
+/// use accpar_tensor::FeatureShape;
+///
+/// let net = Network::build(
+///     "tiny",
+///     FeatureShape::fc(32, 100),
+///     vec![
+///         SegmentSpec::Single(Layer::linear("fc1", 100, 50)),
+///         SegmentSpec::Single(Layer::linear("fc2", 50, 10)),
+///     ],
+/// )?;
+/// assert_eq!(net.output(), FeatureShape::fc(32, 10));
+/// # Ok::<(), accpar_dnn::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    input: FeatureShape,
+    output: FeatureShape,
+    segments: Vec<Segment>,
+}
+
+impl Network {
+    /// Resolves shapes through `specs` and builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-layer shape errors, and reports
+    /// [`NetworkError::BranchMismatch`] for inconsistent joins,
+    /// [`NetworkError::EmptyBlock`] for blocks without layers, and
+    /// [`NetworkError::NoWeightedLayer`] for networks with nothing to
+    /// partition.
+    pub fn build(
+        name: impl Into<String>,
+        input: FeatureShape,
+        specs: Vec<SegmentSpec>,
+    ) -> Result<Self, NetworkError> {
+        let mut cursor = input;
+        let mut segments = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let segment = match spec {
+                SegmentSpec::Single(layer) => {
+                    let placed = place(layer, cursor)?;
+                    cursor = placed.output;
+                    Segment::Single(placed)
+                }
+                SegmentSpec::Block { branches, join } => {
+                    let block = place_block(branches, join, cursor)?;
+                    cursor = block.output();
+                    block
+                }
+            };
+            segments.push(segment);
+        }
+        let net = Self {
+            name: name.into(),
+            input,
+            output: cursor,
+            segments,
+        };
+        if net.weighted_layers().next().is_none() {
+            return Err(NetworkError::NoWeightedLayer);
+        }
+        Ok(net)
+    }
+
+    /// The network's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The (batched) input shape.
+    #[must_use]
+    pub const fn input(&self) -> FeatureShape {
+        self.input
+    }
+
+    /// The (batched) output shape.
+    #[must_use]
+    pub const fn output(&self) -> FeatureShape {
+        self.output
+    }
+
+    /// Mini-batch size `B`.
+    #[must_use]
+    pub const fn batch(&self) -> usize {
+        self.input.batch()
+    }
+
+    /// The resolved series-parallel trunk.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Iterates over every placed layer in trunk order (branches of a
+    /// block are visited in branch order).
+    pub fn layers(&self) -> impl Iterator<Item = &PlacedLayer> {
+        self.segments.iter().flat_map(Segment::layers)
+    }
+
+    /// Iterates over the placed layers that carry a kernel.
+    pub fn weighted_layers(&self) -> impl Iterator<Item = &PlacedLayer> {
+        self.layers().filter(|p| p.layer.is_weighted())
+    }
+
+    /// Total number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers().count()
+    }
+
+    /// Whether the network has no layers (never true for a built network).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Rebuilds this network for a different mini-batch size.
+    ///
+    /// # Errors
+    ///
+    /// Re-runs shape resolution; errors mirror [`Network::build`].
+    pub fn with_batch(&self, batch: usize) -> Result<Self, NetworkError> {
+        let specs = self
+            .segments
+            .iter()
+            .map(|s| match s {
+                Segment::Single(p) => SegmentSpec::Single(p.layer.clone()),
+                Segment::Block { branches, join, .. } => SegmentSpec::Block {
+                    branches: branches
+                        .iter()
+                        .map(|b| b.iter().map(|p| p.layer.clone()).collect())
+                        .collect(),
+                    join: *join,
+                },
+            })
+            .collect();
+        Self::build(self.name.clone(), self.input.with_batch(batch), specs)
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} (input {})", self.name, self.input)?;
+        for segment in &self.segments {
+            match segment {
+                Segment::Single(p) => writeln!(f, "  {} -> {}", p.layer, p.output)?,
+                Segment::Block { branches, join, output, .. } => {
+                    writeln!(f, "  block ({join:?}) -> {output}")?;
+                    for (i, branch) in branches.iter().enumerate() {
+                        if branch.is_empty() {
+                            writeln!(f, "    [{i}] identity")?;
+                        } else {
+                            for p in branch {
+                                writeln!(f, "    [{i}] {} -> {}", p.layer, p.output)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn place(layer: Layer, input: FeatureShape) -> Result<PlacedLayer, NetworkError> {
+    let output = layer.output_shape(input)?;
+    Ok(PlacedLayer {
+        layer,
+        input,
+        output,
+    })
+}
+
+fn place_block(
+    branches: Vec<Vec<Layer>>,
+    join: JoinOp,
+    input: FeatureShape,
+) -> Result<Segment, NetworkError> {
+    if branches.iter().all(Vec::is_empty) {
+        return Err(NetworkError::EmptyBlock);
+    }
+    let mut placed_branches = Vec::with_capacity(branches.len());
+    let mut outputs = Vec::with_capacity(branches.len());
+    for branch in branches {
+        let mut cursor = input;
+        let mut placed = Vec::with_capacity(branch.len());
+        for layer in branch {
+            let p = place(layer, cursor)?;
+            cursor = p.output;
+            placed.push(p);
+        }
+        outputs.push(cursor);
+        placed_branches.push(placed);
+    }
+    let output = match join {
+        JoinOp::Add => {
+            let first = outputs[0];
+            for other in &outputs[1..] {
+                if *other != first {
+                    return Err(NetworkError::BranchMismatch {
+                        first: first.to_string(),
+                        other: other.to_string(),
+                    });
+                }
+            }
+            first
+        }
+        JoinOp::Concat => {
+            let first = outputs[0];
+            let mut channels = 0;
+            for other in &outputs {
+                if other.batch() != first.batch() || other.spatial() != first.spatial() {
+                    return Err(NetworkError::BranchMismatch {
+                        first: first.to_string(),
+                        other: other.to_string(),
+                    });
+                }
+                channels += other.channels();
+            }
+            first.with_channels(channels)
+        }
+    };
+    Ok(Segment::Block {
+        branches: placed_branches,
+        join,
+        input,
+        output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, PoolKind};
+    use accpar_tensor::ConvGeometry;
+
+    fn residual_net() -> Network {
+        // conv -> [conv/conv | identity] -> fc
+        Network::build(
+            "res",
+            FeatureShape::conv(8, 3, 8, 8),
+            vec![
+                SegmentSpec::Single(Layer::conv2d("stem", 3, 16, ConvGeometry::same(3))),
+                SegmentSpec::Block {
+                    branches: vec![
+                        vec![
+                            Layer::conv2d("b1", 16, 16, ConvGeometry::same(3)),
+                            Layer::conv2d("b2", 16, 16, ConvGeometry::same(3)),
+                        ],
+                        vec![],
+                    ],
+                    join: JoinOp::Add,
+                },
+                SegmentSpec::Single(Layer::pool(
+                    "gap",
+                    PoolKind::Avg,
+                    ConvGeometry::new(8, 8, 0),
+                )),
+                SegmentSpec::Single(Layer::flatten("flat")),
+                SegmentSpec::Single(Layer::linear("fc", 16, 10)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn linear_chain_resolves_shapes() {
+        let net = Network::build(
+            "mlp",
+            FeatureShape::fc(4, 20),
+            vec![
+                SegmentSpec::Single(Layer::linear("fc1", 20, 10)),
+                SegmentSpec::Single(Layer::activation("relu", Activation::Relu)),
+                SegmentSpec::Single(Layer::linear("fc2", 10, 5)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(net.output(), FeatureShape::fc(4, 5));
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.weighted_layers().count(), 2);
+    }
+
+    #[test]
+    fn residual_block_resolves() {
+        let net = residual_net();
+        assert_eq!(net.output(), FeatureShape::fc(8, 10));
+        assert_eq!(net.weighted_layers().count(), 4);
+        let block = &net.segments()[1];
+        assert_eq!(block.input(), FeatureShape::conv(8, 16, 8, 8));
+        assert_eq!(block.output(), FeatureShape::conv(8, 16, 8, 8));
+    }
+
+    #[test]
+    fn add_join_rejects_mismatched_branches() {
+        let err = Network::build(
+            "bad",
+            FeatureShape::conv(1, 8, 8, 8),
+            vec![SegmentSpec::Block {
+                branches: vec![
+                    vec![Layer::conv2d("a", 8, 16, ConvGeometry::same(3))],
+                    vec![],
+                ],
+                join: JoinOp::Add,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetworkError::BranchMismatch { .. }));
+    }
+
+    #[test]
+    fn concat_join_sums_channels() {
+        let net = Network::build(
+            "inception-ish",
+            FeatureShape::conv(1, 8, 8, 8),
+            vec![SegmentSpec::Block {
+                branches: vec![
+                    vec![Layer::conv2d("a", 8, 16, ConvGeometry::same(3))],
+                    vec![Layer::conv2d("b", 8, 4, ConvGeometry::same(1))],
+                ],
+                join: JoinOp::Concat,
+            }],
+        )
+        .unwrap();
+        assert_eq!(net.output().channels(), 20);
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        let err = Network::build(
+            "bad",
+            FeatureShape::conv(1, 8, 8, 8),
+            vec![SegmentSpec::Block {
+                branches: vec![vec![], vec![]],
+                join: JoinOp::Add,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(err, NetworkError::EmptyBlock);
+    }
+
+    #[test]
+    fn unweighted_network_rejected() {
+        let err = Network::build(
+            "bad",
+            FeatureShape::conv(1, 8, 8, 8),
+            vec![SegmentSpec::Single(Layer::flatten("flat"))],
+        )
+        .unwrap_err();
+        assert_eq!(err, NetworkError::NoWeightedLayer);
+    }
+
+    #[test]
+    fn with_batch_rescales_every_shape() {
+        let net = residual_net();
+        let big = net.with_batch(64).unwrap();
+        assert_eq!(big.batch(), 64);
+        assert_eq!(big.output(), FeatureShape::fc(64, 10));
+        assert_eq!(big.len(), net.len());
+        for (a, b) in net.layers().zip(big.layers()) {
+            assert_eq!(a.input().channels(), b.input().channels());
+            assert_eq!(b.input().batch(), 64);
+        }
+    }
+
+    #[test]
+    fn display_renders_blocks() {
+        let s = residual_net().to_string();
+        assert!(s.contains("block"));
+        assert!(s.contains("identity"));
+    }
+}

@@ -1,0 +1,144 @@
+use crate::network::Network;
+use accpar_tensor::DataFormat;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate size and compute statistics of a network.
+///
+/// Used by the evaluation discussion in §6.2 of the paper, which explains
+/// the VGG-vs-ResNet speedup gap through *model size* (favoring Type-II /
+/// Type-III partitions) versus *computation density* (favoring Type-I).
+///
+/// # Example
+///
+/// ```
+/// use accpar_dnn::zoo;
+///
+/// let stats = zoo::vgg16(32)?.stats();
+/// // VGG-16 carries ~138 M weight parameters.
+/// assert!(stats.params > 130_000_000 && stats.params < 140_000_000);
+/// # Ok::<(), accpar_dnn::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Total weight-tensor elements across all weighted layers (biases,
+    /// which never participate in partitioning, are excluded).
+    pub params: u64,
+    /// Number of weighted (CONV + FC) layers.
+    pub weighted_layers: usize,
+    /// Number of convolutional layers.
+    pub conv_layers: usize,
+    /// Number of fully-connected layers.
+    pub fc_layers: usize,
+    /// Total layers including unweighted ones.
+    pub total_layers: usize,
+    /// Sum of `A(F_l)` over all weighted layers' inputs — the activation
+    /// footprint of one training step before any partitioning.
+    pub activation_elements: u64,
+    /// FLOPs of one full training step (forward + backward + gradient) at
+    /// the network's batch size.
+    pub train_flops: u64,
+    /// FLOPs of the forward (inference) pass only.
+    pub forward_flops: u64,
+}
+
+impl NetworkStats {
+    /// Model size in bytes for the given data format.
+    #[must_use]
+    pub const fn model_bytes(&self, format: DataFormat) -> u64 {
+        format.bytes(self.params)
+    }
+
+    /// The paper's "computation density" notion for a model: training
+    /// FLOPs per weight parameter. ResNets score much higher than VGGs,
+    /// which is why Type-I (data) partitioning dominates there (§6.2).
+    #[must_use]
+    pub fn flops_per_param(&self) -> f64 {
+        self.train_flops as f64 / self.params as f64
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} weighted layers ({} conv, {} fc), {:.1} M params, {:.1} GFLOP/step",
+            self.weighted_layers,
+            self.conv_layers,
+            self.fc_layers,
+            self.params as f64 / 1e6,
+            self.train_flops as f64 / 1e9
+        )
+    }
+}
+
+impl Network {
+    /// Computes aggregate statistics for this network.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        let view = self
+            .train_view()
+            .expect("a built network has weighted layers");
+        let mut stats = NetworkStats {
+            params: 0,
+            weighted_layers: 0,
+            conv_layers: 0,
+            fc_layers: 0,
+            total_layers: self.len(),
+            activation_elements: 0,
+            train_flops: 0,
+            forward_flops: 0,
+        };
+        for layer in view.layers() {
+            stats.params += layer.weight().size();
+            stats.weighted_layers += 1;
+            if layer.kind().is_conv() {
+                stats.conv_layers += 1;
+            } else {
+                stats.fc_layers += 1;
+            }
+            stats.activation_elements += layer.in_fmap().size();
+            stats.train_flops += layer.total_flops();
+            stats.forward_flops += layer.forward_flops();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use accpar_tensor::FeatureShape;
+
+    #[test]
+    fn stats_for_tiny_mlp() {
+        let net = NetworkBuilder::new("mlp", FeatureShape::fc(4, 10))
+            .linear("fc1", 10, 20)
+            .relu("r")
+            .linear("fc2", 20, 5)
+            .build()
+            .unwrap();
+        let s = net.stats();
+        assert_eq!(s.params, 10 * 20 + 20 * 5);
+        assert_eq!(s.weighted_layers, 2);
+        assert_eq!(s.fc_layers, 2);
+        assert_eq!(s.conv_layers, 0);
+        assert_eq!(s.total_layers, 3);
+        assert_eq!(s.activation_elements, 4 * 10 + 4 * 20);
+        assert_eq!(s.model_bytes(DataFormat::Bf16), 2 * s.params);
+        assert!(s.flops_per_param() > 0.0);
+    }
+
+    #[test]
+    fn train_flops_exceed_forward_flops() {
+        let net = NetworkBuilder::new("mlp", FeatureShape::fc(4, 10))
+            .linear("fc1", 10, 20)
+            .build()
+            .unwrap();
+        let s = net.stats();
+        assert!(s.train_flops > s.forward_flops);
+        // Training ≈ 3× inference for FC layers.
+        assert!(s.train_flops < 4 * s.forward_flops);
+    }
+}

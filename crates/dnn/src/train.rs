@@ -1,0 +1,622 @@
+use crate::error::NetworkError;
+use crate::network::{Network, PlacedLayer, Segment};
+use accpar_tensor::{FeatureShape, KernelShape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a weighted layer is fully-connected or convolutional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightedKind {
+    /// Fully-connected: the three phases are matrix-matrix products.
+    Fc,
+    /// Convolutional with the given kernel window: the three phases are
+    /// batched convolutions (§3.3 / §4.3).
+    Conv {
+        /// Kernel window `(k_h, k_w)`.
+        window: (usize, usize),
+    },
+}
+
+impl WeightedKind {
+    /// `k_h × k_w`; 1 for fully-connected layers.
+    #[must_use]
+    pub const fn window_size(&self) -> usize {
+        match self {
+            WeightedKind::Fc => 1,
+            WeightedKind::Conv { window } => window.0 * window.1,
+        }
+    }
+
+    /// Whether this is a convolutional layer.
+    #[must_use]
+    pub const fn is_conv(&self) -> bool {
+        matches!(self, WeightedKind::Conv { .. })
+    }
+}
+
+/// A weighted layer as seen by the partition search: the tensors of §3.1
+/// with all shapes resolved.
+///
+/// Per the paper's notation: `in_fmap` is `F_l` (shared with `E_l`),
+/// `out_fmap` is this layer's own `F_{l+1}` (shared with `E_{l+1}`),
+/// `weight` is `W_l` (shared with `ΔW_l`), and `d_in` / `d_out` are
+/// `D_{i,l}` / `D_{o,l}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainLayer {
+    pub(crate) index: usize,
+    pub(crate) name: String,
+    pub(crate) kind: WeightedKind,
+    pub(crate) d_in: usize,
+    pub(crate) d_out: usize,
+    pub(crate) in_fmap: FeatureShape,
+    pub(crate) out_fmap: FeatureShape,
+    pub(crate) weight: KernelShape,
+}
+
+impl TrainLayer {
+    /// Position among the network's weighted layers (0-based).
+    #[must_use]
+    pub const fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The layer's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// FC or CONV.
+    #[must_use]
+    pub const fn kind(&self) -> WeightedKind {
+        self.kind
+    }
+
+    /// `D_{i,l}` — input channels / features.
+    #[must_use]
+    pub const fn d_in(&self) -> usize {
+        self.d_in
+    }
+
+    /// `D_{o,l}` — output channels / features.
+    #[must_use]
+    pub const fn d_out(&self) -> usize {
+        self.d_out
+    }
+
+    /// `F_l` / `E_l` — the input feature-map (and error) shape.
+    #[must_use]
+    pub const fn in_fmap(&self) -> FeatureShape {
+        self.in_fmap
+    }
+
+    /// `F_{l+1}` / `E_{l+1}` — the output feature-map (and error) shape.
+    #[must_use]
+    pub const fn out_fmap(&self) -> FeatureShape {
+        self.out_fmap
+    }
+
+    /// `W_l` / `ΔW_l` — the kernel (and gradient) shape.
+    #[must_use]
+    pub const fn weight(&self) -> KernelShape {
+        self.weight
+    }
+
+    /// Mini-batch size `B`.
+    #[must_use]
+    pub const fn batch(&self) -> usize {
+        self.in_fmap.batch()
+    }
+
+    /// Reduction length of the forward product: the number of
+    /// multiplications per output element, `D_{i,l} · k_h · k_w`.
+    #[must_use]
+    pub const fn forward_reduction(&self) -> u64 {
+        self.d_in as u64 * self.kind.window_size() as u64
+    }
+
+    /// Reduction length of the backward product,
+    /// `D_{o,l} · k_h · k_w`.
+    #[must_use]
+    pub const fn backward_reduction(&self) -> u64 {
+        self.d_out as u64 * self.kind.window_size() as u64
+    }
+
+    /// Reduction length of the gradient product,
+    /// `B · H_out · W_out` (just `B` for FC layers).
+    #[must_use]
+    pub const fn gradient_reduction(&self) -> u64 {
+        self.batch() as u64 * self.out_fmap.spatial_size() as u64
+    }
+
+    /// FLOPs of the forward phase (Table 6 extended to CONV per §4.3):
+    /// `A(F_{l+1}) · (2·R − 1)` with `R` the forward reduction length.
+    #[must_use]
+    pub const fn forward_flops(&self) -> u64 {
+        self.out_fmap.size() * (2 * self.forward_reduction() - 1)
+    }
+
+    /// FLOPs of the backward phase: `A(E_l) · (2·R − 1)` with `R` the
+    /// backward reduction length.
+    #[must_use]
+    pub const fn backward_flops(&self) -> u64 {
+        self.in_fmap.size() * (2 * self.backward_reduction() - 1)
+    }
+
+    /// FLOPs of the gradient phase: `A(W_l) · (2·R − 1)` with `R` the
+    /// gradient reduction length.
+    #[must_use]
+    pub const fn gradient_flops(&self) -> u64 {
+        self.weight.size() * (2 * self.gradient_reduction() - 1)
+    }
+
+    /// Total FLOPs of one training step through this layer.
+    #[must_use]
+    pub const fn total_flops(&self) -> u64 {
+        self.forward_flops() + self.backward_flops() + self.gradient_flops()
+    }
+}
+
+impl fmt::Display for TrainLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            WeightedKind::Fc => "fc",
+            WeightedKind::Conv { .. } => "conv",
+        };
+        write!(
+            f,
+            "#{} {} [{kind}] F_l={} W={} F_l+1={}",
+            self.index, self.name, self.in_fmap, self.weight, self.out_fmap
+        )
+    }
+}
+
+/// One element of the series-parallel chain the search walks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainElem {
+    /// A single weighted layer on the trunk.
+    Layer(TrainLayer),
+    /// A multi-branch block (§5.2). An empty branch is an identity
+    /// shortcut carrying the feature map unchanged.
+    Block {
+        /// Weighted layers per branch; empty = identity shortcut.
+        branches: Vec<Vec<TrainLayer>>,
+        /// Feature shape at the fork (input to every branch).
+        fork: FeatureShape,
+        /// Feature shape after the join.
+        join: FeatureShape,
+    },
+}
+
+impl TrainElem {
+    /// Iterates over the weighted layers contained in this element.
+    pub fn layers(&self) -> Box<dyn Iterator<Item = &TrainLayer> + '_> {
+        match self {
+            TrainElem::Layer(l) => Box::new(std::iter::once(l)),
+            TrainElem::Block { branches, .. } => Box::new(branches.iter().flatten()),
+        }
+    }
+}
+
+/// The training-time view of a network: its weighted layers in
+/// series-parallel order, with everything the AccPar search and cost model
+/// need.
+///
+/// # Example
+///
+/// ```
+/// use accpar_dnn::zoo;
+///
+/// let view = zoo::lenet(128)?.train_view()?;
+/// assert_eq!(view.weighted_len(), 5); // 2 conv + 3 fc
+/// assert!(view.layers().all(|l| l.batch() == 128));
+/// # Ok::<(), accpar_dnn::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainView {
+    batch: usize,
+    elems: Vec<TrainElem>,
+}
+
+impl TrainView {
+    /// Mini-batch size `B`.
+    #[must_use]
+    pub const fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The series-parallel chain of weighted layers.
+    #[must_use]
+    pub fn elems(&self) -> &[TrainElem] {
+        &self.elems
+    }
+
+    /// Iterates over every weighted layer in chain order.
+    pub fn layers(&self) -> impl Iterator<Item = &TrainLayer> {
+        self.elems.iter().flat_map(TrainElem::layers)
+    }
+
+    /// Number of weighted layers.
+    #[must_use]
+    pub fn weighted_len(&self) -> usize {
+        self.layers().count()
+    }
+
+    /// Whether the chain contains any multi-branch block.
+    #[must_use]
+    pub fn has_blocks(&self) -> bool {
+        self.elems.iter().any(|e| matches!(e, TrainElem::Block { .. }))
+    }
+
+    /// Flattens multi-path blocks into a plain chain of layers in
+    /// weighted-index order, dissolving fork/join structure.
+    ///
+    /// This models planners that "can only handle DNN architectures with
+    /// linear structure" (§3.5's characterization of HyPar): such a
+    /// planner sees ResNet as a chain and is blind to the conversion
+    /// traffic its choices induce on the shortcut edges — traffic the
+    /// simulator still charges.
+    #[must_use]
+    pub fn linearized(&self) -> TrainView {
+        TrainView {
+            batch: self.batch,
+            elems: self
+                .layers()
+                .map(|l| TrainElem::Layer(l.clone()))
+                .collect(),
+        }
+    }
+
+    /// The tensor-conversion edges between weighted layers: for every pair
+    /// of producer/consumer weighted layers, the boundary `F`/`E` tensor
+    /// size (`A(F_{l+1}) = A(E_{l+1})`). The volume that actually flows
+    /// over an edge is bounded by both endpoints —
+    /// `min(A(producer output), A(consumer input))` — which handles
+    /// interposed pooling (consumer smaller) and `Concat` joins (each
+    /// producer contributes only its channel slice of the consumer's
+    /// input). An identity shortcut makes the trunk layers before and
+    /// after a block direct neighbours.
+    ///
+    /// This flat edge list is what a *fixed* plan's communication is
+    /// evaluated over (the simulator and plan-evaluation code); the
+    /// search itself walks the series-parallel structure instead.
+    #[must_use]
+    pub fn conversion_edges(&self) -> Vec<TrainEdge> {
+        // Producer output sizes by weighted index.
+        let mut out_sizes: Vec<u64> = vec![0; self.weighted_len()];
+        for layer in self.layers() {
+            out_sizes[layer.index()] = layer.out_fmap().size();
+        }
+        let mut edges = Vec::new();
+        // Indices of the weighted layers whose output feeds the next elem.
+        let mut frontier: Vec<usize> = Vec::new();
+        let chain_edges = |edges: &mut Vec<TrainEdge>,
+                               frontier: &[usize],
+                               first: &TrainLayer| {
+            for &from in frontier {
+                edges.push(TrainEdge {
+                    from,
+                    to: first.index,
+                    boundary_elems: first.in_fmap.size().min(out_sizes[from]),
+                });
+            }
+        };
+        for elem in &self.elems {
+            match elem {
+                TrainElem::Layer(l) => {
+                    chain_edges(&mut edges, &frontier, l);
+                    frontier = vec![l.index];
+                }
+                TrainElem::Block { branches, join, .. } => {
+                    let mut next_frontier = Vec::new();
+                    let mut has_identity = false;
+                    for branch in branches {
+                        match branch.first() {
+                            None => has_identity = true,
+                            Some(first) => {
+                                chain_edges(&mut edges, &frontier, first);
+                                for pair in branch.windows(2) {
+                                    edges.push(TrainEdge {
+                                        from: pair[0].index,
+                                        to: pair[1].index,
+                                        boundary_elems: pair[1]
+                                            .in_fmap
+                                            .size()
+                                            .min(out_sizes[pair[0].index]),
+                                    });
+                                }
+                                next_frontier
+                                    .push(branch.last().expect("non-empty").index);
+                            }
+                        }
+                    }
+                    if has_identity {
+                        // The pre-block frontier still feeds whatever
+                        // consumes the join output.
+                        let _ = join;
+                        next_frontier.extend(frontier.iter().copied());
+                    }
+                    frontier = next_frontier;
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// A tensor-conversion edge between two weighted layers (see
+/// [`TrainView::conversion_edges`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainEdge {
+    /// Weighted index of the producing layer.
+    pub from: usize,
+    /// Weighted index of the consuming layer.
+    pub to: usize,
+    /// Elements of the boundary tensor (`A(F) = A(E)`).
+    pub boundary_elems: u64,
+}
+
+impl Network {
+    /// Extracts the weighted-layer view used by the partition search.
+    ///
+    /// Unweighted layers (activations, pooling, normalization, dropout,
+    /// flatten, softmax) disappear: their effect on shapes is already
+    /// folded into the neighbouring weighted layers' `F_l` / `F_{l+1}`. A
+    /// block whose branches contain no weighted layer at all is likewise
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoWeightedLayer`] if nothing remains (which
+    /// cannot happen for a successfully built [`Network`]).
+    pub fn train_view(&self) -> Result<TrainView, NetworkError> {
+        let mut elems = Vec::new();
+        let mut index = 0usize;
+        for segment in self.segments() {
+            match segment {
+                Segment::Single(p) => {
+                    if let Some(tl) = to_train_layer(p, &mut index) {
+                        elems.push(TrainElem::Layer(tl));
+                    }
+                }
+                Segment::Block {
+                    branches,
+                    input,
+                    output,
+                    ..
+                } => {
+                    let tbranches: Vec<Vec<TrainLayer>> = branches
+                        .iter()
+                        .map(|branch| {
+                            branch
+                                .iter()
+                                .filter_map(|p| to_train_layer(p, &mut index))
+                                .collect()
+                        })
+                        .collect();
+                    if tbranches.iter().all(Vec::is_empty) {
+                        continue; // purely structural block (e.g. pooling)
+                    }
+                    elems.push(TrainElem::Block {
+                        branches: tbranches,
+                        fork: *input,
+                        join: *output,
+                    });
+                }
+            }
+        }
+        if elems.is_empty() {
+            return Err(NetworkError::NoWeightedLayer);
+        }
+        Ok(TrainView {
+            batch: self.batch(),
+            elems,
+        })
+    }
+}
+
+fn to_train_layer(p: &PlacedLayer, index: &mut usize) -> Option<TrainLayer> {
+    use crate::layer::LayerKind;
+    let (kind, d_in, d_out) = match *p.layer().kind() {
+        LayerKind::Conv2d { c_in, c_out, geom } => (
+            WeightedKind::Conv {
+                window: geom.kernel(),
+            },
+            c_in,
+            c_out,
+        ),
+        LayerKind::Linear { d_in, d_out } => (WeightedKind::Fc, d_in, d_out),
+        _ => return None,
+    };
+    let tl = TrainLayer {
+        index: *index,
+        name: p.layer().name().to_owned(),
+        kind,
+        d_in,
+        d_out,
+        in_fmap: p.input(),
+        out_fmap: p.output(),
+        weight: p.layer().weight_shape().expect("weighted layer has weight"),
+    };
+    *index += 1;
+    Some(tl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::layer::Layer;
+    use accpar_tensor::ConvGeometry;
+
+    fn simple() -> TrainView {
+        NetworkBuilder::new("t", FeatureShape::conv(4, 3, 8, 8))
+            .conv2d("conv", 3, 6, ConvGeometry::same(3))
+            .relu("r")
+            .max_pool("p", ConvGeometry::new(2, 2, 0))
+            .flatten("f")
+            .linear("fc", 6 * 16, 10)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap()
+    }
+
+    #[test]
+    fn unweighted_layers_are_elided() {
+        let view = simple();
+        assert_eq!(view.weighted_len(), 2);
+        assert!(!view.has_blocks());
+        let layers: Vec<_> = view.layers().collect();
+        assert_eq!(layers[0].name(), "conv");
+        assert_eq!(layers[1].name(), "fc");
+        // The fc layer's input reflects pool + flatten.
+        assert_eq!(layers[1].in_fmap(), FeatureShape::fc(4, 96));
+    }
+
+    #[test]
+    fn fc_flop_counts_match_table_6() {
+        let view = NetworkBuilder::new("fc", FeatureShape::fc(8, 20))
+            .linear("fc1", 20, 30)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let l = view.layers().next().unwrap();
+        let (b, di, do_) = (8u64, 20u64, 30u64);
+        // Forward: A(F_{l+1}) (2 D_i - 1)
+        assert_eq!(l.forward_flops(), b * do_ * (2 * di - 1));
+        // Backward: A(E_l) (2 D_o - 1)
+        assert_eq!(l.backward_flops(), b * di * (2 * do_ - 1));
+        // Gradient: A(W) (2 B - 1)
+        assert_eq!(l.gradient_flops(), di * do_ * (2 * b - 1));
+        assert_eq!(
+            l.total_flops(),
+            l.forward_flops() + l.backward_flops() + l.gradient_flops()
+        );
+    }
+
+    #[test]
+    fn conv_flop_counts_scale_with_window_and_fmap() {
+        let view = NetworkBuilder::new("c", FeatureShape::conv(2, 3, 8, 8))
+            .conv2d("conv", 3, 4, ConvGeometry::same(3))
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let l = view.layers().next().unwrap();
+        assert_eq!(l.forward_reduction(), 3 * 9);
+        assert_eq!(l.backward_reduction(), 4 * 9);
+        assert_eq!(l.gradient_reduction(), 2 * 64);
+        assert_eq!(l.forward_flops(), (2 * 4 * 64) * (2 * 27 - 1));
+        assert_eq!(l.gradient_flops(), (3 * 4 * 9) * (2 * 128 - 1));
+    }
+
+    #[test]
+    fn blocks_survive_with_identity_branch() {
+        let view = NetworkBuilder::new("r", FeatureShape::conv(2, 8, 4, 4))
+            .conv2d("stem", 8, 8, ConvGeometry::same(3))
+            .residual(
+                vec![
+                    Layer::conv2d("b1", 8, 8, ConvGeometry::same(3)),
+                    Layer::conv2d("b2", 8, 8, ConvGeometry::same(3)),
+                ],
+                vec![],
+            )
+            .flatten("f")
+            .linear("fc", 8 * 16, 2)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        assert!(view.has_blocks());
+        assert_eq!(view.weighted_len(), 4);
+        match &view.elems()[1] {
+            TrainElem::Block { branches, fork, join } => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(branches[0].len(), 2);
+                assert!(branches[1].is_empty());
+                assert_eq!(*fork, FeatureShape::conv(2, 8, 4, 4));
+                assert_eq!(join, fork);
+            }
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conversion_edges_for_chain() {
+        let view = simple();
+        let edges = view.conversion_edges();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].from, 0);
+        assert_eq!(edges[0].to, 1);
+        // fc input after pool+flatten: 4 × 96.
+        assert_eq!(edges[0].boundary_elems, 4 * 96);
+    }
+
+    #[test]
+    fn conversion_edges_across_identity_block() {
+        // stem -> [b1 -> b2 | identity] -> fc
+        let view = NetworkBuilder::new("r", FeatureShape::conv(2, 8, 4, 4))
+            .conv2d("stem", 8, 8, ConvGeometry::same(3))
+            .residual(
+                vec![
+                    Layer::conv2d("b1", 8, 8, ConvGeometry::same(3)),
+                    Layer::conv2d("b2", 8, 8, ConvGeometry::same(3)),
+                ],
+                vec![],
+            )
+            .flatten("f")
+            .linear("fc", 8 * 16, 2)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let edges = view.conversion_edges();
+        // stem->b1, b1->b2, b2->fc, stem->fc (identity shortcut).
+        let pairs: Vec<(usize, usize)> = edges.iter().map(|e| (e.from, e.to)).collect();
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 2)));
+        assert!(pairs.contains(&(2, 3)));
+        assert!(pairs.contains(&(0, 3)));
+        assert_eq!(edges.len(), 4);
+    }
+
+    #[test]
+    fn conversion_edges_two_weighted_branches() {
+        let view = NetworkBuilder::new("p", FeatureShape::conv(2, 8, 4, 4))
+            .conv2d("stem", 8, 8, ConvGeometry::same(3))
+            .block(
+                crate::JoinOp::Add,
+                vec![
+                    vec![Layer::conv2d("p1", 8, 8, ConvGeometry::same(3))],
+                    vec![Layer::conv2d("p2", 8, 8, ConvGeometry::same(3))],
+                ],
+            )
+            .flatten("f")
+            .linear("fc", 8 * 16, 2)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let pairs: Vec<(usize, usize)> =
+            view.conversion_edges().iter().map(|e| (e.from, e.to)).collect();
+        // stem feeds both branches; both branches feed fc.
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn indices_are_sequential_across_blocks() {
+        let view = NetworkBuilder::new("r", FeatureShape::conv(2, 8, 4, 4))
+            .conv2d("stem", 8, 8, ConvGeometry::same(3))
+            .residual(vec![Layer::conv2d("b", 8, 8, ConvGeometry::same(3))], vec![])
+            .flatten("f")
+            .linear("fc", 8 * 16, 2)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let indices: Vec<_> = view.layers().map(TrainLayer::index).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+}

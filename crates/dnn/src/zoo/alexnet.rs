@@ -1,0 +1,88 @@
+use crate::builder::NetworkBuilder;
+use crate::error::NetworkError;
+use crate::network::Network;
+use accpar_tensor::{ConvGeometry, FeatureShape};
+
+use super::IMAGENET_CLASSES;
+
+/// AlexNet (Krizhevsky et al., NIPS 2012) in its single-tower form: five
+/// convolutions (`cv1`–`cv5`) and three fully-connected layers
+/// (`fc1`–`fc3`), the layer naming used by Figure 7 of the AccPar paper.
+///
+/// Channel plan 96 → 256 → 384 → 384 → 256 follows the original paper;
+/// the classifier is 9216 → 4096 → 4096 → 1000.
+///
+/// # Errors
+///
+/// Construction is infallible for any positive batch; errors indicate a
+/// bug in this function.
+pub fn alexnet(batch: usize) -> Result<Network, NetworkError> {
+    NetworkBuilder::new("alexnet", FeatureShape::conv(batch, 3, 224, 224))
+        .conv2d("cv1", 3, 96, ConvGeometry::new(11, 4, 2))
+        .relu("relu1")
+        .lrn("lrn1")
+        .max_pool("pool1", ConvGeometry::new(3, 2, 0))
+        .conv2d("cv2", 96, 256, ConvGeometry::new(5, 1, 2))
+        .relu("relu2")
+        .lrn("lrn2")
+        .max_pool("pool2", ConvGeometry::new(3, 2, 0))
+        .conv2d("cv3", 256, 384, ConvGeometry::same(3))
+        .relu("relu3")
+        .conv2d("cv4", 384, 384, ConvGeometry::same(3))
+        .relu("relu4")
+        .conv2d("cv5", 384, 256, ConvGeometry::same(3))
+        .relu("relu5")
+        .max_pool("pool5", ConvGeometry::new(3, 2, 0))
+        .flatten("flatten")
+        .dropout("drop1")
+        .linear("fc1", 256 * 6 * 6, 4096)
+        .relu("relu6")
+        .dropout("drop2")
+        .linear("fc2", 4096, 4096)
+        .relu("relu7")
+        .linear("fc3", 4096, IMAGENET_CLASSES)
+        .softmax("softmax")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_shapes() {
+        let net = alexnet(512).unwrap();
+        assert_eq!(net.output(), FeatureShape::fc(512, 1000));
+        let view = net.train_view().unwrap();
+        assert_eq!(view.weighted_len(), 8);
+        let names: Vec<_> = view.layers().map(|l| l.name().to_owned()).collect();
+        assert_eq!(
+            names,
+            ["cv1", "cv2", "cv3", "cv4", "cv5", "fc1", "fc2", "fc3"]
+        );
+    }
+
+    #[test]
+    fn conv_feature_extents_match_original_paper() {
+        let net = alexnet(1).unwrap();
+        let view = net.train_view().unwrap();
+        let spatials: Vec<_> = view
+            .layers()
+            .filter(|l| l.kind().is_conv())
+            .map(|l| l.out_fmap().spatial())
+            .collect();
+        assert_eq!(
+            spatials,
+            [(55, 55), (27, 27), (13, 13), (13, 13), (13, 13)]
+        );
+    }
+
+    #[test]
+    fn alexnet_parameter_count_is_about_61m() {
+        // Single-tower weights-only count.
+        let params = alexnet(1).unwrap().stats().params;
+        assert!(params > 55_000_000 && params < 65_000_000, "{params}");
+        // FC layers dominate: fc1 alone is 9216*4096 ≈ 37.7 M.
+        assert!(params > 9216 * 4096);
+    }
+}

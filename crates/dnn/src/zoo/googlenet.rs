@@ -1,0 +1,162 @@
+use crate::builder::NetworkBuilder;
+use crate::error::NetworkError;
+use crate::layer::{Activation, Layer, LayerKind, PoolKind};
+use crate::network::{JoinOp, Network};
+use accpar_tensor::{ConvGeometry, FeatureShape};
+
+use super::IMAGENET_CLASSES;
+
+/// Channel plan of one Inception module:
+/// `(1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj)`.
+type InceptionCfg = (usize, usize, usize, usize, usize, usize);
+
+/// GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015) — an *extension*
+/// beyond the paper's evaluation suite: its inception modules are
+/// four-way channel-concatenation blocks, exercising the multi-path
+/// search (§5.2) on `Concat` joins with more than two branches (ResNet's
+/// blocks are two-way `Add` joins).
+///
+/// The auxiliary classifiers (training-time side heads) are omitted, as
+/// is standard for architectural analysis.
+///
+/// # Errors
+///
+/// Construction is infallible for any positive batch; errors indicate a
+/// bug in this function.
+pub fn googlenet(batch: usize) -> Result<Network, NetworkError> {
+    let mut b = NetworkBuilder::new("googlenet", FeatureShape::conv(batch, 3, 224, 224))
+        .conv2d("conv1", 3, 64, ConvGeometry::new(7, 2, 3))
+        .relu("relu1")
+        .max_pool("pool1", ConvGeometry::new(3, 2, 1))
+        .lrn("lrn1")
+        .conv2d("conv2r", 64, 64, ConvGeometry::pointwise(1))
+        .relu("relu2r")
+        .conv2d("conv2", 64, 192, ConvGeometry::same(3))
+        .relu("relu2")
+        .lrn("lrn2")
+        .max_pool("pool2", ConvGeometry::new(3, 2, 1));
+
+    // (name, c_in, cfg). Output channels = 1x1 + 3x3 + 5x5 + pool proj.
+    let modules: [(&str, usize, InceptionCfg); 9] = [
+        ("3a", 192, (64, 96, 128, 16, 32, 32)),    // -> 256
+        ("3b", 256, (128, 128, 192, 32, 96, 64)),  // -> 480
+        ("4a", 480, (192, 96, 208, 16, 48, 64)),   // -> 512
+        ("4b", 512, (160, 112, 224, 24, 64, 64)),  // -> 512
+        ("4c", 512, (128, 128, 256, 24, 64, 64)),  // -> 512
+        ("4d", 512, (112, 144, 288, 32, 64, 64)),  // -> 528
+        ("4e", 528, (256, 160, 320, 32, 128, 128)), // -> 832
+        ("5a", 832, (256, 160, 320, 32, 128, 128)), // -> 832
+        ("5b", 832, (384, 192, 384, 48, 128, 128)), // -> 1024
+    ];
+
+    for (name, c_in, cfg) in modules {
+        b = b.block(JoinOp::Concat, inception_branches(name, c_in, cfg));
+        match name {
+            "3b" | "4e" => {
+                b = b.max_pool(format!("pool_{name}"), ConvGeometry::new(3, 2, 1));
+            }
+            _ => {}
+        }
+    }
+
+    b.avg_pool("avgpool", ConvGeometry::new(7, 1, 0))
+        .flatten("flatten")
+        .dropout("dropout")
+        .linear("fc", 1024, IMAGENET_CLASSES)
+        .softmax("softmax")
+        .build()
+}
+
+fn inception_branches(name: &str, c_in: usize, cfg: InceptionCfg) -> Vec<Vec<Layer>> {
+    let (p1, p3r, p3, p5r, p5, pp) = cfg;
+    vec![
+        // 1x1 branch.
+        vec![
+            Layer::conv2d(format!("i{name}.b1"), c_in, p1, ConvGeometry::pointwise(1)),
+            Layer::activation(format!("i{name}.b1r"), Activation::Relu),
+        ],
+        // 1x1 reduce -> 3x3 branch.
+        vec![
+            Layer::conv2d(format!("i{name}.b3r"), c_in, p3r, ConvGeometry::pointwise(1)),
+            Layer::activation(format!("i{name}.b3rr"), Activation::Relu),
+            Layer::conv2d(format!("i{name}.b3"), p3r, p3, ConvGeometry::same(3)),
+            Layer::activation(format!("i{name}.b3a"), Activation::Relu),
+        ],
+        // 1x1 reduce -> 5x5 branch.
+        vec![
+            Layer::conv2d(format!("i{name}.b5r"), c_in, p5r, ConvGeometry::pointwise(1)),
+            Layer::activation(format!("i{name}.b5rr"), Activation::Relu),
+            Layer::conv2d(format!("i{name}.b5"), p5r, p5, ConvGeometry::same(5)),
+            Layer::activation(format!("i{name}.b5a"), Activation::Relu),
+        ],
+        // 3x3 maxpool -> 1x1 projection branch.
+        vec![
+            Layer::pool(
+                format!("i{name}.pp"),
+                PoolKind::Max,
+                ConvGeometry::new(3, 1, 1),
+            ),
+            Layer::conv2d(format!("i{name}.ppc"), c_in, pp, ConvGeometry::pointwise(1)),
+            Layer::new(format!("i{name}.ppr"), LayerKind::Activation(Activation::Relu)),
+        ],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TrainElem;
+
+    #[test]
+    fn googlenet_shapes() {
+        let net = googlenet(32).unwrap();
+        assert_eq!(net.output(), FeatureShape::fc(32, 1000));
+        let view = net.train_view().unwrap();
+        // 3 stem convs + 9 modules x 6 convs + 1 fc = 58 weighted layers.
+        assert_eq!(view.weighted_len(), 58);
+    }
+
+    #[test]
+    fn inception_modules_are_four_way_blocks() {
+        let view = googlenet(2).unwrap().train_view().unwrap();
+        let blocks: Vec<_> = view
+            .elems()
+            .iter()
+            .filter_map(|e| match e {
+                TrainElem::Block { branches, .. } => Some(branches),
+                TrainElem::Layer(_) => None,
+            })
+            .collect();
+        assert_eq!(blocks.len(), 9);
+        for branches in blocks {
+            assert_eq!(branches.len(), 4);
+            // 1x1 branch has one conv; 3x3 and 5x5 have two; pool has one.
+            let lens: Vec<usize> = branches.iter().map(Vec::len).collect();
+            assert_eq!(lens, vec![1, 2, 2, 1]);
+        }
+    }
+
+    #[test]
+    fn concat_channels_accumulate() {
+        let net = googlenet(1).unwrap();
+        let view = net.train_view().unwrap();
+        // Module 3a: 64 + 128 + 32 + 32 = 256 channels at 28x28.
+        let first_block = view
+            .elems()
+            .iter()
+            .find_map(|e| match e {
+                TrainElem::Block { join, .. } => Some(*join),
+                TrainElem::Layer(_) => None,
+            })
+            .unwrap();
+        assert_eq!(first_block.channels(), 256);
+        assert_eq!(first_block.spatial(), (28, 28));
+    }
+
+    #[test]
+    fn googlenet_parameter_count_is_about_6m() {
+        // ~6.6 M conv+fc weights (no biases, no aux heads).
+        let params = googlenet(1).unwrap().stats().params;
+        assert!(params > 5_000_000 && params < 8_000_000, "{params}");
+    }
+}

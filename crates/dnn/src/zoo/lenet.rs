@@ -1,0 +1,58 @@
+use crate::builder::NetworkBuilder;
+use crate::error::NetworkError;
+use crate::network::Network;
+use accpar_tensor::{ConvGeometry, FeatureShape};
+
+use super::MNIST_CLASSES;
+
+/// LeNet-5 (LeCun et al.) for MNIST: two 5×5 convolutions with 2×2
+/// average pooling, then three fully-connected layers
+/// (400 → 120 → 84 → 10).
+///
+/// The 28×28 MNIST digits are zero-padded to 32×32 by the first
+/// convolution, matching the original network.
+///
+/// # Errors
+///
+/// Construction is infallible for any positive batch; errors indicate a
+/// bug in this function.
+pub fn lenet(batch: usize) -> Result<Network, NetworkError> {
+    NetworkBuilder::new("lenet", FeatureShape::conv(batch, 1, 28, 28))
+        .conv2d("cv1", 1, 6, ConvGeometry::new(5, 1, 2))
+        .relu("relu1")
+        .avg_pool("pool1", ConvGeometry::new(2, 2, 0))
+        .conv2d("cv2", 6, 16, ConvGeometry::new(5, 1, 0))
+        .relu("relu2")
+        .avg_pool("pool2", ConvGeometry::new(2, 2, 0))
+        .flatten("flatten")
+        .linear("fc1", 16 * 5 * 5, 120)
+        .relu("relu3")
+        .linear("fc2", 120, 84)
+        .relu("relu4")
+        .linear("fc3", 84, MNIST_CLASSES)
+        .softmax("softmax")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_shapes() {
+        let net = lenet(128).unwrap();
+        assert_eq!(net.output(), FeatureShape::fc(128, 10));
+        let view = net.train_view().unwrap();
+        assert_eq!(view.weighted_len(), 5);
+        let fcs: Vec<_> = view.layers().filter(|l| !l.kind().is_conv()).collect();
+        assert_eq!(fcs[0].d_in(), 400);
+        assert_eq!(fcs[0].d_out(), 120);
+    }
+
+    #[test]
+    fn lenet_parameter_count() {
+        // Weights only: 1·6·25 + 6·16·25 + 400·120 + 120·84 + 84·10
+        let expected = 150 + 2400 + 48_000 + 10_080 + 840;
+        assert_eq!(lenet(1).unwrap().stats().params, expected);
+    }
+}

@@ -1,0 +1,114 @@
+//! The model zoo of the paper's evaluation (§6.1): LeNet on MNIST-shaped
+//! inputs, and AlexNet, the VGG series and the ResNet series on
+//! ImageNet-shaped inputs.
+//!
+//! All constructors take the mini-batch size (the paper uses 512) and
+//! return a fully shape-resolved [`Network`].
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_dnn::zoo;
+//!
+//! for net in zoo::evaluation_suite(512)? {
+//!     assert_eq!(net.batch(), 512);
+//! }
+//! # Ok::<(), accpar_dnn::NetworkError>(())
+//! ```
+
+mod alexnet;
+mod googlenet;
+mod lenet;
+mod resnet;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use googlenet::googlenet;
+pub use lenet::lenet;
+pub use resnet::{resnet, resnet101, resnet152, resnet18, resnet34, resnet50, ResnetConfig};
+pub use vgg::{vgg, vgg11, vgg13, vgg16, vgg19, VggConfig};
+
+use crate::error::NetworkError;
+use crate::network::Network;
+
+/// Number of ImageNet classes used by every large model.
+pub const IMAGENET_CLASSES: usize = 1000;
+
+/// Number of MNIST classes used by LeNet.
+pub const MNIST_CLASSES: usize = 10;
+
+/// The nine networks of the paper's evaluation, in Figure 5 order.
+pub const EVALUATION_NAMES: [&str; 9] = [
+    "lenet", "alexnet", "vgg11", "vgg13", "vgg16", "vgg19", "resnet18", "resnet34", "resnet50",
+];
+
+/// Builds a zoo network by its [`EVALUATION_NAMES`] name.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::InvalidGraph`] for an unknown name and
+/// propagates shape errors (which indicate a bug in the zoo itself).
+pub fn by_name(name: &str, batch: usize) -> Result<Network, NetworkError> {
+    match name {
+        "lenet" => lenet(batch),
+        "alexnet" => alexnet(batch),
+        "vgg11" => vgg11(batch),
+        "vgg13" => vgg13(batch),
+        "vgg16" => vgg16(batch),
+        "vgg19" => vgg19(batch),
+        "resnet18" => resnet18(batch),
+        "resnet34" => resnet34(batch),
+        "resnet50" => resnet50(batch),
+        "resnet101" => resnet101(batch),
+        "resnet152" => resnet152(batch),
+        "googlenet" => googlenet(batch),
+        other => Err(NetworkError::InvalidGraph(format!(
+            "unknown zoo network `{other}`"
+        ))),
+    }
+}
+
+/// Builds all nine evaluation networks in Figure 5 order.
+///
+/// # Errors
+///
+/// Propagates construction errors (which indicate a bug in the zoo).
+pub fn evaluation_suite(batch: usize) -> Result<Vec<Network>, NetworkError> {
+    EVALUATION_NAMES
+        .iter()
+        .map(|name| by_name(name, batch))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_covers_evaluation_names() {
+        for name in EVALUATION_NAMES {
+            let net = by_name(name, 2).unwrap();
+            assert_eq!(net.name(), name);
+            assert_eq!(net.batch(), 2);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_rejected() {
+        assert!(by_name("gpt5", 2).is_err());
+    }
+
+    #[test]
+    fn suite_has_nine_networks() {
+        let suite = evaluation_suite(2).unwrap();
+        assert_eq!(suite.len(), 9);
+    }
+
+    #[test]
+    fn imagenet_models_end_in_1000_classes() {
+        for name in &EVALUATION_NAMES[1..] {
+            let net = by_name(name, 2).unwrap();
+            assert_eq!(net.output().channels(), IMAGENET_CLASSES, "{name}");
+        }
+    }
+}

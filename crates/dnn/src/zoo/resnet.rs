@@ -1,0 +1,289 @@
+use crate::builder::NetworkBuilder;
+use crate::error::NetworkError;
+use crate::layer::{Activation, Layer, LayerKind};
+use crate::network::Network;
+use accpar_tensor::{ConvGeometry, FeatureShape};
+
+use super::IMAGENET_CLASSES;
+
+/// The two residual block flavors of He et al. (CVPR 2016).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Two 3×3 convolutions (ResNet-18/34); expansion 1.
+    Basic,
+    /// 1×1 → 3×3 → 1×1 bottleneck (ResNet-50/101/152); expansion 4.
+    Bottleneck,
+}
+
+impl BlockKind {
+    /// Output-channel multiplier of the block.
+    #[must_use]
+    pub const fn expansion(self) -> usize {
+        match self {
+            BlockKind::Basic => 1,
+            BlockKind::Bottleneck => 4,
+        }
+    }
+}
+
+/// Configuration of a ResNet variant: block flavor and per-stage depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResnetConfig {
+    /// Display name, e.g. `"resnet50"`.
+    pub name: &'static str,
+    /// Basic or bottleneck residual blocks.
+    pub block: BlockKind,
+    /// Number of residual blocks in each of the four stages.
+    pub stages: [usize; 4],
+}
+
+/// ResNet-18.
+pub const RESNET18: ResnetConfig = ResnetConfig {
+    name: "resnet18",
+    block: BlockKind::Basic,
+    stages: [2, 2, 2, 2],
+};
+
+/// ResNet-34.
+pub const RESNET34: ResnetConfig = ResnetConfig {
+    name: "resnet34",
+    block: BlockKind::Basic,
+    stages: [3, 4, 6, 3],
+};
+
+/// ResNet-50.
+pub const RESNET50: ResnetConfig = ResnetConfig {
+    name: "resnet50",
+    block: BlockKind::Bottleneck,
+    stages: [3, 4, 6, 3],
+};
+
+/// ResNet-101.
+pub const RESNET101: ResnetConfig = ResnetConfig {
+    name: "resnet101",
+    block: BlockKind::Bottleneck,
+    stages: [3, 4, 23, 3],
+};
+
+/// ResNet-152.
+pub const RESNET152: ResnetConfig = ResnetConfig {
+    name: "resnet152",
+    block: BlockKind::Bottleneck,
+    stages: [3, 8, 36, 3],
+};
+
+const STAGE_WIDTHS: [usize; 4] = [64, 128, 256, 512];
+
+/// Builds a ResNet variant from its configuration: 7×7/2 stem, 3×3/2 max
+/// pooling, four residual stages, global average pooling and a final
+/// fully-connected classifier — the multi-path topology AccPar's §5.2
+/// algorithm exists to handle.
+///
+/// # Errors
+///
+/// Construction is infallible for any positive batch; errors indicate a
+/// bug in this function.
+pub fn resnet(config: ResnetConfig, batch: usize) -> Result<Network, NetworkError> {
+    let expansion = config.block.expansion();
+    let mut b = NetworkBuilder::new(config.name, FeatureShape::conv(batch, 3, 224, 224))
+        .conv2d("conv1", 3, 64, ConvGeometry::new(7, 2, 3))
+        .batch_norm("bn1")
+        .relu("relu1")
+        .max_pool("maxpool", ConvGeometry::new(3, 2, 1));
+
+    let mut c_in = 64;
+    for (stage, (&depth, &width)) in config.stages.iter().zip(STAGE_WIDTHS.iter()).enumerate() {
+        for block in 0..depth {
+            // Stage 1 keeps the 56×56 extent; stages 2–4 downsample in
+            // their first block.
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let c_out = width * expansion;
+            let prefix = format!("l{}b{}", stage + 1, block + 1);
+            let branch = residual_branch(config.block, &prefix, c_in, width, stride);
+            let shortcut = if stride != 1 || c_in != c_out {
+                vec![
+                    Layer::conv2d(
+                        format!("{prefix}.down"),
+                        c_in,
+                        c_out,
+                        ConvGeometry::pointwise(stride),
+                    ),
+                    Layer::new(format!("{prefix}.downbn"), LayerKind::BatchNorm),
+                ]
+            } else {
+                vec![]
+            };
+            b = b
+                .residual(branch, shortcut)
+                .relu(format!("{prefix}.relu_out"));
+            c_in = c_out;
+        }
+    }
+
+    b.avg_pool("avgpool", ConvGeometry::new(7, 1, 0))
+        .flatten("flatten")
+        .linear("fc", 512 * expansion, IMAGENET_CLASSES)
+        .softmax("softmax")
+        .build()
+}
+
+fn residual_branch(
+    kind: BlockKind,
+    prefix: &str,
+    c_in: usize,
+    width: usize,
+    stride: usize,
+) -> Vec<Layer> {
+    match kind {
+        BlockKind::Basic => vec![
+            Layer::conv2d(
+                format!("{prefix}.conv1"),
+                c_in,
+                width,
+                ConvGeometry::try_new((3, 3), (stride, stride), (1, 1)).expect("valid geometry"),
+            ),
+            Layer::new(format!("{prefix}.bn1"), LayerKind::BatchNorm),
+            Layer::activation(format!("{prefix}.relu1"), Activation::Relu),
+            Layer::conv2d(format!("{prefix}.conv2"), width, width, ConvGeometry::same(3)),
+            Layer::new(format!("{prefix}.bn2"), LayerKind::BatchNorm),
+        ],
+        BlockKind::Bottleneck => vec![
+            Layer::conv2d(format!("{prefix}.conv1"), c_in, width, ConvGeometry::pointwise(1)),
+            Layer::new(format!("{prefix}.bn1"), LayerKind::BatchNorm),
+            Layer::activation(format!("{prefix}.relu1"), Activation::Relu),
+            Layer::conv2d(
+                format!("{prefix}.conv2"),
+                width,
+                width,
+                ConvGeometry::try_new((3, 3), (stride, stride), (1, 1)).expect("valid geometry"),
+            ),
+            Layer::new(format!("{prefix}.bn2"), LayerKind::BatchNorm),
+            Layer::activation(format!("{prefix}.relu2"), Activation::Relu),
+            Layer::conv2d(
+                format!("{prefix}.conv3"),
+                width,
+                width * 4,
+                ConvGeometry::pointwise(1),
+            ),
+            Layer::new(format!("{prefix}.bn3"), LayerKind::BatchNorm),
+        ],
+    }
+}
+
+/// ResNet-18 at the given batch size.
+///
+/// # Errors
+///
+/// See [`resnet`].
+pub fn resnet18(batch: usize) -> Result<Network, NetworkError> {
+    resnet(RESNET18, batch)
+}
+
+/// ResNet-34 at the given batch size.
+///
+/// # Errors
+///
+/// See [`resnet`].
+pub fn resnet34(batch: usize) -> Result<Network, NetworkError> {
+    resnet(RESNET34, batch)
+}
+
+/// ResNet-50 at the given batch size.
+///
+/// # Errors
+///
+/// See [`resnet`].
+pub fn resnet50(batch: usize) -> Result<Network, NetworkError> {
+    resnet(RESNET50, batch)
+}
+
+/// ResNet-101 at the given batch size.
+///
+/// # Errors
+///
+/// See [`resnet`].
+pub fn resnet101(batch: usize) -> Result<Network, NetworkError> {
+    resnet(RESNET101, batch)
+}
+
+/// ResNet-152 at the given batch size.
+///
+/// # Errors
+///
+/// See [`resnet`].
+pub fn resnet152(batch: usize) -> Result<Network, NetworkError> {
+    resnet(RESNET152, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TrainElem;
+
+    #[test]
+    fn weighted_layer_counts() {
+        // Weighted = convs (incl. downsample convs) + final fc.
+        // resnet18: 1 + 2·(2+2+2+2) + 3 downsamples + 1 = 21
+        let r18 = resnet18(2).unwrap().train_view().unwrap();
+        assert_eq!(r18.weighted_len(), 21);
+        // resnet34: 1 + 2·16 + 3 + 1 = 37
+        let r34 = resnet34(2).unwrap().train_view().unwrap();
+        assert_eq!(r34.weighted_len(), 37);
+        // resnet50: 1 + 3·16 + 4 + 1 = 54
+        let r50 = resnet50(2).unwrap().train_view().unwrap();
+        assert_eq!(r50.weighted_len(), 54);
+    }
+
+    #[test]
+    fn blocks_are_preserved_in_train_view() {
+        let view = resnet18(2).unwrap().train_view().unwrap();
+        let blocks = view
+            .elems()
+            .iter()
+            .filter(|e| matches!(e, TrainElem::Block { .. }))
+            .count();
+        assert_eq!(blocks, 8);
+        // First block of stage 1 has an identity shortcut.
+        let first_block = view
+            .elems()
+            .iter()
+            .find_map(|e| match e {
+                TrainElem::Block { branches, .. } => Some(branches),
+                TrainElem::Layer(_) => None,
+            })
+            .unwrap();
+        assert!(first_block.iter().any(Vec::is_empty));
+    }
+
+    #[test]
+    fn spatial_pyramid_is_correct() {
+        let view = resnet50(1).unwrap().train_view().unwrap();
+        // Stem output 112², stages run at 56², 28², 14², 7².
+        let stem = view.layers().next().unwrap();
+        assert_eq!(stem.out_fmap().spatial(), (112, 112));
+        let fc = view.layers().find(|l| !l.kind().is_conv()).unwrap();
+        assert_eq!(fc.d_in(), 2048);
+        assert_eq!(fc.d_out(), 1000);
+    }
+
+    #[test]
+    fn resnet_is_compute_dense_relative_to_vgg() {
+        // §6.2: "the computation densities of Resnet series are higher
+        // than those of Vgg series" — training FLOPs per parameter.
+        let r50 = resnet50(32).unwrap().stats();
+        let v16 = super::super::vgg16(32).unwrap().stats();
+        assert!(r50.flops_per_param() > v16.flops_per_param());
+        assert!(v16.params > 5 * r50.params);
+    }
+
+    #[test]
+    fn deeper_resnets_have_more_parameters() {
+        let p18 = resnet18(1).unwrap().stats().params;
+        let p34 = resnet34(1).unwrap().stats().params;
+        let p50 = resnet50(1).unwrap().stats().params;
+        let p101 = resnet101(1).unwrap().stats().params;
+        assert!(p18 < p34 && p34 < p50 && p50 < p101);
+        // resnet50 ≈ 25.5 M params (weights only ≈ 23.5 M).
+        assert!(p50 > 20_000_000 && p50 < 26_000_000, "{p50}");
+    }
+}

@@ -1,0 +1,163 @@
+use crate::builder::NetworkBuilder;
+use crate::error::NetworkError;
+use crate::network::Network;
+use accpar_tensor::{ConvGeometry, FeatureShape};
+
+use super::IMAGENET_CLASSES;
+
+/// Configuration of a VGG variant (Simonyan & Zisserman, 2014): the
+/// number of 3×3 convolutions in each of the five blocks.
+///
+/// Blocks use channel widths 64, 128, 256, 512, 512 and are separated by
+/// 2×2/2 max pooling; the classifier is 25088 → 4096 → 4096 → 1000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VggConfig {
+    /// Display name, e.g. `"vgg16"`.
+    pub name: &'static str,
+    /// Convolutions per block (5 blocks).
+    pub convs_per_block: [usize; 5],
+}
+
+/// VGG-11 (configuration A).
+pub const VGG11: VggConfig = VggConfig {
+    name: "vgg11",
+    convs_per_block: [1, 1, 2, 2, 2],
+};
+
+/// VGG-13 (configuration B).
+pub const VGG13: VggConfig = VggConfig {
+    name: "vgg13",
+    convs_per_block: [2, 2, 2, 2, 2],
+};
+
+/// VGG-16 (configuration D).
+pub const VGG16: VggConfig = VggConfig {
+    name: "vgg16",
+    convs_per_block: [2, 2, 3, 3, 3],
+};
+
+/// VGG-19 (configuration E).
+pub const VGG19: VggConfig = VggConfig {
+    name: "vgg19",
+    convs_per_block: [2, 2, 4, 4, 4],
+};
+
+const BLOCK_CHANNELS: [usize; 5] = [64, 128, 256, 512, 512];
+
+/// Builds a VGG variant from its configuration.
+///
+/// # Errors
+///
+/// Construction is infallible for any positive batch; errors indicate a
+/// bug in this function.
+pub fn vgg(config: VggConfig, batch: usize) -> Result<Network, NetworkError> {
+    let mut b = NetworkBuilder::new(config.name, FeatureShape::conv(batch, 3, 224, 224));
+    let mut c_in = 3;
+    for (block, (&n_convs, &c_out)) in config
+        .convs_per_block
+        .iter()
+        .zip(BLOCK_CHANNELS.iter())
+        .enumerate()
+    {
+        for i in 0..n_convs {
+            let name = format!("cv{}_{}", block + 1, i + 1);
+            b = b
+                .conv2d(&name, c_in, c_out, ConvGeometry::same(3))
+                .relu(format!("relu{}_{}", block + 1, i + 1));
+            c_in = c_out;
+        }
+        b = b.max_pool(format!("pool{}", block + 1), ConvGeometry::new(2, 2, 0));
+    }
+    b.flatten("flatten")
+        .linear("fc1", 512 * 7 * 7, 4096)
+        .relu("relu_fc1")
+        .dropout("drop1")
+        .linear("fc2", 4096, 4096)
+        .relu("relu_fc2")
+        .dropout("drop2")
+        .linear("fc3", 4096, IMAGENET_CLASSES)
+        .softmax("softmax")
+        .build()
+}
+
+/// VGG-11 at the given batch size.
+///
+/// # Errors
+///
+/// See [`vgg`].
+pub fn vgg11(batch: usize) -> Result<Network, NetworkError> {
+    vgg(VGG11, batch)
+}
+
+/// VGG-13 at the given batch size.
+///
+/// # Errors
+///
+/// See [`vgg`].
+pub fn vgg13(batch: usize) -> Result<Network, NetworkError> {
+    vgg(VGG13, batch)
+}
+
+/// VGG-16 at the given batch size.
+///
+/// # Errors
+///
+/// See [`vgg`].
+pub fn vgg16(batch: usize) -> Result<Network, NetworkError> {
+    vgg(VGG16, batch)
+}
+
+/// VGG-19 at the given batch size.
+///
+/// # Errors
+///
+/// See [`vgg`].
+pub fn vgg19(batch: usize) -> Result<Network, NetworkError> {
+    vgg(VGG19, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_layer_counts_match_names() {
+        let cases = [(VGG11, 11), (VGG13, 13), (VGG16, 16), (VGG19, 19)];
+        for (cfg, expected) in cases {
+            let net = vgg(cfg, 2).unwrap();
+            assert_eq!(
+                net.train_view().unwrap().weighted_len(),
+                expected,
+                "{}",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn vgg16_params_match_simonyan_zisserman() {
+        // 138,344,128 weight parameters (weights only, no biases).
+        let params = vgg16(1).unwrap().stats().params;
+        assert_eq!(params, 138_344_128);
+    }
+
+    #[test]
+    fn final_conv_block_reaches_7x7() {
+        let net = vgg19(2).unwrap();
+        let view = net.train_view().unwrap();
+        let convs: Vec<_> = view.layers().filter(|l| l.kind().is_conv()).collect();
+        let last_conv = convs.last().unwrap();
+        assert_eq!(last_conv.out_fmap().spatial(), (14, 14));
+        // After pool5 the fc1 input is flat 512·7·7.
+        let fc1 = view.layers().find(|l| l.name() == "fc1").unwrap();
+        assert_eq!(fc1.d_in(), 25_088);
+    }
+
+    #[test]
+    fn vgg_sizes_increase_with_depth() {
+        let p11 = vgg11(1).unwrap().stats();
+        let p19 = vgg19(1).unwrap().stats();
+        assert!(p19.params > p11.params);
+        assert!(p19.train_flops > p11.train_flops);
+    }
+}

@@ -1,0 +1,675 @@
+//! The hierarchical oracle: §5.1's *recursive* partitioning executed
+//! numerically on `2^h` virtual devices.
+//!
+//! The planner and the simulator both rely on the `ShardScales` algebra:
+//! at hierarchy level `k`, a tensor's shard is the full tensor shrunk by
+//! the product of the ancestors' shares along the dimensions their types
+//! partition — and the partial-sum exchange at a level-`k` node moves
+//! exactly the *shard-scaled* psum tensor. This module executes a
+//! uniform multi-level plan for real — every leaf holds an actual
+//! sub-matrix (a rectangle: the intersection of its ancestors' row/column
+//! slices), partial sums combine bottom-up through mirror-leaf exchanges —
+//! and the tests assert that
+//!
+//! 1. the results equal the single-device reference, and
+//! 2. every level's measured exchange volume equals the
+//!    `ShardScales::psum_scale` prediction.
+
+use crate::matrix::Matrix;
+use crate::spec::{Activation, LayerSpec, StepSpec, StepTensors};
+use accpar_partition::{PartitionType, ShardScales};
+use std::collections::HashMap;
+
+/// A rectangle of a logically shared matrix, in global coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Row range start.
+    pub r0: usize,
+    /// Row range end (exclusive).
+    pub r1: usize,
+    /// Column range start.
+    pub c0: usize,
+    /// Column range end (exclusive).
+    pub c1: usize,
+}
+
+impl Rect {
+    fn full(rows: usize, cols: usize) -> Self {
+        Self {
+            r0: 0,
+            r1: rows,
+            c0: 0,
+            c1: cols,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.r1 - self.r0
+    }
+
+    fn cols(&self) -> usize {
+        self.c1 - self.c0
+    }
+
+    /// Elements covered.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        (self.rows() * self.cols()) as u64
+    }
+
+    /// Never empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.r0 >= self.r1 || self.c0 >= self.c1
+    }
+
+    fn contains(&self, r: usize, c: usize) -> bool {
+        self.r0 <= r && r < self.r1 && self.c0 <= c && c < self.c1
+    }
+}
+
+/// A leaf's rectangle of a shared tensor plus its data.
+#[derive(Debug, Clone)]
+struct RectPiece {
+    rect: Rect,
+    data: Matrix,
+}
+
+impl RectPiece {
+    fn slice_of(m: &Matrix, rect: Rect) -> Self {
+        let data = Matrix::from_fn(rect.rows(), rect.cols(), |r, c| {
+            m.at(rect.r0 + r, rect.c0 + c)
+        });
+        Self { rect, data }
+    }
+
+    fn at_global(&self, r: usize, c: usize) -> f64 {
+        self.data.at(r - self.rect.r0, c - self.rect.c0)
+    }
+}
+
+/// The per-level decision for one layer: the basic type and the fraction
+/// of the *node's own* partitioned range assigned to its first child.
+pub type LevelPlan = (PartitionType, f64);
+
+/// A uniform hierarchical plan: `plans[level][layer]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierStepSpec {
+    /// The underlying chain (its per-layer `ptype`/`split` are unused;
+    /// dimensions, data and activation are shared with the flat oracle).
+    pub base: StepSpec,
+    /// Per level, per layer decisions.
+    pub plans: Vec<Vec<LevelPlan>>,
+}
+
+impl HierStepSpec {
+    /// Builds a hierarchical spec over the given layer dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level's plan does not cover every layer, or any
+    /// fraction is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(
+        batch: usize,
+        dims: &[usize],
+        plans: Vec<Vec<LevelPlan>>,
+        activation: Activation,
+    ) -> Self {
+        let layers: Vec<LayerSpec> = dims
+            .windows(2)
+            .map(|pair| LayerSpec::new(pair[0], pair[1], PartitionType::TypeI, 1))
+            .collect();
+        let base = StepSpec::with_activation(batch, layers, activation);
+        for level in &plans {
+            assert_eq!(level.len(), base.layers.len(), "one plan entry per layer");
+            for &(_, frac) in level {
+                assert!(frac > 0.0 && frac < 1.0, "fractions must be interior");
+            }
+        }
+        Self { base, plans }
+    }
+
+    fn levels(&self) -> usize {
+        self.plans.len()
+    }
+
+    fn n_leaves(&self) -> usize {
+        1 << self.levels()
+    }
+}
+
+/// Splits `range` at `round(frac·len)` clamped to keep both sides
+/// non-empty, returning the requested side.
+fn split_range(range: (usize, usize), frac: f64, second: bool) -> (usize, usize) {
+    let len = range.1 - range.0;
+    let s = ((frac * len as f64).round() as usize).clamp(1, len.saturating_sub(1).max(1));
+    if second {
+        (range.0 + s, range.1)
+    } else {
+        (range.0, range.0 + s)
+    }
+}
+
+/// Which tensor dims a level's type slices, for each of the tensors of
+/// layer `l`. Folding these over a leaf's path yields its rectangles.
+#[derive(Debug, Clone, Copy)]
+struct LayerRects {
+    f_in: Rect,
+    w: Rect,
+    e_in: Rect,
+}
+
+fn leaf_rects(spec: &HierStepSpec, l: usize, path: &[bool]) -> LayerRects {
+    let layer = spec.base.layers[l];
+    let b = spec.base.batch;
+    let mut batch_i = (0usize, b); // batch rows of F_in / E_out
+    let mut batch_o = (0usize, b); // batch rows of F_out / E_in
+    let mut d_in = (0usize, layer.d_in);
+    let mut d_out = (0usize, layer.d_out);
+    for (level, &bit) in path.iter().enumerate() {
+        let (t, frac) = spec.plans[level][l];
+        match t {
+            PartitionType::TypeI => {
+                batch_i = split_range(batch_i, frac, bit);
+                batch_o = split_range(batch_o, frac, bit);
+            }
+            PartitionType::TypeII => {
+                d_in = split_range(d_in, frac, bit);
+            }
+            PartitionType::TypeIII => {
+                d_out = split_range(d_out, frac, bit);
+            }
+        }
+    }
+    LayerRects {
+        f_in: Rect {
+            r0: batch_i.0,
+            r1: batch_i.1,
+            c0: d_in.0,
+            c1: d_in.1,
+        },
+        w: Rect {
+            r0: d_in.0,
+            r1: d_in.1,
+            c0: d_out.0,
+            c1: d_out.1,
+        },
+        e_in: Rect {
+            r0: batch_o.0,
+            r1: batch_o.1,
+            c0: d_out.0,
+            c1: d_out.1,
+        },
+    }
+}
+
+/// The rectangle of `F_{l+1}` a leaf *produces*: Type-II stays full in
+/// `d_out` (each leaf ends holding the complete psum result over its
+/// enclosing rect), Type-III splits it — the mirror image of the `e_in`
+/// need above.
+fn produced_out_rect(spec: &HierStepSpec, l: usize, path: &[bool]) -> Rect {
+    let layer = spec.base.layers[l];
+    let b = spec.base.batch;
+    let mut batch = (0usize, b);
+    let mut d_out = (0usize, layer.d_out);
+    for (level, &bit) in path.iter().enumerate() {
+        let (t, frac) = spec.plans[level][l];
+        match t {
+            PartitionType::TypeI => batch = split_range(batch, frac, bit),
+            PartitionType::TypeII => {} // full after the psum
+            PartitionType::TypeIII => d_out = split_range(d_out, frac, bit),
+        }
+    }
+    Rect {
+        r0: batch.0,
+        r1: batch.1,
+        c0: d_out.0,
+        c1: d_out.1,
+    }
+}
+
+/// Fetches the rectangle `need` for one leaf, preferring its own piece.
+fn materialize(need: Rect, own: &RectPiece, all: &[RectPiece]) -> Matrix {
+    Matrix::from_fn(need.rows(), need.cols(), |r, c| {
+        let (gr, gc) = (need.r0 + r, need.c0 + c);
+        if own.rect.contains(gr, gc) {
+            own.at_global(gr, gc)
+        } else {
+            all.iter()
+                .find(|p| p.rect.contains(gr, gc))
+                .expect("the leaves jointly cover every tensor cell")
+                .at_global(gr, gc)
+        }
+    })
+}
+
+/// Measured per-leaf psum exchange volumes, keyed by `(level, layer)`.
+pub type PsumLog = HashMap<(usize, usize), u64>;
+
+/// Runs one training step of `spec` on `2^h` virtual devices and returns
+/// the reconstructed tensors plus the per-(level, layer) psum volumes.
+///
+/// # Panics
+///
+/// Panics only on internal invariant violations.
+#[must_use]
+pub fn run(spec: &HierStepSpec) -> (StepTensors, PsumLog) {
+    let n = spec.base.layers.len();
+    let n_leaves = spec.n_leaves();
+    let levels = spec.levels();
+    let act = spec.base.activation;
+    let paths: Vec<Vec<bool>> = (0..n_leaves)
+        .map(|i| (0..levels).map(|b| (i >> (levels - 1 - b)) & 1 == 1).collect())
+        .collect();
+    let mut psum_log: PsumLog = HashMap::new();
+
+    // Mirror-exchange at `level` for the psum phase on layer `l`: every
+    // leaf adds the partial of its mirror across the level's cut. The
+    // logged volume is the traffic crossing the *first* node's cut in one
+    // direction: the union of the distinct partial rectangles held under
+    // its first child. (Leaves that deeper psum levels have already made
+    // replicas of one another share a rectangle and contribute it once —
+    // a real runtime would send it once.)
+    let exchange = |partials: &mut Vec<Matrix>,
+                        rects: &[Rect],
+                        level: usize,
+                        l: usize,
+                        log: &mut PsumLog| {
+        let old = partials.clone();
+        for (i, p) in partials.iter_mut().enumerate() {
+            let mirror = i ^ (1 << (levels - 1 - level));
+            assert_eq!(
+                (p.rows(), p.cols()),
+                (old[mirror].rows(), old[mirror].cols()),
+                "mirror partials must align"
+            );
+            *p = p.add(&old[mirror]);
+        }
+        // First node at this level, first child: ancestor bits and the
+        // level bit are all zero.
+        let first_child = 1usize << (levels - 1 - level);
+        let mut distinct: Vec<Rect> = Vec::new();
+        for (i, rect) in rects.iter().enumerate() {
+            if i < first_child && !distinct.contains(rect) {
+                distinct.push(*rect);
+            }
+        }
+        log.insert((level, l), distinct.iter().map(Rect::len).sum());
+    };
+
+    // --- Forward sweep ---------------------------------------------------
+    let input = spec.base.input();
+    let mut boundary: Vec<RectPiece> = paths
+        .iter()
+        .map(|p| RectPiece::slice_of(&input, leaf_rects(spec, 0, p).f_in))
+        .collect();
+    let mut f_used: Vec<Vec<RectPiece>> = Vec::with_capacity(n);
+    let mut f_out_hist: Vec<Vec<RectPiece>> = Vec::with_capacity(n);
+
+    for l in 0..n {
+        let w_full = spec.base.weight(l);
+        // Materialize each leaf's needed input rect.
+        let needs: Vec<RectPiece> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let need = leaf_rects(spec, l, p).f_in;
+                RectPiece {
+                    rect: need,
+                    data: materialize(need, &boundary[i], &boundary),
+                }
+            })
+            .collect();
+        f_used.push(needs.clone());
+
+        // Local partial products.
+        let mut partials: Vec<Matrix> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let w = RectPiece::slice_of(&w_full, leaf_rects(spec, l, p).w);
+                needs[i].data.matmul(&w.data)
+            })
+            .collect();
+        let partial_rects: Vec<Rect> = paths
+            .iter()
+            .map(|p| {
+                let r = leaf_rects(spec, l, p);
+                Rect {
+                    r0: r.f_in.r0,
+                    r1: r.f_in.r1,
+                    c0: r.w.c0,
+                    c1: r.w.c1,
+                }
+            })
+            .collect();
+        // Type-II psums, deepest level first.
+        for level in (0..levels).rev() {
+            if spec.plans[level][l].0 == PartitionType::TypeII {
+                exchange(&mut partials, &partial_rects, level, l, &mut psum_log);
+            }
+        }
+        // Activation + new boundary pieces.
+        let next: Vec<RectPiece> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RectPiece {
+                rect: produced_out_rect(spec, l, p),
+                data: act.apply(&partials[i]),
+            })
+            .collect();
+        f_out_hist.push(next.clone());
+        boundary = next;
+    }
+
+    // --- Backward + gradient sweep ---------------------------------------
+    let loss = spec.base.output_error();
+    let last_shape = Rect::full(spec.base.batch, spec.base.layers[n - 1].d_out);
+    let mut e_boundary: Vec<RectPiece> = (0..n_leaves)
+        .map(|_| RectPiece::slice_of(&loss, last_shape))
+        .collect();
+
+    let mut grads: Vec<Matrix> = vec![Matrix::zeros(1, 1); n];
+    let mut errors: Vec<Matrix> = vec![Matrix::zeros(1, 1); n];
+
+    for l in (0..n).rev() {
+        let w_full = spec.base.weight(l);
+        // Materialize the incoming error in each leaf's needed layout.
+        let e_used: Vec<RectPiece> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let need = leaf_rects(spec, l, p).e_in;
+                RectPiece {
+                    rect: need,
+                    data: materialize(need, &e_boundary[i], &e_boundary),
+                }
+            })
+            .collect();
+
+        // Gradient: F_usedᵀ × E_used, psum over Type-I levels.
+        let mut grad_partials: Vec<Matrix> = (0..n_leaves)
+            .map(|i| f_used[l][i].data.transpose().matmul(&e_used[i].data))
+            .collect();
+        let grad_rects: Vec<Rect> = paths.iter().map(|p| leaf_rects(spec, l, p).w).collect();
+        for level in (0..levels).rev() {
+            if spec.plans[level][l].0 == PartitionType::TypeI {
+                exchange(&mut grad_partials, &grad_rects, level, l, &mut psum_log);
+            }
+        }
+        // Reassemble ΔW from the (replicated) per-leaf rects.
+        let layer = spec.base.layers[l];
+        let mut g = Matrix::zeros(layer.d_in, layer.d_out);
+        for (i, p) in paths.iter().enumerate() {
+            let rect = leaf_rects(spec, l, p).w;
+            g.paste(
+                rect.r0,
+                rect.c0,
+                &grad_partials[i].clone(),
+            );
+        }
+        grads[l] = g;
+
+        // Backward: E_used × Wᵀ, psum over Type-III levels, ⊙ f'(F_in).
+        let mut back_partials: Vec<Matrix> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let w = RectPiece::slice_of(&w_full, leaf_rects(spec, l, p).w);
+                e_used[i].data.matmul(&w.data.transpose())
+            })
+            .collect();
+        let back_rects: Vec<Rect> = paths
+            .iter()
+            .map(|p| {
+                let r = leaf_rects(spec, l, p);
+                Rect {
+                    r0: r.e_in.r0,
+                    r1: r.e_in.r1,
+                    c0: r.w.r0,
+                    c1: r.w.r1,
+                }
+            })
+            .collect();
+        for level in (0..levels).rev() {
+            if spec.plans[level][l].0 == PartitionType::TypeIII {
+                exchange(&mut back_partials, &back_rects, level, l, &mut psum_log);
+            }
+        }
+        let e_in_pieces: Vec<RectPiece> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let rect = leaf_rects(spec, l, p).f_in;
+                let fprime = act.derivative(&f_used[l][i].data);
+                RectPiece {
+                    rect,
+                    data: back_partials[i].hadamard(&fprime),
+                }
+            })
+            .collect();
+        let mut e = Matrix::zeros(spec.base.batch, layer.d_in);
+        for piece in &e_in_pieces {
+            e.paste(piece.rect.r0, piece.rect.c0, &piece.data);
+        }
+        errors[l] = e;
+        e_boundary = e_in_pieces;
+    }
+
+    // --- Reassembly --------------------------------------------------------
+    let mut fmaps = Vec::with_capacity(n + 1);
+    fmaps.push(input);
+    for (l, pieces) in f_out_hist.iter().enumerate() {
+        let layer = spec.base.layers[l];
+        let mut f = Matrix::zeros(spec.base.batch, layer.d_out);
+        for piece in pieces {
+            f.paste(piece.rect.r0, piece.rect.c0, &piece.data);
+        }
+        fmaps.push(f);
+    }
+
+    (
+        StepTensors {
+            fmaps,
+            errors,
+            grads,
+        },
+        psum_log,
+    )
+}
+
+/// The `ShardScales`-predicted psum volume at `(level, layer)` — what the
+/// simulator charges, derived from the same fraction fold the planner
+/// uses. The oracle's measured volumes must match (up to the integer
+/// rounding of each level's split).
+#[must_use]
+pub fn predicted_psum(spec: &HierStepSpec, level: usize, l: usize) -> u64 {
+    let layer = spec.base.layers[l];
+    let b = spec.base.batch;
+    // Fold integer splits (first-child side; volumes are uniform).
+    let mut batch = (0usize, b);
+    let mut d_in = (0usize, layer.d_in);
+    let mut d_out = (0usize, layer.d_out);
+    for ancestor in 0..level {
+        let (t, frac) = spec.plans[ancestor][l];
+        match t {
+            PartitionType::TypeI => batch = split_range(batch, frac, false),
+            PartitionType::TypeII => d_in = split_range(d_in, frac, false),
+            PartitionType::TypeIII => d_out = split_range(d_out, frac, false),
+        }
+    }
+    let (t, _) = spec.plans[level][l];
+    match t {
+        // ΔW shard: d_in × d_out (batch never shrinks W).
+        PartitionType::TypeI => ((d_in.1 - d_in.0) * (d_out.1 - d_out.0)) as u64,
+        // F_{l+1} shard: batch × d_out.
+        PartitionType::TypeII => ((batch.1 - batch.0) * (d_out.1 - d_out.0)) as u64,
+        // E_l shard: batch × d_in.
+        PartitionType::TypeIII => ((batch.1 - batch.0) * (d_in.1 - d_in.0)) as u64,
+    }
+}
+
+/// Convenience: the `ShardScales` fold the cost model would apply for the
+/// same plan (fractions taken from the *integer* splits, so the two are
+/// comparable exactly).
+#[must_use]
+pub fn scales_at(spec: &HierStepSpec, level: usize, l: usize) -> ShardScales {
+    let layer = spec.base.layers[l];
+    let b = spec.base.batch;
+    let mut scales = ShardScales::full();
+    let mut batch = (0usize, b);
+    let mut d_in = (0usize, layer.d_in);
+    let mut d_out = (0usize, layer.d_out);
+    for ancestor in 0..level {
+        let (t, frac) = spec.plans[ancestor][l];
+        let share = match t {
+            PartitionType::TypeI => {
+                let new = split_range(batch, frac, false);
+                let share = (new.1 - new.0) as f64 / (batch.1 - batch.0) as f64;
+                batch = new;
+                share
+            }
+            PartitionType::TypeII => {
+                let new = split_range(d_in, frac, false);
+                let share = (new.1 - new.0) as f64 / (d_in.1 - d_in.0) as f64;
+                d_in = new;
+                share
+            }
+            PartitionType::TypeIII => {
+                let new = split_range(d_out, frac, false);
+                let share = (new.1 - new.0) as f64 / (d_out.1 - d_out.0) as f64;
+                d_out = new;
+                share
+            }
+        };
+        scales = scales.shrink(t, share);
+    }
+    scales
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PartitionType::{TypeI, TypeII, TypeIII};
+
+    fn check(spec: &HierStepSpec) -> PsumLog {
+        let want = crate::reference::run(&spec.base);
+        let (got, log) = run(spec);
+        assert!(want.approx_eq(&got, 1e-9), "hierarchical run diverged");
+        log
+    }
+
+    #[test]
+    fn two_level_uniform_type_i_matches_reference() {
+        let spec = HierStepSpec::new(
+            8,
+            &[6, 5, 4],
+            vec![
+                vec![(TypeI, 0.5), (TypeI, 0.5)],
+                vec![(TypeI, 0.5), (TypeI, 0.5)],
+            ],
+            Activation::Identity,
+        );
+        let log = check(&spec);
+        // Type-I psum at level 0 moves the full A(W); at level 1 still the
+        // full A(W) (weights never shrink under Type-I).
+        assert_eq!(log[&(0, 0)], 30);
+        assert_eq!(log[&(1, 0)], 30);
+    }
+
+    #[test]
+    fn mixed_levels_match_reference_for_all_27_combinations() {
+        for t0 in [TypeI, TypeII, TypeIII] {
+            for t1 in [TypeI, TypeII, TypeIII] {
+                for t2 in [TypeI, TypeII, TypeIII] {
+                    // Every dimension supports three halvings (≥ 8).
+                    let spec = HierStepSpec::new(
+                        8,
+                        &[8, 8, 8],
+                        vec![
+                            vec![(t0, 0.5); 2],
+                            vec![(t1, 0.5); 2],
+                            vec![(t2, 0.5); 2],
+                        ],
+                        Activation::Identity,
+                    );
+                    check(&spec);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unequal_fractions_and_relu_match_reference() {
+        let spec = HierStepSpec::new(
+            10,
+            &[9, 7, 5],
+            vec![
+                vec![(TypeI, 0.3), (TypeIII, 0.6)],
+                vec![(TypeII, 0.7), (TypeI, 0.4)],
+            ],
+            Activation::Relu,
+        );
+        check(&spec);
+    }
+
+    #[test]
+    fn measured_psums_match_shard_scale_predictions() {
+        // The heart of the matter: every level's exchange volume equals
+        // the prediction derived from the ShardScales fold — the same
+        // algebra the simulator and the hierarchical search use.
+        let cases = vec![
+            vec![vec![(TypeI, 0.5); 3], vec![(TypeII, 0.5); 3]],
+            vec![vec![(TypeII, 0.5); 3], vec![(TypeIII, 0.5); 3]],
+            vec![vec![(TypeIII, 0.25); 3], vec![(TypeI, 0.75); 3]],
+            vec![
+                vec![(TypeI, 0.5), (TypeII, 0.5), (TypeIII, 0.5)],
+                vec![(TypeIII, 0.5), (TypeI, 0.5), (TypeII, 0.5)],
+            ],
+        ];
+        for plans in cases {
+            let spec = HierStepSpec::new(8, &[8, 6, 4, 6], plans, Activation::Identity);
+            let log = check(&spec);
+            for level in 0..spec.plans.len() {
+                for l in 0..spec.base.layers.len() {
+                    let measured = log[&(level, l)];
+                    let predicted = predicted_psum(&spec, level, l);
+                    assert_eq!(
+                        measured, predicted,
+                        "level {level} layer {l}: measured {measured} vs predicted {predicted}"
+                    );
+                    // And the fraction-based ShardScales agrees with the
+                    // integer-rect prediction.
+                    let scales = scales_at(&spec, level, l);
+                    let full = match spec.plans[level][l].0 {
+                        TypeI => (spec.base.layers[l].d_in * spec.base.layers[l].d_out) as f64,
+                        TypeII => (spec.base.batch * spec.base.layers[l].d_out) as f64,
+                        TypeIII => (spec.base.batch * spec.base.layers[l].d_in) as f64,
+                    };
+                    let via_scales = full * scales.psum_scale(spec.plans[level][l].0);
+                    assert!(
+                        (via_scales - predicted as f64).abs() < 1e-9,
+                        "level {level} layer {l}: scales {via_scales} vs {predicted}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_levels_eight_devices() {
+        let spec = HierStepSpec::new(
+            16,
+            &[8, 8, 8],
+            vec![
+                vec![(TypeI, 0.5); 2],
+                vec![(TypeII, 0.5); 2],
+                vec![(TypeIII, 0.5); 2],
+            ],
+            Activation::Relu,
+        );
+        let log = check(&spec);
+        assert_eq!(log.len(), 3 * 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! Executable reference semantics for AccPar's partition types.
+//!
+//! §3 of the paper argues — with diagrams — that each of the three basic
+//! partition types produces *correct* training computations provided the
+//! right tensors are replicated, the right partial sums are combined, and
+//! the right conversions happen between differently partitioned layers.
+//! This crate turns that argument into checked code: it **numerically
+//! executes** one training step of a fully-connected network
+//!
+//! * on a single reference device (the [`mod@reference`] module), and
+//! * on two virtual devices under an arbitrary per-layer
+//!   `(PartitionType, split)` plan ([`partitioned`]), with every remote
+//!   byte counted by a [`CommMeter`],
+//!
+//! and asserts (in its test suite) that
+//!
+//! 1. the partitioned run reproduces the reference `F`, `E` and `ΔW`
+//!    tensors exactly, for every type combination, ratio and depth; and
+//! 2. the *measured* communication matches the analytic formulas of
+//!    Tables 4 and 5 (`accpar-cost`) element for element.
+//!
+//! The crate is deliberately tiny and slow (dense `f64` matrices): it is
+//! a semantics oracle, not a performance path.
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_exec::{partitioned, reference, LayerSpec, StepSpec};
+//! use accpar_partition::PartitionType;
+//!
+//! let spec = StepSpec::new(4, vec![
+//!     LayerSpec::new(6, 5, PartitionType::TypeI, 2),
+//!     LayerSpec::new(5, 3, PartitionType::TypeIII, 1),
+//! ]);
+//! let want = reference::run(&spec);
+//! let (got, meter) = partitioned::run(&spec);
+//! assert!(want.approx_eq(&got, 1e-9));
+//! assert!(meter.total_elems() > 0);
+//! # let _ = meter;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod matrix;
+mod meter;
+pub mod partitioned;
+mod piece;
+pub mod reference;
+mod spec;
+
+pub use matrix::Matrix;
+pub use meter::CommMeter;
+pub use piece::{Cover, Piece};
+pub use spec::{Activation, LayerSpec, StepSpec, StepTensors};

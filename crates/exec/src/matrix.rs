@@ -1,0 +1,322 @@
+//! A minimal dense `f64` matrix — just enough linear algebra for the
+//! semantics oracle.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total elements.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Never true (dimensions are positive), provided for convention.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    #[must_use]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "inner dimensions must agree: {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.data[k * other.cols + c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.at(c, r))
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        out
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+        out
+    }
+
+    /// Element-wise map.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// The sub-matrix of the given row range (all columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    #[must_use]
+    pub fn row_slice(&self, range: Range<usize>) -> Matrix {
+        assert!(range.start < range.end && range.end <= self.rows, "bad row range");
+        Matrix::from_fn(range.len(), self.cols, |r, c| self.at(range.start + r, c))
+    }
+
+    /// The sub-matrix of the given column range (all rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    #[must_use]
+    pub fn col_slice(&self, range: Range<usize>) -> Matrix {
+        assert!(range.start < range.end && range.end <= self.cols, "bad col range");
+        Matrix::from_fn(self.rows, range.len(), |r, c| self.at(r, range.start + c))
+    }
+
+    /// Writes `piece` into this matrix starting at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the piece does not fit.
+    pub fn paste(&mut self, r0: usize, c0: usize, piece: &Matrix) {
+        assert!(r0 + piece.rows <= self.rows && c0 + piece.cols <= self.cols, "piece does not fit");
+        for r in 0..piece.rows {
+            for c in 0..piece.cols {
+                self.set(r0 + r, c0 + c, piece.at(r, c));
+            }
+        }
+    }
+
+    /// Stacks two matrices vertically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    #[must_use]
+    pub fn vstack(top: &Matrix, bottom: &Matrix) -> Matrix {
+        assert_eq!(top.cols, bottom.cols, "column counts must agree");
+        let mut out = Matrix::zeros(top.rows + bottom.rows, top.cols);
+        out.paste(0, 0, top);
+        out.paste(top.rows, 0, bottom);
+        out
+    }
+
+    /// Stacks two matrices horizontally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    #[must_use]
+    pub fn hstack(left: &Matrix, right: &Matrix) -> Matrix {
+        assert_eq!(left.rows, right.rows, "row counts must agree");
+        let mut out = Matrix::zeros(left.rows, left.cols + right.cols);
+        out.paste(0, 0, left);
+        out.paste(0, left.cols, right);
+        out
+    }
+
+    /// Approximate equality with absolute-or-relative tolerance `tol`.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        if (self.rows, self.cols) != (other.rows, other.cols) {
+            return false;
+        }
+        self.data.iter().zip(&other.data).all(|(a, b)| {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            (a - b).abs() <= tol * scale
+        })
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}x{} matrix", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self.at(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64); // [[0,1,2],[3,4,5]]
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64); // [[0,1],[2,3],[4,5]]
+        let p = a.matmul(&b);
+        assert_eq!(p.at(0, 0), 10.0);
+        assert_eq!(p.at(0, 1), 13.0);
+        assert_eq!(p.at(1, 0), 28.0);
+        assert_eq!(p.at(1, 1), 40.0);
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 7 + c * 3) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at(4, 2), a.at(2, 4));
+    }
+
+    #[test]
+    fn slices_partition_the_matrix() {
+        let a = Matrix::from_fn(4, 6, |r, c| (r * 6 + c) as f64);
+        let top = a.row_slice(0..1);
+        let bottom = a.row_slice(1..4);
+        assert_eq!(Matrix::vstack(&top, &bottom), a);
+        let left = a.col_slice(0..2);
+        let right = a.col_slice(2..6);
+        assert_eq!(Matrix::hstack(&left, &right), a);
+    }
+
+    #[test]
+    fn add_and_hadamard() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        let sum = a.add(&a);
+        assert_eq!(sum.at(1, 1), 4.0);
+        let had = a.hadamard(&a);
+        assert_eq!(had.at(1, 1), 4.0);
+        assert_eq!(had.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_noise() {
+        let a = Matrix::from_fn(2, 2, |_, _| 1.0);
+        let b = a.map(|v| v + 1e-12);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+        assert!(!a.approx_eq(&Matrix::zeros(2, 3), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad row range")]
+    fn empty_slice_rejected() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.row_slice(1..1);
+    }
+}

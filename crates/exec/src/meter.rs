@@ -1,0 +1,82 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Communication meter: every element fetched from the sibling device,
+/// bucketed the way the paper's cost model buckets it.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommMeter {
+    /// `intra[l][d]` — partial-sum elements device `d` fetched for layer
+    /// `l` (Table 4 traffic).
+    pub intra: Vec<[u64; 2]>,
+    /// `inter_f[l][d]` — forward-direction conversion elements device `d`
+    /// fetched while materializing layer `l`'s input (the `F` column of
+    /// Table 5, charged on the boundary `l−1 → l`; index 0 is always
+    /// zero — the input is pre-distributed).
+    pub inter_f: Vec<[u64; 2]>,
+    /// `inter_e[l][d]` — backward-direction conversion elements device
+    /// `d` fetched while materializing layer `l`'s incoming error (the
+    /// `E` column of Table 5, charged on the boundary `l → l+1`; the
+    /// last layer's entry is always zero — the loss gradient arrives in
+    /// the producing layout).
+    pub inter_e: Vec<[u64; 2]>,
+}
+
+impl CommMeter {
+    /// A meter for `n` layers.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            intra: vec![[0; 2]; n],
+            inter_f: vec![[0; 2]; n],
+            inter_e: vec![[0; 2]; n],
+        }
+    }
+
+    /// Total elements moved between the devices.
+    #[must_use]
+    pub fn total_elems(&self) -> u64 {
+        let sum = |v: &Vec<[u64; 2]>| v.iter().map(|d| d[0] + d[1]).sum::<u64>();
+        sum(&self.intra) + sum(&self.inter_f) + sum(&self.inter_e)
+    }
+
+    /// Total intra-layer (partial-sum) elements.
+    #[must_use]
+    pub fn intra_elems(&self) -> u64 {
+        self.intra.iter().map(|d| d[0] + d[1]).sum()
+    }
+
+    /// Total inter-layer (conversion) elements.
+    #[must_use]
+    pub fn inter_elems(&self) -> u64 {
+        self.total_elems() - self.intra_elems()
+    }
+}
+
+impl fmt::Display for CommMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} elements moved ({} intra-layer, {} inter-layer)",
+            self.total_elems(),
+            self.intra_elems(),
+            self.inter_elems()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut m = CommMeter::new(2);
+        m.intra[0] = [10, 20];
+        m.inter_f[1] = [5, 0];
+        m.inter_e[0] = [0, 7];
+        assert_eq!(m.intra_elems(), 30);
+        assert_eq!(m.inter_elems(), 12);
+        assert_eq!(m.total_elems(), 42);
+        assert!(m.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,371 @@
+//! The two-device partitioned execution: the paper's Figure 1 semantics
+//! run for real.
+//!
+//! Device 0 always takes the *leading* slice of each layer's partitioned
+//! dimension (the convention shared with `accpar-cost`); device 1 takes
+//! the trailing slice. Every element fetched across the device boundary
+//! is counted in a [`CommMeter`] under the same buckets the analytic
+//! model uses, so tests can compare measured against predicted traffic
+//! exactly.
+
+use crate::matrix::Matrix;
+use crate::meter::CommMeter;
+use crate::piece::{Cover, Piece};
+use crate::spec::{StepSpec, StepTensors};
+use accpar_partition::PartitionType;
+
+/// Per-device view of one layer's weight shard.
+fn weight_shard(spec: &StepSpec, l: usize, device: usize) -> Matrix {
+    let layer = spec.layers[l];
+    let w = spec.weight(l);
+    let s = layer.split;
+    match layer.ptype {
+        PartitionType::TypeI => w, // replicated
+        PartitionType::TypeII => {
+            if device == 0 {
+                w.row_slice(0..s)
+            } else {
+                w.row_slice(s..layer.d_in)
+            }
+        }
+        PartitionType::TypeIII => {
+            if device == 0 {
+                w.col_slice(0..s)
+            } else {
+                w.col_slice(s..layer.d_out)
+            }
+        }
+    }
+}
+
+/// The range of the partitioned dimension owned by `device`.
+fn owned(split: usize, len: usize, device: usize) -> std::ops::Range<usize> {
+    if device == 0 {
+        0..split
+    } else {
+        split..len
+    }
+}
+
+/// What a layer *needs* its input `F_l` to cover (`needs_f` of the cost
+/// model, §4.1.2).
+fn needs_f(spec: &StepSpec, l: usize, device: usize) -> Cover {
+    let layer = spec.layers[l];
+    match layer.ptype {
+        PartitionType::TypeI => Cover::Rows(owned(layer.split, spec.batch, device)),
+        PartitionType::TypeII => Cover::Cols(owned(layer.split, layer.d_in, device)),
+        PartitionType::TypeIII => Cover::Full,
+    }
+}
+
+/// What a layer *needs* its incoming error `E_{l+1}` to cover
+/// (`needs_e`).
+fn needs_e(spec: &StepSpec, l: usize, device: usize) -> Cover {
+    let layer = spec.layers[l];
+    match layer.ptype {
+        PartitionType::TypeI => Cover::Rows(owned(layer.split, spec.batch, device)),
+        PartitionType::TypeII => Cover::Full,
+        PartitionType::TypeIII => Cover::Cols(owned(layer.split, layer.d_out, device)),
+    }
+}
+
+/// Exchanges partial results: each device fetches the sibling's full
+/// partial tensor and adds it (the Table 4 exchange). Returns the two
+/// complete tensors and counts `A(T)` fetched elements per device.
+fn psum_exchange(partials: [Matrix; 2]) -> ([Matrix; 2], u64) {
+    let elems = partials[0].len() as u64;
+    let sum = partials[0].add(&partials[1]);
+    ([sum.clone(), sum], elems)
+}
+
+/// Runs one training step on two virtual devices under `spec`'s plan.
+///
+/// Returns the reconstructed full tensors (for comparison against
+/// [`reference::run`](crate::reference::run)) and the communication
+/// meter.
+///
+/// # Panics
+///
+/// Panics only on internal invariant violations (a piece failing to cover
+/// a need it must cover by construction).
+#[must_use]
+pub fn run(spec: &StepSpec) -> (StepTensors, CommMeter) {
+    let n = spec.layers.len();
+    let act = spec.activation;
+    let mut meter = CommMeter::new(n);
+
+    // --- Forward sweep -------------------------------------------------
+    // The input starts pre-distributed in layer 0's needed layout.
+    let input = spec.input();
+    let mut boundary: [Piece; 2] = [0, 1].map(|d| {
+        let (piece, _) = Piece::full(input.clone()).materialize(
+            &needs_f(spec, 0, d),
+            &Piece::full(input.clone()),
+        );
+        piece
+    });
+
+    // Retained per (layer, device): the input piece each device used.
+    let mut f_used: Vec<[Piece; 2]> = Vec::with_capacity(n);
+    // The output boundary pieces per layer (post-activation F_{l+1}).
+    let mut f_out_pieces: Vec<[Piece; 2]> = Vec::with_capacity(n);
+
+    for l in 0..n {
+        let layer = spec.layers[l];
+        // Convert the boundary into this layer's needed layout.
+        if l > 0 {
+            let mut converted = Vec::with_capacity(2);
+            for d in 0..2 {
+                let (piece, fetched) =
+                    boundary[d].materialize(&needs_f(spec, l, d), &boundary[1 - d]);
+                meter.inter_f[l][d] += fetched;
+                converted.push(piece);
+            }
+            boundary = [converted.remove(0), converted.remove(0)];
+        }
+        f_used.push(boundary.clone());
+
+        // Compute F_{l+1} per type.
+        let out_shape = (spec.batch, layer.d_out);
+        let produce = |d: usize| -> Matrix { boundary[d].data().matmul(&weight_shard(spec, l, d)) };
+        let next: [Piece; 2] = match layer.ptype {
+            PartitionType::TypeI => [0, 1].map(|d| {
+                Piece::rows(
+                    out_shape.0,
+                    owned(layer.split, spec.batch, d),
+                    act.apply(&produce(d)),
+                )
+            }),
+            PartitionType::TypeII => {
+                let (full, elems) = psum_exchange([produce(0), produce(1)]);
+                meter.intra[l][0] += elems;
+                meter.intra[l][1] += elems;
+                full.map(|m| Piece::full(act.apply(&m)))
+            }
+            PartitionType::TypeIII => [0, 1].map(|d| {
+                Piece::cols(
+                    out_shape.1,
+                    owned(layer.split, layer.d_out, d),
+                    act.apply(&produce(d)),
+                )
+            }),
+        };
+        f_out_pieces.push(next.clone());
+        boundary = next;
+    }
+
+    // --- Backward + gradient sweep --------------------------------------
+    // The loss gradient arrives laid out like the last layer's output
+    // (F and E share partitioning): no communication for it.
+    let loss = spec.output_error();
+    let mut e_boundary: [Piece; 2] = [0, 1].map(|d| {
+        // `needs_e(t)` equals `holds_f(t)` for every type, so the loss
+        // arrives exactly where the forward output lives.
+        let need = match spec.layers[n - 1].ptype {
+            PartitionType::TypeII => Cover::Full,
+            _ => needs_e(spec, n - 1, d),
+        };
+        let (piece, _) =
+            Piece::full(loss.clone()).materialize(&need, &Piece::full(loss.clone()));
+        piece
+    });
+
+    let mut grads: Vec<Matrix> = vec![Matrix::zeros(1, 1); n];
+    let mut errors: Vec<Matrix> = vec![Matrix::zeros(1, 1); n];
+
+    for l in (0..n).rev() {
+        let layer = spec.layers[l];
+        // Materialize E_{l+1} in this layer's needed layout. (For the
+        // last layer this is free by construction; for inner boundaries
+        // it is the Table 5 "E" conversion.)
+        let mut e_used: Vec<Piece> = Vec::with_capacity(2);
+        for d in 0..2 {
+            let (piece, fetched) =
+                e_boundary[d].materialize(&needs_e(spec, l, d), &e_boundary[1 - d]);
+            meter.inter_e[l][d] += fetched;
+            e_used.push(piece);
+        }
+
+        // Gradient: ΔW_l = F_lᵀ × E_{l+1}.
+        match layer.ptype {
+            PartitionType::TypeI => {
+                let partial =
+                    |d: usize| f_used[l][d].data().transpose().matmul(e_used[d].data());
+                let (full, elems) = psum_exchange([partial(0), partial(1)]);
+                meter.intra[l][0] += elems;
+                meter.intra[l][1] += elems;
+                grads[l] = full[0].clone();
+            }
+            PartitionType::TypeII => {
+                // Each device computes its row slice of ΔW locally.
+                let slice =
+                    |d: usize| f_used[l][d].data().transpose().matmul(e_used[d].data());
+                let p0 = Piece::rows(layer.d_in, owned(layer.split, layer.d_in, 0), slice(0));
+                let p1 = Piece::rows(layer.d_in, owned(layer.split, layer.d_in, 1), slice(1));
+                grads[l] = Piece::reassemble(&p0, &p1);
+            }
+            PartitionType::TypeIII => {
+                let slice =
+                    |d: usize| f_used[l][d].data().transpose().matmul(e_used[d].data());
+                let p0 = Piece::cols(layer.d_out, owned(layer.split, layer.d_out, 0), slice(0));
+                let p1 = Piece::cols(layer.d_out, owned(layer.split, layer.d_out, 1), slice(1));
+                grads[l] = Piece::reassemble(&p0, &p1);
+            }
+        }
+
+        // Backward: E_l = (E_{l+1} × W_lᵀ) ⊙ f'(F_l).
+        let e_in: [Piece; 2] = match layer.ptype {
+            PartitionType::TypeI => [0, 1].map(|d| {
+                let raw = e_used[d].data().matmul(&weight_shard(spec, l, d).transpose());
+                let fprime = act.derivative(f_used[l][d].data());
+                Piece::rows(
+                    spec.batch,
+                    owned(layer.split, spec.batch, d),
+                    raw.hadamard(&fprime),
+                )
+            }),
+            PartitionType::TypeII => [0, 1].map(|d| {
+                // E_{l+1} is replicated; W rows slice → E_l column slice.
+                let raw = e_used[d].data().matmul(&weight_shard(spec, l, d).transpose());
+                let fprime = act.derivative(f_used[l][d].data());
+                Piece::cols(
+                    layer.d_in,
+                    owned(layer.split, layer.d_in, d),
+                    raw.hadamard(&fprime),
+                )
+            }),
+            PartitionType::TypeIII => {
+                let partial =
+                    |d: usize| e_used[d].data().matmul(&weight_shard(spec, l, d).transpose());
+                let (full, elems) = psum_exchange([partial(0), partial(1)]);
+                meter.intra[l][0] += elems;
+                meter.intra[l][1] += elems;
+                full.map(|m| {
+                    let fprime = act.derivative(f_used[l][0].data());
+                    Piece::full(m.hadamard(&fprime))
+                })
+            }
+        };
+        errors[l] = Piece::reassemble(&e_in[0], &e_in[1]);
+        e_boundary = e_in;
+    }
+
+    // --- Reconstruction --------------------------------------------------
+    let mut fmaps = Vec::with_capacity(n + 1);
+    fmaps.push(input);
+    for pieces in &f_out_pieces {
+        fmaps.push(Piece::reassemble(&pieces[0], &pieces[1]));
+    }
+
+    (
+        StepTensors {
+            fmaps,
+            errors,
+            grads,
+        },
+        meter,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::spec::{Activation, LayerSpec};
+    use PartitionType::{TypeI, TypeII, TypeIII};
+
+    fn check(spec: &StepSpec) -> CommMeter {
+        let want = reference::run(spec);
+        let (got, meter) = run(spec);
+        assert!(
+            want.approx_eq(&got, 1e-9),
+            "partitioned run diverged for {spec:?}"
+        );
+        meter
+    }
+
+    #[test]
+    fn single_layer_each_type_matches_reference() {
+        for t in [TypeI, TypeII, TypeIII] {
+            for split in [1, 2, 3] {
+                let spec = StepSpec::new(4, vec![LayerSpec::new(6, 5, t, split)]);
+                let meter = check(&spec);
+                // Exactly one psum exchange per device (Table 4).
+                let expected = match t {
+                    TypeI => 6 * 5,  // A(W)
+                    TypeII => 4 * 5, // A(F_{l+1})
+                    TypeIII => 4 * 6, // A(E_l)
+                } as u64;
+                assert_eq!(meter.intra[0], [expected, expected], "{t}");
+                // A single layer has no inter-layer conversions.
+                assert_eq!(meter.inter_elems(), 0, "{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_81_two_layer_type_and_split_combinations_match() {
+        for t0 in [TypeI, TypeII, TypeIII] {
+            for t1 in [TypeI, TypeII, TypeIII] {
+                for s0 in [1, 3] {
+                    for s1 in [2, 3] {
+                        let spec = StepSpec::new(
+                            5,
+                            vec![
+                                LayerSpec::new(6, 4, t0, s0),
+                                LayerSpec::new(4, 7, t1, s1),
+                            ],
+                        );
+                        check(&spec);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relu_activation_also_matches() {
+        for t0 in [TypeI, TypeII, TypeIII] {
+            for t1 in [TypeI, TypeII, TypeIII] {
+                let spec = StepSpec::with_activation(
+                    4,
+                    vec![
+                        LayerSpec::new(5, 6, t0, 2),
+                        LayerSpec::new(6, 3, t1, 1),
+                    ],
+                    Activation::Relu,
+                );
+                check(&spec);
+            }
+        }
+    }
+
+    #[test]
+    fn free_transitions_move_no_conversion_data() {
+        // Table 5's zero entries: I→I (same split), II→III, III→II.
+        for (t0, t1) in [(TypeI, TypeI), (TypeII, TypeIII), (TypeIII, TypeII)] {
+            let spec = StepSpec::new(
+                6,
+                vec![LayerSpec::new(4, 5, t0, 3), LayerSpec::new(5, 4, t1, 3)],
+            );
+            let meter = check(&spec);
+            assert_eq!(meter.inter_elems(), 0, "{t0} -> {t1}");
+        }
+    }
+
+    #[test]
+    fn deep_mixed_chain_matches() {
+        let spec = StepSpec::new(
+            6,
+            vec![
+                LayerSpec::new(8, 6, TypeI, 2),
+                LayerSpec::new(6, 9, TypeII, 4),
+                LayerSpec::new(9, 5, TypeIII, 2),
+                LayerSpec::new(5, 7, TypeI, 5),
+                LayerSpec::new(7, 4, TypeII, 3),
+            ],
+        );
+        let meter = check(&spec);
+        assert!(meter.total_elems() > 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! A device's *piece* of a shared tensor: which slice it holds, in global
+//! coordinates, plus the data. Materializing a differently shaped need
+//! fetches the missing rectangle from the sibling device — the executable
+//! form of the paper's Figure 2 "black tensor" conversions.
+
+use crate::matrix::Matrix;
+use std::ops::Range;
+
+/// The region of the full tensor a piece covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cover {
+    /// The whole tensor.
+    Full,
+    /// A contiguous row range (all columns).
+    Rows(Range<usize>),
+    /// A contiguous column range (all rows).
+    Cols(Range<usize>),
+}
+
+/// A slice of a logically shared `rows × cols` tensor held by one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Piece {
+    /// Full-tensor shape.
+    shape: (usize, usize),
+    /// Which region this piece covers.
+    cover: Cover,
+    /// The covered data (dimensions match the cover).
+    data: Matrix,
+}
+
+impl Piece {
+    /// A piece covering the whole tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data`'s shape disagrees with itself (never).
+    #[must_use]
+    pub fn full(data: Matrix) -> Self {
+        let shape = (data.rows(), data.cols());
+        Self {
+            shape,
+            cover: Cover::Full,
+            data,
+        }
+    }
+
+    /// A piece covering `rows` of a `(full_rows, cols)` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data shape does not match the cover.
+    #[must_use]
+    pub fn rows(full_rows: usize, rows: Range<usize>, data: Matrix) -> Self {
+        assert_eq!(data.rows(), rows.len(), "row-piece height mismatch");
+        assert!(rows.end <= full_rows, "row range exceeds the tensor");
+        Self {
+            shape: (full_rows, data.cols()),
+            cover: Cover::Rows(rows),
+            data,
+        }
+    }
+
+    /// A piece covering `cols` of a `(rows, full_cols)` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data shape does not match the cover.
+    #[must_use]
+    pub fn cols(full_cols: usize, cols: Range<usize>, data: Matrix) -> Self {
+        assert_eq!(data.cols(), cols.len(), "col-piece width mismatch");
+        assert!(cols.end <= full_cols, "col range exceeds the tensor");
+        Self {
+            shape: (data.rows(), full_cols),
+            cover: Cover::Cols(cols),
+            data,
+        }
+    }
+
+    /// The full tensor's shape.
+    #[must_use]
+    pub const fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// The covered region.
+    #[must_use]
+    pub const fn cover(&self) -> &Cover {
+        &self.cover
+    }
+
+    /// The covered data.
+    #[must_use]
+    pub const fn data(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Whether the piece covers the given rectangle.
+    #[must_use]
+    pub fn covers(&self, rows: &Range<usize>, cols: &Range<usize>) -> bool {
+        let in_cover = match &self.cover {
+            Cover::Full => true,
+            Cover::Rows(r) => r.start <= rows.start && rows.end <= r.end,
+            Cover::Cols(c) => c.start <= cols.start && cols.end <= c.end,
+        };
+        in_cover && rows.end <= self.shape.0 && cols.end <= self.shape.1
+    }
+
+    /// Extracts a rectangle (global coordinates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the piece does not cover the rectangle.
+    #[must_use]
+    pub fn extract(&self, rows: Range<usize>, cols: Range<usize>) -> Matrix {
+        assert!(
+            self.covers(&rows, &cols),
+            "piece {:?} does not cover rows {rows:?} cols {cols:?}",
+            self.cover
+        );
+        let (r0, c0) = match &self.cover {
+            Cover::Full => (0, 0),
+            Cover::Rows(r) => (r.start, 0),
+            Cover::Cols(c) => (0, c.start),
+        };
+        Matrix::from_fn(rows.len(), cols.len(), |r, c| {
+            self.data.at(rows.start + r - r0, cols.start + c - c0)
+        })
+    }
+
+    /// Materializes the `need` cover from this piece, fetching whatever is
+    /// missing from `sibling` and returning the new piece together with
+    /// the number of elements fetched remotely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this piece and the sibling together cannot cover the
+    /// need (cannot happen for complementary device pieces).
+    #[must_use]
+    pub fn materialize(&self, need: &Cover, sibling: &Piece) -> (Piece, u64) {
+        let (full_r, full_c) = self.shape;
+        let (need_rows, need_cols) = match need {
+            Cover::Full => (0..full_r, 0..full_c),
+            Cover::Rows(r) => (r.clone(), 0..full_c),
+            Cover::Cols(c) => (0..full_r, c.clone()),
+        };
+        // Fast path: we already cover the need.
+        if self.covers(&need_rows, &need_cols) {
+            let data = self.extract(need_rows, need_cols);
+            return (Self::from_cover(self.shape, need.clone(), data), 0);
+        }
+        // Assemble the needed rectangle cell by cell, preferring local
+        // data; count remote cells. (The oracle favors obviousness over
+        // speed.)
+        let fetched = std::cell::Cell::new(0u64);
+        let data = Matrix::from_fn(need_rows.len(), need_cols.len(), |r, c| {
+            let (gr, gc) = (need_rows.start + r, need_cols.start + c);
+            if self.covers(&(gr..gr + 1), &(gc..gc + 1)) {
+                self.extract(gr..gr + 1, gc..gc + 1).at(0, 0)
+            } else {
+                fetched.set(fetched.get() + 1);
+                sibling.extract(gr..gr + 1, gc..gc + 1).at(0, 0)
+            }
+        });
+        (Self::from_cover(self.shape, need.clone(), data), fetched.get())
+    }
+
+    fn from_cover(shape: (usize, usize), cover: Cover, data: Matrix) -> Self {
+        match cover {
+            Cover::Full => {
+                assert_eq!((data.rows(), data.cols()), shape);
+                Self {
+                    shape,
+                    cover: Cover::Full,
+                    data,
+                }
+            }
+            Cover::Rows(r) => Self::rows(shape.0, r, data),
+            Cover::Cols(c) => Self::cols(shape.1, c, data),
+        }
+    }
+
+    /// Reassembles the full tensor from two complementary pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the union of the two pieces does not cover the tensor.
+    #[must_use]
+    pub fn reassemble(a: &Piece, b: &Piece) -> Matrix {
+        assert_eq!(a.shape, b.shape, "pieces must share the tensor shape");
+        let (rows, cols) = a.shape;
+        Matrix::from_fn(rows, cols, |r, c| {
+            if a.covers(&(r..r + 1), &(c..c + 1)) {
+                a.extract(r..r + 1, c..c + 1).at(0, 0)
+            } else {
+                b.extract(r..r + 1, c..c + 1).at(0, 0)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_matrix() -> Matrix {
+        Matrix::from_fn(4, 6, |r, c| (r * 6 + c) as f64)
+    }
+
+    fn row_pieces(split: usize) -> (Piece, Piece) {
+        let m = full_matrix();
+        (
+            Piece::rows(4, 0..split, m.row_slice(0..split)),
+            Piece::rows(4, split..4, m.row_slice(split..4)),
+        )
+    }
+
+    #[test]
+    fn covers_and_extract() {
+        let (a, b) = row_pieces(2);
+        assert!(a.covers(&(0..2), &(0..6)));
+        assert!(!a.covers(&(0..3), &(0..6)));
+        assert!(b.covers(&(2..4), &(3..5)));
+        assert_eq!(a.extract(1..2, 2..3).at(0, 0), 8.0);
+        assert_eq!(b.extract(3..4, 5..6).at(0, 0), 23.0);
+    }
+
+    #[test]
+    fn materialize_full_from_rows_fetches_complement() {
+        let (a, b) = row_pieces(1);
+        let (full, fetched) = a.materialize(&Cover::Full, &b);
+        assert_eq!(fetched, 3 * 6);
+        assert_eq!(full.data(), &full_matrix());
+        // The sibling fetches the mirror amount.
+        let (_, fetched_b) = b.materialize(&Cover::Full, &a);
+        assert_eq!(fetched_b, 6);
+    }
+
+    #[test]
+    fn materialize_same_cover_is_free() {
+        let (a, b) = row_pieces(2);
+        let (p, fetched) = a.materialize(&Cover::Rows(0..2), &b);
+        assert_eq!(fetched, 0);
+        assert_eq!(p, a);
+        // A sub-range of what we hold is also free.
+        let (_, fetched) = a.materialize(&Cover::Rows(1..2), &b);
+        assert_eq!(fetched, 0);
+    }
+
+    #[test]
+    fn materialize_cols_from_rows_counts_cross_fetch() {
+        let m = full_matrix();
+        let a = Piece::rows(4, 0..1, m.row_slice(0..1));
+        let b = Piece::rows(4, 1..4, m.row_slice(1..4));
+        // Need cols 0..2 (all 4 rows): we hold 1 row of them; fetch 3x2.
+        let (p, fetched) = a.materialize(&Cover::Cols(0..2), &b);
+        assert_eq!(fetched, 6);
+        assert_eq!(p.data(), &m.col_slice(0..2));
+    }
+
+    #[test]
+    fn full_pieces_never_fetch() {
+        let m = full_matrix();
+        let a = Piece::full(m.clone());
+        let b = Piece::full(m.clone());
+        for need in [Cover::Full, Cover::Rows(1..3), Cover::Cols(2..5)] {
+            let (_, fetched) = a.materialize(&need, &b);
+            assert_eq!(fetched, 0, "{need:?}");
+        }
+    }
+
+    #[test]
+    fn reassemble_from_col_pieces() {
+        let m = full_matrix();
+        let a = Piece::cols(6, 0..4, m.col_slice(0..4));
+        let b = Piece::cols(6, 4..6, m.col_slice(4..6));
+        assert_eq!(Piece::reassemble(&a, &b), m);
+        assert_eq!(Piece::reassemble(&b, &a), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn extract_outside_cover_panics() {
+        let (a, _) = row_pieces(2);
+        let _ = a.extract(2..3, 0..1);
+    }
+}

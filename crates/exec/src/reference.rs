@@ -1,0 +1,123 @@
+//! The single-device reference: one training step computed directly from
+//! §2.1's three equations, with no partitioning.
+
+use crate::matrix::Matrix;
+use crate::spec::{StepSpec, StepTensors};
+
+/// Runs one training step on a single device.
+///
+/// Forward: `F_{l+1} = f(F_l × W_l)`;
+/// backward: `E_l = (E_{l+1} × W_lᵀ) ⊙ f'(F_l × W_{l-1}…)` — as in the
+/// paper, the derivative is taken at the layer's input pre-activation;
+/// gradient: `ΔW_l = F_lᵀ × E_{l+1}`.
+///
+/// For the backward phase we follow the paper's §3.1 statement literally:
+/// `E_l = (E_{l+1} × W_lᵀ) ⊙ f'(F_l)`, evaluating `f'` at the stored
+/// (post-activation) `F_l`, which is exact for the identity activation
+/// and the standard convention for ReLU (where `f'(f(x)) = f'(x)`).
+#[must_use]
+pub fn run(spec: &StepSpec) -> StepTensors {
+    let n = spec.layers.len();
+    let act = spec.activation;
+
+    // Forward sweep.
+    let mut fmaps: Vec<Matrix> = Vec::with_capacity(n + 1);
+    fmaps.push(spec.input());
+    for l in 0..n {
+        let pre = fmaps[l].matmul(&spec.weight(l));
+        fmaps.push(act.apply(&pre));
+    }
+
+    // Backward + gradient sweep. `errors[l]` is E at layer l's input
+    // boundary; the incoming error at the output is the loss gradient.
+    let mut errors: Vec<Matrix> = vec![Matrix::zeros(1, 1); n];
+    let mut grads: Vec<Matrix> = vec![Matrix::zeros(1, 1); n];
+    let mut e_out = spec.output_error();
+    for l in (0..n).rev() {
+        let w = spec.weight(l);
+        grads[l] = fmaps[l].transpose().matmul(&e_out);
+        let e_in = e_out
+            .matmul(&w.transpose())
+            .hadamard(&act.derivative(&fmaps[l]));
+        errors[l] = e_in.clone();
+        e_out = e_in;
+    }
+
+    StepTensors {
+        fmaps,
+        errors,
+        grads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Activation, LayerSpec};
+    use accpar_partition::PartitionType;
+
+    fn tiny() -> StepSpec {
+        StepSpec::new(
+            3,
+            vec![
+                LayerSpec::new(4, 5, PartitionType::TypeI, 1),
+                LayerSpec::new(5, 2, PartitionType::TypeI, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn shapes_are_right() {
+        let spec = tiny();
+        let t = run(&spec);
+        assert_eq!(t.fmaps.len(), 3);
+        assert_eq!(t.errors.len(), 2);
+        assert_eq!(t.grads.len(), 2);
+        assert_eq!((t.fmaps[0].rows(), t.fmaps[0].cols()), (3, 4));
+        assert_eq!((t.fmaps[2].rows(), t.fmaps[2].cols()), (3, 2));
+        assert_eq!((t.errors[0].rows(), t.errors[0].cols()), (3, 4));
+        assert_eq!((t.grads[1].rows(), t.grads[1].cols()), (5, 2));
+    }
+
+    #[test]
+    fn identity_gradient_matches_hand_computation() {
+        // Single layer, identity activation: ΔW = F₀ᵀ × E.
+        let spec = StepSpec::new(2, vec![LayerSpec::new(3, 2, PartitionType::TypeI, 1)]);
+        let t = run(&spec);
+        let expected = spec.input().transpose().matmul(&spec.output_error());
+        assert!(t.grads[0].approx_eq(&expected, 1e-12));
+        // And E₀ = E × Wᵀ.
+        let e0 = spec.output_error().matmul(&spec.weight(0).transpose());
+        assert!(t.errors[0].approx_eq(&e0, 1e-12));
+    }
+
+    #[test]
+    fn relu_zeroes_negative_paths() {
+        let spec = StepSpec::with_activation(
+            3,
+            vec![
+                LayerSpec::new(4, 5, PartitionType::TypeI, 1),
+                LayerSpec::new(5, 2, PartitionType::TypeI, 1),
+            ],
+            Activation::Relu,
+        );
+        let t = run(&spec);
+        // Post-activation maps are non-negative.
+        for fmap in &t.fmaps[1..] {
+            for r in 0..fmap.rows() {
+                for c in 0..fmap.cols() {
+                    assert!(fmap.at(r, c) >= 0.0);
+                }
+            }
+        }
+        // Errors at dead units are zero.
+        let f1 = &t.fmaps[1];
+        for r in 0..f1.rows() {
+            for c in 0..f1.cols() {
+                if f1.at(r, c) == 0.0 {
+                    assert_eq!(t.errors[1].at(r, c), 0.0);
+                }
+            }
+        }
+    }
+}

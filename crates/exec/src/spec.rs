@@ -1,0 +1,266 @@
+use crate::matrix::Matrix;
+use accpar_partition::PartitionType;
+use serde::{Deserialize, Serialize};
+
+/// The activation used between layers. Both runs apply it identically,
+/// so equality checks remain exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`, `f'(x) = 1` — keeps the algebra fully linear.
+    #[default]
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    /// Applies `f` element-wise.
+    #[must_use]
+    pub fn apply(self, m: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => m.clone(),
+            Activation::Relu => m.map(|v| v.max(0.0)),
+        }
+    }
+
+    /// Applies `f'` element-wise (to the pre-activation values).
+    #[must_use]
+    pub fn derivative(self, m: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => m.map(|_| 1.0),
+            Activation::Relu => m.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+        }
+    }
+}
+
+/// One fully-connected layer of the oracle network, with its partition
+/// decision: the type and the *integer* share of the partitioned
+/// dimension assigned to device 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Input features `D_{i,l}`.
+    pub d_in: usize,
+    /// Output features `D_{o,l}`.
+    pub d_out: usize,
+    /// The basic partition type.
+    pub ptype: PartitionType,
+    /// Device 0's integer share of the partitioned dimension
+    /// (`B`, `D_{i,l}` or `D_{o,l}` according to `ptype`). Must be
+    /// strictly between 0 and the dimension length so both devices hold
+    /// a non-empty slice.
+    pub split: usize,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec.
+    #[must_use]
+    pub const fn new(d_in: usize, d_out: usize, ptype: PartitionType, split: usize) -> Self {
+        Self {
+            d_in,
+            d_out,
+            ptype,
+            split,
+        }
+    }
+
+    /// The length of the partitioned dimension given the batch size.
+    #[must_use]
+    pub const fn dim_len(&self, batch: usize) -> usize {
+        match self.ptype {
+            PartitionType::TypeI => batch,
+            PartitionType::TypeII => self.d_in,
+            PartitionType::TypeIII => self.d_out,
+        }
+    }
+}
+
+/// A full training-step specification: batch size, layers with partition
+/// decisions, and the activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepSpec {
+    /// Mini-batch size `B`.
+    pub batch: usize,
+    /// The layer chain.
+    pub layers: Vec<LayerSpec>,
+    /// Non-linearity between layers.
+    pub activation: Activation,
+}
+
+impl StepSpec {
+    /// Creates a spec with the identity activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain, mismatched dims, or a degenerate split.
+    #[must_use]
+    pub fn new(batch: usize, layers: Vec<LayerSpec>) -> Self {
+        Self::with_activation(batch, layers, Activation::Identity)
+    }
+
+    /// Creates a spec with the given activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain, mismatched dims, or a degenerate split
+    /// (a split of 0 or the full dimension would leave one device with
+    /// an empty tensor, which dense matrices cannot represent).
+    #[must_use]
+    pub fn with_activation(batch: usize, layers: Vec<LayerSpec>, activation: Activation) -> Self {
+        assert!(!layers.is_empty(), "the chain needs at least one layer");
+        assert!(batch > 0, "batch must be positive");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].d_out, pair[1].d_in,
+                "consecutive layers must agree on the boundary width"
+            );
+        }
+        for (i, layer) in layers.iter().enumerate() {
+            let dim = layer.dim_len(batch);
+            assert!(
+                layer.split > 0 && layer.split < dim,
+                "layer {i}: split {} must be strictly inside 1..{dim}",
+                layer.split
+            );
+        }
+        Self {
+            batch,
+            layers,
+            activation,
+        }
+    }
+
+    /// Deterministic input feature map `F_0`.
+    #[must_use]
+    pub fn input(&self) -> Matrix {
+        // Small, varied, sign-mixed values.
+        Matrix::from_fn(self.batch, self.layers[0].d_in, |r, c| {
+            ((r * 31 + c * 17 + 7) % 23) as f64 / 11.0 - 1.0
+        })
+    }
+
+    /// Deterministic weight matrix for layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    #[must_use]
+    pub fn weight(&self, l: usize) -> Matrix {
+        let spec = self.layers[l];
+        Matrix::from_fn(spec.d_in, spec.d_out, |r, c| {
+            ((r * 13 + c * 29 + l * 41 + 3) % 19) as f64 / 9.5 - 1.0
+        })
+    }
+
+    /// Deterministic loss gradient at the network output (`E_N`).
+    #[must_use]
+    pub fn output_error(&self) -> Matrix {
+        let d_out = self.layers.last().expect("non-empty").d_out;
+        Matrix::from_fn(self.batch, d_out, |r, c| {
+            ((r * 7 + c * 5 + 1) % 13) as f64 / 6.5 - 1.0
+        })
+    }
+}
+
+/// The tensors a training step produces: per-layer activations, errors
+/// and weight gradients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTensors {
+    /// `F_l` for `l = 0..=N` (post-activation; `F_0` is the input, `F_N`
+    /// the network output).
+    pub fmaps: Vec<Matrix>,
+    /// `E_l` for `l = 0..N` (the error at each layer's *input* boundary).
+    pub errors: Vec<Matrix>,
+    /// `ΔW_l` for `l = 0..N`.
+    pub grads: Vec<Matrix>,
+}
+
+impl StepTensors {
+    /// Approximate equality of all tensors.
+    #[must_use]
+    pub fn approx_eq(&self, other: &StepTensors, tol: f64) -> bool {
+        self.fmaps.len() == other.fmaps.len()
+            && self.errors.len() == other.errors.len()
+            && self.grads.len() == other.grads.len()
+            && self
+                .fmaps
+                .iter()
+                .zip(&other.fmaps)
+                .all(|(a, b)| a.approx_eq(b, tol))
+            && self
+                .errors
+                .iter()
+                .zip(&other.errors)
+                .all(|(a, b)| a.approx_eq(b, tol))
+            && self
+                .grads
+                .iter()
+                .zip(&other.grads)
+                .all(|(a, b)| a.approx_eq(b, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        let spec = StepSpec::new(
+            4,
+            vec![LayerSpec::new(6, 5, PartitionType::TypeI, 2)],
+        );
+        assert_eq!(spec.input().rows(), 4);
+        assert_eq!(spec.input().cols(), 6);
+        assert_eq!(spec.weight(0).rows(), 6);
+        assert_eq!(spec.output_error().cols(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary width")]
+    fn mismatched_dims_rejected() {
+        let _ = StepSpec::new(
+            4,
+            vec![
+                LayerSpec::new(6, 5, PartitionType::TypeI, 2),
+                LayerSpec::new(4, 3, PartitionType::TypeI, 2),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn degenerate_split_rejected() {
+        let _ = StepSpec::new(4, vec![LayerSpec::new(6, 5, PartitionType::TypeI, 4)]);
+    }
+
+    #[test]
+    fn deterministic_data_is_sign_mixed() {
+        let spec = StepSpec::new(8, vec![LayerSpec::new(10, 10, PartitionType::TypeII, 5)]);
+        let input = spec.input();
+        let mut pos = 0;
+        let mut neg = 0;
+        for r in 0..input.rows() {
+            for c in 0..input.cols() {
+                if input.at(r, c) > 0.0 {
+                    pos += 1;
+                } else if input.at(r, c) < 0.0 {
+                    neg += 1;
+                }
+            }
+        }
+        assert!(pos > 0 && neg > 0);
+    }
+
+    #[test]
+    fn activations() {
+        let m = Matrix::from_fn(1, 3, |_, c| c as f64 - 1.0); // [-1, 0, 1]
+        let relu = Activation::Relu.apply(&m);
+        assert_eq!(relu.at(0, 0), 0.0);
+        assert_eq!(relu.at(0, 2), 1.0);
+        let d = Activation::Relu.derivative(&m);
+        assert_eq!(d.at(0, 0), 0.0);
+        assert_eq!(d.at(0, 2), 1.0);
+        assert_eq!(Activation::Identity.apply(&m), m);
+        assert_eq!(Activation::Identity.derivative(&m).at(0, 0), 1.0);
+    }
+}

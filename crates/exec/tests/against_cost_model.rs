@@ -1,0 +1,155 @@
+//! The decisive validation: the communication the oracle *measures* while
+//! actually executing partitioned training equals, element for element,
+//! the volumes the analytic cost model (`accpar-cost`, Tables 4 and 5)
+//! *predicts* — for every type pair and every split.
+
+use accpar_cost::comm::inter_conversion_split;
+use accpar_exec::{partitioned, reference, LayerSpec, StepSpec};
+use accpar_partition::PartitionType;
+use proptest::prelude::*;
+
+use PartitionType::{TypeI, TypeII, TypeIII};
+
+/// Expected intra-layer psum volume per device (Table 4 numerators).
+fn expected_intra(batch: usize, l: &LayerSpec) -> u64 {
+    (match l.ptype {
+        TypeI => l.d_in * l.d_out,   // A(W)
+        TypeII => batch * l.d_out,   // A(F_{l+1})
+        TypeIII => batch * l.d_in,   // A(E_l)
+    }) as u64
+}
+
+/// Runs a two-layer chain and checks every meter bucket against the
+/// analytic predictions.
+fn check_two_layer(batch: usize, mid: usize, spec0: LayerSpec, spec1: LayerSpec) {
+    let spec = StepSpec::new(batch, vec![spec0, spec1]);
+    let want = reference::run(&spec);
+    let (got, meter) = partitioned::run(&spec);
+    assert!(want.approx_eq(&got, 1e-9), "numerics diverged: {spec:?}");
+
+    // Table 4: one psum exchange per layer per device, ratio-independent.
+    for (l, layer) in spec.layers.iter().enumerate() {
+        let expect = expected_intra(batch, layer);
+        assert_eq!(
+            meter.intra[l],
+            [expect, expect],
+            "intra layer {l} ({})",
+            layer.ptype
+        );
+    }
+
+    // Table 5: the boundary conversions, with each layer's own fractional
+    // ratio (the generalization the cost model implements).
+    let a0 = spec0.split as f64 / spec0.dim_len(batch) as f64;
+    let a1 = spec1.split as f64 / spec1.dim_len(batch) as f64;
+    let boundary = (batch * mid) as u64;
+    let ((f_a, f_b), (e_a, e_b)) =
+        inter_conversion_split(spec0.ptype, a0, spec1.ptype, a1, boundary, boundary);
+
+    // Forward-direction conversion is charged when layer 1 materializes
+    // its input; backward-direction when layer 0 materializes its error.
+    assert_eq!(
+        meter.inter_f[1],
+        [f_a.round() as u64, f_b.round() as u64],
+        "F conversion {} -> {}",
+        spec0.ptype,
+        spec1.ptype
+    );
+    assert_eq!(
+        meter.inter_e[0],
+        [e_a.round() as u64, e_b.round() as u64],
+        "E conversion {} -> {}",
+        spec0.ptype,
+        spec1.ptype
+    );
+    // No conversion is ever charged at the network edges.
+    assert_eq!(meter.inter_f[0], [0, 0]);
+    assert_eq!(meter.inter_e[1], [0, 0]);
+}
+
+#[test]
+fn all_nine_type_pairs_match_table5_at_equal_splits() {
+    let (batch, d0, mid, d1) = (8usize, 6usize, 4usize, 10usize);
+    for t0 in [TypeI, TypeII, TypeIII] {
+        for t1 in [TypeI, TypeII, TypeIII] {
+            let s0 = LayerSpec::new(d0, mid, t0, t0_dim(batch, d0, mid, t0) / 2);
+            let s1 = LayerSpec::new(mid, d1, t1, t0_dim(batch, mid, d1, t1) / 2);
+            check_two_layer(batch, mid, s0, s1);
+        }
+    }
+}
+
+fn t0_dim(batch: usize, d_in: usize, d_out: usize, t: PartitionType) -> usize {
+    match t {
+        TypeI => batch,
+        TypeII => d_in,
+        TypeIII => d_out,
+    }
+}
+
+#[test]
+fn unequal_splits_match_the_generalized_formulas() {
+    // Per-layer ratios differ: the paper's Table 5 assumes equal α; our
+    // generalization must still match execution exactly.
+    let (batch, d0, mid, d1) = (10usize, 7usize, 6usize, 9usize);
+    for t0 in [TypeI, TypeII, TypeIII] {
+        for t1 in [TypeI, TypeII, TypeIII] {
+            for s0 in [1, 4] {
+                for s1 in [2, 5] {
+                    let l0 = LayerSpec::new(d0, mid, t0, s0.min(t0_dim(batch, d0, mid, t0) - 1));
+                    let l1 = LayerSpec::new(mid, d1, t1, s1.min(t0_dim(batch, mid, d1, t1) - 1));
+                    check_two_layer(batch, mid, l0, l1);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_chains_match_reference_and_predictions(
+        batch in 2usize..8,
+        dims in proptest::collection::vec(2usize..8, 3..5),
+        types in proptest::collection::vec(0usize..3, 4),
+        splits in proptest::collection::vec(1usize..7, 4),
+    ) {
+        let mut layers = Vec::new();
+        for (i, pair) in dims.windows(2).enumerate() {
+            let t = [TypeI, TypeII, TypeIII][types[i % types.len()]];
+            let dim = t0_dim(batch, pair[0], pair[1], t);
+            let split = 1 + splits[i % splits.len()] % (dim - 1).max(1);
+            layers.push(LayerSpec::new(pair[0], pair[1], t, split.min(dim - 1)));
+        }
+        let spec = StepSpec::new(batch, layers);
+        let want = reference::run(&spec);
+        let (got, meter) = partitioned::run(&spec);
+        prop_assert!(want.approx_eq(&got, 1e-9));
+
+        // Table 4 for every layer.
+        for (l, layer) in spec.layers.iter().enumerate() {
+            let expect = expected_intra(batch, layer);
+            prop_assert_eq!(meter.intra[l], [expect, expect]);
+        }
+        // Table 5 for every interior boundary.
+        for l in 1..spec.layers.len() {
+            let (p, c) = (spec.layers[l - 1], spec.layers[l]);
+            let ap = p.split as f64 / p.dim_len(batch) as f64;
+            let ac = c.split as f64 / c.dim_len(batch) as f64;
+            let boundary = (batch * c.d_in) as u64;
+            let ((f_a, f_b), (e_a, e_b)) =
+                inter_conversion_split(p.ptype, ap, c.ptype, ac, boundary, boundary);
+            prop_assert_eq!(
+                meter.inter_f[l],
+                [f_a.round() as u64, f_b.round() as u64],
+                "F conversion at boundary {}", l
+            );
+            prop_assert_eq!(
+                meter.inter_e[l - 1],
+                [e_a.round() as u64, e_b.round() as u64],
+                "E conversion at boundary {}", l
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Errors produced while constructing arrays or group trees.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// An array must contain at least one accelerator.
+    EmptyArray,
+    /// The requested hierarchy is deeper than the array can be bisected,
+    /// even after splitting boards into cores.
+    TooDeep {
+        /// Levels requested.
+        requested: usize,
+        /// Maximum supported by this array.
+        max: usize,
+    },
+    /// An accelerator specification contained a non-positive rate.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::EmptyArray => write!(f, "accelerator array is empty"),
+            HwError::TooDeep { requested, max } => write!(
+                f,
+                "hierarchy of {requested} levels exceeds the array's maximum of {max}"
+            ),
+            HwError::InvalidSpec(msg) => write!(f, "invalid accelerator spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HwError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(HwError::TooDeep { requested: 12, max: 11 }
+            .to_string()
+            .contains("12"));
+    }
+}

@@ -1,0 +1,451 @@
+use crate::array::AcceleratorArray;
+use crate::error::HwError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A share of one board: `cores` of the board's cores (all of them for a
+/// whole-board share).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Share {
+    /// Index of the board in the array.
+    pub board: usize,
+    /// Number of cores of that board in this group.
+    pub cores: usize,
+}
+
+/// A set of (possibly partial) boards acting as one side of a bisection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    shares: Vec<Share>,
+}
+
+impl Group {
+    /// The shares making up this group.
+    #[must_use]
+    pub fn shares(&self) -> &[Share] {
+        &self.shares
+    }
+
+    /// Total number of cores in the group.
+    #[must_use]
+    pub fn total_cores(&self) -> usize {
+        self.shares.iter().map(|s| s.cores).sum()
+    }
+
+    /// Whether the group consists only of whole boards.
+    #[must_use]
+    pub fn is_whole_boards(&self, array: &AcceleratorArray) -> bool {
+        self.shares
+            .iter()
+            .all(|s| s.cores == array.boards()[s.board].cores())
+    }
+}
+
+/// Aggregate capabilities of a group — the quantities the cost model
+/// consumes: computation density `c_i` (FLOP/s), memory bandwidth
+/// (bytes/s), external network bandwidth `b_i` (bytes/s) and HBM capacity
+/// (bytes). Partial boards contribute proportionally to their core share.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupCaps {
+    /// Aggregate peak compute, FLOP/s.
+    pub flops: f64,
+    /// Aggregate HBM bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Aggregate external network bandwidth, bytes/s.
+    pub net_bw: f64,
+    /// Aggregate HBM capacity, bytes.
+    pub hbm_bytes: f64,
+}
+
+impl GroupCaps {
+    fn zero() -> Self {
+        Self {
+            flops: 0.0,
+            mem_bw: 0.0,
+            net_bw: 0.0,
+            hbm_bytes: 0.0,
+        }
+    }
+
+    fn of(group: &Group, array: &AcceleratorArray) -> Self {
+        let mut caps = Self::zero();
+        for share in group.shares() {
+            let spec = &array.boards()[share.board];
+            let frac = share.cores as f64 / spec.cores() as f64;
+            caps.flops += spec.peak_flops() * frac;
+            caps.mem_bw += spec.mem_bw() * frac;
+            caps.net_bw += spec.net_bw() * frac;
+            caps.hbm_bytes += spec.hbm_bytes() as f64 * frac;
+        }
+        caps
+    }
+}
+
+/// One node of the recursive bisection: a group, its aggregate caps, the
+/// bandwidth it uses to reach its *sibling*, and (unless it is a leaf) two
+/// children.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupNode {
+    group: Group,
+    caps: GroupCaps,
+    link_bw: f64,
+    children: Option<Box<(GroupNode, GroupNode)>>,
+}
+
+impl GroupNode {
+    /// The accelerators in this node.
+    #[must_use]
+    pub const fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// Aggregate capabilities of this node.
+    #[must_use]
+    pub const fn caps(&self) -> GroupCaps {
+        self.caps
+    }
+
+    /// Bandwidth (bytes/s) this node uses to access its sibling's memory:
+    /// its aggregate external network bandwidth across the cut, or a share
+    /// of the intra-board interconnect when the cut runs through a board.
+    /// For the root this is the array's aggregate external bandwidth.
+    #[must_use]
+    pub const fn link_bw(&self) -> f64 {
+        self.link_bw
+    }
+
+    /// The two children produced by bisection, if this is not a leaf.
+    #[must_use]
+    pub fn children(&self) -> Option<(&GroupNode, &GroupNode)> {
+        self.children.as_deref().map(|c| (&c.0, &c.1))
+    }
+
+    /// Whether this node is a leaf of the tree.
+    #[must_use]
+    pub const fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+
+    /// Depth of the subtree below (and including) this node.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self.children() {
+            None => 0,
+            Some((l, r)) => 1 + l.depth().max(r.depth()),
+        }
+    }
+
+    /// Iterates over the leaves of this subtree, left to right.
+    pub fn leaves(&self) -> Box<dyn Iterator<Item = &GroupNode> + '_> {
+        match self.children() {
+            None => Box::new(std::iter::once(self)),
+            Some((l, r)) => Box::new(l.leaves().chain(r.leaves())),
+        }
+    }
+}
+
+/// The hierarchical bisection of an array into `levels` levels of group
+/// pairs (§5.1: "apply the layer-wise partitioning recursively on a
+/// partitioned hierarchy").
+///
+/// Bisection is *type-aware*: when a node contains exactly two runs of
+/// distinct board types (the heterogeneous v2+v3 array), the cut falls on
+/// the type boundary so each half is homogeneous; otherwise boards are
+/// halved by count. Once a node is a single board, further levels split
+/// its cores, with the intra-board interconnect as the cut bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use accpar_hw::{AcceleratorArray, GroupTree};
+///
+/// let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(8), 3)?;
+/// assert_eq!(tree.levels(), 3);
+/// assert_eq!(tree.root().leaves().count(), 8);
+/// # Ok::<(), accpar_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupTree {
+    root: GroupNode,
+    levels: usize,
+}
+
+impl GroupTree {
+    /// Recursively bisects `array` into a complete tree of `levels`
+    /// levels (so `2^levels` leaves).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::EmptyArray`] for an empty array and
+    /// [`HwError::TooDeep`] when `levels` exceeds
+    /// [`AcceleratorArray::max_levels`].
+    pub fn bisect(array: &AcceleratorArray, levels: usize) -> Result<Self, HwError> {
+        if array.is_empty() {
+            return Err(HwError::EmptyArray);
+        }
+        let all = Group {
+            shares: (0..array.len())
+                .map(|board| Share {
+                    board,
+                    cores: array.boards()[board].cores(),
+                })
+                .collect(),
+        };
+        let caps = GroupCaps::of(&all, array);
+        let mut root = GroupNode {
+            link_bw: caps.net_bw,
+            caps,
+            group: all,
+            children: None,
+        };
+        build(&mut root, array, levels).map_err(|()| HwError::TooDeep {
+            requested: levels,
+            max: array.max_levels(),
+        })?;
+        Ok(Self { root, levels })
+    }
+
+    /// The root node covering the whole array.
+    #[must_use]
+    pub const fn root(&self) -> &GroupNode {
+        &self.root
+    }
+
+    /// Number of bisection levels.
+    #[must_use]
+    pub const fn levels(&self) -> usize {
+        self.levels
+    }
+}
+
+impl fmt::Display for GroupTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(node: &GroupNode, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            writeln!(
+                f,
+                "{}{} cores, {:.0} TFLOPS, link {:.1} GB/s",
+                "  ".repeat(depth),
+                node.group().total_cores(),
+                node.caps().flops / 1e12,
+                node.link_bw() / 1e9
+            )?;
+            if let Some((l, r)) = node.children() {
+                rec(l, depth + 1, f)?;
+                rec(r, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        rec(&self.root, 0, f)
+    }
+}
+
+/// Splits `node` recursively for `levels` more levels. Returns `Err(())`
+/// when a node can no longer be split.
+fn build(node: &mut GroupNode, array: &AcceleratorArray, levels: usize) -> Result<(), ()> {
+    if levels == 0 {
+        return Ok(());
+    }
+    let (left_group, right_group, intra_board) = split(&node.group, array)?;
+    let left_caps = GroupCaps::of(&left_group, array);
+    let right_caps = GroupCaps::of(&right_group, array);
+    let (left_link, right_link) = if intra_board {
+        // The cut runs through one board: both halves talk over the
+        // intra-board interconnect, in proportion to their core share.
+        let board = left_group.shares()[0].board;
+        let spec = &array.boards()[board];
+        let total = spec.cores() as f64;
+        (
+            spec.ici_bw() * left_group.total_cores() as f64 / total,
+            spec.ici_bw() * right_group.total_cores() as f64 / total,
+        )
+    } else {
+        (left_caps.net_bw, right_caps.net_bw)
+    };
+    let mut left = GroupNode {
+        group: left_group,
+        caps: left_caps,
+        link_bw: left_link,
+        children: None,
+    };
+    let mut right = GroupNode {
+        group: right_group,
+        caps: right_caps,
+        link_bw: right_link,
+        children: None,
+    };
+    build(&mut left, array, levels - 1)?;
+    build(&mut right, array, levels - 1)?;
+    node.children = Some(Box::new((left, right)));
+    Ok(())
+}
+
+/// Splits a group in two. Returns the halves and whether the cut runs
+/// inside a single board.
+fn split(group: &Group, array: &AcceleratorArray) -> Result<(Group, Group, bool), ()> {
+    let shares = group.shares();
+    if shares.len() > 1 {
+        // Split the board list. Prefer the type boundary when the group is
+        // exactly two homogeneous runs.
+        let cut = type_boundary(shares, array).unwrap_or(shares.len() / 2);
+        let (l, r) = shares.split_at(cut);
+        Ok((
+            Group { shares: l.to_vec() },
+            Group { shares: r.to_vec() },
+            false,
+        ))
+    } else {
+        // Split the cores of the single remaining (partial) board.
+        let share = shares[0];
+        if share.cores < 2 {
+            return Err(());
+        }
+        let half = share.cores / 2;
+        Ok((
+            Group {
+                shares: vec![Share {
+                    board: share.board,
+                    cores: half,
+                }],
+            },
+            Group {
+                shares: vec![Share {
+                    board: share.board,
+                    cores: share.cores - half,
+                }],
+            },
+            true,
+        ))
+    }
+}
+
+/// If `shares` is exactly two runs of distinct board types, returns the
+/// index of the boundary between them.
+fn type_boundary(shares: &[Share], array: &AcceleratorArray) -> Option<usize> {
+    let name = |s: &Share| array.boards()[s.board].name();
+    let mut boundary = None;
+    for (i, pair) in shares.windows(2).enumerate() {
+        if name(&pair[0]) != name(&pair[1]) {
+            if boundary.is_some() {
+                return None; // more than two runs
+            }
+            boundary = Some(i + 1);
+        }
+    }
+    boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AcceleratorSpec;
+
+    #[test]
+    fn first_cut_separates_types() {
+        let array = AcceleratorArray::heterogeneous_tpu(4, 4);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        let (l, r) = tree.root().children().unwrap();
+        assert_eq!(l.caps().flops, 4.0 * 180e12);
+        assert_eq!(r.caps().flops, 4.0 * 420e12);
+        // Each side reaches the other at its own aggregate bandwidth.
+        assert_eq!(l.link_bw(), 4.0 * 1e9);
+        assert_eq!(r.link_bw(), 4.0 * 2e9);
+    }
+
+    #[test]
+    fn homogeneous_bisection_is_even() {
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(8), 3).unwrap();
+        let leaves: Vec<_> = tree.root().leaves().collect();
+        assert_eq!(leaves.len(), 8);
+        for leaf in &leaves {
+            assert_eq!(leaf.caps().flops, 420e12);
+            assert_eq!(leaf.group().total_cores(), 8);
+        }
+        assert_eq!(tree.root().depth(), 3);
+    }
+
+    #[test]
+    fn core_level_split_uses_ici() {
+        // One 8-core board, 2 levels: 4+4 cores then deeper.
+        let array = AcceleratorArray::homogeneous_tpu_v3(1);
+        let tree = GroupTree::bisect(&array, 2).unwrap();
+        let (l, r) = tree.root().children().unwrap();
+        assert_eq!(l.group().total_cores(), 4);
+        assert_eq!(r.group().total_cores(), 4);
+        let spec = AcceleratorSpec::tpu_v3();
+        assert_eq!(l.link_bw(), spec.ici_bw() * 0.5);
+        // Caps scale with core share.
+        assert_eq!(l.caps().flops, spec.peak_flops() * 0.5);
+    }
+
+    #[test]
+    fn too_deep_is_reported() {
+        let array = AcceleratorArray::homogeneous_tpu_v3(1);
+        // 8 cores allow 3 levels; 4 must fail.
+        let err = GroupTree::bisect(&array, 4).unwrap_err();
+        assert_eq!(err, HwError::TooDeep { requested: 4, max: 3 });
+        assert!(GroupTree::bisect(&array, 3).is_ok());
+    }
+
+    #[test]
+    fn empty_array_is_rejected() {
+        let err = GroupTree::bisect(&AcceleratorArray::new(vec![]), 1).unwrap_err();
+        assert_eq!(err, HwError::EmptyArray);
+    }
+
+    #[test]
+    fn odd_board_counts_split_floor_ceil() {
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(5), 1).unwrap();
+        let (l, r) = tree.root().children().unwrap();
+        assert_eq!(l.group().shares().len(), 2);
+        assert_eq!(r.group().shares().len(), 3);
+    }
+
+    #[test]
+    fn deep_heterogeneous_tree_reaches_cores() {
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        // 2 board levels + 3 core levels = 5.
+        assert_eq!(array.max_levels(), 5);
+        let tree = GroupTree::bisect(&array, 5).unwrap();
+        assert_eq!(tree.root().leaves().count(), 32);
+        for leaf in tree.root().leaves() {
+            assert_eq!(leaf.group().total_cores(), 1);
+        }
+    }
+
+    #[test]
+    fn bisection_invariants_hold_for_many_shapes() {
+        use proptest::prelude::*;
+        proptest!(ProptestConfig::with_cases(32), |(
+            v2 in 0usize..6,
+            v3 in 0usize..6,
+            levels in 0usize..4,
+        )| {
+            prop_assume!(v2 + v3 > 0);
+            let array = AcceleratorArray::heterogeneous_tpu(v2, v3);
+            prop_assume!(levels <= array.max_levels());
+            let tree = GroupTree::bisect(&array, levels).unwrap();
+            // A complete binary tree of the requested depth.
+            prop_assert_eq!(tree.root().leaves().count(), 1 << levels);
+            prop_assert_eq!(tree.root().depth(), levels);
+            // Compute is conserved across every level of the tree.
+            fn check(node: &GroupNode) {
+                if let Some((a, b)) = node.children() {
+                    let sum = a.caps().flops + b.caps().flops;
+                    assert!((sum - node.caps().flops).abs() < 1.0);
+                    assert!(a.link_bw() > 0.0 && b.link_bw() > 0.0);
+                    check(a);
+                    check(b);
+                }
+            }
+            check(tree.root());
+        });
+    }
+
+    #[test]
+    fn caps_sum_to_array_totals() {
+        let array = AcceleratorArray::heterogeneous_tpu(3, 5);
+        let tree = GroupTree::bisect(&array, 3).unwrap();
+        let leaf_flops: f64 = tree.root().leaves().map(|l| l.caps().flops).sum();
+        assert!((leaf_flops - array.total_flops()).abs() < 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Hardware models for the AccPar reproduction.
+//!
+//! The paper evaluates on an array of 128 TPU-v2 and 128 TPU-v3 boards
+//! (Table 7) and partitions tensors *hierarchically*: the array is
+//! recursively bisected into pairs of accelerator groups, and AccPar's
+//! layer-wise search runs once per bisection level (§5.1, Figure 8).
+//!
+//! * [`AcceleratorSpec`] — one accelerator board: peak FLOPS, HBM
+//!   capacity, memory bandwidth, external network bandwidth, and core
+//!   count with intra-board interconnect bandwidth (used only when a
+//!   hierarchy is deep enough to split inside a board);
+//! * [`AcceleratorArray`] — an ordered collection of boards, with
+//!   heterogeneous and homogeneous TPU presets;
+//! * [`GroupTree`] / [`GroupNode`] — the recursive bisection, with
+//!   aggregate [`GroupCaps`] per node and per-child cut bandwidths.
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_hw::{AcceleratorArray, GroupTree};
+//!
+//! // The paper's heterogeneous array: 128 TPU-v2 + 128 TPU-v3.
+//! let array = AcceleratorArray::heterogeneous_tpu(128, 128);
+//! let tree = GroupTree::bisect(&array, 3)?;
+//!
+//! // The first cut separates the v2 half from the v3 half, so the two
+//! // children have unequal compute capability.
+//! let (left, right) = tree.root().children().unwrap();
+//! assert!(left.caps().flops != right.caps().flops);
+//! # Ok::<(), accpar_hw::HwError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod error;
+mod group;
+mod spec;
+
+pub use array::AcceleratorArray;
+pub use error::HwError;
+pub use group::{Group, GroupCaps, GroupNode, GroupTree};
+pub use spec::AcceleratorSpec;

@@ -1,0 +1,209 @@
+use crate::error::HwError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const GB: f64 = 1e9;
+const GIB: u64 = 1 << 30;
+
+/// Specification of one accelerator board, after Table 7 of the paper.
+///
+/// Rates are in base SI units: FLOP/s for compute and bytes/s for
+/// bandwidths. The network rates follow the paper's settings (8 Gb/s for
+/// TPU-v2 boards, 16 Gb/s for TPU-v3 boards); `ici_bw` is the *per-board*
+/// intra-board interconnect bandwidth, which only matters when a
+/// hierarchical partition is deep enough to split the cores of a single
+/// board (hierarchy levels beyond `log2(#boards)`).
+///
+/// # Example
+///
+/// ```
+/// use accpar_hw::AcceleratorSpec;
+///
+/// let v3 = AcceleratorSpec::tpu_v3();
+/// assert_eq!(v3.peak_flops(), 420e12);
+/// assert_eq!(v3.cores(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorSpec {
+    name: String,
+    peak_flops: f64,
+    hbm_bytes: u64,
+    mem_bw: f64,
+    net_bw: f64,
+    cores: usize,
+    ici_bw: f64,
+}
+
+impl AcceleratorSpec {
+    /// Creates a custom accelerator specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidSpec`] if any rate is non-positive or
+    /// non-finite, or `cores` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        peak_flops: f64,
+        hbm_bytes: u64,
+        mem_bw: f64,
+        net_bw: f64,
+        cores: usize,
+        ici_bw: f64,
+    ) -> Result<Self, HwError> {
+        let check = |v: f64, what: &str| -> Result<(), HwError> {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(HwError::InvalidSpec(format!("{what} must be positive, got {v}")));
+            }
+            Ok(())
+        };
+        check(peak_flops, "peak_flops")?;
+        check(mem_bw, "mem_bw")?;
+        check(net_bw, "net_bw")?;
+        check(ici_bw, "ici_bw")?;
+        if cores == 0 {
+            return Err(HwError::InvalidSpec("cores must be positive".into()));
+        }
+        Ok(Self {
+            name: name.into(),
+            peak_flops,
+            hbm_bytes,
+            mem_bw,
+            net_bw,
+            cores,
+            ici_bw,
+        })
+    }
+
+    /// The TPU-v2 board of Table 7: 180 TFLOPS, 64 GB HBM at 2400 GB/s,
+    /// 8 Gb/s network, 4 chips × 2 cores.
+    #[must_use]
+    pub fn tpu_v2() -> Self {
+        Self::new(
+            "tpu-v2",
+            180e12,
+            64 * GIB,
+            2400.0 * GB,
+            1.0 * GB, // 8 Gb/s
+            8,
+            100.0 * GB,
+        )
+        .expect("preset is valid")
+    }
+
+    /// The TPU-v3 board of Table 7: 420 TFLOPS, 128 GB HBM at 4800 GB/s,
+    /// 16 Gb/s network, 4 chips × 2 cores.
+    #[must_use]
+    pub fn tpu_v3() -> Self {
+        Self::new(
+            "tpu-v3",
+            420e12,
+            128 * GIB,
+            4800.0 * GB,
+            2.0 * GB, // 16 Gb/s
+            8,
+            200.0 * GB,
+        )
+        .expect("preset is valid")
+    }
+
+    /// Display name of the board type.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Peak compute throughput (FLOP/s) — the paper's computation density
+    /// `c_i`.
+    #[must_use]
+    pub const fn peak_flops(&self) -> f64 {
+        self.peak_flops
+    }
+
+    /// HBM capacity in bytes.
+    #[must_use]
+    pub const fn hbm_bytes(&self) -> u64 {
+        self.hbm_bytes
+    }
+
+    /// HBM bandwidth in bytes/s.
+    #[must_use]
+    pub const fn mem_bw(&self) -> f64 {
+        self.mem_bw
+    }
+
+    /// External network bandwidth in bytes/s — the paper's `b_i`.
+    #[must_use]
+    pub const fn net_bw(&self) -> f64 {
+        self.net_bw
+    }
+
+    /// Number of cores on the board (Table 7: 4 chips × 2 cores).
+    #[must_use]
+    pub const fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Aggregate intra-board interconnect bandwidth in bytes/s.
+    #[must_use]
+    pub const fn ici_bw(&self) -> f64 {
+        self.ici_bw
+    }
+}
+
+impl fmt::Display for AcceleratorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.0} TFLOPS, {} GB HBM @ {:.0} GB/s, net {:.1} GB/s, {} cores",
+            self.name,
+            self.peak_flops / 1e12,
+            self.hbm_bytes / GIB,
+            self.mem_bw / GB,
+            self.net_bw / GB,
+            self.cores
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_7_values() {
+        let v2 = AcceleratorSpec::tpu_v2();
+        assert_eq!(v2.peak_flops(), 180e12);
+        assert_eq!(v2.hbm_bytes(), 64 * (1 << 30));
+        assert_eq!(v2.mem_bw(), 2400e9);
+        assert_eq!(v2.net_bw(), 1e9);
+        assert_eq!(v2.cores(), 8);
+
+        let v3 = AcceleratorSpec::tpu_v3();
+        assert_eq!(v3.peak_flops(), 420e12);
+        assert_eq!(v3.hbm_bytes(), 128 * (1 << 30));
+        assert_eq!(v3.mem_bw(), 4800e9);
+        assert_eq!(v3.net_bw(), 2e9);
+    }
+
+    #[test]
+    fn v3_doubles_v2_bandwidths() {
+        let v2 = AcceleratorSpec::tpu_v2();
+        let v3 = AcceleratorSpec::tpu_v3();
+        assert_eq!(v3.mem_bw(), 2.0 * v2.mem_bw());
+        assert_eq!(v3.net_bw(), 2.0 * v2.net_bw());
+        assert!((v3.peak_flops() / v2.peak_flops() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(AcceleratorSpec::new("x", 0.0, 1, 1.0, 1.0, 1, 1.0).is_err());
+        assert!(AcceleratorSpec::new("x", 1.0, 1, -1.0, 1.0, 1, 1.0).is_err());
+        assert!(AcceleratorSpec::new("x", 1.0, 1, 1.0, f64::NAN, 1, 1.0).is_err());
+        assert!(AcceleratorSpec::new("x", 1.0, 1, 1.0, 1.0, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(AcceleratorSpec::tpu_v2().to_string().contains("tpu-v2"));
+    }
+}

@@ -1,0 +1,343 @@
+use crate::plan::LayerPlan;
+use crate::ptype::PartitionType;
+use accpar_dnn::TrainLayer;
+use accpar_tensor::split::split_two;
+use serde::{Deserialize, Serialize};
+
+/// What one accelerator group holds and computes for one weighted layer
+/// under a [`LayerPlan`] — the integer-exact lowering of a fractional
+/// ratio that the trace-based simulator consumes.
+///
+/// Element counts are *after* the partial-sum exchange of the type's psum
+/// phase completes (e.g. under Type-II each group ends holding the full
+/// `F_{l+1}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupTensors {
+    /// Integer share of the partitioned dimension.
+    pub dim_share: usize,
+    /// Length of the partitioned dimension.
+    pub dim_len: usize,
+    /// Elements of `F_l` (and `E_l`) this group holds.
+    pub f_in_elems: u64,
+    /// Elements of `F_{l+1}` (and `E_{l+1}`) this group holds.
+    pub f_out_elems: u64,
+    /// Elements of `W_l` (and `ΔW_l`) this group holds.
+    pub weight_elems: u64,
+    /// Whether `W_l` is fully replicated on this group (Type-I).
+    pub weight_replicated: bool,
+    /// Whether `F_l` is fully replicated on this group (Type-III).
+    pub f_in_replicated: bool,
+    /// FLOPs this group performs in the forward phase.
+    pub forward_flops: u64,
+    /// FLOPs this group performs in the backward phase.
+    pub backward_flops: u64,
+    /// FLOPs this group performs in the gradient phase.
+    pub gradient_flops: u64,
+    /// Elements of the partial-sum tensor this group fetches from its
+    /// sibling during the type's psum phase (Table 4: independent of the
+    /// ratio).
+    pub psum_elems: u64,
+}
+
+impl GroupTensors {
+    /// Total FLOPs over the three phases.
+    #[must_use]
+    pub const fn total_flops(&self) -> u64 {
+        self.forward_flops + self.backward_flops + self.gradient_flops
+    }
+
+    /// Fraction of the partitioned dimension held.
+    #[must_use]
+    pub fn share_fraction(&self) -> f64 {
+        self.dim_share as f64 / self.dim_len as f64
+    }
+}
+
+/// Scales `total` by `share / len` exactly (in `u128` to avoid overflow).
+fn scaled(total: u64, share: usize, len: usize) -> u64 {
+    ((total as u128 * share as u128) / len as u128) as u64
+}
+
+/// Lowers a layer plan onto a layer: the integer tensor shares, FLOP
+/// shares and partial-sum volumes for the two groups.
+///
+/// The first group receives the leading `round(α·n)` slice of the
+/// partitioned dimension, the second group the rest.
+///
+/// # Example
+///
+/// ```
+/// use accpar_dnn::zoo;
+/// use accpar_partition::{assign, LayerPlan, PartitionType, Ratio};
+///
+/// let net = zoo::lenet(100)?;
+/// let view = net.train_view()?;
+/// let layer = view.layers().next().unwrap();
+/// let plan = LayerPlan::new(PartitionType::TypeI, Ratio::new(0.75)?);
+/// let (a, b) = assign(layer, plan);
+/// assert_eq!(a.dim_share, 75);
+/// assert_eq!(b.dim_share, 25);
+/// assert!(a.weight_replicated && b.weight_replicated);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn assign(layer: &TrainLayer, plan: LayerPlan) -> (GroupTensors, GroupTensors) {
+    let dim_len = match plan.ptype {
+        PartitionType::TypeI => layer.batch(),
+        PartitionType::TypeII => layer.d_in(),
+        PartitionType::TypeIII => layer.d_out(),
+    };
+    let (share_a, share_b) = split_two(dim_len, plan.ratio.value());
+    (
+        group_tensors(layer, plan.ptype, share_a, dim_len),
+        group_tensors(layer, plan.ptype, share_b, dim_len),
+    )
+}
+
+fn group_tensors(
+    layer: &TrainLayer,
+    ptype: PartitionType,
+    share: usize,
+    dim_len: usize,
+) -> GroupTensors {
+    let f_in = layer.in_fmap().size();
+    let f_out = layer.out_fmap().size();
+    let w = layer.weight().size();
+    let win = layer.kind().window_size() as u64;
+    // In two of the three phases the partitioned dimension indexes the
+    // *output*, so the group computes an exact `share/dim_len` slice of
+    // the output elements. In the type's psum phase the partitioned
+    // dimension is the *reduction* dimension (Table 3): the group computes
+    // every output element, but only a partial sum over its share —
+    // `A(out) · (2·share·win − 1)` FLOPs, the final cross-group addition
+    // being the psum exchange itself.
+    let partial = |out_elems: u64, reduction_share: u64| -> u64 {
+        if reduction_share == 0 {
+            0
+        } else {
+            out_elems * (2 * reduction_share - 1)
+        }
+    };
+    let (forward_flops, backward_flops, gradient_flops) = match ptype {
+        PartitionType::TypeI => (
+            scaled(layer.forward_flops(), share, dim_len),
+            scaled(layer.backward_flops(), share, dim_len),
+            partial(w, share as u64 * layer.out_fmap().spatial_size() as u64),
+        ),
+        PartitionType::TypeII => (
+            partial(f_out, share as u64 * win),
+            scaled(layer.backward_flops(), share, dim_len),
+            scaled(layer.gradient_flops(), share, dim_len),
+        ),
+        PartitionType::TypeIII => (
+            scaled(layer.forward_flops(), share, dim_len),
+            partial(f_in, share as u64 * win),
+            scaled(layer.gradient_flops(), share, dim_len),
+        ),
+    };
+
+    let (f_in_elems, f_out_elems, weight_elems, weight_replicated, f_in_replicated, psum_elems) =
+        match ptype {
+            // Type-I: batch split, weight replicated, psum on ΔW (A(W_l)).
+            PartitionType::TypeI => (
+                scaled(f_in, share, dim_len),
+                scaled(f_out, share, dim_len),
+                w,
+                true,
+                false,
+                w,
+            ),
+            // Type-II: D_i split, E_{l+1} replicated, psum on F_{l+1}.
+            PartitionType::TypeII => (
+                scaled(f_in, share, dim_len),
+                f_out,
+                scaled(w, share, dim_len),
+                false,
+                false,
+                f_out,
+            ),
+            // Type-III: D_o split, F_l replicated, psum on E_l (= A(F_l)).
+            PartitionType::TypeIII => (
+                f_in,
+                scaled(f_out, share, dim_len),
+                scaled(w, share, dim_len),
+                false,
+                true,
+                f_in,
+            ),
+        };
+
+    GroupTensors {
+        dim_share: share,
+        dim_len,
+        f_in_elems,
+        f_out_elems,
+        weight_elems,
+        weight_replicated,
+        f_in_replicated,
+        forward_flops,
+        backward_flops,
+        gradient_flops,
+        psum_elems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::Ratio;
+    use accpar_dnn::NetworkBuilder;
+    use accpar_tensor::FeatureShape;
+    use proptest::prelude::*;
+
+    fn fc_layer(batch: usize, d_in: usize, d_out: usize) -> TrainLayer {
+        NetworkBuilder::new("t", FeatureShape::fc(batch, d_in))
+            .linear("fc", d_in, d_out)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap()
+            .layers()
+            .next()
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn type_i_replicates_weight_and_splits_batch() {
+        let layer = fc_layer(100, 20, 30);
+        let plan = LayerPlan::new(PartitionType::TypeI, Ratio::new(0.6).unwrap());
+        let (a, b) = assign(&layer, plan);
+        assert_eq!(a.dim_share, 60);
+        assert_eq!(b.dim_share, 40);
+        assert_eq!(a.weight_elems, 600);
+        assert_eq!(b.weight_elems, 600);
+        assert!(a.weight_replicated);
+        assert_eq!(a.f_in_elems, 60 * 20);
+        assert_eq!(b.f_in_elems, 40 * 20);
+        // Psum is on ΔW: size A(W), identical for both.
+        assert_eq!(a.psum_elems, 600);
+        assert_eq!(b.psum_elems, 600);
+    }
+
+    #[test]
+    fn type_ii_splits_input_dim_and_psums_on_f_out() {
+        let layer = fc_layer(100, 20, 30);
+        let plan = LayerPlan::new(PartitionType::TypeII, Ratio::new(0.5).unwrap());
+        let (a, b) = assign(&layer, plan);
+        assert_eq!(a.dim_share, 10);
+        assert_eq!(a.weight_elems, 300);
+        assert_eq!(a.f_in_elems, 100 * 10);
+        // After the psum each holds the full output.
+        assert_eq!(a.f_out_elems, 100 * 30);
+        assert_eq!(a.psum_elems, 100 * 30);
+        assert!(!a.weight_replicated && !b.weight_replicated);
+    }
+
+    #[test]
+    fn type_iii_replicates_input_and_psums_on_e_l() {
+        let layer = fc_layer(100, 20, 30);
+        let plan = LayerPlan::new(PartitionType::TypeIII, Ratio::new(0.3).unwrap());
+        let (a, b) = assign(&layer, plan);
+        assert_eq!(a.dim_share, 9);
+        assert_eq!(b.dim_share, 21);
+        assert!(a.f_in_replicated);
+        assert_eq!(a.f_in_elems, 100 * 20);
+        assert_eq!(a.f_out_elems, 100 * 9);
+        assert_eq!(a.weight_elems, 20 * 9);
+        assert_eq!(a.psum_elems, 100 * 20);
+    }
+
+    #[test]
+    fn assignment_matches_shard_scales_at_one_level() {
+        // The integer lowering (assign) and the fractional algebra
+        // (ShardScales::shrink) describe the same partition: at exact
+        // binary splits the element counts agree exactly.
+        use crate::scales::ShardScales;
+        let layer = fc_layer(64, 32, 16);
+        for t in PartitionType::ALL {
+            let plan = LayerPlan::new(t, Ratio::EQUAL);
+            let (a, _) = assign(&layer, plan);
+            let scales = ShardScales::full().shrink(t, 0.5);
+            assert_eq!(
+                a.f_in_elems as f64,
+                layer.in_fmap().size() as f64 * scales.f_in,
+                "{t} f_in"
+            );
+            assert_eq!(
+                a.f_out_elems as f64,
+                layer.out_fmap().size() as f64 * scales.f_out,
+                "{t} f_out"
+            );
+            assert_eq!(
+                a.weight_elems as f64,
+                layer.weight().size() as f64 * scales.weight,
+                "{t} weight"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flop_shares_sum_to_total(
+            batch in 1usize..64,
+            d_in in 1usize..64,
+            d_out in 1usize..64,
+            alpha in 0.0f64..=1.0,
+            type_idx in 0usize..3,
+        ) {
+            let layer = fc_layer(batch, d_in, d_out);
+            let ptype = PartitionType::ALL[type_idx];
+            let plan = LayerPlan::new(ptype, Ratio::new(alpha).unwrap());
+            let (a, b) = assign(&layer, plan);
+            // Shares of the partitioned dim sum exactly.
+            prop_assert_eq!(a.dim_share + b.dim_share, a.dim_len);
+            // In the non-psum phases the output is sliced, so group FLOPs
+            // sum exactly to the full count. In the psum phase each group
+            // runs a partial reduction; the two partials sum to the full
+            // count minus one addition per output element (performed as
+            // part of the psum combination) — and less when a group's
+            // share is zero (it contributes nothing at all).
+            let psum_phase = ptype.psum_phase();
+            for (phase, full, got) in [
+                (crate::Phase::Forward, layer.forward_flops(),
+                 a.forward_flops + b.forward_flops),
+                (crate::Phase::Backward, layer.backward_flops(),
+                 a.backward_flops + b.backward_flops),
+                (crate::Phase::Gradient, layer.gradient_flops(),
+                 a.gradient_flops + b.gradient_flops),
+            ] {
+                if phase == psum_phase {
+                    prop_assert!(got <= full, "{phase}: {got} > {full}");
+                    if a.dim_share > 0 && b.dim_share > 0 {
+                        let out_elems = full / (2 * match ptype {
+                            PartitionType::TypeI =>
+                                layer.gradient_reduction(),
+                            PartitionType::TypeII =>
+                                layer.forward_reduction(),
+                            PartitionType::TypeIII =>
+                                layer.backward_reduction(),
+                        } - 1);
+                        prop_assert_eq!(got, full - out_elems);
+                    }
+                } else {
+                    prop_assert_eq!(got, full, "{}", phase);
+                }
+            }
+        }
+
+        #[test]
+        fn psum_volume_is_ratio_independent(
+            alpha in 0.0f64..=1.0,
+            type_idx in 0usize..3,
+        ) {
+            // Table 4: "intra-layer communication cost is not dependable
+            // on the partitioning ratio α".
+            let layer = fc_layer(32, 16, 24);
+            let ptype = PartitionType::ALL[type_idx];
+            let (a, _) = assign(&layer, LayerPlan::new(ptype, Ratio::new(alpha).unwrap()));
+            let (c, _) = assign(&layer, LayerPlan::new(ptype, Ratio::EQUAL));
+            prop_assert_eq!(a.psum_elems, c.psum_elems);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The tensor partition space of AccPar (§3 of the paper).
+//!
+//! DNN training couples three tensor computations per layer — forward,
+//! backward and gradient — over tensors spanning exactly three
+//! dimensions: the mini-batch `B`, the layer input size `D_{i,l}` and the
+//! layer output size `D_{o,l}`. Because only one dimension can be free in
+//! a valid two-way partition, there are exactly **three basic partition
+//! types** ([`PartitionType`]), and they form the *complete* partition
+//! space (§3.4):
+//!
+//! | Type | Partitioned dim | Replicated tensor | Partial-sum phase |
+//! |------|-----------------|-------------------|-------------------|
+//! | I    | `B`             | `W_l`             | gradient          |
+//! | II   | `D_{i,l}`       | `E_{l+1}`         | forward           |
+//! | III  | `D_{o,l}`       | `F_l`             | backward          |
+//!
+//! This crate provides the types ([`PartitionType`], [`Phase`]), the
+//! partition ratio ([`Ratio`]), per-layer and per-network plans
+//! ([`LayerPlan`], [`NetworkPlan`], [`HierPlan`]), the Table 3 rotational
+//! symmetry ([`symmetry`]), and the per-group tensor assignment used by
+//! the simulator ([`assign`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod plan;
+mod plan_tree;
+mod ptype;
+mod ratio;
+mod scales;
+pub mod symmetry;
+
+pub use assignment::{assign, GroupTensors};
+pub use plan::{HierPlan, LayerPlan, NetworkPlan};
+pub use plan_tree::PlanTree;
+pub use ptype::{PartitionType, Phase};
+pub use ratio::{Ratio, RatioError};
+pub use scales::ShardScales;

@@ -1,0 +1,213 @@
+use crate::ptype::PartitionType;
+use crate::ratio::Ratio;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The partition decision for one weighted layer: a basic type and the
+/// ratio assigned to the first accelerator group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerPlan {
+    /// The basic partition type `t ∈ 𝒯`.
+    pub ptype: PartitionType,
+    /// The first group's share `α`.
+    pub ratio: Ratio,
+}
+
+impl LayerPlan {
+    /// Creates a plan entry.
+    #[must_use]
+    pub const fn new(ptype: PartitionType, ratio: Ratio) -> Self {
+        Self { ptype, ratio }
+    }
+
+    /// Type-I with an equal split — the data-parallel default.
+    #[must_use]
+    pub const fn data_parallel() -> Self {
+        Self::new(PartitionType::TypeI, Ratio::EQUAL)
+    }
+}
+
+impl fmt::Display for LayerPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.ptype, self.ratio)
+    }
+}
+
+/// A partition plan for every weighted layer of a network, in
+/// weighted-layer index order, for **one** bisection level.
+///
+/// # Example
+///
+/// ```
+/// use accpar_partition::{LayerPlan, NetworkPlan, PartitionType, Ratio};
+///
+/// let plan = NetworkPlan::uniform(3, LayerPlan::data_parallel());
+/// assert_eq!(plan.len(), 3);
+/// assert_eq!(plan.count(PartitionType::TypeI), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkPlan {
+    layers: Vec<LayerPlan>,
+}
+
+impl NetworkPlan {
+    /// Creates a plan from per-layer entries.
+    #[must_use]
+    pub fn new(layers: Vec<LayerPlan>) -> Self {
+        Self { layers }
+    }
+
+    /// A plan assigning the same entry to all `n` layers.
+    #[must_use]
+    pub fn uniform(n: usize, entry: LayerPlan) -> Self {
+        Self {
+            layers: vec![entry; n],
+        }
+    }
+
+    /// The per-layer entries.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerPlan] {
+        &self.layers
+    }
+
+    /// The entry for weighted layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn layer(&self, index: usize) -> LayerPlan {
+        self.layers[index]
+    }
+
+    /// Number of weighted layers covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the plan covers no layers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// How many layers use the given type — the Figure 7 statistic.
+    #[must_use]
+    pub fn count(&self, ptype: PartitionType) -> usize {
+        self.layers.iter().filter(|l| l.ptype == ptype).count()
+    }
+
+    /// Per-layer type codes, e.g. `"III22"` — Figure 7's rendering.
+    #[must_use]
+    pub fn type_string(&self) -> String {
+        self.layers.iter().map(|l| l.ptype.code()).collect()
+    }
+}
+
+impl FromIterator<LayerPlan> for NetworkPlan {
+    fn from_iter<I: IntoIterator<Item = LayerPlan>>(iter: I) -> Self {
+        Self {
+            layers: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for NetworkPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, layer) in self.layers.iter().enumerate() {
+            writeln!(f, "  L{i}: {layer}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A hierarchical plan: one [`NetworkPlan`] per bisection level, outermost
+/// first (§5.1's recursive application of the layer-wise search).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierPlan {
+    levels: Vec<NetworkPlan>,
+}
+
+impl HierPlan {
+    /// Creates a hierarchical plan from per-level plans.
+    #[must_use]
+    pub fn new(levels: Vec<NetworkPlan>) -> Self {
+        Self { levels }
+    }
+
+    /// The per-level plans, outermost bisection first.
+    #[must_use]
+    pub fn levels(&self) -> &[NetworkPlan] {
+        &self.levels
+    }
+
+    /// Number of bisection levels.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total count of a type across all levels and layers (the Figure 7
+    /// aggregate).
+    #[must_use]
+    pub fn count(&self, ptype: PartitionType) -> usize {
+        self.levels.iter().map(|p| p.count(ptype)).sum()
+    }
+}
+
+impl fmt::Display for HierPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (level, plan) in self.levels.iter().enumerate() {
+            writeln!(f, "level {level}: {}", plan.type_string())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_plan_counts() {
+        let plan = NetworkPlan::uniform(5, LayerPlan::data_parallel());
+        assert_eq!(plan.count(PartitionType::TypeI), 5);
+        assert_eq!(plan.count(PartitionType::TypeII), 0);
+        assert_eq!(plan.type_string(), "IIIII");
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let plan: NetworkPlan = PartitionType::ALL
+            .iter()
+            .map(|&t| LayerPlan::new(t, Ratio::EQUAL))
+            .collect();
+        assert_eq!(plan.type_string(), "I23");
+        assert_eq!(plan.layer(1).ptype, PartitionType::TypeII);
+    }
+
+    #[test]
+    fn hierarchy_aggregates_counts() {
+        let l0 = NetworkPlan::uniform(2, LayerPlan::data_parallel());
+        let l1 = NetworkPlan::uniform(
+            2,
+            LayerPlan::new(PartitionType::TypeIII, Ratio::EQUAL),
+        );
+        let hier = HierPlan::new(vec![l0, l1]);
+        assert_eq!(hier.depth(), 2);
+        assert_eq!(hier.count(PartitionType::TypeI), 2);
+        assert_eq!(hier.count(PartitionType::TypeIII), 2);
+        let rendered = hier.to_string();
+        assert!(rendered.contains("level 0: II"));
+        assert!(rendered.contains("level 1: 33"));
+    }
+
+    #[test]
+    fn display_layer_plan() {
+        let p = LayerPlan::new(PartitionType::TypeII, Ratio::new(0.7).unwrap());
+        assert_eq!(p.to_string(), "Type-II @ 0.700");
+    }
+}

@@ -1,0 +1,237 @@
+use crate::plan::{HierPlan, NetworkPlan};
+use crate::ptype::PartitionType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hierarchical plan shaped like the group tree it partitions: each
+/// node carries the [`NetworkPlan`] of *its* bisection, and — unless it is
+/// at the bottom of the hierarchy — two children for the sub-plans inside
+/// each half.
+///
+/// On a heterogeneous array the two halves of a cut have different
+/// capabilities, so the recursive search (§5.1) may choose *different*
+/// plans inside them; a flat per-level [`HierPlan`] cannot express that,
+/// a `PlanTree` can. A uniform tree (same plan for every node of a level)
+/// is available via [`PlanTree::uniform`] and from
+/// [`HierPlan::to_tree`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanTree {
+    plan: NetworkPlan,
+    children: Option<Box<(PlanTree, PlanTree)>>,
+}
+
+impl PlanTree {
+    /// A single-level tree (leaf bisection).
+    #[must_use]
+    pub fn leaf(plan: NetworkPlan) -> Self {
+        Self {
+            plan,
+            children: None,
+        }
+    }
+
+    /// A bisection with sub-plans inside each half.
+    #[must_use]
+    pub fn branch(plan: NetworkPlan, left: PlanTree, right: PlanTree) -> Self {
+        Self {
+            plan,
+            children: Some(Box::new((left, right))),
+        }
+    }
+
+    /// Builds a uniform tree: the same plan for every node of each level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    #[must_use]
+    pub fn uniform(levels: &[NetworkPlan]) -> Self {
+        assert!(!levels.is_empty(), "a plan tree needs at least one level");
+        let plan = levels[0].clone();
+        if levels.len() == 1 {
+            Self::leaf(plan)
+        } else {
+            let child = Self::uniform(&levels[1..]);
+            Self::branch(plan, child.clone(), child)
+        }
+    }
+
+    /// This node's bisection plan.
+    #[must_use]
+    pub const fn plan(&self) -> &NetworkPlan {
+        &self.plan
+    }
+
+    /// The sub-plans inside each half, if any.
+    #[must_use]
+    pub fn children(&self) -> Option<(&PlanTree, &PlanTree)> {
+        self.children.as_deref().map(|c| (&c.0, &c.1))
+    }
+
+    /// Number of bisection levels (1 for a leaf).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self.children() {
+            None => 1,
+            Some((l, r)) => 1 + l.depth().max(r.depth()),
+        }
+    }
+
+    /// Total count of a type across all nodes and layers — Figure 7's
+    /// aggregate statistic.
+    #[must_use]
+    pub fn count(&self, ptype: PartitionType) -> usize {
+        let own = self.plan.count(ptype);
+        match self.children() {
+            None => own,
+            Some((l, r)) => own + l.count(ptype) + r.count(ptype),
+        }
+    }
+
+    /// Rebuilds the tree with every node's entry for every layer passed
+    /// through `f` (which receives the weighted-layer index and the
+    /// current entry). Used by memory-feasibility repair to flip layers
+    /// to model partitioning across all levels at once.
+    #[must_use]
+    pub fn map_layers(&self, f: &impl Fn(usize, crate::LayerPlan) -> crate::LayerPlan) -> PlanTree {
+        let plan = crate::NetworkPlan::new(
+            self.plan
+                .layers()
+                .iter()
+                .enumerate()
+                .map(|(l, &entry)| f(l, entry))
+                .collect(),
+        );
+        match self.children() {
+            None => PlanTree::leaf(plan),
+            Some((a, b)) => PlanTree::branch(plan, a.map_layers(f), b.map_layers(f)),
+        }
+    }
+
+    /// Per-layer type counts across all nodes: `counts[layer][type index
+    /// in `PartitionType::ALL`]` — the data behind Figure 7.
+    #[must_use]
+    pub fn per_layer_type_counts(&self) -> Vec<[usize; 3]> {
+        let mut counts = vec![[0usize; 3]; self.plan.len()];
+        self.accumulate(&mut counts);
+        counts
+    }
+
+    fn accumulate(&self, counts: &mut [[usize; 3]]) {
+        for (l, entry) in self.plan.layers().iter().enumerate() {
+            let t_idx = PartitionType::ALL
+                .iter()
+                .position(|&t| t == entry.ptype)
+                .expect("type in ALL");
+            counts[l][t_idx] += 1;
+        }
+        if let Some((a, b)) = self.children() {
+            a.accumulate(counts);
+            b.accumulate(counts);
+        }
+    }
+}
+
+impl HierPlan {
+    /// Expands this flat per-level plan into a uniform [`PlanTree`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no levels.
+    #[must_use]
+    pub fn to_tree(&self) -> PlanTree {
+        PlanTree::uniform(self.levels())
+    }
+}
+
+impl fmt::Display for PlanTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(node: &PlanTree, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            writeln!(f, "{}{}", "  ".repeat(depth), node.plan().type_string())?;
+            if let Some((l, r)) = node.children() {
+                rec(l, depth + 1, f)?;
+                rec(r, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        rec(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::LayerPlan;
+    use crate::ratio::Ratio;
+
+    fn plan(t: PartitionType, n: usize) -> NetworkPlan {
+        NetworkPlan::uniform(n, LayerPlan::new(t, Ratio::EQUAL))
+    }
+
+    #[test]
+    fn uniform_tree_shape() {
+        let tree = PlanTree::uniform(&vec![plan(PartitionType::TypeI, 2); 3]);
+        assert_eq!(tree.depth(), 3);
+        // 1 + 2 + 4 nodes, 2 layers each.
+        assert_eq!(tree.count(PartitionType::TypeI), 14);
+    }
+
+    #[test]
+    fn heterogeneous_children_allowed() {
+        let tree = PlanTree::branch(
+            plan(PartitionType::TypeI, 1),
+            PlanTree::leaf(plan(PartitionType::TypeII, 1)),
+            PlanTree::leaf(plan(PartitionType::TypeIII, 1)),
+        );
+        assert_eq!(tree.count(PartitionType::TypeII), 1);
+        assert_eq!(tree.count(PartitionType::TypeIII), 1);
+        assert_eq!(tree.depth(), 2);
+    }
+
+    #[test]
+    fn hier_plan_round_trips() {
+        let hier = HierPlan::new(vec![plan(PartitionType::TypeI, 2), plan(PartitionType::TypeII, 2)]);
+        let tree = hier.to_tree();
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.count(PartitionType::TypeI), 2);
+        // Level 1 appears in both halves.
+        assert_eq!(tree.count(PartitionType::TypeII), 4);
+    }
+
+    #[test]
+    fn per_layer_counts() {
+        let tree = PlanTree::branch(
+            NetworkPlan::new(vec![
+                LayerPlan::new(PartitionType::TypeI, Ratio::EQUAL),
+                LayerPlan::new(PartitionType::TypeII, Ratio::EQUAL),
+            ]),
+            PlanTree::leaf(plan(PartitionType::TypeIII, 2)),
+            PlanTree::leaf(plan(PartitionType::TypeIII, 2)),
+        );
+        let counts = tree.per_layer_type_counts();
+        assert_eq!(counts[0], [1, 0, 2]);
+        assert_eq!(counts[1], [0, 1, 2]);
+    }
+
+    #[test]
+    fn map_layers_flips_types_everywhere() {
+        let tree = PlanTree::uniform(&vec![plan(PartitionType::TypeI, 3); 2]);
+        let flipped = tree.map_layers(&|l, entry| {
+            if l == 1 {
+                LayerPlan::new(PartitionType::TypeII, entry.ratio)
+            } else {
+                entry
+            }
+        });
+        // 3 nodes x 1 flipped layer.
+        assert_eq!(flipped.count(PartitionType::TypeII), 3);
+        assert_eq!(flipped.count(PartitionType::TypeI), 6);
+        assert_eq!(flipped.depth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn uniform_rejects_empty() {
+        let _ = PlanTree::uniform(&[]);
+    }
+}

@@ -1,0 +1,174 @@
+use accpar_tensor::PartitionDim;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the three tensor computation phases of DNN training (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// `F_{l+1} = f(F_l × W_l)`.
+    Forward,
+    /// `E_l = (E_{l+1} × W_lᵀ) ⊙ f'(F_l)`.
+    Backward,
+    /// `ΔW_l = F_lᵀ × E_{l+1}`.
+    Gradient,
+}
+
+impl Phase {
+    /// All three phases in execution order of the forward/backward sweep.
+    pub const ALL: [Phase; 3] = [Phase::Forward, Phase::Backward, Phase::Gradient];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Forward => "forward",
+            Phase::Backward => "backward",
+            Phase::Gradient => "gradient",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the three basic tensor partition types of §3.2.
+///
+/// Each type partitions exactly one of the three dimensions appearing in
+/// the training computations; the other tensors are either split
+/// compatibly or replicated. Exactly one phase per type requires a
+/// partial-sum exchange — the *intra-layer communication* of §4.1.1.
+///
+/// # Example
+///
+/// ```
+/// use accpar_partition::{PartitionType, Phase};
+/// use accpar_tensor::PartitionDim;
+///
+/// assert_eq!(PartitionType::TypeI.dim(), PartitionDim::Batch);
+/// assert_eq!(PartitionType::TypeI.psum_phase(), Phase::Gradient);
+/// // Data parallelism is Type-I; HyPar's "model parallelism" is Type-II;
+/// // Type-III is the configuration overlooked by prior work (§3.2.3).
+/// assert_eq!(PartitionType::ALL.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PartitionType {
+    /// Partition the batch dimension `B` — data parallelism. `W_l` is
+    /// replicated; the gradient phase needs a partial-sum exchange.
+    TypeI,
+    /// Partition the input dimension `D_{i,l}` — (one flavor of) model
+    /// parallelism. `E_{l+1}` is replicated; the forward phase needs a
+    /// partial-sum exchange.
+    TypeII,
+    /// Partition the output dimension `D_{o,l}` — the configuration
+    /// overlooked by OWT and HyPar. `F_l` is replicated; the backward
+    /// phase needs a partial-sum exchange.
+    TypeIII,
+}
+
+impl PartitionType {
+    /// The three types in enumeration order (the DP's state set `𝒯`).
+    pub const ALL: [PartitionType; 3] =
+        [PartitionType::TypeI, PartitionType::TypeII, PartitionType::TypeIII];
+
+    /// The dimension this type partitions.
+    #[must_use]
+    pub const fn dim(self) -> PartitionDim {
+        match self {
+            PartitionType::TypeI => PartitionDim::Batch,
+            PartitionType::TypeII => PartitionDim::Input,
+            PartitionType::TypeIII => PartitionDim::Output,
+        }
+    }
+
+    /// The phase whose results must be combined with an element-wise
+    /// addition across accelerators (Table 4's source of intra-layer
+    /// communication).
+    #[must_use]
+    pub const fn psum_phase(self) -> Phase {
+        match self {
+            PartitionType::TypeI => Phase::Gradient,
+            PartitionType::TypeII => Phase::Forward,
+            PartitionType::TypeIII => Phase::Backward,
+        }
+    }
+
+    /// Whether this type replicates the kernel `W_l` (only Type-I does).
+    #[must_use]
+    pub const fn replicates_weight(self) -> bool {
+        matches!(self, PartitionType::TypeI)
+    }
+
+    /// Whether this type replicates the input feature map `F_l` (only
+    /// Type-III does).
+    #[must_use]
+    pub const fn replicates_input(self) -> bool {
+        matches!(self, PartitionType::TypeIII)
+    }
+
+    /// Whether this type partitions the model (kernel) rather than the
+    /// data — the distinction §6.2 uses to explain VGG-vs-ResNet
+    /// behaviour.
+    #[must_use]
+    pub const fn partitions_model(self) -> bool {
+        !matches!(self, PartitionType::TypeI)
+    }
+
+    /// A one-character code, as used in Figure 7's per-layer rendering.
+    #[must_use]
+    pub const fn code(self) -> char {
+        match self {
+            PartitionType::TypeI => 'I',
+            PartitionType::TypeII => '2',
+            PartitionType::TypeIII => '3',
+        }
+    }
+}
+
+impl fmt::Display for PartitionType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PartitionType::TypeI => "Type-I",
+            PartitionType::TypeII => "Type-II",
+            PartitionType::TypeIII => "Type-III",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_type_partitions_a_distinct_dimension() {
+        let dims: Vec<_> = PartitionType::ALL.iter().map(|t| t.dim()).collect();
+        assert_eq!(
+            dims,
+            [PartitionDim::Batch, PartitionDim::Input, PartitionDim::Output]
+        );
+    }
+
+    #[test]
+    fn each_type_has_a_distinct_psum_phase() {
+        let phases: Vec<_> = PartitionType::ALL.iter().map(|t| t.psum_phase()).collect();
+        assert_eq!(phases, [Phase::Gradient, Phase::Forward, Phase::Backward]);
+    }
+
+    #[test]
+    fn replication_flags() {
+        assert!(PartitionType::TypeI.replicates_weight());
+        assert!(!PartitionType::TypeII.replicates_weight());
+        assert!(PartitionType::TypeIII.replicates_input());
+        assert!(!PartitionType::TypeI.replicates_input());
+        assert!(!PartitionType::TypeI.partitions_model());
+        assert!(PartitionType::TypeII.partitions_model());
+        assert!(PartitionType::TypeIII.partitions_model());
+    }
+
+    #[test]
+    fn display_and_codes() {
+        assert_eq!(PartitionType::TypeI.to_string(), "Type-I");
+        assert_eq!(PartitionType::TypeIII.to_string(), "Type-III");
+        assert_eq!(Phase::Forward.to_string(), "forward");
+        let codes: String = PartitionType::ALL.iter().map(|t| t.code()).collect();
+        assert_eq!(codes, "I23");
+    }
+}

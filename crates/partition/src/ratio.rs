@@ -1,0 +1,154 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A partition ratio `α ∈ [0, 1]`: the fraction of work (and of the
+/// partitioned dimension) assigned to the *first* accelerator group; the
+/// sibling group receives `β = 1 − α` (§5.3).
+///
+/// Unlike HyPar, which "always partitions the tensors equally", AccPar
+/// chooses `α` to balance the heterogeneous groups' computation and
+/// communication costs.
+///
+/// # Example
+///
+/// ```
+/// use accpar_partition::Ratio;
+///
+/// let alpha = Ratio::new(0.75)?;
+/// assert_eq!(alpha.complement().value(), 0.25);
+/// assert!(!alpha.is_balanced());
+/// assert!(Ratio::EQUAL.is_balanced());
+/// # Ok::<(), accpar_partition::RatioError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Ratio(f64);
+
+/// Error returned for a ratio outside `[0, 1]` or non-finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioError(f64);
+
+impl fmt::Display for RatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "partition ratio must be in [0, 1], got {}", self.0)
+    }
+}
+
+impl std::error::Error for RatioError {}
+
+impl Ratio {
+    /// The equal split used by OWT and HyPar.
+    pub const EQUAL: Ratio = Ratio(0.5);
+
+    /// Creates a ratio, validating the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError`] for values outside `[0, 1]` or non-finite.
+    pub fn new(alpha: f64) -> Result<Self, RatioError> {
+        if alpha.is_finite() && (0.0..=1.0).contains(&alpha) {
+            Ok(Self(alpha))
+        } else {
+            Err(RatioError(alpha))
+        }
+    }
+
+    /// Creates a ratio, clamping to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    #[must_use]
+    pub fn clamped(alpha: f64) -> Self {
+        assert!(!alpha.is_nan(), "partition ratio must not be NaN");
+        Self(alpha.clamp(0.0, 1.0))
+    }
+
+    /// The value `α`.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The sibling's ratio `β = 1 − α`.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+
+    /// Whether this is the equal split (within floating-point tolerance).
+    #[must_use]
+    pub fn is_balanced(self) -> bool {
+        (self.0 - 0.5).abs() < 1e-12
+    }
+
+    /// Whether one side receives (essentially) all the work.
+    #[must_use]
+    pub fn is_degenerate(self) -> bool {
+        self.0 < 1e-12 || self.0 > 1.0 - 1e-12
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Self::EQUAL
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl From<Ratio> for f64 {
+    fn from(r: Ratio) -> f64 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validation() {
+        assert!(Ratio::new(0.0).is_ok());
+        assert!(Ratio::new(1.0).is_ok());
+        assert!(Ratio::new(-0.1).is_err());
+        assert!(Ratio::new(1.1).is_err());
+        assert!(Ratio::new(f64::NAN).is_err());
+        assert!(Ratio::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(Ratio::clamped(1.5).value(), 1.0);
+        assert_eq!(Ratio::clamped(-0.5).value(), 0.0);
+        assert_eq!(Ratio::clamped(0.25).value(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn clamping_rejects_nan() {
+        let _ = Ratio::clamped(f64::NAN);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Ratio::EQUAL.is_balanced());
+        assert!(Ratio::new(1.0).unwrap().is_degenerate());
+        assert!(Ratio::new(0.0).unwrap().is_degenerate());
+        assert!(!Ratio::new(0.3).unwrap().is_degenerate());
+        assert_eq!(Ratio::default(), Ratio::EQUAL);
+    }
+
+    proptest! {
+        #[test]
+        fn complement_is_involutive(alpha in 0.0f64..=1.0) {
+            let r = Ratio::new(alpha).unwrap();
+            prop_assert!((r.complement().complement().value() - alpha).abs() < 1e-15);
+            prop_assert!((r.value() + r.complement().value() - 1.0).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+use crate::ptype::PartitionType;
+use serde::{Deserialize, Serialize};
+
+/// Scale factors a hierarchy level applies to a layer's tensors and
+/// arithmetic: the product of the ancestors' partition shares, kept
+/// separate per tensor because replication stops a tensor from shrinking
+/// (e.g. `W_l` never shrinks under Type-I).
+///
+/// The recursive partitioning of §5.1 applies the layer-wise search
+/// again *inside* each group; the inner search must see the shrunken
+/// shard, which these factors describe.
+///
+/// # Example
+///
+/// ```
+/// use accpar_partition::{PartitionType, ShardScales};
+///
+/// let shard = ShardScales::full().shrink(PartitionType::TypeI, 0.25);
+/// assert_eq!(shard.f_in, 0.25);
+/// assert_eq!(shard.weight, 1.0); // Type-I replicates the kernel
+/// assert_eq!(shard.flops, 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardScales {
+    /// Share of the input feature map `F_l` / error `E_l`.
+    pub f_in: f64,
+    /// Share of the output feature map `F_{l+1}` / error `E_{l+1}`.
+    pub f_out: f64,
+    /// Share of the kernel `W_l` / gradient `ΔW_l`.
+    pub weight: f64,
+    /// Share of the arithmetic work.
+    pub flops: f64,
+}
+
+impl ShardScales {
+    /// The unpartitioned whole.
+    #[must_use]
+    pub const fn full() -> Self {
+        Self {
+            f_in: 1.0,
+            f_out: 1.0,
+            weight: 1.0,
+            flops: 1.0,
+        }
+    }
+
+    /// The scales a child group inherits when its parent partitions this
+    /// shard with type `ptype`, the child receiving `share` of the
+    /// partitioned dimension.
+    #[must_use]
+    pub fn shrink(self, ptype: PartitionType, share: f64) -> Self {
+        match ptype {
+            PartitionType::TypeI => Self {
+                f_in: self.f_in * share,
+                f_out: self.f_out * share,
+                weight: self.weight,
+                flops: self.flops * share,
+            },
+            PartitionType::TypeII => Self {
+                f_in: self.f_in * share,
+                f_out: self.f_out,
+                weight: self.weight * share,
+                flops: self.flops * share,
+            },
+            PartitionType::TypeIII => Self {
+                f_in: self.f_in,
+                f_out: self.f_out * share,
+                weight: self.weight * share,
+                flops: self.flops * share,
+            },
+        }
+    }
+
+    /// The shard share of the tensor whose partial sums the given type
+    /// exchanges (Table 4's tensor).
+    #[must_use]
+    pub const fn psum_scale(&self, ptype: PartitionType) -> f64 {
+        match ptype {
+            PartitionType::TypeI => self.weight,
+            PartitionType::TypeII => self.f_out,
+            PartitionType::TypeIII => self.f_in,
+        }
+    }
+}
+
+impl Default for ShardScales {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_is_identity() {
+        let s = ShardScales::full();
+        assert_eq!(s.f_in, 1.0);
+        assert_eq!(s.psum_scale(PartitionType::TypeI), 1.0);
+        assert_eq!(ShardScales::default(), s);
+    }
+
+    #[test]
+    fn replicated_tensors_do_not_shrink() {
+        let s = ShardScales::full();
+        assert_eq!(s.shrink(PartitionType::TypeI, 0.5).weight, 1.0);
+        assert_eq!(s.shrink(PartitionType::TypeII, 0.5).f_out, 1.0);
+        assert_eq!(s.shrink(PartitionType::TypeIII, 0.5).f_in, 1.0);
+    }
+
+    #[test]
+    fn psum_scale_selects_the_right_tensor() {
+        let s = ShardScales {
+            f_in: 0.2,
+            f_out: 0.4,
+            weight: 0.6,
+            flops: 0.1,
+        };
+        assert_eq!(s.psum_scale(PartitionType::TypeI), 0.6);
+        assert_eq!(s.psum_scale(PartitionType::TypeII), 0.4);
+        assert_eq!(s.psum_scale(PartitionType::TypeIII), 0.2);
+    }
+
+    proptest! {
+        #[test]
+        fn sibling_flop_shares_sum_to_parent(
+            t_idx in 0usize..3,
+            alpha in 0.0f64..=1.0,
+            parent_flops in 0.01f64..1.0,
+        ) {
+            let parent = ShardScales {
+                f_in: 1.0, f_out: 1.0, weight: 1.0, flops: parent_flops,
+            };
+            let t = PartitionType::ALL[t_idx];
+            let a = parent.shrink(t, alpha);
+            let b = parent.shrink(t, 1.0 - alpha);
+            prop_assert!((a.flops + b.flops - parent.flops).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Table 3 of the paper: the *rotational symmetry* of the three tensor
+//! multiplications.
+//!
+//! Each of the three training computations is a product of two of the
+//! three tensor roles (feature map, error, kernel), and each has exactly
+//! one dimension whose partitioning forces a partial-sum combination —
+//! the dimension shared by both right-hand-side operands but absent from
+//! the left-hand side. Rotating through the three multiplications rotates
+//! the partition dimension through `D_{i,l} → D_{o,l} → B`, which is the
+//! completeness argument of §3.4 in executable form.
+
+use crate::ptype::{PartitionType, Phase};
+use accpar_tensor::PartitionDim;
+
+/// Symbolic dimensions of the three matrices of a phase, in the paper's
+/// `(rows, cols)` convention for FC layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseShapes {
+    /// Left-hand side (the produced tensor).
+    pub lhs: (PartitionDim, PartitionDim),
+    /// First right-hand operand.
+    pub rhs_a: (PartitionDim, PartitionDim),
+    /// Second right-hand operand.
+    pub rhs_b: (PartitionDim, PartitionDim),
+}
+
+/// The row of Table 3 for a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymmetryRow {
+    /// Which multiplication this row describes.
+    pub phase: Phase,
+    /// Shapes of the three matrices.
+    pub shapes: PhaseShapes,
+    /// The dimension whose partitioning requires partial sums.
+    pub partition_dim: PartitionDim,
+    /// Shape of the partial-sum tensor (equals the LHS shape).
+    pub psum_shape: (PartitionDim, PartitionDim),
+    /// The basic type for which this phase is the partial-sum phase.
+    pub basic_type: PartitionType,
+}
+
+use PartitionDim::{Batch as B, Input as Di, Output as Do};
+
+/// Table 3, row by row.
+#[must_use]
+pub fn table3() -> [SymmetryRow; 3] {
+    [
+        // F_{l+1} = F_l × W_l : (B, D_o) ← (B, D_i) × (D_i, D_o)
+        SymmetryRow {
+            phase: Phase::Forward,
+            shapes: PhaseShapes {
+                lhs: (B, Do),
+                rhs_a: (B, Di),
+                rhs_b: (Di, Do),
+            },
+            partition_dim: Di,
+            psum_shape: (B, Do),
+            basic_type: PartitionType::TypeII,
+        },
+        // E_l = E_{l+1} × W_lᵀ : (B, D_i) ← (B, D_o) × (D_o, D_i)
+        SymmetryRow {
+            phase: Phase::Backward,
+            shapes: PhaseShapes {
+                lhs: (B, Di),
+                rhs_a: (B, Do),
+                rhs_b: (Do, Di),
+            },
+            partition_dim: Do,
+            psum_shape: (B, Di),
+            basic_type: PartitionType::TypeIII,
+        },
+        // ΔW_l = F_lᵀ × E_{l+1} : (D_i, D_o) ← (D_i, B) × (B, D_o)
+        SymmetryRow {
+            phase: Phase::Gradient,
+            shapes: PhaseShapes {
+                lhs: (Di, Do),
+                rhs_a: (Di, B),
+                rhs_b: (B, Do),
+            },
+            partition_dim: B,
+            psum_shape: (Di, Do),
+            basic_type: PartitionType::TypeI,
+        },
+    ]
+}
+
+/// The *contracted* dimension of a phase: present in both RHS operands,
+/// absent from the LHS. Partitioning it yields partial sums.
+#[must_use]
+pub fn contracted_dim(shapes: &PhaseShapes) -> Option<PartitionDim> {
+    let in_shape = |d: PartitionDim, s: (PartitionDim, PartitionDim)| s.0 == d || s.1 == d;
+    [B, Di, Do].into_iter().find(|&d| {
+        in_shape(d, shapes.rhs_a) && in_shape(d, shapes.rhs_b) && !in_shape(d, shapes.lhs)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_dim_is_the_contracted_dim() {
+        for row in table3() {
+            assert_eq!(
+                contracted_dim(&row.shapes),
+                Some(row.partition_dim),
+                "{:?}",
+                row.phase
+            );
+        }
+    }
+
+    #[test]
+    fn psum_shape_equals_lhs_shape() {
+        for row in table3() {
+            assert_eq!(row.psum_shape, row.shapes.lhs, "{:?}", row.phase);
+        }
+    }
+
+    #[test]
+    fn basic_type_matches_psum_phase() {
+        // The type whose psum phase is this row's phase must be the row's
+        // basic type — Table 3 and Table 4 agree.
+        for row in table3() {
+            assert_eq!(row.basic_type.psum_phase(), row.phase);
+            assert_eq!(row.basic_type.dim(), row.partition_dim);
+        }
+    }
+
+    #[test]
+    fn rotational_symmetry() {
+        // Rotating phases (forward → backward → gradient) rotates the
+        // partition dimension (D_i → D_o → B) and the basic type
+        // (II → III → I): each column of Table 3 is a 3-cycle.
+        let rows = table3();
+        let dims: Vec<_> = rows.iter().map(|r| r.partition_dim).collect();
+        assert_eq!(dims, [Di, Do, B]);
+        let types: Vec<_> = rows.iter().map(|r| r.basic_type).collect();
+        assert_eq!(
+            types,
+            [PartitionType::TypeII, PartitionType::TypeIII, PartitionType::TypeI]
+        );
+        // All three dims and all three types appear exactly once.
+        for d in [B, Di, Do] {
+            assert_eq!(dims.iter().filter(|&&x| x == d).count(), 1);
+        }
+    }
+
+    #[test]
+    fn every_dimension_appears_in_exactly_two_rhs_operands_per_phase() {
+        // Each phase contracts one dim and passes the other two through.
+        for row in table3() {
+            let all = [
+                row.shapes.rhs_a.0,
+                row.shapes.rhs_a.1,
+                row.shapes.rhs_b.0,
+                row.shapes.rhs_b.1,
+            ];
+            for d in [B, Di, Do] {
+                let count = all.iter().filter(|&&x| x == d).count();
+                if d == row.partition_dim {
+                    assert_eq!(count, 2, "contracted dim appears twice");
+                } else {
+                    assert_eq!(count, 1, "free dims appear once");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+use accpar_tensor::DataFormat;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The optimizer whose per-parameter state the footprint accounts for
+/// (§2.1 lists SGD variants, Momentum and Adam as the flows the three
+/// tensor phases capture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Optimizer {
+    /// Plain (mini-batch) SGD: no extra state.
+    #[default]
+    Sgd,
+    /// Momentum: one velocity tensor per weight tensor.
+    Momentum,
+    /// Adam: first and second moment tensors per weight tensor.
+    Adam,
+}
+
+impl Optimizer {
+    /// Extra per-parameter state tensors beyond weights and gradients.
+    #[must_use]
+    pub const fn state_copies(self) -> u64 {
+        match self {
+            Optimizer::Sgd => 0,
+            Optimizer::Momentum => 1,
+            Optimizer::Adam => 2,
+        }
+    }
+
+    /// Approximate FLOPs per parameter of the update rule.
+    #[must_use]
+    pub const fn update_flops_per_param(self) -> u64 {
+        match self {
+            // w -= lr · g
+            Optimizer::Sgd => 2,
+            // v = γ·v + lr·g; w -= v
+            Optimizer::Momentum => 4,
+            // two moment updates, bias correction, sqrt, divide
+            Optimizer::Adam => 10,
+        }
+    }
+}
+
+impl fmt::Display for Optimizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Optimizer::Sgd => "sgd",
+            Optimizer::Momentum => "momentum",
+            Optimizer::Adam => "adam",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How the machine model combines compute time and HBM traffic time
+/// within a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MemModel {
+    /// Phase time is `max(compute, memory)` — a perfectly pipelined
+    /// (roofline) accelerator. The paper's simulator "calculate\[s\] the
+    /// time consuming for the computation and data accessing", which this
+    /// models with overlap.
+    #[default]
+    Roofline,
+    /// Phase time is `compute + memory` — no overlap between the MXU and
+    /// the HBM channel (pessimistic ablation).
+    Serial,
+    /// Ignore memory traffic entirely (matches the analytic cost model's
+    /// Eq. 8; used by the cross-validation tests).
+    ComputeOnly,
+}
+
+/// Configuration of a [`Simulator`](crate::Simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Training data format; the paper uses bf16.
+    pub format: DataFormat,
+    /// Compute/memory combination within a phase.
+    pub mem_model: MemModel,
+    /// Charge inter-layer tensor conversions (Table 5 traffic). Disabled
+    /// only by diagnostics.
+    pub interlayer: bool,
+    /// Skip the backward phase of weighted layer 0 (no error propagates
+    /// to the raw input). Kept consistent with
+    /// `CostConfig::skip_first_backward`.
+    pub skip_first_backward: bool,
+    /// Charge an optimizer weight-update phase at the end of the step
+    /// (`None` matches the paper's three-phase model).
+    pub update: Option<Optimizer>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            format: DataFormat::Bf16,
+            mem_model: MemModel::default(),
+            interlayer: true,
+            skip_first_backward: false,
+            update: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration aligned with the analytic cost model: pure-compute
+    /// phases, conversions on. Used by cross-validation tests.
+    #[must_use]
+    pub fn cost_model_aligned() -> Self {
+        Self {
+            mem_model: MemModel::ComputeOnly,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = SimConfig::default();
+        assert_eq!(c.format, DataFormat::Bf16);
+        assert_eq!(c.mem_model, MemModel::Roofline);
+        assert!(c.interlayer);
+        assert!(!c.skip_first_backward);
+        assert_eq!(c.update, None);
+    }
+
+    #[test]
+    fn optimizer_metadata() {
+        assert_eq!(Optimizer::Sgd.state_copies(), 0);
+        assert_eq!(Optimizer::Adam.state_copies(), 2);
+        assert!(
+            Optimizer::Adam.update_flops_per_param()
+                > Optimizer::Sgd.update_flops_per_param()
+        );
+        assert_eq!(Optimizer::Momentum.to_string(), "momentum");
+        assert_eq!(Optimizer::default(), Optimizer::Sgd);
+    }
+
+    #[test]
+    fn aligned_config_disables_memory() {
+        assert_eq!(
+            SimConfig::cost_model_aligned().mem_model,
+            MemModel::ComputeOnly
+        );
+    }
+}

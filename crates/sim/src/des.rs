@@ -1,0 +1,523 @@
+//! A discrete-event alternative to the bulk-synchronous simulator.
+//!
+//! The default [`Simulator`](crate::Simulator) executes phases in
+//! lockstep: every leaf waits at a global barrier after each phase. Real
+//! arrays overlap more: a residual block's branches are data-independent
+//! and can compute concurrently, a layer's gradient can overlap a
+//! neighbour's conversion, and exchanges on different cuts proceed in
+//! parallel. This module builds the training step's full **task graph**
+//! — per-leaf compute tasks, per-cut partial-sum exchanges and boundary
+//! conversions, with true data dependencies — and schedules it with a
+//! deterministic non-preemptive list scheduler over the array's
+//! resources (one compute unit per leaf, one link per tree cut).
+//!
+//! The gap between the two backends bounds the cost of the
+//! bulk-synchronous assumption; the `des_vs_bsp` ablation (run by
+//! `--bin ablations` counterparts in `accpar-bench`) reports it.
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::geometry::{layer_geom, LayerGeom};
+use crate::machine::segments_secs;
+use crate::trace::phase_segments;
+use accpar_cost::comm::{inter_conversion_split, intra_psum_elems};
+use accpar_dnn::{TrainLayer, TrainView};
+use accpar_hw::GroupTree;
+use accpar_partition::{Phase, PlanTree};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Resource identifier: leaves first, then one link resource per internal
+/// tree node (both directions of a cut share the physical link).
+type Resource = usize;
+
+/// A node of the task graph.
+struct Task {
+    duration: f64,
+    deps: Vec<usize>,
+    resource: Option<Resource>,
+}
+
+/// The result of a discrete-event simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesReport {
+    /// Makespan of the scheduled task graph.
+    pub total_secs: f64,
+    /// Busy seconds per leaf compute resource.
+    pub leaf_busy_secs: Vec<f64>,
+    /// Busy seconds per cut link resource.
+    pub link_busy_secs: Vec<f64>,
+    /// Number of scheduled tasks.
+    pub tasks: usize,
+}
+
+impl DesReport {
+    /// Mean leaf compute utilization.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.leaf_busy_secs.is_empty() || self.total_secs == 0.0 {
+            return 0.0;
+        }
+        self.leaf_busy_secs.iter().sum::<f64>()
+            / self.leaf_busy_secs.len() as f64
+            / self.total_secs
+    }
+}
+
+impl fmt::Display for DesReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "des step {:.3} ms ({} tasks, util {:.1}%)",
+            self.total_secs * 1e3,
+            self.tasks,
+            self.mean_utilization() * 100.0
+        )
+    }
+}
+
+/// Builds and schedules the training step's task graph.
+///
+/// # Errors
+///
+/// Returns the same validation errors as
+/// [`Simulator::simulate`](crate::Simulator::simulate).
+pub fn simulate_des(
+    config: &SimConfig,
+    view: &TrainView,
+    plan: &PlanTree,
+    tree: &GroupTree,
+) -> Result<DesReport, SimError> {
+    if plan.depth() != tree.levels() {
+        return Err(SimError::DepthMismatch {
+            plan: plan.depth(),
+            tree: tree.levels(),
+        });
+    }
+    let n_layers = view.weighted_len();
+    if plan.plan().len() != n_layers {
+        return Err(SimError::LayerCountMismatch {
+            level: 0,
+            plan: plan.plan().len(),
+            network: n_layers,
+        });
+    }
+
+    let mut layers: Vec<&TrainLayer> = view.layers().collect();
+    layers.sort_by_key(|l| l.index());
+    let edges = view.conversion_edges();
+    let geoms: Vec<LayerGeom> = (0..n_layers)
+        .map(|l| layer_geom(tree.root(), plan, l))
+        .collect();
+    let n_leaves = geoms.first().map_or(1, |g| g.leaves.len());
+    let n_nodes = geoms.first().map_or(0, |g| g.nodes.len());
+
+    let mut builder = GraphBuilder {
+        tasks: Vec::new(),
+        config,
+    };
+
+    // Forward sweep tasks.
+    // done_forward[l] = tasks whose completion makes F_{l+1} available.
+    let mut done_forward: Vec<Vec<usize>> = vec![Vec::new(); n_layers];
+    // conv_f_in[l] = conversion tasks feeding layer l's forward input.
+    let mut conv_f_in: Vec<Vec<usize>> = vec![Vec::new(); n_layers];
+
+    for l in 0..n_layers {
+        // Conversions feeding this layer (F direction).
+        if config.interlayer {
+            for edge in edges.iter().filter(|e| e.to == l) {
+                for (node_idx, node) in geoms[l].nodes.iter().enumerate() {
+                    let prev = node.plan.layer(edge.from);
+                    let next = node.plan.layer(edge.to);
+                    let boundary = edge.boundary_elems as f64 * node.scales.f_in;
+                    let (f, _e) = inter_conversion_split(
+                        prev.ptype,
+                        prev.ratio.value(),
+                        next.ptype,
+                        next.ratio.value(),
+                        boundary.round() as u64,
+                        boundary.round() as u64,
+                    );
+                    let secs = (config.format.bytes_f64(f.0) / node.link_a)
+                        .max(config.format.bytes_f64(f.1) / node.link_b);
+                    let deps = done_forward[edge.from].clone();
+                    let t = builder.push(secs, deps, Some(n_leaves + node_idx));
+                    conv_f_in[l].push(t);
+                }
+            }
+        }
+        // Leaf compute.
+        let mut completion: Vec<usize> = Vec::new();
+        let mut leaf_tasks: Vec<usize> = Vec::new();
+        for (leaf_idx, (caps, scales)) in geoms[l].leaves.iter().enumerate() {
+            let segs = phase_segments(layers[l], Phase::Forward, *scales);
+            let secs = segments_secs(&segs, caps, config);
+            let t = builder.push(secs, conv_f_in[l].clone(), Some(leaf_idx));
+            leaf_tasks.push(t);
+        }
+        completion.extend(leaf_tasks.iter().copied());
+        // Psum exchanges, deepest first; a shallower exchange depends on
+        // the deeper ones on the same cut path.
+        let psums = builder.psum_tasks(&geoms[l], layers[l], Phase::Forward, n_leaves, &leaf_tasks);
+        completion.extend(psums);
+        done_forward[l] = completion;
+    }
+
+    // Backward + gradient sweep.
+    // done_backward[l] = tasks completing E_l (layer l's output error).
+    let mut done_backward: Vec<Vec<usize>> = vec![Vec::new(); n_layers];
+    let mut final_tasks: Vec<usize> = Vec::new();
+
+    for l in (0..n_layers).rev() {
+        // Conversions of the incoming error (E direction): from each
+        // consumer layer c of layer l's output.
+        let mut conv_e: Vec<usize> = Vec::new();
+        if config.interlayer {
+            for edge in edges.iter().filter(|e| e.from == l) {
+                for (node_idx, node) in geoms[edge.to].nodes.iter().enumerate() {
+                    let prev = node.plan.layer(edge.from);
+                    let next = node.plan.layer(edge.to);
+                    let boundary = edge.boundary_elems as f64 * node.scales.f_in;
+                    let (_f, e) = inter_conversion_split(
+                        prev.ptype,
+                        prev.ratio.value(),
+                        next.ptype,
+                        next.ratio.value(),
+                        boundary.round() as u64,
+                        boundary.round() as u64,
+                    );
+                    let secs = (config.format.bytes_f64(e.0) / node.link_a)
+                        .max(config.format.bytes_f64(e.1) / node.link_b);
+                    // The consumer's backward must have produced E.
+                    let deps = if done_backward[edge.to].is_empty() {
+                        // The loss gradient: available once the whole
+                        // forward pass reaches the output.
+                        done_forward[n_layers - 1].clone()
+                    } else {
+                        done_backward[edge.to].clone()
+                    };
+                    let t = builder.push(secs, deps, Some(n_leaves + node_idx));
+                    conv_e.push(t);
+                }
+            }
+        }
+        // The last layer consumes the loss directly.
+        let e_ready = if conv_e.is_empty() && l == n_layers - 1 {
+            done_forward[n_layers - 1].clone()
+        } else {
+            conv_e.clone()
+        };
+
+        // Backward compute + psum (produces E_l).
+        let skip_backward = config.skip_first_backward && l == 0;
+        if !skip_backward {
+            let mut leaf_tasks = Vec::new();
+            for (leaf_idx, (caps, scales)) in geoms[l].leaves.iter().enumerate() {
+                let segs = phase_segments(layers[l], Phase::Backward, *scales);
+                let secs = segments_secs(&segs, caps, config);
+                let t = builder.push(secs, e_ready.clone(), Some(leaf_idx));
+                leaf_tasks.push(t);
+            }
+            let mut completion = leaf_tasks.clone();
+            completion.extend(builder.psum_tasks(
+                &geoms[l],
+                layers[l],
+                Phase::Backward,
+                n_leaves,
+                &leaf_tasks,
+            ));
+            done_backward[l] = completion;
+        }
+
+        // Gradient compute + psum (independent of the backward result).
+        let mut leaf_tasks = Vec::new();
+        for (leaf_idx, (caps, scales)) in geoms[l].leaves.iter().enumerate() {
+            let segs = phase_segments(layers[l], Phase::Gradient, *scales);
+            let secs = segments_secs(&segs, caps, config);
+            let t = builder.push(secs, e_ready.clone(), Some(leaf_idx));
+            leaf_tasks.push(t);
+        }
+        final_tasks.extend(leaf_tasks.iter().copied());
+        final_tasks.extend(builder.psum_tasks(
+            &geoms[l],
+            layers[l],
+            Phase::Gradient,
+            n_leaves,
+            &leaf_tasks,
+        ));
+        final_tasks.extend(done_backward[l].iter().copied());
+    }
+
+    Ok(builder.schedule(n_leaves, n_nodes, &final_tasks))
+}
+
+struct GraphBuilder<'c> {
+    tasks: Vec<Task>,
+    config: &'c SimConfig,
+}
+
+impl GraphBuilder<'_> {
+    fn push(&mut self, duration: f64, deps: Vec<usize>, resource: Option<Resource>) -> usize {
+        // A zero-duration task carries dependencies but must not occupy
+        // (and thus queue on) a physical resource: a free conversion is
+        // not a barrier.
+        let resource = if duration > 0.0 { resource } else { None };
+        self.tasks.push(Task {
+            duration,
+            deps,
+            resource,
+        });
+        self.tasks.len() - 1
+    }
+
+    /// Creates the psum exchange tasks of one layer phase, deepest level
+    /// first, chaining shallower exchanges after deeper ones. Returns the
+    /// created task ids.
+    fn psum_tasks(
+        &mut self,
+        geom: &LayerGeom,
+        layer: &TrainLayer,
+        phase: Phase,
+        n_leaves: usize,
+        leaf_tasks: &[usize],
+    ) -> Vec<usize> {
+        let mut created = Vec::new();
+        let max_depth = geom.nodes.iter().map(|n| n.depth).max();
+        let Some(max_depth) = max_depth else {
+            return created;
+        };
+        let mut prev_level: Vec<usize> = Vec::new();
+        for depth in (0..=max_depth).rev() {
+            let mut this_level = Vec::new();
+            for (node_idx, node) in geom.nodes.iter().enumerate() {
+                if node.depth != depth || node.entry.ptype.psum_phase() != phase {
+                    continue;
+                }
+                let elems = intra_psum_elems(node.entry.ptype, layer) as f64
+                    * node.scales.psum_scale(node.entry.ptype);
+                let bytes = self.config.format.bytes_f64(elems);
+                let secs = (bytes / node.link_a).max(bytes / node.link_b);
+                let mut deps: Vec<usize> = leaf_tasks.to_vec();
+                deps.extend(prev_level.iter().copied());
+                let t = self.push(secs, deps, Some(n_leaves + node_idx));
+                this_level.push(t);
+                created.push(t);
+            }
+            if !this_level.is_empty() {
+                prev_level = this_level;
+            }
+        }
+        created
+    }
+
+    /// Deterministic non-preemptive list scheduling in task-creation
+    /// (topological) order.
+    fn schedule(self, n_leaves: usize, n_nodes: usize, final_tasks: &[usize]) -> DesReport {
+        let mut finish = vec![0.0f64; self.tasks.len()];
+        let mut resource_free = vec![0.0f64; n_leaves + n_nodes];
+        let mut busy = vec![0.0f64; n_leaves + n_nodes];
+        for (i, task) in self.tasks.iter().enumerate() {
+            let dep_ready = task
+                .deps
+                .iter()
+                .map(|&d| finish[d])
+                .fold(0.0f64, f64::max);
+            let start = match task.resource {
+                Some(r) => dep_ready.max(resource_free[r]),
+                None => dep_ready,
+            };
+            finish[i] = start + task.duration;
+            if let Some(r) = task.resource {
+                resource_free[r] = finish[i];
+                busy[r] += task.duration;
+            }
+        }
+        let total = final_tasks
+            .iter()
+            .map(|&t| finish[t])
+            .fold(0.0f64, f64::max);
+        DesReport {
+            total_secs: total,
+            leaf_busy_secs: busy[..n_leaves].to_vec(),
+            link_busy_secs: busy[n_leaves..].to_vec(),
+            tasks: self.tasks.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemModel;
+    use crate::Simulator;
+    use accpar_dnn::{Layer, NetworkBuilder};
+    use accpar_hw::AcceleratorArray;
+    use accpar_partition::{HierPlan, LayerPlan, NetworkPlan};
+    use accpar_tensor::{ConvGeometry, FeatureShape};
+
+    fn fc_view(batch: usize, dims: &[usize]) -> TrainView {
+        let mut b = NetworkBuilder::new("t", FeatureShape::fc(batch, dims[0]));
+        for (i, pair) in dims.windows(2).enumerate() {
+            b = b.linear(format!("fc{i}"), pair[0], pair[1]);
+        }
+        b.build().unwrap().train_view().unwrap()
+    }
+
+    fn dp_plan(n: usize, levels: usize) -> PlanTree {
+        HierPlan::new(vec![
+            NetworkPlan::uniform(n, LayerPlan::data_parallel());
+            levels
+        ])
+        .to_tree()
+    }
+
+    #[test]
+    fn des_never_exceeds_bsp() {
+        // Same durations, strictly fewer synchronization constraints: the
+        // DES schedule is never slower than the bulk-synchronous one.
+        let config = SimConfig::default();
+        for dims in [vec![256, 512, 128], vec![64, 64, 64, 64]] {
+            let view = fc_view(128, &dims);
+            let n = view.weighted_len();
+            for boards in [2usize, 4] {
+                let array = AcceleratorArray::heterogeneous_tpu(boards / 2, boards / 2);
+                let levels = boards.trailing_zeros() as usize;
+                let tree = GroupTree::bisect(&array, levels).unwrap();
+                let plan = dp_plan(n, levels);
+                let bsp = Simulator::new(config)
+                    .simulate(&view, &plan, &tree)
+                    .unwrap()
+                    .total_secs;
+                let des = simulate_des(&config, &view, &plan, &tree)
+                    .unwrap()
+                    .total_secs;
+                assert!(
+                    des <= bsp * (1.0 + 1e-9),
+                    "dims {dims:?} boards {boards}: des {des} vs bsp {bsp}"
+                );
+                assert!(des > 0.2 * bsp, "des suspiciously fast: {des} vs {bsp}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_layer_single_level_matches_bsp_exactly() {
+        // One layer, one cut: there is nothing to overlap, so the two
+        // backends agree exactly.
+        let config = SimConfig {
+            mem_model: MemModel::ComputeOnly,
+            ..SimConfig::default()
+        };
+        let view = fc_view(64, &[128, 256]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let plan = dp_plan(1, 1);
+        let bsp = Simulator::new(config)
+            .simulate(&view, &plan, &tree)
+            .unwrap()
+            .total_secs;
+        let des = simulate_des(&config, &view, &plan, &tree)
+            .unwrap()
+            .total_secs;
+        assert!((des - bsp).abs() / bsp < 1e-9, "des {des} vs bsp {bsp}");
+    }
+
+    #[test]
+    fn des_overlaps_compute_with_communication() {
+        // On hardware where per-layer compute and psum traffic are of the
+        // same order, the DES overlaps one layer's gradient exchange with
+        // the next layer's compute — the BSP barriers cannot. On Table 7
+        // hardware the arrays are so network-bound that the two backends
+        // coincide (an honest finding the `des_vs_bsp` bench reports), so
+        // this test balances the rates explicitly.
+        use accpar_hw::AcceleratorSpec;
+        let spec =
+            AcceleratorSpec::new("balanced", 1e9, 1 << 30, 100e9, 1e9, 2, 10e9).unwrap();
+        let array = AcceleratorArray::homogeneous(spec, 2);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        let view = fc_view(512, &[512, 512, 512, 512, 512]);
+        let plan = dp_plan(view.weighted_len(), 1);
+        let config = SimConfig {
+            mem_model: MemModel::ComputeOnly,
+            ..SimConfig::default()
+        };
+        let bsp = Simulator::new(config)
+            .simulate(&view, &plan, &tree)
+            .unwrap()
+            .total_secs;
+        let des = simulate_des(&config, &view, &plan, &tree)
+            .unwrap()
+            .total_secs;
+        // The DES hides all but the last gradient psum behind the next
+        // layer's compute: with 4 weighted layers, exactly 3 exchanges of
+        // A(W)·2 bytes at 1 GB/s disappear from the critical path.
+        let psum_secs = (512.0 * 512.0 * 2.0) / 1e9;
+        let expected_gap = 3.0 * psum_secs;
+        let gap = bsp - des;
+        assert!(
+            (gap - expected_gap).abs() < 1e-9,
+            "overlap gap {gap} vs expected {expected_gap} (des {des}, bsp {bsp})"
+        );
+    }
+
+    #[test]
+    fn residual_branches_are_handled() {
+        // A two-branch Add block end to end through the DES backend.
+        let view = NetworkBuilder::new("r", FeatureShape::conv(64, 32, 8, 8))
+            .conv2d("stem", 32, 32, ConvGeometry::same(3))
+            .block(
+                accpar_dnn::JoinOp::Add,
+                vec![
+                    vec![Layer::conv2d("p1", 32, 32, ConvGeometry::same(3))],
+                    vec![Layer::conv2d("p2", 32, 32, ConvGeometry::same(3))],
+                ],
+            )
+            .flatten("f")
+            .linear("fc", 32 * 64, 10)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let config = SimConfig::default();
+        let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(1, 1), 1).unwrap();
+        let plan = dp_plan(view.weighted_len(), 1);
+        let bsp = Simulator::new(config)
+            .simulate(&view, &plan, &tree)
+            .unwrap()
+            .total_secs;
+        let des = simulate_des(&config, &view, &plan, &tree)
+            .unwrap()
+            .total_secs;
+        // Everything is bound by the single link here, so no overlap win
+        // is available — but the DES must not be slower.
+        assert!(des <= bsp * (1.0 + 1e-9), "des {des} vs bsp {bsp}");
+    }
+
+    #[test]
+    fn validation_errors_match_simulator() {
+        let view = fc_view(8, &[4, 4, 4]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let config = SimConfig::default();
+        assert!(matches!(
+            simulate_des(&config, &view, &dp_plan(2, 2), &tree),
+            Err(SimError::DepthMismatch { .. })
+        ));
+        assert!(matches!(
+            simulate_des(&config, &view, &dp_plan(3, 1), &tree),
+            Err(SimError::LayerCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let view = fc_view(32, &[64, 64]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let report = simulate_des(&SimConfig::default(), &view, &dp_plan(1, 1), &tree).unwrap();
+        assert!(report.total_secs > 0.0);
+        assert!(report.tasks > 0);
+        assert!(report.mean_utilization() > 0.0 && report.mean_utilization() <= 1.0);
+        assert_eq!(report.leaf_busy_secs.len(), 2);
+        assert_eq!(report.link_busy_secs.len(), 1);
+        assert!(report.to_string().contains("des step"));
+    }
+}

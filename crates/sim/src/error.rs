@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors produced while simulating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The hierarchical plan's depth does not match the group tree's
+    /// levels.
+    DepthMismatch {
+        /// Plan depth.
+        plan: usize,
+        /// Tree levels.
+        tree: usize,
+    },
+    /// A level plan does not cover every weighted layer.
+    LayerCountMismatch {
+        /// Bisection level with the mismatch.
+        level: usize,
+        /// Layers in the plan at that level.
+        plan: usize,
+        /// Weighted layers in the network.
+        network: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DepthMismatch { plan, tree } => write!(
+                f,
+                "plan depth ({plan}) does not match group-tree levels ({tree})"
+            ),
+            SimError::LayerCountMismatch {
+                level,
+                plan,
+                network,
+            } => write!(
+                f,
+                "level {level} plan covers {plan} layers but the network has {network}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn display_mentions_numbers() {
+        let e = SimError::DepthMismatch { plan: 2, tree: 3 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,73 @@
+//! Shared per-layer tree geometry: the shard scales, cut links and plan
+//! entries at every node and leaf of a (group tree, plan tree) pair.
+//! Used by the step simulator and the memory-footprint analysis.
+
+use accpar_hw::{GroupCaps, GroupNode};
+use accpar_partition::{LayerPlan, NetworkPlan, PlanTree, ShardScales};
+
+/// Geometry of one internal tree node for one layer: its cut links, the
+/// shard scales arriving from the ancestors, and the plan of its
+/// bisection.
+pub(crate) struct NodeGeom<'p> {
+    pub(crate) depth: usize,
+    pub(crate) link_a: f64,
+    pub(crate) link_b: f64,
+    pub(crate) scales: ShardScales,
+    pub(crate) entry: LayerPlan,
+    pub(crate) plan: &'p NetworkPlan,
+}
+
+/// Geometry of one layer across the whole tree.
+pub(crate) struct LayerGeom<'p> {
+    pub(crate) nodes: Vec<NodeGeom<'p>>,
+    pub(crate) leaves: Vec<(GroupCaps, ShardScales)>,
+}
+
+/// Walks the tree for one layer, recording node and leaf geometry.
+pub(crate) fn layer_geom<'p>(root: &GroupNode, plan: &'p PlanTree, layer: usize) -> LayerGeom<'p> {
+    let mut geom = LayerGeom {
+        nodes: Vec::new(),
+        leaves: Vec::new(),
+    };
+    walk(root, Some(plan), 0, layer, ShardScales::full(), &mut geom);
+    geom
+}
+
+fn walk<'p>(
+    node: &GroupNode,
+    plan: Option<&'p PlanTree>,
+    depth: usize,
+    layer: usize,
+    scales: ShardScales,
+    geom: &mut LayerGeom<'p>,
+) {
+    match (node.children(), plan) {
+        (Some((a, b)), Some(p)) => {
+            let entry = p.plan().layer(layer);
+            geom.nodes.push(NodeGeom {
+                depth,
+                link_a: a.link_bw(),
+                link_b: b.link_bw(),
+                scales,
+                entry,
+                plan: p.plan(),
+            });
+            let alpha = entry.ratio.value();
+            let (child_a, child_b) = match p.children() {
+                Some((ca, cb)) => (Some(ca), Some(cb)),
+                None => (None, None),
+            };
+            walk(a, child_a, depth + 1, layer, scales.shrink(entry.ptype, alpha), geom);
+            walk(
+                b,
+                child_b,
+                depth + 1,
+                layer,
+                scales.shrink(entry.ptype, 1.0 - alpha),
+                geom,
+            );
+        }
+        _ => geom.leaves.push((node.caps(), scales)),
+    }
+}
+

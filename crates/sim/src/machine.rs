@@ -1,0 +1,109 @@
+//! The machine model: prices a trace-segment stream on one accelerator
+//! group's compute pipeline and HBM channel.
+
+use crate::config::{MemModel, SimConfig};
+use crate::trace::{total_flops, total_mem_elems, TraceSegment};
+use accpar_hw::GroupCaps;
+
+/// Seconds one group needs to execute a segment stream.
+///
+/// Arithmetic segments (MULT/ADD) run on the compute pipeline at the
+/// group's aggregate peak FLOPS; memory segments (LOAD/STORE) run on the
+/// HBM channel at the aggregate memory bandwidth. The
+/// [`MemModel`] decides whether the two overlap (roofline), serialize, or
+/// whether memory is ignored.
+///
+/// # Example
+///
+/// ```
+/// use accpar_hw::{AcceleratorArray, GroupTree};
+/// use accpar_sim::machine::segments_secs;
+/// use accpar_sim::trace::{TraceOp, TraceSegment};
+/// use accpar_sim::SimConfig;
+///
+/// let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(1), 0)?;
+/// let caps = tree.root().caps();
+/// let segs = [TraceSegment { op: TraceOp::Mult, units: 420_000, unit_elems: 1 }];
+/// let secs = segments_secs(&segs, &caps, &SimConfig::default());
+/// // 420k FLOPs on a 420 TFLOPS board: one nanosecond.
+/// assert!((secs - 1e-9).abs() < 1e-15);
+/// # Ok::<(), accpar_hw::HwError>(())
+/// ```
+#[must_use]
+pub fn segments_secs(segments: &[TraceSegment], caps: &GroupCaps, config: &SimConfig) -> f64 {
+    let compute = total_flops(segments) as f64 / caps.flops;
+    let mem = config.format.bytes(total_mem_elems(segments)) as f64 / caps.mem_bw;
+    match config.mem_model {
+        MemModel::Roofline => compute.max(mem),
+        MemModel::Serial => compute + mem,
+        MemModel::ComputeOnly => compute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceOp;
+    use accpar_hw::{AcceleratorArray, GroupTree};
+
+    fn v3_caps() -> GroupCaps {
+        GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(1), 0)
+            .unwrap()
+            .root()
+            .caps()
+    }
+
+    fn segs(flop_units: u64, mem_units: u64) -> Vec<TraceSegment> {
+        vec![
+            TraceSegment {
+                op: TraceOp::Mult,
+                units: flop_units,
+                unit_elems: 1,
+            },
+            TraceSegment {
+                op: TraceOp::Load,
+                units: mem_units,
+                unit_elems: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn roofline_takes_the_max() {
+        let caps = v3_caps();
+        let config = SimConfig::default();
+        // Heavy memory, light compute.
+        let t = segments_secs(&segs(1, 1_000_000_000), &caps, &config);
+        let mem_only = 2.0e9 / caps.mem_bw;
+        assert!((t - mem_only).abs() / mem_only < 1e-9);
+    }
+
+    #[test]
+    fn serial_adds_the_two() {
+        let caps = v3_caps();
+        let config = SimConfig {
+            mem_model: MemModel::Serial,
+            ..SimConfig::default()
+        };
+        let both = segments_secs(&segs(1000, 1000), &caps, &config);
+        let compute = 1000.0 / caps.flops;
+        let mem = 2000.0 / caps.mem_bw;
+        assert!((both - (compute + mem)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn compute_only_ignores_memory() {
+        let caps = v3_caps();
+        let config = SimConfig {
+            mem_model: MemModel::ComputeOnly,
+            ..SimConfig::default()
+        };
+        let t = segments_secs(&segs(1000, u64::MAX / 4), &caps, &config);
+        assert!((t - 1000.0 / caps.flops).abs() < 1e-18);
+    }
+
+    #[test]
+    fn empty_stream_is_free() {
+        assert_eq!(segments_secs(&[], &v3_caps(), &SimConfig::default()), 0.0);
+    }
+}

@@ -1,0 +1,587 @@
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::machine::segments_secs;
+use crate::trace::phase_segments;
+use accpar_cost::comm::{inter_conversion_split, intra_psum_elems};
+use accpar_dnn::{TrainEdge, TrainLayer, TrainView};
+use accpar_hw::GroupTree;
+use accpar_partition::{Phase, PlanTree};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::geometry::{layer_geom, LayerGeom};
+
+/// Per-layer timing breakdown of a simulated training step, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LayerBreakdown {
+    /// Compute time across the three phases (bulk-synchronous max over
+    /// leaves, summed over phases).
+    pub compute_secs: f64,
+    /// Partial-sum exchange time (Table 4 traffic, all levels).
+    pub psum_secs: f64,
+    /// Inter-layer conversion time charged to this layer's phases
+    /// (Table 5 traffic, all levels).
+    pub conversion_secs: f64,
+}
+
+impl LayerBreakdown {
+    /// Total time attributed to the layer.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.compute_secs + self.psum_secs + self.conversion_secs
+    }
+}
+
+/// The result of simulating one training step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// End-to-end step time.
+    pub total_secs: f64,
+    /// Sum of per-phase compute makespans.
+    pub compute_secs: f64,
+    /// Sum of partial-sum exchange times.
+    pub psum_secs: f64,
+    /// Sum of inter-layer conversion times.
+    pub conversion_secs: f64,
+    /// Optimizer weight-update time (zero unless `SimConfig::update` is
+    /// set).
+    pub update_secs: f64,
+    /// Per weighted layer breakdown.
+    pub per_layer: Vec<LayerBreakdown>,
+    /// Per-leaf compute-busy seconds (for utilization analysis).
+    pub leaf_busy_secs: Vec<f64>,
+}
+
+impl SimReport {
+    /// Training throughput in steps per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated time is zero.
+    #[must_use]
+    pub fn steps_per_sec(&self) -> f64 {
+        assert!(self.total_secs > 0.0, "simulated step time must be positive");
+        1.0 / self.total_secs
+    }
+
+    /// Mean leaf compute utilization: busy time over step time. Low
+    /// values indicate the idle-time effect §6.2 attributes to equal
+    /// partitioning on heterogeneous hardware.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.leaf_busy_secs.is_empty() || self.total_secs == 0.0 {
+            return 0.0;
+        }
+        let mean_busy =
+            self.leaf_busy_secs.iter().sum::<f64>() / self.leaf_busy_secs.len() as f64;
+        mean_busy / self.total_secs
+    }
+
+    /// Fraction of the step spent communicating.
+    #[must_use]
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total_secs == 0.0 {
+            return 0.0;
+        }
+        (self.psum_secs + self.conversion_secs) / self.total_secs
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {:.3} ms (compute {:.3} ms, psum {:.3} ms, conversion {:.3} ms, update {:.3} ms, util {:.1}%)",
+            self.total_secs * 1e3,
+            self.compute_secs * 1e3,
+            self.psum_secs * 1e3,
+            self.conversion_secs * 1e3,
+            self.update_secs * 1e3,
+            self.mean_utilization() * 100.0
+        )
+    }
+}
+
+/// The trace-based array simulator.
+///
+/// Executes one training step — forward sweep over the weighted layers,
+/// then a backward + gradient sweep in reverse — in bulk-synchronous
+/// order: each phase's compute is priced per leaf group from its trace
+/// segments, partial-sum exchanges are charged on the cut links of every
+/// hierarchy level whose partition type requires them (deepest first),
+/// and inter-layer tensor conversions are charged when the consuming
+/// phase begins.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    #[must_use]
+    pub const fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// The simulator's configuration.
+    #[must_use]
+    pub const fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Simulates one training step of `view` partitioned by `plan` over
+    /// `tree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DepthMismatch`] /
+    /// [`SimError::LayerCountMismatch`] when the plan does not match the
+    /// tree or the network.
+    pub fn simulate(
+        &self,
+        view: &TrainView,
+        plan: &PlanTree,
+        tree: &GroupTree,
+    ) -> Result<SimReport, SimError> {
+        if plan.depth() != tree.levels() {
+            return Err(SimError::DepthMismatch {
+                plan: plan.depth(),
+                tree: tree.levels(),
+            });
+        }
+        let n_layers = view.weighted_len();
+        validate_layer_counts(plan, n_layers, 0)?;
+
+        let mut layers: Vec<&TrainLayer> = view.layers().collect();
+        layers.sort_by_key(|l| l.index());
+        let edges = view.conversion_edges();
+
+        // Per-layer geometry (shard scales at every node and leaf).
+        let geoms: Vec<LayerGeom> = (0..n_layers)
+            .map(|l| layer_geom(tree.root(), plan, l))
+            .collect();
+        let n_leaves = geoms.first().map_or(1, |g| g.leaves.len());
+
+        let mut report = SimReport {
+            total_secs: 0.0,
+            compute_secs: 0.0,
+            psum_secs: 0.0,
+            conversion_secs: 0.0,
+            update_secs: 0.0,
+            per_layer: vec![LayerBreakdown::default(); n_layers],
+            leaf_busy_secs: vec![0.0; n_leaves],
+        };
+
+        // Forward sweep.
+        for l in 0..n_layers {
+            if self.config.interlayer {
+                let conv = self.conversion_secs(&edges, &geoms, l, Phase::Forward);
+                report.per_layer[l].conversion_secs += conv;
+                report.conversion_secs += conv;
+            }
+            self.run_phase(layers[l], &geoms[l], Phase::Forward, l, &mut report);
+        }
+        // Backward + gradient sweep.
+        for l in (0..n_layers).rev() {
+            let skip_backward = self.config.skip_first_backward && l == 0;
+            if self.config.interlayer {
+                let conv = self.conversion_secs(&edges, &geoms, l, Phase::Backward);
+                report.per_layer[l].conversion_secs += conv;
+                report.conversion_secs += conv;
+            }
+            if !skip_backward {
+                self.run_phase(layers[l], &geoms[l], Phase::Backward, l, &mut report);
+            }
+            self.run_phase(layers[l], &geoms[l], Phase::Gradient, l, &mut report);
+        }
+
+        // Optional optimizer update phase: each leaf updates its weight
+        // shards in place (element-wise; no communication — gradients are
+        // already combined by the psum exchanges).
+        if let Some(optimizer) = self.config.update {
+            let mut makespan: f64 = 0.0;
+            let bytes_per_elem = self.config.format.bytes_per_element() as f64;
+            // Touched per parameter: read gradient, read+write weight,
+            // read+write each optimizer state copy.
+            let accesses = 3.0 + 2.0 * optimizer.state_copies() as f64;
+            for idx in 0..n_leaves {
+                let mut elems = 0.0;
+                for (l, layer) in layers.iter().enumerate() {
+                    let (_, scales) = geoms[l].leaves[idx];
+                    elems += layer.weight().size() as f64 * scales.weight;
+                }
+                let (caps, _) = geoms.first().expect("layers exist").leaves[idx];
+                let compute =
+                    elems * optimizer.update_flops_per_param() as f64 / caps.flops;
+                let mem = elems * accesses * bytes_per_elem / caps.mem_bw;
+                let secs = match self.config.mem_model {
+                    crate::config::MemModel::Roofline => compute.max(mem),
+                    crate::config::MemModel::Serial => compute + mem,
+                    crate::config::MemModel::ComputeOnly => compute,
+                };
+                report.leaf_busy_secs[idx] += secs;
+                makespan = makespan.max(secs);
+            }
+            report.update_secs = makespan;
+        }
+
+        report.total_secs = report.compute_secs
+            + report.psum_secs
+            + report.conversion_secs
+            + report.update_secs;
+        Ok(report)
+    }
+
+    /// Compute + psum of one phase, accumulated into the report.
+    fn run_phase(
+        &self,
+        layer: &TrainLayer,
+        geom: &LayerGeom,
+        phase: Phase,
+        l: usize,
+        report: &mut SimReport,
+    ) {
+        // Bulk-synchronous compute: the phase ends when the slowest leaf
+        // finishes its shard.
+        let mut makespan: f64 = 0.0;
+        for (idx, (caps, scales)) in geom.leaves.iter().enumerate() {
+            let segs = phase_segments(layer, phase, *scales);
+            let secs = segments_secs(&segs, caps, &self.config);
+            report.leaf_busy_secs[idx] += secs;
+            makespan = makespan.max(secs);
+        }
+        report.compute_secs += makespan;
+        report.per_layer[l].compute_secs += makespan;
+
+        // Partial-sum exchanges, deepest level first: partial results
+        // combine bottom-up. Nodes at the same depth exchange
+        // concurrently.
+        let max_depth = geom.nodes.iter().map(|n| n.depth).max();
+        if let Some(max_depth) = max_depth {
+            for depth in (0..=max_depth).rev() {
+                let mut level_secs: f64 = 0.0;
+                for node in geom.nodes.iter().filter(|n| n.depth == depth) {
+                    if node.entry.ptype.psum_phase() != phase {
+                        continue;
+                    }
+                    let elems = intra_psum_elems(node.entry.ptype, layer) as f64
+                        * node.scales.psum_scale(node.entry.ptype);
+                    let bytes = self.config.format.bytes_f64(elems);
+                    let t = (bytes / node.link_a).max(bytes / node.link_b);
+                    level_secs = level_secs.max(t);
+                }
+                report.psum_secs += level_secs;
+                report.per_layer[l].psum_secs += level_secs;
+            }
+        }
+    }
+
+    /// Inter-layer conversion time charged when layer `l` begins `phase`:
+    /// the `F` conversions of its incoming edges before its forward
+    /// phase, and the `E` conversions of its outgoing edges before its
+    /// backward phase.
+    fn conversion_secs(
+        &self,
+        edges: &[TrainEdge],
+        geoms: &[LayerGeom],
+        l: usize,
+        phase: Phase,
+    ) -> f64 {
+        let mut total = 0.0;
+        for edge in edges {
+            let forward = phase == Phase::Forward && edge.to == l;
+            let backward = phase == Phase::Backward && edge.from == l;
+            if !forward && !backward {
+                continue;
+            }
+            // The boundary tensor's shard scale follows the *consumer*'s
+            // input feature map (an approximation when the two layers'
+            // types disagree; documented in DESIGN.md).
+            let consumer_geom = &geoms[edge.to];
+            let max_depth = consumer_geom.nodes.iter().map(|n| n.depth).max();
+            let Some(max_depth) = max_depth else {
+                continue;
+            };
+            for depth in 0..=max_depth {
+                let mut level_secs: f64 = 0.0;
+                for node in consumer_geom.nodes.iter().filter(|n| n.depth == depth) {
+                    let prev = node.plan.layer(edge.from);
+                    let next = node.plan.layer(edge.to);
+                    let boundary = edge.boundary_elems as f64 * node.scales.f_in;
+                    let (f, e) = inter_conversion_split(
+                        prev.ptype,
+                        prev.ratio.value(),
+                        next.ptype,
+                        next.ratio.value(),
+                        boundary.round() as u64,
+                        boundary.round() as u64,
+                    );
+                    let (a_elems, b_elems) = if forward { f } else { e };
+                    let t = (self.config.format.bytes_f64(a_elems) / node.link_a)
+                        .max(self.config.format.bytes_f64(b_elems) / node.link_b);
+                    level_secs = level_secs.max(t);
+                }
+                total += level_secs;
+            }
+        }
+        total
+    }
+}
+
+fn validate_layer_counts(plan: &PlanTree, n_layers: usize, level: usize) -> Result<(), SimError> {
+    if plan.plan().len() != n_layers {
+        return Err(SimError::LayerCountMismatch {
+            level,
+            plan: plan.plan().len(),
+            network: n_layers,
+        });
+    }
+    if let Some((a, b)) = plan.children() {
+        validate_layer_counts(a, n_layers, level + 1)?;
+        validate_layer_counts(b, n_layers, level + 1)?;
+    }
+    Ok(())
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemModel;
+    use accpar_cost::{CostConfig, CostModel, PairEnv};
+    use accpar_dnn::NetworkBuilder;
+    use accpar_hw::AcceleratorArray;
+    use accpar_partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, Ratio, ShardScales};
+    use accpar_tensor::FeatureShape;
+
+    fn fc_view(batch: usize, dims: &[usize]) -> TrainView {
+        let mut b = NetworkBuilder::new("t", FeatureShape::fc(batch, dims[0]));
+        for (i, pair) in dims.windows(2).enumerate() {
+            b = b.linear(format!("fc{i}"), pair[0], pair[1]);
+        }
+        b.build().unwrap().train_view().unwrap()
+    }
+
+    fn dp_plan(n: usize, levels: usize) -> PlanTree {
+        HierPlan::new(vec![
+            NetworkPlan::uniform(n, LayerPlan::data_parallel());
+            levels
+        ])
+        .to_tree()
+    }
+
+    #[test]
+    fn single_layer_matches_cost_model_on_homogeneous_pair() {
+        let view = fc_view(64, &[128, 256]);
+        let layer = view.layers().next().unwrap().clone();
+        let array = AcceleratorArray::homogeneous_tpu_v3(2);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        let env = PairEnv::from_node(tree.root()).unwrap();
+
+        let plan = dp_plan(1, 1);
+        let sim = Simulator::new(SimConfig::cost_model_aligned());
+        let report = sim.simulate(&view, &plan, &tree).unwrap();
+
+        let model = CostModel::new(CostConfig::default());
+        let expected = model
+            .layer_cost(
+                &layer,
+                PartitionType::TypeI,
+                Ratio::EQUAL,
+                &env,
+                ShardScales::full(),
+            )
+            .makespan();
+        assert!(
+            (report.total_secs - expected).abs() / expected < 1e-9,
+            "sim {} vs model {}",
+            report.total_secs,
+            expected
+        );
+    }
+
+    #[test]
+    fn heterogeneous_sim_never_exceeds_cost_model_bound() {
+        // The model charges each group compute+comm before taking the
+        // max; the sim takes per-stage maxima, so sim ≤ model.
+        let view = fc_view(64, &[128, 256]);
+        let layer = view.layers().next().unwrap().clone();
+        let array = AcceleratorArray::heterogeneous_tpu(1, 1);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        let env = PairEnv::from_node(tree.root()).unwrap();
+
+        let sim = Simulator::new(SimConfig::cost_model_aligned());
+        let report = sim.simulate(&view, &dp_plan(1, 1), &tree).unwrap();
+        let model = CostModel::new(CostConfig::default());
+        let bound = model
+            .layer_cost(
+                &layer,
+                PartitionType::TypeI,
+                Ratio::EQUAL,
+                &env,
+                ShardScales::full(),
+            )
+            .makespan();
+        assert!(report.total_secs <= bound * (1.0 + 1e-9));
+        assert!(report.total_secs > 0.5 * bound);
+    }
+
+    #[test]
+    fn plan_validation_errors() {
+        let view = fc_view(8, &[4, 4, 4]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let sim = Simulator::default();
+        let err = sim.simulate(&view, &dp_plan(2, 2), &tree).unwrap_err();
+        assert!(matches!(err, SimError::DepthMismatch { .. }));
+        let err = sim.simulate(&view, &dp_plan(3, 1), &tree).unwrap_err();
+        assert!(matches!(err, SimError::LayerCountMismatch { .. }));
+    }
+
+    #[test]
+    fn unbalanced_ratio_on_heterogeneous_pair_beats_equal_split() {
+        let view = fc_view(512, &[1024, 1024, 1024]);
+        let n = view.weighted_len();
+        let array = AcceleratorArray::heterogeneous_tpu(1, 1);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        let sim = Simulator::new(SimConfig::default());
+
+        let equal = sim.simulate(&view, &dp_plan(n, 1), &tree).unwrap();
+        // v2 gets 30% (its compute share), v3 gets 70%.
+        let tilted = PlanTree::leaf(NetworkPlan::uniform(
+            n,
+            LayerPlan::new(PartitionType::TypeI, Ratio::new(0.3).unwrap()),
+        ));
+        let better = sim.simulate(&view, &tilted, &tree).unwrap();
+        assert!(better.total_secs < equal.total_secs);
+        // With the tilt matching the compute shares, per-phase compute is
+        // balanced and strictly faster than the equal split, where the
+        // v2 board is the straggler.
+        assert!(better.compute_secs < equal.compute_secs);
+    }
+
+    #[test]
+    fn free_conversions_cost_nothing() {
+        // II -> III conversions are free (Table 5).
+        let view = fc_view(64, &[128, 128, 128]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let sim = Simulator::new(SimConfig::default());
+        let plan = PlanTree::leaf(NetworkPlan::new(vec![
+            LayerPlan::new(PartitionType::TypeII, Ratio::EQUAL),
+            LayerPlan::new(PartitionType::TypeIII, Ratio::EQUAL),
+        ]));
+        let report = sim.simulate(&view, &plan, &tree).unwrap();
+        assert_eq!(report.conversion_secs, 0.0);
+        // Psum traffic exists for both types though.
+        assert!(report.psum_secs > 0.0);
+    }
+
+    #[test]
+    fn compute_time_is_invariant_under_deeper_bisection() {
+        // On a homogeneous array with equal data-parallel splits,
+        // bisecting once into aggregate pairs or twice into single boards
+        // yields identical compute makespans: a pair at 2× FLOPS doing
+        // 2× the shard equals one board doing its own shard. Only
+        // communication differs between hierarchy depths.
+        let view = fc_view(512, &[1024, 1024]);
+        let n = view.weighted_len();
+        let sim = Simulator::new(SimConfig {
+            mem_model: MemModel::ComputeOnly,
+            ..SimConfig::default()
+        });
+        let a4 = AcceleratorArray::homogeneous_tpu_v3(4);
+        let t1 = GroupTree::bisect(&a4, 1).unwrap();
+        let t2 = GroupTree::bisect(&a4, 2).unwrap();
+        let r1 = sim.simulate(&view, &dp_plan(n, 1), &t1).unwrap();
+        let r2 = sim.simulate(&view, &dp_plan(n, 2), &t2).unwrap();
+        assert!(
+            (r2.compute_secs - r1.compute_secs).abs() / r2.compute_secs < 1e-9,
+            "{} vs {}",
+            r2.compute_secs,
+            r1.compute_secs
+        );
+        // The deeper hierarchy adds a second level of psum exchanges.
+        assert!(r2.psum_secs > r1.psum_secs);
+    }
+
+    #[test]
+    fn asymmetric_plan_trees_are_honored() {
+        // Different sub-plans inside the two halves: Type-II inside the
+        // left half, Type-III inside the right. Both are exercised.
+        let view = fc_view(64, &[128, 128]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(4), 2).unwrap();
+        let top = NetworkPlan::uniform(1, LayerPlan::data_parallel());
+        let left = NetworkPlan::uniform(1, LayerPlan::new(PartitionType::TypeII, Ratio::EQUAL));
+        let right = NetworkPlan::uniform(1, LayerPlan::new(PartitionType::TypeIII, Ratio::EQUAL));
+        let plan = PlanTree::branch(top, PlanTree::leaf(left), PlanTree::leaf(right));
+        let report = Simulator::default().simulate(&view, &plan, &tree).unwrap();
+        assert!(report.total_secs > 0.0);
+        // Compare with a uniform Type-II inner plan: costs differ because
+        // Type-II and Type-III psum different tensors (F_{l+1} vs E_l)
+        // of different sizes would be equal here (128 = 128)… so compare
+        // against an inner Type-I plan instead, whose psum tensor (the
+        // weight) is much larger.
+        let inner_i = NetworkPlan::uniform(1, LayerPlan::data_parallel());
+        let uniform = PlanTree::branch(
+            NetworkPlan::uniform(1, LayerPlan::data_parallel()),
+            PlanTree::leaf(inner_i.clone()),
+            PlanTree::leaf(inner_i),
+        );
+        let report_i = Simulator::default().simulate(&view, &uniform, &tree).unwrap();
+        assert!(report.psum_secs != report_i.psum_secs);
+    }
+
+    #[test]
+    fn update_phase_is_charged_when_enabled() {
+        use crate::config::Optimizer;
+        let view = fc_view(64, &[1024, 1024]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let base = Simulator::default()
+            .simulate(&view, &dp_plan(1, 1), &tree)
+            .unwrap();
+        assert_eq!(base.update_secs, 0.0);
+        for (opt, worse) in [
+            (Optimizer::Sgd, 1.0),
+            (Optimizer::Momentum, 1.0),
+            (Optimizer::Adam, 1.0),
+        ] {
+            let _ = worse;
+            let with = Simulator::new(SimConfig {
+                update: Some(opt),
+                ..SimConfig::default()
+            })
+            .simulate(&view, &dp_plan(1, 1), &tree)
+            .unwrap();
+            assert!(with.update_secs > 0.0, "{opt}");
+            assert!(
+                (with.total_secs - base.total_secs - with.update_secs).abs() < 1e-15,
+                "{opt}"
+            );
+        }
+        // Heavier optimizers cost more.
+        let t = |opt| {
+            Simulator::new(SimConfig {
+                update: Some(opt),
+                ..SimConfig::default()
+            })
+            .simulate(&view, &dp_plan(1, 1), &tree)
+            .unwrap()
+            .update_secs
+        };
+        assert!(t(Optimizer::Adam) > t(Optimizer::Sgd));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let view = fc_view(64, &[128, 256]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let report = Simulator::default()
+            .simulate(&view, &dp_plan(1, 1), &tree)
+            .unwrap();
+        assert!(report.steps_per_sec() > 0.0);
+        assert!(report.mean_utilization() > 0.0 && report.mean_utilization() <= 1.0);
+        assert!(report.comm_fraction() >= 0.0 && report.comm_fraction() < 1.0);
+        assert!(report.to_string().contains("step"));
+        let total_from_layers: f64 = report.per_layer.iter().map(LayerBreakdown::total).sum();
+        assert!((total_from_layers - report.total_secs).abs() < 1e-12);
+    }
+}

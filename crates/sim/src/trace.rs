@@ -1,0 +1,241 @@
+//! Trace generation: counted LOAD / STORE / MULT / ADD segments per
+//! (layer, phase), at the paper's granularity — element-wise for FC
+//! layers, kernel-window-wise for CONV layers (§6.1).
+//!
+//! A [`TraceSegment`] is a run-length-encoded stretch of identical trace
+//! events: `units` events touching `unit_elems` tensor elements each.
+//! Aggregation preserves the total element and FLOP counts exactly, so
+//! pricing a segment stream gives the same time as pricing the paper's
+//! fully expanded trace, while remaining tractable at ImageNet scale.
+
+use accpar_dnn::{TrainLayer, WeightedKind};
+use accpar_partition::Phase;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// Read tensor data from HBM.
+    Load,
+    /// Write tensor data to HBM.
+    Store,
+    /// A multiply (one FLOP per element pair).
+    Mult,
+    /// An add (one FLOP per element pair), including partial-sum
+    /// accumulation.
+    Add,
+}
+
+/// A run of identical trace events: `units` events, each touching
+/// `unit_elems` elements (1 for FC traces, the kernel window size for
+/// CONV traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSegment {
+    /// Event kind.
+    pub op: TraceOp,
+    /// Number of events in the run.
+    pub units: u64,
+    /// Elements touched per event.
+    pub unit_elems: u64,
+}
+
+impl TraceSegment {
+    /// Total elements covered by the run.
+    #[must_use]
+    pub const fn elems(&self) -> u64 {
+        self.units * self.unit_elems
+    }
+
+    /// Whether the segment represents arithmetic (MULT/ADD) rather than
+    /// memory traffic.
+    #[must_use]
+    pub const fn is_arith(&self) -> bool {
+        matches!(self.op, TraceOp::Mult | TraceOp::Add)
+    }
+}
+
+pub use accpar_partition::ShardScales;
+
+/// Emits the trace segments of one phase of one layer for a leaf holding
+/// the given shard.
+///
+/// Event granularity follows the paper: FC traces are element-wise
+/// (`unit_elems = 1`), CONV traces are kernel-window-wise
+/// (`unit_elems = k_h·k_w`). Fractional shard scales round to the nearest
+/// whole unit.
+///
+/// # Example
+///
+/// ```
+/// use accpar_dnn::zoo;
+/// use accpar_partition::Phase;
+/// use accpar_sim::trace::{phase_segments, ShardScales, TraceOp};
+///
+/// let net = zoo::lenet(8)?;
+/// let view = net.train_view()?;
+/// let conv1 = view.layers().next().unwrap();
+/// let segs = phase_segments(conv1, Phase::Forward, ShardScales::full());
+/// // CONV traces are kernel-window-wise: 5×5 = 25 elements per event.
+/// assert!(segs.iter().any(|s| s.op == TraceOp::Mult && s.unit_elems == 25));
+/// # Ok::<(), accpar_dnn::NetworkError>(())
+/// ```
+#[must_use]
+pub fn phase_segments(layer: &TrainLayer, phase: Phase, scales: ShardScales) -> Vec<TraceSegment> {
+    let unit = match layer.kind() {
+        WeightedKind::Fc => 1u64,
+        WeightedKind::Conv { window } => (window.0 * window.1) as u64,
+    };
+    let f_in = layer.in_fmap().size() as f64 * scales.f_in;
+    let f_out = layer.out_fmap().size() as f64 * scales.f_out;
+    let w = layer.weight().size() as f64 * scales.weight;
+
+    // Per-phase operands, result and reduction length (Table 6 / §4.3).
+    let (loads, stores, out_elems, reduction) = match phase {
+        Phase::Forward => (
+            [f_in, w],
+            f_out,
+            layer.out_fmap().size() as f64 * scales.flops,
+            layer.forward_reduction(),
+        ),
+        Phase::Backward => (
+            [f_out, w],
+            f_in,
+            layer.in_fmap().size() as f64 * scales.flops,
+            layer.backward_reduction(),
+        ),
+        Phase::Gradient => (
+            [f_in, f_out],
+            w,
+            layer.weight().size() as f64 * scales.flops,
+            layer.gradient_reduction(),
+        ),
+    };
+
+    let seg = |op: TraceOp, elems: f64, unit_elems: u64| TraceSegment {
+        op,
+        units: (elems / unit_elems as f64).round() as u64,
+        unit_elems,
+    };
+    // MULTs: `reduction` per output element; ADDs: `reduction − 1`.
+    let mults = out_elems * reduction as f64;
+    let adds = out_elems * reduction.saturating_sub(1) as f64;
+    vec![
+        seg(TraceOp::Load, loads[0], unit),
+        seg(TraceOp::Load, loads[1], unit),
+        seg(TraceOp::Mult, mults, unit),
+        seg(TraceOp::Add, adds, unit),
+        seg(TraceOp::Store, stores, unit),
+    ]
+}
+
+/// Total FLOPs represented by a segment stream.
+#[must_use]
+pub fn total_flops(segments: &[TraceSegment]) -> u64 {
+    segments
+        .iter()
+        .filter(|s| s.is_arith())
+        .map(TraceSegment::elems)
+        .sum()
+}
+
+/// Total bytes moved to/from HBM by a segment stream.
+#[must_use]
+pub fn total_mem_elems(segments: &[TraceSegment]) -> u64 {
+    segments
+        .iter()
+        .filter(|s| !s.is_arith())
+        .map(TraceSegment::elems)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accpar_dnn::NetworkBuilder;
+    use accpar_tensor::FeatureShape;
+
+    fn fc_layer() -> TrainLayer {
+        NetworkBuilder::new("t", FeatureShape::fc(8, 20))
+            .linear("fc", 20, 30)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap()
+            .layers()
+            .next()
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn fc_traces_are_element_wise() {
+        let segs = phase_segments(&fc_layer(), Phase::Forward, ShardScales::full());
+        assert!(segs.iter().all(|s| s.unit_elems == 1));
+    }
+
+    #[test]
+    fn forward_trace_flops_match_table_6() {
+        let l = fc_layer();
+        let segs = phase_segments(&l, Phase::Forward, ShardScales::full());
+        assert_eq!(total_flops(&segs), l.forward_flops());
+    }
+
+    #[test]
+    fn all_phases_match_layer_flop_counts() {
+        let l = fc_layer();
+        for (phase, want) in [
+            (Phase::Forward, l.forward_flops()),
+            (Phase::Backward, l.backward_flops()),
+            (Phase::Gradient, l.gradient_flops()),
+        ] {
+            let segs = phase_segments(&l, phase, ShardScales::full());
+            assert_eq!(total_flops(&segs), want, "{phase}");
+        }
+    }
+
+    #[test]
+    fn memory_traffic_counts_operands_and_result() {
+        let l = fc_layer();
+        let segs = phase_segments(&l, Phase::Forward, ShardScales::full());
+        // loads: A(F_l) + A(W); stores: A(F_{l+1}).
+        assert_eq!(total_mem_elems(&segs), 8 * 20 + 20 * 30 + 8 * 30);
+    }
+
+    #[test]
+    fn scales_shrink_the_trace() {
+        let l = fc_layer();
+        let half = ShardScales {
+            f_in: 0.5,
+            f_out: 0.5,
+            weight: 1.0,
+            flops: 0.5,
+        };
+        let full = phase_segments(&l, Phase::Forward, ShardScales::full());
+        let shard = phase_segments(&l, Phase::Forward, half);
+        assert_eq!(total_flops(&shard) * 2, total_flops(&full));
+        // f_in halves, w stays, f_out halves.
+        assert_eq!(total_mem_elems(&shard), 80 + 600 + 120);
+    }
+
+    #[test]
+    fn conv_granularity_is_kernel_window() {
+        let l = NetworkBuilder::new("c", FeatureShape::conv(2, 3, 8, 8))
+            .conv2d("conv", 3, 4, accpar_tensor::ConvGeometry::same(3))
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap()
+            .layers()
+            .next()
+            .unwrap()
+            .clone();
+        let segs = phase_segments(&l, Phase::Gradient, ShardScales::full());
+        assert!(segs.iter().all(|s| s.unit_elems == 9));
+        // Totals still match the layer's gradient FLOPs (within rounding
+        // of one window unit per segment).
+        let got = total_flops(&segs) as i64;
+        let want = l.gradient_flops() as i64;
+        assert!((got - want).abs() <= 2 * 9, "{got} vs {want}");
+    }
+}

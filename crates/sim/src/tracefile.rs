@@ -1,0 +1,205 @@
+//! Compact binary encoding of trace streams, for dumping a simulated
+//! step's full trace to disk and inspecting it offline.
+//!
+//! Format (little-endian): the magic `ACTR`, a `u32` segment count, then
+//! per segment one op byte (`0 = Load, 1 = Store, 2 = Mult, 3 = Add`),
+//! `u64` units and `u64` elements-per-unit.
+
+use crate::trace::{TraceOp, TraceSegment};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic prefix of an encoded trace stream.
+pub const MAGIC: [u8; 4] = *b"ACTR";
+
+/// Errors produced while decoding a trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceDecodeError {
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The buffer ended before the declared number of segments.
+    Truncated,
+    /// An op byte outside `0..=3`.
+    BadOp(u8),
+    /// Trailing bytes after the declared segments.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDecodeError::BadMagic => write!(f, "missing ACTR magic"),
+            TraceDecodeError::Truncated => write!(f, "trace stream ends mid-segment"),
+            TraceDecodeError::BadOp(op) => write!(f, "unknown trace op byte {op}"),
+            TraceDecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the declared segments")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+fn op_byte(op: TraceOp) -> u8 {
+    match op {
+        TraceOp::Load => 0,
+        TraceOp::Store => 1,
+        TraceOp::Mult => 2,
+        TraceOp::Add => 3,
+    }
+}
+
+fn byte_op(b: u8) -> Result<TraceOp, TraceDecodeError> {
+    Ok(match b {
+        0 => TraceOp::Load,
+        1 => TraceOp::Store,
+        2 => TraceOp::Mult,
+        3 => TraceOp::Add,
+        other => return Err(TraceDecodeError::BadOp(other)),
+    })
+}
+
+/// Encodes a segment stream.
+///
+/// # Panics
+///
+/// Panics if the stream holds more than `u32::MAX` segments.
+#[must_use]
+pub fn encode_segments(segments: &[TraceSegment]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + segments.len() * 17);
+    buf.put_slice(&MAGIC);
+    buf.put_u32_le(u32::try_from(segments.len()).expect("fewer than 2^32 segments"));
+    for seg in segments {
+        buf.put_u8(op_byte(seg.op));
+        buf.put_u64_le(seg.units);
+        buf.put_u64_le(seg.unit_elems);
+    }
+    buf.freeze()
+}
+
+/// Decodes a segment stream encoded by [`encode_segments`].
+///
+/// # Errors
+///
+/// Returns a [`TraceDecodeError`] for malformed input.
+pub fn decode_segments(mut buf: impl Buf) -> Result<Vec<TraceSegment>, TraceDecodeError> {
+    if buf.remaining() < 8 {
+        return Err(TraceDecodeError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(TraceDecodeError::BadMagic);
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut segments = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if buf.remaining() < 17 {
+            return Err(TraceDecodeError::Truncated);
+        }
+        let op = byte_op(buf.get_u8())?;
+        let units = buf.get_u64_le();
+        let unit_elems = buf.get_u64_le();
+        segments.push(TraceSegment {
+            op,
+            units,
+            unit_elems,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(TraceDecodeError::TrailingBytes(buf.remaining()));
+    }
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seg(op: TraceOp, units: u64, unit_elems: u64) -> TraceSegment {
+        TraceSegment {
+            op,
+            units,
+            unit_elems,
+        }
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        let segs = vec![
+            seg(TraceOp::Load, 100, 1),
+            seg(TraceOp::Mult, 5000, 9),
+            seg(TraceOp::Add, 4900, 9),
+            seg(TraceOp::Store, 100, 1),
+        ];
+        let encoded = encode_segments(&segs);
+        assert_eq!(&encoded[..4], b"ACTR");
+        let decoded = decode_segments(encoded).unwrap();
+        assert_eq!(decoded, segs);
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let encoded = encode_segments(&[]);
+        assert_eq!(encoded.len(), 8);
+        assert_eq!(decode_segments(encoded).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode_segments(&b"NOPE\x00\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err, TraceDecodeError::BadMagic);
+        let err = decode_segments(&b"AC"[..]).unwrap_err();
+        assert_eq!(err, TraceDecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut encoded = encode_segments(&[seg(TraceOp::Load, 1, 1)]).to_vec();
+        encoded.truncate(encoded.len() - 1);
+        assert_eq!(
+            decode_segments(&encoded[..]).unwrap_err(),
+            TraceDecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn bad_op_rejected() {
+        let mut encoded = encode_segments(&[seg(TraceOp::Load, 1, 1)]).to_vec();
+        encoded[8] = 7;
+        assert_eq!(
+            decode_segments(&encoded[..]).unwrap_err(),
+            TraceDecodeError::BadOp(7)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut encoded = encode_segments(&[seg(TraceOp::Load, 1, 1)]).to_vec();
+        encoded.push(0);
+        assert_eq!(
+            decode_segments(&encoded[..]).unwrap_err(),
+            TraceDecodeError::TrailingBytes(1)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_random_streams(
+            raw in proptest::collection::vec((0u8..4, any::<u64>(), any::<u64>()), 0..64),
+        ) {
+            let segs: Vec<TraceSegment> = raw
+                .into_iter()
+                .map(|(op, units, unit_elems)| TraceSegment {
+                    op: byte_op(op).unwrap(),
+                    units,
+                    unit_elems,
+                })
+                .collect();
+            let decoded = decode_segments(encode_segments(&segs)).unwrap();
+            prop_assert_eq!(decoded, segs);
+        }
+    }
+}

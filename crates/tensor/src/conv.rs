@@ -1,0 +1,232 @@
+use crate::error::ShapeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Geometry of a 2-D convolution or pooling window: kernel extent, stride
+/// and zero padding.
+///
+/// The output spatial extent follows the standard relation
+/// `out = (in + 2·pad − k) / stride + 1` (floor division), the convention
+/// used by the networks in the paper's evaluation (AlexNet, VGG, ResNet).
+///
+/// # Example
+///
+/// ```
+/// use accpar_tensor::ConvGeometry;
+///
+/// // AlexNet conv1: 11×11 kernel, stride 4, no padding, 224×224 input.
+/// let g = ConvGeometry::new(11, 4, 2);
+/// assert_eq!(g.output_extent((224, 224)).unwrap(), (55, 55));
+///
+/// // A VGG 3×3 "same" convolution.
+/// let same = ConvGeometry::same(3);
+/// assert_eq!(same.output_extent((112, 112)).unwrap(), (112, 112));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeometry {
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+}
+
+impl ConvGeometry {
+    /// Square kernel with uniform stride and padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero; use
+    /// [`ConvGeometry::try_new`] for a fallible constructor.
+    #[must_use]
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        Self::try_new((kernel, kernel), (stride, stride), (padding, padding))
+            .expect("kernel and stride must be positive")
+    }
+
+    /// Fully general constructor with per-axis parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::ZeroDim`] for a zero kernel extent and
+    /// [`ShapeError::ZeroStride`] for a zero stride.
+    pub fn try_new(
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Result<Self, ShapeError> {
+        if kernel.0 == 0 || kernel.1 == 0 {
+            return Err(ShapeError::ZeroDim { dim: "kernel" });
+        }
+        if stride.0 == 0 || stride.1 == 0 {
+            return Err(ShapeError::ZeroStride);
+        }
+        Ok(Self {
+            kernel,
+            stride,
+            padding,
+        })
+    }
+
+    /// Odd square kernel with stride 1 and "same" padding, so the output
+    /// extent equals the input extent — the shape of every VGG and most
+    /// ResNet convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even (no symmetric same padding exists) or
+    /// zero.
+    #[must_use]
+    pub fn same(kernel: usize) -> Self {
+        assert!(kernel % 2 == 1, "same padding requires an odd kernel");
+        Self::new(kernel, 1, kernel / 2)
+    }
+
+    /// A 1×1 convolution with the given stride — the projection shortcut
+    /// and bottleneck shape in ResNet.
+    #[must_use]
+    pub fn pointwise(stride: usize) -> Self {
+        Self::new(1, stride, 0)
+    }
+
+    /// Kernel extent `(k_h, k_w)`.
+    #[must_use]
+    pub const fn kernel(&self) -> (usize, usize) {
+        self.kernel
+    }
+
+    /// Stride `(s_h, s_w)`.
+    #[must_use]
+    pub const fn stride(&self) -> (usize, usize) {
+        self.stride
+    }
+
+    /// Zero padding `(p_h, p_w)` applied to each border.
+    #[must_use]
+    pub const fn padding(&self) -> (usize, usize) {
+        self.padding
+    }
+
+    /// `k_h × k_w`.
+    #[must_use]
+    pub const fn window_size(&self) -> usize {
+        self.kernel.0 * self.kernel.1
+    }
+
+    /// Output spatial extent for the given input extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::WindowTooLarge`] if the kernel does not fit in
+    /// the padded input.
+    pub fn output_extent(&self, input: (usize, usize)) -> Result<(usize, usize), ShapeError> {
+        let out = |n: usize, k: usize, s: usize, p: usize| -> Result<usize, ShapeError> {
+            let padded = n + 2 * p;
+            if padded < k {
+                return Err(ShapeError::WindowTooLarge {
+                    input: padded,
+                    window: k,
+                });
+            }
+            Ok((padded - k) / s + 1)
+        };
+        Ok((
+            out(input.0, self.kernel.0, self.stride.0, self.padding.0)?,
+            out(input.1, self.kernel.1, self.stride.1, self.padding.1)?,
+        ))
+    }
+}
+
+impl fmt::Display for ConvGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}/{}", self.kernel.0, self.kernel.1, self.stride.0)?;
+        if self.padding != (0, 0) {
+            write!(f, " p={},{}", self.padding.0, self.padding.1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_conv1_geometry() {
+        let g = ConvGeometry::new(11, 4, 2);
+        assert_eq!(g.output_extent((224, 224)).unwrap(), (55, 55));
+    }
+
+    #[test]
+    fn same_padding_preserves_extent() {
+        for k in [1usize, 3, 5, 7, 11] {
+            let g = ConvGeometry::same(k);
+            for n in [7usize, 14, 28, 224] {
+                assert_eq!(g.output_extent((n, n)).unwrap(), (n, n), "k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn same_padding_rejects_even_kernel() {
+        let _ = ConvGeometry::same(2);
+    }
+
+    #[test]
+    fn pointwise_stride_two_halves_extent() {
+        let g = ConvGeometry::pointwise(2);
+        assert_eq!(g.output_extent((56, 56)).unwrap(), (28, 28));
+        // Odd extents round up under the floor convention: (55-1)/2+1 = 28.
+        assert_eq!(g.output_extent((55, 55)).unwrap(), (28, 28));
+    }
+
+    #[test]
+    fn pooling_window_2x2_stride_2() {
+        let g = ConvGeometry::new(2, 2, 0);
+        assert_eq!(g.output_extent((224, 224)).unwrap(), (112, 112));
+    }
+
+    #[test]
+    fn window_too_large_is_reported() {
+        let g = ConvGeometry::new(7, 1, 0);
+        assert_eq!(
+            g.output_extent((5, 5)),
+            Err(ShapeError::WindowTooLarge { input: 5, window: 7 })
+        );
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        assert!(ConvGeometry::try_new((0, 1), (1, 1), (0, 0)).is_err());
+        assert_eq!(
+            ConvGeometry::try_new((3, 3), (0, 1), (0, 0)),
+            Err(ShapeError::ZeroStride)
+        );
+    }
+
+    #[test]
+    fn output_extent_is_monotone_in_input() {
+        use proptest::prelude::*;
+        proptest!(ProptestConfig::with_cases(64), |(
+            k in 1usize..8,
+            s in 1usize..4,
+            p in 0usize..4,
+            n in 1usize..128,
+        )| {
+            let g = ConvGeometry::try_new((k, k), (s, s), (p, p)).unwrap();
+            if let (Ok(small), Ok(big)) =
+                (g.output_extent((n, n)), g.output_extent((n + 1, n + 1)))
+            {
+                prop_assert!(big.0 >= small.0);
+                prop_assert!(big.1 >= small.1);
+                // Output never exceeds padded input.
+                prop_assert!(small.0 <= n + 2 * p);
+            }
+        });
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ConvGeometry::new(3, 1, 1).to_string(), "3x3/1 p=1,1");
+        assert_eq!(ConvGeometry::new(2, 2, 0).to_string(), "2x2/2");
+    }
+}

@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced while constructing or combining tensor shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShapeError {
+    /// A dimension length of zero was supplied where a positive length is
+    /// required.
+    ZeroDim {
+        /// Human-readable name of the offending dimension.
+        dim: &'static str,
+    },
+    /// A convolution window does not fit in the (padded) input feature map.
+    WindowTooLarge {
+        /// Padded input extent along the failing axis.
+        input: usize,
+        /// Kernel window extent along the failing axis.
+        window: usize,
+    },
+    /// A stride of zero was supplied.
+    ZeroStride,
+    /// Two shapes that must agree (e.g. for a matrix multiplication) do
+    /// not.
+    Mismatch {
+        /// Description of the expected relationship.
+        expected: String,
+        /// Description of what was found.
+        found: String,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ZeroDim { dim } => {
+                write!(f, "dimension `{dim}` must be positive")
+            }
+            ShapeError::WindowTooLarge { input, window } => write!(
+                f,
+                "convolution window ({window}) exceeds padded input extent ({input})"
+            ),
+            ShapeError::ZeroStride => write!(f, "convolution stride must be positive"),
+            ShapeError::Mismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            ShapeError::ZeroDim { dim: "batch" }.to_string(),
+            ShapeError::WindowTooLarge { input: 3, window: 5 }.to_string(),
+            ShapeError::ZeroStride.to_string(),
+            ShapeError::Mismatch {
+                expected: "(3, 4)".into(),
+                found: "(4, 3)".into(),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "no trailing period: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "lowercase: {m}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,112 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numeric data format used for tensors during training.
+///
+/// The paper's evaluation (§6.1) trains in `bfloat16`, Google's 16-bit
+/// floating-point format; [`DataFormat::Bf16`] is therefore the default.
+/// The format determines how a tensor *size* (`A(·)`, an element count)
+/// converts into *bytes* for the communication model and the simulator.
+///
+/// # Example
+///
+/// ```
+/// use accpar_tensor::DataFormat;
+///
+/// assert_eq!(DataFormat::Bf16.bytes_per_element(), 2);
+/// assert_eq!(DataFormat::Fp32.bytes(1024), 4096);
+/// assert_eq!(DataFormat::default(), DataFormat::Bf16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DataFormat {
+    /// Google brain floating point: 1 sign, 8 exponent, 7 mantissa bits.
+    #[default]
+    Bf16,
+    /// IEEE 754 half precision.
+    Fp16,
+    /// IEEE 754 single precision.
+    Fp32,
+    /// IEEE 754 double precision.
+    Fp64,
+}
+
+impl DataFormat {
+    /// Width of one element in bytes.
+    #[must_use]
+    pub const fn bytes_per_element(self) -> u64 {
+        match self {
+            DataFormat::Bf16 | DataFormat::Fp16 => 2,
+            DataFormat::Fp32 => 4,
+            DataFormat::Fp64 => 8,
+        }
+    }
+
+    /// Width of one element in bits.
+    #[must_use]
+    pub const fn bits_per_element(self) -> u64 {
+        self.bytes_per_element() * 8
+    }
+
+    /// Number of bytes occupied by `elements` elements of this format.
+    #[must_use]
+    pub const fn bytes(self, elements: u64) -> u64 {
+        elements * self.bytes_per_element()
+    }
+
+    /// Fractional byte count for an *effective* (ratio-scaled) element
+    /// count, used by the analytic cost model where partition ratios make
+    /// tensor shares non-integral.
+    #[must_use]
+    pub fn bytes_f64(self, elements: f64) -> f64 {
+        elements * self.bytes_per_element() as f64
+    }
+}
+
+impl fmt::Display for DataFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataFormat::Bf16 => "bf16",
+            DataFormat::Fp16 => "fp16",
+            DataFormat::Fp32 => "fp32",
+            DataFormat::Fp64 => "fp64",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_is_two_bytes() {
+        assert_eq!(DataFormat::Bf16.bytes_per_element(), 2);
+        assert_eq!(DataFormat::Bf16.bits_per_element(), 16);
+    }
+
+    #[test]
+    fn byte_conversion_scales_linearly() {
+        for fmt in [
+            DataFormat::Bf16,
+            DataFormat::Fp16,
+            DataFormat::Fp32,
+            DataFormat::Fp64,
+        ] {
+            assert_eq!(fmt.bytes(0), 0);
+            assert_eq!(fmt.bytes(7), 7 * fmt.bytes_per_element());
+            let eff = fmt.bytes_f64(2.5);
+            assert!((eff - 2.5 * fmt.bytes_per_element() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataFormat::Bf16.to_string(), "bf16");
+        assert_eq!(DataFormat::Fp64.to_string(), "fp64");
+    }
+
+    #[test]
+    fn default_matches_paper_evaluation() {
+        assert_eq!(DataFormat::default(), DataFormat::Bf16);
+    }
+}

@@ -1,0 +1,47 @@
+//! Tensor shape algebra for the AccPar reproduction.
+//!
+//! AccPar (Song et al., HPCA 2020) reasons about DNN training entirely at
+//! the level of *tensor shapes*: the size function `A(·)` (the product of
+//! all dimension lengths), the three partitionable dimensions (`B`,
+//! `D_{i,l}`, `D_{o,l}`), and the geometry of feature maps and kernels.
+//! This crate provides those primitives:
+//!
+//! * [`FeatureShape`] — the shape of a feature-map / error tensor
+//!   (`F_l` / `E_l`), 2-D for fully-connected layers and 4-D for
+//!   convolutional layers;
+//! * [`KernelShape`] — the shape of a weight / gradient tensor
+//!   (`W_l` / `ΔW_l`);
+//! * [`ConvGeometry`] — kernel window, stride and padding with output-size
+//!   inference;
+//! * [`DataFormat`] — element width (the paper trains in Google's
+//!   `bfloat16`);
+//! * [`split`] — integer-exact proportional splitting used when lowering a
+//!   fractional partition ratio onto discrete tensor dimensions.
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_tensor::{FeatureShape, KernelShape, DataFormat};
+//!
+//! // AlexNet conv1 output on a batch of 512.
+//! let fmap = FeatureShape::conv(512, 96, 55, 55);
+//! assert_eq!(fmap.size(), 512 * 96 * 55 * 55);
+//! assert_eq!(DataFormat::Bf16.bytes(fmap.size()), 2 * fmap.size());
+//!
+//! let kernel = KernelShape::conv(3, 96, 11, 11);
+//! assert_eq!(kernel.size(), 3 * 96 * 11 * 11);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod format;
+mod shape;
+pub mod split;
+
+pub use conv::ConvGeometry;
+pub use error::ShapeError;
+pub use format::DataFormat;
+pub use shape::{FeatureShape, KernelShape, PartitionDim, TensorShape};

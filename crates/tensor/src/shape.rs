@@ -1,0 +1,454 @@
+use crate::error::ShapeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the three dimensions AccPar may partition (§3.2).
+///
+/// The paper's key observation is that the three tensor computations of a
+/// training step mention only three dimensions — the mini-batch `B`, the
+/// layer input size `D_{i,l}` and the layer output size `D_{o,l}` — and
+/// that exactly one of them can be "free" in a valid partition. Each of
+/// the three basic partition types corresponds to one of these dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionDim {
+    /// The mini-batch dimension `B` (partitioned by Type-I).
+    Batch,
+    /// The layer-input dimension `D_{i,l}` (partitioned by Type-II).
+    Input,
+    /// The layer-output dimension `D_{o,l}` (partitioned by Type-III).
+    Output,
+}
+
+impl fmt::Display for PartitionDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PartitionDim::Batch => "B",
+            PartitionDim::Input => "D_i",
+            PartitionDim::Output => "D_o",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shape of a feature-map or error tensor (`F_l` / `E_l`).
+///
+/// For a fully-connected layer this is the matrix `(B, D)`; for a
+/// convolutional layer it is the 4-D tensor `(B, C, H, W)`. Following
+/// §4.3 of the paper, the spatial extent `(H, W)` is treated as a *meta
+/// dimension*: the partition types only ever split `B` or the channel
+/// dimension, while `H × W` scales sizes and FLOP counts.
+///
+/// # Example
+///
+/// ```
+/// use accpar_tensor::FeatureShape;
+///
+/// let fc = FeatureShape::fc(512, 4096);
+/// assert_eq!(fc.size(), 512 * 4096);
+/// assert_eq!(fc.spatial_size(), 1);
+///
+/// let conv = FeatureShape::conv(512, 64, 224, 224);
+/// assert_eq!(conv.size(), 512 * 64 * 224 * 224);
+/// assert_eq!(conv.spatial_size(), 224 * 224);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureShape {
+    batch: usize,
+    channels: usize,
+    /// `(height, width)`; `(1, 1)` for fully-connected activations.
+    spatial: (usize, usize),
+}
+
+impl FeatureShape {
+    /// Feature map of a fully-connected layer: shape `(batch, features)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `features` is zero; use [`FeatureShape::try_new`]
+    /// for a fallible constructor.
+    #[must_use]
+    pub fn fc(batch: usize, features: usize) -> Self {
+        Self::try_new(batch, features, (1, 1)).expect("dimensions must be positive")
+    }
+
+    /// Feature map of a convolutional layer: shape
+    /// `(batch, channels, height, width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; use [`FeatureShape::try_new`] for a
+    /// fallible constructor.
+    #[must_use]
+    pub fn conv(batch: usize, channels: usize, height: usize, width: usize) -> Self {
+        Self::try_new(batch, channels, (height, width)).expect("dimensions must be positive")
+    }
+
+    /// Fallible constructor covering both the FC and CONV cases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::ZeroDim`] if any dimension is zero.
+    pub fn try_new(
+        batch: usize,
+        channels: usize,
+        spatial: (usize, usize),
+    ) -> Result<Self, ShapeError> {
+        if batch == 0 {
+            return Err(ShapeError::ZeroDim { dim: "batch" });
+        }
+        if channels == 0 {
+            return Err(ShapeError::ZeroDim { dim: "channels" });
+        }
+        if spatial.0 == 0 {
+            return Err(ShapeError::ZeroDim { dim: "height" });
+        }
+        if spatial.1 == 0 {
+            return Err(ShapeError::ZeroDim { dim: "width" });
+        }
+        Ok(Self {
+            batch,
+            channels,
+            spatial,
+        })
+    }
+
+    /// Mini-batch dimension `B`.
+    #[must_use]
+    pub const fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Channel (feature) dimension.
+    #[must_use]
+    pub const fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial extent `(height, width)`; `(1, 1)` for FC activations.
+    #[must_use]
+    pub const fn spatial(&self) -> (usize, usize) {
+        self.spatial
+    }
+
+    /// `height × width` of the meta dimension.
+    #[must_use]
+    pub const fn spatial_size(&self) -> usize {
+        self.spatial.0 * self.spatial.1
+    }
+
+    /// Whether this is a flat (fully-connected) activation.
+    #[must_use]
+    pub const fn is_flat(&self) -> bool {
+        self.spatial.0 == 1 && self.spatial.1 == 1
+    }
+
+    /// The paper's size function `A(·)`: the product of all dimension
+    /// lengths.
+    #[must_use]
+    pub const fn size(&self) -> u64 {
+        self.batch as u64 * self.channels as u64 * self.spatial_size() as u64
+    }
+
+    /// Returns this shape with a different batch size.
+    #[must_use]
+    pub fn with_batch(&self, batch: usize) -> Self {
+        Self { batch, ..*self }
+    }
+
+    /// Returns this shape with a different channel count.
+    #[must_use]
+    pub fn with_channels(&self, channels: usize) -> Self {
+        Self { channels, ..*self }
+    }
+
+    /// Flattens the spatial extent into the channel dimension, as done by
+    /// a `Flatten` layer when transitioning from CONV to FC layers.
+    #[must_use]
+    pub fn flatten(&self) -> Self {
+        Self {
+            batch: self.batch,
+            channels: self.channels * self.spatial_size(),
+            spatial: (1, 1),
+        }
+    }
+
+    /// Length of a partitionable dimension of this tensor.
+    ///
+    /// `Input` and `Output` both map onto the channel dimension here —
+    /// whether a feature map plays the role of an input (`F_l`) or output
+    /// (`F_{l+1}`) of a layer is decided by the caller.
+    #[must_use]
+    pub const fn dim_len(&self, dim: PartitionDim) -> usize {
+        match dim {
+            PartitionDim::Batch => self.batch,
+            PartitionDim::Input | PartitionDim::Output => self.channels,
+        }
+    }
+}
+
+impl fmt::Display for FeatureShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_flat() {
+            write!(f, "({}, {})", self.batch, self.channels)
+        } else {
+            write!(
+                f,
+                "({}, {}, {}, {})",
+                self.batch, self.channels, self.spatial.0, self.spatial.1
+            )
+        }
+    }
+}
+
+/// Shape of a weight or gradient tensor (`W_l` / `ΔW_l`).
+///
+/// For a fully-connected layer this is the matrix `(D_i, D_o)`; for a
+/// convolutional layer it is the 4-D tensor
+/// `(C_in, C_out, K_h, K_w)` with the kernel window as the meta dimension
+/// (§4.3).
+///
+/// # Example
+///
+/// ```
+/// use accpar_tensor::KernelShape;
+///
+/// // The example from §4.1 of the paper.
+/// let k = KernelShape::conv(16, 32, 3, 3);
+/// assert_eq!(k.size(), 4608);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelShape {
+    c_in: usize,
+    c_out: usize,
+    /// `(kernel height, kernel width)`; `(1, 1)` for FC weights.
+    window: (usize, usize),
+}
+
+impl KernelShape {
+    /// Weight matrix of a fully-connected layer: shape `(d_in, d_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_in` or `d_out` is zero; use [`KernelShape::try_new`]
+    /// for a fallible constructor.
+    #[must_use]
+    pub fn fc(d_in: usize, d_out: usize) -> Self {
+        Self::try_new(d_in, d_out, (1, 1)).expect("dimensions must be positive")
+    }
+
+    /// Convolution kernel: shape `(c_in, c_out, k_h, k_w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; use [`KernelShape::try_new`] for a
+    /// fallible constructor.
+    #[must_use]
+    pub fn conv(c_in: usize, c_out: usize, k_h: usize, k_w: usize) -> Self {
+        Self::try_new(c_in, c_out, (k_h, k_w)).expect("dimensions must be positive")
+    }
+
+    /// Fallible constructor covering both the FC and CONV cases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::ZeroDim`] if any dimension is zero.
+    pub fn try_new(
+        c_in: usize,
+        c_out: usize,
+        window: (usize, usize),
+    ) -> Result<Self, ShapeError> {
+        if c_in == 0 {
+            return Err(ShapeError::ZeroDim { dim: "c_in" });
+        }
+        if c_out == 0 {
+            return Err(ShapeError::ZeroDim { dim: "c_out" });
+        }
+        if window.0 == 0 {
+            return Err(ShapeError::ZeroDim { dim: "kernel height" });
+        }
+        if window.1 == 0 {
+            return Err(ShapeError::ZeroDim { dim: "kernel width" });
+        }
+        Ok(Self { c_in, c_out, window })
+    }
+
+    /// Input-channel dimension `D_{i,l}`.
+    #[must_use]
+    pub const fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Output-channel dimension `D_{o,l}`.
+    #[must_use]
+    pub const fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Kernel window `(k_h, k_w)`; `(1, 1)` for FC weights.
+    #[must_use]
+    pub const fn window(&self) -> (usize, usize) {
+        self.window
+    }
+
+    /// `k_h × k_w` of the meta dimension.
+    #[must_use]
+    pub const fn window_size(&self) -> usize {
+        self.window.0 * self.window.1
+    }
+
+    /// The paper's size function `A(·)`: the product of all dimension
+    /// lengths.
+    #[must_use]
+    pub const fn size(&self) -> u64 {
+        self.c_in as u64 * self.c_out as u64 * self.window_size() as u64
+    }
+
+    /// Length of a partitionable dimension of this tensor.
+    ///
+    /// The kernel has no batch dimension; under Type-I partitioning the
+    /// kernel is replicated, so `Batch` reports length 1.
+    #[must_use]
+    pub const fn dim_len(&self, dim: PartitionDim) -> usize {
+        match dim {
+            PartitionDim::Batch => 1,
+            PartitionDim::Input => self.c_in,
+            PartitionDim::Output => self.c_out,
+        }
+    }
+}
+
+impl fmt::Display for KernelShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.window == (1, 1) {
+            write!(f, "({}, {})", self.c_in, self.c_out)
+        } else {
+            write!(
+                f,
+                "({}, {}, {}, {})",
+                self.c_in, self.c_out, self.window.0, self.window.1
+            )
+        }
+    }
+}
+
+/// Either kind of tensor appearing in the three training computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorShape {
+    /// A feature-map or error tensor.
+    Feature(FeatureShape),
+    /// A weight or gradient tensor.
+    Kernel(KernelShape),
+}
+
+impl TensorShape {
+    /// The paper's size function `A(·)`.
+    #[must_use]
+    pub const fn size(&self) -> u64 {
+        match self {
+            TensorShape::Feature(s) => s.size(),
+            TensorShape::Kernel(s) => s.size(),
+        }
+    }
+}
+
+impl From<FeatureShape> for TensorShape {
+    fn from(s: FeatureShape) -> Self {
+        TensorShape::Feature(s)
+    }
+}
+
+impl From<KernelShape> for TensorShape {
+    fn from(s: KernelShape) -> Self {
+        TensorShape::Kernel(s)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorShape::Feature(s) => s.fmt(f),
+            TensorShape::Kernel(s) => s.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_size_examples() {
+        // "the size of a 4-by-5 matrix is 20"
+        let m = FeatureShape::fc(4, 5);
+        assert_eq!(m.size(), 20);
+        // "a kernel whose input channel is 16, kernel window width is 3,
+        // kernel window length is 3 and output channel is 32, is 4,608"
+        let k = KernelShape::conv(16, 32, 3, 3);
+        assert_eq!(k.size(), 4608);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert_eq!(
+            FeatureShape::try_new(0, 5, (1, 1)),
+            Err(ShapeError::ZeroDim { dim: "batch" })
+        );
+        assert_eq!(
+            FeatureShape::try_new(4, 0, (1, 1)),
+            Err(ShapeError::ZeroDim { dim: "channels" })
+        );
+        assert_eq!(
+            KernelShape::try_new(4, 5, (0, 3)),
+            Err(ShapeError::ZeroDim { dim: "kernel height" })
+        );
+    }
+
+    #[test]
+    fn flatten_preserves_size() {
+        let s = FeatureShape::conv(32, 256, 6, 6);
+        let flat = s.flatten();
+        assert_eq!(flat.size(), s.size());
+        assert!(flat.is_flat());
+        assert_eq!(flat.channels(), 256 * 36);
+    }
+
+    #[test]
+    fn with_batch_and_channels() {
+        let s = FeatureShape::conv(8, 3, 32, 32);
+        assert_eq!(s.with_batch(4).batch(), 4);
+        assert_eq!(s.with_channels(16).channels(), 16);
+        assert_eq!(s.with_batch(4).channels(), 3);
+    }
+
+    #[test]
+    fn dim_len_maps_dimensions() {
+        let f = FeatureShape::conv(8, 3, 32, 32);
+        assert_eq!(f.dim_len(PartitionDim::Batch), 8);
+        assert_eq!(f.dim_len(PartitionDim::Input), 3);
+        assert_eq!(f.dim_len(PartitionDim::Output), 3);
+        let k = KernelShape::conv(3, 64, 3, 3);
+        assert_eq!(k.dim_len(PartitionDim::Batch), 1);
+        assert_eq!(k.dim_len(PartitionDim::Input), 3);
+        assert_eq!(k.dim_len(PartitionDim::Output), 64);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FeatureShape::fc(4, 5).to_string(), "(4, 5)");
+        assert_eq!(FeatureShape::conv(4, 5, 6, 7).to_string(), "(4, 5, 6, 7)");
+        assert_eq!(KernelShape::fc(4, 5).to_string(), "(4, 5)");
+        assert_eq!(KernelShape::conv(4, 5, 3, 3).to_string(), "(4, 5, 3, 3)");
+        assert_eq!(PartitionDim::Batch.to_string(), "B");
+        assert_eq!(PartitionDim::Input.to_string(), "D_i");
+        assert_eq!(PartitionDim::Output.to_string(), "D_o");
+    }
+
+    #[test]
+    fn tensor_shape_conversions() {
+        let f: TensorShape = FeatureShape::fc(2, 3).into();
+        let k: TensorShape = KernelShape::fc(3, 4).into();
+        assert_eq!(f.size(), 6);
+        assert_eq!(k.size(), 12);
+        assert_eq!(f.to_string(), "(2, 3)");
+    }
+}

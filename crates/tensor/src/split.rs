@@ -1,0 +1,198 @@
+//! Integer-exact proportional splitting.
+//!
+//! The analytic cost model works with fractional partition ratios
+//! (`α ∈ [0, 1]`), but the simulator must lower a ratio onto discrete
+//! tensor dimensions — e.g. splitting a batch of 512 samples `0.7 / 0.3`
+//! yields `358 / 154`, not `358.4 / 153.6`. The functions here perform
+//! that lowering while guaranteeing the shares are non-negative and sum to
+//! the original length (largest-remainder apportionment).
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_tensor::split;
+//!
+//! assert_eq!(split::split_two(512, 0.7), (358, 154));
+//! assert_eq!(split::split_many(10, &[0.5, 0.25, 0.25]), vec![5, 3, 2]);
+//! ```
+
+/// Splits `n` into two integer shares proportional to `alpha : 1 − alpha`.
+///
+/// The first share is `round(alpha · n)` clamped so both shares stay in
+/// `[0, n]`; the shares always sum to `n`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not a finite number in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use accpar_tensor::split::split_two;
+///
+/// assert_eq!(split_two(10, 0.5), (5, 5));
+/// assert_eq!(split_two(10, 0.0), (0, 10));
+/// assert_eq!(split_two(1, 0.7), (1, 0));
+/// ```
+#[must_use]
+pub fn split_two(n: usize, alpha: f64) -> (usize, usize) {
+    assert!(
+        alpha.is_finite() && (0.0..=1.0).contains(&alpha),
+        "alpha must be a finite number in [0, 1], got {alpha}"
+    );
+    let first = ((alpha * n as f64).round() as usize).min(n);
+    (first, n - first)
+}
+
+/// Splits `n` into `weights.len()` integer shares proportional to
+/// `weights`, using largest-remainder apportionment so the shares sum to
+/// exactly `n`.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative or non-finite value,
+/// or sums to zero.
+///
+/// # Example
+///
+/// ```
+/// use accpar_tensor::split::split_many;
+///
+/// // Shares sum to n even when naive rounding would not.
+/// assert_eq!(split_many(100, &[1.0, 1.0, 1.0]).iter().sum::<usize>(), 100);
+/// ```
+#[must_use]
+pub fn split_many(n: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w.is_finite() && w >= 0.0, "weights must be non-negative, got {w}");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "weights must not all be zero");
+
+    // Floor every quota, then hand the leftover units to the largest
+    // fractional remainders (ties broken by index for determinism).
+    let quotas: Vec<f64> = weights.iter().map(|w| w / total * n as f64).collect();
+    let mut shares: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+    let assigned: usize = shares.iter().sum();
+    let mut leftover = n - assigned;
+
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = quotas[a] - quotas[a].floor();
+        let fb = quotas[b] - quotas[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    for idx in order {
+        if leftover == 0 {
+            break;
+        }
+        shares[idx] += 1;
+        leftover -= 1;
+    }
+    shares
+}
+
+/// The *effective* (fractional) share of a dimension of length `n` under
+/// ratio `alpha`, as used by the analytic cost model.
+///
+/// Unlike [`split_two`] this does not round: the cost model in §4 of the
+/// paper treats shares as real numbers.
+#[must_use]
+pub fn effective_share(n: u64, alpha: f64) -> f64 {
+    n as f64 * alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn split_two_basics() {
+        assert_eq!(split_two(512, 0.5), (256, 256));
+        assert_eq!(split_two(512, 1.0), (512, 0));
+        assert_eq!(split_two(512, 0.0), (0, 512));
+        assert_eq!(split_two(0, 0.3), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be")]
+    fn split_two_rejects_out_of_range() {
+        let _ = split_two(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be")]
+    fn split_two_rejects_nan() {
+        let _ = split_two(10, f64::NAN);
+    }
+
+    #[test]
+    fn split_many_exactness() {
+        assert_eq!(split_many(7, &[1.0, 1.0]), vec![4, 3]);
+        assert_eq!(split_many(3, &[0.5, 0.5, 0.5, 0.5]).iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn split_many_rejects_empty() {
+        let _ = split_many(10, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn split_many_rejects_zero_weights() {
+        let _ = split_many(10, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn effective_share_is_exact() {
+        assert_eq!(effective_share(512, 0.25), 128.0);
+        assert_eq!(effective_share(3, 1.0 / 3.0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn split_two_sums_to_n(n in 0usize..100_000, alpha in 0.0f64..=1.0) {
+            let (a, b) = split_two(n, alpha);
+            prop_assert_eq!(a + b, n);
+        }
+
+        #[test]
+        fn split_two_is_monotone_in_alpha(
+            n in 1usize..10_000,
+            a1 in 0.0f64..=1.0,
+            a2 in 0.0f64..=1.0,
+        ) {
+            let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+            prop_assert!(split_two(n, lo).0 <= split_two(n, hi).0);
+        }
+
+        #[test]
+        fn split_many_sums_to_n(
+            n in 0usize..100_000,
+            weights in proptest::collection::vec(0.01f64..100.0, 1..8),
+        ) {
+            let shares = split_many(n, &weights);
+            prop_assert_eq!(shares.iter().sum::<usize>(), n);
+            prop_assert_eq!(shares.len(), weights.len());
+        }
+
+        #[test]
+        fn split_many_stays_within_one_of_quota(
+            n in 0usize..10_000,
+            weights in proptest::collection::vec(0.01f64..100.0, 1..8),
+        ) {
+            let total: f64 = weights.iter().sum();
+            let shares = split_many(n, &weights);
+            for (share, w) in shares.iter().zip(&weights) {
+                let quota = w / total * n as f64;
+                prop_assert!((*share as f64 - quota).abs() < 1.0 + 1e-9);
+            }
+        }
+    }
+}

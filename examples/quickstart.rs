@@ -1,0 +1,42 @@
+//! Quickstart: plan AlexNet training on a heterogeneous TPU array and
+//! compare all four partitioning schemes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use accpar::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's §6.2 setting, scaled to 8+8 boards for a quick demo:
+    // half TPU-v2 (180 TFLOPS, 8 Gb/s) and half TPU-v3 (420 TFLOPS,
+    // 16 Gb/s).
+    let array = AcceleratorArray::heterogeneous_tpu(8, 8);
+    println!("array: {array}");
+
+    let network = zoo::alexnet(512)?;
+    println!("network: {}", network.stats());
+
+    let planner = Planner::new(&network, &array).with_sim_config(SimConfig::default());
+    println!("hierarchy levels: {}\n", planner.levels());
+
+    let mut baseline_ms = None;
+    for strategy in Strategy::ALL {
+        let planned = planner.plan(strategy)?;
+        let ms = planned.modeled_cost() * 1e3;
+        let baseline = *baseline_ms.get_or_insert(ms);
+        println!(
+            "{:>6}: {:8.2} ms/step  speedup {:5.2}x   top-level plan {}",
+            strategy.to_string(),
+            ms,
+            baseline / ms,
+            planned.plan().plan().type_string()
+        );
+    }
+
+    println!(
+        "\nLegend: I = Type-I (batch), 2 = Type-II (input dim), 3 = Type-III (output dim)."
+    );
+    println!("AccPar additionally tilts each layer's ratio toward the faster half.");
+    Ok(())
+}

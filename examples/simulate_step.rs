@@ -1,0 +1,71 @@
+//! Drive the trace-based simulator directly: craft a hierarchical plan by
+//! hand, simulate one training step, and inspect the per-layer breakdown.
+//!
+//! ```sh
+//! cargo run --release --example simulate_step
+//! ```
+
+use accpar::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = zoo::vgg11(256)?;
+    let view = network.train_view()?;
+    let array = AcceleratorArray::heterogeneous_tpu(4, 4);
+    let tree = GroupTree::bisect(&array, 3)?;
+
+    // A hand-written two-phase plan: batch-partition the convolutions,
+    // output-partition the classifier (roughly OWT with Type-III FCs),
+    // with a 30/70 tilt at the top (v2/v3) cut and equal splits below.
+    let top: NetworkPlan = view
+        .layers()
+        .map(|layer| {
+            let ptype = if layer.kind().is_conv() {
+                PartitionType::TypeI
+            } else {
+                PartitionType::TypeIII
+            };
+            LayerPlan::new(ptype, Ratio::new(0.3).expect("valid ratio"))
+        })
+        .collect();
+    let inner = NetworkPlan::uniform(view.weighted_len(), LayerPlan::data_parallel());
+    let plan = HierPlan::new(vec![top, inner.clone(), inner]).to_tree();
+
+    let sim = Simulator::new(SimConfig::default());
+    let report = sim.simulate(&view, &plan, &tree)?;
+
+    println!("simulated one training step of {}:", network.name());
+    println!("  {report}");
+    println!(
+        "  throughput {:.1} steps/s, communication fraction {:.1}%\n",
+        report.steps_per_sec(),
+        report.comm_fraction() * 100.0
+    );
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "layer", "compute ms", "psum ms", "convert ms"
+    );
+    let mut layers: Vec<_> = view.layers().collect();
+    layers.sort_by_key(|l| l.index());
+    for (layer, lb) in layers.iter().zip(&report.per_layer) {
+        println!(
+            "{:<8} {:>12.4} {:>12.4} {:>12.4}",
+            layer.name(),
+            lb.compute_secs * 1e3,
+            lb.psum_secs * 1e3,
+            lb.conversion_secs * 1e3
+        );
+    }
+
+    // Compare against the planner's best effort on the same hardware.
+    let best = Planner::new(&network, &array)
+        .with_levels(3)
+        .with_sim_config(SimConfig::default())
+        .plan(Strategy::AccPar)?;
+    println!(
+        "\nhand-written plan: {:.3} ms — AccPar search: {:.3} ms",
+        report.total_secs * 1e3,
+        best.modeled_cost() * 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,345 @@
+//! `accpar` — command-line planner and simulator.
+//!
+//! ```text
+//! accpar models
+//! accpar plan     --model vgg16 --batch 512 --v2 128 --v3 128 [--levels H]
+//!                 [--strategy dp|owt|hypar|accpar|all] [--json]
+//! accpar simulate --model resnet18 --batch 512 --v2 4 --v3 4
+//!                 [--strategy accpar] [--optimizer sgd|momentum|adam]
+//! accpar memory   --model vgg16 --batch 512 --v2 4 --v3 4
+//!                 [--strategy accpar] [--optimizer adam]
+//! ```
+
+use accpar::prelude::*;
+use accpar::sim::{memory_report, Optimizer};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    flags.insert(name.to_owned(), it.next().expect("peeked").clone());
+                }
+                _ => switches.push(name.to_owned()),
+            }
+        }
+        Ok(Self { flags, switches })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a positive integer, got `{v}`")),
+        }
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:
+  accpar models
+  accpar plan     --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
+                  [--strategy dp|owt|hypar|accpar|all] [--json] [--explain]
+  accpar simulate --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
+                  [--strategy dp|owt|hypar|accpar] [--optimizer sgd|momentum|adam]
+  accpar memory   --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
+                  [--strategy dp|owt|hypar|accpar] [--optimizer sgd|momentum|adam]
+
+defaults: --batch 512 --v2 4 --v3 4 --strategy accpar"
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    Ok(match name {
+        "dp" => Strategy::DataParallel,
+        "owt" => Strategy::Owt,
+        "hypar" => Strategy::HyPar,
+        "accpar" => Strategy::AccPar,
+        other => return Err(format!("unknown strategy `{other}`")),
+    })
+}
+
+fn parse_optimizer(name: &str) -> Result<Optimizer, String> {
+    Ok(match name {
+        "sgd" => Optimizer::Sgd,
+        "momentum" => Optimizer::Momentum,
+        "adam" => Optimizer::Adam,
+        other => return Err(format!("unknown optimizer `{other}`")),
+    })
+}
+
+struct Setup {
+    network: Network,
+    array: AcceleratorArray,
+    levels: Option<usize>,
+}
+
+fn setup(args: &Args) -> Result<Setup, String> {
+    let model = args.get("model").ok_or("--model is required")?;
+    let batch = args.usize_or("batch", 512)?;
+    let v2 = args.usize_or("v2", 4)?;
+    let v3 = args.usize_or("v3", 4)?;
+    if v2 + v3 == 0 {
+        return Err("the array needs at least one board".into());
+    }
+    let network = zoo::by_name(model, batch).map_err(|e| e.to_string())?;
+    let array = AcceleratorArray::heterogeneous_tpu(v2, v3);
+    let levels = match args.get("levels") {
+        None => None,
+        Some(_) => Some(args.usize_or("levels", 0)?),
+    };
+    Ok(Setup {
+        network,
+        array,
+        levels,
+    })
+}
+
+fn planner<'a>(setup: &'a Setup) -> Planner<'a> {
+    let mut p = Planner::new(&setup.network, &setup.array).with_sim_config(SimConfig::default());
+    if let Some(levels) = setup.levels {
+        p = p.with_levels(levels);
+    }
+    p
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!("evaluation suite:");
+    for name in zoo::EVALUATION_NAMES {
+        let net = zoo::by_name(name, 1).map_err(|e| e.to_string())?;
+        println!("  {name:<10} {}", net.stats());
+    }
+    println!("extensions:");
+    for name in ["resnet101", "resnet152", "googlenet"] {
+        let net = zoo::by_name(name, 1).map_err(|e| e.to_string())?;
+        println!("  {name:<10} {}", net.stats());
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let setup = setup(args)?;
+    let planner = planner(&setup);
+    let strategies: Vec<Strategy> = match args.get("strategy").unwrap_or("accpar") {
+        "all" => Strategy::ALL.to_vec(),
+        name => vec![parse_strategy(name)?],
+    };
+    let mut dp_ms = None;
+    for strategy in strategies {
+        let planned = planner.plan(strategy).map_err(|e| e.to_string())?;
+        let ms = planned.modeled_cost() * 1e3;
+        if args.has("json") {
+            let json = serde_json::json!({
+                "network": setup.network.name(),
+                "strategy": strategy.to_string(),
+                "levels": planned.plan().depth(),
+                "step_ms": ms,
+                "plan": planned.plan(),
+            });
+            println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+        } else {
+            let speedup = match dp_ms {
+                Some(dp) => format!("  ({:.2}x vs DP)", dp / ms),
+                None => String::new(),
+            };
+            if strategy == Strategy::DataParallel {
+                dp_ms = Some(ms);
+            }
+            println!(
+                "{:>6}: {ms:10.3} ms/step{speedup}   top-level {}",
+                strategy.to_string(),
+                planned.plan().plan().type_string()
+            );
+            if args.has("explain") {
+                let view = setup.network.train_view().map_err(|e| e.to_string())?;
+                let mut layers: Vec<_> = view.layers().collect();
+                layers.sort_by_key(|l| l.index());
+                let counts = planned.plan().per_layer_type_counts();
+                println!("        {:<14} {:<18} {:>7} {:>8} {:>9}", "layer", "top-level", "I", "II", "III");
+                for (layer, (entry, c)) in layers
+                    .iter()
+                    .zip(planned.plan().plan().layers().iter().zip(&counts))
+                {
+                    println!(
+                        "        {:<14} {:<18} {:>7} {:>8} {:>9}",
+                        layer.name(),
+                        entry.to_string(),
+                        c[0],
+                        c[1],
+                        c[2]
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let setup = setup(args)?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("accpar"))?;
+    let update = args.get("optimizer").map(parse_optimizer).transpose()?;
+    let sim_config = SimConfig {
+        update,
+        ..SimConfig::default()
+    };
+    let planner = planner(&setup).with_sim_config(sim_config);
+    let planned = planner.plan(strategy).map_err(|e| e.to_string())?;
+    println!(
+        "{} under {} on {}:",
+        setup.network.name(),
+        strategy,
+        setup.array
+    );
+    println!("  {}", planned.report());
+    println!(
+        "  throughput {:.2} steps/s ({:.1} samples/s)",
+        planned.report().steps_per_sec(),
+        planned.report().steps_per_sec() * setup.network.batch() as f64
+    );
+    Ok(())
+}
+
+fn cmd_memory(args: &Args) -> Result<(), String> {
+    let setup = setup(args)?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("accpar"))?;
+    let optimizer = args
+        .get("optimizer")
+        .map(parse_optimizer)
+        .transpose()?
+        .unwrap_or_default();
+    let planner = planner(&setup);
+    let planned = planner.plan(strategy).map_err(|e| e.to_string())?;
+    let view = setup.network.train_view().map_err(|e| e.to_string())?;
+    let tree = GroupTree::bisect(&setup.array, planned.plan().depth()).map_err(|e| e.to_string())?;
+    let report = memory_report(
+        &view,
+        planned.plan(),
+        &tree,
+        &SimConfig::default(),
+        optimizer,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{} under {} with {} optimizer: {}",
+        setup.network.name(),
+        strategy,
+        optimizer,
+        report
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match command.as_str() {
+        "models" => cmd_models(),
+        "plan" => cmd_plan(&args),
+        "simulate" => cmd_simulate(&args),
+        "memory" => cmd_memory(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn args_parse_flags_and_switches() {
+        let args = Args::parse(&argv(&[
+            "--model", "vgg16", "--batch", "256", "--json", "--explain",
+        ]))
+        .unwrap();
+        assert_eq!(args.get("model"), Some("vgg16"));
+        assert_eq!(args.usize_or("batch", 1).unwrap(), 256);
+        assert!(args.has("json"));
+        assert!(args.has("explain"));
+        assert!(!args.has("quiet"));
+    }
+
+    #[test]
+    fn args_reject_positional() {
+        assert!(Args::parse(&argv(&["vgg16"])).is_err());
+    }
+
+    #[test]
+    fn args_default_integers() {
+        let args = Args::parse(&argv(&["--model", "lenet"])).unwrap();
+        assert_eq!(args.usize_or("batch", 512).unwrap(), 512);
+        assert!(Args::parse(&argv(&["--batch", "abc"]))
+            .unwrap()
+            .usize_or("batch", 1)
+            .is_err());
+    }
+
+    #[test]
+    fn strategy_and_optimizer_names() {
+        assert_eq!(parse_strategy("dp").unwrap(), Strategy::DataParallel);
+        assert_eq!(parse_strategy("accpar").unwrap(), Strategy::AccPar);
+        assert!(parse_strategy("zzz").is_err());
+        assert_eq!(parse_optimizer("adam").unwrap(), Optimizer::Adam);
+        assert!(parse_optimizer("lion").is_err());
+    }
+
+    #[test]
+    fn setup_builds_network_and_array() {
+        let args = Args::parse(&argv(&[
+            "--model", "lenet", "--batch", "16", "--v2", "1", "--v3", "3",
+        ]))
+        .unwrap();
+        let s = setup(&args).unwrap();
+        assert_eq!(s.network.batch(), 16);
+        assert_eq!(s.array.len(), 4);
+        assert!(s.levels.is_none());
+    }
+
+    #[test]
+    fn setup_rejects_unknown_model_and_empty_array() {
+        let args = Args::parse(&argv(&["--model", "nope"])).unwrap();
+        assert!(setup(&args).is_err());
+        let args =
+            Args::parse(&argv(&["--model", "lenet", "--v2", "0", "--v3", "0"])).unwrap();
+        assert!(setup(&args).is_err());
+    }
+}

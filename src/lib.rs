@@ -1,0 +1,71 @@
+//! # AccPar
+//!
+//! A from-scratch Rust reproduction of *AccPar: Tensor Partitioning for
+//! Heterogeneous Deep Learning Accelerators* (Song et al., HPCA 2020).
+//!
+//! AccPar decides, for every weighted layer of a DNN and every level of a
+//! hierarchically-bisected accelerator array, which of three basic tensor
+//! partition types to use and what fraction of the work each accelerator
+//! group receives — minimizing a cost model that accounts for both
+//! computation and communication on *heterogeneous* hardware.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — shape algebra, the `A(·)` size function, data formats;
+//! * [`dnn`] — layer graphs, shape propagation and the model zoo
+//!   (LeNet, AlexNet, VGG-11/13/16/19, ResNet-18/34/50);
+//! * [`hw`] — accelerator specs (TPU-v2 / TPU-v3), arrays and
+//!   hierarchical group trees;
+//! * [`partition`] — the three basic partition types, ratios and plans;
+//! * [`cost`] — the communication + computation cost model (Tables 4–6)
+//!   and the partition-ratio solver (Eq. 10);
+//! * [`sim`] — a trace-based discrete-event performance simulator for
+//!   accelerator arrays;
+//! * [`core`] — the layer-wise dynamic-programming search (Eq. 9),
+//!   multi-path handling, hierarchical planning and the DP / OWT / HyPar
+//!   baselines;
+//! * [`exec`] — the executable semantics oracle: numerically runs
+//!   partitioned training on virtual devices and verifies both the
+//!   results and the communication volumes against the cost model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use accpar::prelude::*;
+//!
+//! // A heterogeneous array: 4 TPU-v2 and 4 TPU-v3 boards.
+//! let array = AcceleratorArray::heterogeneous_tpu(4, 4);
+//! let network = zoo::alexnet(512)?;
+//!
+//! // Search the complete partition space with the full cost model.
+//! let planner = Planner::new(&network, &array);
+//! let accpar = planner.plan(Strategy::AccPar)?;
+//! let dp = planner.plan(Strategy::DataParallel)?;
+//!
+//! // The complete, heterogeneity-aware search wins clearly on AlexNet.
+//! assert!(accpar.modeled_cost() < dp.modeled_cost());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use accpar_core as core;
+pub use accpar_exec as exec;
+pub use accpar_cost as cost;
+pub use accpar_dnn as dnn;
+pub use accpar_hw as hw;
+pub use accpar_partition as partition;
+pub use accpar_sim as sim;
+pub use accpar_tensor as tensor;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use accpar_core::{baselines, PlanError, PlannedNetwork, Planner, Strategy};
+    pub use accpar_cost::{CostConfig, CostModel, PairEnv, RatioSolver};
+    pub use accpar_dnn::{zoo, Network, NetworkBuilder};
+    pub use accpar_hw::{AcceleratorArray, AcceleratorSpec, GroupTree};
+    pub use accpar_partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, PlanTree, Ratio};
+    pub use accpar_sim::{SimConfig, SimReport, Simulator};
+    pub use accpar_tensor::{ConvGeometry, DataFormat, FeatureShape, KernelShape};
+}

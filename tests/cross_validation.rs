@@ -1,0 +1,198 @@
+//! Cross-validation between the analytic cost model (the planner's view
+//! of the world) and the trace-based simulator (the measurement
+//! instrument). The two are implemented independently; where their
+//! assumptions coincide they must agree exactly.
+
+use accpar::cost::{CostConfig, CostModel, PairEnv};
+use accpar::partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, Ratio, ShardScales};
+use accpar::prelude::*;
+use accpar::sim::SimConfig;
+
+fn single_fc(batch: usize, d_in: usize, d_out: usize) -> Network {
+    NetworkBuilder::new("one", FeatureShape::fc(batch, d_in))
+        .linear("fc", d_in, d_out)
+        .build()
+        .expect("builds")
+}
+
+#[test]
+fn sim_equals_model_for_every_type_and_ratio_on_homogeneous_pairs() {
+    let net = single_fc(128, 512, 256);
+    let view = net.train_view().unwrap();
+    let layer = view.layers().next().unwrap().clone();
+    let array = AcceleratorArray::homogeneous_tpu_v3(2);
+    let tree = GroupTree::bisect(&array, 1).unwrap();
+    let env = PairEnv::from_node(tree.root()).unwrap();
+    let model = CostModel::new(CostConfig::default());
+    let sim = Simulator::new(SimConfig::cost_model_aligned());
+
+    for ptype in PartitionType::ALL {
+        {
+            // On a homogeneous pair at the equal split, per-stage maxima
+            // and per-group sums coincide: the sim must equal the model.
+            let alpha = 0.5;
+            let ratio = Ratio::new(alpha).unwrap();
+            let plan = HierPlan::new(vec![NetworkPlan::uniform(
+                1,
+                LayerPlan::new(ptype, ratio),
+            )])
+            .to_tree();
+            let report = sim.simulate(&view, &plan, &tree).unwrap();
+            let expected = model
+                .layer_cost(&layer, ptype, ratio, &env, ShardScales::full())
+                .makespan();
+            assert!(
+                (report.total_secs - expected).abs() / expected < 1e-9,
+                "{ptype} alpha={alpha}: sim {} vs model {}",
+                report.total_secs,
+                expected
+            );
+        }
+    }
+}
+
+#[test]
+fn sim_is_bounded_by_model_on_heterogeneous_pairs() {
+    // The model takes max over groups of (compute + comm); the sim takes
+    // stage-wise maxima, i.e. max(compute) + max(comm). The sim is
+    // therefore bounded above by the *sum* of per-stage maxima and below
+    // by half the model — and when the same group is the straggler of
+    // both stages (the equal split on a v2/v3 pair) the two coincide.
+    let net = single_fc(256, 1024, 1024);
+    let view = net.train_view().unwrap();
+    let layer = view.layers().next().unwrap().clone();
+    let array = AcceleratorArray::heterogeneous_tpu(1, 1);
+    let tree = GroupTree::bisect(&array, 1).unwrap();
+    let env = PairEnv::from_node(tree.root()).unwrap();
+    let model = CostModel::new(CostConfig::default());
+    let sim = Simulator::new(SimConfig::cost_model_aligned());
+
+    for ptype in PartitionType::ALL {
+        for alpha in [0.0, 0.25, 0.3, 0.5, 0.75, 1.0] {
+            let ratio = Ratio::new(alpha).unwrap();
+            let plan = HierPlan::new(vec![NetworkPlan::uniform(
+                1,
+                LayerPlan::new(ptype, ratio),
+            )])
+            .to_tree();
+            let report = sim.simulate(&view, &plan, &tree).unwrap();
+            let cost = model.layer_cost(&layer, ptype, ratio, &env, ShardScales::full());
+            let makespan = cost.makespan();
+            // Upper bound: sum of per-stage maxima (≤ 2x the makespan).
+            assert!(
+                report.total_secs <= 2.0 * makespan * (1.0 + 1e-9),
+                "{ptype} alpha={alpha}: sim {} above twice the model {}",
+                report.total_secs,
+                makespan
+            );
+            assert!(
+                report.total_secs >= 0.5 * makespan,
+                "{ptype} alpha={alpha}: sim {} below half the model {}",
+                report.total_secs,
+                makespan
+            );
+            if alpha == 0.5 {
+                // At the equal split the v2 group is the straggler of
+                // both the compute and the communication stage, so the
+                // two formulations coincide exactly.
+                assert!(
+                    (report.total_secs - makespan).abs() / makespan < 1e-9,
+                    "{ptype}: sim {} vs model {}",
+                    report.total_secs,
+                    makespan
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table5_zero_entries_are_conversion_free_in_the_simulator() {
+    // Three of the nine type transitions cost nothing (Table 5); the
+    // simulator must reproduce those zeros through an entirely different
+    // code path.
+    let net = NetworkBuilder::new("two", FeatureShape::fc(64, 256))
+        .linear("fc1", 256, 256)
+        .linear("fc2", 256, 256)
+        .build()
+        .unwrap();
+    let view = net.train_view().unwrap();
+    let array = AcceleratorArray::homogeneous_tpu_v3(2);
+    let tree = GroupTree::bisect(&array, 1).unwrap();
+    let sim = Simulator::new(SimConfig::default());
+
+    for (prev, next) in [
+        (PartitionType::TypeI, PartitionType::TypeI),
+        (PartitionType::TypeII, PartitionType::TypeIII),
+        (PartitionType::TypeIII, PartitionType::TypeII),
+    ] {
+        let plan = HierPlan::new(vec![NetworkPlan::new(vec![
+            LayerPlan::new(prev, Ratio::EQUAL),
+            LayerPlan::new(next, Ratio::EQUAL),
+        ])])
+        .to_tree();
+        let report = sim.simulate(&view, &plan, &tree).unwrap();
+        assert_eq!(report.conversion_secs, 0.0, "{prev} -> {next}");
+    }
+}
+
+#[test]
+fn nonzero_table5_entries_show_up_in_the_simulator() {
+    let net = NetworkBuilder::new("two", FeatureShape::fc(64, 256))
+        .linear("fc1", 256, 256)
+        .linear("fc2", 256, 256)
+        .build()
+        .unwrap();
+    let view = net.train_view().unwrap();
+    let array = AcceleratorArray::homogeneous_tpu_v3(2);
+    let tree = GroupTree::bisect(&array, 1).unwrap();
+    let sim = Simulator::new(SimConfig::default());
+
+    for (prev, next) in [
+        (PartitionType::TypeI, PartitionType::TypeII),
+        (PartitionType::TypeI, PartitionType::TypeIII),
+        (PartitionType::TypeII, PartitionType::TypeI),
+        (PartitionType::TypeIII, PartitionType::TypeI),
+        (PartitionType::TypeIII, PartitionType::TypeIII),
+        (PartitionType::TypeII, PartitionType::TypeII),
+    ] {
+        let plan = HierPlan::new(vec![NetworkPlan::new(vec![
+            LayerPlan::new(prev, Ratio::EQUAL),
+            LayerPlan::new(next, Ratio::EQUAL),
+        ])])
+        .to_tree();
+        let report = sim.simulate(&view, &plan, &tree).unwrap();
+        assert!(report.conversion_secs > 0.0, "{prev} -> {next}");
+    }
+}
+
+#[test]
+fn search_objective_tracks_simulator_within_factor_two() {
+    // The level search's accumulated objective approximates the aligned
+    // simulator's step time; they aggregate maxima differently, so exact
+    // equality is not expected — but they must stay within 2x on real
+    // networks (otherwise the planner would optimize the wrong thing).
+    use accpar::core::{LevelSearcher, SearchConfig};
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    let tree = GroupTree::bisect(&array, 1).unwrap();
+    let env = PairEnv::from_node(tree.root()).unwrap();
+    let model = CostModel::new(CostConfig::default());
+    let config = SearchConfig::accpar();
+    let sim = Simulator::new(SimConfig::cost_model_aligned());
+
+    for name in ["lenet", "alexnet"] {
+        let net = zoo::by_name(name, 128).unwrap();
+        let view = net.train_view().unwrap();
+        let searcher = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        let outcome = searcher.search();
+        let plan = HierPlan::new(vec![outcome.plan.clone()]).to_tree();
+        let measured = sim.simulate(&view, &plan, &tree).unwrap().total_secs;
+        let ratio = outcome.cost / measured;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "{name}: objective {} vs simulated {} (ratio {ratio})",
+            outcome.cost,
+            measured
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Table 8 of the paper: the flexibility ordering
+//! DP ≺ OWT ≺ HyPar ≺ AccPar, checked as performance on the
+//! heterogeneous array.
+//!
+//! Strict per-model dominance is only claimed for AccPar (its search
+//! space contains every other scheme's plans and its evaluator is
+//! heterogeneity-aware); OWT and HyPar can lose to plain DP on networks
+//! whose FC layers are tiny (LeNet), exactly as static schemes should.
+
+use accpar::prelude::*;
+
+fn speedups(name: &str, array: &AcceleratorArray) -> Vec<(Strategy, f64)> {
+    // The paper's batch size; AccPar's dominance claims are made at the
+    // paper's scale (deep hierarchies give the complete search space its
+    // room — at toy scale the greedy per-level search can land within a
+    // few percent of DP on ResNets).
+    let net = zoo::by_name(name, 512).expect("zoo network");
+    let planner = Planner::new(&net, array).with_sim_config(SimConfig::default());
+    let mut out = Vec::new();
+    let mut dp = 0.0;
+    for (i, s) in Strategy::ALL.iter().enumerate() {
+        let cost = planner.plan(*s).expect("plans cleanly").modeled_cost();
+        if i == 0 {
+            dp = cost;
+        }
+        out.push((*s, dp / cost));
+    }
+    out
+}
+
+#[test]
+fn accpar_dominates_every_baseline_on_the_big_models() {
+    let array = AcceleratorArray::heterogeneous_tpu(128, 128);
+    for name in ["alexnet", "vgg11", "resnet18"] {
+        let rows = speedups(name, &array);
+        let accpar = rows[3].1;
+        for (s, speedup) in &rows[..3] {
+            assert!(
+                accpar >= speedup * (1.0 - 1e-9),
+                "{name}: AccPar {accpar:.3}x must dominate {s} {speedup:.3}x"
+            );
+        }
+    }
+}
+
+#[test]
+fn flexibility_ordering_holds_on_geomean() {
+    // DP ≤ OWT ≤ HyPar ≤ AccPar in geometric mean over the sampled
+    // suite (Table 8's ordering, §6.4).
+    let array = AcceleratorArray::heterogeneous_tpu(128, 128);
+    let names = ["lenet", "alexnet", "vgg11", "resnet18"];
+    let mut logs = [0.0f64; 4];
+    for name in names {
+        for (i, (_, speedup)) in speedups(name, &array).iter().enumerate() {
+            logs[i] += speedup.ln();
+        }
+    }
+    let geo: Vec<f64> = logs.iter().map(|l| (l / names.len() as f64).exp()).collect();
+    assert!((geo[0] - 1.0).abs() < 1e-9, "DP normalizes to 1, got {}", geo[0]);
+    assert!(geo[1] >= geo[0] * 0.999, "OWT {} vs DP {}", geo[1], geo[0]);
+    assert!(geo[2] >= geo[1] * 0.999, "HyPar {} vs OWT {}", geo[2], geo[1]);
+    assert!(geo[3] > geo[2], "AccPar {} vs HyPar {}", geo[3], geo[2]);
+}
+
+#[test]
+fn dynamic_schemes_adapt_where_static_ones_cannot() {
+    // On LeNet the static OWT choice (model-parallel FCs) backfires,
+    // while the dynamic searches never do worse than DP.
+    let array = AcceleratorArray::heterogeneous_tpu(128, 128);
+    let rows = speedups("lenet", &array);
+    let (owt, hypar, accpar) = (rows[1].1, rows[2].1, rows[3].1);
+    assert!(owt < 1.0, "OWT should backfire on LeNet, got {owt:.3}x");
+    assert!(hypar >= 0.999, "HyPar must not lose to DP, got {hypar:.3}x");
+    assert!(accpar >= 0.999, "AccPar must not lose to DP, got {accpar:.3}x");
+}
+
+#[test]
+fn heterogeneity_awareness_is_the_accpar_edge_on_resnet() {
+    // ResNet on a heterogeneous array: HyPar's equal partitioning leaves
+    // it at DP performance (§6.2: 1.03–1.04x), AccPar roughly doubles.
+    let array = AcceleratorArray::heterogeneous_tpu(128, 128);
+    let rows = speedups("resnet18", &array);
+    let (hypar, accpar) = (rows[2].1, rows[3].1);
+    assert!(hypar < 1.15, "HyPar ≈ DP expected, got {hypar:.3}x");
+    assert!(accpar > 1.4, "AccPar must clearly win, got {accpar:.3}x");
+}

@@ -1,0 +1,134 @@
+//! End-to-end property tests spanning the whole workspace.
+
+use accpar::core::{LevelSearcher, SearchConfig};
+use accpar::cost::{CostConfig, CostModel, PairEnv};
+use accpar::partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, Ratio};
+use accpar::prelude::*;
+use accpar::sim::SimConfig;
+use proptest::prelude::*;
+
+fn mlp(batch: usize, dims: &[usize]) -> Network {
+    let mut b = NetworkBuilder::new("mlp", FeatureShape::fc(batch, dims[0]));
+    for (i, pair) in dims.windows(2).enumerate() {
+        b = b.linear(format!("fc{i}"), pair[0], pair[1]);
+    }
+    b.build().expect("valid MLP")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The DP search equals brute force on random chains — the §5.1
+    /// optimality claim, under random shapes and heterogeneous pairs.
+    #[test]
+    fn dp_is_optimal_on_random_chains(
+        batch in 1usize..128,
+        dims in proptest::collection::vec(1usize..256, 2..6),
+        v2 in 1usize..4,
+        v3 in 1usize..4,
+    ) {
+        let net = mlp(batch, &dims);
+        let view = net.train_view().unwrap();
+        let array = AcceleratorArray::heterogeneous_tpu(v2, v3);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        let env = PairEnv::from_node(tree.root()).unwrap();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        let searcher = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        let dp = searcher.search();
+        let brute = searcher.exhaustive();
+        prop_assert!(
+            dp.cost <= brute.cost * (1.0 + 1e-12),
+            "dp {} vs brute {}", dp.cost, brute.cost
+        );
+    }
+
+    /// Simulated step time decreases (weakly) when every bandwidth and
+    /// compute rate doubles.
+    #[test]
+    fn faster_hardware_is_never_slower(
+        batch in 8usize..128,
+        dims in proptest::collection::vec(8usize..256, 2..5),
+        t_idx in 0usize..3,
+    ) {
+        let net = mlp(batch, &dims);
+        let view = net.train_view().unwrap();
+        let plan = HierPlan::new(vec![NetworkPlan::uniform(
+            view.weighted_len(),
+            LayerPlan::new(PartitionType::ALL[t_idx], Ratio::EQUAL),
+        )]).to_tree();
+
+        let slow_spec = AcceleratorSpec::new("slow", 1e12, 1 << 30, 100e9, 1e9, 2, 10e9).unwrap();
+        let fast_spec = AcceleratorSpec::new("fast", 2e12, 1 << 30, 200e9, 2e9, 2, 20e9).unwrap();
+        let sim = Simulator::new(SimConfig::default());
+        let slow = {
+            let tree = GroupTree::bisect(&AcceleratorArray::homogeneous(slow_spec, 2), 1).unwrap();
+            sim.simulate(&view, &plan, &tree).unwrap().total_secs
+        };
+        let fast = {
+            let tree = GroupTree::bisect(&AcceleratorArray::homogeneous(fast_spec, 2), 1).unwrap();
+            sim.simulate(&view, &plan, &tree).unwrap().total_secs
+        };
+        prop_assert!(fast <= slow * (1.0 + 1e-12), "fast {fast} vs slow {slow}");
+        // Doubling every rate exactly halves the time.
+        prop_assert!((fast - slow / 2.0).abs() / fast < 1e-9);
+    }
+
+    /// The AccPar plan's cost never exceeds the data-parallel plan's cost
+    /// under the search's own per-level objective.
+    #[test]
+    fn search_never_loses_to_data_parallelism_on_its_own_objective(
+        batch in 8usize..128,
+        dims in proptest::collection::vec(8usize..512, 2..5),
+    ) {
+        let net = mlp(batch, &dims);
+        let view = net.train_view().unwrap();
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        let env = PairEnv::from_node(tree.root()).unwrap();
+        let model = CostModel::new(CostConfig::default());
+
+        let accpar = LevelSearcher::new(&view, &model, &SearchConfig::accpar(), &env, None)
+            .unwrap()
+            .search();
+        let dp_only = SearchConfig {
+            types: vec![PartitionType::TypeI],
+            solver: accpar::cost::RatioSolver::Fixed(Ratio::EQUAL),
+        };
+        let dp = LevelSearcher::new(&view, &model, &dp_only, &env, None)
+            .unwrap()
+            .search();
+        prop_assert!(accpar.cost <= dp.cost * (1.0 + 1e-12));
+    }
+
+    /// Every simulated quantity is finite and non-negative for random
+    /// plans.
+    #[test]
+    fn simulator_outputs_are_sane(
+        batch in 1usize..64,
+        dims in proptest::collection::vec(1usize..128, 2..5),
+        types in proptest::collection::vec(0usize..3, 4),
+        alphas in proptest::collection::vec(0.0f64..=1.0, 4),
+    ) {
+        let net = mlp(batch, &dims);
+        let view = net.train_view().unwrap();
+        let n = view.weighted_len();
+        let entries: Vec<LayerPlan> = (0..n)
+            .map(|l| LayerPlan::new(
+                PartitionType::ALL[types[l % types.len()]],
+                Ratio::new(alphas[l % alphas.len()]).unwrap(),
+            ))
+            .collect();
+        let plan = HierPlan::new(vec![NetworkPlan::new(entries)]).to_tree();
+        let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(1, 1), 1).unwrap();
+        let report = Simulator::new(SimConfig::default())
+            .simulate(&view, &plan, &tree)
+            .unwrap();
+        prop_assert!(report.total_secs.is_finite() && report.total_secs > 0.0);
+        prop_assert!(report.compute_secs >= 0.0);
+        prop_assert!(report.psum_secs >= 0.0);
+        prop_assert!(report.conversion_secs >= 0.0);
+        let from_layers: f64 = report.per_layer.iter().map(|l| l.total()).sum();
+        prop_assert!((from_layers - report.total_secs).abs() < 1e-9 * report.total_secs);
+    }
+}

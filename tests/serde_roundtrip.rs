@@ -1,0 +1,80 @@
+//! Serialization round-trips: plans, networks and reports survive JSON,
+//! so harness outputs can be archived and replayed.
+
+use accpar::partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, PlanTree, Ratio};
+use accpar::prelude::*;
+use accpar::sim::SimReport;
+
+#[test]
+fn network_round_trips_through_json() {
+    let net = zoo::lenet(64).unwrap();
+    let json = serde_json::to_string(&net).unwrap();
+    let back: Network = serde_json::from_str(&json).unwrap();
+    assert_eq!(net, back);
+    assert_eq!(back.stats().params, net.stats().params);
+}
+
+#[test]
+fn plan_tree_round_trips_through_json() {
+    let level = NetworkPlan::new(vec![
+        LayerPlan::new(PartitionType::TypeI, Ratio::new(0.3).unwrap()),
+        LayerPlan::new(PartitionType::TypeIII, Ratio::EQUAL),
+    ]);
+    let tree = PlanTree::branch(
+        level.clone(),
+        PlanTree::leaf(level.clone()),
+        PlanTree::leaf(level),
+    );
+    let json = serde_json::to_string(&tree).unwrap();
+    let back: PlanTree = serde_json::from_str(&json).unwrap();
+    assert_eq!(tree, back);
+}
+
+#[test]
+fn searched_plan_round_trips() {
+    let net = zoo::alexnet(64).unwrap();
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    let planned = Planner::new(&net, &array)
+        .with_levels(2)
+        .plan(Strategy::AccPar)
+        .unwrap();
+    let json = serde_json::to_string(planned.plan()).unwrap();
+    let back: PlanTree = serde_json::from_str(&json).unwrap();
+    assert_eq!(planned.plan(), &back);
+
+    // A deserialized plan still simulates to the same time.
+    let view = net.train_view().unwrap();
+    let tree = GroupTree::bisect(&array, 2).unwrap();
+    let sim = Simulator::new(SimConfig::cost_model_aligned());
+    let report = sim.simulate(&view, &back, &tree).unwrap();
+    assert!((report.total_secs - planned.modeled_cost()).abs() < 1e-12);
+}
+
+#[test]
+fn sim_report_round_trips() {
+    let net = zoo::lenet(64).unwrap();
+    let view = net.train_view().unwrap();
+    let array = AcceleratorArray::homogeneous_tpu_v3(2);
+    let tree = GroupTree::bisect(&array, 1).unwrap();
+    let plan = HierPlan::new(vec![NetworkPlan::uniform(
+        view.weighted_len(),
+        LayerPlan::data_parallel(),
+    )])
+    .to_tree();
+    let report = Simulator::default().simulate(&view, &plan, &tree).unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: SimReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}
+
+#[test]
+fn hardware_round_trips() {
+    let array = AcceleratorArray::heterogeneous_tpu(3, 5);
+    let json = serde_json::to_string(&array).unwrap();
+    let back: AcceleratorArray = serde_json::from_str(&json).unwrap();
+    assert_eq!(array, back);
+    let tree = GroupTree::bisect(&array, 2).unwrap();
+    let tree_json = serde_json::to_string(&tree).unwrap();
+    let tree_back: GroupTree = serde_json::from_str(&tree_json).unwrap();
+    assert_eq!(tree, tree_back);
+}

@@ -1,0 +1,116 @@
+//! Every zoo network must plan cleanly under every strategy, and the
+//! resulting plans must be structurally valid.
+
+use accpar::partition::PartitionType;
+use accpar::prelude::*;
+
+#[test]
+fn every_network_plans_under_every_strategy() {
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    for name in zoo::EVALUATION_NAMES {
+        let net = zoo::by_name(name, 32).expect("zoo network");
+        let view = net.train_view().expect("weighted layers");
+        let planner = Planner::new(&net, &array).with_levels(2);
+        for strategy in Strategy::ALL {
+            let planned = planner.plan(strategy).unwrap_or_else(|e| {
+                panic!("{name} under {strategy}: {e}");
+            });
+            assert_eq!(planned.plan().depth(), 2, "{name} {strategy}");
+            assert_eq!(
+                planned.plan().plan().len(),
+                view.weighted_len(),
+                "{name} {strategy}"
+            );
+            assert!(planned.modeled_cost() > 0.0, "{name} {strategy}");
+            // Every ratio is a valid probability.
+            let plan = planned.plan().plan();
+            for entry in plan.layers() {
+                let a = entry.ratio.value();
+                assert!((0.0..=1.0).contains(&a), "{name} {strategy}: {a}");
+            }
+        }
+    }
+}
+
+#[test]
+fn baseline_type_constraints() {
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    for name in ["lenet", "alexnet", "resnet18"] {
+        let net = zoo::by_name(name, 32).expect("zoo network");
+        let planner = Planner::new(&net, &array).with_levels(2);
+
+        // DP: Type-I only, balanced everywhere.
+        let dp = planner.plan(Strategy::DataParallel).unwrap();
+        assert_eq!(dp.plan().count(PartitionType::TypeII), 0, "{name}");
+        assert_eq!(dp.plan().count(PartitionType::TypeIII), 0, "{name}");
+
+        // OWT and HyPar: never Type-III, always balanced.
+        for strategy in [Strategy::Owt, Strategy::HyPar] {
+            let planned = planner.plan(strategy).unwrap();
+            assert_eq!(
+                planned.plan().count(PartitionType::TypeIII),
+                0,
+                "{name} {strategy}"
+            );
+            for entry in planned.plan().plan().layers() {
+                assert!(entry.ratio.is_balanced(), "{name} {strategy}");
+            }
+        }
+    }
+}
+
+#[test]
+fn owt_assigns_types_by_layer_kind() {
+    let array = AcceleratorArray::homogeneous_tpu_v3(2);
+    let net = zoo::vgg11(16).unwrap();
+    let view = net.train_view().unwrap();
+    let planned = Planner::new(&net, &array)
+        .with_levels(1)
+        .plan(Strategy::Owt)
+        .unwrap();
+    let mut layers: Vec<_> = view.layers().collect();
+    layers.sort_by_key(|l| l.index());
+    for (layer, entry) in layers.iter().zip(planned.plan().plan().layers()) {
+        let expected = if layer.kind().is_conv() {
+            PartitionType::TypeI
+        } else {
+            PartitionType::TypeII
+        };
+        assert_eq!(entry.ptype, expected, "{}", layer.name());
+    }
+}
+
+#[test]
+fn batch_size_scales_step_time_superlinearly_never_sublinearly() {
+    // Doubling the batch at fixed hardware must not make a step faster.
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    for name in ["lenet", "alexnet"] {
+        let small = zoo::by_name(name, 64).unwrap();
+        let large = zoo::by_name(name, 128).unwrap();
+        let cost = |net: &Network| {
+            Planner::new(net, &array)
+                .with_levels(2)
+                .plan(Strategy::AccPar)
+                .unwrap()
+                .modeled_cost()
+        };
+        assert!(cost(&large) >= cost(&small), "{name}");
+    }
+}
+
+#[test]
+fn deeper_networks_cost_more_under_dp() {
+    let array = AcceleratorArray::homogeneous_tpu_v3(4);
+    let cost = |name: &str| {
+        let net = zoo::by_name(name, 64).unwrap();
+        Planner::new(&net, &array)
+            .plan(Strategy::DataParallel)
+            .unwrap()
+            .modeled_cost()
+    };
+    assert!(cost("vgg13") > cost("vgg11"));
+    assert!(cost("vgg16") > cost("vgg13"));
+    assert!(cost("vgg19") > cost("vgg16"));
+    assert!(cost("resnet34") > cost("resnet18"));
+    assert!(cost("resnet50") > cost("resnet34"));
+}

@@ -2,14 +2,14 @@
 //! bulk-synchronous lockstep executor and the dependency-driven
 //! discrete-event scheduler.
 
+use accpar_bench::harness::{bench, group};
 use accpar_core::baselines::data_parallel_plan;
 use accpar_dnn::zoo;
 use accpar_hw::{AcceleratorArray, GroupTree};
 use accpar_sim::{simulate_des, SimConfig, Simulator};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let array = AcceleratorArray::heterogeneous_tpu(128, 128);
     let tree = GroupTree::bisect(&array, 8).unwrap();
     let net = zoo::resnet18(512).unwrap();
@@ -17,16 +17,11 @@ fn bench(c: &mut Criterion) {
     let plan = data_parallel_plan(&view, 8);
     let config = SimConfig::default();
 
-    let mut group = c.benchmark_group("backends");
-    group.sample_size(20);
-    group.bench_function("bsp/resnet18_h8", |b| {
-        b.iter(|| black_box(Simulator::new(config).simulate(&view, &plan, &tree).unwrap()));
+    group("backends");
+    bench("bsp/resnet18_h8", || {
+        black_box(Simulator::new(config).simulate(&view, &plan, &tree).unwrap())
     });
-    group.bench_function("des/resnet18_h8", |b| {
-        b.iter(|| black_box(simulate_des(&config, &view, &plan, &tree).unwrap()));
+    bench("des/resnet18_h8", || {
+        black_box(simulate_des(&config, &view, &plan, &tree).unwrap())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

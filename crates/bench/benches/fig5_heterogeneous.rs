@@ -1,31 +1,24 @@
-//! Criterion bench regenerating Figure 5's data points: time to plan and
+//! Bench regenerating Figure 5's data points: time to plan and
 //! simulate each scheme on the heterogeneous array. The printed figure
 //! itself comes from `--bin fig5`; this bench tracks the harness cost.
 
+use accpar_bench::harness::{bench, group};
 use accpar_core::{Planner, Strategy};
 use accpar_dnn::zoo;
 use accpar_hw::AcceleratorArray;
 use accpar_sim::SimConfig;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let array = AcceleratorArray::heterogeneous_tpu(128, 128);
-    let mut group = c.benchmark_group("fig5");
-    group.sample_size(10);
+    group("fig5");
     for name in ["lenet", "alexnet", "vgg19", "resnet50"] {
         let net = zoo::by_name(name, 512).unwrap();
         let planner = Planner::new(&net, &array).with_sim_config(SimConfig::default());
-        group.bench_function(format!("plan_all/{name}"), |b| {
-            b.iter(|| {
-                for s in Strategy::ALL {
-                    black_box(planner.plan(s).unwrap());
-                }
-            });
+        bench(&format!("plan_all/{name}"), || {
+            for s in Strategy::ALL {
+                black_box(planner.plan(s).unwrap());
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

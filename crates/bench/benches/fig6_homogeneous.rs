@@ -1,30 +1,23 @@
-//! Criterion bench regenerating Figure 6's data points on the homogeneous
+//! Bench regenerating Figure 6's data points on the homogeneous
 //! 128x TPU-v3 array.
 
+use accpar_bench::harness::{bench, group};
 use accpar_core::{Planner, Strategy};
 use accpar_dnn::zoo;
 use accpar_hw::AcceleratorArray;
 use accpar_sim::SimConfig;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let array = AcceleratorArray::homogeneous_tpu_v3(128);
-    let mut group = c.benchmark_group("fig6");
-    group.sample_size(10);
+    group("fig6");
     for name in ["alexnet", "resnet18"] {
         let net = zoo::by_name(name, 512).unwrap();
         let planner = Planner::new(&net, &array).with_sim_config(SimConfig::default());
-        group.bench_function(format!("plan_all/{name}"), |b| {
-            b.iter(|| {
-                for s in Strategy::ALL {
-                    black_box(planner.plan(s).unwrap());
-                }
-            });
+        bench(&format!("plan_all/{name}"), || {
+            for s in Strategy::ALL {
+                black_box(planner.plan(s).unwrap());
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,18 +1,11 @@
-//! Criterion bench regenerating Figure 7's data: the AccPar hierarchical
+//! Bench regenerating Figure 7's data: the AccPar hierarchical
 //! plan for AlexNet at 7 levels, batch 128.
 
 use accpar_bench::figure7;
-use criterion::{criterion_group, criterion_main, Criterion};
+use accpar_bench::harness::{bench, group};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10);
-    group.bench_function("alexnet_h7_type_histogram", |b| {
-        b.iter(|| black_box(figure7()));
-    });
-    group.finish();
+fn main() {
+    group("fig7");
+    bench("alexnet_h7_type_histogram", || black_box(figure7()));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

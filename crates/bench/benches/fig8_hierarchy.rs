@@ -1,28 +1,23 @@
-//! Criterion bench regenerating Figure 8's data points: the VGG-19
+//! Bench regenerating Figure 8's data points: the VGG-19
 //! hierarchy sweep at representative depths.
 
+use accpar_bench::harness::{bench, group};
 use accpar_core::{Planner, Strategy};
 use accpar_dnn::zoo;
 use accpar_hw::AcceleratorArray;
 use accpar_sim::SimConfig;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let array = AcceleratorArray::heterogeneous_tpu(128, 128);
     let net = zoo::vgg19(512).unwrap();
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(10);
+    group("fig8");
     for h in [2usize, 5, 9] {
         let planner = Planner::new(&net, &array)
             .with_levels(h)
             .with_sim_config(SimConfig::default());
-        group.bench_function(format!("vgg19/h{h}"), |b| {
-            b.iter(|| black_box(planner.plan(Strategy::AccPar).unwrap()));
+        bench(&format!("vgg19/h{h}"), || {
+            black_box(planner.plan(Strategy::AccPar).unwrap())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

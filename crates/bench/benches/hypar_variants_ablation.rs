@@ -3,28 +3,21 @@
 //! borrows AccPar's §5.2 machinery. Measures planning time; the quality
 //! comparison is printed by `--bin ablations`.
 
+use accpar_bench::harness::{bench, group};
 use accpar_core::baselines::{hypar_multipath_plan, hypar_plan};
 use accpar_dnn::zoo;
 use accpar_hw::{AcceleratorArray, GroupTree};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let array = AcceleratorArray::heterogeneous_tpu(128, 128);
     let tree = GroupTree::bisect(&array, 8).unwrap();
     let net = zoo::resnet18(512).unwrap();
     let view = net.train_view().unwrap();
 
-    let mut group = c.benchmark_group("hypar_variants");
-    group.sample_size(10);
-    group.bench_function("faithful", |b| {
-        b.iter(|| black_box(hypar_plan(&view, &tree).unwrap()));
+    group("hypar_variants");
+    bench("faithful", || black_box(hypar_plan(&view, &tree).unwrap()));
+    bench("multipath_scale_aware", || {
+        black_box(hypar_multipath_plan(&view, &tree).unwrap())
     });
-    group.bench_function("multipath_scale_aware", |b| {
-        b.iter(|| black_box(hypar_multipath_plan(&view, &tree).unwrap()));
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,14 +3,14 @@
 //! intra-layer term (see DESIGN.md). Measures solver runtime; the
 //! quality comparison is printed by `--bin ablations`.
 
+use accpar_bench::harness::{bench, group};
 use accpar_cost::{CostConfig, CostModel, PairEnv, RatioSolver};
 use accpar_dnn::zoo;
 use accpar_hw::{AcceleratorArray, GroupTree};
 use accpar_partition::{PartitionType, ShardScales};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(128, 128), 1).unwrap();
     let env = PairEnv::from_node(tree.root()).unwrap();
     let model = CostModel::new(CostConfig::default());
@@ -18,23 +18,17 @@ fn bench(c: &mut Criterion) {
     let view = net.train_view().unwrap();
     let layers: Vec<_> = view.layers().cloned().collect();
 
-    let mut group = c.benchmark_group("ratio_solver");
+    group("ratio_solver");
     for (name, solver) in [
         ("paper_linear", RatioSolver::PaperLinear),
         ("balanced_exact", RatioSolver::BalancedExact),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                for layer in &layers {
-                    for t in PartitionType::ALL {
-                        black_box(solver.solve(&model, layer, t, &env, ShardScales::full()));
-                    }
+        bench(name, || {
+            for layer in &layers {
+                for t in PartitionType::ALL {
+                    black_box(solver.solve(&model, layer, t, &env, ShardScales::full()));
                 }
-            });
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,12 +2,12 @@
 //! complexity claim for the search itself (§5.1: O(3^N) brute force
 //! reduced to linear).
 
+use accpar_bench::harness::{bench, group};
 use accpar_core::{LevelSearcher, SearchConfig};
 use accpar_cost::{CostConfig, CostModel, PairEnv};
 use accpar_dnn::NetworkBuilder;
 use accpar_hw::{AcceleratorArray, GroupTree};
 use accpar_tensor::FeatureShape;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn chain(n: usize) -> accpar_dnn::Network {
@@ -18,24 +18,17 @@ fn chain(n: usize) -> accpar_dnn::Network {
     b.build().unwrap()
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(4, 4), 1).unwrap();
     let env = PairEnv::from_node(tree.root()).unwrap();
     let model = CostModel::new(CostConfig::default());
     let config = SearchConfig::accpar();
 
-    let mut group = c.benchmark_group("search_scaling");
+    group("search_scaling");
     for n in [8usize, 32, 128, 512] {
         let net = chain(n);
         let view = net.train_view().unwrap();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &view, |b, view| {
-            let searcher = LevelSearcher::new(view, &model, &config, &env, None).unwrap();
-            b.iter(|| black_box(searcher.search()));
-        });
+        let searcher = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        bench(&format!("layers/{n}"), || black_box(searcher.search()));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

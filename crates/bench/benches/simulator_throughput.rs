@@ -1,14 +1,14 @@
 //! Measures the trace-based simulator's throughput on the largest
 //! evaluation network.
 
+use accpar_bench::harness::{bench, group};
 use accpar_core::baselines::data_parallel_plan;
 use accpar_dnn::zoo;
 use accpar_hw::{AcceleratorArray, GroupTree};
 use accpar_sim::{SimConfig, Simulator};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let array = AcceleratorArray::heterogeneous_tpu(128, 128);
     let tree = GroupTree::bisect(&array, 8).unwrap();
     let net = zoo::resnet50(512).unwrap();
@@ -16,13 +16,8 @@ fn bench(c: &mut Criterion) {
     let plan = data_parallel_plan(&view, 8);
     let sim = Simulator::new(SimConfig::default());
 
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(20);
-    group.bench_function("resnet50_h8_256_boards", |b| {
-        b.iter(|| black_box(sim.simulate(&view, &plan, &tree).unwrap()));
+    group("simulator");
+    bench("resnet50_h8_256_boards", || {
+        black_box(sim.simulate(&view, &plan, &tree).unwrap())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -7,14 +7,13 @@ use accpar_core::{Planner, Strategy};
 use accpar_dnn::zoo;
 use accpar_hw::AcceleratorArray;
 use accpar_sim::SimConfig;
-use serde::{Deserialize, Serialize};
 
 /// The paper's mini-batch size (§6.1).
 pub const PAPER_BATCH: usize = 512;
 
 /// Speedups of the four schemes on one network, normalized to data
 /// parallelism.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedupRow {
     /// Network name.
     pub network: String,
@@ -54,14 +53,13 @@ pub fn speedup_rows(
     networks: &[&str],
 ) -> Vec<SpeedupRow> {
     let mut rows: Vec<Option<SpeedupRow>> = vec![None; networks.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, name) in rows.iter_mut().zip(networks) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run_network(array, batch, levels, name));
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     rows.into_iter().map(|r| r.expect("filled")).collect()
 }
 
@@ -107,7 +105,7 @@ pub fn figure6() -> Vec<SpeedupRow> {
 
 /// **Figure 7** data: for each weighted AlexNet layer, how many of the
 /// hierarchy's bisections selected each partition type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure7 {
     /// Weighted-layer names (`cv1`…`cv5`, `fc1`…`fc3`).
     pub layer_names: Vec<String>,
@@ -143,7 +141,7 @@ pub fn figure7() -> Figure7 {
 }
 
 /// One point of the Figure 8 sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Row {
     /// Hierarchy level `h`.
     pub levels: usize,
@@ -165,10 +163,10 @@ pub fn figure8_range(min_levels: usize, max_levels: usize) -> Vec<Fig8Row> {
     let array = AcceleratorArray::heterogeneous_tpu(128, 128);
     let hs: Vec<usize> = (min_levels..=max_levels).collect();
     let mut rows: Vec<Option<Fig8Row>> = vec![None; hs.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &h) in rows.iter_mut().zip(&hs) {
             let array = &array;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let row = run_network(array, PAPER_BATCH, Some(h), "vgg19");
                 *slot = Some(Fig8Row {
                     levels: h,
@@ -176,8 +174,7 @@ pub fn figure8_range(min_levels: usize, max_levels: usize) -> Vec<Fig8Row> {
                 });
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     rows.into_iter().map(|r| r.expect("filled")).collect()
 }
 

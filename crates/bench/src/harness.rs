@@ -1,0 +1,45 @@
+//! Tiny wall-clock benchmark harness.
+//!
+//! The workspace builds fully offline, so the `benches/` entry points
+//! (all `harness = false`) use this ~50-line std-only measurer instead
+//! of an external benchmarking crate: auto-calibrated iteration counts,
+//! best-of-samples reporting, and a `--quick` env knob for CI.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` repeatedly and prints `name`, the iteration count, and the
+/// best observed per-iteration time.
+///
+/// Calibrates so one sample takes roughly 100 ms (at least one
+/// iteration), then takes three samples and reports the minimum —
+/// the standard noise-resistant estimator. Set `ACCPAR_BENCH_QUICK=1`
+/// to run a single iteration per sample for smoke runs.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let quick = std::env::var_os("ACCPAR_BENCH_QUICK").is_some();
+
+    // Warm up and calibrate.
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once = start.elapsed().max(Duration::from_nanos(1));
+    let iters = if quick {
+        1
+    } else {
+        (0.1 / once.as_secs_f64()).clamp(1.0, 100_000.0) as u32
+    };
+
+    let samples = if quick { 1 } else { 3 };
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(start.elapsed() / iters);
+    }
+    println!("{name:<44} {iters:>7} iters   {best:>12.3?}/iter");
+}
+
+/// Prints a group header, mirroring the old harness's grouped output.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

@@ -1,0 +1,171 @@
+//! Minimal JSON emitter for archival output.
+//!
+//! The workspace builds fully offline, so instead of an external
+//! serialization crate the bench harness carries this ~100-line value
+//! tree + pretty printer. It only *writes* JSON (the archives are
+//! consumed by external plotting scripts); no parser is needed.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number. Non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Pretty-prints with two-space indentation.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) if n.is_finite() => {
+                if *n == n.trunc() && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    let _ = write!(out, "{pad}\"{}\": ", escape(k));
+                    v.write(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Self {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.pretty(), "null");
+        assert_eq!(Json::Bool(true).pretty(), "true");
+        assert_eq!(Json::Num(3.0).pretty(), "3");
+        assert_eq!(Json::Num(0.25).pretty(), "0.25");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+        assert_eq!(Json::str("a\"b\n").pretty(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn nested_structure_renders() {
+        let v = Json::obj(vec![
+            ("rows", Json::from(vec![1.0, 2.5])),
+            ("name", Json::str("fig")),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = v.pretty();
+        assert!(text.starts_with("{\n"));
+        assert!(text.contains("\"rows\": [\n"));
+        assert!(text.contains("2.5"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.ends_with('}'));
+        // Balanced braces and brackets.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                text.matches(open).count(),
+                text.matches(close).count()
+            );
+        }
+    }
+}

@@ -23,6 +23,13 @@ pub enum PlanError {
         /// Peak occupancy (bytes / capacity) of the best attempt.
         occupancy: f64,
     },
+    /// The hardware surviving a fault scenario cannot host a plan at
+    /// all (e.g. too few boards left to bisect).
+    ReplanInfeasible(String),
+    /// An input does not line up with the search: wrong number of shard
+    /// scales or plan entries, or a plan type outside the configured
+    /// space.
+    Mismatch(String),
 }
 
 impl fmt::Display for PlanError {
@@ -43,6 +50,12 @@ impl fmt::Display for PlanError {
                 required_bytes / 1e9,
                 occupancy * 100.0
             ),
+            PlanError::ReplanInfeasible(msg) => {
+                write!(f, "cannot re-plan on the surviving hardware: {msg}")
+            }
+            PlanError::Mismatch(msg) => {
+                write!(f, "input does not match the search: {msg}")
+            }
         }
     }
 }
@@ -53,7 +66,10 @@ impl std::error::Error for PlanError {
             PlanError::Network(e) => Some(e),
             PlanError::Hw(e) => Some(e),
             PlanError::Sim(e) => Some(e),
-            PlanError::EmptySearchSpace | PlanError::Infeasible { .. } => None,
+            PlanError::EmptySearchSpace
+            | PlanError::Infeasible { .. }
+            | PlanError::ReplanInfeasible(_)
+            | PlanError::Mismatch(_) => None,
         }
     }
 }

@@ -13,6 +13,10 @@
 //!   parallelism, "One Weird Trick" (CONV → Type-I, FC → Type-II), and
 //!   HyPar (a dynamic search restricted to Types I/II, equal ratios,
 //!   communication-amount objective).
+//! * [`replan`](crate::replan) — graceful degradation: re-run the search
+//!   against a faulted array (stragglers, degraded links, dropped
+//!   boards) and adopt the new plan only when it beats the stale one on
+//!   the same degraded hardware.
 //! * [`Planner`] — the one-stop API tying a network, an array, a
 //!   strategy and the evaluation together.
 //!
@@ -36,14 +40,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod baselines;
 mod error;
 pub mod feasible;
 pub mod hierarchy;
 mod planner;
+pub mod replan;
 pub mod search;
 
 pub use error::PlanError;
 pub use planner::{PlannedNetwork, Planner, Strategy};
+pub use replan::{replan, FaultImpact, PlanDelta, ReplanConfig, ReplanOutcome};
 pub use search::{LevelSearcher, SearchConfig, SearchOutcome};

@@ -7,11 +7,10 @@ use accpar_dnn::Network;
 use accpar_hw::{AcceleratorArray, GroupTree};
 use accpar_partition::PlanTree;
 use accpar_sim::{SimConfig, SimReport, Simulator};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The partitioning schemes compared in §6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Plain data parallelism — the normalization baseline.
     DataParallel,
@@ -195,8 +194,9 @@ impl<'a> Planner<'a> {
                     types: accpar_partition::PartitionType::ALL.to_vec(),
                     solver: self.solver,
                 };
-                plan_node(&view, tree.root(), &model, &config, None)?
-                    .expect("a bisected tree has at least one level")
+                plan_node(&view, tree.root(), &model, &config, None)?.ok_or_else(|| {
+                    PlanError::Mismatch("the bisected tree has no levels to plan".into())
+                })?
             }
         };
 
@@ -238,6 +238,29 @@ impl<'a> Planner<'a> {
             plan,
             report,
         })
+    }
+
+    /// Re-plans a previously planned network against a fault scenario:
+    /// graceful degradation with this planner's cost model, solver and
+    /// simulator configuration. See [`crate::replan::replan`].
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::replan::replan`].
+    pub fn replan(
+        &self,
+        planned: &PlannedNetwork,
+        faults: &accpar_hw::FaultModel,
+    ) -> Result<crate::replan::ReplanOutcome, PlanError> {
+        let view = self.network.train_view()?;
+        let tree = GroupTree::bisect(self.array, planned.plan().depth())?;
+        let config = crate::replan::ReplanConfig {
+            cost_config: self.cost_config,
+            solver: self.solver,
+            sim_config: self.sim_config,
+            sensitivity: true,
+        };
+        crate::replan::replan(&view, self.array, &tree, planned.plan(), faults, &config)
     }
 
     /// Plans all four schemes and returns them in [`Strategy::ALL`]

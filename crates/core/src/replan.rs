@@ -1,0 +1,549 @@
+//! Graceful degradation: re-run the layer-wise search against faulted
+//! hardware and report how the plan (and its cost) shifts.
+//!
+//! Given a plan produced for the healthy array and a
+//! [`FaultModel`](accpar_hw::FaultModel), [`replan`] folds the rate
+//! faults into a degraded [`GroupTree`], re-runs AccPar's dynamic
+//! program (the same [`plan_node`](crate::hierarchy::plan_node)
+//! machinery the healthy planner uses) against the degraded
+//! capabilities, and adopts the new plan only when it simulates at least
+//! as fast as the old plan on the *same* degraded hardware — the
+//! replanner never makes things worse.
+//!
+//! Dropout changes the tree's shape: the dropped leaves' boards are
+//! removed ([`GroupTree::without_leaves`]) and the search runs on the
+//! reduced array. Leaf-targeted faults are carried over by board
+//! identity; cut-targeted faults cannot survive a re-bisection (the cut
+//! numbering belongs to the old shape) and are reported in
+//! [`ReplanOutcome::discarded`].
+
+use crate::error::PlanError;
+use crate::hierarchy::plan_node;
+use crate::search::SearchConfig;
+use accpar_cost::{CostConfig, CostModel, RatioSolver};
+use accpar_dnn::TrainView;
+use accpar_hw::{AcceleratorArray, Fault, FaultKind, FaultModel, FaultTarget, GroupTree};
+use accpar_partition::{LayerPlan, PartitionType, PlanTree};
+use accpar_sim::{SimConfig, Simulator};
+use std::fmt;
+
+/// Configuration of the replanner: the same knobs as
+/// [`Planner`](crate::Planner), plus whether to compute the (more
+/// expensive) per-fault sensitivity summary.
+#[derive(Debug, Clone)]
+pub struct ReplanConfig {
+    /// Cost-model configuration for the degraded search.
+    pub cost_config: CostConfig,
+    /// Ratio solver for the degraded search.
+    pub solver: RatioSolver,
+    /// Simulator configuration used to compare old and new plans.
+    pub sim_config: SimConfig,
+    /// Compute [`ReplanOutcome::sensitivity`] (one extra simulation — or,
+    /// for dropout, one extra replan — per injected fault).
+    pub sensitivity: bool,
+}
+
+impl Default for ReplanConfig {
+    fn default() -> Self {
+        Self {
+            cost_config: CostConfig::default(),
+            solver: RatioSolver::default(),
+            sim_config: SimConfig::cost_model_aligned(),
+            sensitivity: true,
+        }
+    }
+}
+
+/// One per-layer difference between the old and the adopted plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanDelta {
+    /// Pre-order index of the plan-tree node the entry lives in.
+    pub node: usize,
+    /// Weighted-layer index.
+    pub layer: usize,
+    /// The healthy plan's entry.
+    pub old: LayerPlan,
+    /// The adopted plan's entry.
+    pub new: LayerPlan,
+}
+
+impl fmt::Display for PlanDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {} layer {}: {} -> {}",
+            self.node, self.layer, self.old, self.new
+        )
+    }
+}
+
+/// How much one fault alone slows the original plan down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultImpact {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Degraded step time over nominal step time (`>= 1` unless the
+    /// fault is somehow beneficial; dropout impacts are measured after a
+    /// solo replan, so they can be `< 1` on pathological inputs).
+    pub slowdown: f64,
+}
+
+impl fmt::Display for FaultImpact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:.3}x step time", self.fault, self.slowdown)
+    }
+}
+
+/// The result of re-planning against faulted hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanOutcome {
+    /// The adopted plan (the old plan when it was not beaten).
+    pub plan: PlanTree,
+    /// Whether the adopted plan differs from the old one.
+    pub replanned: bool,
+    /// The surviving array (a clone of the input unless leaves dropped).
+    pub array: AcceleratorArray,
+    /// The surviving healthy tree (rebuilt after dropout).
+    pub tree: GroupTree,
+    /// The effective fault model on the surviving tree (dropouts removed,
+    /// leaf faults re-targeted by board identity).
+    pub faults: FaultModel,
+    /// Faults that could not be carried over to the surviving tree.
+    pub discarded: Vec<Fault>,
+    /// Step time of the old plan on the healthy hardware.
+    pub nominal_secs: f64,
+    /// Step time of the old plan on the degraded hardware — `None` when
+    /// dropout made the old plan unrunnable.
+    pub degraded_old_secs: Option<f64>,
+    /// Step time of the adopted plan on the degraded hardware. Never
+    /// greater than `degraded_old_secs` when that is `Some`.
+    pub degraded_secs: f64,
+    /// Layer-wise differences between the old and adopted plans (empty
+    /// when the tree changed shape and entries are not comparable).
+    pub deltas: Vec<PlanDelta>,
+    /// Per-fault solo slowdowns of the original plan (empty unless
+    /// [`ReplanConfig::sensitivity`] is set).
+    pub sensitivity: Vec<FaultImpact>,
+}
+
+impl ReplanOutcome {
+    /// Speedup of the adopted plan over the old plan on the degraded
+    /// hardware (`None` when the old plan cannot run there).
+    #[must_use]
+    pub fn speedup(&self) -> Option<f64> {
+        self.degraded_old_secs.map(|old| old / self.degraded_secs)
+    }
+
+    /// Slowdown of the degraded (adopted) step versus the nominal step.
+    #[must_use]
+    pub fn degradation(&self) -> f64 {
+        if self.nominal_secs > 0.0 {
+            self.degraded_secs / self.nominal_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+impl fmt::Display for ReplanOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nominal {:.3} ms, degraded {:.3} ms ({:.2}x)",
+            self.nominal_secs * 1e3,
+            self.degraded_secs * 1e3,
+            self.degradation()
+        )?;
+        match self.speedup() {
+            Some(s) if self.replanned => write!(f, "; replanned, {s:.2}x over stale plan")?,
+            Some(_) => write!(f, "; stale plan kept")?,
+            None => write!(f, "; replanned after dropout")?,
+        }
+        if !self.discarded.is_empty() {
+            write!(f, "; {} fault(s) discarded", self.discarded.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Re-plans `plan` for `view` on the faulted version of `array`/`tree`.
+///
+/// See the [module docs](self) for the algorithm. The adopted plan's
+/// degraded step time is guaranteed to be at most the old plan's
+/// degraded step time whenever the old plan can still run.
+///
+/// # Errors
+///
+/// Propagates search and simulation errors; [`PlanError::Hw`] with
+/// [`HwError::EmptyArray`](accpar_hw::HwError::EmptyArray) when every
+/// board dropped out; [`PlanError::ReplanInfeasible`] when the surviving
+/// array cannot host a hierarchical plan at all.
+pub fn replan(
+    view: &TrainView,
+    array: &AcceleratorArray,
+    tree: &GroupTree,
+    plan: &PlanTree,
+    faults: &FaultModel,
+    config: &ReplanConfig,
+) -> Result<ReplanOutcome, PlanError> {
+    replan_inner(view, array, tree, plan, faults, config, config.sensitivity)
+}
+
+fn replan_inner(
+    view: &TrainView,
+    array: &AcceleratorArray,
+    tree: &GroupTree,
+    plan: &PlanTree,
+    faults: &FaultModel,
+    config: &ReplanConfig,
+    with_sensitivity: bool,
+) -> Result<ReplanOutcome, PlanError> {
+    let sim = Simulator::new(config.sim_config);
+    let nominal_secs = sim.simulate(view, plan, tree)?.total_secs;
+
+    // Survive dropout: remove dropped boards and carry the remaining
+    // faults over to the rebuilt tree.
+    let dropped = faults.dropped_leaves();
+    let (surv_array, surv_tree, eff_faults, discarded) = if dropped.is_empty() {
+        (array.clone(), tree.clone(), faults.clone(), Vec::new())
+    } else {
+        let (reduced, rebuilt) = tree.without_leaves(array, &dropped)?;
+        let (eff, discarded) = carry_over(tree, &rebuilt, faults, &dropped)?;
+        (reduced, rebuilt, eff, discarded)
+    };
+
+    let degraded_old_secs = if dropped.is_empty() {
+        Some(
+            sim.simulate_faulted(view, plan, &surv_tree, &eff_faults)?
+                .total_secs,
+        )
+    } else {
+        None
+    };
+
+    // Re-run the layer-wise DP against the degraded capabilities.
+    let degraded_tree = surv_tree.degraded(&eff_faults).map_err(PlanError::Hw)?;
+    let model = CostModel::new(config.cost_config);
+    let search = SearchConfig {
+        types: PartitionType::ALL.to_vec(),
+        solver: config.solver,
+    };
+    let candidate = plan_node(view, degraded_tree.root(), &model, &search, None)?
+        .ok_or_else(|| {
+            PlanError::ReplanInfeasible(
+                "the surviving array cannot be bisected into a hierarchy".into(),
+            )
+        })?;
+    let candidate_secs = sim
+        .simulate_faulted(view, &candidate, &surv_tree, &eff_faults)?
+        .total_secs;
+
+    // Never-worse guarantee: keep the stale plan unless the fresh search
+    // actually beats it on the degraded hardware.
+    let (adopted, degraded_secs) = match degraded_old_secs {
+        Some(old) if old <= candidate_secs => (plan.clone(), old),
+        _ => (candidate, candidate_secs),
+    };
+    let replanned = adopted != *plan;
+    let deltas = diff_plans(plan, &adopted);
+
+    let sensitivity = if with_sensitivity {
+        let mut impacts = Vec::with_capacity(faults.faults().len());
+        for fault in faults.faults() {
+            let solo = FaultModel::with_seed(faults.seed()).push(*fault)?;
+            let secs = match fault.kind {
+                FaultKind::Dropout => {
+                    replan_inner(view, array, tree, plan, &solo, config, false)?.degraded_secs
+                }
+                _ => {
+                    sim.simulate_faulted(view, plan, tree, &solo)?
+                        .total_secs
+                }
+            };
+            let slowdown = if nominal_secs > 0.0 {
+                secs / nominal_secs
+            } else {
+                1.0
+            };
+            impacts.push(FaultImpact {
+                fault: *fault,
+                slowdown,
+            });
+        }
+        impacts
+    } else {
+        Vec::new()
+    };
+
+    Ok(ReplanOutcome {
+        plan: adopted,
+        replanned,
+        array: surv_array,
+        tree: surv_tree,
+        faults: eff_faults,
+        discarded,
+        nominal_secs,
+        degraded_old_secs,
+        degraded_secs,
+        deltas,
+        sensitivity,
+    })
+}
+
+/// Carries the non-dropout faults of `faults` over from `old` to the
+/// rebuilt `new` tree. Leaf faults follow their board: the fault lands
+/// on whichever new leaf owns the old leaf's first board. Faults on
+/// dropped leaves and all cut faults (the pre-order numbering died with
+/// the old shape) are returned as discarded.
+fn carry_over(
+    old: &GroupTree,
+    new: &GroupTree,
+    faults: &FaultModel,
+    dropped: &[usize],
+) -> Result<(FaultModel, Vec<Fault>), PlanError> {
+    let old_leaves: Vec<_> = old.root().leaves().collect();
+    let dropped_boards: Vec<usize> = dropped
+        .iter()
+        .flat_map(|&l| old_leaves[l].group().shares().iter().map(|s| s.board))
+        .collect();
+    let mut eff = FaultModel::with_seed(faults.seed());
+    let mut discarded = Vec::new();
+    for fault in faults.faults() {
+        let carried = match fault.target {
+            FaultTarget::Leaf(leaf) if !dropped.contains(&leaf) => {
+                old_leaves
+                    .get(leaf)
+                    .and_then(|node| node.group().shares().first())
+                    .and_then(|share| {
+                        // The board's index in the reduced array: shifted
+                        // down by the dropped boards numbered below it.
+                        let below = dropped_boards.iter().filter(|&&b| b < share.board).count();
+                        leaf_of_board(new, share.board - below)
+                    })
+                    .map(|new_leaf| Fault {
+                        target: FaultTarget::Leaf(new_leaf),
+                        kind: fault.kind,
+                    })
+            }
+            FaultTarget::Leaf(_) | FaultTarget::Cut(_) => None,
+        };
+        match carried {
+            Some(f) if !matches!(f.kind, FaultKind::Dropout) => {
+                eff = eff.push(f)?;
+            }
+            _ => discarded.push(*fault),
+        }
+    }
+    Ok((eff, discarded))
+}
+
+/// The leaf index (left to right) owning `board` in `tree`.
+fn leaf_of_board(tree: &GroupTree, board: usize) -> Option<usize> {
+    tree.root()
+        .leaves()
+        .position(|leaf| leaf.group().shares().iter().any(|s| s.board == board))
+}
+
+/// Layer-wise differences between two plan trees of the same shape
+/// (pre-order over nodes). Trees of different shapes — e.g. after
+/// dropout shrank the hierarchy — are not comparable entry by entry, so
+/// only the common prefix of the structure is diffed.
+fn diff_plans(old: &PlanTree, new: &PlanTree) -> Vec<PlanDelta> {
+    fn rec(old: &PlanTree, new: &PlanTree, node: &mut usize, out: &mut Vec<PlanDelta>) {
+        let idx = *node;
+        *node += 1;
+        for (layer, (o, n)) in old
+            .plan()
+            .layers()
+            .iter()
+            .zip(new.plan().layers())
+            .enumerate()
+        {
+            if o.ptype != n.ptype || (o.ratio.value() - n.ratio.value()).abs() > 1e-12 {
+                out.push(PlanDelta {
+                    node: idx,
+                    layer,
+                    old: *o,
+                    new: *n,
+                });
+            }
+        }
+        if let (Some((ol, or)), Some((nl, nr))) = (old.children(), new.children()) {
+            rec(ol, nl, node, out);
+            rec(or, nr, node, out);
+        }
+    }
+    let mut out = Vec::new();
+    rec(old, new, &mut 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Planner, Strategy};
+    use accpar_dnn::zoo;
+    use accpar_hw::HwError;
+
+    fn setup(
+        v2: usize,
+        v3: usize,
+        levels: usize,
+    ) -> (TrainView, AcceleratorArray, GroupTree, PlanTree) {
+        let net = zoo::lenet(256).unwrap();
+        let view = net.train_view().unwrap();
+        let array = AcceleratorArray::heterogeneous_tpu(v2, v3);
+        let tree = GroupTree::bisect(&array, levels).unwrap();
+        let plan = Planner::new(&net, &array)
+            .with_levels(levels)
+            .plan(Strategy::AccPar)
+            .unwrap()
+            .plan()
+            .clone();
+        (view, array, tree, plan)
+    }
+
+    #[test]
+    fn replan_never_worse_under_straggler_and_link_faults() {
+        let (view, array, tree, plan) = setup(2, 2, 2);
+        // The acceptance scenario: one TPU-v2 leaf at half compute, one
+        // cut at quarter bandwidth.
+        let faults = FaultModel::with_seed(7)
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .degrade_cut(1, 0.25)
+            .unwrap();
+        let outcome = replan(&view, &array, &tree, &plan, &faults, &ReplanConfig::default())
+            .unwrap();
+        let old = outcome.degraded_old_secs.unwrap();
+        assert!(
+            outcome.degraded_secs <= old * (1.0 + 1e-12),
+            "replanned {} vs stale {}",
+            outcome.degraded_secs,
+            old
+        );
+        // The stale plan on strictly weaker hardware is at least as slow
+        // as on healthy hardware (the adopted plan may beat the nominal
+        // time though — the search optimizes the model, not the sim).
+        assert!(old >= outcome.nominal_secs * (1.0 - 1e-12));
+        assert_eq!(outcome.sensitivity.len(), 2);
+        for impact in &outcome.sensitivity {
+            assert!(impact.slowdown >= 1.0 - 1e-12, "{impact}");
+        }
+        assert_eq!(outcome.replanned, !outcome.deltas.is_empty());
+        // Determinism: the whole pipeline is seeded and analytic.
+        let again = replan(&view, &array, &tree, &plan, &faults, &ReplanConfig::default())
+            .unwrap();
+        assert_eq!(outcome, again);
+    }
+
+    #[test]
+    fn replan_with_no_faults_keeps_the_plan() {
+        let (view, array, tree, plan) = setup(1, 1, 1);
+        let outcome = replan(
+            &view,
+            &array,
+            &tree,
+            &plan,
+            &FaultModel::new(),
+            &ReplanConfig::default(),
+        )
+        .unwrap();
+        assert!(!outcome.replanned);
+        assert_eq!(outcome.plan, plan);
+        assert!(outcome.deltas.is_empty());
+        assert_eq!(outcome.degraded_old_secs, Some(outcome.degraded_secs));
+        assert!((outcome.degradation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn severe_straggler_forces_a_ratio_shift() {
+        // Table 7 arrays are network-bound, where a straggler hides
+        // behind link time — use a compute-bound array (fat 1 TB/s
+        // links, 1 TFLOPS boards) so the slowdown actually bites.
+        use accpar_hw::AcceleratorSpec;
+        let net = zoo::lenet(256).unwrap();
+        let view = net.train_view().unwrap();
+        let spec = AcceleratorSpec::new("cb", 1e12, 1 << 34, 100e9, 1e12, 8, 1e12).unwrap();
+        let array = AcceleratorArray::homogeneous(spec, 2);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        let plan = Planner::new(&net, &array)
+            .with_levels(1)
+            .plan(Strategy::AccPar)
+            .unwrap()
+            .plan()
+            .clone();
+        // One board collapses to 10% of its compute: the balanced split
+        // is now badly wrong and the replanner must move work over.
+        let faults = FaultModel::new().slow_leaf(1, 0.1).unwrap();
+        let outcome = replan(&view, &array, &tree, &plan, &faults, &ReplanConfig::default())
+            .unwrap();
+        assert!(outcome.replanned, "expected a new plan");
+        assert!(!outcome.deltas.is_empty());
+        assert!(outcome.speedup().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn dropout_replans_on_the_reduced_array() {
+        let (view, array, tree, plan) = setup(2, 2, 2);
+        let faults = FaultModel::new()
+            .drop_leaf(3)
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .degrade_cut(0, 0.5)
+            .unwrap();
+        let outcome = replan(&view, &array, &tree, &plan, &faults, &ReplanConfig::default())
+            .unwrap();
+        assert!(outcome.replanned);
+        assert_eq!(outcome.degraded_old_secs, None);
+        assert_eq!(outcome.array.len(), 3);
+        // The straggler fault survives (board identity preserved); the
+        // cut fault dies with the old shape.
+        assert_eq!(outcome.faults.faults().len(), 1);
+        assert_eq!(outcome.discarded.len(), 2);
+        assert!(outcome.degraded_secs > 0.0);
+        assert!(outcome.to_string().contains("dropout"));
+        // The adopted plan actually runs on the surviving hardware.
+        let report = Simulator::new(ReplanConfig::default().sim_config)
+            .simulate_faulted(&view, &outcome.plan, &outcome.tree, &outcome.faults)
+            .unwrap();
+        assert!((report.total_secs - outcome.degraded_secs).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dropping_every_leaf_is_infeasible() {
+        let (view, array, tree, plan) = setup(1, 1, 1);
+        let faults = FaultModel::new().drop_leaf(0).drop_leaf(1);
+        let err = replan(&view, &array, &tree, &plan, &faults, &ReplanConfig::default())
+            .unwrap_err();
+        assert_eq!(err, PlanError::Hw(HwError::EmptyArray));
+    }
+
+    #[test]
+    fn sensitivity_ranks_the_heavier_fault_higher() {
+        let (view, array, tree, plan) = setup(1, 1, 1);
+        let faults = FaultModel::new()
+            .slow_leaf(0, 0.9)
+            .unwrap()
+            .slow_leaf(1, 0.3)
+            .unwrap();
+        let outcome = replan(&view, &array, &tree, &plan, &faults, &ReplanConfig::default())
+            .unwrap();
+        assert_eq!(outcome.sensitivity.len(), 2);
+        // Slowing the (more loaded) v3 board to 30% must hurt more than
+        // shaving 10% off the v2 board.
+        assert!(outcome.sensitivity[1].slowdown > outcome.sensitivity[0].slowdown);
+    }
+
+    #[test]
+    fn sensitivity_can_be_disabled() {
+        let (view, array, tree, plan) = setup(1, 1, 1);
+        let faults = FaultModel::new().slow_leaf(0, 0.5).unwrap();
+        let config = ReplanConfig {
+            sensitivity: false,
+            ..ReplanConfig::default()
+        };
+        let outcome = replan(&view, &array, &tree, &plan, &faults, &config).unwrap();
+        assert!(outcome.sensitivity.is_empty());
+    }
+}

@@ -143,7 +143,8 @@ impl<'a> LevelSearcher<'a> {
     /// # Errors
     ///
     /// Returns [`PlanError::EmptySearchSpace`] when the configuration
-    /// admits no types.
+    /// admits no types, and [`PlanError::Mismatch`] when `scales` does
+    /// not carry one entry per weighted layer.
     pub fn new(
         view: &'a TrainView,
         model: &'a CostModel,
@@ -157,11 +158,13 @@ impl<'a> LevelSearcher<'a> {
         let mut layers: Vec<&TrainLayer> = view.layers().collect();
         layers.sort_by_key(|l| l.index());
         let scales = scales.unwrap_or_else(|| vec![ShardScales::full(); layers.len()]);
-        assert_eq!(
-            scales.len(),
-            layers.len(),
-            "one shard scale per weighted layer"
-        );
+        if scales.len() != layers.len() {
+            return Err(PlanError::Mismatch(format!(
+                "{} shard scales for {} weighted layers",
+                scales.len(),
+                layers.len()
+            )));
+        }
         let ratios: Vec<Vec<Ratio>> = layers
             .iter()
             .zip(&scales)
@@ -395,13 +398,18 @@ impl<'a> LevelSearcher<'a> {
     /// `search().cost <= evaluate_plan(p)` for every plan `p`, which the
     /// random-plan property tests assert.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `plan` has the wrong number of layers or uses a type
-    /// outside this searcher's configured space.
-    #[must_use]
-    pub fn evaluate_plan(&self, plan: &NetworkPlan) -> f64 {
-        assert_eq!(plan.len(), self.layers.len(), "one entry per weighted layer");
+    /// Returns [`PlanError::Mismatch`] if `plan` has the wrong number of
+    /// layers or uses a type outside this searcher's configured space.
+    pub fn evaluate_plan(&self, plan: &NetworkPlan) -> Result<f64, PlanError> {
+        if plan.len() != self.layers.len() {
+            return Err(PlanError::Mismatch(format!(
+                "plan has {} entries for {} weighted layers",
+                plan.len(),
+                self.layers.len()
+            )));
+        }
         let forced: Vec<usize> = plan
             .layers()
             .iter()
@@ -410,10 +418,15 @@ impl<'a> LevelSearcher<'a> {
                     .types
                     .iter()
                     .position(|&t| t == entry.ptype)
-                    .expect("plan type must be in the search space")
+                    .ok_or_else(|| {
+                        PlanError::Mismatch(format!(
+                            "plan type {:?} is outside the configured search space",
+                            entry.ptype
+                        ))
+                    })
             })
-            .collect();
-        self.search_constrained(Some(&forced)).cost
+            .collect::<Result<_, _>>()?;
+        Ok(self.search_constrained(Some(&forced)).cost)
     }
 
     /// The DP with an optional per-layer forced type assignment.
@@ -880,7 +893,7 @@ mod tests {
         for view in [fc_view(64, &[100, 200, 50]), res_view()] {
             let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
             let outcome = s.search();
-            let evaluated = s.evaluate_plan(&outcome.plan);
+            let evaluated = s.evaluate_plan(&outcome.plan).unwrap();
             assert!(
                 (evaluated - outcome.cost).abs() <= 1e-12 * outcome.cost,
                 "search {} vs evaluate {}",
@@ -908,7 +921,7 @@ mod tests {
                         LayerPlan::new(t, Ratio::EQUAL)
                     })
                     .collect();
-                let cost = s.evaluate_plan(&plan);
+                let cost = s.evaluate_plan(&plan).unwrap();
                 assert!(
                     best <= cost * (1.0 + 1e-12),
                     "seed {seed}: search {best} vs plan {cost}"
@@ -918,7 +931,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "plan type must be in the search space")]
     fn evaluate_plan_rejects_types_outside_the_space() {
         let env = hetero_env();
         let model = CostModel::new(CostConfig::hypar());
@@ -926,7 +938,27 @@ mod tests {
         let view = fc_view(8, &[4, 4]);
         let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
         let plan = NetworkPlan::uniform(1, LayerPlan::new(PartitionType::TypeIII, Ratio::EQUAL));
-        let _ = s.evaluate_plan(&plan);
+        let err = s.evaluate_plan(&plan).unwrap_err();
+        assert!(matches!(err, PlanError::Mismatch(_)), "{err}");
+        assert!(err.to_string().contains("search space"), "{err}");
+    }
+
+    #[test]
+    fn evaluate_plan_rejects_wrong_layer_counts_and_bad_scales() {
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        let view = fc_view(8, &[4, 4, 4]);
+        let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        let short = NetworkPlan::uniform(1, LayerPlan::data_parallel());
+        let err = s.evaluate_plan(&short).unwrap_err();
+        assert!(matches!(err, PlanError::Mismatch(_)), "{err}");
+
+        let bad_scales = Some(vec![ShardScales::full(); 1]);
+        let err =
+            LevelSearcher::new(&view, &model, &config, &env, bad_scales).unwrap_err();
+        assert!(matches!(err, PlanError::Mismatch(_)), "{err}");
+        assert!(err.to_string().contains("shard scales"), "{err}");
     }
 
     #[test]

@@ -3,11 +3,10 @@ use accpar_dnn::TrainLayer;
 use accpar_hw::{GroupCaps, GroupNode};
 use accpar_partition::{PartitionType, Phase, Ratio, ShardScales};
 use accpar_tensor::DataFormat;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What the model minimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Objective {
     /// The AccPar objective: computation **and** communication time,
     /// heterogeneity-aware (Eq. 7 + Eq. 8).
@@ -20,7 +19,7 @@ pub enum Objective {
 }
 
 /// Configuration of a [`CostModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostConfig {
     /// Training data format; the paper uses bf16.
     pub format: DataFormat,
@@ -60,7 +59,7 @@ impl CostConfig {
 /// The execution environment of one bisection level: the two groups'
 /// aggregate capabilities and the bandwidth each uses to reach the other
 /// across the cut.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairEnv {
     /// First group's compute capabilities.
     pub caps_a: GroupCaps,
@@ -108,7 +107,7 @@ impl PairEnv {
 
 /// A cost borne by the two groups of a pair, in seconds (or element
 /// counts under [`Objective::CommOnly`]).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PairCost {
     /// Group A's cost.
     pub a: f64,

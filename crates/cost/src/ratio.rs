@@ -18,12 +18,11 @@
 use crate::model::{CostModel, Objective, PairEnv};
 use accpar_dnn::TrainLayer;
 use accpar_partition::{PartitionType, Phase, Ratio, ShardScales};
-use serde::{Deserialize, Serialize};
 
 use crate::{comm, compute};
 
 /// Strategy for choosing the per-layer partition ratio.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum RatioSolver {
     /// Eq. 10 verbatim: both cost terms scale with `α`;
     /// `α = K_j / (K_i + K_j)` with `K = E_cp(p) + E_cm(p)` at unit ratio.
@@ -114,7 +113,6 @@ mod tests {
     use accpar_dnn::NetworkBuilder;
     use accpar_hw::{AcceleratorArray, GroupTree};
     use accpar_tensor::FeatureShape;
-    use proptest::prelude::*;
 
     fn fc_layer(batch: usize, d_in: usize, d_out: usize) -> TrainLayer {
         NetworkBuilder::new("t", FeatureShape::fc(batch, d_in))
@@ -262,22 +260,25 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn ratio_shifting_work_to_the_solved_alpha_is_no_worse_than_equal(
-            batch in 8usize..256,
-            d_in in 8usize..512,
-            d_out in 8usize..512,
-            t_idx in 0usize..3,
-        ) {
-            let model = CostModel::new(CostConfig::default());
-            let env = hetero_env();
+    #[test]
+    fn ratio_shifting_work_to_the_solved_alpha_is_no_worse_than_equal() {
+        let model = CostModel::new(CostConfig::default());
+        let env = hetero_env();
+        for (batch, d_in, d_out) in
+            [(8, 8, 8), (32, 512, 64), (255, 9, 511), (128, 128, 128), (17, 333, 8)]
+        {
             let layer = fc_layer(batch, d_in, d_out);
-            let t = PartitionType::ALL[t_idx];
-            let alpha = RatioSolver::BalancedExact.solve(&model, &layer, t, &env, ShardScales::full());
-            let solved = model.layer_cost(&layer, t, alpha, &env, ShardScales::full()).makespan();
-            let equal = model.layer_cost(&layer, t, Ratio::EQUAL, &env, ShardScales::full()).makespan();
-            prop_assert!(solved <= equal + equal * 1e-12);
+            for &t in &PartitionType::ALL {
+                let alpha =
+                    RatioSolver::BalancedExact.solve(&model, &layer, t, &env, ShardScales::full());
+                let solved = model
+                    .layer_cost(&layer, t, alpha, &env, ShardScales::full())
+                    .makespan();
+                let equal = model
+                    .layer_cost(&layer, t, Ratio::EQUAL, &env, ShardScales::full())
+                    .makespan();
+                assert!(solved <= equal + equal * 1e-12);
+            }
         }
     }
 }

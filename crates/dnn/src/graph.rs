@@ -220,7 +220,12 @@ impl LayerGraph {
             }
             branches.push(branch);
         }
-        let join = join.expect("fork has at least two successors");
+        let join = join.ok_or_else(|| {
+            NetworkError::NotSeriesParallel(format!(
+                "fork `{}` has no outgoing branches",
+                self.nodes[fork].name()
+            ))
+        })?;
         if self.pred[join].len() != branches.len() {
             return Err(NetworkError::NotSeriesParallel(format!(
                 "join `{}` receives edges from outside the block",

@@ -1,11 +1,10 @@
 use crate::error::NetworkError;
 use accpar_tensor::{ConvGeometry, FeatureShape, KernelShape};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Pooling flavor; both reduce the spatial extent identically, so the
 /// distinction only matters for documentation and FLOP accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PoolKind {
     /// Max pooling.
     Max,
@@ -17,7 +16,7 @@ pub enum PoolKind {
 /// Element-wise non-linearity. Performed in place; it never affects
 /// partitioning (§3.1: "we do not include the element-wise multiplications
 /// in the space relations since they can be performed in place").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activation {
     /// Rectified linear unit.
     Relu,
@@ -33,7 +32,7 @@ pub enum Activation {
 /// carry a kernel `W_l` and therefore participate in the partition search;
 /// all other kinds transform shapes and contribute (minor) FLOPs but hold
 /// no partitionable weight tensor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// 2-D convolution with `c_in` input channels, `c_out` output channels
     /// and the given window geometry.
@@ -109,7 +108,7 @@ impl LayerKind {
 /// assert_eq!(out, FeatureShape::conv(8, 64, 32, 32));
 /// # Ok::<(), accpar_dnn::NetworkError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Layer {
     name: String,
     kind: LayerKind,

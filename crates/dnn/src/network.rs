@@ -1,11 +1,10 @@
 use crate::error::NetworkError;
 use crate::layer::Layer;
 use accpar_tensor::FeatureShape;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How the branches of a parallel block are combined.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JoinOp {
     /// Element-wise addition — the ResNet residual join. All branches must
     /// produce identical shapes.
@@ -16,7 +15,7 @@ pub enum JoinOp {
 }
 
 /// A layer with its resolved input and output feature shapes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlacedLayer {
     layer: Layer,
     input: FeatureShape,
@@ -44,7 +43,7 @@ impl PlacedLayer {
 }
 
 /// One element of a network's series-parallel trunk.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Segment {
     /// A single layer on the trunk.
     Single(PlacedLayer),
@@ -130,7 +129,7 @@ pub enum SegmentSpec {
 /// assert_eq!(net.output(), FeatureShape::fc(32, 10));
 /// # Ok::<(), accpar_dnn::NetworkError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Network {
     name: String,
     input: FeatureShape,

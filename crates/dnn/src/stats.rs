@@ -1,6 +1,5 @@
 use crate::network::Network;
 use accpar_tensor::DataFormat;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Aggregate size and compute statistics of a network.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert!(stats.params > 130_000_000 && stats.params < 140_000_000);
 /// # Ok::<(), accpar_dnn::NetworkError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Total weight-tensor elements across all weighted layers (biases,
     /// which never participate in partitioning, are excluded).

@@ -1,11 +1,10 @@
 use crate::error::NetworkError;
 use crate::network::{Network, PlacedLayer, Segment};
 use accpar_tensor::{FeatureShape, KernelShape};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether a weighted layer is fully-connected or convolutional.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WeightedKind {
     /// Fully-connected: the three phases are matrix-matrix products.
     Fc,
@@ -41,7 +40,7 @@ impl WeightedKind {
 /// `out_fmap` is this layer's own `F_{l+1}` (shared with `E_{l+1}`),
 /// `weight` is `W_l` (shared with `ΔW_l`), and `d_in` / `d_out` are
 /// `D_{i,l}` / `D_{o,l}`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrainLayer {
     pub(crate) index: usize,
     pub(crate) name: String,
@@ -172,7 +171,7 @@ impl fmt::Display for TrainLayer {
 }
 
 /// One element of the series-parallel chain the search walks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrainElem {
     /// A single weighted layer on the trunk.
     Layer(TrainLayer),
@@ -212,7 +211,7 @@ impl TrainElem {
 /// assert!(view.layers().all(|l| l.batch() == 128));
 /// # Ok::<(), accpar_dnn::NetworkError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrainView {
     batch: usize,
     elems: Vec<TrainElem>,
@@ -346,7 +345,7 @@ impl TrainView {
 
 /// A tensor-conversion edge between two weighted layers (see
 /// [`TrainView::conversion_edges`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrainEdge {
     /// Weighted index of the producing layer.
     pub from: usize,

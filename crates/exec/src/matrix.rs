@@ -1,12 +1,11 @@
 //! A minimal dense `f64` matrix — just enough linear algebra for the
 //! semantics oracle.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
 
 /// A dense row-major `f64` matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -1,9 +1,8 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Communication meter: every element fetched from the sibling device,
 /// bucketed the way the paper's cost model buckets it.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CommMeter {
     /// `intra[l][d]` — partial-sum elements device `d` fetched for layer
     /// `l` (Table 4 traffic).

@@ -1,10 +1,9 @@
 use crate::matrix::Matrix;
 use accpar_partition::PartitionType;
-use serde::{Deserialize, Serialize};
 
 /// The activation used between layers. Both runs apply it identically,
 /// so equality checks remain exact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Activation {
     /// `f(x) = x`, `f'(x) = 1` — keeps the algebra fully linear.
     #[default]
@@ -36,7 +35,7 @@ impl Activation {
 /// One fully-connected layer of the oracle network, with its partition
 /// decision: the type and the *integer* share of the partitioned
 /// dimension assigned to device 0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerSpec {
     /// Input features `D_{i,l}`.
     pub d_in: usize,
@@ -76,7 +75,7 @@ impl LayerSpec {
 
 /// A full training-step specification: batch size, layers with partition
 /// decisions, and the activation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepSpec {
     /// Mini-batch size `B`.
     pub batch: usize,

@@ -1,5 +1,4 @@
 use crate::spec::AcceleratorSpec;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An ordered collection of accelerator boards.
@@ -19,7 +18,7 @@ use std::fmt;
 /// // Aggregate compute: 128·180T + 128·420T.
 /// assert_eq!(array.total_flops(), 128.0 * 180e12 + 128.0 * 420e12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorArray {
     boards: Vec<AcceleratorSpec>,
 }

@@ -16,6 +16,9 @@ pub enum HwError {
     },
     /// An accelerator specification contained a non-positive rate.
     InvalidSpec(String),
+    /// A fault was malformed or targeted a leaf/cut the tree does not
+    /// have.
+    InvalidFault(String),
 }
 
 impl fmt::Display for HwError {
@@ -27,6 +30,7 @@ impl fmt::Display for HwError {
                 "hierarchy of {requested} levels exceeds the array's maximum of {max}"
             ),
             HwError::InvalidSpec(msg) => write!(f, "invalid accelerator spec: {msg}"),
+            HwError::InvalidFault(msg) => write!(f, "invalid fault: {msg}"),
         }
     }
 }

@@ -1,0 +1,501 @@
+//! Deterministic fault injection for accelerator arrays.
+//!
+//! A [`FaultModel`] is a seeded, reproducible set of hardware
+//! misbehaviors applied to a [`GroupTree`](crate::GroupTree):
+//!
+//! * **compute slowdown** — a leaf group (straggler) runs at a fraction
+//!   of its peak FLOP/s;
+//! * **bandwidth degradation** — the link at one bisection cut delivers
+//!   a fraction of its nominal bytes/s;
+//! * **transient stall** — a leaf stalls for a fixed window at the start
+//!   of every training step (e.g. ECC scrubbing, preemption);
+//! * **dropout** — a leaf is gone entirely; plans touching it cannot
+//!   run and the planner must re-plan on the reduced array.
+//!
+//! Targets are indices into the tree the model is applied to:
+//! [`FaultTarget::Leaf`] counts leaves left to right,
+//! [`FaultTarget::Cut`] counts internal nodes in pre-order — the same
+//! orders the simulator's geometry walk uses, so a fault lands on
+//! exactly the group/link the simulator charges.
+//!
+//! Factors are *remaining capability* in `(0, 1]`: a leaf at `0.5`
+//! compute runs at half speed; a cut at `0.25` bandwidth moves bytes at
+//! a quarter of its nominal rate.
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_hw::{FaultModel, FaultTarget};
+//!
+//! // One straggler leaf at half speed, one cut at quarter bandwidth.
+//! let faults = FaultModel::new()
+//!     .slow_leaf(0, 0.5)?
+//!     .degrade_cut(1, 0.25)?;
+//! assert_eq!(faults.compute_factor(0), 0.5);
+//! assert_eq!(faults.bandwidth_factor(1), 0.25);
+//! assert!(!faults.is_dropped(0));
+//! # Ok::<(), accpar_hw::HwError>(())
+//! ```
+
+use crate::error::HwError;
+use crate::rng::StdRng;
+use std::fmt;
+
+/// What a fault hits: one leaf group or one bisection cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A leaf of the group tree, counted left to right.
+    Leaf(usize),
+    /// An internal node's cut link, counted in pre-order.
+    Cut(usize),
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTarget::Leaf(i) => write!(f, "leaf {i}"),
+            FaultTarget::Cut(i) => write!(f, "cut {i}"),
+        }
+    }
+}
+
+/// How the target misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The target computes at `factor` of its nominal FLOP/s
+    /// (`0 < factor <= 1`; only meaningful on leaves).
+    ComputeSlowdown {
+        /// Remaining compute capability.
+        factor: f64,
+    },
+    /// The target's link moves bytes at `factor` of its nominal rate
+    /// (`0 < factor <= 1`; only meaningful on cuts).
+    BandwidthDegradation {
+        /// Remaining bandwidth capability.
+        factor: f64,
+    },
+    /// The target is unavailable for `secs` at the start of every step
+    /// (only meaningful on leaves).
+    TransientStall {
+        /// Stall window in seconds.
+        secs: f64,
+    },
+    /// The target is gone entirely (only meaningful on leaves).
+    Dropout,
+}
+
+impl FaultKind {
+    /// Validates the kind's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when a factor is outside
+    /// `(0, 1]` or a stall window is negative or non-finite.
+    pub fn validate(&self) -> Result<(), HwError> {
+        match *self {
+            FaultKind::ComputeSlowdown { factor } | FaultKind::BandwidthDegradation { factor } => {
+                if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                    return Err(HwError::InvalidFault(format!(
+                        "fault factor must be in (0, 1], got {factor}"
+                    )));
+                }
+            }
+            FaultKind::TransientStall { secs } => {
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(HwError::InvalidFault(format!(
+                        "stall window must be non-negative and finite, got {secs}"
+                    )));
+                }
+            }
+            FaultKind::Dropout => {}
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::ComputeSlowdown { factor } => write!(f, "compute at {factor:.2}x"),
+            FaultKind::BandwidthDegradation { factor } => write!(f, "bandwidth at {factor:.2}x"),
+            FaultKind::TransientStall { secs } => write!(f, "stall {:.3} ms", secs * 1e3),
+            FaultKind::Dropout => write!(f, "dropout"),
+        }
+    }
+}
+
+/// One injected fault: a target and a kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// What the fault hits.
+    pub target: FaultTarget,
+    /// How the target misbehaves.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.target, self.kind)
+    }
+}
+
+/// A deterministic, seeded set of injected faults.
+///
+/// Construct with the chainable builders ([`slow_leaf`](Self::slow_leaf),
+/// [`degrade_cut`](Self::degrade_cut), [`stall_leaf`](Self::stall_leaf),
+/// [`drop_leaf`](Self::drop_leaf)) or sample a random scenario with
+/// [`random`](Self::random). The seed is carried alongside the faults so
+/// a scenario can always be reported and regenerated.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultModel {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultModel {
+    /// An empty fault model (seed 0, no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty fault model carrying an explicit seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Samples `n_faults` random faults over `n_leaves` leaves and
+    /// `n_cuts` cuts, fully determined by `seed`: compute factors in
+    /// `[0.25, 0.95]`, bandwidth factors in `[0.1, 0.9]`, stall windows
+    /// in `[0.1, 10]` ms. Dropout is never sampled — it changes the
+    /// array shape and is injected explicitly when wanted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when the tree has no leaves or
+    /// no cuts to target.
+    pub fn random(
+        seed: u64,
+        n_leaves: usize,
+        n_cuts: usize,
+        n_faults: usize,
+    ) -> Result<Self, HwError> {
+        if n_leaves == 0 {
+            return Err(HwError::InvalidFault(
+                "cannot sample faults over zero leaves".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = Self::with_seed(seed);
+        for _ in 0..n_faults {
+            let roll = if n_cuts == 0 {
+                // Only leaf faults are possible.
+                rng.gen_range(0, 2) * 2
+            } else {
+                rng.gen_range(0, 3)
+            };
+            model = match roll {
+                0 => {
+                    let leaf = rng.gen_range(0, n_leaves);
+                    model.slow_leaf(leaf, rng.gen_range_f64(0.25, 0.95))?
+                }
+                1 => {
+                    let cut = rng.gen_range(0, n_cuts);
+                    model.degrade_cut(cut, rng.gen_range_f64(0.1, 0.9))?
+                }
+                _ => {
+                    let leaf = rng.gen_range(0, n_leaves);
+                    model.stall_leaf(leaf, rng.gen_range_f64(1e-4, 1e-2))?
+                }
+            };
+        }
+        Ok(model)
+    }
+
+    /// Adds a validated fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when the kind's parameters are
+    /// out of range (see [`FaultKind::validate`]).
+    pub fn push(mut self, fault: Fault) -> Result<Self, HwError> {
+        fault.kind.validate()?;
+        self.faults.push(fault);
+        Ok(self)
+    }
+
+    /// Adds a compute slowdown on a leaf: it runs at `factor` of its
+    /// nominal FLOP/s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] unless `0 < factor <= 1`.
+    pub fn slow_leaf(self, leaf: usize, factor: f64) -> Result<Self, HwError> {
+        self.push(Fault {
+            target: FaultTarget::Leaf(leaf),
+            kind: FaultKind::ComputeSlowdown { factor },
+        })
+    }
+
+    /// Adds a bandwidth degradation on a cut: its link moves bytes at
+    /// `factor` of the nominal rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] unless `0 < factor <= 1`.
+    pub fn degrade_cut(self, cut: usize, factor: f64) -> Result<Self, HwError> {
+        self.push(Fault {
+            target: FaultTarget::Cut(cut),
+            kind: FaultKind::BandwidthDegradation { factor },
+        })
+    }
+
+    /// Adds a transient stall window on a leaf: it is unavailable for
+    /// `secs` at the start of every step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] unless `secs` is non-negative
+    /// and finite.
+    pub fn stall_leaf(self, leaf: usize, secs: f64) -> Result<Self, HwError> {
+        self.push(Fault {
+            target: FaultTarget::Leaf(leaf),
+            kind: FaultKind::TransientStall { secs },
+        })
+    }
+
+    /// Drops a leaf entirely.
+    #[must_use]
+    pub fn drop_leaf(mut self, leaf: usize) -> Self {
+        self.faults.push(Fault {
+            target: FaultTarget::Leaf(leaf),
+            kind: FaultKind::Dropout,
+        });
+        self
+    }
+
+    /// The seed this scenario was built with.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The injected faults, in insertion order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the model injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Remaining compute capability of a leaf: the product of all
+    /// compute-slowdown factors targeting it (1.0 when unfaulted).
+    #[must_use]
+    pub fn compute_factor(&self, leaf: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match (f.target, f.kind) {
+                (FaultTarget::Leaf(i), FaultKind::ComputeSlowdown { factor }) if i == leaf => {
+                    Some(factor)
+                }
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Remaining bandwidth capability of a cut: the product of all
+    /// bandwidth-degradation factors targeting it (1.0 when unfaulted).
+    #[must_use]
+    pub fn bandwidth_factor(&self, cut: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match (f.target, f.kind) {
+                (FaultTarget::Cut(i), FaultKind::BandwidthDegradation { factor }) if i == cut => {
+                    Some(factor)
+                }
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Total per-step stall window of a leaf, in seconds.
+    #[must_use]
+    pub fn stall_secs(&self, leaf: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match (f.target, f.kind) {
+                (FaultTarget::Leaf(i), FaultKind::TransientStall { secs }) if i == leaf => {
+                    Some(secs)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Whether a leaf is dropped.
+    #[must_use]
+    pub fn is_dropped(&self, leaf: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                (f.target, f.kind),
+                (FaultTarget::Leaf(i), FaultKind::Dropout) if i == leaf
+            )
+        })
+    }
+
+    /// The dropped leaves, deduplicated, in increasing order.
+    #[must_use]
+    pub fn dropped_leaves(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .faults
+            .iter()
+            .filter_map(|f| match (f.target, f.kind) {
+                (FaultTarget::Leaf(i), FaultKind::Dropout) => Some(i),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Checks every target against a tree shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when a leaf target is `>=
+    /// n_leaves` or a cut target is `>= n_cuts`.
+    pub fn validate_for(&self, n_leaves: usize, n_cuts: usize) -> Result<(), HwError> {
+        for fault in &self.faults {
+            match fault.target {
+                FaultTarget::Leaf(i) if i >= n_leaves => {
+                    return Err(HwError::InvalidFault(format!(
+                        "fault targets leaf {i} but the tree has {n_leaves} leaves"
+                    )));
+                }
+                FaultTarget::Cut(i) if i >= n_cuts => {
+                    return Err(HwError::InvalidFault(format!(
+                        "fault targets cut {i} but the tree has {n_cuts} cuts"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "no faults (seed {})", self.seed);
+        }
+        write!(f, "seed {}: ", self.seed)?;
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_and_validate() {
+        let m = FaultModel::with_seed(7)
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .degrade_cut(2, 0.25)
+            .unwrap()
+            .stall_leaf(1, 0.002)
+            .unwrap()
+            .drop_leaf(3);
+        assert_eq!(m.seed(), 7);
+        assert_eq!(m.faults().len(), 4);
+        assert_eq!(m.compute_factor(0), 0.5);
+        assert_eq!(m.compute_factor(1), 1.0);
+        assert_eq!(m.bandwidth_factor(2), 0.25);
+        assert_eq!(m.stall_secs(1), 0.002);
+        assert!(m.is_dropped(3));
+        assert_eq!(m.dropped_leaves(), vec![3]);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(FaultModel::new().slow_leaf(0, 0.0).is_err());
+        assert!(FaultModel::new().slow_leaf(0, 1.5).is_err());
+        assert!(FaultModel::new().slow_leaf(0, f64::NAN).is_err());
+        assert!(FaultModel::new().degrade_cut(0, -0.1).is_err());
+        assert!(FaultModel::new().stall_leaf(0, -1.0).is_err());
+        assert!(FaultModel::new().stall_leaf(0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn repeated_faults_compound() {
+        let m = FaultModel::new()
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .stall_leaf(0, 0.001)
+            .unwrap()
+            .stall_leaf(0, 0.002)
+            .unwrap();
+        assert_eq!(m.compute_factor(0), 0.25);
+        assert!((m.stall_secs(0) - 0.003).abs() < 1e-15);
+    }
+
+    #[test]
+    fn random_scenarios_are_reproducible() {
+        let a = FaultModel::random(99, 8, 7, 5).unwrap();
+        let b = FaultModel::random(99, 8, 7, 5).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.faults().len(), 5);
+        let c = FaultModel::random(100, 8, 7, 5).unwrap();
+        assert_ne!(a, c);
+        // All sampled targets are in range and never dropout.
+        assert!(a.validate_for(8, 7).is_ok());
+        assert!(a.dropped_leaves().is_empty());
+    }
+
+    #[test]
+    fn random_with_no_cuts_only_targets_leaves() {
+        let m = FaultModel::random(5, 4, 0, 6).unwrap();
+        assert!(m.validate_for(4, 0).is_ok());
+        assert!(FaultModel::random(5, 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn validate_for_checks_ranges() {
+        let m = FaultModel::new().slow_leaf(4, 0.5).unwrap();
+        assert!(m.validate_for(4, 3).is_err());
+        assert!(m.validate_for(5, 0).is_ok());
+        let m = FaultModel::new().degrade_cut(3, 0.5).unwrap();
+        assert!(m.validate_for(8, 3).is_err());
+        assert!(m.validate_for(8, 4).is_ok());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let m = FaultModel::with_seed(3).slow_leaf(1, 0.5).unwrap();
+        let text = m.to_string();
+        assert!(text.contains("seed 3"));
+        assert!(text.contains("leaf 1"));
+        assert!(text.contains("0.50x"));
+        assert!(FaultModel::new().to_string().contains("no faults"));
+    }
+}

@@ -1,11 +1,11 @@
 use crate::array::AcceleratorArray;
 use crate::error::HwError;
-use serde::{Deserialize, Serialize};
+use crate::fault::FaultModel;
 use std::fmt;
 
 /// A share of one board: `cores` of the board's cores (all of them for a
 /// whole-board share).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Share {
     /// Index of the board in the array.
     pub board: usize,
@@ -14,7 +14,7 @@ pub struct Share {
 }
 
 /// A set of (possibly partial) boards acting as one side of a bisection.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Group {
     shares: Vec<Share>,
 }
@@ -45,7 +45,7 @@ impl Group {
 /// consumes: computation density `c_i` (FLOP/s), memory bandwidth
 /// (bytes/s), external network bandwidth `b_i` (bytes/s) and HBM capacity
 /// (bytes). Partial boards contribute proportionally to their core share.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupCaps {
     /// Aggregate peak compute, FLOP/s.
     pub flops: f64,
@@ -84,7 +84,7 @@ impl GroupCaps {
 /// One node of the recursive bisection: a group, its aggregate caps, the
 /// bandwidth it uses to reach its *sibling*, and (unless it is a leaf) two
 /// children.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupNode {
     group: Group,
     caps: GroupCaps,
@@ -164,7 +164,7 @@ impl GroupNode {
 /// assert_eq!(tree.root().leaves().count(), 8);
 /// # Ok::<(), accpar_hw::HwError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupTree {
     root: GroupNode,
     levels: usize,
@@ -215,6 +215,170 @@ impl GroupTree {
     #[must_use]
     pub const fn levels(&self) -> usize {
         self.levels
+    }
+
+    /// Number of internal nodes (cuts), in the pre-order numbering fault
+    /// targets use.
+    #[must_use]
+    pub fn cut_count(&self) -> usize {
+        fn count(node: &GroupNode) -> usize {
+            match node.children() {
+                None => 0,
+                Some((l, r)) => 1 + count(l) + count(r),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Number of leaves (`2^levels` for a complete bisection).
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.root.leaves().count()
+    }
+
+    /// This tree with a fault model's compute and bandwidth faults
+    /// folded into the node capabilities: faulted leaves lose FLOP/s,
+    /// faulted cuts lose link bandwidth, and every ancestor's aggregate
+    /// caps are recomputed bottom-up — so the cost model, the planner,
+    /// and both simulator backends all see the degraded hardware through
+    /// the ordinary [`GroupCaps`]/[`GroupNode::link_bw`] surface.
+    ///
+    /// Transient stalls and dropouts are *not* folded here: a stall is a
+    /// per-step time offset (the simulators apply it), and a dropout
+    /// changes the tree's shape (use [`GroupTree::without_leaf`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when a fault targets a leaf or
+    /// cut outside this tree.
+    pub fn degraded(&self, faults: &FaultModel) -> Result<Self, HwError> {
+        faults.validate_for(self.leaf_count(), self.cut_count())?;
+        let mut leaf_idx = 0usize;
+        let mut node_idx = 0usize;
+        let root = degrade_node(&self.root, faults, &mut leaf_idx, &mut node_idx);
+        Ok(Self {
+            root,
+            levels: self.levels,
+        })
+    }
+
+    /// The array and tree that remain after one leaf drops out: the
+    /// boards the leaf owned are removed from `array` and the reduced
+    /// array is re-bisected (with the hierarchy capped at the reduced
+    /// array's maximum depth).
+    ///
+    /// The tree is rebuilt rather than patched: promoting the dropped
+    /// leaf's sibling would leave an unbalanced tree whose shape no
+    /// plan of the original depth matches, while a fresh bisection keeps
+    /// every downstream invariant (complete tree, type-aware first cut).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when `leaf` is out of range or
+    /// the leaf covers only part of a board (core-level dropout is not
+    /// supported — drop the whole board), and [`HwError::EmptyArray`]
+    /// when the drop would remove the last board.
+    pub fn without_leaf(
+        &self,
+        array: &AcceleratorArray,
+        leaf: usize,
+    ) -> Result<(AcceleratorArray, GroupTree), HwError> {
+        self.without_leaves(array, &[leaf])
+    }
+
+    /// [`GroupTree::without_leaf`] for several dropped leaves at once —
+    /// all victims' boards are removed from `array` in one pass and the
+    /// reduced array is re-bisected once. Duplicate indices are ignored.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`GroupTree::without_leaf`], checked for
+    /// every index.
+    pub fn without_leaves(
+        &self,
+        array: &AcceleratorArray,
+        drop: &[usize],
+    ) -> Result<(AcceleratorArray, GroupTree), HwError> {
+        let leaves: Vec<&GroupNode> = self.root.leaves().collect();
+        let mut victims = drop.to_vec();
+        victims.sort_unstable();
+        victims.dedup();
+        let mut dropped: Vec<usize> = Vec::new();
+        for &leaf in &victims {
+            if leaf >= leaves.len() {
+                return Err(HwError::InvalidFault(format!(
+                    "leaf {leaf} out of range for a tree with {} leaves",
+                    leaves.len()
+                )));
+            }
+            let victim = leaves[leaf];
+            if !victim.group().is_whole_boards(array) {
+                return Err(HwError::InvalidFault(format!(
+                    "leaf {leaf} covers a partial board; dropout is board-granular"
+                )));
+            }
+            dropped.extend(victim.group().shares().iter().map(|s| s.board));
+        }
+        let boards: Vec<_> = array
+            .boards()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dropped.contains(i))
+            .map(|(_, b)| b.clone())
+            .collect();
+        if boards.is_empty() {
+            return Err(HwError::EmptyArray);
+        }
+        let reduced = AcceleratorArray::new(boards);
+        let levels = self.levels.min(reduced.max_levels());
+        let tree = GroupTree::bisect(&reduced, levels)?;
+        Ok((reduced, tree))
+    }
+}
+
+/// Rebuilds a subtree with fault factors folded in. Leaves are numbered
+/// left to right, internal nodes in pre-order — matching the simulator's
+/// geometry walk.
+fn degrade_node(
+    node: &GroupNode,
+    faults: &FaultModel,
+    leaf_idx: &mut usize,
+    node_idx: &mut usize,
+) -> GroupNode {
+    match node.children() {
+        None => {
+            let i = *leaf_idx;
+            *leaf_idx += 1;
+            let mut caps = node.caps;
+            caps.flops *= faults.compute_factor(i);
+            GroupNode {
+                group: node.group.clone(),
+                caps,
+                link_bw: node.link_bw,
+                children: None,
+            }
+        }
+        Some((a, b)) => {
+            let i = *node_idx;
+            *node_idx += 1;
+            let bw = faults.bandwidth_factor(i);
+            let mut left = degrade_node(a, faults, leaf_idx, node_idx);
+            let mut right = degrade_node(b, faults, leaf_idx, node_idx);
+            left.link_bw *= bw;
+            right.link_bw *= bw;
+            let caps = GroupCaps {
+                flops: left.caps.flops + right.caps.flops,
+                mem_bw: left.caps.mem_bw + right.caps.mem_bw,
+                net_bw: left.caps.net_bw + right.caps.net_bw,
+                hbm_bytes: left.caps.hbm_bytes + right.caps.hbm_bytes,
+            };
+            GroupNode {
+                group: node.group.clone(),
+                caps,
+                link_bw: node.link_bw,
+                children: Some(Box::new((left, right))),
+            }
+        }
     }
 }
 
@@ -414,31 +578,34 @@ mod tests {
 
     #[test]
     fn bisection_invariants_hold_for_many_shapes() {
-        use proptest::prelude::*;
-        proptest!(ProptestConfig::with_cases(32), |(
-            v2 in 0usize..6,
-            v3 in 0usize..6,
-            levels in 0usize..4,
-        )| {
-            prop_assume!(v2 + v3 > 0);
-            let array = AcceleratorArray::heterogeneous_tpu(v2, v3);
-            prop_assume!(levels <= array.max_levels());
-            let tree = GroupTree::bisect(&array, levels).unwrap();
-            // A complete binary tree of the requested depth.
-            prop_assert_eq!(tree.root().leaves().count(), 1 << levels);
-            prop_assert_eq!(tree.root().depth(), levels);
-            // Compute is conserved across every level of the tree.
-            fn check(node: &GroupNode) {
-                if let Some((a, b)) = node.children() {
-                    let sum = a.caps().flops + b.caps().flops;
-                    assert!((sum - node.caps().flops).abs() < 1.0);
-                    assert!(a.link_bw() > 0.0 && b.link_bw() > 0.0);
-                    check(a);
-                    check(b);
+        fn check(node: &GroupNode) {
+            if let Some((a, b)) = node.children() {
+                let sum = a.caps().flops + b.caps().flops;
+                assert!((sum - node.caps().flops).abs() < 1.0);
+                assert!(a.link_bw() > 0.0 && b.link_bw() > 0.0);
+                check(a);
+                check(b);
+            }
+        }
+        for v2 in 0usize..6 {
+            for v3 in 0usize..6 {
+                if v2 + v3 == 0 {
+                    continue;
+                }
+                let array = AcceleratorArray::heterogeneous_tpu(v2, v3);
+                for levels in 0usize..4 {
+                    if levels > array.max_levels() {
+                        continue;
+                    }
+                    let tree = GroupTree::bisect(&array, levels).unwrap();
+                    // A complete binary tree of the requested depth.
+                    assert_eq!(tree.root().leaves().count(), 1 << levels);
+                    assert_eq!(tree.root().depth(), levels);
+                    // Compute is conserved across every level of the tree.
+                    check(tree.root());
                 }
             }
-            check(tree.root());
-        });
+        }
     }
 
     #[test]
@@ -447,5 +614,121 @@ mod tests {
         let tree = GroupTree::bisect(&array, 3).unwrap();
         let leaf_flops: f64 = tree.root().leaves().map(|l| l.caps().flops).sum();
         assert!((leaf_flops - array.total_flops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn degraded_scales_leaf_flops_and_ancestors() {
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        let tree = GroupTree::bisect(&array, 2).unwrap();
+        let faults = FaultModel::new().slow_leaf(0, 0.5).unwrap();
+        let degraded = tree.degraded(&faults).unwrap();
+
+        let orig: Vec<f64> = tree.root().leaves().map(|l| l.caps().flops).collect();
+        let got: Vec<f64> = degraded.root().leaves().map(|l| l.caps().flops).collect();
+        assert_eq!(got[0], orig[0] * 0.5);
+        assert_eq!(&got[1..], &orig[1..]);
+        // Ancestors re-aggregate the degraded leaf.
+        assert!(
+            (degraded.root().caps().flops - (tree.root().caps().flops - orig[0] * 0.5)).abs()
+                < 1.0
+        );
+        // Non-compute caps are untouched.
+        assert_eq!(degraded.root().caps().mem_bw, tree.root().caps().mem_bw);
+        assert_eq!(degraded.levels(), tree.levels());
+    }
+
+    #[test]
+    fn degraded_scales_cut_links_preorder() {
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        let tree = GroupTree::bisect(&array, 2).unwrap();
+        // Cut 1 is the root's left child (pre-order: root=0, left=1,
+        // right=4 — the left subtree holds nodes 1..4).
+        let faults = FaultModel::new().degrade_cut(1, 0.25).unwrap();
+        let degraded = tree.degraded(&faults).unwrap();
+        let (l, r) = tree.root().children().unwrap();
+        let (dl, dr) = degraded.root().children().unwrap();
+        // The root cut (index 0) is untouched.
+        assert_eq!(dl.link_bw(), l.link_bw());
+        assert_eq!(dr.link_bw(), r.link_bw());
+        // The left child's own children lost bandwidth, the right's kept it.
+        let (ll, lr) = l.children().unwrap();
+        let (dll, dlr) = dl.children().unwrap();
+        assert_eq!(dll.link_bw(), ll.link_bw() * 0.25);
+        assert_eq!(dlr.link_bw(), lr.link_bw() * 0.25);
+        let (rl, _) = r.children().unwrap();
+        let (drl, _) = dr.children().unwrap();
+        assert_eq!(drl.link_bw(), rl.link_bw());
+    }
+
+    #[test]
+    fn degraded_rejects_out_of_range_targets() {
+        let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(2, 2), 1).unwrap();
+        assert_eq!(tree.leaf_count(), 2);
+        assert_eq!(tree.cut_count(), 1);
+        let bad_leaf = FaultModel::new().slow_leaf(2, 0.5).unwrap();
+        assert!(matches!(
+            tree.degraded(&bad_leaf),
+            Err(HwError::InvalidFault(_))
+        ));
+        let bad_cut = FaultModel::new().degrade_cut(1, 0.5).unwrap();
+        assert!(matches!(
+            tree.degraded(&bad_cut),
+            Err(HwError::InvalidFault(_))
+        ));
+    }
+
+    #[test]
+    fn without_leaf_rebuilds_reduced_array() {
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        let tree = GroupTree::bisect(&array, 2).unwrap();
+        // Leaf 0 is one tpu-v2 board.
+        let (reduced, new_tree) = tree.without_leaf(&array, 0).unwrap();
+        assert_eq!(reduced.len(), 3);
+        assert_eq!(
+            reduced.boards().iter().filter(|b| b.name() == "tpu-v2").count(),
+            1
+        );
+        assert_eq!(new_tree.levels(), 2);
+        assert_eq!(new_tree.leaf_count(), 4);
+        assert!(
+            (new_tree.root().caps().flops - (array.total_flops() - 180e12)).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn without_leaf_caps_hierarchy_depth() {
+        // 2 boards at 1 level: dropping one leaves a single board, which
+        // still supports core-level splits, so the level count survives.
+        let array = AcceleratorArray::homogeneous_tpu_v3(2);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        let (reduced, new_tree) = tree.without_leaf(&array, 1).unwrap();
+        assert_eq!(reduced.len(), 1);
+        assert_eq!(new_tree.levels(), 1);
+        assert_eq!(new_tree.leaf_count(), 2);
+    }
+
+    #[test]
+    fn without_leaf_rejects_partial_boards_and_bad_indices() {
+        let array = AcceleratorArray::homogeneous_tpu_v3(1);
+        // 2 levels split the single board's cores: leaves are partial.
+        let tree = GroupTree::bisect(&array, 2).unwrap();
+        assert!(matches!(
+            tree.without_leaf(&array, 0),
+            Err(HwError::InvalidFault(_))
+        ));
+
+        let array = AcceleratorArray::homogeneous_tpu_v3(2);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        assert!(matches!(
+            tree.without_leaf(&array, 9),
+            Err(HwError::InvalidFault(_))
+        ));
+    }
+
+    #[test]
+    fn without_last_board_is_empty() {
+        let array = AcceleratorArray::homogeneous_tpu_v3(1);
+        let tree = GroupTree::bisect(&array, 0).unwrap();
+        assert_eq!(tree.without_leaf(&array, 0), Err(HwError::EmptyArray));
     }
 }

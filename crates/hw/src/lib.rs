@@ -12,7 +12,11 @@
 //! * [`AcceleratorArray`] — an ordered collection of boards, with
 //!   heterogeneous and homogeneous TPU presets;
 //! * [`GroupTree`] / [`GroupNode`] — the recursive bisection, with
-//!   aggregate [`GroupCaps`] per node and per-child cut bandwidths.
+//!   aggregate [`GroupCaps`] per node and per-child cut bandwidths;
+//! * [`FaultModel`] — deterministic, seeded fault injection (straggler
+//!   slowdowns, degraded cut links, transient stalls, device dropout),
+//!   folded into a degraded tree via [`GroupTree::degraded`] and
+//!   [`GroupTree::without_leaf`].
 //!
 //! # Example
 //!
@@ -35,10 +39,13 @@
 
 mod array;
 mod error;
+mod fault;
 mod group;
+pub mod rng;
 mod spec;
 
 pub use array::AcceleratorArray;
 pub use error::HwError;
-pub use group::{Group, GroupCaps, GroupNode, GroupTree};
+pub use fault::{Fault, FaultKind, FaultModel, FaultTarget};
+pub use group::{Group, GroupCaps, GroupNode, GroupTree, Share};
 pub use spec::AcceleratorSpec;

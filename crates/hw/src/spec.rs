@@ -1,5 +1,4 @@
 use crate::error::HwError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 const GB: f64 = 1e9;
@@ -23,7 +22,7 @@ const GIB: u64 = 1 << 30;
 /// assert_eq!(v3.peak_flops(), 420e12);
 /// assert_eq!(v3.cores(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorSpec {
     name: String,
     peak_flops: f64,
@@ -147,6 +146,30 @@ impl AcceleratorSpec {
     #[must_use]
     pub const fn ici_bw(&self) -> f64 {
         self.ici_bw
+    }
+
+    /// This board's specification under a fault: a compute slowdown
+    /// scales `peak_flops`, a bandwidth degradation scales `net_bw` and
+    /// `ici_bw`. Transient stalls and dropout do not change rates (they
+    /// are temporal/topological — the simulator and planner handle
+    /// them), so the spec is returned unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when the kind's parameters are
+    /// out of range (see [`crate::FaultKind::validate`]).
+    pub fn degraded(&self, kind: &crate::FaultKind) -> Result<Self, HwError> {
+        kind.validate()?;
+        let mut spec = self.clone();
+        match *kind {
+            crate::FaultKind::ComputeSlowdown { factor } => spec.peak_flops *= factor,
+            crate::FaultKind::BandwidthDegradation { factor } => {
+                spec.net_bw *= factor;
+                spec.ici_bw *= factor;
+            }
+            crate::FaultKind::TransientStall { .. } | crate::FaultKind::Dropout => {}
+        }
+        Ok(spec)
     }
 }
 

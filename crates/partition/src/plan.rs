@@ -1,11 +1,10 @@
 use crate::ptype::PartitionType;
 use crate::ratio::Ratio;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The partition decision for one weighted layer: a basic type and the
 /// ratio assigned to the first accelerator group.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerPlan {
     /// The basic partition type `t ∈ 𝒯`.
     pub ptype: PartitionType,
@@ -45,7 +44,7 @@ impl fmt::Display for LayerPlan {
 /// assert_eq!(plan.len(), 3);
 /// assert_eq!(plan.count(PartitionType::TypeI), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkPlan {
     layers: Vec<LayerPlan>,
 }
@@ -125,7 +124,7 @@ impl fmt::Display for NetworkPlan {
 
 /// A hierarchical plan: one [`NetworkPlan`] per bisection level, outermost
 /// first (§5.1's recursive application of the layer-wise search).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HierPlan {
     levels: Vec<NetworkPlan>,
 }

@@ -1,6 +1,5 @@
 use crate::plan::{HierPlan, NetworkPlan};
 use crate::ptype::PartitionType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A hierarchical plan shaped like the group tree it partitions: each
@@ -14,7 +13,7 @@ use std::fmt;
 /// a `PlanTree` can. A uniform tree (same plan for every node of a level)
 /// is available via [`PlanTree::uniform`] and from
 /// [`HierPlan::to_tree`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanTree {
     plan: NetworkPlan,
     children: Option<Box<(PlanTree, PlanTree)>>,

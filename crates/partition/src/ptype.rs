@@ -1,9 +1,8 @@
 use accpar_tensor::PartitionDim;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the three tensor computation phases of DNN training (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// `F_{l+1} = f(F_l × W_l)`.
     Forward,
@@ -48,7 +47,7 @@ impl fmt::Display for Phase {
 /// // Type-III is the configuration overlooked by prior work (§3.2.3).
 /// assert_eq!(PartitionType::ALL.len(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PartitionType {
     /// Partition the batch dimension `B` — data parallelism. `W_l` is
     /// replicated; the gradient phase needs a partial-sum exchange.

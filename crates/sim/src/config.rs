@@ -1,11 +1,10 @@
 use accpar_tensor::DataFormat;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The optimizer whose per-parameter state the footprint accounts for
 /// (§2.1 lists SGD variants, Momentum and Adam as the flows the three
 /// tensor phases capture).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Optimizer {
     /// Plain (mini-batch) SGD: no extra state.
     #[default]
@@ -54,7 +53,7 @@ impl fmt::Display for Optimizer {
 
 /// How the machine model combines compute time and HBM traffic time
 /// within a phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MemModel {
     /// Phase time is `max(compute, memory)` — a perfectly pipelined
     /// (roofline) accelerator. The paper's simulator "calculate\[s\] the
@@ -71,7 +70,7 @@ pub enum MemModel {
 }
 
 /// Configuration of a [`Simulator`](crate::Simulator).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Training data format; the paper uses bf16.
     pub format: DataFormat,

@@ -22,9 +22,8 @@ use crate::machine::segments_secs;
 use crate::trace::phase_segments;
 use accpar_cost::comm::{inter_conversion_split, intra_psum_elems};
 use accpar_dnn::{TrainLayer, TrainView};
-use accpar_hw::GroupTree;
+use accpar_hw::{FaultModel, GroupTree};
 use accpar_partition::{Phase, PlanTree};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Resource identifier: leaves first, then one link resource per internal
@@ -39,7 +38,7 @@ struct Task {
 }
 
 /// The result of a discrete-event simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesReport {
     /// Makespan of the scheduled task graph.
     pub total_secs: f64,
@@ -87,6 +86,39 @@ pub fn simulate_des(
     view: &TrainView,
     plan: &PlanTree,
     tree: &GroupTree,
+) -> Result<DesReport, SimError> {
+    simulate_des_with(config, view, plan, tree, None)
+}
+
+/// Builds and schedules the task graph under an injected [`FaultModel`]:
+/// rate faults are folded into a degraded copy of `tree`, and each
+/// leaf's transient stall window delays its first forward task.
+///
+/// Unlike the bulk-synchronous report, `leaf_busy_secs` here includes
+/// the stall window (the leaf's compute resource is occupied while it
+/// stalls, delaying everything queued behind it).
+///
+/// # Errors
+///
+/// The same validation and fault errors as
+/// [`Simulator::simulate_faulted`](crate::Simulator::simulate_faulted).
+pub fn simulate_des_faulted(
+    config: &SimConfig,
+    view: &TrainView,
+    plan: &PlanTree,
+    tree: &GroupTree,
+    faults: &FaultModel,
+) -> Result<DesReport, SimError> {
+    let (degraded, stalls) = crate::faults::prepare(tree, faults)?;
+    simulate_des_with(config, view, plan, &degraded, Some(&stalls))
+}
+
+fn simulate_des_with(
+    config: &SimConfig,
+    view: &TrainView,
+    plan: &PlanTree,
+    tree: &GroupTree,
+    stalls: Option<&[f64]>,
 ) -> Result<DesReport, SimError> {
     if plan.depth() != tree.levels() {
         return Err(SimError::DepthMismatch {
@@ -147,12 +179,16 @@ pub fn simulate_des(
                 }
             }
         }
-        // Leaf compute.
+        // Leaf compute. Transient stall windows occupy each leaf at the
+        // start of the step, so they lengthen its first forward task.
         let mut completion: Vec<usize> = Vec::new();
         let mut leaf_tasks: Vec<usize> = Vec::new();
         for (leaf_idx, (caps, scales)) in geoms[l].leaves.iter().enumerate() {
             let segs = phase_segments(layers[l], Phase::Forward, *scales);
-            let secs = segments_secs(&segs, caps, config);
+            let mut secs = segments_secs(&segs, caps, config);
+            if l == 0 {
+                secs += stalls.map_or(0.0, |s| s.get(leaf_idx).copied().unwrap_or(0.0));
+            }
             let t = builder.push(secs, conv_f_in[l].clone(), Some(leaf_idx));
             leaf_tasks.push(t);
         }
@@ -505,6 +541,71 @@ mod tests {
         assert!(matches!(
             simulate_des(&config, &view, &dp_plan(3, 1), &tree),
             Err(SimError::LayerCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn faulted_des_is_deterministic_and_matches_degraded_tree() {
+        let view = fc_view(128, &[512, 512, 512]);
+        let n = view.weighted_len();
+        let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(2, 2), 2).unwrap();
+        let plan = dp_plan(n, 2);
+        let config = SimConfig::default();
+        let clean = simulate_des(&config, &view, &plan, &tree).unwrap();
+        let faults = FaultModel::with_seed(42)
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .degrade_cut(1, 0.25)
+            .unwrap();
+        let a = simulate_des_faulted(&config, &view, &plan, &tree, &faults).unwrap();
+        let b = simulate_des_faulted(&config, &view, &plan, &tree, &faults).unwrap();
+        assert_eq!(a, b, "seeded fault scenario must be bit-reproducible");
+        assert!(a.total_secs > clean.total_secs);
+        // Rate faults alone are exactly a simulation of the degraded tree.
+        let direct =
+            simulate_des(&config, &view, &plan, &tree.degraded(&faults).unwrap()).unwrap();
+        assert_eq!(a, direct);
+        // Faults never make the DES slower than the faulted BSP barrier
+        // schedule.
+        let bsp = Simulator::new(config)
+            .simulate_faulted(&view, &plan, &tree, &faults)
+            .unwrap();
+        assert!(a.total_secs <= bsp.total_secs * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn des_stall_delays_the_step() {
+        let view = fc_view(64, &[256, 256]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let plan = dp_plan(view.weighted_len(), 1);
+        let config = SimConfig::default();
+        let clean = simulate_des(&config, &view, &plan, &tree).unwrap();
+        let stall = 1e-3;
+        let faults = FaultModel::new().stall_leaf(1, stall).unwrap();
+        let stalled = simulate_des_faulted(&config, &view, &plan, &tree, &faults).unwrap();
+        // With symmetric leaves the whole stall lands on the critical path.
+        assert!((stalled.total_secs - clean.total_secs - stall).abs() < 1e-12);
+    }
+
+    #[test]
+    fn des_fault_validation_errors() {
+        let view = fc_view(8, &[4, 4]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let plan = dp_plan(view.weighted_len(), 1);
+        let config = SimConfig::default();
+        assert!(matches!(
+            simulate_des_faulted(
+                &config,
+                &view,
+                &plan,
+                &tree,
+                &FaultModel::new().slow_leaf(9, 0.5).unwrap()
+            ),
+            Err(SimError::FaultLeafOutOfRange { leaf: 9, leaves: 2 })
+        ));
+        assert!(matches!(
+            simulate_des_faulted(&config, &view, &plan, &tree, &FaultModel::new().drop_leaf(0)),
+            Err(SimError::DroppedLeaf { leaf: 0 })
         ));
     }
 

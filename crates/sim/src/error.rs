@@ -21,6 +21,29 @@ pub enum SimError {
         /// Weighted layers in the network.
         network: usize,
     },
+    /// A fault targets a leaf the group tree does not have.
+    FaultLeafOutOfRange {
+        /// The targeted leaf index.
+        leaf: usize,
+        /// Leaves in the tree.
+        leaves: usize,
+    },
+    /// A fault targets a bisection cut the group tree does not have.
+    FaultCutOutOfRange {
+        /// The targeted cut index (pre-order).
+        cut: usize,
+        /// Internal nodes (cuts) in the tree.
+        cuts: usize,
+    },
+    /// The plan assigns work to a leaf that the fault model dropped; the
+    /// degraded configuration is infeasible and needs a re-plan on the
+    /// reduced array (see `accpar-core`'s replanner).
+    DroppedLeaf {
+        /// The dropped leaf index.
+        leaf: usize,
+    },
+    /// The fault model could not be folded into the group tree.
+    Fault(String),
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +61,19 @@ impl fmt::Display for SimError {
                 f,
                 "level {level} plan covers {plan} layers but the network has {network}"
             ),
+            SimError::FaultLeafOutOfRange { leaf, leaves } => write!(
+                f,
+                "fault targets leaf {leaf} but the tree has {leaves} leaves"
+            ),
+            SimError::FaultCutOutOfRange { cut, cuts } => write!(
+                f,
+                "fault targets cut {cut} but the tree has {cuts} cuts"
+            ),
+            SimError::DroppedLeaf { leaf } => write!(
+                f,
+                "plan assigns work to dropped leaf {leaf}; re-plan on the reduced array"
+            ),
+            SimError::Fault(msg) => write!(f, "fault model could not be applied: {msg}"),
         }
     }
 }
@@ -58,5 +94,34 @@ mod tests {
     fn display_mentions_numbers() {
         let e = SimError::DepthMismatch { plan: 2, tree: 3 };
         assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn fault_variant_displays_name_the_offender() {
+        let leaf = SimError::FaultLeafOutOfRange { leaf: 9, leaves: 4 };
+        assert!(leaf.to_string().contains("leaf 9"), "{leaf}");
+        assert!(leaf.to_string().contains("4 leaves"), "{leaf}");
+
+        let cut = SimError::FaultCutOutOfRange { cut: 5, cuts: 3 };
+        assert!(cut.to_string().contains("cut 5"), "{cut}");
+        assert!(cut.to_string().contains("3 cuts"), "{cut}");
+
+        let dropped = SimError::DroppedLeaf { leaf: 2 };
+        assert!(dropped.to_string().contains("dropped leaf 2"), "{dropped}");
+        assert!(dropped.to_string().contains("re-plan"), "{dropped}");
+
+        let generic = SimError::Fault("bad model".into());
+        assert!(generic.to_string().contains("bad model"), "{generic}");
+    }
+
+    #[test]
+    fn layer_count_mismatch_displays_all_three_numbers() {
+        let e = SimError::LayerCountMismatch {
+            level: 1,
+            plan: 4,
+            network: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("level 1") && s.contains('4') && s.contains('8'), "{s}");
     }
 }

@@ -49,10 +49,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod config;
 pub mod des;
 mod error;
+mod faults;
 mod geometry;
 pub mod machine;
 pub mod memory;
@@ -61,7 +63,7 @@ pub mod trace;
 pub mod tracefile;
 
 pub use config::{MemModel, Optimizer, SimConfig};
-pub use des::{simulate_des, DesReport};
+pub use des::{simulate_des, simulate_des_faulted, DesReport};
 pub use error::SimError;
 pub use memory::{memory_report, MemoryReport};
 pub use simulator::{LayerBreakdown, SimReport, Simulator};

@@ -21,11 +21,10 @@ use crate::geometry::layer_geom;
 use accpar_dnn::{TrainLayer, TrainView};
 use accpar_hw::GroupTree;
 use accpar_partition::PlanTree;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Per-leaf training memory footprint of a plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryReport {
     /// Bytes each leaf group must hold.
     pub per_leaf_bytes: Vec<f64>,

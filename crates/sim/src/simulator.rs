@@ -4,15 +4,14 @@ use crate::machine::segments_secs;
 use crate::trace::phase_segments;
 use accpar_cost::comm::{inter_conversion_split, intra_psum_elems};
 use accpar_dnn::{TrainEdge, TrainLayer, TrainView};
-use accpar_hw::GroupTree;
+use accpar_hw::{FaultModel, GroupTree};
 use accpar_partition::{Phase, PlanTree};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::geometry::{layer_geom, LayerGeom};
 
 /// Per-layer timing breakdown of a simulated training step, in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LayerBreakdown {
     /// Compute time across the three phases (bulk-synchronous max over
     /// leaves, summed over phases).
@@ -33,7 +32,7 @@ impl LayerBreakdown {
 }
 
 /// The result of simulating one training step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// End-to-end step time.
     pub total_secs: f64,
@@ -53,15 +52,12 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Training throughput in steps per second.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the simulated time is zero.
+    /// Training throughput in steps per second, or `None` when the
+    /// simulated step time is not positive (an empty network, or a
+    /// degenerate config that priced every phase at zero).
     #[must_use]
-    pub fn steps_per_sec(&self) -> f64 {
-        assert!(self.total_secs > 0.0, "simulated step time must be positive");
-        1.0 / self.total_secs
+    pub fn steps_per_sec(&self) -> Option<f64> {
+        (self.total_secs > 0.0).then(|| 1.0 / self.total_secs)
     }
 
     /// Mean leaf compute utilization: busy time over step time. Low
@@ -143,6 +139,44 @@ impl Simulator {
         plan: &PlanTree,
         tree: &GroupTree,
     ) -> Result<SimReport, SimError> {
+        self.simulate_with(view, plan, tree, None)
+    }
+
+    /// Simulates one training step under an injected [`FaultModel`]:
+    /// compute slowdowns and cut-bandwidth degradations are folded into a
+    /// degraded copy of `tree`, and each leaf's transient stall window is
+    /// charged at the start of the step (its first forward phase).
+    ///
+    /// The report's `leaf_busy_secs` counts compute only — stall windows
+    /// lengthen the step but are idle time, so a stalled straggler shows
+    /// up as *lower* utilization.
+    ///
+    /// # Errors
+    ///
+    /// All of [`Simulator::simulate`]'s errors, plus
+    /// [`SimError::FaultLeafOutOfRange`] /
+    /// [`SimError::FaultCutOutOfRange`] when a fault targets a leaf or
+    /// cut the tree does not have, and [`SimError::DroppedLeaf`] when the
+    /// fault model dropped a leaf the plan still assigns work to — re-plan
+    /// on the reduced array (see `accpar-core`) before simulating.
+    pub fn simulate_faulted(
+        &self,
+        view: &TrainView,
+        plan: &PlanTree,
+        tree: &GroupTree,
+        faults: &FaultModel,
+    ) -> Result<SimReport, SimError> {
+        let (degraded, stalls) = crate::faults::prepare(tree, faults)?;
+        self.simulate_with(view, plan, &degraded, Some(&stalls))
+    }
+
+    fn simulate_with(
+        &self,
+        view: &TrainView,
+        plan: &PlanTree,
+        tree: &GroupTree,
+        stalls: Option<&[f64]>,
+    ) -> Result<SimReport, SimError> {
         if plan.depth() != tree.levels() {
             return Err(SimError::DepthMismatch {
                 plan: plan.depth(),
@@ -172,14 +206,16 @@ impl Simulator {
             leaf_busy_secs: vec![0.0; n_leaves],
         };
 
-        // Forward sweep.
+        // Forward sweep. Transient stall windows delay each leaf at the
+        // start of the step, i.e. during the first forward phase.
         for l in 0..n_layers {
             if self.config.interlayer {
                 let conv = self.conversion_secs(&edges, &geoms, l, Phase::Forward);
                 report.per_layer[l].conversion_secs += conv;
                 report.conversion_secs += conv;
             }
-            self.run_phase(layers[l], &geoms[l], Phase::Forward, l, &mut report);
+            let phase_stalls = if l == 0 { stalls } else { None };
+            self.run_phase(layers[l], &geoms[l], Phase::Forward, l, phase_stalls, &mut report);
         }
         // Backward + gradient sweep.
         for l in (0..n_layers).rev() {
@@ -190,9 +226,9 @@ impl Simulator {
                 report.conversion_secs += conv;
             }
             if !skip_backward {
-                self.run_phase(layers[l], &geoms[l], Phase::Backward, l, &mut report);
+                self.run_phase(layers[l], &geoms[l], Phase::Backward, l, None, &mut report);
             }
-            self.run_phase(layers[l], &geoms[l], Phase::Gradient, l, &mut report);
+            self.run_phase(layers[l], &geoms[l], Phase::Gradient, l, None, &mut report);
         }
 
         // Optional optimizer update phase: each leaf updates its weight
@@ -232,13 +268,16 @@ impl Simulator {
         Ok(report)
     }
 
-    /// Compute + psum of one phase, accumulated into the report.
+    /// Compute + psum of one phase, accumulated into the report. `stalls`
+    /// (set only for the step's first phase) delays each leaf without
+    /// counting as busy time.
     fn run_phase(
         &self,
         layer: &TrainLayer,
         geom: &LayerGeom,
         phase: Phase,
         l: usize,
+        stalls: Option<&[f64]>,
         report: &mut SimReport,
     ) {
         // Bulk-synchronous compute: the phase ends when the slowest leaf
@@ -247,8 +286,9 @@ impl Simulator {
         for (idx, (caps, scales)) in geom.leaves.iter().enumerate() {
             let segs = phase_segments(layer, phase, *scales);
             let secs = segments_secs(&segs, caps, &self.config);
+            let stall = stalls.map_or(0.0, |s| s.get(idx).copied().unwrap_or(0.0));
             report.leaf_busy_secs[idx] += secs;
-            makespan = makespan.max(secs);
+            makespan = makespan.max(secs + stall);
         }
         report.compute_secs += makespan;
         report.per_layer[l].compute_secs += makespan;
@@ -531,6 +571,96 @@ mod tests {
     }
 
     #[test]
+    fn faulted_step_is_deterministic_and_slower() {
+        let view = fc_view(128, &[512, 512, 512]);
+        let n = view.weighted_len();
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        let tree = GroupTree::bisect(&array, 2).unwrap();
+        let plan = dp_plan(n, 2);
+        // Compute-only pricing so the straggler's lost FLOP/s is visible
+        // (FC shards on Table 7 hardware are memory-bound under the
+        // roofline model, where a compute slowdown can hide entirely).
+        let sim = Simulator::new(SimConfig {
+            mem_model: MemModel::ComputeOnly,
+            ..SimConfig::default()
+        });
+        let clean = sim.simulate(&view, &plan, &tree).unwrap();
+
+        // One TPU-v2 leaf at half compute, one cut at quarter bandwidth —
+        // the acceptance scenario of the robustness issue.
+        let faults = FaultModel::with_seed(42)
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .degrade_cut(1, 0.25)
+            .unwrap();
+        let a = sim.simulate_faulted(&view, &plan, &tree, &faults).unwrap();
+        let b = sim.simulate_faulted(&view, &plan, &tree, &faults).unwrap();
+        assert_eq!(a, b, "seeded fault scenario must be bit-reproducible");
+        assert!(a.total_secs > clean.total_secs);
+        assert!(a.compute_secs > clean.compute_secs);
+        assert!(a.psum_secs > clean.psum_secs);
+
+        // An empty fault model is a no-op.
+        let none = sim
+            .simulate_faulted(&view, &plan, &tree, &FaultModel::new())
+            .unwrap();
+        assert_eq!(none, clean);
+    }
+
+    #[test]
+    fn faulted_equals_simulating_the_degraded_tree() {
+        let view = fc_view(64, &[256, 256]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(4), 2).unwrap();
+        let plan = dp_plan(view.weighted_len(), 2);
+        let faults = FaultModel::new()
+            .slow_leaf(2, 0.7)
+            .unwrap()
+            .degrade_cut(0, 0.5)
+            .unwrap();
+        let sim = Simulator::default();
+        let faulted = sim.simulate_faulted(&view, &plan, &tree, &faults).unwrap();
+        let direct = sim
+            .simulate(&view, &plan, &tree.degraded(&faults).unwrap())
+            .unwrap();
+        assert_eq!(faulted, direct);
+    }
+
+    #[test]
+    fn transient_stall_lengthens_step_without_busy_time() {
+        let view = fc_view(64, &[256, 256]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let plan = dp_plan(view.weighted_len(), 1);
+        let sim = Simulator::default();
+        let clean = sim.simulate(&view, &plan, &tree).unwrap();
+        let stall = 1e-3;
+        let faults = FaultModel::new().stall_leaf(0, stall).unwrap();
+        let stalled = sim.simulate_faulted(&view, &plan, &tree, &faults).unwrap();
+        assert!((stalled.total_secs - clean.total_secs - stall).abs() < 1e-12);
+        assert_eq!(stalled.leaf_busy_secs, clean.leaf_busy_secs);
+        assert!(stalled.mean_utilization() < clean.mean_utilization());
+    }
+
+    #[test]
+    fn fault_validation_errors() {
+        let view = fc_view(8, &[4, 4]);
+        let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
+        let plan = dp_plan(view.weighted_len(), 1);
+        let sim = Simulator::default();
+        let err = sim
+            .simulate_faulted(&view, &plan, &tree, &FaultModel::new().slow_leaf(9, 0.5).unwrap())
+            .unwrap_err();
+        assert_eq!(err, SimError::FaultLeafOutOfRange { leaf: 9, leaves: 2 });
+        let err = sim
+            .simulate_faulted(&view, &plan, &tree, &FaultModel::new().degrade_cut(1, 0.5).unwrap())
+            .unwrap_err();
+        assert_eq!(err, SimError::FaultCutOutOfRange { cut: 1, cuts: 1 });
+        let err = sim
+            .simulate_faulted(&view, &plan, &tree, &FaultModel::new().drop_leaf(1))
+            .unwrap_err();
+        assert_eq!(err, SimError::DroppedLeaf { leaf: 1 });
+    }
+
+    #[test]
     fn update_phase_is_charged_when_enabled() {
         use crate::config::Optimizer;
         let view = fc_view(64, &[1024, 1024]);
@@ -577,7 +707,8 @@ mod tests {
         let report = Simulator::default()
             .simulate(&view, &dp_plan(1, 1), &tree)
             .unwrap();
-        assert!(report.steps_per_sec() > 0.0);
+        assert!(report.steps_per_sec().is_some_and(|s| s > 0.0));
+        assert_eq!(SimReport { total_secs: 0.0, ..report.clone() }.steps_per_sec(), None);
         assert!(report.mean_utilization() > 0.0 && report.mean_utilization() <= 1.0);
         assert!(report.comm_fraction() >= 0.0 && report.comm_fraction() < 1.0);
         assert!(report.to_string().contains("step"));

@@ -11,10 +11,9 @@
 use accpar_dnn::{TrainLayer, WeightedKind};
 use accpar_partition::Phase;
 
-use serde::{Deserialize, Serialize};
 
 /// The kind of a trace event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceOp {
     /// Read tensor data from HBM.
     Load,
@@ -30,7 +29,7 @@ pub enum TraceOp {
 /// A run of identical trace events: `units` events, each touching
 /// `unit_elems` elements (1 for FC traces, the kernel window size for
 /// CONV traces).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceSegment {
     /// Event kind.
     pub op: TraceOp,

@@ -6,7 +6,6 @@
 //! `u64` units and `u64` elements-per-unit.
 
 use crate::trace::{TraceOp, TraceSegment};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Magic prefix of an encoded trace stream.
@@ -66,16 +65,54 @@ fn byte_op(b: u8) -> Result<TraceOp, TraceDecodeError> {
 ///
 /// Panics if the stream holds more than `u32::MAX` segments.
 #[must_use]
-pub fn encode_segments(segments: &[TraceSegment]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + segments.len() * 17);
-    buf.put_slice(&MAGIC);
-    buf.put_u32_le(u32::try_from(segments.len()).expect("fewer than 2^32 segments"));
+pub fn encode_segments(segments: &[TraceSegment]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + segments.len() * 17);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(
+        &u32::try_from(segments.len())
+            .expect("fewer than 2^32 segments")
+            .to_le_bytes(),
+    );
     for seg in segments {
-        buf.put_u8(op_byte(seg.op));
-        buf.put_u64_le(seg.units);
-        buf.put_u64_le(seg.unit_elems);
+        buf.push(op_byte(seg.op));
+        buf.extend_from_slice(&seg.units.to_le_bytes());
+        buf.extend_from_slice(&seg.unit_elems.to_le_bytes());
     }
-    buf.freeze()
+    buf
+}
+
+/// A little-endian cursor over a decode buffer. Bounds are checked by
+/// the caller before each read.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn get_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.get_array())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.get_array())
+    }
 }
 
 /// Decodes a segment stream encoded by [`encode_segments`].
@@ -83,12 +120,15 @@ pub fn encode_segments(segments: &[TraceSegment]) -> Bytes {
 /// # Errors
 ///
 /// Returns a [`TraceDecodeError`] for malformed input.
-pub fn decode_segments(mut buf: impl Buf) -> Result<Vec<TraceSegment>, TraceDecodeError> {
+pub fn decode_segments(buf: impl AsRef<[u8]>) -> Result<Vec<TraceSegment>, TraceDecodeError> {
+    let mut buf = Cursor {
+        buf: buf.as_ref(),
+        pos: 0,
+    };
     if buf.remaining() < 8 {
         return Err(TraceDecodeError::BadMagic);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    let magic: [u8; 4] = buf.get_array();
     if magic != MAGIC {
         return Err(TraceDecodeError::BadMagic);
     }
@@ -107,7 +147,7 @@ pub fn decode_segments(mut buf: impl Buf) -> Result<Vec<TraceSegment>, TraceDeco
             unit_elems,
         });
     }
-    if buf.has_remaining() {
+    if buf.remaining() > 0 {
         return Err(TraceDecodeError::TrailingBytes(buf.remaining()));
     }
     Ok(segments)
@@ -116,7 +156,6 @@ pub fn decode_segments(mut buf: impl Buf) -> Result<Vec<TraceSegment>, TraceDeco
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn seg(op: TraceOp, units: u64, unit_elems: u64) -> TraceSegment {
         TraceSegment {
@@ -149,57 +188,65 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let err = decode_segments(&b"NOPE\x00\x00\x00\x00"[..]).unwrap_err();
+        let err = decode_segments(b"NOPE\x00\x00\x00\x00").unwrap_err();
         assert_eq!(err, TraceDecodeError::BadMagic);
-        let err = decode_segments(&b"AC"[..]).unwrap_err();
+        let err = decode_segments(b"AC").unwrap_err();
         assert_eq!(err, TraceDecodeError::BadMagic);
     }
 
     #[test]
     fn truncated_stream_rejected() {
-        let mut encoded = encode_segments(&[seg(TraceOp::Load, 1, 1)]).to_vec();
+        let mut encoded = encode_segments(&[seg(TraceOp::Load, 1, 1)]);
         encoded.truncate(encoded.len() - 1);
         assert_eq!(
-            decode_segments(&encoded[..]).unwrap_err(),
+            decode_segments(&encoded).unwrap_err(),
             TraceDecodeError::Truncated
         );
     }
 
     #[test]
     fn bad_op_rejected() {
-        let mut encoded = encode_segments(&[seg(TraceOp::Load, 1, 1)]).to_vec();
+        let mut encoded = encode_segments(&[seg(TraceOp::Load, 1, 1)]);
         encoded[8] = 7;
         assert_eq!(
-            decode_segments(&encoded[..]).unwrap_err(),
+            decode_segments(&encoded).unwrap_err(),
             TraceDecodeError::BadOp(7)
         );
     }
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut encoded = encode_segments(&[seg(TraceOp::Load, 1, 1)]).to_vec();
+        let mut encoded = encode_segments(&[seg(TraceOp::Load, 1, 1)]);
         encoded.push(0);
         assert_eq!(
-            decode_segments(&encoded[..]).unwrap_err(),
+            decode_segments(&encoded).unwrap_err(),
             TraceDecodeError::TrailingBytes(1)
         );
     }
 
-    proptest! {
-        #[test]
-        fn round_trip_random_streams(
-            raw in proptest::collection::vec((0u8..4, any::<u64>(), any::<u64>()), 0..64),
-        ) {
-            let segs: Vec<TraceSegment> = raw
-                .into_iter()
-                .map(|(op, units, unit_elems)| TraceSegment {
-                    op: byte_op(op).unwrap(),
-                    units,
-                    unit_elems,
+    /// Deterministic stand-in for the old property test: a seeded
+    /// xorshift stream generates 64 random segment streams of varying
+    /// length and round-trips each.
+    #[test]
+    fn round_trip_random_streams() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..64usize {
+            let len = case % 17;
+            let segs: Vec<TraceSegment> = (0..len)
+                .map(|_| TraceSegment {
+                    op: byte_op((next() % 4) as u8).unwrap(),
+                    units: next(),
+                    unit_elems: next(),
                 })
                 .collect();
             let decoded = decode_segments(encode_segments(&segs)).unwrap();
-            prop_assert_eq!(decoded, segs);
+            assert_eq!(decoded, segs);
         }
     }
 }

@@ -1,5 +1,4 @@
 use crate::error::ShapeError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Geometry of a 2-D convolution or pooling window: kernel extent, stride
@@ -22,7 +21,7 @@ use std::fmt;
 /// let same = ConvGeometry::same(3);
 /// assert_eq!(same.output_extent((112, 112)).unwrap(), (112, 112));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvGeometry {
     kernel: (usize, usize),
     stride: (usize, usize),
@@ -205,23 +204,23 @@ mod tests {
 
     #[test]
     fn output_extent_is_monotone_in_input() {
-        use proptest::prelude::*;
-        proptest!(ProptestConfig::with_cases(64), |(
-            k in 1usize..8,
-            s in 1usize..4,
-            p in 0usize..4,
-            n in 1usize..128,
-        )| {
-            let g = ConvGeometry::try_new((k, k), (s, s), (p, p)).unwrap();
-            if let (Ok(small), Ok(big)) =
-                (g.output_extent((n, n)), g.output_extent((n + 1, n + 1)))
-            {
-                prop_assert!(big.0 >= small.0);
-                prop_assert!(big.1 >= small.1);
-                // Output never exceeds padded input.
-                prop_assert!(small.0 <= n + 2 * p);
+        for k in 1usize..8 {
+            for s in 1usize..4 {
+                for p in 0usize..4 {
+                    let g = ConvGeometry::try_new((k, k), (s, s), (p, p)).unwrap();
+                    for n in (1usize..128).step_by(3) {
+                        if let (Ok(small), Ok(big)) =
+                            (g.output_extent((n, n)), g.output_extent((n + 1, n + 1)))
+                        {
+                            assert!(big.0 >= small.0);
+                            assert!(big.1 >= small.1);
+                            // Output never exceeds padded input.
+                            assert!(small.0 <= n + 2 * p);
+                        }
+                    }
+                }
             }
-        });
+        }
     }
 
     #[test]

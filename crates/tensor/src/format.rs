@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Numeric data format used for tensors during training.
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(DataFormat::Fp32.bytes(1024), 4096);
 /// assert_eq!(DataFormat::default(), DataFormat::Bf16);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DataFormat {
     /// Google brain floating point: 1 sign, 8 exponent, 7 mantissa bits.
     #[default]

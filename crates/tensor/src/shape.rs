@@ -1,5 +1,4 @@
 use crate::error::ShapeError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the three dimensions AccPar may partition (§3.2).
@@ -9,7 +8,7 @@ use std::fmt;
 /// layer input size `D_{i,l}` and the layer output size `D_{o,l}` — and
 /// that exactly one of them can be "free" in a valid partition. Each of
 /// the three basic partition types corresponds to one of these dimensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartitionDim {
     /// The mini-batch dimension `B` (partitioned by Type-I).
     Batch,
@@ -51,7 +50,7 @@ impl fmt::Display for PartitionDim {
 /// assert_eq!(conv.size(), 512 * 64 * 224 * 224);
 /// assert_eq!(conv.spatial_size(), 224 * 224);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FeatureShape {
     batch: usize,
     channels: usize,
@@ -216,7 +215,7 @@ impl fmt::Display for FeatureShape {
 /// let k = KernelShape::conv(16, 32, 3, 3);
 /// assert_eq!(k.size(), 4608);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelShape {
     c_in: usize,
     c_out: usize,
@@ -332,7 +331,7 @@ impl fmt::Display for KernelShape {
 }
 
 /// Either kind of tensor appearing in the three training computations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TensorShape {
     /// A feature-map or error tensor.
     Feature(FeatureShape),

@@ -109,7 +109,6 @@ pub fn effective_share(n: u64, alpha: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn split_two_basics() {
@@ -155,43 +154,63 @@ mod tests {
         assert_eq!(effective_share(3, 1.0 / 3.0), 1.0);
     }
 
-    proptest! {
-        #[test]
-        fn split_two_sums_to_n(n in 0usize..100_000, alpha in 0.0f64..=1.0) {
+    /// Deterministic case source for the split invariants: a seeded
+    /// xorshift stream over sizes, ratios, and weight vectors.
+    fn cases() -> impl Iterator<Item = (usize, f64, Vec<f64>)> {
+        let mut state = 0x1234_5678_9abc_def1u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..200).map(move |_| {
+            let n = (next() % 100_000) as usize;
+            let alpha = (next() % 1_000_001) as f64 / 1e6;
+            let len = 1 + (next() % 7) as usize;
+            let weights: Vec<f64> = (0..len)
+                .map(|_| 0.01 + (next() % 10_000) as f64 / 100.0)
+                .collect();
+            (n, alpha, weights)
+        })
+    }
+
+    #[test]
+    fn split_two_sums_to_n() {
+        for (n, alpha, _) in cases() {
             let (a, b) = split_two(n, alpha);
-            prop_assert_eq!(a + b, n);
+            assert_eq!(a + b, n);
         }
+    }
 
-        #[test]
-        fn split_two_is_monotone_in_alpha(
-            n in 1usize..10_000,
-            a1 in 0.0f64..=1.0,
-            a2 in 0.0f64..=1.0,
-        ) {
+    #[test]
+    fn split_two_is_monotone_in_alpha() {
+        for (n, a1, _) in cases() {
+            let n = 1 + n % 10_000;
+            let a2 = (a1 * 0.7 + 0.29).min(1.0);
             let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
-            prop_assert!(split_two(n, lo).0 <= split_two(n, hi).0);
+            assert!(split_two(n, lo).0 <= split_two(n, hi).0);
         }
+    }
 
-        #[test]
-        fn split_many_sums_to_n(
-            n in 0usize..100_000,
-            weights in proptest::collection::vec(0.01f64..100.0, 1..8),
-        ) {
+    #[test]
+    fn split_many_sums_to_n() {
+        for (n, _, weights) in cases() {
             let shares = split_many(n, &weights);
-            prop_assert_eq!(shares.iter().sum::<usize>(), n);
-            prop_assert_eq!(shares.len(), weights.len());
+            assert_eq!(shares.iter().sum::<usize>(), n);
+            assert_eq!(shares.len(), weights.len());
         }
+    }
 
-        #[test]
-        fn split_many_stays_within_one_of_quota(
-            n in 0usize..10_000,
-            weights in proptest::collection::vec(0.01f64..100.0, 1..8),
-        ) {
+    #[test]
+    fn split_many_stays_within_one_of_quota() {
+        for (n, _, weights) in cases() {
+            let n = n % 10_000;
             let total: f64 = weights.iter().sum();
             let shares = split_many(n, &weights);
             for (share, w) in shares.iter().zip(&weights) {
                 let quota = w / total * n as f64;
-                prop_assert!((*share as f64 - quota).abs() < 1.0 + 1e-9);
+                assert!((*share as f64 - quota).abs() < 1.0 + 1e-9);
             }
         }
     }

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  {report}");
     println!(
         "  throughput {:.1} steps/s, communication fraction {:.1}%\n",
-        report.steps_per_sec(),
+        report.steps_per_sec().unwrap_or(0.0),
         report.comm_fraction() * 100.0
     );
 

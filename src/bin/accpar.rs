@@ -70,6 +70,50 @@ fn usage() -> &'static str {
 defaults: --batch 512 --v2 4 --v3 4 --strategy accpar"
 }
 
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a [`PlanTree`] to a compact JSON object: per-node type
+/// string, per-layer `{type, alpha}` entries, and recursive children.
+fn plan_tree_json(tree: &PlanTree) -> String {
+    let layers: Vec<String> = tree
+        .plan()
+        .layers()
+        .iter()
+        .map(|entry| {
+            format!(
+                "{{\"type\": \"{}\", \"alpha\": {}}}",
+                entry.ptype,
+                entry.ratio.value()
+            )
+        })
+        .collect();
+    let children = match tree.children() {
+        None => String::from("null"),
+        Some((l, r)) => format!("[{}, {}]", plan_tree_json(l), plan_tree_json(r)),
+    };
+    format!(
+        "{{\"types\": \"{}\", \"layers\": [{}], \"children\": {}}}",
+        tree.plan().type_string(),
+        layers.join(", "),
+        children
+    )
+}
+
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
     Ok(match name {
         "dp" => Strategy::DataParallel,
@@ -150,14 +194,14 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         let planned = planner.plan(strategy).map_err(|e| e.to_string())?;
         let ms = planned.modeled_cost() * 1e3;
         if args.has("json") {
-            let json = serde_json::json!({
-                "network": setup.network.name(),
-                "strategy": strategy.to_string(),
-                "levels": planned.plan().depth(),
-                "step_ms": ms,
-                "plan": planned.plan(),
-            });
-            println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+            println!(
+                "{{\n  \"network\": \"{}\",\n  \"strategy\": \"{}\",\n  \"levels\": {},\n  \"step_ms\": {},\n  \"plan\": {}\n}}",
+                json_escape(setup.network.name()),
+                strategy,
+                planned.plan().depth(),
+                ms,
+                plan_tree_json(planned.plan()),
+            );
         } else {
             let speedup = match dp_ms {
                 Some(dp) => format!("  ({:.2}x vs DP)", dp / ms),
@@ -213,10 +257,11 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         setup.array
     );
     println!("  {}", planned.report());
+    let steps = planned.report().steps_per_sec().unwrap_or(0.0);
     println!(
         "  throughput {:.2} steps/s ({:.1} samples/s)",
-        planned.report().steps_per_sec(),
-        planned.report().steps_per_sec() * setup.network.batch() as f64
+        steps,
+        steps * setup.network.batch() as f64
     );
     Ok(())
 }

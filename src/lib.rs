@@ -61,11 +61,14 @@ pub use accpar_tensor as tensor;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
-    pub use accpar_core::{baselines, PlanError, PlannedNetwork, Planner, Strategy};
+    pub use accpar_core::{
+        baselines, replan, PlanError, PlannedNetwork, Planner, ReplanConfig, ReplanOutcome,
+        Strategy,
+    };
     pub use accpar_cost::{CostConfig, CostModel, PairEnv, RatioSolver};
     pub use accpar_dnn::{zoo, Network, NetworkBuilder};
-    pub use accpar_hw::{AcceleratorArray, AcceleratorSpec, GroupTree};
+    pub use accpar_hw::{AcceleratorArray, AcceleratorSpec, FaultModel, GroupTree};
     pub use accpar_partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, PlanTree, Ratio};
-    pub use accpar_sim::{SimConfig, SimReport, Simulator};
+    pub use accpar_sim::{simulate_des_faulted, SimConfig, SimReport, Simulator};
     pub use accpar_tensor::{ConvGeometry, DataFormat, FeatureShape, KernelShape};
 }

@@ -1,11 +1,12 @@
-//! End-to-end property tests spanning the whole workspace.
+//! End-to-end property tests spanning the whole workspace, driven by a
+//! seeded deterministic case generator (the workspace builds offline, so
+//! no external property-testing crate is used).
 
 use accpar::core::{LevelSearcher, SearchConfig};
 use accpar::cost::{CostConfig, CostModel, PairEnv};
 use accpar::partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, Ratio};
 use accpar::prelude::*;
 use accpar::sim::SimConfig;
-use proptest::prelude::*;
 
 fn mlp(batch: usize, dims: &[usize]) -> Network {
     let mut b = NetworkBuilder::new("mlp", FeatureShape::fc(batch, dims[0]));
@@ -15,18 +16,43 @@ fn mlp(batch: usize, dims: &[usize]) -> Network {
     b.build().expect("valid MLP")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Seeded xorshift64 stream — the deterministic replacement for a
+/// property-testing crate's case generator.
+struct Gen(u64);
 
-    /// The DP search equals brute force on random chains — the §5.1
-    /// optimality claim, under random shapes and heterogeneous pairs.
-    #[test]
-    fn dp_is_optimal_on_random_chains(
-        batch in 1usize..128,
-        dims in proptest::collection::vec(1usize..256, 2..6),
-        v2 in 1usize..4,
-        v3 in 1usize..4,
-    ) {
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// A value in `lo..hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    /// A float in `[0, 1]`.
+    fn unit(&mut self) -> f64 {
+        (self.next() % 1_000_001) as f64 / 1e6
+    }
+
+    fn vec(&mut self, lo: usize, hi: usize, len_lo: usize, len_hi: usize) -> Vec<usize> {
+        let len = self.range(len_lo, len_hi);
+        (0..len).map(|_| self.range(lo, hi)).collect()
+    }
+}
+
+/// The DP search equals brute force on random chains — the §5.1
+/// optimality claim, under random shapes and heterogeneous pairs.
+#[test]
+fn dp_is_optimal_on_random_chains() {
+    let mut g = Gen(0xacc9a11);
+    for _ in 0..24 {
+        let batch = g.range(1, 128);
+        let dims = g.vec(1, 256, 2, 6);
+        let (v2, v3) = (g.range(1, 4), g.range(1, 4));
         let net = mlp(batch, &dims);
         let view = net.train_view().unwrap();
         let array = AcceleratorArray::heterogeneous_tpu(v2, v3);
@@ -37,50 +63,59 @@ proptest! {
         let searcher = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
         let dp = searcher.search();
         let brute = searcher.exhaustive();
-        prop_assert!(
+        assert!(
             dp.cost <= brute.cost * (1.0 + 1e-12),
-            "dp {} vs brute {}", dp.cost, brute.cost
+            "dp {} vs brute {}",
+            dp.cost,
+            brute.cost
         );
     }
+}
 
-    /// Simulated step time decreases (weakly) when every bandwidth and
-    /// compute rate doubles.
-    #[test]
-    fn faster_hardware_is_never_slower(
-        batch in 8usize..128,
-        dims in proptest::collection::vec(8usize..256, 2..5),
-        t_idx in 0usize..3,
-    ) {
+/// Simulated step time decreases (weakly) when every bandwidth and
+/// compute rate doubles.
+#[test]
+fn faster_hardware_is_never_slower() {
+    let mut g = Gen(0xacc9a12);
+    for _ in 0..24 {
+        let batch = g.range(8, 128);
+        let dims = g.vec(8, 256, 2, 5);
+        let t_idx = g.range(0, 3);
         let net = mlp(batch, &dims);
         let view = net.train_view().unwrap();
         let plan = HierPlan::new(vec![NetworkPlan::uniform(
             view.weighted_len(),
             LayerPlan::new(PartitionType::ALL[t_idx], Ratio::EQUAL),
-        )]).to_tree();
+        )])
+        .to_tree();
 
         let slow_spec = AcceleratorSpec::new("slow", 1e12, 1 << 30, 100e9, 1e9, 2, 10e9).unwrap();
         let fast_spec = AcceleratorSpec::new("fast", 2e12, 1 << 30, 200e9, 2e9, 2, 20e9).unwrap();
         let sim = Simulator::new(SimConfig::default());
         let slow = {
-            let tree = GroupTree::bisect(&AcceleratorArray::homogeneous(slow_spec, 2), 1).unwrap();
+            let tree =
+                GroupTree::bisect(&AcceleratorArray::homogeneous(slow_spec, 2), 1).unwrap();
             sim.simulate(&view, &plan, &tree).unwrap().total_secs
         };
         let fast = {
-            let tree = GroupTree::bisect(&AcceleratorArray::homogeneous(fast_spec, 2), 1).unwrap();
+            let tree =
+                GroupTree::bisect(&AcceleratorArray::homogeneous(fast_spec, 2), 1).unwrap();
             sim.simulate(&view, &plan, &tree).unwrap().total_secs
         };
-        prop_assert!(fast <= slow * (1.0 + 1e-12), "fast {fast} vs slow {slow}");
+        assert!(fast <= slow * (1.0 + 1e-12), "fast {fast} vs slow {slow}");
         // Doubling every rate exactly halves the time.
-        prop_assert!((fast - slow / 2.0).abs() / fast < 1e-9);
+        assert!((fast - slow / 2.0).abs() / fast < 1e-9);
     }
+}
 
-    /// The AccPar plan's cost never exceeds the data-parallel plan's cost
-    /// under the search's own per-level objective.
-    #[test]
-    fn search_never_loses_to_data_parallelism_on_its_own_objective(
-        batch in 8usize..128,
-        dims in proptest::collection::vec(8usize..512, 2..5),
-    ) {
+/// The AccPar plan's cost never exceeds the data-parallel plan's cost
+/// under the search's own per-level objective.
+#[test]
+fn search_never_loses_to_data_parallelism_on_its_own_objective() {
+    let mut g = Gen(0xacc9a13);
+    for _ in 0..24 {
+        let batch = g.range(8, 128);
+        let dims = g.vec(8, 512, 2, 5);
         let net = mlp(batch, &dims);
         let view = net.train_view().unwrap();
         let array = AcceleratorArray::heterogeneous_tpu(2, 2);
@@ -98,37 +133,40 @@ proptest! {
         let dp = LevelSearcher::new(&view, &model, &dp_only, &env, None)
             .unwrap()
             .search();
-        prop_assert!(accpar.cost <= dp.cost * (1.0 + 1e-12));
+        assert!(accpar.cost <= dp.cost * (1.0 + 1e-12));
     }
+}
 
-    /// Every simulated quantity is finite and non-negative for random
-    /// plans.
-    #[test]
-    fn simulator_outputs_are_sane(
-        batch in 1usize..64,
-        dims in proptest::collection::vec(1usize..128, 2..5),
-        types in proptest::collection::vec(0usize..3, 4),
-        alphas in proptest::collection::vec(0.0f64..=1.0, 4),
-    ) {
+/// Every simulated quantity is finite and non-negative for random plans.
+#[test]
+fn simulator_outputs_are_sane() {
+    let mut g = Gen(0xacc9a14);
+    for _ in 0..24 {
+        let batch = g.range(1, 64);
+        let dims = g.vec(1, 128, 2, 5);
+        let types: Vec<usize> = (0..4).map(|_| g.range(0, 3)).collect();
+        let alphas: Vec<f64> = (0..4).map(|_| g.unit()).collect();
         let net = mlp(batch, &dims);
         let view = net.train_view().unwrap();
         let n = view.weighted_len();
         let entries: Vec<LayerPlan> = (0..n)
-            .map(|l| LayerPlan::new(
-                PartitionType::ALL[types[l % types.len()]],
-                Ratio::new(alphas[l % alphas.len()]).unwrap(),
-            ))
+            .map(|l| {
+                LayerPlan::new(
+                    PartitionType::ALL[types[l % types.len()]],
+                    Ratio::new(alphas[l % alphas.len()]).unwrap(),
+                )
+            })
             .collect();
         let plan = HierPlan::new(vec![NetworkPlan::new(entries)]).to_tree();
         let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(1, 1), 1).unwrap();
         let report = Simulator::new(SimConfig::default())
             .simulate(&view, &plan, &tree)
             .unwrap();
-        prop_assert!(report.total_secs.is_finite() && report.total_secs > 0.0);
-        prop_assert!(report.compute_secs >= 0.0);
-        prop_assert!(report.psum_secs >= 0.0);
-        prop_assert!(report.conversion_secs >= 0.0);
+        assert!(report.total_secs.is_finite() && report.total_secs > 0.0);
+        assert!(report.compute_secs >= 0.0);
+        assert!(report.psum_secs >= 0.0);
+        assert!(report.conversion_secs >= 0.0);
         let from_layers: f64 = report.per_layer.iter().map(|l| l.total()).sum();
-        prop_assert!((from_layers - report.total_secs).abs() < 1e-9 * report.total_secs);
+        assert!((from_layers - report.total_secs).abs() < 1e-9 * report.total_secs);
     }
 }

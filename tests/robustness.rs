@@ -1,0 +1,129 @@
+//! End-to-end robustness acceptance tests: the seeded fault scenario
+//! from the issue — one TPU-v2 leaf at half compute, one bisection cut
+//! at quarter bandwidth — must produce bit-identical reports across
+//! runs, and graceful re-planning must never be worse than limping
+//! along on the stale plan.
+
+use accpar::prelude::*;
+use accpar_sim::simulate_des;
+
+/// The acceptance scenario: leaf 0 (a TPU-v2 board in
+/// `heterogeneous_tpu`) at 0.5x compute, cut 1 at 0.25x bandwidth.
+fn acceptance_faults(seed: u64) -> FaultModel {
+    FaultModel::with_seed(seed)
+        .slow_leaf(0, 0.5)
+        .expect("valid factor")
+        .degrade_cut(1, 0.25)
+        .expect("valid factor")
+}
+
+fn setup() -> (Network, AcceleratorArray) {
+    let network = zoo::alexnet(256).expect("zoo network");
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    (network, array)
+}
+
+#[test]
+fn seeded_faulted_reports_are_identical_across_runs() {
+    let (network, array) = setup();
+    let view = network.train_view().unwrap();
+    let tree = GroupTree::bisect(&array, 2).unwrap();
+    let planner = Planner::new(&network, &array).with_levels(2);
+    let planned = planner.plan(Strategy::AccPar).unwrap();
+    let faults = acceptance_faults(7);
+
+    let sim = Simulator::new(SimConfig::default());
+    let a = sim
+        .simulate_faulted(&view, planned.plan(), &tree, &faults)
+        .unwrap();
+    let b = sim
+        .simulate_faulted(&view, planned.plan(), &tree, &faults)
+        .unwrap();
+    assert_eq!(a, b, "bulk-synchronous reports must be bit-identical");
+
+    let config = SimConfig::default();
+    let da = simulate_des_faulted(&config, &view, planned.plan(), &tree, &faults).unwrap();
+    let db = simulate_des_faulted(&config, &view, planned.plan(), &tree, &faults).unwrap();
+    assert_eq!(da.total_secs.to_bits(), db.total_secs.to_bits());
+    assert_eq!(da.leaf_busy_secs, db.leaf_busy_secs);
+    assert_eq!(da.tasks, db.tasks);
+
+    // The faults actually hurt: degraded strictly slower than nominal
+    // (the quarter-bandwidth cut bites even when the straggler hides
+    // behind the memory roofline).
+    let clean = sim.simulate(&view, planned.plan(), &tree).unwrap();
+    assert!(a.total_secs > clean.total_secs, "faults must slow the step");
+    let dclean = simulate_des(&config, &view, planned.plan(), &tree).unwrap();
+    assert!(da.total_secs > dclean.total_secs);
+}
+
+#[test]
+fn replanned_degraded_step_never_exceeds_the_stale_plan() {
+    let (network, array) = setup();
+    let planner = Planner::new(&network, &array).with_levels(2);
+    let faults = acceptance_faults(7);
+
+    for strategy in Strategy::ALL {
+        let planned = planner.plan(strategy).unwrap();
+        let outcome = planner.replan(&planned, &faults).unwrap();
+        let stale = outcome
+            .degraded_old_secs
+            .expect("no dropout: the stale plan can still run");
+        assert!(
+            outcome.degraded_secs <= stale * (1.0 + 1e-12),
+            "{strategy}: replanned {} vs stale {}",
+            outcome.degraded_secs,
+            stale
+        );
+        // A stale plan on strictly worse hardware can only slow down.
+        assert!(stale >= outcome.nominal_secs * (1.0 - 1e-12), "{strategy}");
+    }
+}
+
+#[test]
+fn replanning_is_deterministic() {
+    let (network, array) = setup();
+    let planner = Planner::new(&network, &array).with_levels(2);
+    let planned = planner.plan(Strategy::AccPar).unwrap();
+    let faults = acceptance_faults(7);
+
+    let a = planner.replan(&planned, &faults).unwrap();
+    let b = planner.replan(&planned, &faults).unwrap();
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.degraded_secs.to_bits(), b.degraded_secs.to_bits());
+    assert_eq!(a.replanned, b.replanned);
+    assert_eq!(a.deltas.len(), b.deltas.len());
+}
+
+#[test]
+fn random_fault_models_are_seeded() {
+    let a = FaultModel::random(99, 4, 3, 3).unwrap();
+    let b = FaultModel::random(99, 4, 3, 3).unwrap();
+    assert_eq!(a, b, "same seed, same faults");
+    let c = FaultModel::random(100, 4, 3, 3).unwrap();
+    assert_ne!(a, c, "different seed, different faults");
+}
+
+#[test]
+fn dropout_forces_a_feasible_plan_on_the_survivors() {
+    let (network, array) = setup();
+    let view = network.train_view().unwrap();
+    let tree = GroupTree::bisect(&array, 2).unwrap();
+    let planner = Planner::new(&network, &array).with_levels(2);
+    let planned = planner.plan(Strategy::AccPar).unwrap();
+    let faults = FaultModel::with_seed(7).drop_leaf(3);
+
+    // The stale plan cannot run at all on the faulted hardware...
+    let sim = Simulator::new(SimConfig::default());
+    let err = sim
+        .simulate_faulted(&view, planned.plan(), &tree, &faults)
+        .unwrap_err();
+    assert!(err.to_string().contains("re-plan"), "{err}");
+
+    // ...but the replanner produces one that does, on three boards.
+    let outcome = planner.replan(&planned, &faults).unwrap();
+    assert!(outcome.replanned);
+    assert_eq!(outcome.array.len(), 3);
+    assert!(outcome.degraded_secs > 0.0);
+    assert_eq!(outcome.degraded_old_secs, None);
+}

@@ -1,0 +1,268 @@
+//! Tracked performance baseline for the planning engine.
+//!
+//! Times zoo-wide hierarchical planning (all nine evaluation models)
+//! under the serial cache-free engine and the parallel memoized one —
+//! both from a cold cache (planning the zoo exactly once) and in steady
+//! state (one persistent [`SearchCache`] across sweeps, the engine as
+//! deployed for `replan` and fault-sensitivity scans) — verifies all
+//! configurations produce bit-identical plans, times a depth-3
+//! hierarchy and both simulator backends, and writes the results to
+//! `BENCH_planner.json` so future PRs have a trajectory to compare
+//! against.
+//!
+//! ```sh
+//! cargo run --release -p accpar-bench --bin perf_baseline -- \
+//!     [--quick] [--out BENCH_planner.json] [--ceiling-ms 120000]
+//! ```
+//!
+//! `--quick` runs one repetition per measurement (CI smoke mode);
+//! `--ceiling-ms` makes the process fail when zoo-wide planning under
+//! the optimized engine exceeds the given wall-clock ceiling. The
+//! process also fails if the optimized engine's plans are not
+//! bit-identical to the serial engine's.
+
+use accpar_bench::json::Json;
+use accpar_core::{PlannedNetwork, Planner, SearchCache, Strategy};
+use accpar_dnn::{zoo, Network};
+use accpar_hw::{AcceleratorArray, GroupTree};
+use accpar_runtime::Pool;
+use accpar_sim::{simulate_des, SimConfig, Simulator};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One `BENCH_planner.json` entry.
+struct Entry {
+    name: String,
+    wall_ms: f64,
+    threads: usize,
+    cache_hit_rate: f64,
+}
+
+/// Minimum wall time of `reps` runs, in milliseconds.
+fn time_best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Plans every zoo network under AccPar with the given engine knobs,
+/// sharing `cache` across the sweep — the benchmark's workload is one
+/// accelerator array, so VGG variants share conv shapes and ResNet
+/// variants share whole blocks across networks.
+fn plan_zoo(
+    nets: &[Network],
+    array: &AcceleratorArray,
+    threads: usize,
+    caching: bool,
+    cache: &Arc<SearchCache>,
+) -> Vec<PlannedNetwork> {
+    let mut plans = Vec::with_capacity(nets.len());
+    for net in nets {
+        let planner = Planner::new(net, array)
+            .with_threads(threads)
+            .with_caching(caching)
+            .with_cache(Arc::clone(cache));
+        plans.push(planner.plan(Strategy::AccPar).expect("zoo plans"));
+    }
+    plans
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = String::from("BENCH_planner.json");
+    let mut ceiling_ms: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--ceiling-ms" => {
+                ceiling_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--ceiling-ms needs a number"),
+                );
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let reps = if quick { 1 } else { 5 };
+    let threads = Pool::from_env().threads().max(4);
+
+    let batch = 256;
+    let nets = zoo::evaluation_suite(batch).expect("zoo builds");
+    let hetero = AcceleratorArray::heterogeneous_tpu(4, 4);
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Zoo-wide hierarchical planning, three engine configurations:
+    //   serial — one thread, caching off (the pre-optimization path);
+    //   cold   — threads + memoization, but a fresh cache per sweep
+    //            (the cost of planning the zoo exactly once);
+    //   steady — threads + one persistent cache across sweeps (the
+    //            engine as deployed: `replan` sweeps, fault-sensitivity
+    //            scans and repeated planning amortize the same tables).
+    // Every leg is warmed before timing so measurement order is fair.
+    println!("zoo-wide AccPar planning ({} nets, batch {batch}, 4+4 boards)", nets.len());
+    let serial_plans = plan_zoo(&nets, &hetero, 1, false, &Arc::new(SearchCache::new()));
+    let serial_ms = time_best_ms(reps, || {
+        plan_zoo(&nets, &hetero, 1, false, &Arc::new(SearchCache::new()))
+    });
+    entries.push(Entry {
+        name: "zoo_plan/serial".into(),
+        wall_ms: serial_ms,
+        threads: 1,
+        cache_hit_rate: 0.0,
+    });
+
+    let cold_cache = Arc::new(SearchCache::new());
+    let cold_plans = plan_zoo(&nets, &hetero, threads, true, &cold_cache);
+    let cold_hit_rate = cold_cache.stats().hit_rate();
+    let cold_ms = time_best_ms(reps, || {
+        plan_zoo(&nets, &hetero, threads, true, &Arc::new(SearchCache::new()))
+    });
+    entries.push(Entry {
+        name: "zoo_plan/parallel_cold".into(),
+        wall_ms: cold_ms,
+        threads,
+        cache_hit_rate: cold_hit_rate,
+    });
+
+    let steady_cache = Arc::new(SearchCache::new());
+    let steady_plans = plan_zoo(&nets, &hetero, threads, true, &steady_cache);
+    let steady_ms =
+        time_best_ms(reps, || plan_zoo(&nets, &hetero, threads, true, &steady_cache));
+    let steady_hit_rate = steady_cache.stats().hit_rate();
+    entries.push(Entry {
+        name: "zoo_plan/parallel".into(),
+        wall_ms: steady_ms,
+        threads,
+        cache_hit_rate: steady_hit_rate,
+    });
+
+    let same = |a: &[PlannedNetwork], b: &[PlannedNetwork]| {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(s, p)| {
+                s.plan() == p.plan() && s.modeled_cost().to_bits() == p.modeled_cost().to_bits()
+            })
+    };
+    let identical = same(&serial_plans, &cold_plans) && same(&serial_plans, &steady_plans);
+    let speedup = serial_ms / steady_ms;
+    let cold_speedup = serial_ms / cold_ms;
+    println!("  serial        {serial_ms:9.3} ms");
+    println!(
+        "  memoized cold {cold_ms:9.3} ms  ({threads} threads, {cold_speedup:.2}x, hit rate {:.1}%)",
+        cold_hit_rate * 100.0
+    );
+    println!(
+        "  memoized      {steady_ms:9.3} ms  ({threads} threads, {speedup:.2}x, hit rate {:.1}%)",
+        steady_hit_rate * 100.0
+    );
+    println!("  bit-identical: {identical}");
+
+    // Depth-3 hierarchy on a homogeneous array: the level memo resolves
+    // entire symmetric subtrees.
+    let hom = AcceleratorArray::homogeneous_tpu_v3(8);
+    let vgg = zoo::vgg16(batch).expect("vgg16 builds");
+    let depth3 = |threads: usize, caching: bool| {
+        Planner::new(&vgg, &hom)
+            .with_levels(3)
+            .with_threads(threads)
+            .with_caching(caching)
+            .plan(Strategy::AccPar)
+            .expect("depth-3 plan")
+    };
+    let d3_ms = time_best_ms(reps, || depth3(threads, true));
+    let d3_planner = Planner::new(&vgg, &hom)
+        .with_levels(3)
+        .with_threads(threads)
+        .with_caching(true);
+    d3_planner.plan(Strategy::AccPar).expect("depth-3 plan");
+    let d3_stats = d3_planner.cache_stats();
+    entries.push(Entry {
+        name: "hierarchy_depth3/vgg16_hom8".into(),
+        wall_ms: d3_ms,
+        threads,
+        cache_hit_rate: d3_stats.hit_rate(),
+    });
+    println!(
+        "depth-3 hierarchy (vgg16, 8 boards): {d3_ms:.3} ms, hit rate {:.1}%",
+        d3_stats.hit_rate() * 100.0
+    );
+
+    // Simulator throughput, both backends, on the evaluation-scale
+    // array (bit-exact replay of the planner's objective).
+    let big = AcceleratorArray::heterogeneous_tpu(128, 128);
+    let big_tree = GroupTree::bisect(&big, 8).expect("bisect");
+    let resnet = zoo::resnet18(batch).expect("resnet18 builds");
+    let view = resnet.train_view().expect("train view");
+    let plan = accpar_core::baselines::data_parallel_plan(&view, 8);
+    let config = SimConfig::default();
+    let bsp_ms = time_best_ms(reps, || {
+        Simulator::new(config)
+            .simulate(&view, &plan, &big_tree)
+            .expect("bsp sim")
+    });
+    entries.push(Entry {
+        name: "sim_bsp/resnet18_h8".into(),
+        wall_ms: bsp_ms,
+        threads: 1,
+        cache_hit_rate: 0.0,
+    });
+    let des_ms = time_best_ms(reps, || {
+        simulate_des(&config, &view, &plan, &big_tree).expect("des sim")
+    });
+    entries.push(Entry {
+        name: "sim_des/resnet18_h8".into(),
+        wall_ms: des_ms,
+        threads: 1,
+        cache_hit_rate: 0.0,
+    });
+    println!("simulator throughput (resnet18, 256 boards): bsp {bsp_ms:.3} ms, des {des_ms:.3} ms");
+
+    let json = Json::obj(vec![
+        ("bench", Json::str("planner")),
+        ("quick", Json::Bool(quick)),
+        ("batch", Json::from(batch)),
+        ("zoo_speedup", Json::from(speedup)),
+        ("zoo_speedup_cold", Json::from(cold_speedup)),
+        ("bit_identical", Json::Bool(identical)),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("name", Json::str(&e.name)),
+                            ("wall_ms", Json::from(e.wall_ms)),
+                            ("threads", Json::from(e.threads)),
+                            ("cache_hit_rate", Json::from(e.cache_hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out, json.pretty() + "\n").expect("write BENCH json");
+    println!("wrote {out}");
+
+    if !identical {
+        eprintln!("FAIL: optimized engine's plans are not bit-identical to serial");
+        return ExitCode::FAILURE;
+    }
+    if let Some(ceiling) = ceiling_ms {
+        if cold_ms > ceiling {
+            eprintln!("FAIL: zoo planning {cold_ms:.1} ms exceeds ceiling {ceiling:.1} ms");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -7,11 +7,13 @@
 //! is therefore a [`PlanTree`], not a flat per-level plan.
 
 use crate::error::PlanError;
+use crate::memo::{self, SearchCache};
 use crate::search::{LevelSearcher, SearchConfig};
 use accpar_cost::{CostModel, PairEnv};
 use accpar_dnn::TrainView;
 use accpar_hw::GroupNode;
 use accpar_partition::{PlanTree, ShardScales};
+use accpar_runtime::Pool;
 
 /// Recursively plans every bisection level below `node`.
 ///
@@ -27,14 +29,114 @@ pub fn plan_node(
     node: &GroupNode,
     model: &CostModel,
     config: &SearchConfig,
-    scales: Option<Vec<ShardScales>>,
+    scales: Option<&[ShardScales]>,
+) -> Result<Option<PlanTree>, PlanError> {
+    plan_node_with(view, node, model, config, scales, Pool::serial(), None)
+}
+
+/// Like [`plan_node`], with a thread budget for the independent
+/// left/right child recursions (split between them) and an optional
+/// shared [`SearchCache`] memoizing cost cells, block transfer tables
+/// and whole level outcomes across the tree.
+///
+/// With a serial pool and no cache this is exactly [`plan_node`]; with
+/// either enabled the resulting [`PlanTree`] is bit-identical — the
+/// cache keys canonicalize every `f64` input and the recursion order
+/// does not influence any level's search.
+///
+/// # Errors
+///
+/// Propagates [`PlanError::EmptySearchSpace`] from the level searcher.
+pub fn plan_node_with(
+    view: &TrainView,
+    node: &GroupNode,
+    model: &CostModel,
+    config: &SearchConfig,
+    scales: Option<&[ShardScales]>,
+    pool: Pool,
+    cache: Option<&SearchCache>,
+) -> Result<Option<PlanTree>, PlanError> {
+    let ctx = Ctx {
+        view,
+        model,
+        config,
+        cache,
+        // The fingerprint only ever enters cache keys; without a cache
+        // the whole walk is skipped.
+        fp: match cache {
+            Some(_) => {
+                memo::view_fingerprint(view, &model.config())
+                    ^ memo::context_hash(&model.config(), &config.solver, &config.types)
+            }
+            None => 0,
+        },
+    };
+    let full;
+    let scales = match scales {
+        Some(s) => s,
+        None => {
+            full = vec![ShardScales::full(); view.weighted_len()];
+            &full
+        }
+    };
+    plan_rec(&ctx, node, scales, pool)
+}
+
+/// Per-plan invariants threaded through the recursion.
+struct Ctx<'a> {
+    view: &'a TrainView,
+    model: &'a CostModel,
+    config: &'a SearchConfig,
+    cache: Option<&'a SearchCache>,
+    /// View fingerprint ⊕ context hash — constant across the tree, so a
+    /// level memo key only adds the (env, scales) bits that vary.
+    fp: u64,
+}
+
+fn plan_rec(
+    ctx: &Ctx<'_>,
+    node: &GroupNode,
+    scales: &[ShardScales],
+    pool: Pool,
 ) -> Result<Option<PlanTree>, PlanError> {
     let Some(env) = PairEnv::from_node(node) else {
         return Ok(None);
     };
-    let scales = scales.unwrap_or_else(|| vec![ShardScales::full(); view.weighted_len()]);
-    let searcher = LevelSearcher::new(view, model, config, &env, Some(scales.clone()))?;
-    let outcome = searcher.search();
+    // Tier-1 memo: a whole level search. Symmetric sibling subtrees (a
+    // homogeneous half split evenly) produce bitwise-equal keys. The key
+    // is built once and reused for the miss-path insert.
+    let key = ctx
+        .cache
+        .map(|_| memo::LevelKey::new(ctx.fp, &env, scales));
+    let cached = match (ctx.cache, &key) {
+        (Some(c), Some(k)) => c.level_lookup(k),
+        _ => None,
+    };
+    let outcome = match cached {
+        Some(outcome) => {
+            // The level's cost table was served wholesale from the memo.
+            if let Some(c) = ctx.cache {
+                c.note_cells((ctx.config.types.len() * scales.len()) as u64);
+            }
+            outcome
+        }
+        None => {
+            let searcher = LevelSearcher::with_cache(
+                ctx.view,
+                ctx.model,
+                ctx.config,
+                &env,
+                Some(scales),
+                pool,
+                ctx.cache,
+            )?;
+            let outcome = searcher.search();
+            if let (Some(c), Some(k)) = (ctx.cache, key) {
+                c.level_insert(k, outcome.clone());
+            }
+            outcome
+        }
+    };
 
     let (child_a, child_b) = node.children().expect("env implies children");
     let scales_a: Vec<ShardScales> = scales
@@ -48,8 +150,22 @@ pub fn plan_node(
         .map(|(s, entry)| s.shrink(entry.ptype, entry.ratio.complement().value()))
         .collect();
 
-    let left = plan_node(view, child_a, model, config, Some(scales_a))?;
-    let right = plan_node(view, child_b, model, config, Some(scales_b))?;
+    let (left, right) = if pool.is_serial() {
+        (
+            plan_rec(ctx, child_a, &scales_a, pool)?,
+            plan_rec(ctx, child_b, &scales_b, pool)?,
+        )
+    } else {
+        // The two children are independent: split the budget and run
+        // them concurrently. Results are position-bound, so ordering
+        // (and thus the plan) is unaffected.
+        let (pool_a, pool_b) = pool.split();
+        let (l, r) = pool.par_join(
+            || plan_rec(ctx, child_a, &scales_a, pool_a),
+            || plan_rec(ctx, child_b, &scales_b, pool_b),
+        );
+        (l?, r?)
+    };
     Ok(Some(match (left, right) {
         (Some(l), Some(r)) => PlanTree::branch(outcome.plan, l, r),
         _ => PlanTree::leaf(outcome.plan),

@@ -46,11 +46,13 @@ pub mod baselines;
 mod error;
 pub mod feasible;
 pub mod hierarchy;
+mod memo;
 mod planner;
 pub mod replan;
 pub mod search;
 
 pub use error::PlanError;
+pub use memo::{CacheStats, SearchCache};
 pub use planner::{PlannedNetwork, Planner, Strategy};
 pub use replan::{replan, FaultImpact, PlanDelta, ReplanConfig, ReplanOutcome};
 pub use search::{LevelSearcher, SearchConfig, SearchOutcome};

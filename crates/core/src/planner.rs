@@ -1,13 +1,16 @@
 use crate::baselines::{data_parallel_plan, hypar_plan, owt_plan};
 use crate::error::PlanError;
-use crate::hierarchy::plan_node;
+use crate::hierarchy::plan_node_with;
+use crate::memo::{CacheStats, SearchCache};
 use crate::search::SearchConfig;
 use accpar_cost::{CostConfig, CostModel, RatioSolver};
 use accpar_dnn::Network;
 use accpar_hw::{AcceleratorArray, GroupTree};
 use accpar_partition::PlanTree;
+use accpar_runtime::Pool;
 use accpar_sim::{SimConfig, SimReport, Simulator};
 use std::fmt;
+use std::sync::Arc;
 
 /// The partitioning schemes compared in §6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,6 +121,10 @@ pub struct Planner<'a> {
     cost_config: CostConfig,
     solver: RatioSolver,
     sim_config: SimConfig,
+    threads: Option<usize>,
+    caching: bool,
+    /// Shared across clones so replans reuse the planning run's memo.
+    cache: Arc<SearchCache>,
 }
 
 impl<'a> Planner<'a> {
@@ -131,6 +138,9 @@ impl<'a> Planner<'a> {
             cost_config: CostConfig::default(),
             solver: RatioSolver::default(),
             sim_config: SimConfig::cost_model_aligned(),
+            threads: None,
+            caching: true,
+            cache: Arc::new(SearchCache::new()),
         }
     }
 
@@ -164,6 +174,50 @@ impl<'a> Planner<'a> {
         self
     }
 
+    /// Sets the thread budget for planning (default: the
+    /// `ACCPAR_THREADS` environment variable, falling back to the
+    /// machine's available parallelism). Plans are bit-identical at any
+    /// budget.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Enables or disables the shared search memo (default: enabled).
+    /// Caching never changes results — only how often cost cells, block
+    /// tables and whole levels are recomputed.
+    #[must_use]
+    pub fn with_caching(mut self, caching: bool) -> Self {
+        self.caching = caching;
+        self
+    }
+
+    /// Shares a search memo with other planners — e.g. a zoo sweep over
+    /// one accelerator array, where VGG variants repeat conv shapes and
+    /// ResNet variants repeat whole blocks. Every memo key captures its
+    /// full evaluation context (layer signature, scales, environment,
+    /// cost configuration), so sharing is always sound; it pays off when
+    /// the planners' networks or fault scenarios overlap structurally.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SearchCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The resolved thread budget.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| Pool::from_env().threads())
+    }
+
+    /// Counters of the shared search memo (all zeros while caching is
+    /// disabled or before the first AccPar plan).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// The hierarchy depth that will be used.
     #[must_use]
     pub fn levels(&self) -> usize {
@@ -180,6 +234,12 @@ impl<'a> Planner<'a> {
     ///
     /// Propagates network-analysis, bisection and simulation errors.
     pub fn plan(&self, strategy: Strategy) -> Result<PlannedNetwork, PlanError> {
+        self.plan_with_pool(strategy, Pool::new(self.threads()))
+    }
+
+    /// [`Planner::plan`] with an explicit thread budget (used by
+    /// [`Planner::plan_all`] to divide the budget across strategies).
+    fn plan_with_pool(&self, strategy: Strategy, pool: Pool) -> Result<PlannedNetwork, PlanError> {
         let view = self.network.train_view()?;
         let levels = self.levels();
         let tree = GroupTree::bisect(self.array, levels)?;
@@ -194,9 +254,11 @@ impl<'a> Planner<'a> {
                     types: accpar_partition::PartitionType::ALL.to_vec(),
                     solver: self.solver,
                 };
-                plan_node(&view, tree.root(), &model, &config, None)?.ok_or_else(|| {
-                    PlanError::Mismatch("the bisected tree has no levels to plan".into())
-                })?
+                let cache = self.caching.then(|| &*self.cache);
+                plan_node_with(&view, tree.root(), &model, &config, None, pool, cache)?
+                    .ok_or_else(|| {
+                        PlanError::Mismatch("the bisected tree has no levels to plan".into())
+                    })?
             }
         };
 
@@ -259,18 +321,38 @@ impl<'a> Planner<'a> {
             solver: self.solver,
             sim_config: self.sim_config,
             sensitivity: true,
+            threads: Some(self.threads()),
         };
-        crate::replan::replan(&view, self.array, &tree, planned.plan(), faults, &config)
+        crate::replan::replan_with(
+            &view,
+            self.array,
+            &tree,
+            planned.plan(),
+            faults,
+            &config,
+            self.caching.then(|| &*self.cache),
+        )
     }
 
     /// Plans all four schemes and returns them in [`Strategy::ALL`]
-    /// order.
+    /// order. With a thread budget above 1 the strategies run
+    /// concurrently, each on a slice of the budget; results are
+    /// position-bound, so the output is identical to a serial run.
     ///
     /// # Errors
     ///
     /// See [`Planner::plan`].
     pub fn plan_all(&self) -> Result<Vec<PlannedNetwork>, PlanError> {
-        Strategy::ALL.iter().map(|&s| self.plan(s)).collect()
+        let budget = self.threads();
+        if budget <= 1 {
+            return Strategy::ALL.iter().map(|&s| self.plan_with_pool(s, Pool::serial())).collect();
+        }
+        let workers = budget.min(Strategy::ALL.len());
+        let inner = Pool::new(budget / workers);
+        Pool::new(workers)
+            .par_map(&Strategy::ALL, |_, &s| self.plan_with_pool(s, inner))
+            .into_iter()
+            .collect()
     }
 }
 

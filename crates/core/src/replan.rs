@@ -18,12 +18,14 @@
 //! [`ReplanOutcome::discarded`].
 
 use crate::error::PlanError;
-use crate::hierarchy::plan_node;
+use crate::hierarchy::plan_node_with;
+use crate::memo::SearchCache;
 use crate::search::SearchConfig;
 use accpar_cost::{CostConfig, CostModel, RatioSolver};
 use accpar_dnn::TrainView;
 use accpar_hw::{AcceleratorArray, Fault, FaultKind, FaultModel, FaultTarget, GroupTree};
 use accpar_partition::{LayerPlan, PartitionType, PlanTree};
+use accpar_runtime::Pool;
 use accpar_sim::{SimConfig, Simulator};
 use std::fmt;
 
@@ -41,6 +43,11 @@ pub struct ReplanConfig {
     /// Compute [`ReplanOutcome::sensitivity`] (one extra simulation — or,
     /// for dropout, one extra replan — per injected fault).
     pub sensitivity: bool,
+    /// Thread budget for the degraded search and the sensitivity sweep
+    /// (`None`: the `ACCPAR_THREADS` environment variable, falling back
+    /// to the machine's available parallelism). Results are
+    /// budget-independent.
+    pub threads: Option<usize>,
 }
 
 impl Default for ReplanConfig {
@@ -50,6 +57,7 @@ impl Default for ReplanConfig {
             solver: RatioSolver::default(),
             sim_config: SimConfig::cost_model_aligned(),
             sensitivity: true,
+            threads: None,
         }
     }
 }
@@ -186,9 +194,44 @@ pub fn replan(
     faults: &FaultModel,
     config: &ReplanConfig,
 ) -> Result<ReplanOutcome, PlanError> {
-    replan_inner(view, array, tree, plan, faults, config, config.sensitivity)
+    replan_with(view, array, tree, plan, faults, config, None)
 }
 
+/// Like [`replan`], sharing an existing [`SearchCache`] with the
+/// degraded search — typically the cache the healthy plan was built
+/// with, so unchanged subtrees of the hierarchy resolve from the memo.
+/// Degraded group capabilities differ bitwise from healthy ones, so
+/// faulted levels can never alias cached healthy entries.
+///
+/// # Errors
+///
+/// See [`replan`].
+pub fn replan_with(
+    view: &TrainView,
+    array: &AcceleratorArray,
+    tree: &GroupTree,
+    plan: &PlanTree,
+    faults: &FaultModel,
+    config: &ReplanConfig,
+    cache: Option<&SearchCache>,
+) -> Result<ReplanOutcome, PlanError> {
+    let pool = config
+        .threads
+        .map_or_else(Pool::from_env, Pool::new);
+    replan_inner(
+        view,
+        array,
+        tree,
+        plan,
+        faults,
+        config,
+        config.sensitivity,
+        pool,
+        cache,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn replan_inner(
     view: &TrainView,
     array: &AcceleratorArray,
@@ -197,6 +240,8 @@ fn replan_inner(
     faults: &FaultModel,
     config: &ReplanConfig,
     with_sensitivity: bool,
+    pool: Pool,
+    cache: Option<&SearchCache>,
 ) -> Result<ReplanOutcome, PlanError> {
     let sim = Simulator::new(config.sim_config);
     let nominal_secs = sim.simulate(view, plan, tree)?.total_secs;
@@ -228,12 +273,13 @@ fn replan_inner(
         types: PartitionType::ALL.to_vec(),
         solver: config.solver,
     };
-    let candidate = plan_node(view, degraded_tree.root(), &model, &search, None)?
-        .ok_or_else(|| {
-            PlanError::ReplanInfeasible(
-                "the surviving array cannot be bisected into a hierarchy".into(),
-            )
-        })?;
+    let candidate =
+        plan_node_with(view, degraded_tree.root(), &model, &search, None, pool, cache)?
+            .ok_or_else(|| {
+                PlanError::ReplanInfeasible(
+                    "the surviving array cannot be bisected into a hierarchy".into(),
+                )
+            })?;
     let candidate_secs = sim
         .simulate_faulted(view, &candidate, &surv_tree, &eff_faults)?
         .total_secs;
@@ -248,12 +294,25 @@ fn replan_inner(
     let deltas = diff_plans(plan, &adopted);
 
     let sensitivity = if with_sensitivity {
-        let mut impacts = Vec::with_capacity(faults.faults().len());
-        for fault in faults.faults() {
+        // Each fault's solo impact is independent of the others: sweep
+        // them with the pool. `par_map` keeps fault order, and every
+        // nested dropout replan runs serially inside its worker.
+        pool.par_map(faults.faults(), |_, fault| -> Result<FaultImpact, PlanError> {
             let solo = FaultModel::with_seed(faults.seed()).push(*fault)?;
             let secs = match fault.kind {
                 FaultKind::Dropout => {
-                    replan_inner(view, array, tree, plan, &solo, config, false)?.degraded_secs
+                    replan_inner(
+                        view,
+                        array,
+                        tree,
+                        plan,
+                        &solo,
+                        config,
+                        false,
+                        Pool::serial(),
+                        cache,
+                    )?
+                    .degraded_secs
                 }
                 _ => {
                     sim.simulate_faulted(view, plan, tree, &solo)?
@@ -265,12 +324,13 @@ fn replan_inner(
             } else {
                 1.0
             };
-            impacts.push(FaultImpact {
+            Ok(FaultImpact {
                 fault: *fault,
                 slowdown,
-            });
-        }
-        impacts
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?
     } else {
         Vec::new()
     };

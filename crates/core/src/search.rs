@@ -28,9 +28,12 @@
 //! fork-to-junction conversion.
 
 use crate::error::PlanError;
-use accpar_cost::{CostModel, PairEnv, RatioSolver};
+use crate::memo::{BlockKey, BlockTransfer, SearchCache};
+use accpar_cost::{layer_ratio_cost, CostModel, PairEnv, RatioSolver};
 use accpar_dnn::{TrainElem, TrainLayer, TrainView};
 use accpar_partition::{LayerPlan, NetworkPlan, PartitionType, Ratio, ShardScales};
+use accpar_runtime::Pool;
+use std::borrow::Cow;
 
 /// Configuration of a level search: the admissible partition types and
 /// the ratio policy.
@@ -82,7 +85,30 @@ pub struct SearchOutcome {
 }
 
 /// A layer state: its partition type and solved ratio.
-type State = (PartitionType, Ratio);
+pub(crate) type State = (PartitionType, Ratio);
+
+/// The chain DP of one branch up to (excluding) the junction re-layout:
+/// per-type accumulated cost at the last layer plus the backtracking
+/// choices. Empty for identity branches.
+struct BranchDp {
+    cost: Vec<f64>,
+    back: Vec<Vec<usize>>,
+}
+
+/// Entry-independent tables of one branch, hoisted out of the per-entry
+/// DP of a block transfer build (see
+/// [`LevelSearcher::block_transfer`]).
+struct BranchPre {
+    /// `trans[w][ti][tt]`: window `w`'s transition cost from its first
+    /// layer at type index `tt` into its second at `ti`.
+    trans: Vec<Vec<Vec<f64>>>,
+    /// `exit_relay[e][ti]`: re-layout from the branch's last layer at
+    /// type index `ti` into the junction state of exit index `e`.
+    /// Empty for identity branches.
+    exit_relay: Vec<Vec<f64>>,
+    /// The branch's (scaled) contribution to the join tensor.
+    exit_elems: u64,
+}
 
 /// Backtracking record for one trunk element.
 enum Step {
@@ -129,11 +155,15 @@ pub struct LevelSearcher<'a> {
     model: &'a CostModel,
     config: &'a SearchConfig,
     env: &'a PairEnv,
-    scales: Vec<ShardScales>,
+    scales: Cow<'a, [ShardScales]>,
     /// `ratios[layer][type index]`.
     ratios: Vec<Vec<Ratio>>,
     /// `layer_costs[layer][type index]`, scalarized.
     layer_costs: Vec<Vec<f64>>,
+    /// Shared memo (block transfer tables); `None` disables memoization.
+    cache: Option<&'a SearchCache>,
+    /// Context hash for cache keys (cost config + solver + type set).
+    ctx: u64,
 }
 
 impl<'a> LevelSearcher<'a> {
@@ -150,14 +180,38 @@ impl<'a> LevelSearcher<'a> {
         model: &'a CostModel,
         config: &'a SearchConfig,
         env: &'a PairEnv,
-        scales: Option<Vec<ShardScales>>,
+        scales: Option<&'a [ShardScales]>,
+    ) -> Result<Self, PlanError> {
+        Self::with_cache(view, model, config, env, scales, Pool::serial(), None)
+    }
+
+    /// Like [`LevelSearcher::new`], with a thread budget for the cost
+    /// table construction and an optional shared [`SearchCache`].
+    ///
+    /// With `Pool::serial()` and no cache this is exactly `new`: the two
+    /// paths share one code path and produce bit-identical tables.
+    ///
+    /// # Errors
+    ///
+    /// As [`LevelSearcher::new`].
+    pub fn with_cache(
+        view: &'a TrainView,
+        model: &'a CostModel,
+        config: &'a SearchConfig,
+        env: &'a PairEnv,
+        scales: Option<&'a [ShardScales]>,
+        pool: Pool,
+        cache: Option<&'a SearchCache>,
     ) -> Result<Self, PlanError> {
         if config.types.is_empty() {
             return Err(PlanError::EmptySearchSpace);
         }
         let mut layers: Vec<&TrainLayer> = view.layers().collect();
         layers.sort_by_key(|l| l.index());
-        let scales = scales.unwrap_or_else(|| vec![ShardScales::full(); layers.len()]);
+        let scales: Cow<'a, [ShardScales]> = match scales {
+            Some(s) => Cow::Borrowed(s),
+            None => Cow::Owned(vec![ShardScales::full(); layers.len()]),
+        };
         if scales.len() != layers.len() {
             return Err(PlanError::Mismatch(format!(
                 "{} shard scales for {} weighted layers",
@@ -165,37 +219,33 @@ impl<'a> LevelSearcher<'a> {
                 layers.len()
             )));
         }
-        let ratios: Vec<Vec<Ratio>> = layers
-            .iter()
-            .zip(&scales)
-            .map(|(layer, &s)| {
-                config
+        // One row per layer: solve the ratio and scalarize the cost for
+        // every admissible type, through the shared memo when present.
+        // `par_map` returns rows in layer order, so the tables are
+        // identical to a serial build.
+        let rows: Vec<(Vec<Ratio>, Vec<f64>)> = pool.par_map(&layers, |l, layer| match cache {
+            Some(c) => match c.layer_row(model, &config.solver, layer, &config.types, env, scales[l])
+            {
+                // A row hit is a stack copy — no heap traffic.
+                Some(row) => row[..config.types.len()].iter().copied().unzip(),
+                // Type sets wider than a row entry memoize per cell.
+                None => config
                     .types
                     .iter()
-                    .map(|&t| config.solver.solve(model, layer, t, env, s))
-                    .collect()
-            })
-            .collect();
-        let layer_costs: Vec<Vec<f64>> = layers
-            .iter()
-            .enumerate()
-            .map(|(l, layer)| {
-                config
-                    .types
-                    .iter()
-                    .enumerate()
-                    .map(|(ti, &t)| {
-                        model.scalarize(model.layer_cost(
-                            layer,
-                            t,
-                            ratios[l][ti],
-                            env,
-                            scales[l],
-                        ))
-                    })
-                    .collect()
-            })
-            .collect();
+                    .map(|&t| c.layer_cell(model, &config.solver, layer, t, env, scales[l]))
+                    .unzip(),
+            },
+            None => config
+                .types
+                .iter()
+                .map(|&t| layer_ratio_cost(model, &config.solver, layer, t, env, scales[l]))
+                .unzip(),
+        });
+        if let Some(c) = cache {
+            c.note_cells((config.types.len() * layers.len()) as u64);
+        }
+        let (ratios, layer_costs) = rows.into_iter().unzip();
+        let ctx = crate::memo::context_hash(&model.config(), &config.solver, &config.types);
         Ok(Self {
             view,
             layers,
@@ -205,6 +255,8 @@ impl<'a> LevelSearcher<'a> {
             scales,
             ratios,
             layer_costs,
+            cache,
+            ctx,
         })
     }
 
@@ -276,7 +328,6 @@ impl<'a> LevelSearcher<'a> {
 
     /// Optimal cost and per-layer type choices for one branch between a
     /// (possibly absent) entry state and a junction exit state.
-    #[allow(clippy::needless_range_loop)]
     fn branch_best(
         &self,
         branch: &[TrainLayer],
@@ -284,14 +335,22 @@ impl<'a> LevelSearcher<'a> {
         exit: State,
         exit_elems: u64,
     ) -> (f64, Vec<(usize, usize)>) {
+        let dp = self.branch_dp(branch, entry);
+        self.branch_finish(branch, &dp, entry, exit, exit_elems)
+    }
+
+    /// The entry-dependent part of [`branch_best`](Self::branch_best):
+    /// the chain DP along the branch. Independent of the exit state, so
+    /// one DP serves every junction exit of the block.
+    #[allow(clippy::needless_range_loop)]
+    fn branch_dp(&self, branch: &[TrainLayer], entry: Option<State>) -> BranchDp {
         let k = self.k();
         let Some(first) = branch.first() else {
-            // Identity shortcut: the fork tensor is re-laid-out into the
-            // junction state (free when the entry already matches).
-            let cost = entry.map_or(0.0, |e| self.relayout_cost(e, exit, exit_elems));
-            return (cost, Vec::new());
+            return BranchDp {
+                cost: Vec::new(),
+                back: Vec::new(),
+            };
         };
-        // Chain DP along the branch.
         let mut cost: Vec<f64> = (0..k)
             .map(|ti| {
                 let edge = entry.map_or(0.0, |e| self.consume_cost(e, first.index(), ti));
@@ -318,11 +377,33 @@ impl<'a> LevelSearcher<'a> {
             cost = next_cost;
             back.push(choice);
         }
+        BranchDp { cost, back }
+    }
+
+    /// The exit-dependent part of [`branch_best`](Self::branch_best):
+    /// re-layout into the junction state, min over the last layer's
+    /// type and backtrack. Splitting the DP off changes no arithmetic —
+    /// the exit only ever entered the final min loop.
+    fn branch_finish(
+        &self,
+        branch: &[TrainLayer],
+        dp: &BranchDp,
+        entry: Option<State>,
+        exit: State,
+        exit_elems: u64,
+    ) -> (f64, Vec<(usize, usize)>) {
+        let k = self.k();
+        if branch.is_empty() {
+            // Identity shortcut: the fork tensor is re-laid-out into the
+            // junction state (free when the entry already matches).
+            let cost = entry.map_or(0.0, |e| self.relayout_cost(e, exit, exit_elems));
+            return (cost, Vec::new());
+        }
         // Exit re-layout from the branch's last layer.
         let last = branch.last().expect("non-empty").index();
         let (mut best, mut best_ti) = (f64::INFINITY, 0);
         for ti in 0..k {
-            let c = cost[ti] + self.relayout_cost(self.state(last, ti), exit, exit_elems);
+            let c = dp.cost[ti] + self.relayout_cost(self.state(last, ti), exit, exit_elems);
             if c < best {
                 best = c;
                 best_ti = ti;
@@ -331,7 +412,193 @@ impl<'a> LevelSearcher<'a> {
         // Backtrack type choices along the branch.
         let mut types_rev = vec![best_ti];
         let mut ti = best_ti;
-        for choice in back.iter().rev() {
+        for choice in dp.back.iter().rev() {
+            ti = choice[ti];
+            types_rev.push(ti);
+        }
+        types_rev.reverse();
+        let assignment = branch
+            .iter()
+            .zip(types_rev)
+            .map(|(layer, ti)| (layer.index(), ti))
+            .collect();
+        (best, assignment)
+    }
+
+    /// The full block transfer table: `table[entry][exit]` (one pseudo
+    /// entry when the block opens the network) with assignments recorded
+    /// as branch-major *slots*, position-independent for the memo. Each
+    /// branch's chain DP runs once per entry and is reused across exits;
+    /// the arithmetic per cell is identical to `branch_best`.
+    fn block_transfer(
+        &self,
+        branches: &[Vec<TrainLayer>],
+        entries: Option<&[State]>,
+        fork_elems: u64,
+    ) -> BlockTransfer {
+        let k = self.k();
+        let entry_list: Vec<Option<State>> = match entries {
+            None => vec![None],
+            Some(es) => es.iter().map(|&e| Some(e)).collect(),
+        };
+        // Everything entry-independent is computed once per block, not
+        // once per entry: the interior chain transitions, the exit
+        // re-layouts of each branch's last layer and the junction
+        // states. The per-entry DP then runs over pure floats. Each
+        // sum below is assembled in the exact order `branch_best`
+        // would produce, so the table stays bitwise identical.
+        let exits: Vec<State> = (0..k).map(|ti| self.junction_state(branches, ti)).collect();
+        let pres: Vec<BranchPre> = branches
+            .iter()
+            .map(|b| self.branch_pre(b, &exits, fork_elems))
+            .collect();
+        entry_list
+            .iter()
+            .map(|&entry| {
+                let dps: Vec<BranchDp> = branches
+                    .iter()
+                    .zip(&pres)
+                    .map(|(b, pre)| self.branch_dp_pre(b, pre, entry))
+                    .collect();
+                (0..k)
+                    .map(|ti| {
+                        let mut total = 0.0;
+                        let mut slots: Vec<(usize, usize)> = Vec::new();
+                        let mut slot_base = 0;
+                        for ((dp, branch), pre) in dps.iter().zip(branches).zip(&pres) {
+                            let (c, a) =
+                                self.branch_finish_pre(branch, pre, dp, entry, exits[ti], ti);
+                            total += c;
+                            slots.extend(
+                                a.iter()
+                                    .enumerate()
+                                    .map(|(p, &(_, t))| (slot_base + p, t)),
+                            );
+                            slot_base += branch.len();
+                        }
+                        (total, slots)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Entry-independent tables of one branch: interior transition
+    /// costs, exit re-layout costs and the branch's exit element count.
+    fn branch_pre(&self, branch: &[TrainLayer], exits: &[State], fork_elems: u64) -> BranchPre {
+        let k = self.k();
+        let exit_elems = self.branch_exit_elems(branch, fork_elems);
+        // trans[w][ti][tt]: from window w's first layer at type tt into
+        // its second at type ti (the order `branch_dp`'s loops visit).
+        let trans: Vec<Vec<Vec<f64>>> = branch
+            .windows(2)
+            .map(|pair| {
+                let cur = pair[1].index();
+                let prev_layer = pair[0].index();
+                (0..k)
+                    .map(|ti| {
+                        (0..k)
+                            .map(|tt| self.consume_cost(self.state(prev_layer, tt), cur, ti))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        // exit_relay[e][ti]: from the branch's last layer at type ti
+        // into the junction state `exits[e]`. Empty for identity
+        // branches, whose re-layout starts at the (entry-dependent)
+        // fork state instead.
+        let exit_relay: Vec<Vec<f64>> = match branch.last() {
+            Some(last) => exits
+                .iter()
+                .map(|&exit| {
+                    (0..k)
+                        .map(|ti| {
+                            self.relayout_cost(self.state(last.index(), ti), exit, exit_elems)
+                        })
+                        .collect()
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        BranchPre {
+            trans,
+            exit_relay,
+            exit_elems,
+        }
+    }
+
+    /// [`branch_dp`](Self::branch_dp) over precomputed transitions —
+    /// identical arithmetic, no `edge_cost` evaluations in the loop.
+    #[allow(clippy::needless_range_loop)]
+    fn branch_dp_pre(
+        &self,
+        branch: &[TrainLayer],
+        pre: &BranchPre,
+        entry: Option<State>,
+    ) -> BranchDp {
+        let k = self.k();
+        let Some(first) = branch.first() else {
+            return BranchDp {
+                cost: Vec::new(),
+                back: Vec::new(),
+            };
+        };
+        let mut cost: Vec<f64> = (0..k)
+            .map(|ti| {
+                let edge = entry.map_or(0.0, |e| self.consume_cost(e, first.index(), ti));
+                edge + self.layer_costs[first.index()][ti]
+            })
+            .collect();
+        let mut back: Vec<Vec<usize>> = Vec::new();
+        for (w, pair) in branch.windows(2).enumerate() {
+            let cur = pair[1].index();
+            let mut next_cost = vec![f64::INFINITY; k];
+            let mut choice = vec![0usize; k];
+            for ti in 0..k {
+                for tt in 0..k {
+                    let c = cost[tt] + pre.trans[w][ti][tt] + self.layer_costs[cur][ti];
+                    if c < next_cost[ti] {
+                        next_cost[ti] = c;
+                        choice[ti] = tt;
+                    }
+                }
+            }
+            cost = next_cost;
+            back.push(choice);
+        }
+        BranchDp { cost, back }
+    }
+
+    /// [`branch_finish`](Self::branch_finish) over the precomputed exit
+    /// re-layout row — identical arithmetic.
+    fn branch_finish_pre(
+        &self,
+        branch: &[TrainLayer],
+        pre: &BranchPre,
+        dp: &BranchDp,
+        entry: Option<State>,
+        exit: State,
+        exit_ti: usize,
+    ) -> (f64, Vec<(usize, usize)>) {
+        let k = self.k();
+        if branch.is_empty() {
+            // Identity shortcut: re-layout from the (entry-dependent)
+            // fork state into the junction state.
+            let cost = entry.map_or(0.0, |e| self.relayout_cost(e, exit, pre.exit_elems));
+            return (cost, Vec::new());
+        }
+        let (mut best, mut best_ti) = (f64::INFINITY, 0);
+        for ti in 0..k {
+            let c = dp.cost[ti] + pre.exit_relay[exit_ti][ti];
+            if c < best {
+                best = c;
+                best_ti = ti;
+            }
+        }
+        let mut types_rev = vec![best_ti];
+        let mut ti = best_ti;
+        for choice in dp.back.iter().rev() {
             ti = choice[ti];
             types_rev.push(ti);
         }
@@ -476,32 +743,86 @@ impl<'a> LevelSearcher<'a> {
                     let mut next = vec![f64::INFINITY; k];
                     let mut prev = vec![None; k];
                     let mut assignments: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k];
+                    // The memoized path is only taken for free searches:
+                    // a forced assignment changes branch costs without
+                    // entering the key, so it always recomputes.
+                    let table = match (self.cache, forced) {
+                        (Some(cache), None) => {
+                            let entries = cost.as_ref().map(|_| info.as_slice());
+                            let key = BlockKey::new(
+                                branches,
+                                &self.scales,
+                                entries,
+                                fork_elems,
+                                self.env,
+                                self.ctx,
+                                &self.model.config(),
+                            );
+                            Some(cache.block_lookup(&key).unwrap_or_else(|| {
+                                cache.block_insert(
+                                    key,
+                                    self.block_transfer(branches, entries, fork_elems),
+                                )
+                            }))
+                        }
+                        _ => None,
+                    };
+                    // Slot → weighted-layer-index map for memoized
+                    // assignments (branch-major, matching the table).
+                    let slot_layers: Vec<usize> = match &table {
+                        Some(_) => branches.iter().flatten().map(|l| l.index()).collect(),
+                        None => Vec::new(),
+                    };
+                    let remap = |slots: &[(usize, usize)]| -> Vec<(usize, usize)> {
+                        slots.iter().map(|&(s, t)| (slot_layers[s], t)).collect()
+                    };
                     for ti in 0..k {
-                        let exit = self.junction_state(branches, ti);
                         match &cost {
-                            None => {
-                                let (c, a) =
-                                    self.block_cost(branches, None, exit, fork_elems, forced);
-                                next[ti] = c;
-                                assignments[ti] = a;
-                            }
+                            None => match &table {
+                                Some(t) => {
+                                    let (c, a) = &t[0][ti];
+                                    next[ti] = *c;
+                                    assignments[ti] = remap(a);
+                                }
+                                None => {
+                                    let exit = self.junction_state(branches, ti);
+                                    let (c, a) =
+                                        self.block_cost(branches, None, exit, fork_elems, forced);
+                                    next[ti] = c;
+                                    assignments[ti] = a;
+                                }
+                            },
                             Some(cur) => {
                                 for tt in 0..k {
                                     if cur[tt].is_infinite() {
                                         continue;
                                     }
-                                    let (c, a) = self.block_cost(
-                                        branches,
-                                        Some(info[tt]),
-                                        exit,
-                                        fork_elems,
-                                        forced,
-                                    );
-                                    let v = cur[tt] + c;
-                                    if v < next[ti] {
-                                        next[ti] = v;
-                                        prev[ti] = Some(tt);
-                                        assignments[ti] = a;
+                                    match &table {
+                                        Some(t) => {
+                                            let (c, a) = &t[tt][ti];
+                                            let v = cur[tt] + c;
+                                            if v < next[ti] {
+                                                next[ti] = v;
+                                                prev[ti] = Some(tt);
+                                                assignments[ti] = remap(a);
+                                            }
+                                        }
+                                        None => {
+                                            let exit = self.junction_state(branches, ti);
+                                            let (c, a) = self.block_cost(
+                                                branches,
+                                                Some(info[tt]),
+                                                exit,
+                                                fork_elems,
+                                                forced,
+                                            );
+                                            let v = cur[tt] + c;
+                                            if v < next[ti] {
+                                                next[ti] = v;
+                                                prev[ti] = Some(tt);
+                                                assignments[ti] = a;
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -954,9 +1275,9 @@ mod tests {
         let err = s.evaluate_plan(&short).unwrap_err();
         assert!(matches!(err, PlanError::Mismatch(_)), "{err}");
 
-        let bad_scales = Some(vec![ShardScales::full(); 1]);
+        let bad_scales = vec![ShardScales::full(); 1];
         let err =
-            LevelSearcher::new(&view, &model, &config, &env, bad_scales).unwrap_err();
+            LevelSearcher::new(&view, &model, &config, &env, Some(&bad_scales)).unwrap_err();
         assert!(matches!(err, PlanError::Mismatch(_)), "{err}");
         assert!(err.to_string().contains("shard scales"), "{err}");
     }
@@ -980,7 +1301,7 @@ mod tests {
             };
             view.weighted_len()
         ];
-        let scaled = LevelSearcher::new(&view, &model, &config, &env, Some(quarter))
+        let scaled = LevelSearcher::new(&view, &model, &config, &env, Some(&quarter))
             .unwrap()
             .search()
             .cost;

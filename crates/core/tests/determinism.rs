@@ -1,0 +1,126 @@
+//! Bit-identity of the parallel, memoized planning engine.
+//!
+//! The perf PR's contract: thread budget and caching are *performance*
+//! knobs — at any combination the planner must produce the exact plan
+//! and the exact cost bits of the serial, cache-free engine.
+
+use accpar_core::{Planner, Strategy};
+use accpar_dnn::zoo;
+use accpar_hw::{AcceleratorArray, FaultModel};
+
+/// Baseline engine: one thread, no memo — the pre-optimization path.
+fn baseline<'a>(
+    net: &'a accpar_dnn::Network,
+    array: &'a AcceleratorArray,
+) -> Planner<'a> {
+    Planner::new(net, array).with_threads(1).with_caching(false)
+}
+
+#[test]
+fn parallel_and_cached_plans_are_bit_identical_across_the_zoo() {
+    let array = AcceleratorArray::heterogeneous_tpu(4, 4);
+    for name in zoo::EVALUATION_NAMES {
+        let net = zoo::by_name(name, 128).unwrap();
+        let reference = baseline(&net, &array).plan(Strategy::AccPar).unwrap();
+        for (threads, caching) in [(1, true), (2, true), (8, true), (4, false)] {
+            let planned = Planner::new(&net, &array)
+                .with_threads(threads)
+                .with_caching(caching)
+                .plan(Strategy::AccPar)
+                .unwrap();
+            assert_eq!(
+                planned.plan(),
+                reference.plan(),
+                "{name}: plan diverged at threads={threads} caching={caching}"
+            );
+            assert_eq!(
+                planned.modeled_cost().to_bits(),
+                reference.modeled_cost().to_bits(),
+                "{name}: cost bits diverged at threads={threads} caching={caching}"
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_all_is_bit_identical_in_parallel() {
+    let net = zoo::alexnet(256).unwrap();
+    let array = AcceleratorArray::heterogeneous_tpu(4, 4);
+    let reference = baseline(&net, &array).plan_all().unwrap();
+    let parallel = Planner::new(&net, &array)
+        .with_threads(8)
+        .plan_all()
+        .unwrap();
+    assert_eq!(parallel.len(), reference.len());
+    for (p, r) in parallel.iter().zip(&reference) {
+        assert_eq!(p.strategy(), r.strategy());
+        assert_eq!(p.plan(), r.plan(), "{}", r.strategy());
+        assert_eq!(
+            p.modeled_cost().to_bits(),
+            r.modeled_cost().to_bits(),
+            "{}",
+            r.strategy()
+        );
+    }
+}
+
+#[test]
+fn replan_is_bit_identical_in_parallel_and_with_shared_cache() {
+    let net = zoo::resnet18(128).unwrap();
+    let array = AcceleratorArray::heterogeneous_tpu(4, 4);
+    let faults = FaultModel::with_seed(11)
+        .slow_leaf(0, 0.5)
+        .unwrap()
+        .degrade_cut(1, 0.25)
+        .unwrap()
+        .drop_leaf(3);
+
+    let ref_planner = baseline(&net, &array);
+    let ref_planned = ref_planner.plan(Strategy::AccPar).unwrap();
+    let reference = ref_planner.replan(&ref_planned, &faults).unwrap();
+
+    let planner = Planner::new(&net, &array).with_threads(8);
+    let planned = planner.plan(Strategy::AccPar).unwrap();
+    let outcome = planner.replan(&planned, &faults).unwrap();
+
+    assert_eq!(outcome, reference);
+}
+
+#[test]
+fn vgg16_cache_hit_rate_exceeds_half() {
+    // VGG-16's conv stages repeat shape-identical layers, a re-issued
+    // plan resolves wholesale from the level memo, and a replan shares
+    // cells with the healthy search: most cost cells the engine asks
+    // for must come from the memo, not a fresh solve.
+    let net = zoo::vgg16(256).unwrap();
+    let array = AcceleratorArray::heterogeneous_tpu(4, 4);
+    let planner = Planner::new(&net, &array).with_threads(1);
+    let planned = planner.plan(Strategy::AccPar).unwrap();
+    let again = planner.plan(Strategy::AccPar).unwrap();
+    assert_eq!(planned, again, "memoized re-plan must be identical");
+    let faults = FaultModel::with_seed(3).slow_leaf(0, 0.5).unwrap();
+    planner.replan(&planned, &faults).unwrap();
+
+    let stats = planner.cache_stats();
+    assert!(
+        stats.cells_requested > 0,
+        "the planner never consulted the cache: {stats:?}"
+    );
+    assert!(
+        stats.hit_rate() > 0.5,
+        "hit rate {:.3} (stats {stats:?})",
+        stats.hit_rate()
+    );
+}
+
+#[test]
+fn caching_off_keeps_stats_at_zero() {
+    let net = zoo::lenet(64).unwrap();
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    let planner = baseline(&net, &array);
+    planner.plan(Strategy::AccPar).unwrap();
+    let stats = planner.cache_stats();
+    assert_eq!(stats.cells_requested, 0);
+    assert_eq!(stats.layer_hits + stats.layer_misses, 0);
+    assert_eq!(stats.hit_rate(), 0.0);
+}

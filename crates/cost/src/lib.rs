@@ -41,10 +41,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod comm;
 pub mod compute;
 mod model;
 pub mod ratio;
 
+pub use cache::{layer_ratio_cost, CostCache, LayerSig};
 pub use model::{CostConfig, CostModel, Objective, PairCost, PairEnv};
 pub use ratio::RatioSolver;

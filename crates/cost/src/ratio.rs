@@ -91,7 +91,17 @@ impl RatioSolver {
             }
             RatioSolver::BalancedExact => {
                 // α·cp_a + cm_a = (1−α)·cp_b + cm_b
-                (cp_b + cm_b - cm_a) / (cp_a + cp_b)
+                if cm_a == cm_b {
+                    // The cm terms cancel algebraically; dividing them
+                    // out keeps the cancellation exact. `(cp_b + cm) −
+                    // cm` rounds, and that one-ulp nudge would make a
+                    // symmetric pair's split minutely unequal — the
+                    // sibling subtrees then stop being bitwise
+                    // interchangeable.
+                    cp_b / (cp_a + cp_b)
+                } else {
+                    (cp_b + cm_b - cm_a) / (cp_a + cp_b)
+                }
             }
             RatioSolver::Fixed(_) => unreachable!("handled above"),
         };

@@ -4,6 +4,10 @@
 use std::fmt;
 use std::ops::Range;
 
+/// Cache-blocking tile edge for `matmul` and `transpose`. 32×32 `f64`
+/// tiles (8 KiB) fit comfortably in L1 alongside the output stripe.
+const TILE: usize = 32;
+
 /// A dense row-major `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -89,7 +93,11 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
-    /// Matrix product `self × other`.
+    /// Matrix product `self × other`, blocked over `(row, inner)` tiles
+    /// so each stripe of `other` stays cache-resident while the tile's
+    /// rows sweep it. Within every output element the inner index still
+    /// runs strictly ascending, so accumulation order — and thus the
+    /// result, bit for bit — matches a naive triple loop.
     ///
     /// # Panics
     ///
@@ -102,24 +110,44 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[r * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                for c in 0..other.cols {
-                    out.data[r * other.cols + c] += a * other.data[k * other.cols + c];
+        for r0 in (0..self.rows).step_by(TILE) {
+            let r1 = (r0 + TILE).min(self.rows);
+            for k0 in (0..self.cols).step_by(TILE) {
+                let k1 = (k0 + TILE).min(self.cols);
+                for r in r0..r1 {
+                    for k in k0..k1 {
+                        let a = self.data[r * self.cols + k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for c in 0..other.cols {
+                            out.data[r * other.cols + c] += a * other.data[k * other.cols + c];
+                        }
+                    }
                 }
             }
         }
         out
     }
 
-    /// Transpose.
+    /// Transpose, copied tile by tile so both the source's row-major
+    /// reads and the destination's column-scattered writes stay within
+    /// one cache-resident block at a time.
     #[must_use]
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self.at(c, r))
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r0 in (0..self.rows).step_by(TILE) {
+            let r1 = (r0 + TILE).min(self.rows);
+            for c0 in (0..self.cols).step_by(TILE) {
+                let c1 = (c0 + TILE).min(self.cols);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Element-wise sum.
@@ -265,6 +293,53 @@ mod tests {
         assert_eq!(p.at(0, 1), 13.0);
         assert_eq!(p.at(1, 0), 28.0);
         assert_eq!(p.at(1, 1), 40.0);
+    }
+
+    /// Naive reference implementations the blocked kernels must match
+    /// exactly (same accumulation order ⇒ bitwise-equal results).
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for r in 0..a.rows {
+            for k in 0..a.cols {
+                let v = a.at(r, k);
+                if v == 0.0 {
+                    continue;
+                }
+                for c in 0..b.cols {
+                    out.data[r * b.cols + c] += v * b.at(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise() {
+        // Dimensions straddling tile boundaries: below, at, above and
+        // far past TILE, none a multiple of another.
+        for (m, k, n) in [(1, 1, 1), (7, 5, 3), (32, 32, 32), (33, 70, 41), (100, 37, 65)] {
+            let a = Matrix::from_fn(m, k, |r, c| {
+                // Mix signs, magnitudes and exact zeros (skip path).
+                if (r + c) % 7 == 0 {
+                    0.0
+                } else {
+                    ((r * 31 + c * 17) % 101) as f64 * 0.37 - 18.0
+                }
+            });
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 29) % 97) as f64 * 0.59 - 28.0);
+            let blocked = a.matmul(&b);
+            let naive = naive_matmul(&a, &b);
+            assert_eq!(blocked, naive, "{m}x{k} × {k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matches_reference() {
+        for (m, n) in [(1, 1), (3, 80), (32, 32), (33, 41), (100, 7)] {
+            let a = Matrix::from_fn(m, n, |r, c| (r * 131 + c * 7) as f64 * 0.25);
+            let reference = Matrix::from_fn(n, m, |r, c| a.at(c, r));
+            assert_eq!(a.transpose(), reference, "{m}x{n}");
+        }
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! A std-only worker pool for the planning engine.
+//!
+//! The workspace is deliberately dependency-free, so this crate provides
+//! the minimal parallel primitives the planner needs on top of
+//! [`std::thread::scope`]:
+//!
+//! * [`Pool::par_map`] — a fork-join map over a slice with
+//!   **deterministic result ordering**: results come back in item order
+//!   regardless of which worker computed them or when it finished.
+//! * [`Pool::par_join`] — run two closures concurrently (the
+//!   independent left/right recursion of the hierarchical planner).
+//! * [`Pool::split`] — divide a pool between two nested branches so
+//!   recursive parallelism never oversubscribes the machine.
+//!
+//! A pool is just a thread *budget*; threads are spawned per call and
+//! joined before the call returns, so no state leaks between calls and
+//! borrowed data flows in freely. The budget is a cap, not a demand:
+//! physical workers are additionally clamped to the machine's available
+//! parallelism, since oversubscribing cores cannot make a
+//! deterministically ordered fork-join faster. With a budget of one (or single-item
+//! inputs) every primitive degrades to plain serial execution on the
+//! calling thread — the planner's serial and parallel paths therefore
+//! share one code path and produce bit-identical results by
+//! construction.
+//!
+//! The default budget honors the `ACCPAR_THREADS` environment variable
+//! (falling back to [`std::thread::available_parallelism`]):
+//!
+//! ```
+//! use accpar_runtime::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//!
+//! let (a, b) = pool.par_join(|| 2 + 2, || "concurrently");
+//! assert_eq!((a, b), (4, "concurrently"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// The machine's available parallelism (1 when undeterminable), cached
+/// for the process lifetime.
+fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Environment variable overriding the default thread budget.
+pub const THREADS_ENV: &str = "ACCPAR_THREADS";
+
+/// A fork-join thread budget (see the [module docs](self)).
+///
+/// Cheap to copy; carries no OS resources. Threads are scoped to each
+/// `par_map`/`par_join` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with the given thread budget (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded pool: every primitive runs serially on the
+    /// calling thread.
+    #[must_use]
+    pub const fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The default pool: `ACCPAR_THREADS` when set to a positive
+    /// integer, otherwise the machine's available parallelism (1 when
+    /// that cannot be determined).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()));
+        Self::new(threads)
+    }
+
+    /// The thread budget.
+    #[must_use]
+    pub const fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether every primitive will run serially.
+    #[must_use]
+    pub const fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Splits the budget across two concurrent branches: `(ceil, floor)`
+    /// halves, each at least 1. Used by recursive fork-join so the total
+    /// live thread count stays within the original budget.
+    #[must_use]
+    pub const fn split(&self) -> (Pool, Pool) {
+        let a = self.threads.div_ceil(2);
+        let b = if self.threads / 2 > 1 {
+            self.threads / 2
+        } else {
+            1
+        };
+        (Pool { threads: a }, Pool { threads: b })
+    }
+
+    /// Maps `f` over `items` with up to [`Pool::threads`] workers and
+    /// returns the results **in item order**. `f` receives the item's
+    /// index alongside the item. Panics in `f` are propagated to the
+    /// caller after all workers stop.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        // The budget is an upper bound; physical workers never exceed
+        // the machine's parallelism — spawning more threads than cores
+        // cannot make the (deterministically ordered) map faster.
+        let workers = self.threads.min(items.len()).min(hardware_threads());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut buckets: Vec<Vec<(usize, U)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, U)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(local) => local,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        // Merge the per-worker buckets back into item order.
+        let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+        for bucket in &mut buckets {
+            for (i, v) in bucket.drain(..) {
+                slots[i] = Some(v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Runs `a` and `b` concurrently (serially, `a` first, when the
+    /// budget is 1) and returns both results. Panics are propagated.
+    pub fn par_join<RA, RB, FA, FB>(&self, a: FA, b: FB) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+        FA: FnOnce() -> RA + Send,
+        FB: FnOnce() -> RB + Send,
+    {
+        if self.threads <= 1 || hardware_threads() <= 1 {
+            let ra = a();
+            let rb = b();
+            return (ra, rb);
+        }
+        thread::scope(|scope| {
+            let hb = scope.spawn(b);
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(rb) => rb,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        })
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.par_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let pool = Pool::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_actually_uses_multiple_workers() {
+        // With more items than threads every worker claims at least one
+        // item under the striped counter; assert the work all happened.
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        Pool::new(4).par_map(&items, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn par_join_returns_both_results() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let (a, b) = pool.par_join(|| 40 + 2, || "b".to_string());
+            assert_eq!(a, 42);
+            assert_eq!(b, "b");
+        }
+    }
+
+    #[test]
+    fn split_conserves_the_budget() {
+        for threads in 1..=9 {
+            let (a, b) = Pool::new(threads).split();
+            assert!(a.threads() >= 1 && b.threads() >= 1);
+            assert!(a.threads() + b.threads() <= threads.max(2));
+        }
+        assert_eq!(Pool::new(1).split(), (Pool::new(1), Pool::new(1)));
+        assert_eq!(Pool::new(8).split(), (Pool::new(4), Pool::new(4)));
+        assert_eq!(Pool::new(5).split(), (Pool::new(3), Pool::new(2)));
+    }
+
+    #[test]
+    fn zero_threads_clamp_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::new(0).is_serial());
+    }
+
+    #[test]
+    fn env_override_parses_positive_integers() {
+        // Set/unset the variable in one test to avoid races between
+        // tests sharing the process environment.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Pool::from_env().threads(), 3);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(Pool::from_env().threads() >= 1);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(Pool::from_env().threads() >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(Pool::from_env().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panic bubbles up")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..16).collect();
+        Pool::new(4).par_map(&items, |i, _| {
+            if i == 7 {
+                panic!("worker panic bubbles up");
+            }
+            i
+        });
+    }
+}

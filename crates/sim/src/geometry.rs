@@ -25,9 +25,12 @@ pub(crate) struct LayerGeom<'p> {
 
 /// Walks the tree for one layer, recording node and leaf geometry.
 pub(crate) fn layer_geom<'p>(root: &GroupNode, plan: &'p PlanTree, layer: usize) -> LayerGeom<'p> {
+    // A complete bisect tree of this depth has 2^d leaves and 2^d − 1
+    // internal nodes; for uneven trees this is just a capacity hint.
+    let n_leaves = 1usize << plan.depth().min(16);
     let mut geom = LayerGeom {
-        nodes: Vec::new(),
-        leaves: Vec::new(),
+        nodes: Vec::with_capacity(n_leaves - 1),
+        leaves: Vec::with_capacity(n_leaves),
     };
     walk(root, Some(plan), 0, layer, ShardScales::full(), &mut geom);
     geom

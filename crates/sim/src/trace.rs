@@ -57,7 +57,9 @@ impl TraceSegment {
 pub use accpar_partition::ShardScales;
 
 /// Emits the trace segments of one phase of one layer for a leaf holding
-/// the given shard.
+/// the given shard: two operand LOADs, the MULT and ADD runs, and the
+/// result STORE. The fixed-arity return keeps the simulator's innermost
+/// loop (every leaf of every phase of every layer) off the heap.
 ///
 /// Event granularity follows the paper: FC traces are element-wise
 /// (`unit_elems = 1`), CONV traces are kernel-window-wise
@@ -80,7 +82,7 @@ pub use accpar_partition::ShardScales;
 /// # Ok::<(), accpar_dnn::NetworkError>(())
 /// ```
 #[must_use]
-pub fn phase_segments(layer: &TrainLayer, phase: Phase, scales: ShardScales) -> Vec<TraceSegment> {
+pub fn phase_segments(layer: &TrainLayer, phase: Phase, scales: ShardScales) -> [TraceSegment; 5] {
     let unit = match layer.kind() {
         WeightedKind::Fc => 1u64,
         WeightedKind::Conv { window } => (window.0 * window.1) as u64,
@@ -119,7 +121,7 @@ pub fn phase_segments(layer: &TrainLayer, phase: Phase, scales: ShardScales) -> 
     // MULTs: `reduction` per output element; ADDs: `reduction − 1`.
     let mults = out_elems * reduction as f64;
     let adds = out_elems * reduction.saturating_sub(1) as f64;
-    vec![
+    [
         seg(TraceOp::Load, loads[0], unit),
         seg(TraceOp::Load, loads[1], unit),
         seg(TraceOp::Mult, mults, unit),

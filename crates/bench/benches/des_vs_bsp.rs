@@ -19,9 +19,9 @@ fn main() {
 
     group("backends");
     bench("bsp/resnet18_h8", || {
-        black_box(Simulator::new(config).simulate(&view, &plan, &tree).unwrap())
+        black_box(Simulator::new(config).simulate(&view, &plan, &tree, None).unwrap())
     });
     bench("des/resnet18_h8", || {
-        black_box(simulate_des(&config, &view, &plan, &tree).unwrap())
+        black_box(simulate_des(&config, &view, &plan, &tree, None).unwrap())
     });
 }

@@ -14,7 +14,7 @@ fn main() {
     group("fig5");
     for name in ["lenet", "alexnet", "vgg19", "resnet50"] {
         let net = zoo::by_name(name, 512).unwrap();
-        let planner = Planner::new(&net, &array).with_sim_config(SimConfig::default());
+        let planner = Planner::builder(&net, &array).sim_config(SimConfig::default()).build().unwrap();
         bench(&format!("plan_all/{name}"), || {
             for s in Strategy::ALL {
                 black_box(planner.plan(s).unwrap());

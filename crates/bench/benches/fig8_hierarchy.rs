@@ -13,9 +13,9 @@ fn main() {
     let net = zoo::vgg19(512).unwrap();
     group("fig8");
     for h in [2usize, 5, 9] {
-        let planner = Planner::new(&net, &array)
-            .with_levels(h)
-            .with_sim_config(SimConfig::default());
+        let planner = Planner::builder(&net, &array)
+            .levels(h)
+            .sim_config(SimConfig::default()).build().unwrap();
         bench(&format!("vgg19/h{h}"), || {
             black_box(planner.plan(Strategy::AccPar).unwrap())
         });

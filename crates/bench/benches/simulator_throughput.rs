@@ -18,6 +18,6 @@ fn main() {
 
     group("simulator");
     bench("resnet50_h8_256_boards", || {
-        black_box(sim.simulate(&view, &plan, &tree).unwrap())
+        black_box(sim.simulate(&view, &plan, &tree, None).unwrap())
     });
 }

@@ -31,9 +31,9 @@ fn main() {
     for name in ["alexnet", "vgg19", "resnet18"] {
         let net = zoo::by_name(name, 512).unwrap();
         let cost = |solver: RatioSolver| {
-            Planner::new(&net, &array)
-                .with_solver(solver)
-                .with_sim_config(SimConfig::default())
+            Planner::builder(&net, &array)
+                .solver(solver)
+                .sim_config(SimConfig::default()).build().unwrap()
                 .plan(Strategy::AccPar)
                 .unwrap()
                 .modeled_cost()
@@ -54,17 +54,17 @@ fn main() {
         let tree = GroupTree::bisect(&array, 8).unwrap();
         let sim = Simulator::new(SimConfig::default());
         let faithful = sim
-            .simulate(&view, &hypar_plan(&view, &tree).unwrap(), &tree)
+            .simulate(&view, &hypar_plan(&view, &tree).unwrap(), &tree, None)
             .unwrap()
             .total_secs
             * 1e3;
         let strengthened = sim
-            .simulate(&view, &hypar_multipath_plan(&view, &tree).unwrap(), &tree)
+            .simulate(&view, &hypar_multipath_plan(&view, &tree).unwrap(), &tree, None)
             .unwrap()
             .total_secs
             * 1e3;
-        let accpar = Planner::new(&net, &array)
-            .with_sim_config(SimConfig::default())
+        let accpar = Planner::builder(&net, &array)
+            .sim_config(SimConfig::default()).build().unwrap()
             .plan(Strategy::AccPar)
             .unwrap()
             .modeled_cost()
@@ -81,11 +81,11 @@ fn main() {
         ("serial", MemModel::Serial),
         ("compute-only", MemModel::ComputeOnly),
     ] {
-        let cost = Planner::new(&net, &array)
-            .with_sim_config(SimConfig {
+        let cost = Planner::builder(&net, &array)
+            .sim_config(SimConfig {
                 mem_model,
                 ..SimConfig::default()
-            })
+            }).build().unwrap()
             .plan(Strategy::DataParallel)
             .unwrap()
             .modeled_cost()
@@ -95,11 +95,11 @@ fn main() {
 
     println!("\n=== Ablation 4: first-layer backward elision (AlexNet AccPar, step ms) ===");
     for (name, skip) in [("full backward", false), ("skip layer-0 backward", true)] {
-        let cost = Planner::new(&net, &array)
-            .with_sim_config(SimConfig {
+        let cost = Planner::builder(&net, &array)
+            .sim_config(SimConfig {
                 skip_first_backward: skip,
                 ..SimConfig::default()
-            })
+            }).build().unwrap()
             .plan(Strategy::AccPar)
             .unwrap()
             .modeled_cost()
@@ -118,11 +118,11 @@ fn main() {
         let tree = GroupTree::bisect(&array, 8).unwrap();
         let plan = data_parallel_plan(&view, 8);
         let bsp = Simulator::new(sim_config)
-            .simulate(&view, &plan, &tree)
+            .simulate(&view, &plan, &tree, None)
             .unwrap()
             .total_secs
             * 1e3;
-        let des = simulate_des(&sim_config, &view, &plan, &tree)
+        let des = simulate_des(&sim_config, &view, &plan, &tree, None)
             .unwrap()
             .total_secs
             * 1e3;

@@ -20,7 +20,7 @@ fn main() {
 
     println!("=== Extension 1: GoogLeNet (inception/Concat blocks) ===");
     let net = zoo::googlenet(512).expect("googlenet builds");
-    let planner = Planner::new(&net, &array).with_sim_config(SimConfig::default());
+    let planner = Planner::builder(&net, &array).sim_config(SimConfig::default()).build().unwrap();
     let mut dp_ms = 0.0;
     for (i, s) in Strategy::ALL.iter().enumerate() {
         let ms = planner.plan(*s).expect("plans").modeled_cost() * 1e3;
@@ -37,8 +37,8 @@ fn main() {
     );
     for name in zoo::EVALUATION_NAMES.iter().chain(["googlenet"].iter()) {
         let net = zoo::by_name(name, 512).expect("zoo network");
-        let planned = Planner::new(&net, &array)
-            .with_sim_config(SimConfig::default())
+        let planned = Planner::builder(&net, &array)
+            .sim_config(SimConfig::default()).build().unwrap()
             .plan(Strategy::AccPar)
             .expect("plans");
         let counts = planned.plan().per_layer_type_counts();
@@ -70,7 +70,7 @@ fn main() {
     for name in ["alexnet", "vgg16", "resnet50", "googlenet"] {
         let net = zoo::by_name(name, 512).expect("zoo network");
         let view = net.train_view().expect("weighted layers");
-        let planner = Planner::new(&net, &small).with_sim_config(SimConfig::default());
+        let planner = Planner::builder(&net, &small).sim_config(SimConfig::default()).build().unwrap();
         let gb = |strategy| {
             let planned = planner.plan(strategy).expect("plans");
             let tree = GroupTree::bisect(&small, planned.plan().depth()).expect("bisects");
@@ -91,7 +91,7 @@ fn main() {
     println!("{:<8} {:>10} {:>10}", "batch", "DP ms", "AccPar x");
     for batch in [64usize, 128, 256, 512, 1024] {
         let net = zoo::alexnet(batch).expect("alexnet builds");
-        let planner = Planner::new(&net, &array).with_sim_config(SimConfig::default());
+        let planner = Planner::builder(&net, &array).sim_config(SimConfig::default()).build().unwrap();
         let dp = planner.plan(Strategy::DataParallel).expect("plans").modeled_cost();
         let accpar = planner.plan(Strategy::AccPar).expect("plans").modeled_cost();
         println!("{batch:<8} {:>10.2} {:>9.2}x", dp * 1e3, dp / accpar);
@@ -124,8 +124,8 @@ fn main() {
     );
     for s in [Strategy::DataParallel, Strategy::AccPar] {
         let ms = |array: &AcceleratorArray| {
-            Planner::new(&net, array)
-                .with_sim_config(SimConfig::default())
+            Planner::builder(&net, array)
+                .sim_config(SimConfig::default()).build().unwrap()
                 .plan(s)
                 .unwrap()
                 .modeled_cost()

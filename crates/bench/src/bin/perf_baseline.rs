@@ -12,7 +12,8 @@
 //!
 //! ```sh
 //! cargo run --release -p accpar-bench --bin perf_baseline -- \
-//!     [--quick] [--out BENCH_planner.json] [--ceiling-ms 120000]
+//!     [--quick] [--out BENCH_planner.json] [--ceiling-ms 120000] \
+//!     [--trace-json trace.jsonl]
 //! ```
 //!
 //! `--quick` runs one repetition per measurement (CI smoke mode);
@@ -20,11 +21,19 @@
 //! the optimized engine exceeds the given wall-clock ceiling. The
 //! process also fails if the optimized engine's plans are not
 //! bit-identical to the serial engine's.
+//!
+//! `--trace-json PATH` additionally runs one fully traced VGG-16 plan
+//! (after all timing legs, so instrumentation cannot skew them) and
+//! writes the JSON-lines trace — `plan` / `plan.level` / `sim.step`
+//! spans, per-layer `plan.decision` events, memo hit/miss counters and
+//! per-phase simulator timings — to `PATH`. Validate it with the
+//! `trace_check` binary.
 
 use accpar_bench::json::Json;
 use accpar_core::{PlannedNetwork, Planner, SearchCache, Strategy};
 use accpar_dnn::{zoo, Network};
 use accpar_hw::{AcceleratorArray, GroupTree};
+use accpar_obs::{JsonLines, Obs};
 use accpar_runtime::Pool;
 use accpar_sim::{simulate_des, SimConfig, Simulator};
 use std::process::ExitCode;
@@ -63,10 +72,10 @@ fn plan_zoo(
 ) -> Vec<PlannedNetwork> {
     let mut plans = Vec::with_capacity(nets.len());
     for net in nets {
-        let planner = Planner::new(net, array)
-            .with_threads(threads)
-            .with_caching(caching)
-            .with_cache(Arc::clone(cache));
+        let planner = Planner::builder(net, array)
+            .threads(threads)
+            .caching(caching)
+            .cache(Arc::clone(cache)).build().unwrap();
         plans.push(planner.plan(Strategy::AccPar).expect("zoo plans"));
     }
     plans
@@ -76,11 +85,13 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut out = String::from("BENCH_planner.json");
     let mut ceiling_ms: Option<f64> = None;
+    let mut trace_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out = args.next().expect("--out needs a path"),
+            "--trace-json" => trace_json = Some(args.next().expect("--trace-json needs a path")),
             "--ceiling-ms" => {
                 ceiling_ms = Some(
                     args.next()
@@ -172,18 +183,18 @@ fn main() -> ExitCode {
     let hom = AcceleratorArray::homogeneous_tpu_v3(8);
     let vgg = zoo::vgg16(batch).expect("vgg16 builds");
     let depth3 = |threads: usize, caching: bool| {
-        Planner::new(&vgg, &hom)
-            .with_levels(3)
-            .with_threads(threads)
-            .with_caching(caching)
+        Planner::builder(&vgg, &hom)
+            .levels(3)
+            .threads(threads)
+            .caching(caching).build().unwrap()
             .plan(Strategy::AccPar)
             .expect("depth-3 plan")
     };
     let d3_ms = time_best_ms(reps, || depth3(threads, true));
-    let d3_planner = Planner::new(&vgg, &hom)
-        .with_levels(3)
-        .with_threads(threads)
-        .with_caching(true);
+    let d3_planner = Planner::builder(&vgg, &hom)
+        .levels(3)
+        .threads(threads)
+        .caching(true).build().unwrap();
     d3_planner.plan(Strategy::AccPar).expect("depth-3 plan");
     let d3_stats = d3_planner.cache_stats();
     entries.push(Entry {
@@ -207,7 +218,7 @@ fn main() -> ExitCode {
     let config = SimConfig::default();
     let bsp_ms = time_best_ms(reps, || {
         Simulator::new(config)
-            .simulate(&view, &plan, &big_tree)
+            .simulate(&view, &plan, &big_tree, None)
             .expect("bsp sim")
     });
     entries.push(Entry {
@@ -217,7 +228,7 @@ fn main() -> ExitCode {
         cache_hit_rate: 0.0,
     });
     let des_ms = time_best_ms(reps, || {
-        simulate_des(&config, &view, &plan, &big_tree).expect("des sim")
+        simulate_des(&config, &view, &plan, &big_tree, None).expect("des sim")
     });
     entries.push(Entry {
         name: "sim_des/resnet18_h8".into(),
@@ -253,6 +264,31 @@ fn main() -> ExitCode {
     ]);
     std::fs::write(&out, json.pretty() + "\n").expect("write BENCH json");
     println!("wrote {out}");
+
+    // Optional fully traced VGG-16 plan + simulation, after every timing
+    // leg so instrumentation cannot skew the numbers above. The global
+    // obs additionally routes pool / cost-model / DES counters that are
+    // recorded outside any one planner.
+    if let Some(path) = &trace_json {
+        let file = std::fs::File::create(path).expect("create trace file");
+        let subscriber = Arc::new(JsonLines::new(std::io::BufWriter::new(file)));
+        let obs = Obs::new(Arc::clone(&subscriber));
+        accpar_obs::install_global(obs.clone());
+        let traced = Planner::builder(&vgg, &hetero)
+            .threads(threads)
+            .obs(obs.clone())
+            .build()
+            .expect("vgg16 configures cleanly")
+            .plan(Strategy::AccPar)
+            .expect("traced plan");
+        obs.emit_metrics();
+        subscriber.flush();
+        println!(
+            "wrote {path} (vgg16 on 4+4 boards, {} layers, modeled {:.3} ms)",
+            traced.plan().plan().len(),
+            traced.modeled_cost() * 1e3
+        );
+    }
 
     if !identical {
         eprintln!("FAIL: optimized engine's plans are not bit-identical to serial");

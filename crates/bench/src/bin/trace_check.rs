@@ -1,0 +1,188 @@
+//! Validates a JSON-lines trace produced by `--trace-json`.
+//!
+//! ```sh
+//! cargo run --release -p accpar-bench --bin perf_baseline -- \
+//!     --quick --trace-json trace.jsonl
+//! cargo run --release -p accpar-bench --bin trace_check -- trace.jsonl
+//! ```
+//!
+//! Checks, line by line, that:
+//!
+//! * every line parses as a JSON object with a known `kind`
+//!   (`span_start`, `span_end`, `event`, `metric`);
+//! * every `span_end` closes a started span, and every span `parent` /
+//!   event `span` reference points to a started span;
+//! * the trace contains the records the observability layer promises
+//!   for a planner run: a `plan` span, nested `plan.level` spans, one
+//!   `plan.decision` event per (plan-tree node, layer), a
+//!   `plan.cache_stats` event, a `sim.report` event, and metric records
+//!   for the memo (`cost.cache.hits` / `cost.cache.misses`) and the
+//!   simulator (`sim.steps`).
+//!
+//! Exits non-zero with one message per violation.
+
+use accpar_bench::json::Json;
+use std::collections::{HashMap, HashSet};
+use std::process::ExitCode;
+
+/// Integer span id out of a `Json` number, if present and integral.
+fn id_of(record: &Json, key: &str) -> Option<u64> {
+    let v = record.get(key)?.as_f64()?;
+    if v.fract() == 0.0 && v >= 0.0 {
+        Some(v as u64)
+    } else {
+        None
+    }
+}
+
+fn main() -> ExitCode {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_check TRACE.jsonl");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut errors: Vec<String> = Vec::new();
+    let mut started: HashSet<u64> = HashSet::new();
+    let mut ended: HashSet<u64> = HashSet::new();
+    let mut span_names: HashMap<u64, String> = HashMap::new();
+    let mut event_counts: HashMap<String, usize> = HashMap::new();
+    let mut metric_names: HashSet<String> = HashSet::new();
+    let mut lines = 0usize;
+
+    for (no, line) in text.lines().enumerate() {
+        let no = no + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let record = match Json::parse(line) {
+            Ok(r) => r,
+            Err(e) => {
+                errors.push(format!("line {no}: not valid JSON: {e}"));
+                continue;
+            }
+        };
+        let kind = match record.get("kind").and_then(Json::as_str) {
+            Some(k) => k.to_string(),
+            None => {
+                errors.push(format!("line {no}: record has no `kind`"));
+                continue;
+            }
+        };
+        match kind.as_str() {
+            "span_start" => {
+                let Some(id) = id_of(&record, "id") else {
+                    errors.push(format!("line {no}: span_start has no integer `id`"));
+                    continue;
+                };
+                if !started.insert(id) {
+                    errors.push(format!("line {no}: span id {id} started twice"));
+                }
+                if let Some(name) = record.get("name").and_then(Json::as_str) {
+                    span_names.insert(id, name.to_string());
+                } else {
+                    errors.push(format!("line {no}: span_start has no `name`"));
+                }
+                if let Some(parent) = id_of(&record, "parent") {
+                    if !started.contains(&parent) {
+                        errors.push(format!(
+                            "line {no}: span {id} references unstarted parent {parent}"
+                        ));
+                    }
+                }
+            }
+            "span_end" => {
+                let Some(id) = id_of(&record, "id") else {
+                    errors.push(format!("line {no}: span_end has no integer `id`"));
+                    continue;
+                };
+                if !started.contains(&id) {
+                    errors.push(format!("line {no}: span_end for unstarted span {id}"));
+                }
+                if !ended.insert(id) {
+                    errors.push(format!("line {no}: span id {id} ended twice"));
+                }
+                if id_of(&record, "dur_ns").is_none() {
+                    errors.push(format!("line {no}: span_end has no integer `dur_ns`"));
+                }
+            }
+            "event" => {
+                let Some(name) = record.get("name").and_then(Json::as_str) else {
+                    errors.push(format!("line {no}: event has no `name`"));
+                    continue;
+                };
+                *event_counts.entry(name.to_string()).or_insert(0) += 1;
+                if let Some(span) = id_of(&record, "span") {
+                    if !started.contains(&span) {
+                        errors.push(format!(
+                            "line {no}: event `{name}` references unstarted span {span}"
+                        ));
+                    }
+                }
+            }
+            "metric" => {
+                match record.get("name").and_then(Json::as_str) {
+                    Some(name) => {
+                        metric_names.insert(name.to_string());
+                    }
+                    None => errors.push(format!("line {no}: metric has no `name`")),
+                }
+                if record.get("type").and_then(Json::as_str).is_none() {
+                    errors.push(format!("line {no}: metric has no `type`"));
+                }
+            }
+            other => errors.push(format!("line {no}: unknown record kind `{other}`")),
+        }
+    }
+
+    for id in &started {
+        if !ended.contains(id) {
+            let name = span_names.get(id).map(String::as_str).unwrap_or("?");
+            errors.push(format!("span {id} (`{name}`) started but never ended"));
+        }
+    }
+
+    let spans_named =
+        |name: &str| span_names.values().filter(|n| n.as_str() == name).count();
+    for required in ["plan", "plan.level"] {
+        if spans_named(required) == 0 {
+            errors.push(format!("no `{required}` span in trace"));
+        }
+    }
+    for required in ["plan.decision", "plan.cache_stats", "sim.report"] {
+        if event_counts.get(required).copied().unwrap_or(0) == 0 {
+            errors.push(format!("no `{required}` event in trace"));
+        }
+    }
+    for required in ["cost.cache.hits", "cost.cache.misses", "sim.steps"] {
+        if !metric_names.contains(required) {
+            errors.push(format!("no `{required}` metric in trace"));
+        }
+    }
+
+    if errors.is_empty() {
+        println!(
+            "trace OK: {lines} records, {} spans, {} decision events, {} metrics",
+            started.len(),
+            event_counts.get("plan.decision").copied().unwrap_or(0),
+            metric_names.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("FAIL: {e}");
+        }
+        eprintln!("{} violation(s) in {path}", errors.len());
+        ExitCode::FAILURE
+    }
+}

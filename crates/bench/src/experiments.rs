@@ -70,10 +70,11 @@ fn run_network(
     name: &str,
 ) -> SpeedupRow {
     let net = zoo::by_name(name, batch).expect("known zoo network");
-    let mut planner = Planner::new(&net, array).with_sim_config(SimConfig::default());
+    let mut builder = Planner::builder(&net, array).sim_config(SimConfig::default());
     if let Some(l) = levels {
-        planner = planner.with_levels(l);
+        builder = builder.levels(l);
     }
+    let planner = builder.build().expect("zoo networks configure cleanly");
     let mut step_ms = [0.0f64; 4];
     for (i, &strategy) in Strategy::ALL.iter().enumerate() {
         let planned = planner.plan(strategy).expect("zoo networks plan cleanly");
@@ -126,8 +127,10 @@ pub struct Figure7 {
 pub fn figure7() -> Figure7 {
     let net = zoo::alexnet(128).expect("alexnet builds");
     let array = AcceleratorArray::homogeneous_tpu_v3(128);
-    let planned = Planner::new(&net, &array)
-        .with_levels(7)
+    let planned = Planner::builder(&net, &array)
+        .levels(7)
+        .build()
+        .expect("alexnet configures cleanly")
         .plan(Strategy::AccPar)
         .expect("alexnet plans cleanly");
     let view = net.train_view().expect("alexnet has weighted layers");

@@ -4,7 +4,7 @@
 //! For every scenario and strategy the ablation reports three step
 //! times: the healthy plan on healthy hardware (*nominal*), the same
 //! stale plan on the faulted hardware (*degraded*), and the plan the
-//! [`replan`](accpar_core::replan) machinery adopts on the faulted
+//! [`replan`](mod@accpar_core::replan) machinery adopts on the faulted
 //! hardware (*replanned*). The replanner's never-worse guarantee means
 //! `replanned <= degraded` whenever the stale plan can still run; under
 //! dropout the stale plan cannot run at all and only the replanned time
@@ -134,9 +134,9 @@ pub fn scenario_rows(
     let view = net.train_view()?;
     let tree = GroupTree::bisect(array, levels)?;
     let sim_config = SimConfig::default();
-    let planner = Planner::new(&net, array)
-        .with_levels(levels)
-        .with_sim_config(sim_config);
+    let planner = Planner::builder(&net, array)
+        .levels(levels)
+        .sim_config(sim_config).build().unwrap();
     let sim = Simulator::new(sim_config);
     let config = ReplanConfig {
         sim_config,
@@ -149,7 +149,7 @@ pub fn scenario_rows(
         let planned = planner.plan(strategy)?;
         let degraded_ms = if faults.dropped_leaves().is_empty() {
             Some(
-                sim.simulate_faulted(&view, planned.plan(), &tree, faults)?
+                sim.simulate(&view, planned.plan(), &tree, Some(faults))?
                     .total_secs
                     * 1e3,
             )

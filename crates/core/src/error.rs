@@ -30,6 +30,10 @@ pub enum PlanError {
     /// scales or plan entries, or a plan type outside the configured
     /// space.
     Mismatch(String),
+    /// A planner was configured with invalid knobs (zero thread budget,
+    /// zero hierarchy depth); reported by
+    /// [`PlannerBuilder::build`](crate::PlannerBuilder::build).
+    Config(String),
 }
 
 impl fmt::Display for PlanError {
@@ -56,6 +60,9 @@ impl fmt::Display for PlanError {
             PlanError::Mismatch(msg) => {
                 write!(f, "input does not match the search: {msg}")
             }
+            PlanError::Config(msg) => {
+                write!(f, "invalid planner configuration: {msg}")
+            }
         }
     }
 }
@@ -69,7 +76,8 @@ impl std::error::Error for PlanError {
             PlanError::EmptySearchSpace
             | PlanError::Infeasible { .. }
             | PlanError::ReplanInfeasible(_)
-            | PlanError::Mismatch(_) => None,
+            | PlanError::Mismatch(_)
+            | PlanError::Config(_) => None,
         }
     }
 }

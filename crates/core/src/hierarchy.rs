@@ -12,6 +12,7 @@ use crate::search::{LevelSearcher, SearchConfig};
 use accpar_cost::{CostModel, PairEnv};
 use accpar_dnn::TrainView;
 use accpar_hw::GroupNode;
+use accpar_obs::Obs;
 use accpar_partition::{PlanTree, ShardScales};
 use accpar_runtime::Pool;
 
@@ -56,11 +57,36 @@ pub fn plan_node_with(
     pool: Pool,
     cache: Option<&SearchCache>,
 ) -> Result<Option<PlanTree>, PlanError> {
+    plan_node_traced(view, node, model, config, scales, pool, cache, &Obs::off(), None)
+}
+
+/// Like [`plan_node_with`], emitting one `plan.level` span per
+/// bisection level (nested under `parent`) and feeding the
+/// `planner.level_search_ns` histogram on every level that actually
+/// searches. With a disabled [`Obs`] this is exactly
+/// [`plan_node_with`]: instrumentation never influences the plan.
+///
+/// # Errors
+///
+/// Propagates [`PlanError::EmptySearchSpace`] from the level searcher.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_node_traced(
+    view: &TrainView,
+    node: &GroupNode,
+    model: &CostModel,
+    config: &SearchConfig,
+    scales: Option<&[ShardScales]>,
+    pool: Pool,
+    cache: Option<&SearchCache>,
+    obs: &Obs,
+    parent: Option<u64>,
+) -> Result<Option<PlanTree>, PlanError> {
     let ctx = Ctx {
         view,
         model,
         config,
         cache,
+        obs,
         // The fingerprint only ever enters cache keys; without a cache
         // the whole walk is skipped.
         fp: match cache {
@@ -79,7 +105,7 @@ pub fn plan_node_with(
             &full
         }
     };
-    plan_rec(&ctx, node, scales, pool)
+    plan_rec(&ctx, node, scales, pool, parent, 0)
 }
 
 /// Per-plan invariants threaded through the recursion.
@@ -88,6 +114,7 @@ struct Ctx<'a> {
     model: &'a CostModel,
     config: &'a SearchConfig,
     cache: Option<&'a SearchCache>,
+    obs: &'a Obs,
     /// View fingerprint ⊕ context hash — constant across the tree, so a
     /// level memo key only adds the (env, scales) bits that vary.
     fp: u64,
@@ -98,10 +125,19 @@ fn plan_rec(
     node: &GroupNode,
     scales: &[ShardScales],
     pool: Pool,
+    parent: Option<u64>,
+    depth: usize,
 ) -> Result<Option<PlanTree>, PlanError> {
     let Some(env) = PairEnv::from_node(node) else {
         return Ok(None);
     };
+    // The span covers the level's search *and* its subtree, so nesting
+    // in the trace mirrors the bisection hierarchy.
+    let span = ctx.obs.span_at(
+        "plan.level",
+        parent,
+        &[("depth", depth.into()), ("layers", scales.len().into())],
+    );
     // Tier-1 memo: a whole level search. Symmetric sibling subtrees (a
     // homogeneous half split evenly) produce bitwise-equal keys. The key
     // is built once and reused for the miss-path insert.
@@ -112,6 +148,7 @@ fn plan_rec(
         (Some(c), Some(k)) => c.level_lookup(k),
         _ => None,
     };
+    let cached_hit = cached.is_some();
     let outcome = match cached {
         Some(outcome) => {
             // The level's cost table was served wholesale from the memo.
@@ -121,6 +158,7 @@ fn plan_rec(
             outcome
         }
         None => {
+            let timer = ctx.obs.timer("planner.level_search_ns");
             let searcher = LevelSearcher::with_cache(
                 ctx.view,
                 ctx.model,
@@ -131,12 +169,21 @@ fn plan_rec(
                 ctx.cache,
             )?;
             let outcome = searcher.search();
+            drop(timer);
             if let (Some(c), Some(k)) = (ctx.cache, key) {
                 c.level_insert(k, outcome.clone());
             }
             outcome
         }
     };
+    span.event(
+        "plan.level_done",
+        &[
+            ("depth", depth.into()),
+            ("memo_hit", cached_hit.into()),
+            ("cost", outcome.cost.into()),
+        ],
+    );
 
     let (child_a, child_b) = node.children().expect("env implies children");
     let scales_a: Vec<ShardScales> = scales
@@ -150,10 +197,11 @@ fn plan_rec(
         .map(|(s, entry)| s.shrink(entry.ptype, entry.ratio.complement().value()))
         .collect();
 
+    let child_parent = span.id();
     let (left, right) = if pool.is_serial() {
         (
-            plan_rec(ctx, child_a, &scales_a, pool)?,
-            plan_rec(ctx, child_b, &scales_b, pool)?,
+            plan_rec(ctx, child_a, &scales_a, pool, child_parent, depth + 1)?,
+            plan_rec(ctx, child_b, &scales_b, pool, child_parent, depth + 1)?,
         )
     } else {
         // The two children are independent: split the budget and run
@@ -161,8 +209,8 @@ fn plan_rec(
         // (and thus the plan) is unaffected.
         let (pool_a, pool_b) = pool.split();
         let (l, r) = pool.par_join(
-            || plan_rec(ctx, child_a, &scales_a, pool_a),
-            || plan_rec(ctx, child_b, &scales_b, pool_b),
+            || plan_rec(ctx, child_a, &scales_a, pool_a, child_parent, depth + 1),
+            || plan_rec(ctx, child_b, &scales_b, pool_b, child_parent, depth + 1),
         );
         (l?, r?)
     };

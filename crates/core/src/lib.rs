@@ -13,7 +13,7 @@
 //!   parallelism, "One Weird Trick" (CONV → Type-I, FC → Type-II), and
 //!   HyPar (a dynamic search restricted to Types I/II, equal ratios,
 //!   communication-amount objective).
-//! * [`replan`](crate::replan) — graceful degradation: re-run the search
+//! * [`replan`](mod@crate::replan) — graceful degradation: re-run the search
 //!   against a faulted array (stragglers, degraded links, dropped
 //!   boards) and adopt the new plan only when it beats the stale one on
 //!   the same degraded hardware.
@@ -29,7 +29,7 @@
 //!
 //! let network = zoo::alexnet(512)?;
 //! let array = AcceleratorArray::heterogeneous_tpu(2, 2);
-//! let planner = Planner::new(&network, &array);
+//! let planner = Planner::builder(&network, &array).build()?;
 //!
 //! let accpar = planner.plan(Strategy::AccPar)?;
 //! let dp = planner.plan(Strategy::DataParallel)?;
@@ -53,6 +53,6 @@ pub mod search;
 
 pub use error::PlanError;
 pub use memo::{CacheStats, SearchCache};
-pub use planner::{PlannedNetwork, Planner, Strategy};
+pub use planner::{PlannedNetwork, Planner, PlannerBuilder, Strategy};
 pub use replan::{replan, FaultImpact, PlanDelta, ReplanConfig, ReplanOutcome};
 pub use search::{LevelSearcher, SearchConfig, SearchOutcome};

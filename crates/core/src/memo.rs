@@ -180,7 +180,7 @@ impl fmt::Display for CacheStats {
     }
 }
 
-/// The three-tier search memo (see the [module docs](self)).
+/// The three-tier search memo (see the module docs above).
 ///
 /// Thread-safe and shared by reference across the planner's workers.
 /// Reuse across *different* networks or cost configurations is safe —
@@ -204,6 +204,15 @@ impl SearchCache {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Routes the layer-cell tier's hit/miss/per-type counters and
+    /// solve timings to `obs` (see
+    /// [`CostCache::observe`](accpar_cost::CostCache::observe)). A
+    /// no-op when `obs` is disabled; the first enabled registration
+    /// wins for the cache's lifetime.
+    pub fn observe(&self, obs: &accpar_obs::Obs) {
+        self.layers.observe(obs);
     }
 
     /// Current counters.

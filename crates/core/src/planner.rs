@@ -1,14 +1,15 @@
 use crate::baselines::{data_parallel_plan, hypar_plan, owt_plan};
 use crate::error::PlanError;
-use crate::hierarchy::plan_node_with;
+use crate::hierarchy::plan_node_traced;
 use crate::memo::{CacheStats, SearchCache};
 use crate::search::SearchConfig;
 use accpar_cost::{CostConfig, CostModel, RatioSolver};
-use accpar_dnn::Network;
+use accpar_dnn::{Network, TrainView};
 use accpar_hw::{AcceleratorArray, GroupTree};
+use accpar_obs::{Obs, Subscriber};
 use accpar_partition::PlanTree;
 use accpar_runtime::Pool;
-use accpar_sim::{SimConfig, SimReport, Simulator};
+use accpar_sim::{Optimizer, SimConfig, SimReport, Simulator};
 use std::fmt;
 use std::sync::Arc;
 
@@ -95,8 +96,19 @@ impl fmt::Display for PlannedNetwork {
     }
 }
 
-/// One-stop planning API: pairs a network with an accelerator array and
-/// produces hierarchical partition plans under any of the four schemes.
+/// Default hierarchy depth: bisect down to single boards.
+fn default_levels(array: &AcceleratorArray) -> usize {
+    let boards = array.len().max(1);
+    (usize::BITS as usize - 1 - boards.leading_zeros() as usize).max(1)
+}
+
+/// Configures and validates a [`Planner`] — the single way to build
+/// one (see [`Planner::builder`]).
+///
+/// Every knob has a sensible default; [`build`](PlannerBuilder::build)
+/// validates the whole configuration up front (thread budget, hierarchy
+/// depth, array bisectability, network analyzability) so planning
+/// itself cannot fail on configuration errors.
 ///
 /// # Example
 ///
@@ -107,79 +119,99 @@ impl fmt::Display for PlannedNetwork {
 ///
 /// let network = zoo::lenet(128)?;
 /// let array = AcceleratorArray::heterogeneous_tpu(2, 2);
-/// let planned = Planner::new(&network, &array)
-///     .with_levels(2)
-///     .plan(Strategy::Owt)?;
+/// let planned = Planner::builder(&network, &array)
+///     .levels(2)
+///     .strategy(Strategy::Owt)
+///     .build()?
+///     .run()?;
 /// assert_eq!(planned.plan().depth(), 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct Planner<'a> {
+pub struct PlannerBuilder<'a> {
     network: &'a Network,
     array: &'a AcceleratorArray,
+    strategy: Strategy,
     levels: Option<usize>,
     cost_config: CostConfig,
     solver: RatioSolver,
     sim_config: SimConfig,
     threads: Option<usize>,
     caching: bool,
-    /// Shared across clones so replans reuse the planning run's memo.
-    cache: Arc<SearchCache>,
+    cache: Option<Arc<SearchCache>>,
+    memory_cap: Option<Optimizer>,
+    obs: Obs,
 }
 
-impl<'a> Planner<'a> {
-    /// Creates a planner over a network and an array.
+impl<'a> PlannerBuilder<'a> {
+    /// Starts a builder over a network and an array with default knobs:
+    /// AccPar strategy, bisection to single boards, default cost model
+    /// and solver, cost-model-aligned simulator, environment-derived
+    /// thread budget, caching on, no memory cap, inert observability.
     #[must_use]
     pub fn new(network: &'a Network, array: &'a AcceleratorArray) -> Self {
         Self {
             network,
             array,
+            strategy: Strategy::AccPar,
             levels: None,
             cost_config: CostConfig::default(),
             solver: RatioSolver::default(),
             sim_config: SimConfig::cost_model_aligned(),
             threads: None,
             caching: true,
-            cache: Arc::new(SearchCache::new()),
+            cache: None,
+            memory_cap: None,
+            obs: Obs::off(),
         }
     }
 
-    /// Sets the hierarchy depth (default: bisect down to single boards,
-    /// i.e. `log2(#boards)`).
+    /// The strategy [`Planner::run`] executes (default:
+    /// [`Strategy::AccPar`]). [`Planner::plan`] can still plan any
+    /// strategy regardless of this choice.
     #[must_use]
-    pub fn with_levels(mut self, levels: usize) -> Self {
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Hierarchy depth (default: bisect down to single boards, i.e.
+    /// `log2(#boards)`). Validated against the array at
+    /// [`build`](PlannerBuilder::build).
+    #[must_use]
+    pub fn levels(mut self, levels: usize) -> Self {
         self.levels = Some(levels);
         self
     }
 
-    /// Overrides the cost-model configuration used by the AccPar search.
+    /// Cost-model configuration used by the AccPar search.
     #[must_use]
-    pub fn with_cost_config(mut self, config: CostConfig) -> Self {
+    pub fn cost_config(mut self, config: CostConfig) -> Self {
         self.cost_config = config;
         self
     }
 
-    /// Overrides the ratio solver used by the AccPar search.
+    /// Ratio solver used by the AccPar search.
     #[must_use]
-    pub fn with_solver(mut self, solver: RatioSolver) -> Self {
+    pub fn solver(mut self, solver: RatioSolver) -> Self {
         self.solver = solver;
         self
     }
 
-    /// Overrides the simulator configuration used to evaluate
+    /// Simulator configuration used to evaluate
     /// [`PlannedNetwork::modeled_cost`].
     #[must_use]
-    pub fn with_sim_config(mut self, config: SimConfig) -> Self {
+    pub fn sim_config(mut self, config: SimConfig) -> Self {
         self.sim_config = config;
         self
     }
 
-    /// Sets the thread budget for planning (default: the
-    /// `ACCPAR_THREADS` environment variable, falling back to the
-    /// machine's available parallelism). Plans are bit-identical at any
+    /// Thread budget for planning (default: the `ACCPAR_THREADS`
+    /// environment variable, falling back to the machine's available
+    /// parallelism). Must be at least 1; plans are bit-identical at any
     /// budget.
     #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
+    pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
     }
@@ -188,17 +220,203 @@ impl<'a> Planner<'a> {
     /// Caching never changes results — only how often cost cells, block
     /// tables and whole levels are recomputed.
     #[must_use]
-    pub fn with_caching(mut self, caching: bool) -> Self {
+    pub fn caching(mut self, caching: bool) -> Self {
         self.caching = caching;
         self
     }
 
     /// Shares a search memo with other planners — e.g. a zoo sweep over
-    /// one accelerator array, where VGG variants repeat conv shapes and
-    /// ResNet variants repeat whole blocks. Every memo key captures its
-    /// full evaluation context (layer signature, scales, environment,
-    /// cost configuration), so sharing is always sound; it pays off when
-    /// the planners' networks or fault scenarios overlap structurally.
+    /// one accelerator array. Every memo key captures its full
+    /// evaluation context, so sharing is always sound.
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<SearchCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Makes [`Planner::run`] repair plans for memory feasibility under
+    /// the given optimizer (see [`Planner::plan_within_memory`]).
+    #[must_use]
+    pub fn memory_cap(mut self, optimizer: Optimizer) -> Self {
+        self.memory_cap = Some(optimizer);
+        self
+    }
+
+    /// Attaches a tracing [`Subscriber`] (with a fresh metrics
+    /// registry). The planner then emits `plan` / `plan.level` spans,
+    /// per-layer `plan.decision` events, cache statistics, and replan
+    /// metrics. Instrumentation never changes plans.
+    #[must_use]
+    pub fn subscriber(mut self, subscriber: impl Subscriber + 'static) -> Self {
+        self.obs = Obs::new(subscriber);
+        self
+    }
+
+    /// Attaches a pre-built observability handle (lets several planners
+    /// share one subscriber and metrics registry). [`Obs::off`] detaches.
+    #[must_use]
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Validates the configuration and builds the [`Planner`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Config`] when the thread budget or hierarchy depth
+    /// is zero; [`PlanError::Hw`] when the array cannot be bisected to
+    /// the requested depth; [`PlanError::Network`] when the network
+    /// cannot be analyzed for training.
+    pub fn build(self) -> Result<Planner<'a>, PlanError> {
+        if self.threads == Some(0) {
+            return Err(PlanError::Config(
+                "thread budget must be at least 1".into(),
+            ));
+        }
+        if self.levels == Some(0) {
+            return Err(PlanError::Config(
+                "hierarchy depth must be at least 1".into(),
+            ));
+        }
+        let levels = self.levels.unwrap_or_else(|| default_levels(self.array));
+        // Surface bisection and network-analysis errors now, not at
+        // plan time.
+        GroupTree::bisect(self.array, levels)?;
+        self.network.train_view()?;
+        Ok(Planner {
+            network: self.network,
+            array: self.array,
+            strategy: self.strategy,
+            levels: self.levels,
+            cost_config: self.cost_config,
+            solver: self.solver,
+            sim_config: self.sim_config,
+            threads: self.threads,
+            caching: self.caching,
+            cache: self.cache.unwrap_or_default(),
+            memory_cap: self.memory_cap,
+            obs: self.obs,
+        })
+    }
+}
+
+/// One-stop planning API: pairs a network with an accelerator array and
+/// produces hierarchical partition plans under any of the four schemes.
+///
+/// Built via [`Planner::builder`], which validates the configuration up
+/// front. [`Planner::run`] executes the configured strategy;
+/// [`Planner::plan`] plans any strategy ad hoc.
+///
+/// # Example
+///
+/// ```
+/// use accpar_core::{Planner, Strategy};
+/// use accpar_dnn::zoo;
+/// use accpar_hw::AcceleratorArray;
+///
+/// let network = zoo::lenet(128)?;
+/// let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+/// let planner = Planner::builder(&network, &array).levels(2).build()?;
+/// let planned = planner.plan(Strategy::Owt)?;
+/// assert_eq!(planned.plan().depth(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Planner<'a> {
+    network: &'a Network,
+    array: &'a AcceleratorArray,
+    strategy: Strategy,
+    levels: Option<usize>,
+    cost_config: CostConfig,
+    solver: RatioSolver,
+    sim_config: SimConfig,
+    threads: Option<usize>,
+    caching: bool,
+    memory_cap: Option<Optimizer>,
+    obs: Obs,
+    /// Shared across clones so replans reuse the planning run's memo.
+    cache: Arc<SearchCache>,
+}
+
+impl<'a> Planner<'a> {
+    /// Starts building a planner over a network and an array — the
+    /// entry point of the planning API. See [`PlannerBuilder`].
+    #[must_use]
+    pub fn builder(network: &'a Network, array: &'a AcceleratorArray) -> PlannerBuilder<'a> {
+        PlannerBuilder::new(network, array)
+    }
+
+    /// Creates a planner with default knobs.
+    #[deprecated(since = "0.2.0", note = "use `Planner::builder(network, array).build()`")]
+    #[must_use]
+    pub fn new(network: &'a Network, array: &'a AcceleratorArray) -> Self {
+        Self {
+            network,
+            array,
+            strategy: Strategy::AccPar,
+            levels: None,
+            cost_config: CostConfig::default(),
+            solver: RatioSolver::default(),
+            sim_config: SimConfig::cost_model_aligned(),
+            threads: None,
+            caching: true,
+            memory_cap: None,
+            obs: Obs::off(),
+            cache: Arc::new(SearchCache::new()),
+        }
+    }
+
+    /// Sets the hierarchy depth.
+    #[deprecated(since = "0.2.0", note = "use `PlannerBuilder::levels`")]
+    #[must_use]
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        self.levels = Some(levels);
+        self
+    }
+
+    /// Overrides the cost-model configuration used by the AccPar search.
+    #[deprecated(since = "0.2.0", note = "use `PlannerBuilder::cost_config`")]
+    #[must_use]
+    pub fn with_cost_config(mut self, config: CostConfig) -> Self {
+        self.cost_config = config;
+        self
+    }
+
+    /// Overrides the ratio solver used by the AccPar search.
+    #[deprecated(since = "0.2.0", note = "use `PlannerBuilder::solver`")]
+    #[must_use]
+    pub fn with_solver(mut self, solver: RatioSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Overrides the simulator configuration.
+    #[deprecated(since = "0.2.0", note = "use `PlannerBuilder::sim_config`")]
+    #[must_use]
+    pub fn with_sim_config(mut self, config: SimConfig) -> Self {
+        self.sim_config = config;
+        self
+    }
+
+    /// Sets the thread budget for planning.
+    #[deprecated(since = "0.2.0", note = "use `PlannerBuilder::threads`")]
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Enables or disables the shared search memo.
+    #[deprecated(since = "0.2.0", note = "use `PlannerBuilder::caching`")]
+    #[must_use]
+    pub fn with_caching(mut self, caching: bool) -> Self {
+        self.caching = caching;
+        self
+    }
+
+    /// Shares a search memo with other planners.
+    #[deprecated(since = "0.2.0", note = "use `PlannerBuilder::cache`")]
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<SearchCache>) -> Self {
         self.cache = cache;
@@ -218,13 +436,32 @@ impl<'a> Planner<'a> {
         self.cache.stats()
     }
 
+    /// The observability handle the planner was built with (inert
+    /// unless [`PlannerBuilder::subscriber`] or [`PlannerBuilder::obs`]
+    /// attached one).
+    #[must_use]
+    pub const fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// The hierarchy depth that will be used.
     #[must_use]
     pub fn levels(&self) -> usize {
-        self.levels.unwrap_or_else(|| {
-            let boards = self.array.len().max(1);
-            (usize::BITS as usize - 1 - boards.leading_zeros() as usize).max(1)
-        })
+        self.levels.unwrap_or_else(|| default_levels(self.array))
+    }
+
+    /// Plans the network under the builder-configured strategy,
+    /// applying the memory cap when one was set via
+    /// [`PlannerBuilder::memory_cap`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Planner::plan`] and [`Planner::plan_within_memory`].
+    pub fn run(&self) -> Result<PlannedNetwork, PlanError> {
+        match self.memory_cap {
+            Some(optimizer) => self.plan_within_memory(self.strategy, optimizer),
+            None => self.plan(self.strategy),
+        }
     }
 
     /// Plans the network under the given strategy and evaluates the plan
@@ -243,6 +480,20 @@ impl<'a> Planner<'a> {
         let view = self.network.train_view()?;
         let levels = self.levels();
         let tree = GroupTree::bisect(self.array, levels)?;
+        let obs = &self.obs;
+        if self.caching {
+            self.cache.observe(obs);
+        }
+        let span = obs.span(
+            "plan",
+            &[
+                ("network", self.network.name().into()),
+                ("strategy", strategy.to_string().into()),
+                ("levels", levels.into()),
+                ("layers", view.weighted_len().into()),
+                ("threads", pool.threads().into()),
+            ],
+        );
 
         let plan = match strategy {
             Strategy::DataParallel => data_parallel_plan(&view, levels),
@@ -255,14 +506,50 @@ impl<'a> Planner<'a> {
                     solver: self.solver,
                 };
                 let cache = self.caching.then(|| &*self.cache);
-                plan_node_with(&view, tree.root(), &model, &config, None, pool, cache)?
-                    .ok_or_else(|| {
-                        PlanError::Mismatch("the bisected tree has no levels to plan".into())
-                    })?
+                plan_node_traced(
+                    &view,
+                    tree.root(),
+                    &model,
+                    &config,
+                    None,
+                    pool,
+                    cache,
+                    obs,
+                    span.id(),
+                )?
+                .ok_or_else(|| {
+                    PlanError::Mismatch("the bisected tree has no levels to plan".into())
+                })?
             }
         };
 
-        let report = Simulator::new(self.sim_config).simulate(&view, &plan, &tree)?;
+        if obs.enabled() {
+            obs.counter("planner.plans").inc();
+            emit_decisions(obs, span.id(), &view, &plan);
+            if self.caching {
+                let stats = self.cache.stats();
+                obs.gauge("planner.cache.hit_rate").set(stats.hit_rate());
+                obs.gauge("planner.cache.lookup_hit_rate")
+                    .set(stats.lookup_hit_rate());
+                span.event(
+                    "plan.cache_stats",
+                    &[
+                        ("layer_hits", stats.layer_hits.into()),
+                        ("layer_misses", stats.layer_misses.into()),
+                        ("block_hits", stats.block_hits.into()),
+                        ("block_misses", stats.block_misses.into()),
+                        ("level_hits", stats.level_hits.into()),
+                        ("level_misses", stats.level_misses.into()),
+                        ("cells_requested", stats.cells_requested.into()),
+                        ("hit_rate", stats.hit_rate().into()),
+                    ],
+                );
+            }
+        }
+
+        let report = Simulator::new(self.sim_config)
+            .with_obs(obs.clone())
+            .simulate(&view, &plan, &tree, None)?;
         Ok(PlannedNetwork {
             strategy,
             plan,
@@ -282,7 +569,7 @@ impl<'a> Planner<'a> {
     pub fn plan_within_memory(
         &self,
         strategy: Strategy,
-        optimizer: accpar_sim::Optimizer,
+        optimizer: Optimizer,
     ) -> Result<PlannedNetwork, PlanError> {
         let planned = self.plan(strategy)?;
         let view = self.network.train_view()?;
@@ -294,7 +581,9 @@ impl<'a> Planner<'a> {
             &self.sim_config,
             optimizer,
         )?;
-        let report = Simulator::new(self.sim_config).simulate(&view, &plan, &tree)?;
+        let report = Simulator::new(self.sim_config)
+            .with_obs(self.obs.clone())
+            .simulate(&view, &plan, &tree, None)?;
         Ok(PlannedNetwork {
             strategy,
             plan,
@@ -322,6 +611,7 @@ impl<'a> Planner<'a> {
             sim_config: self.sim_config,
             sensitivity: true,
             threads: Some(self.threads()),
+            obs: self.obs.clone(),
         };
         crate::replan::replan_with(
             &view,
@@ -356,26 +646,66 @@ impl<'a> Planner<'a> {
     }
 }
 
+/// Emits one `plan.decision` event per (plan-tree node, layer): the
+/// partition type and ratio the DP chose, labeled with the layer's
+/// name. Nodes are numbered pre-order, matching
+/// [`PlanDelta::node`](crate::replan::PlanDelta).
+fn emit_decisions(obs: &Obs, parent: Option<u64>, view: &TrainView, plan: &PlanTree) {
+    let mut names = vec![""; view.weighted_len()];
+    for layer in view.layers() {
+        if let Some(slot) = names.get_mut(layer.index()) {
+            *slot = layer.name();
+        }
+    }
+    fn rec(obs: &Obs, parent: Option<u64>, names: &[&str], plan: &PlanTree, node: &mut usize) {
+        let idx = *node;
+        *node += 1;
+        for (layer, entry) in plan.plan().layers().iter().enumerate() {
+            obs.event_at(
+                "plan.decision",
+                parent,
+                &[
+                    ("node", idx.into()),
+                    ("layer", layer.into()),
+                    ("name", names.get(layer).copied().unwrap_or("").into()),
+                    ("ptype", entry.ptype.to_string().into()),
+                    ("ratio", entry.ratio.value().into()),
+                ],
+            );
+        }
+        if let Some((l, r)) = plan.children() {
+            rec(obs, parent, names, l, node);
+            rec(obs, parent, names, r, node);
+        }
+    }
+    rec(obs, parent, &names, plan, &mut 0);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use accpar_dnn::zoo;
+    use accpar_obs::Collector;
     use accpar_partition::PartitionType;
+
+    fn planner<'a>(net: &'a Network, array: &'a AcceleratorArray) -> Planner<'a> {
+        Planner::builder(net, array).build().unwrap()
+    }
 
     #[test]
     fn default_levels_bisect_to_boards() {
         let net = zoo::lenet(32).unwrap();
         let array = AcceleratorArray::heterogeneous_tpu(4, 4);
-        assert_eq!(Planner::new(&net, &array).levels(), 3);
+        assert_eq!(planner(&net, &array).levels(), 3);
         let array1 = AcceleratorArray::homogeneous_tpu_v3(1);
-        assert_eq!(Planner::new(&net, &array1).levels(), 1);
+        assert_eq!(planner(&net, &array1).levels(), 1);
     }
 
     #[test]
     fn all_strategies_produce_valid_plans() {
         let net = zoo::lenet(128).unwrap();
         let array = AcceleratorArray::heterogeneous_tpu(2, 2);
-        let planner = Planner::new(&net, &array).with_levels(2);
+        let planner = Planner::builder(&net, &array).levels(2).build().unwrap();
         let all = planner.plan_all().unwrap();
         assert_eq!(all.len(), 4);
         for planned in &all {
@@ -388,7 +718,7 @@ mod tests {
     fn accpar_beats_or_ties_every_baseline_on_alexnet() {
         let net = zoo::alexnet(512).unwrap();
         let array = AcceleratorArray::heterogeneous_tpu(4, 4);
-        let planner = Planner::new(&net, &array).with_levels(3);
+        let planner = Planner::builder(&net, &array).levels(3).build().unwrap();
         let all = planner.plan_all().unwrap();
         let accpar = all.last().unwrap().modeled_cost();
         for planned in &all {
@@ -405,8 +735,10 @@ mod tests {
     fn accpar_uses_unbalanced_ratios_on_heterogeneous_hardware() {
         let net = zoo::lenet(512).unwrap();
         let array = AcceleratorArray::heterogeneous_tpu(2, 2);
-        let planned = Planner::new(&net, &array)
-            .with_levels(1)
+        let planned = Planner::builder(&net, &array)
+            .levels(1)
+            .build()
+            .unwrap()
             .plan(Strategy::AccPar)
             .unwrap();
         // The top-level cut separates v2 from v3: ratios must tilt.
@@ -428,10 +760,93 @@ mod tests {
     fn planned_network_exposes_plan_details() {
         let net = zoo::lenet(64).unwrap();
         let array = AcceleratorArray::homogeneous_tpu_v3(2);
-        let planned = Planner::new(&net, &array).plan(Strategy::DataParallel).unwrap();
+        let planned = planner(&net, &array).plan(Strategy::DataParallel).unwrap();
         assert_eq!(planned.strategy(), Strategy::DataParallel);
         assert_eq!(planned.plan().count(PartitionType::TypeI), 5);
         assert!(planned.to_string().contains("DP"));
         assert!(planned.report().total_secs > 0.0);
+    }
+
+    #[test]
+    fn builder_validates_up_front() {
+        let net = zoo::lenet(32).unwrap();
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        assert!(matches!(
+            Planner::builder(&net, &array).threads(0).build(),
+            Err(PlanError::Config(_))
+        ));
+        assert!(matches!(
+            Planner::builder(&net, &array).levels(0).build(),
+            Err(PlanError::Config(_))
+        ));
+        // Depth 9 needs 512 boards; 4 cannot be bisected that far.
+        assert!(matches!(
+            Planner::builder(&net, &array).levels(9).build(),
+            Err(PlanError::Hw(_))
+        ));
+    }
+
+    #[test]
+    fn run_executes_the_configured_strategy() {
+        let net = zoo::lenet(64).unwrap();
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        let planned = Planner::builder(&net, &array)
+            .strategy(Strategy::Owt)
+            .levels(2)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(planned.strategy(), Strategy::Owt);
+        let capped = Planner::builder(&net, &array)
+            .strategy(Strategy::AccPar)
+            .levels(2)
+            .memory_cap(Optimizer::Sgd)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(capped.strategy(), Strategy::AccPar);
+        assert!(capped.modeled_cost() > 0.0);
+    }
+
+    #[test]
+    fn deprecated_constructor_still_plans() {
+        #![allow(deprecated)]
+        let net = zoo::lenet(64).unwrap();
+        let array = AcceleratorArray::homogeneous_tpu_v3(2);
+        #[allow(deprecated)]
+        let planned = Planner::new(&net, &array)
+            .plan(Strategy::DataParallel)
+            .unwrap();
+        assert_eq!(planned.strategy(), Strategy::DataParallel);
+    }
+
+    #[test]
+    fn tracing_emits_decisions_and_never_changes_the_plan() {
+        let net = zoo::lenet(128).unwrap();
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        let collector = Arc::new(Collector::new());
+        let traced = Planner::builder(&net, &array)
+            .levels(2)
+            .subscriber(Arc::clone(&collector))
+            .build()
+            .unwrap()
+            .plan(Strategy::AccPar)
+            .unwrap();
+        let plain = Planner::builder(&net, &array)
+            .levels(2)
+            .build()
+            .unwrap()
+            .plan(Strategy::AccPar)
+            .unwrap();
+        assert_eq!(traced.plan(), plain.plan());
+        // One decision per (node, layer): 3 nodes x 3 weighted layers.
+        let decisions = collector.events_named("plan.decision");
+        assert_eq!(decisions.len(), 3 * traced.plan().plan().len());
+        // Level spans nest under the plan span.
+        let plan_span = collector.span_named("plan").unwrap();
+        let level = collector.span_named("plan.level").unwrap();
+        assert!(collector.nested_under(level.id, plan_span.id));
     }
 }

@@ -2,7 +2,7 @@
 //! hardware and report how the plan (and its cost) shifts.
 //!
 //! Given a plan produced for the healthy array and a
-//! [`FaultModel`](accpar_hw::FaultModel), [`replan`] folds the rate
+//! [`FaultModel`], [`replan`](fn@replan) folds the rate
 //! faults into a degraded [`GroupTree`], re-runs AccPar's dynamic
 //! program (the same [`plan_node`](crate::hierarchy::plan_node)
 //! machinery the healthy planner uses) against the degraded
@@ -24,6 +24,7 @@ use crate::search::SearchConfig;
 use accpar_cost::{CostConfig, CostModel, RatioSolver};
 use accpar_dnn::TrainView;
 use accpar_hw::{AcceleratorArray, Fault, FaultKind, FaultModel, FaultTarget, GroupTree};
+use accpar_obs::Obs;
 use accpar_partition::{LayerPlan, PartitionType, PlanTree};
 use accpar_runtime::Pool;
 use accpar_sim::{SimConfig, Simulator};
@@ -48,6 +49,11 @@ pub struct ReplanConfig {
     /// to the machine's available parallelism). Results are
     /// budget-independent.
     pub threads: Option<usize>,
+    /// Observability handle: counts replans, reports adoption and
+    /// degradation metrics, and emits a `replan.outcome` event. The
+    /// default ([`Obs::off`]) is inert; instrumentation never changes
+    /// the outcome.
+    pub obs: Obs,
 }
 
 impl Default for ReplanConfig {
@@ -58,6 +64,7 @@ impl Default for ReplanConfig {
             sim_config: SimConfig::cost_model_aligned(),
             sensitivity: true,
             threads: None,
+            obs: Obs::off(),
         }
     }
 }
@@ -218,7 +225,14 @@ pub fn replan_with(
     let pool = config
         .threads
         .map_or_else(Pool::from_env, Pool::new);
-    replan_inner(
+    let span = config.obs.span(
+        "replan",
+        &[
+            ("faults", faults.faults().len().into()),
+            ("sensitivity", config.sensitivity.into()),
+        ],
+    );
+    let outcome = replan_inner(
         view,
         array,
         tree,
@@ -228,7 +242,32 @@ pub fn replan_with(
         config.sensitivity,
         pool,
         cache,
-    )
+    )?;
+    if config.obs.enabled() {
+        let obs = &config.obs;
+        obs.counter("replan.runs").inc();
+        if outcome.replanned {
+            obs.counter("replan.adopted").inc();
+        }
+        obs.counter("replan.deltas").add(outcome.deltas.len() as u64);
+        obs.counter("replan.discarded_faults")
+            .add(outcome.discarded.len() as u64);
+        obs.gauge("replan.degradation").set(outcome.degradation());
+        span.event(
+            "replan.outcome",
+            &[
+                ("replanned", outcome.replanned.into()),
+                ("deltas", outcome.deltas.len().into()),
+                ("nominal_ms", (outcome.nominal_secs * 1e3).into()),
+                ("degraded_ms", (outcome.degraded_secs * 1e3).into()),
+                (
+                    "speedup",
+                    outcome.speedup().unwrap_or(f64::NAN).into(),
+                ),
+            ],
+        );
+    }
+    Ok(outcome)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -244,7 +283,7 @@ fn replan_inner(
     cache: Option<&SearchCache>,
 ) -> Result<ReplanOutcome, PlanError> {
     let sim = Simulator::new(config.sim_config);
-    let nominal_secs = sim.simulate(view, plan, tree)?.total_secs;
+    let nominal_secs = sim.simulate(view, plan, tree, None)?.total_secs;
 
     // Survive dropout: remove dropped boards and carry the remaining
     // faults over to the rebuilt tree.
@@ -259,7 +298,7 @@ fn replan_inner(
 
     let degraded_old_secs = if dropped.is_empty() {
         Some(
-            sim.simulate_faulted(view, plan, &surv_tree, &eff_faults)?
+            sim.simulate(view, plan, &surv_tree, Some(&eff_faults))?
                 .total_secs,
         )
     } else {
@@ -281,7 +320,7 @@ fn replan_inner(
                 )
             })?;
     let candidate_secs = sim
-        .simulate_faulted(view, &candidate, &surv_tree, &eff_faults)?
+        .simulate(view, &candidate, &surv_tree, Some(&eff_faults))?
         .total_secs;
 
     // Never-worse guarantee: keep the stale plan unless the fresh search
@@ -315,7 +354,7 @@ fn replan_inner(
                     .degraded_secs
                 }
                 _ => {
-                    sim.simulate_faulted(view, plan, tree, &solo)?
+                    sim.simulate(view, plan, tree, Some(&solo))?
                         .total_secs
                 }
             };
@@ -454,8 +493,8 @@ mod tests {
         let view = net.train_view().unwrap();
         let array = AcceleratorArray::heterogeneous_tpu(v2, v3);
         let tree = GroupTree::bisect(&array, levels).unwrap();
-        let plan = Planner::new(&net, &array)
-            .with_levels(levels)
+        let plan = Planner::builder(&net, &array)
+            .levels(levels).build().unwrap()
             .plan(Strategy::AccPar)
             .unwrap()
             .plan()
@@ -527,8 +566,8 @@ mod tests {
         let spec = AcceleratorSpec::new("cb", 1e12, 1 << 34, 100e9, 1e12, 8, 1e12).unwrap();
         let array = AcceleratorArray::homogeneous(spec, 2);
         let tree = GroupTree::bisect(&array, 1).unwrap();
-        let plan = Planner::new(&net, &array)
-            .with_levels(1)
+        let plan = Planner::builder(&net, &array)
+            .levels(1).build().unwrap()
             .plan(Strategy::AccPar)
             .unwrap()
             .plan()
@@ -565,7 +604,7 @@ mod tests {
         assert!(outcome.to_string().contains("dropout"));
         // The adopted plan actually runs on the surviving hardware.
         let report = Simulator::new(ReplanConfig::default().sim_config)
-            .simulate_faulted(&view, &outcome.plan, &outcome.tree, &outcome.faults)
+            .simulate(&view, &outcome.plan, &outcome.tree, Some(&outcome.faults))
             .unwrap();
         assert!((report.total_secs - outcome.degraded_secs).abs() < 1e-15);
     }

@@ -13,7 +13,7 @@ fn baseline<'a>(
     net: &'a accpar_dnn::Network,
     array: &'a AcceleratorArray,
 ) -> Planner<'a> {
-    Planner::new(net, array).with_threads(1).with_caching(false)
+    Planner::builder(net, array).threads(1).caching(false).build().unwrap()
 }
 
 #[test]
@@ -23,9 +23,9 @@ fn parallel_and_cached_plans_are_bit_identical_across_the_zoo() {
         let net = zoo::by_name(name, 128).unwrap();
         let reference = baseline(&net, &array).plan(Strategy::AccPar).unwrap();
         for (threads, caching) in [(1, true), (2, true), (8, true), (4, false)] {
-            let planned = Planner::new(&net, &array)
-                .with_threads(threads)
-                .with_caching(caching)
+            let planned = Planner::builder(&net, &array)
+                .threads(threads)
+                .caching(caching).build().unwrap()
                 .plan(Strategy::AccPar)
                 .unwrap();
             assert_eq!(
@@ -47,8 +47,8 @@ fn plan_all_is_bit_identical_in_parallel() {
     let net = zoo::alexnet(256).unwrap();
     let array = AcceleratorArray::heterogeneous_tpu(4, 4);
     let reference = baseline(&net, &array).plan_all().unwrap();
-    let parallel = Planner::new(&net, &array)
-        .with_threads(8)
+    let parallel = Planner::builder(&net, &array)
+        .threads(8).build().unwrap()
         .plan_all()
         .unwrap();
     assert_eq!(parallel.len(), reference.len());
@@ -79,7 +79,7 @@ fn replan_is_bit_identical_in_parallel_and_with_shared_cache() {
     let ref_planned = ref_planner.plan(Strategy::AccPar).unwrap();
     let reference = ref_planner.replan(&ref_planned, &faults).unwrap();
 
-    let planner = Planner::new(&net, &array).with_threads(8);
+    let planner = Planner::builder(&net, &array).threads(8).build().unwrap();
     let planned = planner.plan(Strategy::AccPar).unwrap();
     let outcome = planner.replan(&planned, &faults).unwrap();
 
@@ -94,7 +94,7 @@ fn vgg16_cache_hit_rate_exceeds_half() {
     // for must come from the memo, not a fresh solve.
     let net = zoo::vgg16(256).unwrap();
     let array = AcceleratorArray::heterogeneous_tpu(4, 4);
-    let planner = Planner::new(&net, &array).with_threads(1);
+    let planner = Planner::builder(&net, &array).threads(1).build().unwrap();
     let planned = planner.plan(Strategy::AccPar).unwrap();
     let again = planner.plan(Strategy::AccPar).unwrap();
     assert_eq!(planned, again, "memoized re-plan must be identical");

@@ -31,10 +31,11 @@ use crate::ratio::RatioSolver;
 use accpar_dnn::{TrainLayer, WeightedKind};
 use accpar_partition::{PartitionType, Ratio, ShardScales};
 use accpar_tensor::{FeatureShape, KernelShape};
+use accpar_obs::{Counter, Histo, Obs};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// A fast, deterministic, non-cryptographic hasher (the multiply-rotate
 /// scheme of Firefox's `FxHash`) for the memo maps on the planner's hot
@@ -261,6 +262,43 @@ pub struct CostCache {
     rows: Mutex<FxHashMap<RowKey, Row>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    obs: OnceLock<CacheObs>,
+}
+
+/// Pre-registered metric handles the cache updates on its hot path —
+/// obtained once at [`CostCache::observe`] so lookups never touch the
+/// registry locks.
+#[derive(Debug)]
+struct CacheObs {
+    hits: Counter,
+    misses: Counter,
+    /// One eval counter per partition type, indexed in
+    /// [`PartitionType::ALL`] order.
+    evals: [Counter; ROW_WIDTH],
+    solve_ns: Histo,
+}
+
+impl CacheObs {
+    fn of(obs: &Obs) -> Self {
+        CacheObs {
+            hits: obs.counter("cost.cache.hits"),
+            misses: obs.counter("cost.cache.misses"),
+            evals: [
+                obs.counter("cost.evals.type_i"),
+                obs.counter("cost.evals.type_ii"),
+                obs.counter("cost.evals.type_iii"),
+            ],
+            solve_ns: obs.histogram("cost.solve_ns"),
+        }
+    }
+
+    fn eval(&self, ptype: PartitionType) -> &Counter {
+        let i = PartitionType::ALL
+            .iter()
+            .position(|&t| t == ptype)
+            .unwrap_or(0);
+        &self.evals[i]
+    }
 }
 
 impl CostCache {
@@ -268,6 +306,16 @@ impl CostCache {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches an observability handle: registers hit/miss counters,
+    /// per-partition-type eval counters, and a solve-time histogram
+    /// under `cost.*`, updated on every subsequent lookup. A no-op for
+    /// a disabled handle; the first enabled handle wins.
+    pub fn observe(&self, obs: &Obs) {
+        if obs.enabled() {
+            let _ = self.obs.set(CacheObs::of(obs));
+        }
     }
 
     /// The memoized version of [`layer_ratio_cost`]. The `skip_backward`
@@ -294,11 +342,21 @@ impl CostCache {
         };
         if let Some(&v) = self.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = self.obs.get() {
+                o.hits.inc();
+            }
             return v;
         }
-        let v = layer_ratio_cost(model, solver, layer, ptype, env, scales);
+        let v = {
+            let _t = self.obs.get().map(|o| o.solve_ns.timer());
+            layer_ratio_cost(model, solver, layer, ptype, env, scales)
+        };
         self.lock().insert(key, v);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.misses.inc();
+            o.eval(ptype).inc();
+        }
         v
     }
 
@@ -346,10 +404,14 @@ impl CostCache {
             .copied();
         if let Some(row) = cached {
             self.hits.fetch_add(types.len() as u64, Ordering::Relaxed);
+            if let Some(o) = self.obs.get() {
+                o.hits.add(types.len() as u64);
+            }
             return Some(row);
         }
         let mut row: Row = [(Ratio::EQUAL, 0.0); ROW_WIDTH];
         for (cell, &t) in row.iter_mut().zip(types) {
+            let _t = self.obs.get().map(|o| o.solve_ns.timer());
             *cell = layer_ratio_cost(model, solver, layer, t, env, scales);
         }
         self.rows
@@ -357,6 +419,12 @@ impl CostCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, row);
         self.misses.fetch_add(types.len() as u64, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.misses.add(types.len() as u64);
+            for &t in types {
+                o.eval(t).inc();
+            }
+        }
         Some(row)
     }
 

@@ -1,0 +1,477 @@
+//! Structured tracing, metrics, and profiling hooks for AccPar.
+//!
+//! The planner, memo cache, and simulators are deterministic search
+//! code — explaining *why* the DP picks each partition type per layer
+//! (PAPER.md §6, Table 8) requires seeing the search, not just its
+//! result. This crate provides that visibility with zero dependencies
+//! and zero cost when disabled:
+//!
+//! * [`Obs`] — a cheap, cloneable handle. [`Obs::off`] is inert: no
+//!   allocation, no clock reads, every hook compiles down to a branch
+//!   on an `Option` that is `None`.
+//! * [`Span`] / events — structured tracing with monotonic
+//!   timestamps and parent/child nesting, delivered to a pluggable
+//!   [`Subscriber`] ([`NoopSubscriber`], [`StderrSubscriber`],
+//!   [`JsonLines`], [`Collector`]).
+//! * [`Metrics`] — a lock-sharded registry of counters, gauges, and
+//!   log₂-bucketed histograms ([`ScopedTimer`] feeds the latter).
+//!
+//! # Subscriber contract
+//!
+//! Subscribers must be `Send + Sync`; hooks may be invoked from any
+//! worker thread of the planning pool. The crate guarantees:
+//!
+//! 1. `on_span_start` is called before any `on_event` carrying that
+//!    span's id and before the matching `on_span_end`.
+//! 2. Span ids are unique per [`Obs`] handle and never reused.
+//! 3. Timestamps are monotonic per handle (taken from one
+//!    [`Instant`] epoch) but only ordered *within* a thread; cross-
+//!    thread hook delivery order is unspecified.
+//! 4. Hooks are invoked synchronously on the instrumented thread —
+//!    subscribers must not block for long and must not call back
+//!    into the planner.
+//!
+//! ```
+//! use accpar_obs::{Collector, Obs};
+//! use std::sync::Arc;
+//!
+//! let collector = Arc::new(Collector::new());
+//! let obs = Obs::new(Arc::clone(&collector));
+//! {
+//!     let span = obs.span("plan", &[("layers", 16u64.into())]);
+//!     span.event("decision", &[("ptype", "Type-I".into())]);
+//! }
+//! assert_eq!(collector.spans().len(), 1);
+//! assert_eq!(collector.events_named("decision").len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod subscriber;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSummary, Histo, MetricValue, Metrics, MetricsSnapshot,
+    ScopedTimer,
+};
+pub use subscriber::{Collector, JsonLines, NoopSubscriber, Record, StderrSubscriber};
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A typed field value attached to spans and events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A named field: `("layer", 3u64.into())`.
+pub type Field = (&'static str, Value);
+
+/// A span's identity and metadata as delivered to subscribers.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique (per [`Obs`] handle) span id, never reused.
+    pub id: u64,
+    /// Enclosing span's id, if any.
+    pub parent: Option<u64>,
+    /// Static span name (e.g. `"plan.level"`).
+    pub name: &'static str,
+    /// Nanoseconds since the handle's epoch.
+    pub ts_ns: u64,
+    /// Attached fields, in call order.
+    pub fields: Vec<Field>,
+}
+
+/// A point event as delivered to subscribers.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Enclosing span's id, if the event was emitted inside one.
+    pub span: Option<u64>,
+    /// Static event name (e.g. `"decision"`).
+    pub name: &'static str,
+    /// Nanoseconds since the handle's epoch.
+    pub ts_ns: u64,
+    /// Attached fields, in call order.
+    pub fields: Vec<Field>,
+}
+
+/// Receives tracing output. See the [crate docs](crate) for the
+/// invocation contract.
+pub trait Subscriber: Send + Sync {
+    /// A span was opened.
+    fn on_span_start(&self, span: &SpanRecord);
+    /// The span closed; `dur_ns` is its wall-clock duration.
+    fn on_span_end(&self, span: &SpanRecord, dur_ns: u64);
+    /// A point event fired.
+    fn on_event(&self, event: &EventRecord);
+    /// A metrics snapshot was explicitly flushed via
+    /// [`Obs::emit_metrics`]. Default: ignored.
+    fn on_metrics(&self, snapshot: &MetricsSnapshot) {
+        let _ = snapshot;
+    }
+}
+
+impl<S: Subscriber + ?Sized> Subscriber for Arc<S> {
+    fn on_span_start(&self, span: &SpanRecord) {
+        (**self).on_span_start(span);
+    }
+    fn on_span_end(&self, span: &SpanRecord, dur_ns: u64) {
+        (**self).on_span_end(span, dur_ns);
+    }
+    fn on_event(&self, event: &EventRecord) {
+        (**self).on_event(event);
+    }
+    fn on_metrics(&self, snapshot: &MetricsSnapshot) {
+        (**self).on_metrics(snapshot);
+    }
+}
+
+struct Inner {
+    subscriber: Box<dyn Subscriber>,
+    metrics: Arc<Metrics>,
+    epoch: Instant,
+    next_id: AtomicU64,
+}
+
+/// Observability handle: tracing + metrics behind one cheap clone.
+///
+/// `Obs` is the single type instrumented code holds. [`Obs::off`]
+/// (also [`Default`]) is completely inert; [`Obs::new`] attaches a
+/// [`Subscriber`] and a fresh [`Metrics`] registry.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// The inert handle: every hook is a no-op, nothing is allocated.
+    pub const fn off() -> Self {
+        Obs { inner: None }
+    }
+
+    /// An active handle delivering to `subscriber`, with a fresh
+    /// [`Metrics`] registry.
+    pub fn new(subscriber: impl Subscriber + 'static) -> Self {
+        Self::with_metrics(subscriber, Arc::new(Metrics::new()))
+    }
+
+    /// An active handle delivering to `subscriber` and recording into
+    /// an existing `metrics` registry (lets several handles share one
+    /// registry).
+    pub fn with_metrics(subscriber: impl Subscriber + 'static, metrics: Arc<Metrics>) -> Self {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                subscriber: Box::new(subscriber),
+                metrics,
+                epoch: Instant::now(),
+                // Span id 0 is reserved as "no span".
+                next_id: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// Whether any subscriber is attached.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The attached metrics registry, if enabled.
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.inner.as_ref().map(|i| &i.metrics)
+    }
+
+    fn now_ns(inner: &Inner) -> u64 {
+        inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a root span. The span closes (and reports its duration)
+    /// when the returned guard drops.
+    pub fn span(&self, name: &'static str, fields: &[Field]) -> Span {
+        self.span_at(name, None, fields)
+    }
+
+    /// Opens a span under an explicit parent id — for code that only
+    /// carries a parent id across threads, not a [`Span`] reference.
+    pub fn span_at(&self, name: &'static str, parent: Option<u64>, fields: &[Field]) -> Span {
+        match &self.inner {
+            None => Span {
+                obs: Obs::off(),
+                id: 0,
+                name,
+                start: None,
+            },
+            Some(inner) => {
+                let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+                let record = SpanRecord {
+                    id,
+                    parent,
+                    name,
+                    ts_ns: Self::now_ns(inner),
+                    fields: fields.to_vec(),
+                };
+                inner.subscriber.on_span_start(&record);
+                Span {
+                    obs: self.clone(),
+                    id,
+                    name,
+                    start: Some(Instant::now()),
+                }
+            }
+        }
+    }
+
+    /// Emits a point event with no enclosing span.
+    pub fn event(&self, name: &'static str, fields: &[Field]) {
+        self.event_at(name, None, fields);
+    }
+
+    /// Emits a point event under an explicit span id.
+    pub fn event_at(&self, name: &'static str, span: Option<u64>, fields: &[Field]) {
+        if let Some(inner) = &self.inner {
+            inner.subscriber.on_event(&EventRecord {
+                span,
+                name,
+                ts_ns: Self::now_ns(inner),
+                fields: fields.to_vec(),
+            });
+        }
+    }
+
+    /// A counter handle; inert when the handle is off.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.metrics.counter(name),
+            None => Counter::inert(),
+        }
+    }
+
+    /// A gauge handle; inert when the handle is off.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.metrics.gauge(name),
+            None => Gauge::inert(),
+        }
+    }
+
+    /// A histogram handle; inert when the handle is off.
+    pub fn histogram(&self, name: &str) -> Histo {
+        match &self.inner {
+            Some(inner) => Histo::live(inner.metrics.histogram(name)),
+            None => Histo::inert(),
+        }
+    }
+
+    /// Starts a scoped timer feeding the named histogram (in
+    /// nanoseconds); records on drop. Inert (no clock read) when off.
+    pub fn timer(&self, name: &str) -> ScopedTimer {
+        self.histogram(name).timer()
+    }
+
+    /// Flushes a sorted snapshot of the metrics registry to the
+    /// subscriber's [`Subscriber::on_metrics`] hook.
+    pub fn emit_metrics(&self) {
+        if let Some(inner) = &self.inner {
+            inner.subscriber.on_metrics(&inner.metrics.snapshot());
+        }
+    }
+}
+
+/// RAII guard for an open span. Dropping it reports the span's end
+/// (with duration) to the subscriber.
+#[derive(Debug)]
+pub struct Span {
+    obs: Obs,
+    id: u64,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// This span's id, or `None` for an inert span — pass it across
+    /// threads and reopen children with [`Obs::span_at`].
+    pub fn id(&self) -> Option<u64> {
+        self.start.is_some().then_some(self.id)
+    }
+
+    /// Opens a child span.
+    pub fn child(&self, name: &'static str, fields: &[Field]) -> Span {
+        self.obs.span_at(name, self.id(), fields)
+    }
+
+    /// Emits an event inside this span.
+    pub fn event(&self, name: &'static str, fields: &[Field]) {
+        self.obs.event_at(name, self.id(), fields);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(start), Some(inner)) = (self.start, &self.obs.inner) {
+            let record = SpanRecord {
+                id: self.id,
+                parent: None,
+                name: self.name,
+                ts_ns: Obs::now_ns(inner),
+                fields: Vec::new(),
+            };
+            inner
+                .subscriber
+                .on_span_end(&record, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// Installs `obs` as the process-wide handle consulted by code with no
+/// natural place to thread one through (the runtime pool, free
+/// simulator functions). First call wins; returns whether this call
+/// installed it.
+pub fn install_global(obs: Obs) -> bool {
+    GLOBAL.set(obs).is_ok()
+}
+
+/// The process-wide handle; inert unless [`install_global`] ran.
+pub fn global() -> &'static Obs {
+    static OFF: Obs = Obs { inner: None };
+    GLOBAL.get().unwrap_or(&OFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_is_inert() {
+        let obs = Obs::off();
+        assert!(!obs.enabled());
+        let span = obs.span("root", &[("k", 1u64.into())]);
+        assert_eq!(span.id(), None);
+        span.event("e", &[]);
+        obs.counter("c").inc();
+        obs.timer("t");
+        obs.emit_metrics();
+        assert!(obs.metrics().is_none());
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nested() {
+        let collector = Arc::new(Collector::new());
+        let obs = Obs::new(Arc::clone(&collector));
+        {
+            let root = obs.span("root", &[]);
+            let child = root.child("child", &[("depth", 1u64.into())]);
+            child.event("tick", &[]);
+        }
+        let spans = collector.spans();
+        assert_eq!(spans.len(), 2);
+        let root = collector.span_named("root").unwrap();
+        let child = collector.span_named("child").unwrap();
+        assert_ne!(root.id, child.id);
+        assert_eq!(child.parent, Some(root.id));
+        let events = collector.events_named("tick");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].span, Some(child.id));
+        // Both spans ended with a measured duration.
+        assert_eq!(collector.ended_span_ids().len(), 2);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_within_a_thread() {
+        let collector = Arc::new(Collector::new());
+        let obs = Obs::new(Arc::clone(&collector));
+        for _ in 0..10 {
+            obs.event("tick", &[]);
+        }
+        let ts: Vec<u64> = collector.events_named("tick").iter().map(|e| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn global_defaults_to_inert() {
+        // Never install in tests — the default must be inert.
+        assert!(!global().enabled() || GLOBAL.get().is_some());
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::from(2.5f64), Value::F64(2.5));
+    }
+}

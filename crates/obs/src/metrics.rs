@@ -1,0 +1,472 @@
+//! Lock-sharded metrics registry: counters, gauges, and log₂-bucketed
+//! histograms, plus the [`ScopedTimer`] profiling hook.
+//!
+//! Registration (name → handle) takes a per-shard mutex; the hot path
+//! (incrementing through an already-obtained handle) is purely atomic.
+//! Shards are selected by a hash of the metric name, so unrelated
+//! metrics registered concurrently from pool workers rarely contend.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of registry shards. A power of two so selection is a mask.
+const SHARDS: usize = 8;
+
+/// Number of histogram buckets: bucket `i` counts values `v` with
+/// `bit_width(v) == i`, i.e. `v == 0` lands in bucket 0 and
+/// `2^(i-1) <= v < 2^i` in bucket `i`.
+pub(crate) const BUCKETS: usize = 65;
+
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+}
+
+/// Lock-sharded registry of named metrics.
+///
+/// Handles ([`Counter`], [`Gauge`], [`Histo`]) are cheap `Arc` clones;
+/// instrumented code should obtain them once and update through them.
+#[derive(Default)]
+pub struct Metrics {
+    shards: [Shard; SHARDS],
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("entries", &self.snapshot().entries.len())
+            .finish()
+    }
+}
+
+/// FNV-1a over the name; deterministic and seed-free so shard layout
+/// (and thus lock contention) is reproducible run to run.
+fn shard_index(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (SHARDS - 1)
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[shard_index(name)]
+    }
+
+    /// Registers (or retrieves) the named counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.shard(name).counters.lock().unwrap();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(Arc::clone(cell)))
+    }
+
+    /// Registers (or retrieves) the named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.shard(name).gauges.lock().unwrap();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
+        Gauge(Some(Arc::clone(cell)))
+    }
+
+    /// Registers (or retrieves) the named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.shard(name).histograms.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name for deterministic output.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            for (name, cell) in shard.counters.lock().unwrap().iter() {
+                entries.push((name.clone(), MetricValue::Counter(cell.load(Ordering::Relaxed))));
+            }
+            for (name, cell) in shard.gauges.lock().unwrap().iter() {
+                entries.push((
+                    name.clone(),
+                    MetricValue::Gauge(f64::from_bits(cell.load(Ordering::Relaxed))),
+                ));
+            }
+            for (name, hist) in shard.histograms.lock().unwrap().iter() {
+                entries.push((name.clone(), MetricValue::Histogram(hist.summary())));
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { entries }
+    }
+}
+
+/// Monotonically increasing counter handle. Inert handles (from a
+/// disabled [`Obs`](crate::Obs)) drop updates.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub(crate) fn inert() -> Self {
+        Counter(None)
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for inert handles).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins gauge handle storing an `f64`.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    pub(crate) fn inert() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for inert handles).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Fixed log₂-bucket histogram for non-negative integer samples
+/// (typically nanoseconds). Bucket `i` covers `[2^(i-1), 2^i)`;
+/// bucket 0 counts zeros. All updates are lock-free atomics.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.summary();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("sum", &s.sum)
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in: `bit_width(v)`.
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The exclusive upper bound of bucket `i` (`None` for the last
+    /// bucket, which is unbounded in practice).
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        (i < BUCKETS - 1).then(|| 1u64 << i)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Aggregate view: count, sum, mean, and approximate quantiles.
+    pub fn summary(&self) -> HistogramSummary {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum,
+            p50: quantile(&buckets, count, 0.50),
+            p99: quantile(&buckets, count, 0.99),
+        }
+    }
+}
+
+/// Approximate quantile: the upper bound of the bucket containing the
+/// q-th sample. Within a factor of 2 of the true value by
+/// construction.
+fn quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for (i, &b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= rank {
+            return Histogram::bucket_bound(i).unwrap_or(u64::MAX);
+        }
+    }
+    u64::MAX
+}
+
+/// Aggregates of one histogram at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Approximate median (upper bound of its log₂ bucket).
+    pub p50: u64,
+    /// Approximate 99th percentile (upper bound of its log₂ bucket).
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One metric's value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram aggregates.
+    Histogram(HistogramSummary),
+}
+
+/// Sorted point-in-time view of a [`Metrics`] registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter total by name, 0 when absent or not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value by name, `None` when absent or not a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Histogram handle; inert when obtained from a disabled
+/// [`Obs`](crate::Obs).
+#[derive(Debug, Clone, Default)]
+pub struct Histo(Option<Arc<Histogram>>);
+
+impl Histo {
+    pub(crate) fn inert() -> Self {
+        Histo(None)
+    }
+
+    pub(crate) fn live(hist: Arc<Histogram>) -> Self {
+        Histo(Some(hist))
+    }
+
+    /// Records one sample (dropped when inert).
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Starts a scoped timer feeding this histogram in nanoseconds.
+    pub fn timer(&self) -> ScopedTimer {
+        ScopedTimer {
+            hist: self.clone(),
+            start: self.0.is_some().then(Instant::now),
+        }
+    }
+}
+
+/// Profiling hook: records elapsed nanoseconds into a histogram when
+/// dropped. Inert timers (from a disabled handle) never read the
+/// clock.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    hist: Histo,
+    start: Option<Instant>,
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let m = Metrics::new();
+        let c = m.counter("cache.hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(m.counter("cache.hits").get(), 5);
+        let g = m.gauge("pool.depth");
+        g.set(3.5);
+        assert_eq!(m.gauge("pool.depth").get(), 3.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bound(3), Some(8));
+        assert_eq!(Histogram::bucket_bound(BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_samples() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 106);
+        assert!(s.mean() > 26.0 && s.mean() < 27.0);
+        // p50 = 2nd sample (value 2) → bucket bound 2 or 4.
+        assert!(s.p50 <= 4);
+        // p99 = the 100 sample → bucket [64,128) → bound 128.
+        assert_eq!(s.p99, 128);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let m = Metrics::new();
+        m.counter("z.last").inc();
+        m.counter("a.first").add(2);
+        m.gauge("m.mid").set(1.0);
+        m.histogram("h.hist").record(7);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(snap.counter("a.first"), 2);
+        assert_eq!(snap.gauge("m.mid"), Some(1.0));
+        assert!(matches!(
+            snap.get("h.hist"),
+            Some(MetricValue::Histogram(s)) if s.count == 1 && s.sum == 7
+        ));
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let m = Metrics::new();
+        let h = Histo::live(m.histogram("t"));
+        {
+            let _t = h.timer();
+        }
+        assert_eq!(m.histogram("t").summary().count, 1);
+    }
+
+    #[test]
+    fn sharded_registration_under_contention() {
+        let m = Arc::new(Metrics::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        m.counter(&format!("c{}", (t * 100 + i) % 16)).inc();
+                    }
+                });
+            }
+        });
+        let total: u64 = m
+            .snapshot()
+            .entries
+            .iter()
+            .map(|(_, v)| match v {
+                MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 400);
+    }
+}

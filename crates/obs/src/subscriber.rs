@@ -1,0 +1,434 @@
+//! Bundled [`Subscriber`] implementations: no-op, stderr
+//! pretty-printer, JSON-lines writer, and an in-memory collector for
+//! tests.
+
+use crate::{EventRecord, Field, MetricValue, MetricsSnapshot, SpanRecord, Subscriber, Value};
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Discards everything. Useful to measure instrumentation overhead
+/// with the tracing machinery active but output suppressed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSubscriber;
+
+impl Subscriber for NoopSubscriber {
+    fn on_span_start(&self, _span: &SpanRecord) {}
+    fn on_span_end(&self, _span: &SpanRecord, _dur_ns: u64) {}
+    fn on_event(&self, _event: &EventRecord) {}
+}
+
+/// Human-readable pretty-printer to stderr, one line per record.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSubscriber;
+
+fn fmt_fields(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| format!(" {k}={v}"))
+        .collect::<String>()
+}
+
+impl Subscriber for StderrSubscriber {
+    fn on_span_start(&self, span: &SpanRecord) {
+        eprintln!(
+            "[obs] > {} #{}{}{}",
+            span.name,
+            span.id,
+            span.parent
+                .map(|p| format!(" (in #{p})"))
+                .unwrap_or_default(),
+            fmt_fields(&span.fields)
+        );
+    }
+
+    fn on_span_end(&self, span: &SpanRecord, dur_ns: u64) {
+        eprintln!(
+            "[obs] < {} #{} ({:.3} ms)",
+            span.name,
+            span.id,
+            dur_ns as f64 / 1e6
+        );
+    }
+
+    fn on_event(&self, event: &EventRecord) {
+        eprintln!(
+            "[obs] * {}{}{}",
+            event.name,
+            event
+                .span
+                .map(|s| format!(" (in #{s})"))
+                .unwrap_or_default(),
+            fmt_fields(&event.fields)
+        );
+    }
+
+    fn on_metrics(&self, snapshot: &MetricsSnapshot) {
+        for (name, value) in &snapshot.entries {
+            match value {
+                MetricValue::Counter(v) => eprintln!("[obs] = {name} {v}"),
+                MetricValue::Gauge(v) => eprintln!("[obs] = {name} {v}"),
+                MetricValue::Histogram(s) => eprintln!(
+                    "[obs] = {name} count={} mean={:.1} p50={} p99={}",
+                    s.count,
+                    s.mean(),
+                    s.p50,
+                    s.p99
+                ),
+            }
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_value(v: &Value, out: &mut String) {
+    match v {
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) if v.is_finite() => out.push_str(&format!("{v}")),
+        Value::F64(_) => out.push_str("null"),
+        Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Value::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+    }
+}
+
+fn push_fields(fields: &[Field], out: &mut String) {
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(k, out);
+        out.push_str("\":");
+        push_value(v, out);
+    }
+    out.push('}');
+}
+
+/// Writes one JSON object per line (JSON-lines / `.jsonl`). Records:
+///
+/// ```json
+/// {"kind":"span_start","id":1,"parent":null,"name":"plan","ts_ns":0,"fields":{}}
+/// {"kind":"span_end","id":1,"name":"plan","ts_ns":9,"dur_ns":9}
+/// {"kind":"event","span":1,"name":"decision","ts_ns":5,"fields":{}}
+/// {"kind":"metric","name":"cache.hits","type":"counter","value":3}
+/// ```
+///
+/// The writer is buffered behind a mutex; call [`JsonLines::flush`]
+/// (or drop the value) to make the output durable.
+#[derive(Debug)]
+pub struct JsonLines<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLines<W> {
+    /// Wraps `writer`; every record becomes one line.
+    pub fn new(writer: W) -> Self {
+        JsonLines {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut w = self.writer.lock().unwrap();
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+impl<W: Write + Send> Drop for JsonLines<W> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl<W: Write + Send> Subscriber for JsonLines<W> {
+    fn on_span_start(&self, span: &SpanRecord) {
+        let mut line = format!("{{\"kind\":\"span_start\",\"id\":{}", span.id);
+        match span.parent {
+            Some(p) => line.push_str(&format!(",\"parent\":{p}")),
+            None => line.push_str(",\"parent\":null"),
+        }
+        line.push_str(&format!(
+            ",\"name\":\"{}\",\"ts_ns\":{}",
+            span.name, span.ts_ns
+        ));
+        push_fields(&span.fields, &mut line);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn on_span_end(&self, span: &SpanRecord, dur_ns: u64) {
+        self.write_line(&format!(
+            "{{\"kind\":\"span_end\",\"id\":{},\"name\":\"{}\",\"ts_ns\":{},\"dur_ns\":{}}}",
+            span.id, span.name, span.ts_ns, dur_ns
+        ));
+    }
+
+    fn on_event(&self, event: &EventRecord) {
+        let mut line = String::from("{\"kind\":\"event\"");
+        match event.span {
+            Some(s) => line.push_str(&format!(",\"span\":{s}")),
+            None => line.push_str(",\"span\":null"),
+        }
+        line.push_str(&format!(
+            ",\"name\":\"{}\",\"ts_ns\":{}",
+            event.name, event.ts_ns
+        ));
+        push_fields(&event.fields, &mut line);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn on_metrics(&self, snapshot: &MetricsSnapshot) {
+        for (name, value) in &snapshot.entries {
+            let mut line = String::from("{\"kind\":\"metric\",\"name\":\"");
+            escape_json(name, &mut line);
+            line.push('"');
+            match value {
+                MetricValue::Counter(v) => {
+                    line.push_str(&format!(",\"type\":\"counter\",\"value\":{v}"));
+                }
+                MetricValue::Gauge(v) => {
+                    line.push_str(",\"type\":\"gauge\",\"value\":");
+                    push_value(&Value::F64(*v), &mut line);
+                }
+                MetricValue::Histogram(s) => {
+                    line.push_str(&format!(
+                        ",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{}",
+                        s.count, s.sum, s.p50, s.p99
+                    ));
+                }
+            }
+            line.push('}');
+            self.write_line(&line);
+        }
+    }
+}
+
+/// One record captured by [`Collector`].
+#[derive(Debug, Clone)]
+pub enum Record {
+    /// A span opened.
+    SpanStart(SpanRecord),
+    /// A span closed, with its duration in nanoseconds.
+    SpanEnd(SpanRecord, u64),
+    /// A point event fired.
+    Event(EventRecord),
+    /// A metrics snapshot was flushed.
+    Metrics(MetricsSnapshot),
+}
+
+/// In-memory subscriber for tests: captures every record in arrival
+/// order and offers query helpers for asserting span nesting and
+/// metric values.
+#[derive(Debug, Default)]
+pub struct Collector {
+    records: Mutex<Vec<Record>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All captured records in arrival order.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Every span-start record.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::SpanStart(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The first span-start with the given name.
+    pub fn span_named(&self, name: &str) -> Option<SpanRecord> {
+        self.spans().into_iter().find(|s| s.name == name)
+    }
+
+    /// Every event with the given name.
+    pub fn events_named(&self, name: &str) -> Vec<EventRecord> {
+        self.records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Event(e) if e.name == name => Some(e),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ids of spans that have ended.
+    pub fn ended_span_ids(&self) -> Vec<u64> {
+        self.records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::SpanEnd(s, _) => Some(s.id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The last flushed metrics snapshot, if any.
+    pub fn last_metrics(&self) -> Option<MetricsSnapshot> {
+        self.records()
+            .into_iter()
+            .rev()
+            .find_map(|r| match r {
+                Record::Metrics(m) => Some(m),
+                _ => None,
+            })
+    }
+
+    /// Whether `descendant` transitively nests under `ancestor`,
+    /// following parent links through the captured span starts.
+    pub fn nested_under(&self, descendant: u64, ancestor: u64) -> bool {
+        let spans = self.spans();
+        let mut cur = Some(descendant);
+        while let Some(id) = cur {
+            if id == ancestor {
+                return true;
+            }
+            cur = spans.iter().find(|s| s.id == id).and_then(|s| s.parent);
+        }
+        false
+    }
+}
+
+impl Subscriber for Collector {
+    fn on_span_start(&self, span: &SpanRecord) {
+        self.records
+            .lock()
+            .unwrap()
+            .push(Record::SpanStart(span.clone()));
+    }
+
+    fn on_span_end(&self, span: &SpanRecord, dur_ns: u64) {
+        self.records
+            .lock()
+            .unwrap()
+            .push(Record::SpanEnd(span.clone(), dur_ns));
+    }
+
+    fn on_event(&self, event: &EventRecord) {
+        self.records
+            .lock()
+            .unwrap()
+            .push(Record::Event(event.clone()));
+    }
+
+    fn on_metrics(&self, snapshot: &MetricsSnapshot) {
+        self.records
+            .lock()
+            .unwrap()
+            .push(Record::Metrics(snapshot.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Metrics, Obs};
+    use std::sync::Arc;
+
+    #[test]
+    fn jsonl_emits_one_object_per_line() {
+        let buf: Vec<u8> = Vec::new();
+        let sink = Arc::new(Mutex::new(buf));
+
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let obs = Obs::new(JsonLines::new(SharedSink(Arc::clone(&sink))));
+        {
+            let span = obs.span("plan", &[("nets", 9u64.into())]);
+            span.event("decision", &[("ptype", "Type-I \"quoted\"".into())]);
+        }
+        obs.counter("cache.hits").add(3);
+        obs.emit_metrics();
+
+        let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // start, event, end, metric
+        assert!(lines[0].contains("\"kind\":\"span_start\""));
+        assert!(lines[0].contains("\"nets\":9"));
+        assert!(lines[1].contains("\\\"quoted\\\""));
+        assert!(lines[2].contains("\"dur_ns\":"));
+        assert!(lines[3].contains("\"cache.hits\""));
+        assert!(lines[3].contains("\"value\":3"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn collector_tracks_nesting() {
+        let collector = Arc::new(Collector::new());
+        let obs = Obs::new(Arc::clone(&collector));
+        let root = obs.span("root", &[]);
+        let mid = root.child("mid", &[]);
+        let leaf = mid.child("leaf", &[]);
+        let leaf_id = leaf.id().unwrap();
+        let root_id = root.id().unwrap();
+        drop(leaf);
+        drop(mid);
+        drop(root);
+        assert!(collector.nested_under(leaf_id, root_id));
+        assert!(!collector.nested_under(root_id, leaf_id));
+    }
+
+    #[test]
+    fn collector_captures_metrics_snapshot() {
+        let collector = Arc::new(Collector::new());
+        let metrics = Arc::new(Metrics::new());
+        let obs = Obs::with_metrics(Arc::clone(&collector), metrics);
+        obs.counter("evals").add(7);
+        obs.emit_metrics();
+        let snap = collector.last_metrics().unwrap();
+        assert_eq!(snap.counter("evals"), 7);
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -132,6 +132,14 @@ impl Pool {
         // the machine's parallelism — spawning more threads than cores
         // cannot make the (deterministically ordered) map faster.
         let workers = self.threads.min(items.len()).min(hardware_threads());
+        let obs = accpar_obs::global();
+        if obs.enabled() {
+            obs.counter("pool.par_map.calls").inc();
+            obs.counter("pool.par_map.items").add(items.len() as u64);
+            // Items beyond the worker count wait in the striped queue.
+            obs.histogram("pool.queue_depth")
+                .record(items.len().saturating_sub(workers) as u64);
+        }
         if workers <= 1 {
             return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
         }
@@ -188,6 +196,10 @@ impl Pool {
             let ra = a();
             let rb = b();
             return (ra, rb);
+        }
+        let obs = accpar_obs::global();
+        if obs.enabled() {
+            obs.counter("pool.par_join.calls").inc();
         }
         thread::scope(|scope| {
             let hb = scope.spawn(b);

@@ -75,42 +75,33 @@ impl fmt::Display for DesReport {
     }
 }
 
-/// Builds and schedules the training step's task graph.
+/// Builds and schedules the training step's task graph, entirely driven
+/// by `config`.
+///
+/// With `faults` set, rate faults are folded into a degraded copy of
+/// `tree`, and each leaf's transient stall window delays its first
+/// forward task. Unlike the bulk-synchronous report, `leaf_busy_secs`
+/// here includes the stall window (the leaf's compute resource is
+/// occupied while it stalls, delaying everything queued behind it).
 ///
 /// # Errors
 ///
-/// Returns the same validation errors as
+/// Returns the same validation and fault errors as
 /// [`Simulator::simulate`](crate::Simulator::simulate).
 pub fn simulate_des(
     config: &SimConfig,
     view: &TrainView,
     plan: &PlanTree,
     tree: &GroupTree,
+    faults: Option<&FaultModel>,
 ) -> Result<DesReport, SimError> {
-    simulate_des_with(config, view, plan, tree, None)
-}
-
-/// Builds and schedules the task graph under an injected [`FaultModel`]:
-/// rate faults are folded into a degraded copy of `tree`, and each
-/// leaf's transient stall window delays its first forward task.
-///
-/// Unlike the bulk-synchronous report, `leaf_busy_secs` here includes
-/// the stall window (the leaf's compute resource is occupied while it
-/// stalls, delaying everything queued behind it).
-///
-/// # Errors
-///
-/// The same validation and fault errors as
-/// [`Simulator::simulate_faulted`](crate::Simulator::simulate_faulted).
-pub fn simulate_des_faulted(
-    config: &SimConfig,
-    view: &TrainView,
-    plan: &PlanTree,
-    tree: &GroupTree,
-    faults: &FaultModel,
-) -> Result<DesReport, SimError> {
-    let (degraded, stalls) = crate::faults::prepare(tree, faults)?;
-    simulate_des_with(config, view, plan, &degraded, Some(&stalls))
+    match faults {
+        None => simulate_des_with(config, view, plan, tree, None),
+        Some(faults) => {
+            let (degraded, stalls) = crate::faults::prepare(tree, faults)?;
+            simulate_des_with(config, view, plan, &degraded, Some(&stalls))
+        }
+    }
 }
 
 fn simulate_des_with(
@@ -285,7 +276,15 @@ fn simulate_des_with(
         final_tasks.extend(done_backward[l].iter().copied());
     }
 
-    Ok(builder.schedule(n_leaves, n_nodes, &final_tasks))
+    let report = builder.schedule(n_leaves, n_nodes, &final_tasks);
+    // The free function has no handle to thread through; DES event
+    // counts go to the process-wide handle when one is installed.
+    let obs = accpar_obs::global();
+    if obs.enabled() {
+        obs.counter("des.sims").inc();
+        obs.counter("des.tasks").add(report.tasks as u64);
+    }
+    Ok(report)
 }
 
 struct GraphBuilder<'c> {
@@ -422,10 +421,10 @@ mod tests {
                 let tree = GroupTree::bisect(&array, levels).unwrap();
                 let plan = dp_plan(n, levels);
                 let bsp = Simulator::new(config)
-                    .simulate(&view, &plan, &tree)
+                    .simulate(&view, &plan, &tree, None)
                     .unwrap()
                     .total_secs;
-                let des = simulate_des(&config, &view, &plan, &tree)
+                let des = simulate_des(&config, &view, &plan, &tree, None)
                     .unwrap()
                     .total_secs;
                 assert!(
@@ -449,10 +448,10 @@ mod tests {
         let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
         let plan = dp_plan(1, 1);
         let bsp = Simulator::new(config)
-            .simulate(&view, &plan, &tree)
+            .simulate(&view, &plan, &tree, None)
             .unwrap()
             .total_secs;
-        let des = simulate_des(&config, &view, &plan, &tree)
+        let des = simulate_des(&config, &view, &plan, &tree, None)
             .unwrap()
             .total_secs;
         assert!((des - bsp).abs() / bsp < 1e-9, "des {des} vs bsp {bsp}");
@@ -478,10 +477,10 @@ mod tests {
             ..SimConfig::default()
         };
         let bsp = Simulator::new(config)
-            .simulate(&view, &plan, &tree)
+            .simulate(&view, &plan, &tree, None)
             .unwrap()
             .total_secs;
-        let des = simulate_des(&config, &view, &plan, &tree)
+        let des = simulate_des(&config, &view, &plan, &tree, None)
             .unwrap()
             .total_secs;
         // The DES hides all but the last gradient psum behind the next
@@ -518,10 +517,10 @@ mod tests {
         let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(1, 1), 1).unwrap();
         let plan = dp_plan(view.weighted_len(), 1);
         let bsp = Simulator::new(config)
-            .simulate(&view, &plan, &tree)
+            .simulate(&view, &plan, &tree, None)
             .unwrap()
             .total_secs;
-        let des = simulate_des(&config, &view, &plan, &tree)
+        let des = simulate_des(&config, &view, &plan, &tree, None)
             .unwrap()
             .total_secs;
         // Everything is bound by the single link here, so no overlap win
@@ -535,11 +534,11 @@ mod tests {
         let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
         let config = SimConfig::default();
         assert!(matches!(
-            simulate_des(&config, &view, &dp_plan(2, 2), &tree),
+            simulate_des(&config, &view, &dp_plan(2, 2), &tree, None),
             Err(SimError::DepthMismatch { .. })
         ));
         assert!(matches!(
-            simulate_des(&config, &view, &dp_plan(3, 1), &tree),
+            simulate_des(&config, &view, &dp_plan(3, 1), &tree, None),
             Err(SimError::LayerCountMismatch { .. })
         ));
     }
@@ -551,24 +550,24 @@ mod tests {
         let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(2, 2), 2).unwrap();
         let plan = dp_plan(n, 2);
         let config = SimConfig::default();
-        let clean = simulate_des(&config, &view, &plan, &tree).unwrap();
+        let clean = simulate_des(&config, &view, &plan, &tree, None).unwrap();
         let faults = FaultModel::with_seed(42)
             .slow_leaf(0, 0.5)
             .unwrap()
             .degrade_cut(1, 0.25)
             .unwrap();
-        let a = simulate_des_faulted(&config, &view, &plan, &tree, &faults).unwrap();
-        let b = simulate_des_faulted(&config, &view, &plan, &tree, &faults).unwrap();
+        let a = simulate_des(&config, &view, &plan, &tree, Some(&faults)).unwrap();
+        let b = simulate_des(&config, &view, &plan, &tree, Some(&faults)).unwrap();
         assert_eq!(a, b, "seeded fault scenario must be bit-reproducible");
         assert!(a.total_secs > clean.total_secs);
         // Rate faults alone are exactly a simulation of the degraded tree.
         let direct =
-            simulate_des(&config, &view, &plan, &tree.degraded(&faults).unwrap()).unwrap();
+            simulate_des(&config, &view, &plan, &tree.degraded(&faults).unwrap(), None).unwrap();
         assert_eq!(a, direct);
         // Faults never make the DES slower than the faulted BSP barrier
         // schedule.
         let bsp = Simulator::new(config)
-            .simulate_faulted(&view, &plan, &tree, &faults)
+            .simulate(&view, &plan, &tree, Some(&faults))
             .unwrap();
         assert!(a.total_secs <= bsp.total_secs * (1.0 + 1e-9));
     }
@@ -579,10 +578,10 @@ mod tests {
         let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
         let plan = dp_plan(view.weighted_len(), 1);
         let config = SimConfig::default();
-        let clean = simulate_des(&config, &view, &plan, &tree).unwrap();
+        let clean = simulate_des(&config, &view, &plan, &tree, None).unwrap();
         let stall = 1e-3;
         let faults = FaultModel::new().stall_leaf(1, stall).unwrap();
-        let stalled = simulate_des_faulted(&config, &view, &plan, &tree, &faults).unwrap();
+        let stalled = simulate_des(&config, &view, &plan, &tree, Some(&faults)).unwrap();
         // With symmetric leaves the whole stall lands on the critical path.
         assert!((stalled.total_secs - clean.total_secs - stall).abs() < 1e-12);
     }
@@ -594,17 +593,15 @@ mod tests {
         let plan = dp_plan(view.weighted_len(), 1);
         let config = SimConfig::default();
         assert!(matches!(
-            simulate_des_faulted(
+            simulate_des(
                 &config,
                 &view,
                 &plan,
-                &tree,
-                &FaultModel::new().slow_leaf(9, 0.5).unwrap()
-            ),
+                &tree, Some(&FaultModel::new().slow_leaf(9, 0.5).unwrap())),
             Err(SimError::FaultLeafOutOfRange { leaf: 9, leaves: 2 })
         ));
         assert!(matches!(
-            simulate_des_faulted(&config, &view, &plan, &tree, &FaultModel::new().drop_leaf(0)),
+            simulate_des(&config, &view, &plan, &tree, Some(&FaultModel::new().drop_leaf(0))),
             Err(SimError::DroppedLeaf { leaf: 0 })
         ));
     }
@@ -613,7 +610,7 @@ mod tests {
     fn report_accessors() {
         let view = fc_view(32, &[64, 64]);
         let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
-        let report = simulate_des(&SimConfig::default(), &view, &dp_plan(1, 1), &tree).unwrap();
+        let report = simulate_des(&SimConfig::default(), &view, &dp_plan(1, 1), &tree, None).unwrap();
         assert!(report.total_secs > 0.0);
         assert!(report.tasks > 0);
         assert!(report.mean_utilization() > 0.0 && report.mean_utilization() <= 1.0);

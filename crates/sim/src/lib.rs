@@ -42,7 +42,7 @@
 //! let level = NetworkPlan::uniform(view.weighted_len(), LayerPlan::data_parallel());
 //! let plan = HierPlan::new(vec![level.clone(), level]).to_tree();
 //!
-//! let report = Simulator::new(SimConfig::default()).simulate(&view, &plan, &tree)?;
+//! let report = accpar_sim::simulate(&SimConfig::default(), &view, &plan, &tree, None)?;
 //! assert!(report.total_secs > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -63,7 +63,29 @@ pub mod trace;
 pub mod tracefile;
 
 pub use config::{MemModel, Optimizer, SimConfig};
-pub use des::{simulate_des, simulate_des_faulted, DesReport};
+pub use des::{simulate_des, DesReport};
 pub use error::SimError;
 pub use memory::{memory_report, MemoryReport};
 pub use simulator::{LayerBreakdown, SimReport, Simulator};
+
+/// One-call entry point for the bulk-synchronous simulator: simulates
+/// one training step of `view` partitioned by `plan` over `tree`,
+/// entirely driven by `config`, optionally under an injected
+/// [`FaultModel`](accpar_hw::FaultModel).
+///
+/// Equivalent to `Simulator::new(*config).simulate(view, plan, tree,
+/// faults)`; use [`Simulator::with_obs`] when the step should be
+/// traced.
+///
+/// # Errors
+///
+/// The same validation and fault errors as [`Simulator::simulate`].
+pub fn simulate(
+    config: &SimConfig,
+    view: &accpar_dnn::TrainView,
+    plan: &accpar_partition::PlanTree,
+    tree: &accpar_hw::GroupTree,
+    faults: Option<&accpar_hw::FaultModel>,
+) -> Result<SimReport, SimError> {
+    Simulator::new(*config).simulate(view, plan, tree, faults)
+}

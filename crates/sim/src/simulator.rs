@@ -5,6 +5,7 @@ use crate::trace::phase_segments;
 use accpar_cost::comm::{inter_conversion_split, intra_psum_elems};
 use accpar_dnn::{TrainEdge, TrainLayer, TrainView};
 use accpar_hw::{FaultModel, GroupCaps, GroupTree};
+use accpar_obs::Obs;
 use accpar_partition::{LayerPlan, Phase, PlanTree, ShardScales};
 use std::fmt;
 
@@ -107,16 +108,29 @@ impl fmt::Display for SimReport {
 /// hierarchy level whose partition type requires them (deepest first),
 /// and inter-layer tensor conversions are charged when the consuming
 /// phase begins.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Simulator {
     config: SimConfig,
+    obs: Obs,
 }
 
 impl Simulator {
     /// Creates a simulator.
     #[must_use]
     pub const fn new(config: SimConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            obs: Obs::off(),
+        }
+    }
+
+    /// Attaches an observability handle: every simulated step opens a
+    /// `sim.step` span, feeds the `sim.step_ns` histogram, and emits a
+    /// `sim.report` event with the per-phase timing breakdown.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The simulator's configuration.
@@ -126,48 +140,44 @@ impl Simulator {
     }
 
     /// Simulates one training step of `view` partitioned by `plan` over
-    /// `tree`.
+    /// `tree`, entirely driven by the simulator's [`SimConfig`].
+    ///
+    /// With `faults` set, compute slowdowns and cut-bandwidth
+    /// degradations are folded into a degraded copy of `tree`, and each
+    /// leaf's transient stall window is charged at the start of the step
+    /// (its first forward phase). The report's `leaf_busy_secs` counts
+    /// compute only — stall windows lengthen the step but are idle time,
+    /// so a stalled straggler shows up as *lower* utilization.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::DepthMismatch`] /
     /// [`SimError::LayerCountMismatch`] when the plan does not match the
-    /// tree or the network.
-    pub fn simulate(
-        &self,
-        view: &TrainView,
-        plan: &PlanTree,
-        tree: &GroupTree,
-    ) -> Result<SimReport, SimError> {
-        self.simulate_with(view, plan, tree, None)
-    }
-
-    /// Simulates one training step under an injected [`FaultModel`]:
-    /// compute slowdowns and cut-bandwidth degradations are folded into a
-    /// degraded copy of `tree`, and each leaf's transient stall window is
-    /// charged at the start of the step (its first forward phase).
-    ///
-    /// The report's `leaf_busy_secs` counts compute only — stall windows
-    /// lengthen the step but are idle time, so a stalled straggler shows
-    /// up as *lower* utilization.
-    ///
-    /// # Errors
-    ///
-    /// All of [`Simulator::simulate`]'s errors, plus
+    /// tree or the network. With `faults` set, additionally
     /// [`SimError::FaultLeafOutOfRange`] /
     /// [`SimError::FaultCutOutOfRange`] when a fault targets a leaf or
     /// cut the tree does not have, and [`SimError::DroppedLeaf`] when the
     /// fault model dropped a leaf the plan still assigns work to — re-plan
     /// on the reduced array (see `accpar-core`) before simulating.
-    pub fn simulate_faulted(
+    pub fn simulate(
         &self,
         view: &TrainView,
         plan: &PlanTree,
         tree: &GroupTree,
-        faults: &FaultModel,
+        faults: Option<&FaultModel>,
     ) -> Result<SimReport, SimError> {
-        let (degraded, stalls) = crate::faults::prepare(tree, faults)?;
-        self.simulate_with(view, plan, &degraded, Some(&stalls))
+        match faults {
+            None => self.simulate_with(view, plan, tree, None),
+            Some(faults) => {
+                let (degraded, stalls) = crate::faults::prepare(tree, faults)?;
+                if self.obs.enabled() {
+                    self.obs
+                        .counter("sim.fault_activations")
+                        .add(faults.faults().len() as u64);
+                }
+                self.simulate_with(view, plan, &degraded, Some(&stalls))
+            }
+        }
     }
 
     fn simulate_with(
@@ -185,6 +195,15 @@ impl Simulator {
         }
         let n_layers = view.weighted_len();
         validate_layer_counts(plan, n_layers, 0)?;
+        let span = self.obs.span(
+            "sim.step",
+            &[
+                ("layers", n_layers.into()),
+                ("levels", tree.levels().into()),
+                ("faulted", stalls.is_some().into()),
+            ],
+        );
+        let _step_timer = self.obs.timer("sim.step_ns");
 
         let mut layers: Vec<&TrainLayer> = view.layers().collect();
         layers.sort_by_key(|l| l.index());
@@ -265,6 +284,31 @@ impl Simulator {
             + report.psum_secs
             + report.conversion_secs
             + report.update_secs;
+        if self.obs.enabled() {
+            self.obs.counter("sim.steps").inc();
+            for (l, lb) in report.per_layer.iter().enumerate() {
+                span.event(
+                    "sim.layer",
+                    &[
+                        ("layer", l.into()),
+                        ("compute_ms", (lb.compute_secs * 1e3).into()),
+                        ("psum_ms", (lb.psum_secs * 1e3).into()),
+                        ("conversion_ms", (lb.conversion_secs * 1e3).into()),
+                    ],
+                );
+            }
+            span.event(
+                "sim.report",
+                &[
+                    ("total_ms", (report.total_secs * 1e3).into()),
+                    ("compute_ms", (report.compute_secs * 1e3).into()),
+                    ("psum_ms", (report.psum_secs * 1e3).into()),
+                    ("conversion_ms", (report.conversion_secs * 1e3).into()),
+                    ("update_ms", (report.update_secs * 1e3).into()),
+                    ("utilization", report.mean_utilization().into()),
+                ],
+            );
+        }
         Ok(report)
     }
 
@@ -451,7 +495,7 @@ mod tests {
 
         let plan = dp_plan(1, 1);
         let sim = Simulator::new(SimConfig::cost_model_aligned());
-        let report = sim.simulate(&view, &plan, &tree).unwrap();
+        let report = sim.simulate(&view, &plan, &tree, None).unwrap();
 
         let model = CostModel::new(CostConfig::default());
         let expected = model
@@ -482,7 +526,7 @@ mod tests {
         let env = PairEnv::from_node(tree.root()).unwrap();
 
         let sim = Simulator::new(SimConfig::cost_model_aligned());
-        let report = sim.simulate(&view, &dp_plan(1, 1), &tree).unwrap();
+        let report = sim.simulate(&view, &dp_plan(1, 1), &tree, None).unwrap();
         let model = CostModel::new(CostConfig::default());
         let bound = model
             .layer_cost(
@@ -502,9 +546,9 @@ mod tests {
         let view = fc_view(8, &[4, 4, 4]);
         let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
         let sim = Simulator::default();
-        let err = sim.simulate(&view, &dp_plan(2, 2), &tree).unwrap_err();
+        let err = sim.simulate(&view, &dp_plan(2, 2), &tree, None).unwrap_err();
         assert!(matches!(err, SimError::DepthMismatch { .. }));
-        let err = sim.simulate(&view, &dp_plan(3, 1), &tree).unwrap_err();
+        let err = sim.simulate(&view, &dp_plan(3, 1), &tree, None).unwrap_err();
         assert!(matches!(err, SimError::LayerCountMismatch { .. }));
     }
 
@@ -516,13 +560,13 @@ mod tests {
         let tree = GroupTree::bisect(&array, 1).unwrap();
         let sim = Simulator::new(SimConfig::default());
 
-        let equal = sim.simulate(&view, &dp_plan(n, 1), &tree).unwrap();
+        let equal = sim.simulate(&view, &dp_plan(n, 1), &tree, None).unwrap();
         // v2 gets 30% (its compute share), v3 gets 70%.
         let tilted = PlanTree::leaf(NetworkPlan::uniform(
             n,
             LayerPlan::new(PartitionType::TypeI, Ratio::new(0.3).unwrap()),
         ));
-        let better = sim.simulate(&view, &tilted, &tree).unwrap();
+        let better = sim.simulate(&view, &tilted, &tree, None).unwrap();
         assert!(better.total_secs < equal.total_secs);
         // With the tilt matching the compute shares, per-phase compute is
         // balanced and strictly faster than the equal split, where the
@@ -540,7 +584,7 @@ mod tests {
             LayerPlan::new(PartitionType::TypeII, Ratio::EQUAL),
             LayerPlan::new(PartitionType::TypeIII, Ratio::EQUAL),
         ]));
-        let report = sim.simulate(&view, &plan, &tree).unwrap();
+        let report = sim.simulate(&view, &plan, &tree, None).unwrap();
         assert_eq!(report.conversion_secs, 0.0);
         // Psum traffic exists for both types though.
         assert!(report.psum_secs > 0.0);
@@ -562,8 +606,8 @@ mod tests {
         let a4 = AcceleratorArray::homogeneous_tpu_v3(4);
         let t1 = GroupTree::bisect(&a4, 1).unwrap();
         let t2 = GroupTree::bisect(&a4, 2).unwrap();
-        let r1 = sim.simulate(&view, &dp_plan(n, 1), &t1).unwrap();
-        let r2 = sim.simulate(&view, &dp_plan(n, 2), &t2).unwrap();
+        let r1 = sim.simulate(&view, &dp_plan(n, 1), &t1, None).unwrap();
+        let r2 = sim.simulate(&view, &dp_plan(n, 2), &t2, None).unwrap();
         assert!(
             (r2.compute_secs - r1.compute_secs).abs() / r2.compute_secs < 1e-9,
             "{} vs {}",
@@ -584,7 +628,7 @@ mod tests {
         let left = NetworkPlan::uniform(1, LayerPlan::new(PartitionType::TypeII, Ratio::EQUAL));
         let right = NetworkPlan::uniform(1, LayerPlan::new(PartitionType::TypeIII, Ratio::EQUAL));
         let plan = PlanTree::branch(top, PlanTree::leaf(left), PlanTree::leaf(right));
-        let report = Simulator::default().simulate(&view, &plan, &tree).unwrap();
+        let report = Simulator::default().simulate(&view, &plan, &tree, None).unwrap();
         assert!(report.total_secs > 0.0);
         // Compare with a uniform Type-II inner plan: costs differ because
         // Type-II and Type-III psum different tensors (F_{l+1} vs E_l)
@@ -597,7 +641,7 @@ mod tests {
             PlanTree::leaf(inner_i.clone()),
             PlanTree::leaf(inner_i),
         );
-        let report_i = Simulator::default().simulate(&view, &uniform, &tree).unwrap();
+        let report_i = Simulator::default().simulate(&view, &uniform, &tree, None).unwrap();
         assert!(report.psum_secs != report_i.psum_secs);
     }
 
@@ -615,7 +659,7 @@ mod tests {
             mem_model: MemModel::ComputeOnly,
             ..SimConfig::default()
         });
-        let clean = sim.simulate(&view, &plan, &tree).unwrap();
+        let clean = sim.simulate(&view, &plan, &tree, None).unwrap();
 
         // One TPU-v2 leaf at half compute, one cut at quarter bandwidth —
         // the acceptance scenario of the robustness issue.
@@ -624,8 +668,8 @@ mod tests {
             .unwrap()
             .degrade_cut(1, 0.25)
             .unwrap();
-        let a = sim.simulate_faulted(&view, &plan, &tree, &faults).unwrap();
-        let b = sim.simulate_faulted(&view, &plan, &tree, &faults).unwrap();
+        let a = sim.simulate(&view, &plan, &tree, Some(&faults)).unwrap();
+        let b = sim.simulate(&view, &plan, &tree, Some(&faults)).unwrap();
         assert_eq!(a, b, "seeded fault scenario must be bit-reproducible");
         assert!(a.total_secs > clean.total_secs);
         assert!(a.compute_secs > clean.compute_secs);
@@ -633,7 +677,7 @@ mod tests {
 
         // An empty fault model is a no-op.
         let none = sim
-            .simulate_faulted(&view, &plan, &tree, &FaultModel::new())
+            .simulate(&view, &plan, &tree, Some(&FaultModel::new()))
             .unwrap();
         assert_eq!(none, clean);
     }
@@ -649,9 +693,9 @@ mod tests {
             .degrade_cut(0, 0.5)
             .unwrap();
         let sim = Simulator::default();
-        let faulted = sim.simulate_faulted(&view, &plan, &tree, &faults).unwrap();
+        let faulted = sim.simulate(&view, &plan, &tree, Some(&faults)).unwrap();
         let direct = sim
-            .simulate(&view, &plan, &tree.degraded(&faults).unwrap())
+            .simulate(&view, &plan, &tree.degraded(&faults).unwrap(), None)
             .unwrap();
         assert_eq!(faulted, direct);
     }
@@ -662,10 +706,10 @@ mod tests {
         let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
         let plan = dp_plan(view.weighted_len(), 1);
         let sim = Simulator::default();
-        let clean = sim.simulate(&view, &plan, &tree).unwrap();
+        let clean = sim.simulate(&view, &plan, &tree, None).unwrap();
         let stall = 1e-3;
         let faults = FaultModel::new().stall_leaf(0, stall).unwrap();
-        let stalled = sim.simulate_faulted(&view, &plan, &tree, &faults).unwrap();
+        let stalled = sim.simulate(&view, &plan, &tree, Some(&faults)).unwrap();
         assert!((stalled.total_secs - clean.total_secs - stall).abs() < 1e-12);
         assert_eq!(stalled.leaf_busy_secs, clean.leaf_busy_secs);
         assert!(stalled.mean_utilization() < clean.mean_utilization());
@@ -678,15 +722,15 @@ mod tests {
         let plan = dp_plan(view.weighted_len(), 1);
         let sim = Simulator::default();
         let err = sim
-            .simulate_faulted(&view, &plan, &tree, &FaultModel::new().slow_leaf(9, 0.5).unwrap())
+            .simulate(&view, &plan, &tree, Some(&FaultModel::new().slow_leaf(9, 0.5).unwrap()))
             .unwrap_err();
         assert_eq!(err, SimError::FaultLeafOutOfRange { leaf: 9, leaves: 2 });
         let err = sim
-            .simulate_faulted(&view, &plan, &tree, &FaultModel::new().degrade_cut(1, 0.5).unwrap())
+            .simulate(&view, &plan, &tree, Some(&FaultModel::new().degrade_cut(1, 0.5).unwrap()))
             .unwrap_err();
         assert_eq!(err, SimError::FaultCutOutOfRange { cut: 1, cuts: 1 });
         let err = sim
-            .simulate_faulted(&view, &plan, &tree, &FaultModel::new().drop_leaf(1))
+            .simulate(&view, &plan, &tree, Some(&FaultModel::new().drop_leaf(1)))
             .unwrap_err();
         assert_eq!(err, SimError::DroppedLeaf { leaf: 1 });
     }
@@ -697,7 +741,7 @@ mod tests {
         let view = fc_view(64, &[1024, 1024]);
         let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
         let base = Simulator::default()
-            .simulate(&view, &dp_plan(1, 1), &tree)
+            .simulate(&view, &dp_plan(1, 1), &tree, None)
             .unwrap();
         assert_eq!(base.update_secs, 0.0);
         for (opt, worse) in [
@@ -710,7 +754,7 @@ mod tests {
                 update: Some(opt),
                 ..SimConfig::default()
             })
-            .simulate(&view, &dp_plan(1, 1), &tree)
+            .simulate(&view, &dp_plan(1, 1), &tree, None)
             .unwrap();
             assert!(with.update_secs > 0.0, "{opt}");
             assert!(
@@ -724,7 +768,7 @@ mod tests {
                 update: Some(opt),
                 ..SimConfig::default()
             })
-            .simulate(&view, &dp_plan(1, 1), &tree)
+            .simulate(&view, &dp_plan(1, 1), &tree, None)
             .unwrap()
             .update_secs
         };
@@ -736,7 +780,7 @@ mod tests {
         let view = fc_view(64, &[128, 256]);
         let tree = GroupTree::bisect(&AcceleratorArray::homogeneous_tpu_v3(2), 1).unwrap();
         let report = Simulator::default()
-            .simulate(&view, &dp_plan(1, 1), &tree)
+            .simulate(&view, &dp_plan(1, 1), &tree, None)
             .unwrap();
         assert!(report.steps_per_sec().is_some_and(|s| s > 0.0));
         assert_eq!(SimReport { total_secs: 0.0, ..report.clone() }.steps_per_sec(), None);

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("array: {array}\n");
 
     for network in [&mlp, &cell] {
-        let planner = Planner::new(network, &array).with_sim_config(SimConfig::default());
+        let planner = Planner::builder(network, &array).sim_config(SimConfig::default()).build().unwrap();
         let dp = planner.plan(Strategy::DataParallel)?;
         let accpar = planner.plan(Strategy::AccPar)?;
         println!(
@@ -60,8 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Per-layer ratios show the heterogeneity awareness: the old half
     // receives well under half of each layer.
-    let planned = Planner::new(&mlp, &array)
-        .with_sim_config(SimConfig::default())
+    let planned = Planner::builder(&mlp, &array)
+        .sim_config(SimConfig::default()).build().unwrap()
         .plan(Strategy::AccPar)?;
     println!("\nper-layer ratios for the old-gen half (top level):");
     for (i, layer_plan) in planned.plan().plan().layers().iter().enumerate() {

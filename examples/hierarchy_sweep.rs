@@ -15,9 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let max_levels = 8.min(array.max_levels());
     for levels in 1..=max_levels {
-        let planner = Planner::new(&network, &array)
-            .with_levels(levels)
-            .with_sim_config(SimConfig::default());
+        let planner = Planner::builder(&network, &array)
+            .levels(levels)
+            .sim_config(SimConfig::default()).build().unwrap();
         let mut speedups = Vec::new();
         let mut dp_ms = 0.0;
         for (i, strategy) in Strategy::ALL.iter().enumerate() {

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let network = zoo::alexnet(512)?;
     println!("network: {}", network.stats());
 
-    let planner = Planner::new(&network, &array).with_sim_config(SimConfig::default());
+    let planner = Planner::builder(&network, &array).sim_config(SimConfig::default()).build().unwrap();
     println!("hierarchy levels: {}\n", planner.levels());
 
     let mut baseline_ms = None;

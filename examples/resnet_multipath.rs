@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let array = AcceleratorArray::heterogeneous_tpu(64, 64);
-    let planner = Planner::new(&network, &array).with_sim_config(SimConfig::default());
+    let planner = Planner::builder(&network, &array).sim_config(SimConfig::default()).build().unwrap();
 
     let dp = planner.plan(Strategy::DataParallel)?;
     let hypar = planner.plan(Strategy::HyPar)?;

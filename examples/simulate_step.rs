@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = HierPlan::new(vec![top, inner.clone(), inner]).to_tree();
 
     let sim = Simulator::new(SimConfig::default());
-    let report = sim.simulate(&view, &plan, &tree)?;
+    let report = sim.simulate(&view, &plan, &tree, None)?;
 
     println!("simulated one training step of {}:", network.name());
     println!("  {report}");
@@ -58,9 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Compare against the planner's best effort on the same hardware.
-    let best = Planner::new(&network, &array)
-        .with_levels(3)
-        .with_sim_config(SimConfig::default())
+    let best = Planner::builder(&network, &array)
+        .levels(3)
+        .sim_config(SimConfig::default()).build().unwrap()
         .plan(Strategy::AccPar)?;
     println!(
         "\nhand-written plan: {:.3} ms — AccPar search: {:.3} ms",

@@ -160,12 +160,16 @@ fn setup(args: &Args) -> Result<Setup, String> {
     })
 }
 
-fn planner<'a>(setup: &'a Setup) -> Planner<'a> {
-    let mut p = Planner::new(&setup.network, &setup.array).with_sim_config(SimConfig::default());
+fn builder<'a>(setup: &'a Setup) -> PlannerBuilder<'a> {
+    let mut b = Planner::builder(&setup.network, &setup.array).sim_config(SimConfig::default());
     if let Some(levels) = setup.levels {
-        p = p.with_levels(levels);
+        b = b.levels(levels);
     }
-    p
+    b
+}
+
+fn planner<'a>(setup: &'a Setup) -> Result<Planner<'a>, String> {
+    builder(setup).build().map_err(|e| e.to_string())
 }
 
 fn cmd_models() -> Result<(), String> {
@@ -184,7 +188,7 @@ fn cmd_models() -> Result<(), String> {
 
 fn cmd_plan(args: &Args) -> Result<(), String> {
     let setup = setup(args)?;
-    let planner = planner(&setup);
+    let planner = planner(&setup)?;
     let strategies: Vec<Strategy> = match args.get("strategy").unwrap_or("accpar") {
         "all" => Strategy::ALL.to_vec(),
         name => vec![parse_strategy(name)?],
@@ -248,7 +252,10 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         update,
         ..SimConfig::default()
     };
-    let planner = planner(&setup).with_sim_config(sim_config);
+    let planner = builder(&setup)
+        .sim_config(sim_config)
+        .build()
+        .map_err(|e| e.to_string())?;
     let planned = planner.plan(strategy).map_err(|e| e.to_string())?;
     println!(
         "{} under {} on {}:",
@@ -274,7 +281,7 @@ fn cmd_memory(args: &Args) -> Result<(), String> {
         .map(parse_optimizer)
         .transpose()?
         .unwrap_or_default();
-    let planner = planner(&setup);
+    let planner = planner(&setup)?;
     let planned = planner.plan(strategy).map_err(|e| e.to_string())?;
     let view = setup.network.train_view().map_err(|e| e.to_string())?;
     let tree = GroupTree::bisect(&setup.array, planned.plan().depth()).map_err(|e| e.to_string())?;

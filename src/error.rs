@@ -1,0 +1,128 @@
+//! The unified error type of the `accpar` facade.
+
+use std::fmt;
+
+/// Any error the AccPar workspace can produce.
+///
+/// Each member crate keeps its own precise error enum; this type folds
+/// them into one for facade users, with `From` impls so `?` converts
+/// automatically and [`std::error::Error::source`] preserving the full
+/// chain (e.g. `AccParError::Plan` → `PlanError::Hw` → `HwError`).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AccParError {
+    /// Planning failed: search, configuration or memory feasibility
+    /// (see [`PlanError`](accpar_core::PlanError)).
+    Plan(accpar_core::PlanError),
+    /// Simulation rejected its inputs or a fault scenario (see
+    /// [`SimError`](accpar_sim::SimError)).
+    Sim(accpar_sim::SimError),
+    /// The network could not be built or analyzed for training (see
+    /// [`NetworkError`](accpar_dnn::NetworkError)).
+    Network(accpar_dnn::NetworkError),
+    /// The accelerator array could not be described or bisected (see
+    /// [`HwError`](accpar_hw::HwError)).
+    Hw(accpar_hw::HwError),
+    /// A partition ratio was non-finite or outside `[0, 1]` (see
+    /// [`RatioError`](accpar_partition::RatioError)).
+    Ratio(accpar_partition::RatioError),
+    /// Tensor shape algebra failed (see
+    /// [`ShapeError`](accpar_tensor::ShapeError)).
+    Shape(accpar_tensor::ShapeError),
+}
+
+impl fmt::Display for AccParError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccParError::Plan(e) => write!(f, "planning failed: {e}"),
+            AccParError::Sim(e) => write!(f, "simulation failed: {e}"),
+            AccParError::Network(e) => write!(f, "network error: {e}"),
+            AccParError::Hw(e) => write!(f, "hardware error: {e}"),
+            AccParError::Ratio(e) => write!(f, "ratio error: {e}"),
+            AccParError::Shape(e) => write!(f, "shape error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AccParError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccParError::Plan(e) => Some(e),
+            AccParError::Sim(e) => Some(e),
+            AccParError::Network(e) => Some(e),
+            AccParError::Hw(e) => Some(e),
+            AccParError::Ratio(e) => Some(e),
+            AccParError::Shape(e) => Some(e),
+        }
+    }
+}
+
+impl From<accpar_core::PlanError> for AccParError {
+    fn from(e: accpar_core::PlanError) -> Self {
+        AccParError::Plan(e)
+    }
+}
+
+impl From<accpar_sim::SimError> for AccParError {
+    fn from(e: accpar_sim::SimError) -> Self {
+        AccParError::Sim(e)
+    }
+}
+
+impl From<accpar_dnn::NetworkError> for AccParError {
+    fn from(e: accpar_dnn::NetworkError) -> Self {
+        AccParError::Network(e)
+    }
+}
+
+impl From<accpar_hw::HwError> for AccParError {
+    fn from(e: accpar_hw::HwError) -> Self {
+        AccParError::Hw(e)
+    }
+}
+
+impl From<accpar_partition::RatioError> for AccParError {
+    fn from(e: accpar_partition::RatioError) -> Self {
+        AccParError::Ratio(e)
+    }
+}
+
+impl From<accpar_tensor::ShapeError> for AccParError {
+    fn from(e: accpar_tensor::ShapeError) -> Self {
+        AccParError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn sources_chain_through_nested_errors() {
+        let e: AccParError = accpar_core::PlanError::Hw(accpar_hw::HwError::EmptyArray).into();
+        let plan = e.source().expect("facade error has a source");
+        assert!(plan.to_string().contains("hardware"));
+        let hw = plan.source().expect("plan error chains to hw");
+        assert_eq!(hw.to_string(), accpar_hw::HwError::EmptyArray.to_string());
+    }
+
+    #[test]
+    fn every_member_converts() {
+        let _: AccParError = accpar_hw::HwError::EmptyArray.into();
+        let _: AccParError = accpar_partition::Ratio::new(2.0).unwrap_err().into();
+        assert!(AccParError::from(accpar_hw::HwError::EmptyArray)
+            .to_string()
+            .contains("hardware"));
+    }
+
+    #[test]
+    fn question_mark_converts_in_facade_results() {
+        fn plan() -> Result<(), AccParError> {
+            let array = accpar_hw::AcceleratorArray::heterogeneous_tpu(1, 1);
+            accpar_hw::GroupTree::bisect(&array, 9)?;
+            Ok(())
+        }
+        assert!(matches!(plan(), Err(AccParError::Hw(_))));
+    }
+}

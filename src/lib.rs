@@ -26,7 +26,14 @@
 //!   baselines;
 //! * [`exec`] — the executable semantics oracle: numerically runs
 //!   partitioned training on virtual devices and verifies both the
-//!   results and the communication volumes against the cost model.
+//!   results and the communication volumes against the cost model;
+//! * [`runtime`] — the std-only thread pool behind parallel planning;
+//! * [`obs`] — structured tracing, metrics and profiling hooks
+//!   ([`obs::Obs`], [`obs::Subscriber`], [`obs::Metrics`]).
+//!
+//! Errors from any layer unify into [`AccParError`], and a planner is
+//! configured through [`prelude::PlannerBuilder`]
+//! (`Planner::builder(..)`), which validates every knob up front.
 //!
 //! # Quickstart
 //!
@@ -38,13 +45,40 @@
 //! let network = zoo::alexnet(512)?;
 //!
 //! // Search the complete partition space with the full cost model.
-//! let planner = Planner::new(&network, &array);
+//! let planner = Planner::builder(&network, &array).build()?;
 //! let accpar = planner.plan(Strategy::AccPar)?;
 //! let dp = planner.plan(Strategy::DataParallel)?;
 //!
 //! // The complete, heterogeneity-aware search wins clearly on AlexNet.
 //! assert!(accpar.modeled_cost() < dp.modeled_cost());
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), accpar::AccParError>(())
+//! ```
+//!
+//! # Observability
+//!
+//! Attach a [`Subscriber`](obs::Subscriber) to watch the search decide
+//! (one `plan.decision` event per plan-tree node and layer) and to
+//! collect metrics — cache hit rates, per-type cost evaluations,
+//! per-phase simulator timings:
+//!
+//! ```
+//! use accpar::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+//! let network = zoo::lenet(128)?;
+//!
+//! let collector = Arc::new(Collector::new());
+//! let planner = Planner::builder(&network, &array)
+//!     .levels(2)
+//!     .subscriber(Arc::clone(&collector))
+//!     .build()?;
+//! let planned = planner.run()?;
+//!
+//! // One decision event per (plan-tree node, weighted layer).
+//! let decisions = collector.events_named("plan.decision");
+//! assert_eq!(decisions.len(), 3 * planned.plan().plan().len());
+//! # Ok::<(), accpar::AccParError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,20 +89,31 @@ pub use accpar_exec as exec;
 pub use accpar_cost as cost;
 pub use accpar_dnn as dnn;
 pub use accpar_hw as hw;
+pub use accpar_obs as obs;
 pub use accpar_partition as partition;
+pub use accpar_runtime as runtime;
 pub use accpar_sim as sim;
 pub use accpar_tensor as tensor;
 
+mod error;
+
+pub use error::AccParError;
+
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
+    pub use crate::error::AccParError;
     pub use accpar_core::{
-        baselines, replan, PlanError, PlannedNetwork, Planner, ReplanConfig, ReplanOutcome,
-        Strategy,
+        baselines, replan, CacheStats, PlanError, PlannedNetwork, Planner, PlannerBuilder,
+        ReplanConfig, ReplanOutcome, SearchCache, Strategy,
     };
     pub use accpar_cost::{CostConfig, CostModel, PairEnv, RatioSolver};
     pub use accpar_dnn::{zoo, Network, NetworkBuilder};
     pub use accpar_hw::{AcceleratorArray, AcceleratorSpec, FaultModel, GroupTree};
+    pub use accpar_obs::{
+        Collector, JsonLines, Metrics, MetricsSnapshot, NoopSubscriber, Obs, ScopedTimer,
+        StderrSubscriber, Subscriber,
+    };
     pub use accpar_partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, PlanTree, Ratio};
-    pub use accpar_sim::{simulate_des_faulted, SimConfig, SimReport, Simulator};
+    pub use accpar_sim::{simulate, simulate_des, SimConfig, SimReport, Simulator};
     pub use accpar_tensor::{ConvGeometry, DataFormat, FeatureShape, KernelShape};
 }

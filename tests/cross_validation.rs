@@ -37,7 +37,7 @@ fn sim_equals_model_for_every_type_and_ratio_on_homogeneous_pairs() {
                 LayerPlan::new(ptype, ratio),
             )])
             .to_tree();
-            let report = sim.simulate(&view, &plan, &tree).unwrap();
+            let report = sim.simulate(&view, &plan, &tree, None).unwrap();
             let expected = model
                 .layer_cost(&layer, ptype, ratio, &env, ShardScales::full())
                 .makespan();
@@ -75,7 +75,7 @@ fn sim_is_bounded_by_model_on_heterogeneous_pairs() {
                 LayerPlan::new(ptype, ratio),
             )])
             .to_tree();
-            let report = sim.simulate(&view, &plan, &tree).unwrap();
+            let report = sim.simulate(&view, &plan, &tree, None).unwrap();
             let cost = model.layer_cost(&layer, ptype, ratio, &env, ShardScales::full());
             let makespan = cost.makespan();
             // Upper bound: sum of per-stage maxima (≤ 2x the makespan).
@@ -131,7 +131,7 @@ fn table5_zero_entries_are_conversion_free_in_the_simulator() {
             LayerPlan::new(next, Ratio::EQUAL),
         ])])
         .to_tree();
-        let report = sim.simulate(&view, &plan, &tree).unwrap();
+        let report = sim.simulate(&view, &plan, &tree, None).unwrap();
         assert_eq!(report.conversion_secs, 0.0, "{prev} -> {next}");
     }
 }
@@ -161,7 +161,7 @@ fn nonzero_table5_entries_show_up_in_the_simulator() {
             LayerPlan::new(next, Ratio::EQUAL),
         ])])
         .to_tree();
-        let report = sim.simulate(&view, &plan, &tree).unwrap();
+        let report = sim.simulate(&view, &plan, &tree, None).unwrap();
         assert!(report.conversion_secs > 0.0, "{prev} -> {next}");
     }
 }
@@ -186,7 +186,7 @@ fn search_objective_tracks_simulator_within_factor_two() {
         let searcher = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
         let outcome = searcher.search();
         let plan = HierPlan::new(vec![outcome.plan.clone()]).to_tree();
-        let measured = sim.simulate(&view, &plan, &tree).unwrap().total_secs;
+        let measured = sim.simulate(&view, &plan, &tree, None).unwrap().total_secs;
         let ratio = outcome.cost / measured;
         assert!(
             (0.5..=2.0).contains(&ratio),

@@ -12,7 +12,7 @@ fn googlenet_plans_under_every_strategy() {
     // tests/flexibility.rs for the same note).
     let net = zoo::googlenet(512).unwrap();
     let array = AcceleratorArray::heterogeneous_tpu(128, 128);
-    let planner = Planner::new(&net, &array).with_sim_config(SimConfig::default());
+    let planner = Planner::builder(&net, &array).sim_config(SimConfig::default()).build().unwrap();
     let mut costs = Vec::new();
     for s in Strategy::ALL {
         let planned = planner.plan(s).unwrap();
@@ -60,7 +60,7 @@ fn memory_feasibility_via_public_api() {
     let net = zoo::vgg16(32).unwrap();
     let view = net.train_view().unwrap();
     let array = AcceleratorArray::heterogeneous_tpu(2, 2);
-    let planner = Planner::new(&net, &array).with_levels(2);
+    let planner = Planner::builder(&net, &array).levels(2).build().unwrap();
     let tree = GroupTree::bisect(&array, 2).unwrap();
 
     let dp = planner.plan(Strategy::DataParallel).unwrap();
@@ -89,12 +89,12 @@ fn update_phase_scales_with_model_size() {
     let array = AcceleratorArray::homogeneous_tpu_v3(2);
     let update_secs = |name: &str| {
         let net = zoo::by_name(name, 64).unwrap();
-        Planner::new(&net, &array)
-            .with_levels(1)
-            .with_sim_config(SimConfig {
+        Planner::builder(&net, &array)
+            .levels(1)
+            .sim_config(SimConfig {
                 update: Some(Optimizer::Adam),
                 ..SimConfig::default()
-            })
+            }).build().unwrap()
             .plan(Strategy::DataParallel)
             .unwrap()
             .report()
@@ -117,7 +117,7 @@ fn model_partitioning_shrinks_update_time() {
         update: Some(Optimizer::Momentum),
         ..SimConfig::default()
     };
-    let planner = Planner::new(&net, &array).with_sim_config(sim_config);
+    let planner = Planner::builder(&net, &array).sim_config(sim_config).build().unwrap();
     let dp = planner.plan(Strategy::DataParallel).unwrap();
     let accpar = planner.plan(Strategy::AccPar).unwrap();
     assert!(accpar.plan().count(PartitionType::TypeII) + accpar.plan().count(PartitionType::TypeIII) > 0);
@@ -148,7 +148,7 @@ fn plan_within_memory_repairs_replication() {
     let spec = AcceleratorSpec::new("small-hbm", 10e12, 768 << 20, 100e9, 1e9, 2, 10e9).unwrap();
     let array = AcceleratorArray::homogeneous(spec, 4);
     let net = zoo::vgg16(8).unwrap();
-    let planner = Planner::new(&net, &array).with_levels(2);
+    let planner = Planner::builder(&net, &array).levels(2).build().unwrap();
 
     let repaired = planner
         .plan_within_memory(Strategy::DataParallel, Optimizer::Adam)
@@ -176,11 +176,11 @@ fn des_backend_is_reachable_from_the_facade() {
     let view = net.train_view().unwrap();
     let array = AcceleratorArray::heterogeneous_tpu(2, 2);
     let tree = GroupTree::bisect(&array, 2).unwrap();
-    let planned = Planner::new(&net, &array)
-        .with_levels(2)
+    let planned = Planner::builder(&net, &array)
+        .levels(2).build().unwrap()
         .plan(Strategy::AccPar)
         .unwrap();
-    let des = simulate_des(&SimConfig::default(), &view, planned.plan(), &tree).unwrap();
+    let des = simulate_des(&SimConfig::default(), &view, planned.plan(), &tree, None).unwrap();
     assert!(des.total_secs > 0.0);
     assert!(des.total_secs <= planned.report().total_secs * 1.5);
 }

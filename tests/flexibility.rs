@@ -15,7 +15,7 @@ fn speedups(name: &str, array: &AcceleratorArray) -> Vec<(Strategy, f64)> {
     // room — at toy scale the greedy per-level search can land within a
     // few percent of DP on ResNets).
     let net = zoo::by_name(name, 512).expect("zoo network");
-    let planner = Planner::new(&net, array).with_sim_config(SimConfig::default());
+    let planner = Planner::builder(&net, array).sim_config(SimConfig::default()).build().unwrap();
     let mut out = Vec::new();
     let mut dp = 0.0;
     for (i, s) in Strategy::ALL.iter().enumerate() {

@@ -1,0 +1,132 @@
+//! End-to-end observability through the facade: span nesting, metric
+//! values for a full VGG-16 plan, and proof that instrumentation never
+//! changes what the planner decides.
+
+use accpar::prelude::*;
+use std::sync::Arc;
+
+/// Plans VGG-16 on the heterogeneous evaluation array with a
+/// [`Collector`] attached, returning both.
+fn traced_vgg16() -> (Arc<Collector>, Planner<'static>, PlannedNetwork) {
+    // Leak the inputs so the planner can be returned alongside the
+    // collector; the test process is short-lived.
+    let array: &'static _ = Box::leak(Box::new(AcceleratorArray::heterogeneous_tpu(4, 4)));
+    let network: &'static _ = Box::leak(Box::new(zoo::vgg16(64).expect("vgg16 builds")));
+    let collector = Arc::new(Collector::new());
+    let planner = Planner::builder(network, array)
+        .subscriber(Arc::clone(&collector))
+        .build()
+        .expect("vgg16 configures cleanly");
+    let planned = planner.plan(Strategy::AccPar).expect("vgg16 plans");
+    (collector, planner, planned)
+}
+
+#[test]
+fn vgg16_trace_nests_level_spans_under_the_plan_span() {
+    let (collector, _planner, planned) = traced_vgg16();
+
+    let plan_span = collector.span_named("plan").expect("a `plan` span");
+    assert_eq!(plan_span.parent, None, "`plan` is the root span");
+    let levels: Vec<_> = collector
+        .spans()
+        .into_iter()
+        .filter(|s| s.name == "plan.level")
+        .collect();
+    // 4 + 4 boards bisect to a depth-3 tree: 7 group nodes, each
+    // searched once (the memo may answer, but the span still opens).
+    assert_eq!(levels.len(), 7, "one `plan.level` span per tree node");
+    for level in &levels {
+        assert!(
+            collector.nested_under(level.id, plan_span.id),
+            "span {} not nested under `plan`",
+            level.id
+        );
+    }
+
+    // Every span that opened also closed.
+    let ended = collector.ended_span_ids();
+    for span in collector.spans() {
+        assert!(ended.contains(&span.id), "span {} never ended", span.id);
+    }
+
+    // One decision event per (plan-tree node, weighted layer), each
+    // naming a valid partition type.
+    let decisions = collector.events_named("plan.decision");
+    assert_eq!(decisions.len(), 7 * planned.plan().plan().len());
+    for d in &decisions {
+        assert_eq!(d.span, Some(plan_span.id));
+        let ptype = d
+            .fields
+            .iter()
+            .find(|(k, _)| *k == "ptype")
+            .expect("decision has a ptype field");
+        let rendered = format!("{:?}", ptype.1);
+        assert!(
+            rendered.contains("Type-I"),
+            "unexpected partition type {rendered}"
+        );
+    }
+
+    // The memo reports its totals once per plan.
+    assert_eq!(collector.events_named("plan.cache_stats").len(), 1);
+    assert_eq!(
+        collector.events_named("plan.level_done").len(),
+        levels.len(),
+        "each level search reports an outcome"
+    );
+}
+
+#[test]
+fn vgg16_metrics_count_cache_and_simulator_activity() {
+    let (collector, planner, _planned) = traced_vgg16();
+    planner.obs().emit_metrics();
+    let snap = collector.last_metrics().expect("a metrics snapshot");
+
+    assert_eq!(snap.counter("planner.plans"), 1);
+    // VGG-16 repeats conv shapes, so the shared cost cache must both
+    // miss (first sight) and hit (repeats).
+    assert!(snap.counter("cost.cache.misses") > 0, "no cache misses");
+    assert!(snap.counter("cost.cache.hits") > 0, "no cache hits");
+    // All three partition types were costed during the full search.
+    for t in ["cost.evals.type_i", "cost.evals.type_ii", "cost.evals.type_iii"] {
+        assert!(snap.counter(t) > 0, "no `{t}` evaluations");
+    }
+    // Planning evaluates the winning plan on the BSP simulator.
+    assert!(snap.counter("sim.steps") > 0, "simulator never stepped");
+    let hit_rate = snap
+        .gauge("planner.cache.hit_rate")
+        .expect("hit-rate gauge set");
+    assert!((0.0..=1.0).contains(&hit_rate), "hit rate {hit_rate}");
+}
+
+#[test]
+fn tracing_never_changes_the_plan() {
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    for name in ["alexnet", "vgg11", "resnet18"] {
+        let net = zoo::by_name(name, 32).expect("zoo network");
+        let collector = Arc::new(Collector::new());
+        let traced = Planner::builder(&net, &array)
+            .levels(2)
+            .subscriber(Arc::clone(&collector))
+            .build()
+            .expect("traced planner builds")
+            .plan(Strategy::AccPar)
+            .expect("traced plan");
+        let plain = Planner::builder(&net, &array)
+            .levels(2)
+            .build()
+            .expect("plain planner builds")
+            .plan(Strategy::AccPar)
+            .expect("plain plan");
+        assert_eq!(traced.plan(), plain.plan(), "{name}: plans diverge");
+        assert_eq!(
+            traced.modeled_cost().to_bits(),
+            plain.modeled_cost().to_bits(),
+            "{name}: modeled costs diverge"
+        );
+        assert!(
+            !collector.events_named("plan.decision").is_empty(),
+            "{name}: tracing was silently off"
+        );
+    }
+}

@@ -95,12 +95,12 @@ fn faster_hardware_is_never_slower() {
         let slow = {
             let tree =
                 GroupTree::bisect(&AcceleratorArray::homogeneous(slow_spec, 2), 1).unwrap();
-            sim.simulate(&view, &plan, &tree).unwrap().total_secs
+            sim.simulate(&view, &plan, &tree, None).unwrap().total_secs
         };
         let fast = {
             let tree =
                 GroupTree::bisect(&AcceleratorArray::homogeneous(fast_spec, 2), 1).unwrap();
-            sim.simulate(&view, &plan, &tree).unwrap().total_secs
+            sim.simulate(&view, &plan, &tree, None).unwrap().total_secs
         };
         assert!(fast <= slow * (1.0 + 1e-12), "fast {fast} vs slow {slow}");
         // Doubling every rate exactly halves the time.
@@ -160,7 +160,7 @@ fn simulator_outputs_are_sane() {
         let plan = HierPlan::new(vec![NetworkPlan::new(entries)]).to_tree();
         let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(1, 1), 1).unwrap();
         let report = Simulator::new(SimConfig::default())
-            .simulate(&view, &plan, &tree)
+            .simulate(&view, &plan, &tree, None)
             .unwrap();
         assert!(report.total_secs.is_finite() && report.total_secs > 0.0);
         assert!(report.compute_secs >= 0.0);

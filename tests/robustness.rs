@@ -28,22 +28,22 @@ fn seeded_faulted_reports_are_identical_across_runs() {
     let (network, array) = setup();
     let view = network.train_view().unwrap();
     let tree = GroupTree::bisect(&array, 2).unwrap();
-    let planner = Planner::new(&network, &array).with_levels(2);
+    let planner = Planner::builder(&network, &array).levels(2).build().unwrap();
     let planned = planner.plan(Strategy::AccPar).unwrap();
     let faults = acceptance_faults(7);
 
     let sim = Simulator::new(SimConfig::default());
     let a = sim
-        .simulate_faulted(&view, planned.plan(), &tree, &faults)
+        .simulate(&view, planned.plan(), &tree, Some(&faults))
         .unwrap();
     let b = sim
-        .simulate_faulted(&view, planned.plan(), &tree, &faults)
+        .simulate(&view, planned.plan(), &tree, Some(&faults))
         .unwrap();
     assert_eq!(a, b, "bulk-synchronous reports must be bit-identical");
 
     let config = SimConfig::default();
-    let da = simulate_des_faulted(&config, &view, planned.plan(), &tree, &faults).unwrap();
-    let db = simulate_des_faulted(&config, &view, planned.plan(), &tree, &faults).unwrap();
+    let da = simulate_des(&config, &view, planned.plan(), &tree, Some(&faults)).unwrap();
+    let db = simulate_des(&config, &view, planned.plan(), &tree, Some(&faults)).unwrap();
     assert_eq!(da.total_secs.to_bits(), db.total_secs.to_bits());
     assert_eq!(da.leaf_busy_secs, db.leaf_busy_secs);
     assert_eq!(da.tasks, db.tasks);
@@ -51,16 +51,16 @@ fn seeded_faulted_reports_are_identical_across_runs() {
     // The faults actually hurt: degraded strictly slower than nominal
     // (the quarter-bandwidth cut bites even when the straggler hides
     // behind the memory roofline).
-    let clean = sim.simulate(&view, planned.plan(), &tree).unwrap();
+    let clean = sim.simulate(&view, planned.plan(), &tree, None).unwrap();
     assert!(a.total_secs > clean.total_secs, "faults must slow the step");
-    let dclean = simulate_des(&config, &view, planned.plan(), &tree).unwrap();
+    let dclean = simulate_des(&config, &view, planned.plan(), &tree, None).unwrap();
     assert!(da.total_secs > dclean.total_secs);
 }
 
 #[test]
 fn replanned_degraded_step_never_exceeds_the_stale_plan() {
     let (network, array) = setup();
-    let planner = Planner::new(&network, &array).with_levels(2);
+    let planner = Planner::builder(&network, &array).levels(2).build().unwrap();
     let faults = acceptance_faults(7);
 
     for strategy in Strategy::ALL {
@@ -83,7 +83,7 @@ fn replanned_degraded_step_never_exceeds_the_stale_plan() {
 #[test]
 fn replanning_is_deterministic() {
     let (network, array) = setup();
-    let planner = Planner::new(&network, &array).with_levels(2);
+    let planner = Planner::builder(&network, &array).levels(2).build().unwrap();
     let planned = planner.plan(Strategy::AccPar).unwrap();
     let faults = acceptance_faults(7);
 
@@ -109,14 +109,14 @@ fn dropout_forces_a_feasible_plan_on_the_survivors() {
     let (network, array) = setup();
     let view = network.train_view().unwrap();
     let tree = GroupTree::bisect(&array, 2).unwrap();
-    let planner = Planner::new(&network, &array).with_levels(2);
+    let planner = Planner::builder(&network, &array).levels(2).build().unwrap();
     let planned = planner.plan(Strategy::AccPar).unwrap();
     let faults = FaultModel::with_seed(7).drop_leaf(3);
 
     // The stale plan cannot run at all on the faulted hardware...
     let sim = Simulator::new(SimConfig::default());
     let err = sim
-        .simulate_faulted(&view, planned.plan(), &tree, &faults)
+        .simulate(&view, planned.plan(), &tree, Some(&faults))
         .unwrap_err();
     assert!(err.to_string().contains("re-plan"), "{err}");
 

@@ -10,7 +10,7 @@ fn every_network_plans_under_every_strategy() {
     for name in zoo::EVALUATION_NAMES {
         let net = zoo::by_name(name, 32).expect("zoo network");
         let view = net.train_view().expect("weighted layers");
-        let planner = Planner::new(&net, &array).with_levels(2);
+        let planner = Planner::builder(&net, &array).levels(2).build().unwrap();
         for strategy in Strategy::ALL {
             let planned = planner.plan(strategy).unwrap_or_else(|e| {
                 panic!("{name} under {strategy}: {e}");
@@ -37,7 +37,7 @@ fn baseline_type_constraints() {
     let array = AcceleratorArray::heterogeneous_tpu(2, 2);
     for name in ["lenet", "alexnet", "resnet18"] {
         let net = zoo::by_name(name, 32).expect("zoo network");
-        let planner = Planner::new(&net, &array).with_levels(2);
+        let planner = Planner::builder(&net, &array).levels(2).build().unwrap();
 
         // DP: Type-I only, balanced everywhere.
         let dp = planner.plan(Strategy::DataParallel).unwrap();
@@ -64,8 +64,8 @@ fn owt_assigns_types_by_layer_kind() {
     let array = AcceleratorArray::homogeneous_tpu_v3(2);
     let net = zoo::vgg11(16).unwrap();
     let view = net.train_view().unwrap();
-    let planned = Planner::new(&net, &array)
-        .with_levels(1)
+    let planned = Planner::builder(&net, &array)
+        .levels(1).build().unwrap()
         .plan(Strategy::Owt)
         .unwrap();
     let mut layers: Vec<_> = view.layers().collect();
@@ -88,8 +88,8 @@ fn batch_size_scales_step_time_superlinearly_never_sublinearly() {
         let small = zoo::by_name(name, 64).unwrap();
         let large = zoo::by_name(name, 128).unwrap();
         let cost = |net: &Network| {
-            Planner::new(net, &array)
-                .with_levels(2)
+            Planner::builder(net, &array)
+                .levels(2).build().unwrap()
                 .plan(Strategy::AccPar)
                 .unwrap()
                 .modeled_cost()
@@ -103,7 +103,7 @@ fn deeper_networks_cost_more_under_dp() {
     let array = AcceleratorArray::homogeneous_tpu_v3(4);
     let cost = |name: &str| {
         let net = zoo::by_name(name, 64).unwrap();
-        Planner::new(&net, &array)
+        Planner::builder(&net, &array).build().unwrap()
             .plan(Strategy::DataParallel)
             .unwrap()
             .modeled_cost()

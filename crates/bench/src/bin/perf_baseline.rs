@@ -1,6 +1,7 @@
 //! Tracked performance baseline for the planning engine.
 //!
-//! Times zoo-wide hierarchical planning (all nine evaluation models)
+//! Times zoo-wide hierarchical planning (all twelve evaluation models,
+//! CNNs and transformers)
 //! under the serial cache-free engine and the parallel memoized one —
 //! both from a cold cache (planning the zoo exactly once) and in steady
 //! state (one persistent [`SearchCache`] across sweeps, the engine as
@@ -177,6 +178,30 @@ fn main() -> ExitCode {
         steady_hit_rate * 100.0
     );
     println!("  bit-identical: {identical}");
+
+    // The transformer slice of the zoo on its own: attention lowers to
+    // q|k|v blocks plus a stage-carrying o projection, so this leg
+    // tracks the multi-path search and the attention cost terms without
+    // the CNNs diluting the signal.
+    let transformers: Vec<Network> = ["bert_base", "gpt2_small", "vit_b16"]
+        .iter()
+        .map(|name| zoo::by_name(name, batch).expect("transformer builds"))
+        .collect();
+    let tf_cache = Arc::new(SearchCache::new());
+    plan_zoo(&transformers, &hetero, threads, true, &tf_cache);
+    let tf_ms = time_best_ms(reps, || {
+        plan_zoo(&transformers, &hetero, threads, true, &Arc::new(SearchCache::new()))
+    });
+    entries.push(Entry {
+        name: "zoo_plan/transformer".into(),
+        wall_ms: tf_ms,
+        threads,
+        cache_hit_rate: tf_cache.stats().hit_rate(),
+    });
+    println!(
+        "transformer slice (bert/gpt2/vit): {tf_ms:.3} ms ({threads} threads, hit rate {:.1}%)",
+        tf_cache.stats().hit_rate() * 100.0
+    );
 
     // Depth-3 hierarchy on a homogeneous array: the level memo resolves
     // entire symmetric subtrees.

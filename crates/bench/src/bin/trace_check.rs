@@ -17,7 +17,12 @@
 //!   `plan.decision` event per (plan-tree node, layer), a
 //!   `plan.cache_stats` event, a `sim.report` event, and metric records
 //!   for the memo (`cost.cache.hits` / `cost.cache.misses`) and the
-//!   simulator (`sim.steps`).
+//!   simulator (`sim.steps`);
+//! * every `plan.decision` payload is well-formed: `ptype` is one of the
+//!   paper's three partition types, `layer` / `node` are integers, and
+//!   `name` is a non-empty string (this covers the lowered attention
+//!   projections and embedding layers too — new layer kinds must still
+//!   speak the same decision vocabulary).
 //!
 //! Exits non-zero with one message per violation.
 
@@ -127,6 +132,36 @@ fn main() -> ExitCode {
                         errors.push(format!(
                             "line {no}: event `{name}` references unstarted span {span}"
                         ));
+                    }
+                }
+                if name == "plan.decision" {
+                    let fields = record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                    match fields.get("ptype").and_then(Json::as_str) {
+                        Some("Type-I" | "Type-II" | "Type-III") => {}
+                        Some(other) => errors.push(format!(
+                            "line {no}: plan.decision has unknown ptype `{other}`"
+                        )),
+                        None => errors
+                            .push(format!("line {no}: plan.decision has no string `ptype`")),
+                    }
+                    for field in ["layer", "node"] {
+                        if id_of(&fields, field).is_none() {
+                            errors.push(format!(
+                                "line {no}: plan.decision has no integer `{field}`"
+                            ));
+                        }
+                    }
+                    match fields.get("name").and_then(Json::as_str) {
+                        Some(n) if !n.is_empty() => {}
+                        _ => errors.push(format!(
+                            "line {no}: plan.decision has no non-empty `name`"
+                        )),
+                    }
+                    match fields.get("ratio").and_then(Json::as_f64) {
+                        Some(r) if (0.0..=1.0).contains(&r) => {}
+                        _ => errors.push(format!(
+                            "line {no}: plan.decision `ratio` is not in [0, 1]"
+                        )),
                     }
                 }
             }

@@ -1,0 +1,18 @@
+//! Regenerates the transformer-zoo speedup table: DP / OWT / HyPar /
+//! AccPar on the heterogeneous array (128 TPU-v2 + 128 TPU-v3),
+//! batch 512 — the Figure 5 protocol applied to BERT-base, GPT-2-small,
+//! and ViT-B/16. See EXPERIMENTS.md "Extensions beyond the paper".
+
+use accpar_bench::{render, transformer_speedups};
+
+fn main() {
+    let rows = transformer_speedups();
+    print!(
+        "{}",
+        render::speedup_table(
+            "Transformer zoo — heterogeneous array (128x TPU-v2 + 128x TPU-v3, batch 512)",
+            &rows,
+            None,
+        )
+    );
+}

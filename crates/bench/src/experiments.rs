@@ -88,20 +88,35 @@ fn run_network(
     }
 }
 
+/// The paper's nine CNN evaluation networks — the first nine entries of
+/// [`zoo::EVALUATION_NAMES`]; the remainder are the transformer
+/// extension covered by [`transformer_speedups`].
+const PAPER_NETWORKS: usize = 9;
+
 /// **Figure 5**: speedups on the heterogeneous array of 128 TPU-v2 +
-/// 128 TPU-v3 boards, batch 512, all nine evaluation networks.
+/// 128 TPU-v3 boards, batch 512, the paper's nine evaluation networks.
 #[must_use]
 pub fn figure5() -> Vec<SpeedupRow> {
     let array = AcceleratorArray::heterogeneous_tpu(128, 128);
-    speedup_rows(&array, PAPER_BATCH, None, &zoo::EVALUATION_NAMES)
+    speedup_rows(&array, PAPER_BATCH, None, &zoo::EVALUATION_NAMES[..PAPER_NETWORKS])
 }
 
 /// **Figure 6**: speedups on the homogeneous array of 128 TPU-v3 boards,
-/// batch 512, all nine evaluation networks.
+/// batch 512, the paper's nine evaluation networks.
 #[must_use]
 pub fn figure6() -> Vec<SpeedupRow> {
     let array = AcceleratorArray::homogeneous_tpu_v3(128);
-    speedup_rows(&array, PAPER_BATCH, None, &zoo::EVALUATION_NAMES)
+    speedup_rows(&array, PAPER_BATCH, None, &zoo::EVALUATION_NAMES[..PAPER_NETWORKS])
+}
+
+/// **Transformer extension**: the Figure 5 protocol (heterogeneous
+/// 128+128 array, batch 512) on the transformer zoo. Not a paper figure
+/// — the paper evaluates CNNs only — but the identical pipeline: plan
+/// under all four schemes, simulate, normalize to data parallelism.
+#[must_use]
+pub fn transformer_speedups() -> Vec<SpeedupRow> {
+    let array = AcceleratorArray::heterogeneous_tpu(128, 128);
+    speedup_rows(&array, PAPER_BATCH, None, &zoo::EVALUATION_NAMES[PAPER_NETWORKS..])
 }
 
 /// **Figure 7** data: for each weighted AlexNet layer, how many of the

@@ -19,6 +19,7 @@ pub mod svg;
 pub mod tables;
 
 pub use experiments::{
-    figure5, figure6, figure7, figure8, geomean, speedup_rows, Figure7, Fig8Row, SpeedupRow,
+    figure5, figure6, figure7, figure8, geomean, speedup_rows, transformer_speedups, Figure7,
+    Fig8Row, SpeedupRow,
     PAPER_BATCH,
 };

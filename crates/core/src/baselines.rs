@@ -33,9 +33,11 @@ pub fn owt_plan(view: &TrainView, levels: usize) -> PlanTree {
     let level: NetworkPlan = layers
         .iter()
         .map(|layer| {
+            // OWT's rule is "parameter-heavy layers go model-parallel";
+            // embedding tables follow the FC arm.
             let ptype = match layer.kind() {
                 WeightedKind::Conv { .. } => PartitionType::TypeI,
-                WeightedKind::Fc => PartitionType::TypeII,
+                WeightedKind::Fc | WeightedKind::Embedding => PartitionType::TypeII,
             };
             LayerPlan::new(ptype, Ratio::EQUAL)
         })

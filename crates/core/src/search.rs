@@ -1113,6 +1113,38 @@ mod tests {
     }
 
     #[test]
+    fn dp_matches_exhaustive_on_lowered_attention() {
+        // An encoder block lowers to a q|k|v block plus the o projection
+        // and FFN pair — the same multi-path machinery exercised by
+        // residual networks, now with attention-stage terms in the layer
+        // costs. DP must still agree with brute force over the full
+        // 3^layers space.
+        let env = hetero_env();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        let view = NetworkBuilder::new("enc", FeatureShape::seq(4, 16, 32))
+            .multi_head_attention("attn", 4, 32, 8)
+            .linear("ffn_up", 32, 128)
+            .relu("gelu")
+            .linear("ffn_down", 128, 32)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let s = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        let dp = s.search();
+        let brute = s.exhaustive();
+        assert!(
+            (dp.cost - brute.cost).abs() / brute.cost < 1e-12,
+            "dp {} vs brute {}",
+            dp.cost,
+            brute.cost
+        );
+        assert_eq!(dp.plan, brute.plan);
+        assert_eq!(dp.plan.len(), 6);
+    }
+
+    #[test]
     fn dp_matches_exhaustive_under_hypar_config() {
         let env = hetero_env();
         let model = CostModel::new(CostConfig::hypar());

@@ -28,7 +28,7 @@
 
 use crate::model::{CostConfig, CostModel, Objective, PairEnv};
 use crate::ratio::RatioSolver;
-use accpar_dnn::{TrainLayer, WeightedKind};
+use accpar_dnn::{AttnStage, TrainLayer, WeightedKind};
 use accpar_partition::{PartitionType, Ratio, ShardScales};
 use accpar_tensor::{FeatureShape, KernelShape};
 use accpar_obs::{Counter, Histo, Obs};
@@ -123,6 +123,10 @@ pub struct LayerSig {
     in_fmap: FeatureShape,
     out_fmap: FeatureShape,
     weight: KernelShape,
+    /// The attention stage carried by a lowered `o` projection, if any —
+    /// it adds stage FLOPs and K/V exchange, so a plain FC layer of the
+    /// same geometry must not alias it.
+    attn: Option<AttnStage>,
     /// Whether the model skips this layer's backward phase
     /// ([`CostConfig::skip_first_backward`] on the first weighted layer).
     skip_backward: bool,
@@ -139,6 +143,7 @@ impl LayerSig {
             in_fmap: layer.in_fmap(),
             out_fmap: layer.out_fmap(),
             weight: layer.weight(),
+            attn: layer.attn(),
             skip_backward: config.skip_first_backward && layer.index() == 0,
         }
     }

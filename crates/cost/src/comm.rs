@@ -29,6 +29,31 @@ pub fn intra_psum_elems(ptype: PartitionType, layer: &TrainLayer) -> u64 {
     }
 }
 
+/// Full-tensor element count of the attention-stage exchange (the
+/// unweighted scores → softmax → context stage carried by the `o`
+/// projection's [`AttnStage`](accpar_dnn::AttnStage)), *before* scaling
+/// by a group's share.
+///
+/// * Type-I — the token axis `batch·seq` is split, but every query token
+///   attends over the *full* sequence, so the groups exchange their K and
+///   V slices: `2·B·S·H·d_h` elements in total. Each group sends its own
+///   token share of that tensor over its link, so callers scale this by
+///   the group's `f_in` share (the token share) — the same shrink the
+///   projections' feature tensors already use.
+/// * Types II/III — the channel axis `heads·d_head` is split on whole
+///   heads; scores, softmax and context are head-local, so the stage
+///   needs no sibling data at all.
+///
+/// Layers without an attention stage return 0.
+#[must_use]
+pub fn attn_stage_elems(ptype: PartitionType, layer: &TrainLayer) -> u64 {
+    let Some(stage) = layer.attn() else { return 0 };
+    match ptype {
+        PartitionType::TypeI => stage.kv_elems(layer.in_fmap().batch()),
+        PartitionType::TypeII | PartitionType::TypeIII => 0,
+    }
+}
+
 /// How much of a boundary tensor a group covers, in the leading-slice
 /// convention (the first group always takes the leading slice of the
 /// partitioned dimension; its sibling covers the complementary trailing
@@ -217,6 +242,25 @@ mod tests {
         assert_eq!(intra_psum_elems(TypeI, &l), 20 * 30); // A(W)
         assert_eq!(intra_psum_elems(TypeII, &l), 8 * 30); // A(F_{l+1})
         assert_eq!(intra_psum_elems(TypeIII, &l), 8 * 20); // A(E_l)
+    }
+
+    #[test]
+    fn attention_stage_exchanges_kv_only_under_type_i() {
+        let view = NetworkBuilder::new("t", FeatureShape::seq(4, 16, 32))
+            .multi_head_attention("attn", 4, 32, 8)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let o = view.layers().find(|l| l.attn().is_some()).unwrap().clone();
+        // 2 · B · S · H · d_h over the token axis.
+        assert_eq!(attn_stage_elems(TypeI, &o), 2 * 4 * 16 * 4 * 8);
+        // Head-local under channel splits.
+        assert_eq!(attn_stage_elems(TypeII, &o), 0);
+        assert_eq!(attn_stage_elems(TypeIII, &o), 0);
+        // The q projection carries no stage.
+        let q = view.layers().next().unwrap().clone();
+        assert_eq!(attn_stage_elems(TypeI, &q), 0);
     }
 
     /// Table 5 with equal ratios `α` on both layers, for group a

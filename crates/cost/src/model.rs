@@ -178,6 +178,14 @@ impl CostModel {
     /// shard this pair operates on (the ancestors' shares in a
     /// hierarchical partition); pass [`ShardScales::full`] at the top
     /// level.
+    ///
+    /// A layer carrying an [`AttnStage`](accpar_dnn::AttnStage) (the `o`
+    /// projection of a lowered attention layer) additionally pays the
+    /// unweighted score/softmax/context stage: its FLOPs and, under
+    /// Type-I, the sibling K/V exchange ([`comm::attn_stage_elems`]).
+    /// Both scale with the group's input-feature share — the token share
+    /// under Type-I, the head share under Type-II, and the full
+    /// (replicated, hence duplicated) stage under Type-III.
     #[must_use]
     pub fn layer_cost(
         &self,
@@ -188,27 +196,41 @@ impl CostModel {
         scales: ShardScales,
     ) -> PairCost {
         let psum = comm::intra_psum_elems(ptype, layer) as f64 * scales.psum_scale(ptype);
+        let stage_elems = comm::attn_stage_elems(ptype, layer) as f64;
+        let f_in_a = scales.shrink(ptype, alpha.value()).f_in;
+        let f_in_b = scales.shrink(ptype, alpha.complement().value()).f_in;
         match self.config.objective {
             Objective::CommOnly => {
                 // HyPar counts communicated elements; both groups fetch
-                // the sibling's partial tensor.
-                PairCost { a: psum, b: psum }
+                // the sibling's partial tensor, and each sends its own
+                // K/V slice for the attention stage.
+                PairCost {
+                    a: psum + stage_elems * f_in_a,
+                    b: psum + stage_elems * f_in_b,
+                }
             }
             Objective::Full => {
                 let bytes = self.config.format.bytes_f64(psum);
+                let stage_flops = layer
+                    .attn()
+                    .map_or(0.0, |s| s.flops(layer.in_fmap().batch()) as f64);
                 PairCost {
                     a: self.group_secs(
                         layer,
                         ptype,
                         alpha.value() * scales.flops,
                         &env.caps_a,
-                    ) + bytes / env.link_a,
+                    ) + bytes / env.link_a
+                        + stage_flops * f_in_a / env.caps_a.flops
+                        + self.config.format.bytes_f64(stage_elems * f_in_a) / env.link_a,
                     b: self.group_secs(
                         layer,
                         ptype,
                         alpha.complement().value() * scales.flops,
                         &env.caps_b,
-                    ) + bytes / env.link_b,
+                    ) + bytes / env.link_b
+                        + stage_flops * f_in_b / env.caps_b.flops
+                        + self.config.format.bytes_f64(stage_elems * f_in_b) / env.link_b,
                 }
             }
         }
@@ -495,6 +517,49 @@ mod tests {
             assert!((scaled.a - full.a / 2.0).abs() < 1e-15, "{t}");
             assert!((scaled.b - full.b / 2.0).abs() < 1e-15, "{t}");
         }
+    }
+
+    #[test]
+    fn attention_stage_raises_the_o_projection_cost() {
+        let view = NetworkBuilder::new("t", FeatureShape::seq(8, 32, 64))
+            .multi_head_attention("attn", 8, 64, 8)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let o = view.layers().find(|l| l.attn().is_some()).unwrap().clone();
+        // A plain FC of identical geometry (8·8 = 64 → 64 on the same
+        // sequence): same matmuls, no stage.
+        let plain = NetworkBuilder::new("p", FeatureShape::seq(8, 32, 64))
+            .linear("fc", 64, 64)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap()
+            .layers()
+            .next()
+            .unwrap()
+            .clone();
+        assert_eq!(plain.weight(), o.weight());
+        let model = CostModel::new(CostConfig::default());
+        let env = hetero_env();
+        for t in PartitionType::ALL {
+            let with = model.layer_cost(&o, t, Ratio::EQUAL, &env, ShardScales::full());
+            let without = model.layer_cost(&plain, t, Ratio::EQUAL, &env, ShardScales::full());
+            assert!(
+                with.a > without.a && with.b > without.b,
+                "{t}: stage must add cost"
+            );
+        }
+        // Under Type-I the stage also communicates; under II/III it is
+        // compute-only, so the CommOnly proxy sees it only for Type-I.
+        let proxy = CostModel::new(CostConfig::hypar());
+        let c1 = proxy.layer_cost(&o, PartitionType::TypeI, Ratio::EQUAL, &env, ShardScales::full());
+        let p1 = proxy.layer_cost(&plain, PartitionType::TypeI, Ratio::EQUAL, &env, ShardScales::full());
+        assert!(c1.total() > p1.total());
+        let c2 = proxy.layer_cost(&o, PartitionType::TypeII, Ratio::EQUAL, &env, ShardScales::full());
+        let p2 = proxy.layer_cost(&plain, PartitionType::TypeII, Ratio::EQUAL, &env, ShardScales::full());
+        assert_eq!(c2.total(), p2.total());
     }
 
     #[test]

@@ -116,6 +116,36 @@ impl NetworkBuilder {
         self.layer(Layer::new(name, crate::LayerKind::Softmax))
     }
 
+    /// Appends a multi-head self-attention layer.
+    #[must_use]
+    pub fn multi_head_attention(
+        self,
+        name: impl Into<String>,
+        heads: usize,
+        d_model: usize,
+        d_head: usize,
+    ) -> Self {
+        self.layer(Layer::multi_head_attention(name, heads, d_model, d_head))
+    }
+
+    /// Appends a layer-normalization layer.
+    #[must_use]
+    pub fn layer_norm(self, name: impl Into<String>) -> Self {
+        self.layer(Layer::layer_norm(name))
+    }
+
+    /// Appends a token-embedding lookup layer.
+    #[must_use]
+    pub fn embedding(self, name: impl Into<String>, vocab: usize, d_model: usize) -> Self {
+        self.layer(Layer::embedding(name, vocab, d_model))
+    }
+
+    /// Appends a spatial-to-sequence reinterpretation (e.g. ViT patches).
+    #[must_use]
+    pub fn to_sequence(self, name: impl Into<String>) -> Self {
+        self.layer(Layer::to_sequence(name))
+    }
+
     /// Appends a multi-branch block. An empty branch is an identity
     /// shortcut.
     #[must_use]

@@ -43,6 +43,19 @@ pub enum NetworkError {
         /// Name of the offending layer.
         layer: String,
     },
+    /// A sequence layer (attention or embedding) received a spatial
+    /// feature map; insert a `ToSequence` layer first.
+    NotSequence {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// Multi-head attention appeared inside a parallel block branch.
+    /// Attention lowers to a parallel block itself and blocks do not
+    /// nest, so it is only admitted on the network trunk.
+    AttentionInBranch {
+        /// Name of the offending layer.
+        layer: String,
+    },
 }
 
 impl fmt::Display for NetworkError {
@@ -76,6 +89,15 @@ impl fmt::Display for NetworkError {
             NetworkError::NotFlattened { layer } => write!(
                 f,
                 "layer `{layer}` is fully-connected but its input is not flat; insert a flatten layer"
+            ),
+            NetworkError::NotSequence { layer } => write!(
+                f,
+                "layer `{layer}` expects a sequence-shaped input; insert a to-sequence layer"
+            ),
+            NetworkError::AttentionInBranch { layer } => write!(
+                f,
+                "attention layer `{layer}` appears inside a parallel block branch; \
+                 attention lowers to a block itself and is only admitted on the trunk"
             ),
         }
     }

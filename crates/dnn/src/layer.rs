@@ -72,16 +72,55 @@ pub enum LayerKind {
     Flatten,
     /// Softmax over the channel dimension (shape preserving).
     Softmax,
+    /// Multi-head self-attention over a sequence-shaped input with
+    /// `channels == d_model`. Carries the four projection kernels
+    /// `W_Q`, `W_K`, `W_V` (`d_model → heads·d_head` each) and `W_O`
+    /// (`heads·d_head → d_model`); `train_view` lowers it into those four
+    /// partitionable matmuls plus the unweighted score/softmax/context
+    /// stages.
+    MultiHeadAttention {
+        /// Number of attention heads `H`.
+        heads: usize,
+        /// Model (residual-stream) width `D`.
+        d_model: usize,
+        /// Per-head width; the projections map `D → H·d_head`.
+        d_head: usize,
+    },
+    /// Layer normalization over the feature dimension (shape preserving;
+    /// like the element-wise stages of §3.1 it is performed in place and
+    /// never affects partitioning).
+    LayerNorm,
+    /// Token embedding lookup: maps a `(B, 1, (S, 1))` id sequence to
+    /// `(B, d_model, (S, 1))`. Carries the `(vocab, d_model)` table as
+    /// its kernel; the lookup itself is a gather, not a matmul.
+    Embedding {
+        /// Vocabulary size (input rows of the table).
+        vocab: usize,
+        /// Embedded feature width.
+        d_model: usize,
+    },
+    /// Collapses `(B, C, H, W)` into the sequence shape `(B, C, (H·W, 1))`
+    /// — the patch-grid-to-token transition of a vision transformer.
+    ToSequence,
 }
 
 impl LayerKind {
     /// Whether this layer carries a kernel tensor `W_l`.
     #[must_use]
     pub const fn is_weighted(&self) -> bool {
-        matches!(self, LayerKind::Conv2d { .. } | LayerKind::Linear { .. })
+        matches!(
+            self,
+            LayerKind::Conv2d { .. }
+                | LayerKind::Linear { .. }
+                | LayerKind::MultiHeadAttention { .. }
+                | LayerKind::Embedding { .. }
+        )
     }
 
-    /// The kernel shape, if this layer is weighted.
+    /// The kernel shape, if this layer is weighted. For multi-head
+    /// attention this is the *aggregate* of the four projection kernels
+    /// (`4·d_model·heads·d_head` parameters); the per-projection kernels
+    /// appear after `train_view` lowering.
     #[must_use]
     pub fn weight_shape(&self) -> Option<KernelShape> {
         match *self {
@@ -90,6 +129,12 @@ impl LayerKind {
                 Some(KernelShape::conv(c_in, c_out, kh, kw))
             }
             LayerKind::Linear { d_in, d_out } => Some(KernelShape::fc(d_in, d_out)),
+            LayerKind::MultiHeadAttention {
+                heads,
+                d_model,
+                d_head,
+            } => Some(KernelShape::fc(d_model, 4 * heads * d_head)),
+            LayerKind::Embedding { vocab, d_model } => Some(KernelShape::fc(vocab, d_model)),
             _ => None,
         }
     }
@@ -154,6 +199,42 @@ impl Layer {
         Self::new(name, LayerKind::Flatten)
     }
 
+    /// Convenience constructor for a multi-head attention layer.
+    #[must_use]
+    pub fn multi_head_attention(
+        name: impl Into<String>,
+        heads: usize,
+        d_model: usize,
+        d_head: usize,
+    ) -> Self {
+        Self::new(
+            name,
+            LayerKind::MultiHeadAttention {
+                heads,
+                d_model,
+                d_head,
+            },
+        )
+    }
+
+    /// Convenience constructor for a layer-normalization layer.
+    #[must_use]
+    pub fn layer_norm(name: impl Into<String>) -> Self {
+        Self::new(name, LayerKind::LayerNorm)
+    }
+
+    /// Convenience constructor for a token-embedding layer.
+    #[must_use]
+    pub fn embedding(name: impl Into<String>, vocab: usize, d_model: usize) -> Self {
+        Self::new(name, LayerKind::Embedding { vocab, d_model })
+    }
+
+    /// Convenience constructor for a to-sequence layer.
+    #[must_use]
+    pub fn to_sequence(name: impl Into<String>) -> Self {
+        Self::new(name, LayerKind::ToSequence)
+    }
+
     /// The layer's name, unique within a network by convention.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -205,7 +286,10 @@ impl Layer {
                 FeatureShape::try_new(input.batch(), c_out, out).map_err(shape_err)
             }
             LayerKind::Linear { d_in, d_out } => {
-                if !input.is_flat() {
+                // A linear layer applies per row of a flat `(B, D)` matrix
+                // or per token of a sequence `(B, D, (S, 1))`; spatial
+                // feature maps must be flattened first.
+                if !input.is_flat() && !input.is_seq() {
                     return Err(NetworkError::NotFlattened {
                         layer: self.name.clone(),
                     });
@@ -217,17 +301,49 @@ impl Layer {
                         found: input.channels(),
                     });
                 }
-                FeatureShape::try_new(input.batch(), d_out, (1, 1)).map_err(shape_err)
+                Ok(input.with_channels(d_out))
             }
             LayerKind::Pool { geom, .. } => {
                 let out = geom.output_extent(input.spatial()).map_err(shape_err)?;
                 FeatureShape::try_new(input.batch(), input.channels(), out).map_err(shape_err)
             }
             LayerKind::Flatten => Ok(input.flatten()),
+            LayerKind::MultiHeadAttention { d_model, .. } => {
+                if !input.is_flat() && !input.is_seq() {
+                    return Err(NetworkError::NotSequence {
+                        layer: self.name.clone(),
+                    });
+                }
+                if input.channels() != d_model {
+                    return Err(NetworkError::ChannelMismatch {
+                        layer: self.name.clone(),
+                        expected: d_model,
+                        found: input.channels(),
+                    });
+                }
+                Ok(input)
+            }
+            LayerKind::Embedding { d_model, .. } => {
+                if !input.is_flat() && !input.is_seq() {
+                    return Err(NetworkError::NotSequence {
+                        layer: self.name.clone(),
+                    });
+                }
+                if input.channels() != 1 {
+                    return Err(NetworkError::ChannelMismatch {
+                        layer: self.name.clone(),
+                        expected: 1,
+                        found: input.channels(),
+                    });
+                }
+                Ok(input.with_channels(d_model))
+            }
+            LayerKind::ToSequence => Ok(input.to_sequence()),
             LayerKind::Activation(_)
             | LayerKind::BatchNorm
             | LayerKind::LocalResponseNorm
             | LayerKind::Dropout
+            | LayerKind::LayerNorm
             | LayerKind::Softmax => Ok(input),
         }
     }
@@ -255,6 +371,20 @@ impl fmt::Display for Layer {
             LayerKind::Dropout => write!(f, "{}: dropout", self.name),
             LayerKind::Flatten => write!(f, "{}: flatten", self.name),
             LayerKind::Softmax => write!(f, "{}: softmax", self.name),
+            LayerKind::MultiHeadAttention {
+                heads,
+                d_model,
+                d_head,
+            } => write!(
+                f,
+                "{}: mha {d_model}→{heads}×{d_head}",
+                self.name
+            ),
+            LayerKind::LayerNorm => write!(f, "{}: layernorm", self.name),
+            LayerKind::Embedding { vocab, d_model } => {
+                write!(f, "{}: embed {vocab}→{d_model}", self.name)
+            }
+            LayerKind::ToSequence => write!(f, "{}: to-seq", self.name),
         }
     }
 }
@@ -319,6 +449,52 @@ mod tests {
             assert_eq!(l.output_shape(input).unwrap(), input);
             assert!(!l.is_weighted());
         }
+    }
+
+    #[test]
+    fn linear_applies_token_wise_on_sequences() {
+        let l = Layer::linear("ffn", 768, 3072);
+        let out = l.output_shape(FeatureShape::seq(8, 128, 768)).unwrap();
+        assert_eq!(out, FeatureShape::seq(8, 128, 3072));
+        // Spatial (width > 1) inputs still demand a flatten first.
+        let err = l.output_shape(FeatureShape::conv(8, 768, 2, 2)).unwrap_err();
+        assert!(matches!(err, NetworkError::NotFlattened { .. }));
+    }
+
+    #[test]
+    fn attention_preserves_the_sequence_shape() {
+        let l = Layer::multi_head_attention("attn", 12, 768, 64);
+        let input = FeatureShape::seq(8, 128, 768);
+        assert_eq!(l.output_shape(input).unwrap(), input);
+        assert!(l.is_weighted());
+        // 4 projection kernels of d_model·H·d_head parameters each.
+        assert_eq!(l.weight_shape().unwrap().size(), 4 * 768 * 12 * 64);
+        let err = l.output_shape(FeatureShape::seq(8, 128, 512)).unwrap_err();
+        assert!(matches!(err, NetworkError::ChannelMismatch { expected: 768, .. }));
+        let err = l.output_shape(FeatureShape::conv(8, 768, 2, 2)).unwrap_err();
+        assert!(matches!(err, NetworkError::NotSequence { .. }));
+    }
+
+    #[test]
+    fn embedding_maps_ids_to_features() {
+        let l = Layer::embedding("emb", 30522, 768);
+        let out = l.output_shape(FeatureShape::seq(8, 128, 1)).unwrap();
+        assert_eq!(out, FeatureShape::seq(8, 128, 768));
+        assert!(l.is_weighted());
+        assert_eq!(l.weight_shape(), Some(KernelShape::fc(30522, 768)));
+        let err = l.output_shape(FeatureShape::seq(8, 128, 3)).unwrap_err();
+        assert!(matches!(err, NetworkError::ChannelMismatch { expected: 1, .. }));
+    }
+
+    #[test]
+    fn to_sequence_and_layer_norm() {
+        let seq = Layer::to_sequence("tok");
+        let out = seq.output_shape(FeatureShape::conv(4, 768, 14, 14)).unwrap();
+        assert_eq!(out, FeatureShape::seq(4, 196, 768));
+        let ln = Layer::layer_norm("ln");
+        assert_eq!(ln.output_shape(out).unwrap(), out);
+        assert!(!ln.is_weighted());
+        assert_eq!(ln.weight_shape(), None);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //!   *weighted* layers (those carrying a kernel `W_l`), each annotated
 //!   with its `F_l` / `F_{l+1}` feature shapes, `D_{i,l}`, `D_{o,l}` and
 //!   kernel shape;
-//! * [`zoo`] — the nine networks of the paper's evaluation: LeNet,
-//!   AlexNet, VGG-11/13/16/19 and ResNet-18/34/50;
+//! * [`zoo`] — the nine networks of the paper's evaluation (LeNet,
+//!   AlexNet, VGG-11/13/16/19 and ResNet-18/34/50) plus the transformer
+//!   extension models BERT-base, GPT-2-small and ViT-B/16;
 //! * [`NetworkStats`] — parameter, activation and FLOP accounting.
 //!
 //! # Example
@@ -49,4 +50,6 @@ pub use error::NetworkError;
 pub use layer::{Activation, Layer, LayerKind, PoolKind};
 pub use network::{JoinOp, Network, PlacedLayer, Segment, SegmentSpec};
 pub use stats::NetworkStats;
-pub use train::{TrainEdge, TrainElem, TrainLayer, TrainView, WeightedKind};
+pub use train::{
+    AttnStage, TrainEdge, TrainElem, TrainLayer, TrainView, WeightedKind, SOFTMAX_FLOPS_PER_SCORE,
+};

@@ -3,7 +3,8 @@ use crate::network::{Network, PlacedLayer, Segment};
 use accpar_tensor::{FeatureShape, KernelShape};
 use std::fmt;
 
-/// Whether a weighted layer is fully-connected or convolutional.
+/// Whether a weighted layer is fully-connected, convolutional, or an
+/// embedding lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WeightedKind {
     /// Fully-connected: the three phases are matrix-matrix products.
@@ -14,14 +15,19 @@ pub enum WeightedKind {
         /// Kernel window `(k_h, k_w)`.
         window: (usize, usize),
     },
+    /// Token-embedding lookup: the forward phase is a gather and the
+    /// gradient phase a scatter-add, so every reduction length is 1 while
+    /// the weight table keeps its full `(vocab, d_model)` partitionable
+    /// shape.
+    Embedding,
 }
 
 impl WeightedKind {
-    /// `k_h × k_w`; 1 for fully-connected layers.
+    /// `k_h × k_w`; 1 for fully-connected and embedding layers.
     #[must_use]
     pub const fn window_size(&self) -> usize {
         match self {
-            WeightedKind::Fc => 1,
+            WeightedKind::Fc | WeightedKind::Embedding => 1,
             WeightedKind::Conv { window } => window.0 * window.1,
         }
     }
@@ -30,6 +36,68 @@ impl WeightedKind {
     #[must_use]
     pub const fn is_conv(&self) -> bool {
         matches!(self, WeightedKind::Conv { .. })
+    }
+}
+
+/// Element-wise softmax cost per attention score (exp, running max,
+/// subtract, divide, accumulate) — a coarse constant in the style of the
+/// paper's `(2R − 1)` matmul accounting.
+pub const SOFTMAX_FLOPS_PER_SCORE: u64 = 5;
+
+/// The unweighted interior of a lowered multi-head attention layer: the
+/// per-head `Q·Kᵀ` scores, the softmax over them, and the
+/// `softmax(scores)·V` context product. Attached to the output-projection
+/// [`TrainLayer`] so the cost model and simulators charge the stage's
+/// FLOPs (and, under Type-I, its sibling K/V exchange) exactly once, in
+/// the forward phase.
+///
+/// Partition semantics per type:
+///
+/// * **Type-I** splits the `B·S` token axis. Scores couple every pair of
+///   tokens in a sequence, so a shard holding a slice of the tokens needs
+///   the *other* shard's `K` and `V` projections — the stage exchanges
+///   `2·B·S·H·d_head` elements (the [`AttnStage::kv_elems`] volume).
+/// * **Type-II / Type-III** split the `H·d_head` head axis of the
+///   projections. Attention is head-local, so the stage needs no
+///   communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttnStage {
+    /// Number of attention heads `H`.
+    pub heads: usize,
+    /// Per-head width `d_head`.
+    pub d_head: usize,
+    /// Sequence length `S`.
+    pub seq: usize,
+}
+
+impl AttnStage {
+    /// `A(scores)` — the per-head score matrices: `B·H·S²`.
+    #[must_use]
+    pub const fn scores_elems(&self, batch: usize) -> u64 {
+        batch as u64 * self.heads as u64 * self.seq as u64 * self.seq as u64
+    }
+
+    /// FLOPs of the score/softmax/context stage (Table 6 style):
+    /// `A(scores)·(2·d_head − 1)` for `Q·Kᵀ`, a constant per score for
+    /// the softmax, and `A(context)·(2·S − 1)` for `softmax·V`.
+    #[must_use]
+    pub const fn flops(&self, batch: usize) -> u64 {
+        let scores = self.scores_elems(batch);
+        let context =
+            batch as u64 * self.heads as u64 * self.seq as u64 * self.d_head as u64;
+        scores * (2 * self.d_head as u64 - 1)
+            + scores * SOFTMAX_FLOPS_PER_SCORE
+            + context * (2 * self.seq as u64 - 1)
+    }
+
+    /// Elements a Type-I (token-axis) shard fetches from its sibling: the
+    /// sibling's `K` and `V` projections, `2·B·S·H·d_head`.
+    #[must_use]
+    pub const fn kv_elems(&self, batch: usize) -> u64 {
+        2 * batch as u64
+            * self.seq as u64
+            * self.heads as u64
+            * self.d_head as u64
     }
 }
 
@@ -50,6 +118,13 @@ pub struct TrainLayer {
     pub(crate) in_fmap: FeatureShape,
     pub(crate) out_fmap: FeatureShape,
     pub(crate) weight: KernelShape,
+    /// The score/softmax/context stage of a lowered attention layer,
+    /// attached to its output projection; `None` everywhere else.
+    pub(crate) attn: Option<AttnStage>,
+    /// Head count of an attention projection (`q`/`k`/`v`/`o`): the
+    /// granularity Type-II/III splits of the `H·d_head` axis must respect
+    /// for head-local execution; `None` for non-attention layers.
+    pub(crate) heads: Option<usize>,
 }
 
 impl TrainLayer {
@@ -107,25 +182,50 @@ impl TrainLayer {
         self.in_fmap.batch()
     }
 
+    /// The score/softmax/context stage of a lowered attention layer
+    /// (present only on the output projection).
+    #[must_use]
+    pub const fn attn(&self) -> Option<AttnStage> {
+        self.attn
+    }
+
+    /// Head count of an attention projection layer, `None` otherwise.
+    #[must_use]
+    pub const fn heads(&self) -> Option<usize> {
+        self.heads
+    }
+
     /// Reduction length of the forward product: the number of
-    /// multiplications per output element, `D_{i,l} · k_h · k_w`.
+    /// multiplications per output element, `D_{i,l} · k_h · k_w` (1 for
+    /// an embedding gather).
     #[must_use]
     pub const fn forward_reduction(&self) -> u64 {
-        self.d_in as u64 * self.kind.window_size() as u64
+        match self.kind {
+            WeightedKind::Embedding => 1,
+            _ => self.d_in as u64 * self.kind.window_size() as u64,
+        }
     }
 
     /// Reduction length of the backward product,
-    /// `D_{o,l} · k_h · k_w`.
+    /// `D_{o,l} · k_h · k_w` (1 for an embedding lookup, which routes
+    /// rather than reduces).
     #[must_use]
     pub const fn backward_reduction(&self) -> u64 {
-        self.d_out as u64 * self.kind.window_size() as u64
+        match self.kind {
+            WeightedKind::Embedding => 1,
+            _ => self.d_out as u64 * self.kind.window_size() as u64,
+        }
     }
 
     /// Reduction length of the gradient product,
-    /// `B · H_out · W_out` (just `B` for FC layers).
+    /// `B · H_out · W_out` (just `B` for FC layers, 1 for an embedding
+    /// scatter-add, which touches each table row's slot once).
     #[must_use]
     pub const fn gradient_reduction(&self) -> u64 {
-        self.batch() as u64 * self.out_fmap.spatial_size() as u64
+        match self.kind {
+            WeightedKind::Embedding => 1,
+            _ => self.batch() as u64 * self.out_fmap.spatial_size() as u64,
+        }
     }
 
     /// FLOPs of the forward phase (Table 6 extended to CONV per §4.3):
@@ -159,8 +259,15 @@ impl TrainLayer {
 impl fmt::Display for TrainLayer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let kind = match self.kind {
-            WeightedKind::Fc => "fc",
+            WeightedKind::Fc => {
+                if self.attn.is_some() {
+                    "fc+attn"
+                } else {
+                    "fc"
+                }
+            }
             WeightedKind::Conv { .. } => "conv",
+            WeightedKind::Embedding => "embed",
         };
         write!(
             f,
@@ -364,17 +471,36 @@ impl Network {
     /// block whose branches contain no weighted layer at all is likewise
     /// dropped.
     ///
+    /// A trunk [`MultiHeadAttention`](crate::LayerKind::MultiHeadAttention)
+    /// layer is *lowered* into its four partitionable matmuls: a
+    /// three-branch block holding the `q`/`k`/`v` projections (they share
+    /// the layer input and execute in parallel, exactly the §5.2
+    /// fork/join structure) followed by the output projection `o`, which
+    /// carries the unweighted score/softmax/context stage as its
+    /// [`AttnStage`].
+    ///
     /// # Errors
     ///
     /// Returns [`NetworkError::NoWeightedLayer`] if nothing remains (which
-    /// cannot happen for a successfully built [`Network`]).
+    /// cannot happen for a successfully built [`Network`]) and
+    /// [`NetworkError::AttentionInBranch`] when attention appears inside a
+    /// parallel block branch — blocks do not nest, so attention is only
+    /// admitted on the trunk.
     pub fn train_view(&self) -> Result<TrainView, NetworkError> {
+        use crate::layer::LayerKind;
         let mut elems = Vec::new();
         let mut index = 0usize;
         for segment in self.segments() {
             match segment {
                 Segment::Single(p) => {
-                    if let Some(tl) = to_train_layer(p, &mut index) {
+                    if let LayerKind::MultiHeadAttention {
+                        heads,
+                        d_model,
+                        d_head,
+                    } = *p.layer().kind()
+                    {
+                        lower_attention(p, heads, d_model, d_head, &mut index, &mut elems);
+                    } else if let Some(tl) = to_train_layer(p, &mut index) {
                         elems.push(TrainElem::Layer(tl));
                     }
                 }
@@ -389,10 +515,22 @@ impl Network {
                         .map(|branch| {
                             branch
                                 .iter()
-                                .filter_map(|p| to_train_layer(p, &mut index))
-                                .collect()
+                                .map(|p| {
+                                    if matches!(
+                                        p.layer().kind(),
+                                        LayerKind::MultiHeadAttention { .. }
+                                    ) {
+                                        Err(NetworkError::AttentionInBranch {
+                                            layer: p.layer().name().to_owned(),
+                                        })
+                                    } else {
+                                        Ok(to_train_layer(p, &mut index))
+                                    }
+                                })
+                                .filter_map(Result::transpose)
+                                .collect::<Result<Vec<_>, _>>()
                         })
-                        .collect();
+                        .collect::<Result<_, _>>()?;
                     if tbranches.iter().all(Vec::is_empty) {
                         continue; // purely structural block (e.g. pooling)
                     }
@@ -414,6 +552,57 @@ impl Network {
     }
 }
 
+/// Lowers one trunk attention layer into `[q | k | v]`-block + `o`-layer
+/// train elements (see [`Network::train_view`]).
+fn lower_attention(
+    p: &PlacedLayer,
+    heads: usize,
+    d_model: usize,
+    d_head: usize,
+    index: &mut usize,
+    elems: &mut Vec<TrainElem>,
+) {
+    let input = p.input();
+    let proj_out = input.with_channels(heads * d_head);
+    let name = p.layer().name();
+    let mut projection = |suffix: &str, attn: Option<AttnStage>| {
+        let (d_in, d_out, in_fmap, out_fmap) = if attn.is_some() {
+            (heads * d_head, d_model, proj_out, p.output())
+        } else {
+            (d_model, heads * d_head, input, proj_out)
+        };
+        let tl = TrainLayer {
+            index: *index,
+            name: format!("{name}.{suffix}"),
+            kind: WeightedKind::Fc,
+            d_in,
+            d_out,
+            in_fmap,
+            out_fmap,
+            weight: KernelShape::fc(d_in, d_out),
+            attn,
+            heads: Some(heads),
+        };
+        *index += 1;
+        tl
+    };
+    let q = projection("q", None);
+    let k = projection("k", None);
+    let v = projection("v", None);
+    let stage = AttnStage {
+        heads,
+        d_head,
+        seq: input.seq_len(),
+    };
+    let o = projection("o", Some(stage));
+    elems.push(TrainElem::Block {
+        branches: vec![vec![q], vec![k], vec![v]],
+        fork: input,
+        join: proj_out,
+    });
+    elems.push(TrainElem::Layer(o));
+}
+
 fn to_train_layer(p: &PlacedLayer, index: &mut usize) -> Option<TrainLayer> {
     use crate::layer::LayerKind;
     let (kind, d_in, d_out) = match *p.layer().kind() {
@@ -425,6 +614,7 @@ fn to_train_layer(p: &PlacedLayer, index: &mut usize) -> Option<TrainLayer> {
             c_out,
         ),
         LayerKind::Linear { d_in, d_out } => (WeightedKind::Fc, d_in, d_out),
+        LayerKind::Embedding { vocab, d_model } => (WeightedKind::Embedding, vocab, d_model),
         _ => return None,
     };
     let tl = TrainLayer {
@@ -436,6 +626,8 @@ fn to_train_layer(p: &PlacedLayer, index: &mut usize) -> Option<TrainLayer> {
         in_fmap: p.input(),
         out_fmap: p.output(),
         weight: p.layer().weight_shape().expect("weighted layer has weight"),
+        attn: None,
+        heads: None,
     };
     *index += 1;
     Some(tl)
@@ -617,5 +809,112 @@ mod tests {
             .unwrap();
         let indices: Vec<_> = view.layers().map(TrainLayer::index).collect();
         assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn attention_lowers_to_qkv_block_plus_o_layer() {
+        let (b, s, h, dm, dh) = (4usize, 16usize, 4usize, 32usize, 8usize);
+        let view = NetworkBuilder::new("t", FeatureShape::seq(b, s, dm))
+            .multi_head_attention("attn", h, dm, dh)
+            .layer_norm("ln")
+            .linear("ffn", dm, 2 * dm)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        // [q|k|v] block, o layer, ffn layer.
+        assert_eq!(view.elems().len(), 3);
+        assert_eq!(view.weighted_len(), 5);
+        let proj = FeatureShape::seq(b, s, h * dh);
+        match &view.elems()[0] {
+            TrainElem::Block { branches, fork, join } => {
+                assert_eq!(branches.len(), 3);
+                let names: Vec<_> =
+                    branches.iter().map(|br| br[0].name().to_owned()).collect();
+                assert_eq!(names, ["attn.q", "attn.k", "attn.v"]);
+                for br in branches {
+                    assert_eq!(br.len(), 1);
+                    assert_eq!(br[0].kind(), WeightedKind::Fc);
+                    assert_eq!(br[0].d_in(), dm);
+                    assert_eq!(br[0].d_out(), h * dh);
+                    assert_eq!(br[0].heads(), Some(h));
+                    assert!(br[0].attn().is_none());
+                }
+                assert_eq!(*fork, FeatureShape::seq(b, s, dm));
+                assert_eq!(*join, proj);
+            }
+            other => panic!("expected block, got {other:?}"),
+        }
+        let o = match &view.elems()[1] {
+            TrainElem::Layer(l) => l,
+            other => panic!("expected o layer, got {other:?}"),
+        };
+        assert_eq!(o.name(), "attn.o");
+        assert_eq!(o.in_fmap(), proj);
+        assert_eq!(o.out_fmap(), FeatureShape::seq(b, s, dm));
+        assert_eq!(o.heads(), Some(h));
+        let stage = o.attn().expect("o carries the score/softmax stage");
+        assert_eq!(stage, AttnStage { heads: h, d_head: dh, seq: s });
+        // Indices run q, k, v, o, ffn.
+        let indices: Vec<_> = view.layers().map(TrainLayer::index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+        // Each projection is a token matmul: Table 6 Fc formulas apply.
+        let (bt, dmu, pu) = (b as u64 * s as u64, dm as u64, (h * dh) as u64);
+        let q = view.layers().next().unwrap();
+        assert_eq!(q.forward_flops(), bt * pu * (2 * dmu - 1));
+        assert_eq!(q.gradient_flops(), dmu * pu * (2 * bt - 1));
+    }
+
+    #[test]
+    fn attn_stage_accounting_matches_closed_forms() {
+        let stage = AttnStage {
+            heads: 4,
+            d_head: 8,
+            seq: 16,
+        };
+        let b = 2usize;
+        let scores = (b * 4 * 16 * 16) as u64;
+        assert_eq!(stage.scores_elems(b), scores);
+        let context = (b * 4 * 16 * 8) as u64;
+        assert_eq!(
+            stage.flops(b),
+            scores * (2 * 8 - 1) + scores * SOFTMAX_FLOPS_PER_SCORE + context * (2 * 16 - 1)
+        );
+        assert_eq!(stage.kv_elems(b), 2 * (b as u64) * 16 * 4 * 8);
+    }
+
+    #[test]
+    fn embedding_has_unit_reductions_and_full_weight() {
+        let view = NetworkBuilder::new("e", FeatureShape::seq(4, 16, 1))
+            .embedding("emb", 100, 32)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let l = view.layers().next().unwrap();
+        assert_eq!(l.kind(), WeightedKind::Embedding);
+        assert_eq!(l.weight(), KernelShape::fc(100, 32));
+        assert_eq!(l.forward_reduction(), 1);
+        assert_eq!(l.backward_reduction(), 1);
+        assert_eq!(l.gradient_reduction(), 1);
+        // A(out) · (2·1 − 1) = out elems: a gather touches each output once.
+        assert_eq!(l.forward_flops(), 4 * 16 * 32);
+    }
+
+    #[test]
+    fn attention_in_branch_is_rejected() {
+        let err = NetworkBuilder::new("bad", FeatureShape::seq(2, 8, 16))
+            .block(
+                crate::JoinOp::Add,
+                vec![vec![Layer::multi_head_attention("a", 2, 16, 8)], vec![]],
+            )
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetworkError::AttentionInBranch { ref layer } if layer == "a"
+        ));
     }
 }

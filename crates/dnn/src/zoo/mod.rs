@@ -1,9 +1,11 @@
 //! The model zoo of the paper's evaluation (§6.1): LeNet on MNIST-shaped
 //! inputs, and AlexNet, the VGG series and the ResNet series on
-//! ImageNet-shaped inputs.
+//! ImageNet-shaped inputs — plus the transformer extension models
+//! [`bert_base`], [`gpt2_small`] and [`vit_b16`].
 //!
 //! All constructors take the mini-batch size (the paper uses 512) and
-//! return a fully shape-resolved [`Network`].
+//! return a fully shape-resolved [`Network`]; the language models also
+//! take a sequence length ([`by_name`] uses [`DEFAULT_SEQ_LEN`]).
 //!
 //! # Example
 //!
@@ -20,12 +22,14 @@ mod alexnet;
 mod googlenet;
 mod lenet;
 mod resnet;
+mod transformer;
 mod vgg;
 
 pub use alexnet::alexnet;
 pub use googlenet::googlenet;
 pub use lenet::lenet;
 pub use resnet::{resnet, resnet101, resnet152, resnet18, resnet34, resnet50, ResnetConfig};
+pub use transformer::{bert_base, gpt2_small, vit_b16, BERT_VOCAB, GPT2_VOCAB};
 pub use vgg::{vgg, vgg11, vgg13, vgg16, vgg19, VggConfig};
 
 use crate::error::NetworkError;
@@ -37,9 +41,25 @@ pub const IMAGENET_CLASSES: usize = 1000;
 /// Number of MNIST classes used by LeNet.
 pub const MNIST_CLASSES: usize = 10;
 
-/// The nine networks of the paper's evaluation, in Figure 5 order.
-pub const EVALUATION_NAMES: [&str; 9] = [
-    "lenet", "alexnet", "vgg11", "vgg13", "vgg16", "vgg19", "resnet18", "resnet34", "resnet50",
+/// Sequence length used when a transformer model is requested
+/// [`by_name`] (which has no sequence-length argument).
+pub const DEFAULT_SEQ_LEN: usize = 128;
+
+/// The nine networks of the paper's evaluation, in Figure 5 order,
+/// followed by the transformer extension models.
+pub const EVALUATION_NAMES: [&str; 12] = [
+    "lenet",
+    "alexnet",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "bert_base",
+    "gpt2_small",
+    "vit_b16",
 ];
 
 /// Builds a zoo network by its [`EVALUATION_NAMES`] name.
@@ -62,13 +82,17 @@ pub fn by_name(name: &str, batch: usize) -> Result<Network, NetworkError> {
         "resnet101" => resnet101(batch),
         "resnet152" => resnet152(batch),
         "googlenet" => googlenet(batch),
+        "bert_base" => bert_base(batch, DEFAULT_SEQ_LEN),
+        "gpt2_small" => gpt2_small(batch, DEFAULT_SEQ_LEN),
+        "vit_b16" => vit_b16(batch),
         other => Err(NetworkError::InvalidGraph(format!(
             "unknown zoo network `{other}`"
         ))),
     }
 }
 
-/// Builds all nine evaluation networks in Figure 5 order.
+/// Builds all twelve evaluation networks: the paper's nine in Figure 5
+/// order, then the transformer extension models.
 ///
 /// # Errors
 ///
@@ -99,14 +123,16 @@ mod tests {
     }
 
     #[test]
-    fn suite_has_nine_networks() {
+    fn suite_has_twelve_networks() {
         let suite = evaluation_suite(2).unwrap();
-        assert_eq!(suite.len(), 9);
+        assert_eq!(suite.len(), 12);
     }
 
     #[test]
     fn imagenet_models_end_in_1000_classes() {
-        for name in &EVALUATION_NAMES[1..] {
+        // The CNN slice [1..9]; the language models end in d_model and
+        // vit_b16 is checked in the transformer module.
+        for name in &EVALUATION_NAMES[1..9] {
             let net = by_name(name, 2).unwrap();
             assert_eq!(net.output().channels(), IMAGENET_CLASSES, "{name}");
         }

@@ -1,0 +1,134 @@
+use crate::builder::NetworkBuilder;
+use crate::error::NetworkError;
+use crate::network::Network;
+use accpar_tensor::{ConvGeometry, FeatureShape};
+
+use super::IMAGENET_CLASSES;
+
+/// BERT-base WordPiece vocabulary size.
+pub const BERT_VOCAB: usize = 30_522;
+
+/// GPT-2 BPE vocabulary size.
+pub const GPT2_VOCAB: usize = 50_257;
+
+/// Appends `blocks` pre-norm transformer encoder blocks to `b`: each is
+/// multi-head self-attention followed by a `d_model → 4·d_model → d_model`
+/// feed-forward pair, with layer norms in between.
+///
+/// Residual shortcuts are deliberately omitted: attention lowers to a
+/// parallel block in the train view and parallel blocks do not nest, so the
+/// zoo keeps the trunk linear. Residuals are element-wise and unweighted —
+/// they change neither the weighted-layer set nor its shapes, only which
+/// conversion edges exist, so the partition search sees the same per-layer
+/// problem.
+fn encoder_stack(
+    mut b: NetworkBuilder,
+    blocks: usize,
+    heads: usize,
+    d_model: usize,
+) -> NetworkBuilder {
+    let d_head = d_model / heads;
+    let d_ff = 4 * d_model;
+    for i in 0..blocks {
+        b = b
+            .layer_norm(format!("blk{i}.ln1"))
+            .multi_head_attention(format!("blk{i}.attn"), heads, d_model, d_head)
+            .layer_norm(format!("blk{i}.ln2"))
+            .linear(format!("blk{i}.ffn_up"), d_model, d_ff)
+            .relu(format!("blk{i}.gelu"))
+            .linear(format!("blk{i}.ffn_down"), d_ff, d_model);
+    }
+    b
+}
+
+/// BERT-base (Devlin et al.): token embedding followed by 12 encoder
+/// blocks with 12 heads over `d_model = 768`.
+///
+/// # Errors
+///
+/// Construction is infallible for positive `batch` / `seq`; errors
+/// indicate a bug in this function.
+pub fn bert_base(batch: usize, seq: usize) -> Result<Network, NetworkError> {
+    let b = NetworkBuilder::new("bert_base", FeatureShape::seq(batch, seq, 1))
+        .embedding("embed", BERT_VOCAB, 768);
+    encoder_stack(b, 12, 12, 768).layer_norm("final_ln").build()
+}
+
+/// GPT-2-small (Radford et al.): the same 12×12×768 stack as BERT-base
+/// but with the GPT-2 vocabulary. The planner sees training FLOPs and
+/// tensor shapes, so causal masking (a zeroed half of the score matrix)
+/// is not modelled separately.
+///
+/// # Errors
+///
+/// Construction is infallible for positive `batch` / `seq`; errors
+/// indicate a bug in this function.
+pub fn gpt2_small(batch: usize, seq: usize) -> Result<Network, NetworkError> {
+    let b = NetworkBuilder::new("gpt2_small", FeatureShape::seq(batch, seq, 1))
+        .embedding("embed", GPT2_VOCAB, 768);
+    encoder_stack(b, 12, 12, 768).layer_norm("final_ln").build()
+}
+
+/// ViT-B/16 (Dosovitskiy et al.): a 16×16/stride-16 convolutional patch
+/// embedding of a 224×224 image into 196 tokens of `d_model = 768`,
+/// 12 encoder blocks, and a 1000-class head.
+///
+/// # Errors
+///
+/// Construction is infallible for positive `batch`; errors indicate a bug
+/// in this function.
+pub fn vit_b16(batch: usize) -> Result<Network, NetworkError> {
+    let b = NetworkBuilder::new("vit_b16", FeatureShape::conv(batch, 3, 224, 224))
+        .conv2d("patch_embed", 3, 768, ConvGeometry::new(16, 16, 0))
+        .to_sequence("to_seq");
+    encoder_stack(b, 12, 12, 768)
+        .layer_norm("final_ln")
+        .linear("head", 768, IMAGENET_CLASSES)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_shapes_and_size() {
+        let net = bert_base(4, 128).unwrap();
+        assert_eq!(net.output(), FeatureShape::seq(4, 128, 768));
+        let view = net.train_view().unwrap();
+        // embed + 12 × (q, k, v, o, up, down)
+        assert_eq!(view.weighted_len(), 1 + 12 * 6);
+        // One q|k|v block per encoder layer.
+        assert_eq!(
+            view.elems()
+                .iter()
+                .filter(|e| matches!(e, crate::TrainElem::Block { .. }))
+                .count(),
+            12
+        );
+        // Weight count: embedding + 12 × (4·768² attention + 2·4·768² ffn).
+        let expected = (BERT_VOCAB * 768 + 12 * (4 * 768 * 768 + 8 * 768 * 768)) as u64;
+        assert_eq!(net.stats().params, expected);
+    }
+
+    #[test]
+    fn gpt2_small_uses_its_own_vocabulary() {
+        let net = gpt2_small(2, 64).unwrap();
+        let view = net.train_view().unwrap();
+        let embed = view.layers().next().unwrap();
+        assert_eq!(embed.d_in(), GPT2_VOCAB);
+        assert_eq!(embed.d_out(), 768);
+    }
+
+    #[test]
+    fn vit_b16_patches_into_196_tokens() {
+        let net = vit_b16(2).unwrap();
+        assert_eq!(net.output().channels(), IMAGENET_CLASSES);
+        let view = net.train_view().unwrap();
+        // patch conv + 12 × 6 + head
+        assert_eq!(view.weighted_len(), 1 + 12 * 6 + 1);
+        // 224/16 = 14 ⇒ 196 tokens after to_sequence.
+        let q = view.layers().nth(1).unwrap();
+        assert_eq!(q.in_fmap(), FeatureShape::seq(2, 196, 768));
+    }
+}

@@ -20,7 +20,7 @@ use crate::error::SimError;
 use crate::geometry::{layer_geom, LayerGeom};
 use crate::machine::segments_secs;
 use crate::trace::phase_segments;
-use accpar_cost::comm::{inter_conversion_split, intra_psum_elems};
+use accpar_cost::comm::{attn_stage_elems, inter_conversion_split, intra_psum_elems};
 use accpar_dnn::{TrainLayer, TrainView};
 use accpar_hw::{FaultModel, GroupTree};
 use accpar_partition::{Phase, PlanTree};
@@ -307,8 +307,11 @@ impl GraphBuilder<'_> {
     }
 
     /// Creates the psum exchange tasks of one layer phase, deepest level
-    /// first, chaining shallower exchanges after deeper ones. Returns the
-    /// created task ids.
+    /// first, chaining shallower exchanges after deeper ones. Forward
+    /// phases additionally carry the attention-stage K/V exchange of a
+    /// lowered `o` projection on the same cut links (each side sends its
+    /// own token slice), mirroring the bulk-synchronous simulator and the
+    /// analytic model. Returns the created task ids.
     fn psum_tasks(
         &mut self,
         geom: &LayerGeom,
@@ -326,13 +329,30 @@ impl GraphBuilder<'_> {
         for depth in (0..=max_depth).rev() {
             let mut this_level = Vec::new();
             for (node_idx, node) in geom.nodes.iter().enumerate() {
-                if node.depth != depth || node.entry.ptype.psum_phase() != phase {
+                if node.depth != depth {
                     continue;
                 }
-                let elems = intra_psum_elems(node.entry.ptype, layer) as f64
-                    * node.scales.psum_scale(node.entry.ptype);
-                let bytes = self.config.format.bytes_f64(elems);
-                let secs = (bytes / node.link_a).max(bytes / node.link_b);
+                let psum = if node.entry.ptype.psum_phase() == phase {
+                    intra_psum_elems(node.entry.ptype, layer) as f64
+                        * node.scales.psum_scale(node.entry.ptype)
+                } else {
+                    0.0
+                };
+                let (stage_a, stage_b) = if phase == Phase::Forward {
+                    let full = attn_stage_elems(node.entry.ptype, layer) as f64;
+                    let alpha = node.entry.ratio.value();
+                    (
+                        full * node.scales.shrink(node.entry.ptype, alpha).f_in,
+                        full * node.scales.shrink(node.entry.ptype, 1.0 - alpha).f_in,
+                    )
+                } else {
+                    (0.0, 0.0)
+                };
+                if psum == 0.0 && stage_a == 0.0 && stage_b == 0.0 {
+                    continue;
+                }
+                let secs = (self.config.format.bytes_f64(psum + stage_a) / node.link_a)
+                    .max(self.config.format.bytes_f64(psum + stage_b) / node.link_b);
                 let mut deps: Vec<usize> = leaf_tasks.to_vec();
                 deps.extend(prev_level.iter().copied());
                 let t = self.push(secs, deps, Some(n_leaves + node_idx));

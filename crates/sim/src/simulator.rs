@@ -2,7 +2,7 @@ use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::machine::segments_secs;
 use crate::trace::phase_segments;
-use accpar_cost::comm::{inter_conversion_split, intra_psum_elems};
+use accpar_cost::comm::{attn_stage_elems, inter_conversion_split, intra_psum_elems};
 use accpar_dnn::{TrainEdge, TrainLayer, TrainView};
 use accpar_hw::{FaultModel, GroupCaps, GroupTree};
 use accpar_obs::Obs;
@@ -349,19 +349,36 @@ impl Simulator {
 
         // Partial-sum exchanges, deepest level first: partial results
         // combine bottom-up. Nodes at the same depth exchange
-        // concurrently.
+        // concurrently. Each forward phase additionally carries the
+        // attention-stage K/V exchange of a lowered `o` projection (each
+        // side sends its own token slice, so the sides scale by their
+        // respective input-feature shares).
         let max_depth = geom.nodes.iter().map(|n| n.depth).max();
         if let Some(max_depth) = max_depth {
             for depth in (0..=max_depth).rev() {
                 let mut level_secs: f64 = 0.0;
                 for node in geom.nodes.iter().filter(|n| n.depth == depth) {
-                    if node.entry.ptype.psum_phase() != phase {
+                    let psum = if node.entry.ptype.psum_phase() == phase {
+                        intra_psum_elems(node.entry.ptype, layer) as f64
+                            * node.scales.psum_scale(node.entry.ptype)
+                    } else {
+                        0.0
+                    };
+                    let (stage_a, stage_b) = if phase == Phase::Forward {
+                        let full = attn_stage_elems(node.entry.ptype, layer) as f64;
+                        let alpha = node.entry.ratio.value();
+                        (
+                            full * node.scales.shrink(node.entry.ptype, alpha).f_in,
+                            full * node.scales.shrink(node.entry.ptype, 1.0 - alpha).f_in,
+                        )
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    if psum == 0.0 && stage_a == 0.0 && stage_b == 0.0 {
                         continue;
                     }
-                    let elems = intra_psum_elems(node.entry.ptype, layer) as f64
-                        * node.scales.psum_scale(node.entry.ptype);
-                    let bytes = self.config.format.bytes_f64(elems);
-                    let t = (bytes / node.link_a).max(bytes / node.link_b);
+                    let t = (self.config.format.bytes_f64(psum + stage_a) / node.link_a)
+                        .max(self.config.format.bytes_f64(psum + stage_b) / node.link_b);
                     level_secs = level_secs.max(t);
                 }
                 report.psum_secs += level_secs;

@@ -58,11 +58,12 @@ pub use accpar_partition::ShardScales;
 
 /// Emits the trace segments of one phase of one layer for a leaf holding
 /// the given shard: two operand LOADs, the MULT and ADD runs, and the
-/// result STORE. The fixed-arity return keeps the simulator's innermost
-/// loop (every leaf of every phase of every layer) off the heap.
+/// result STORE — plus, for a layer carrying an
+/// [`AttnStage`](accpar_dnn::AttnStage), the forward-phase
+/// score/softmax/context stage segments.
 ///
-/// Event granularity follows the paper: FC traces are element-wise
-/// (`unit_elems = 1`), CONV traces are kernel-window-wise
+/// Event granularity follows the paper: FC and embedding traces are
+/// element-wise (`unit_elems = 1`), CONV traces are kernel-window-wise
 /// (`unit_elems = k_h·k_w`). Fractional shard scales round to the nearest
 /// whole unit.
 ///
@@ -82,9 +83,9 @@ pub use accpar_partition::ShardScales;
 /// # Ok::<(), accpar_dnn::NetworkError>(())
 /// ```
 #[must_use]
-pub fn phase_segments(layer: &TrainLayer, phase: Phase, scales: ShardScales) -> [TraceSegment; 5] {
+pub fn phase_segments(layer: &TrainLayer, phase: Phase, scales: ShardScales) -> Vec<TraceSegment> {
     let unit = match layer.kind() {
-        WeightedKind::Fc => 1u64,
+        WeightedKind::Fc | WeightedKind::Embedding => 1u64,
         WeightedKind::Conv { window } => (window.0 * window.1) as u64,
     };
     let f_in = layer.in_fmap().size() as f64 * scales.f_in;
@@ -121,12 +122,58 @@ pub fn phase_segments(layer: &TrainLayer, phase: Phase, scales: ShardScales) -> 
     // MULTs: `reduction` per output element; ADDs: `reduction − 1`.
     let mults = out_elems * reduction as f64;
     let adds = out_elems * reduction.saturating_sub(1) as f64;
-    [
+    let mut segs = vec![
         seg(TraceOp::Load, loads[0], unit),
         seg(TraceOp::Load, loads[1], unit),
         seg(TraceOp::Mult, mults, unit),
         seg(TraceOp::Add, adds, unit),
         seg(TraceOp::Store, stores, unit),
+    ];
+    if phase == Phase::Forward {
+        if let Some(stage) = layer.attn() {
+            segs.extend(attn_stage_segments(layer, stage, scales));
+        }
+    }
+    segs
+}
+
+/// The forward-phase trace of the attention stage riding the `o`
+/// projection: `QKᵀ` score MULT/ADDs, softmax ADDs, and the
+/// `softmax(scores)·V` context MULT/ADDs, plus the Q/K/V LOADs and the
+/// context STORE. All element counts scale with the leaf's input-feature
+/// share (the token share under Type-I, the head share under Type-II,
+/// the full duplicated stage under Type-III), mirroring the analytic
+/// model's stage charge. Arithmetic totals sum exactly to
+/// `AttnStage::flops × f_in` before rounding.
+fn attn_stage_segments(
+    layer: &TrainLayer,
+    stage: accpar_dnn::AttnStage,
+    scales: ShardScales,
+) -> [TraceSegment; 7] {
+    let batch = layer.in_fmap().batch();
+    let scores = stage.scores_elems(batch) as f64 * scales.f_in;
+    let context = (batch * stage.heads * stage.seq * stage.d_head) as f64 * scales.f_in;
+    let (dh, s) = (stage.d_head as f64, stage.seq as f64);
+    let seg = |op: TraceOp, elems: f64| TraceSegment {
+        op,
+        units: elems.round() as u64,
+        unit_elems: 1,
+    };
+    [
+        // Q, K, V operands (each B·S·H·d_h, i.e. `context` elements).
+        seg(TraceOp::Load, 3.0 * context),
+        // scores = Q Kᵀ: d_h MULTs and d_h − 1 ADDs per score.
+        seg(TraceOp::Mult, scores * dh),
+        seg(TraceOp::Add, scores * (dh - 1.0)),
+        // softmax: SOFTMAX_FLOPS_PER_SCORE per score.
+        seg(
+            TraceOp::Add,
+            scores * accpar_dnn::SOFTMAX_FLOPS_PER_SCORE as f64,
+        ),
+        // context = softmax(scores) · V: S MULTs and S − 1 ADDs per elem.
+        seg(TraceOp::Mult, context * s),
+        seg(TraceOp::Add, context * (s - 1.0)),
+        seg(TraceOp::Store, context),
     ]
 }
 
@@ -217,6 +264,53 @@ mod tests {
         assert_eq!(total_flops(&shard) * 2, total_flops(&full));
         // f_in halves, w stays, f_out halves.
         assert_eq!(total_mem_elems(&shard), 80 + 600 + 120);
+    }
+
+    #[test]
+    fn attention_stage_rides_the_forward_trace() {
+        let view = NetworkBuilder::new("t", FeatureShape::seq(4, 16, 32))
+            .multi_head_attention("attn", 4, 32, 8)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let o = view.layers().find(|l| l.attn().is_some()).unwrap().clone();
+        let stage = o.attn().unwrap();
+        let fwd = phase_segments(&o, Phase::Forward, ShardScales::full());
+        // Base matmul (5 segments) + stage (7 segments).
+        assert_eq!(fwd.len(), 12);
+        assert_eq!(
+            total_flops(&fwd),
+            o.forward_flops() + stage.flops(o.in_fmap().batch())
+        );
+        // The stage is forward-only: backward and gradient are plain.
+        let bwd = phase_segments(&o, Phase::Backward, ShardScales::full());
+        assert_eq!(bwd.len(), 5);
+        assert_eq!(total_flops(&bwd), o.backward_flops());
+        // Halving the input-feature share halves the stage work exactly.
+        let half = ShardScales {
+            f_in: 0.5,
+            f_out: 0.5,
+            weight: 1.0,
+            flops: 0.5,
+        };
+        let shard = phase_segments(&o, Phase::Forward, half);
+        assert_eq!(total_flops(&shard) * 2, total_flops(&fwd));
+    }
+
+    #[test]
+    fn embedding_trace_is_a_gather() {
+        let view = NetworkBuilder::new("e", FeatureShape::seq(4, 16, 1))
+            .embedding("emb", 100, 32)
+            .build()
+            .unwrap()
+            .train_view()
+            .unwrap();
+        let l = view.layers().next().unwrap();
+        let segs = phase_segments(l, Phase::Forward, ShardScales::full());
+        assert!(segs.iter().all(|s| s.unit_elems == 1));
+        // Reduction 1: one MULT per output element, no ADDs.
+        assert_eq!(total_flops(&segs), 4 * 16 * 32);
     }
 
     #[test]

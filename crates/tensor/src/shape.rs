@@ -82,6 +82,25 @@ impl FeatureShape {
         Self::try_new(batch, channels, (height, width)).expect("dimensions must be positive")
     }
 
+    /// Feature map of a sequence (transformer) layer: shape
+    /// `(batch, seq_len, d_model)`.
+    ///
+    /// The sequence axis rides the §4.3 spatial *meta dimension* as
+    /// `(seq_len, 1)` while `d_model` occupies the channel (feature)
+    /// dimension. The partition types therefore split `B` (Type-I, which
+    /// by extension shards the `B·S` token axis) or the feature dimension
+    /// (Types II/III), while `S` scales sizes and FLOP counts — exactly
+    /// the treatment the paper gives `H × W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; use [`FeatureShape::try_new`]
+    /// for a fallible constructor.
+    #[must_use]
+    pub fn seq(batch: usize, seq_len: usize, d_model: usize) -> Self {
+        Self::try_new(batch, d_model, (seq_len, 1)).expect("dimensions must be positive")
+    }
+
     /// Fallible constructor covering both the FC and CONV cases.
     ///
     /// # Errors
@@ -141,6 +160,26 @@ impl FeatureShape {
         self.spatial.0 == 1 && self.spatial.1 == 1
     }
 
+    /// Whether this is a sequence-shaped activation: a spatial extent of
+    /// `(S, 1)` with `S > 1`, as produced by [`FeatureShape::seq`].
+    #[must_use]
+    pub const fn is_seq(&self) -> bool {
+        self.spatial.0 > 1 && self.spatial.1 == 1
+    }
+
+    /// Sequence length `S` of a sequence-shaped activation (1 for flat
+    /// activations, which are degenerate length-one sequences).
+    #[must_use]
+    pub const fn seq_len(&self) -> usize {
+        self.spatial.0
+    }
+
+    /// Token count `B·S`: the axis Type-I partitions on sequence shapes.
+    #[must_use]
+    pub const fn tokens(&self) -> u64 {
+        self.batch as u64 * self.spatial_size() as u64
+    }
+
     /// The paper's size function `A(·)`: the product of all dimension
     /// lengths.
     #[must_use]
@@ -168,6 +207,18 @@ impl FeatureShape {
             batch: self.batch,
             channels: self.channels * self.spatial_size(),
             spatial: (1, 1),
+        }
+    }
+
+    /// Collapses the spatial extent into the sequence axis, keeping the
+    /// channel dimension: `(B, C, H, W) → (B, C, (H·W, 1))`. This is the
+    /// patch-grid-to-token transition of a vision transformer.
+    #[must_use]
+    pub fn to_sequence(&self) -> Self {
+        Self {
+            batch: self.batch,
+            channels: self.channels,
+            spatial: (self.spatial_size(), 1),
         }
     }
 
@@ -409,6 +460,33 @@ mod tests {
         assert_eq!(flat.size(), s.size());
         assert!(flat.is_flat());
         assert_eq!(flat.channels(), 256 * 36);
+    }
+
+    #[test]
+    fn seq_shapes_ride_the_spatial_meta_dimension() {
+        let s = FeatureShape::seq(32, 128, 768);
+        assert_eq!(s.batch(), 32);
+        assert_eq!(s.channels(), 768);
+        assert_eq!(s.seq_len(), 128);
+        assert_eq!(s.spatial(), (128, 1));
+        assert_eq!(s.size(), 32 * 128 * 768);
+        assert_eq!(s.tokens(), 32 * 128);
+        assert!(s.is_seq());
+        assert!(!s.is_flat());
+        // A flat activation is a degenerate length-one sequence.
+        let flat = FeatureShape::fc(32, 768);
+        assert!(!flat.is_seq());
+        assert_eq!(flat.seq_len(), 1);
+        assert_eq!(flat.tokens(), 32);
+    }
+
+    #[test]
+    fn to_sequence_keeps_channels() {
+        let grid = FeatureShape::conv(8, 768, 14, 14);
+        let tokens = grid.to_sequence();
+        assert_eq!(tokens, FeatureShape::seq(8, 196, 768));
+        assert_eq!(tokens.size(), grid.size());
+        assert!(tokens.is_seq());
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Shared helpers for the workspace-level integration tests: a seeded
+//! deterministic case generator (the workspace builds offline, so no
+//! external property-testing crate is used) and random-network builders.
+//!
+//! Each test binary compiles its own copy, so helpers unused by one
+//! binary are expected.
+#![allow(dead_code)]
+
+use accpar::prelude::*;
+
+/// Seeded xorshift64 stream — the deterministic replacement for a
+/// property-testing crate's case generator.
+pub struct Gen(pub u64);
+
+impl Gen {
+    pub fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// A value in `lo..hi`; returns `lo` when the range is empty.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    /// A float in `[0, 1]`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next() % 1_000_001) as f64 / 1e6
+    }
+
+    pub fn vec(&mut self, lo: usize, hi: usize, len_lo: usize, len_hi: usize) -> Vec<usize> {
+        let len = self.range(len_lo, len_hi);
+        (0..len).map(|_| self.range(lo, hi)).collect()
+    }
+
+    /// One element of `choices`.
+    pub fn pick<T: Copy>(&mut self, choices: &[T]) -> T {
+        choices[self.range(0, choices.len())]
+    }
+}
+
+/// A random chain of MLP layers.
+pub fn mlp(batch: usize, dims: &[usize]) -> Network {
+    let mut b = NetworkBuilder::new("mlp", FeatureShape::fc(batch, dims[0]));
+    for (i, pair) in dims.windows(2).enumerate() {
+        b = b.linear(format!("fc{i}"), pair[0], pair[1]);
+    }
+    b.build().expect("valid MLP")
+}
+
+/// A random transformer encoder chain of `blocks` pre-norm blocks with
+/// randomized head count, model width, sequence length, and batch.
+pub fn random_encoder(g: &mut Gen, blocks: usize) -> Network {
+    let heads = g.pick(&[1, 2, 4, 8]);
+    let d_head = g.pick(&[4, 8, 16]);
+    let d_model = g.pick(&[16, 32, 64]);
+    let seq = g.range(4, 33);
+    let batch = g.range(1, 9);
+    let mut b = NetworkBuilder::new("enc", FeatureShape::seq(batch, seq, d_model));
+    for i in 0..blocks {
+        b = b
+            .layer_norm(format!("blk{i}.ln"))
+            .multi_head_attention(format!("blk{i}.attn"), heads, d_model, d_head)
+            .linear(format!("blk{i}.up"), d_model, 2 * d_model)
+            .relu(format!("blk{i}.act"))
+            .linear(format!("blk{i}.down"), 2 * d_model, d_model);
+    }
+    b.build().expect("valid encoder chain")
+}

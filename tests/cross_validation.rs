@@ -106,6 +106,178 @@ fn sim_is_bounded_by_model_on_heterogeneous_pairs() {
     }
 }
 
+fn single_attention(batch: usize, seq: usize, heads: usize, d_model: usize) -> Network {
+    NetworkBuilder::new("attn", FeatureShape::seq(batch, seq, d_model))
+        .multi_head_attention("mha", heads, d_model, d_model / heads)
+        .build()
+        .expect("builds")
+}
+
+#[test]
+fn sim_equals_model_on_a_single_attention_layer_homogeneous() {
+    // Attention lowers to four weighted projections (q | k | v, then o)
+    // with the score/softmax/context stage charged on o. On a homogeneous
+    // pair the same group is the straggler of every phase, so the BSP
+    // total minus conversion traffic must equal the summed per-layer
+    // model makespans — for every type, at any ratio.
+    let net = single_attention(8, 32, 4, 64);
+    let view = net.train_view().unwrap();
+    let mut layers: Vec<_> = view.layers().cloned().collect();
+    layers.sort_by_key(accpar::dnn::TrainLayer::index);
+    assert_eq!(layers.len(), 4);
+    let array = AcceleratorArray::homogeneous_tpu_v3(2);
+    let tree = GroupTree::bisect(&array, 1).unwrap();
+    let env = PairEnv::from_node(tree.root()).unwrap();
+    let model = CostModel::new(CostConfig::default());
+    let sim = Simulator::new(SimConfig::cost_model_aligned());
+
+    for ptype in PartitionType::ALL {
+        for alpha in [0.25, 0.5, 0.7] {
+            let ratio = Ratio::new(alpha).unwrap();
+            let plan = HierPlan::new(vec![NetworkPlan::uniform(
+                4,
+                LayerPlan::new(ptype, ratio),
+            )])
+            .to_tree();
+            let report = sim.simulate(&view, &plan, &tree, None).unwrap();
+            let expected: f64 = layers
+                .iter()
+                .map(|l| {
+                    model
+                        .layer_cost(l, ptype, ratio, &env, ShardScales::full())
+                        .makespan()
+                })
+                .sum();
+            let measured = report.total_secs - report.conversion_secs;
+            assert!(
+                (measured - expected).abs() / expected < 1e-9,
+                "{ptype} alpha={alpha}: sim {measured} vs model {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sim_is_bounded_by_model_on_attention_over_heterogeneous_pairs() {
+    let net = single_attention(8, 32, 4, 64);
+    let view = net.train_view().unwrap();
+    let mut layers: Vec<_> = view.layers().cloned().collect();
+    layers.sort_by_key(accpar::dnn::TrainLayer::index);
+    let array = AcceleratorArray::heterogeneous_tpu(1, 1);
+    let tree = GroupTree::bisect(&array, 1).unwrap();
+    let env = PairEnv::from_node(tree.root()).unwrap();
+    let model = CostModel::new(CostConfig::default());
+    let sim = Simulator::new(SimConfig::cost_model_aligned());
+
+    for ptype in PartitionType::ALL {
+        for alpha in [0.25, 0.5, 0.75] {
+            let ratio = Ratio::new(alpha).unwrap();
+            let plan = HierPlan::new(vec![NetworkPlan::uniform(
+                4,
+                LayerPlan::new(ptype, ratio),
+            )])
+            .to_tree();
+            let report = sim.simulate(&view, &plan, &tree, None).unwrap();
+            let expected: f64 = layers
+                .iter()
+                .map(|l| {
+                    model
+                        .layer_cost(l, ptype, ratio, &env, ShardScales::full())
+                        .makespan()
+                })
+                .sum();
+            let measured = report.total_secs - report.conversion_secs;
+            // Stage-wise maxima vs per-group maxima: within a factor of
+            // two in general, exact when the v2 group straggles every
+            // phase (the equal split).
+            assert!(
+                measured <= 2.0 * expected * (1.0 + 1e-9),
+                "{ptype} alpha={alpha}: sim {measured} above twice the model {expected}"
+            );
+            assert!(
+                measured >= 0.5 * expected,
+                "{ptype} alpha={alpha}: sim {measured} below half the model {expected}"
+            );
+            if alpha == 0.5 {
+                assert!(
+                    (measured - expected).abs() / expected < 1e-9,
+                    "{ptype}: sim {measured} vs model {expected}"
+                );
+            }
+
+            // The event-driven backend schedules the same task graph with
+            // work-conserving resources: it can only be as fast or faster
+            // than the phase-barriered BSP account.
+            let des = accpar::sim::simulate_des(
+                &SimConfig::cost_model_aligned(),
+                &view,
+                &plan,
+                &tree,
+                None,
+            )
+            .unwrap();
+            assert!(des.total_secs > 0.0);
+            assert!(
+                des.total_secs <= report.total_secs * (1.0 + 1e-9),
+                "{ptype} alpha={alpha}: des {} above bsp {}",
+                des.total_secs,
+                report.total_secs
+            );
+        }
+    }
+}
+
+#[test]
+fn layer_norm_is_partition_neutral() {
+    // LayerNorm is unweighted and token-local: the train view elides it,
+    // so a chain with layer norms must plan and simulate identically to
+    // the same chain without them — under every partition type and both
+    // backends.
+    let plain = NetworkBuilder::new("plain", FeatureShape::seq(4, 16, 64))
+        .linear("fc", 64, 64)
+        .build()
+        .unwrap();
+    let normed = NetworkBuilder::new("normed", FeatureShape::seq(4, 16, 64))
+        .layer_norm("ln1")
+        .linear("fc", 64, 64)
+        .layer_norm("ln2")
+        .build()
+        .unwrap();
+    let (pv, nv) = (plain.train_view().unwrap(), normed.train_view().unwrap());
+    assert_eq!(pv.weighted_len(), nv.weighted_len());
+
+    let array = AcceleratorArray::heterogeneous_tpu(1, 1);
+    let tree = GroupTree::bisect(&array, 1).unwrap();
+    let sim = Simulator::new(SimConfig::cost_model_aligned());
+    for ptype in PartitionType::ALL {
+        let plan = HierPlan::new(vec![NetworkPlan::uniform(
+            1,
+            LayerPlan::new(ptype, Ratio::new(0.4).unwrap()),
+        )])
+        .to_tree();
+        let a = sim.simulate(&pv, &plan, &tree, None).unwrap();
+        let b = sim.simulate(&nv, &plan, &tree, None).unwrap();
+        assert_eq!(a.total_secs.to_bits(), b.total_secs.to_bits(), "{ptype}");
+        let da = accpar::sim::simulate_des(
+            &SimConfig::cost_model_aligned(),
+            &pv,
+            &plan,
+            &tree,
+            None,
+        )
+        .unwrap();
+        let db = accpar::sim::simulate_des(
+            &SimConfig::cost_model_aligned(),
+            &nv,
+            &plan,
+            &tree,
+            None,
+        )
+        .unwrap();
+        assert_eq!(da.total_secs.to_bits(), db.total_secs.to_bits(), "{ptype}");
+    }
+}
+
 #[test]
 fn table5_zero_entries_are_conversion_free_in_the_simulator() {
     // Three of the nine type transitions cost nothing (Table 5); the

@@ -2,47 +2,14 @@
 //! seeded deterministic case generator (the workspace builds offline, so
 //! no external property-testing crate is used).
 
-use accpar::core::{LevelSearcher, SearchConfig};
+use accpar::core::{LevelSearcher, Planner, SearchConfig, Strategy};
 use accpar::cost::{CostConfig, CostModel, PairEnv};
 use accpar::partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, Ratio};
 use accpar::prelude::*;
 use accpar::sim::SimConfig;
 
-fn mlp(batch: usize, dims: &[usize]) -> Network {
-    let mut b = NetworkBuilder::new("mlp", FeatureShape::fc(batch, dims[0]));
-    for (i, pair) in dims.windows(2).enumerate() {
-        b = b.linear(format!("fc{i}"), pair[0], pair[1]);
-    }
-    b.build().expect("valid MLP")
-}
-
-/// Seeded xorshift64 stream — the deterministic replacement for a
-/// property-testing crate's case generator.
-struct Gen(u64);
-
-impl Gen {
-    fn next(&mut self) -> u64 {
-        self.0 ^= self.0 << 13;
-        self.0 ^= self.0 >> 7;
-        self.0 ^= self.0 << 17;
-        self.0
-    }
-
-    /// A value in `lo..hi`.
-    fn range(&mut self, lo: usize, hi: usize) -> usize {
-        lo + (self.next() % (hi - lo) as u64) as usize
-    }
-
-    /// A float in `[0, 1]`.
-    fn unit(&mut self) -> f64 {
-        (self.next() % 1_000_001) as f64 / 1e6
-    }
-
-    fn vec(&mut self, lo: usize, hi: usize, len_lo: usize, len_hi: usize) -> Vec<usize> {
-        let len = self.range(len_lo, len_hi);
-        (0..len).map(|_| self.range(lo, hi)).collect()
-    }
-}
+mod common;
+use common::{mlp, random_encoder, Gen};
 
 /// The DP search equals brute force on random chains — the §5.1
 /// optimality claim, under random shapes and heterogeneous pairs.
@@ -134,6 +101,72 @@ fn search_never_loses_to_data_parallelism_on_its_own_objective() {
             .unwrap()
             .search();
         assert!(accpar.cost <= dp.cost * (1.0 + 1e-12));
+    }
+}
+
+/// The §5.1 optimality claim extends to lowered attention: on random
+/// transformer encoder chains the DP search returns exactly the brute
+/// force optimum — same plan, same cost — on heterogeneous pairs.
+#[test]
+fn dp_is_optimal_on_random_transformer_chains() {
+    let mut g = Gen(0xacc9a15);
+    for case in 0..10 {
+        // Brute force over a block is exponential in its layer count, so
+        // cap the exhaustive comparison at two encoder blocks.
+        let blocks = g.range(1, 3);
+        let net = random_encoder(&mut g, blocks);
+        let view = net.train_view().unwrap();
+        let (v2, v3) = (g.range(1, 4), g.range(1, 4));
+        let array = AcceleratorArray::heterogeneous_tpu(v2, v3);
+        let tree = GroupTree::bisect(&array, 1).unwrap();
+        let env = PairEnv::from_node(tree.root()).unwrap();
+        let model = CostModel::new(CostConfig::default());
+        let config = SearchConfig::accpar();
+        let searcher = LevelSearcher::new(&view, &model, &config, &env, None).unwrap();
+        let dp = searcher.search();
+        let brute = searcher.exhaustive();
+        assert!(
+            (dp.cost - brute.cost).abs() <= brute.cost * 1e-12,
+            "case {case}: dp {} vs brute {}",
+            dp.cost,
+            brute.cost
+        );
+        assert_eq!(dp.plan, brute.plan, "case {case}: plan diverged");
+    }
+}
+
+/// The parallel, memoized planning engine is bit-identical to the
+/// serial cache-free engine on random transformer encoder chains.
+#[test]
+fn parallel_planner_is_bit_identical_on_random_transformers() {
+    let mut g = Gen(0xacc9a16);
+    for case in 0..6 {
+        let blocks = g.range(1, 5);
+        let net = random_encoder(&mut g, blocks);
+        let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+        let reference = Planner::builder(&net, &array)
+            .threads(1)
+            .caching(false)
+            .build()
+            .unwrap()
+            .plan(Strategy::AccPar)
+            .unwrap();
+        let parallel = Planner::builder(&net, &array)
+            .threads(8)
+            .build()
+            .unwrap()
+            .plan(Strategy::AccPar)
+            .unwrap();
+        assert_eq!(
+            parallel.plan(),
+            reference.plan(),
+            "case {case} ({blocks} blocks): plan diverged"
+        );
+        assert_eq!(
+            parallel.modeled_cost().to_bits(),
+            reference.modeled_cost().to_bits(),
+            "case {case} ({blocks} blocks): cost bits diverged"
+        );
     }
 }
 

@@ -96,6 +96,38 @@ fn replanning_is_deterministic() {
 }
 
 #[test]
+fn bert_replans_gracefully_under_the_acceptance_faults() {
+    // The transformer path through replan: attention blocks, the
+    // stage-comm terms, and the embedding survive the degraded-hardware
+    // search just like the CNN zoo, and replanning still pays off.
+    let network = zoo::bert_base(8, 64).unwrap();
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    let planner = Planner::builder(&network, &array).levels(2).build().unwrap();
+    let planned = planner.plan(Strategy::AccPar).unwrap();
+    let faults = acceptance_faults(7);
+
+    let outcome = planner.replan(&planned, &faults).unwrap();
+    let stale = outcome
+        .degraded_old_secs
+        .expect("no dropout: the stale plan can still run");
+    assert!(
+        outcome.degraded_secs <= stale * (1.0 + 1e-12),
+        "replanned {} vs stale {}",
+        outcome.degraded_secs,
+        stale
+    );
+    assert!(stale >= outcome.nominal_secs * (1.0 - 1e-12));
+
+    // Deterministic: a second replan reproduces the same bits.
+    let again = planner.replan(&planned, &faults).unwrap();
+    assert_eq!(outcome.plan, again.plan);
+    assert_eq!(
+        outcome.degraded_secs.to_bits(),
+        again.degraded_secs.to_bits()
+    );
+}
+
+#[test]
 fn random_fault_models_are_seeded() {
     let a = FaultModel::random(99, 4, 3, 3).unwrap();
     let b = FaultModel::random(99, 4, 3, 3).unwrap();

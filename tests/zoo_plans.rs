@@ -32,6 +32,47 @@ fn every_network_plans_under_every_strategy() {
     }
 }
 
+/// Golden-plan snapshots for the transformer zoo: the exact partition
+/// type sequence and modeled cost AccPar finds for BERT-base and
+/// GPT-2-small on a two-level heterogeneous v2/v3 array. Any cost-model
+/// or search change that moves these plans must be deliberate: regenerate
+/// by printing `type_string()`/`modeled_cost()` under this exact config.
+///
+/// The structure is readable: the embedding and the o/ffn projections sit
+/// in Type-II/III (model parallel — their weights dominate), while q/k/v
+/// ride Type-I or II depending on the level's bandwidth balance.
+#[test]
+fn transformer_golden_plans() {
+    const BERT_COST: f64 = 1.144_648_726_777_905_8e-1;
+    const GPT2_COST: f64 = 1.144_648_907_212_191_5e-1;
+    const L0: &str =
+        "3III232333232333232333232333232333232333232333232333232333232333232333232";
+    const L1A: &str =
+        "I222IIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII";
+    const L1B: &str =
+        "3222232333232333232333232333232333232333232333232333232333232333232333232";
+
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    for (name, golden_cost) in [("bert_base", BERT_COST), ("gpt2_small", GPT2_COST)] {
+        let net = zoo::by_name(name, 8).unwrap();
+        let planned = Planner::builder(&net, &array)
+            .levels(2)
+            .build()
+            .unwrap()
+            .plan(Strategy::AccPar)
+            .unwrap();
+        assert_eq!(planned.plan().plan().type_string(), L0, "{name} level 0");
+        let (a, b) = planned.plan().children().expect("two levels");
+        assert_eq!(a.plan().type_string(), L1A, "{name} level 1a");
+        assert_eq!(b.plan().type_string(), L1B, "{name} level 1b");
+        let cost = planned.modeled_cost();
+        assert!(
+            (cost - golden_cost).abs() <= 1e-9 * golden_cost,
+            "{name}: cost {cost:.17e} vs golden {golden_cost:.17e}"
+        );
+    }
+}
+
 #[test]
 fn baseline_type_constraints() {
     let array = AcceleratorArray::heterogeneous_tpu(2, 2);

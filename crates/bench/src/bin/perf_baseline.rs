@@ -29,9 +29,19 @@
 //! spans, per-layer `plan.decision` events, memo hit/miss counters and
 //! per-phase simulator timings — to `PATH`. Validate it with the
 //! `trace_check` binary.
+//!
+//! `--partial-trace-json PATH` runs one VGG-16 plan under a node budget
+//! sized to solve only the root level, so the trace carries the anytime
+//! vocabulary (`plan.partial`, `plan.level_fallback`). Validate it with
+//! `trace_check PATH --expect-partial`.
+//!
+//! The anytime legs measure what the budget machinery costs when armed
+//! but never tripped (`anytime_overhead_pct`, acceptance target < 2%
+//! against the steady-state leg) and the time-to-first-feasible-plan
+//! across a node-budget sweep.
 
 use accpar_bench::json::Json;
-use accpar_core::{PlannedNetwork, Planner, SearchCache, Strategy};
+use accpar_core::{Budget, PlanOutcome, PlannedNetwork, Planner, SearchCache, Strategy};
 use accpar_dnn::{zoo, Network};
 use accpar_hw::{AcceleratorArray, GroupTree};
 use accpar_obs::{JsonLines, Obs};
@@ -39,7 +49,7 @@ use accpar_runtime::Pool;
 use accpar_sim::{simulate_des, SimConfig, Simulator};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One `BENCH_planner.json` entry.
 struct Entry {
@@ -87,12 +97,17 @@ fn main() -> ExitCode {
     let mut out = String::from("BENCH_planner.json");
     let mut ceiling_ms: Option<f64> = None;
     let mut trace_json: Option<String> = None;
+    let mut partial_trace_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out = args.next().expect("--out needs a path"),
             "--trace-json" => trace_json = Some(args.next().expect("--trace-json needs a path")),
+            "--partial-trace-json" => {
+                partial_trace_json =
+                    Some(args.next().expect("--partial-trace-json needs a path"));
+            }
             "--ceiling-ms" => {
                 ceiling_ms = Some(
                     args.next()
@@ -233,6 +248,81 @@ fn main() -> ExitCode {
         d3_stats.hit_rate() * 100.0
     );
 
+    // Anytime planning: an armed-but-never-tripped budget must be
+    // invisible — same bits, and within 2% of the unbudgeted wall time
+    // on the steady-state VGG-16 leg (budget charges are per DP layer
+    // row, and deadline clock reads are strided).
+    let anytime_cache = Arc::new(SearchCache::new());
+    let anytime_planner = Planner::builder(&vgg, &hetero)
+        .threads(threads)
+        .cache(Arc::clone(&anytime_cache)).build().unwrap();
+    let unbudgeted_plan = anytime_planner.plan(Strategy::AccPar).expect("steady plan");
+    let unbudgeted_ms =
+        time_best_ms(reps, || anytime_planner.plan(Strategy::AccPar).expect("steady plan"));
+    let armed = || {
+        Budget::unlimited()
+            .deadline(Duration::from_secs(3600))
+            .max_nodes(u64::MAX / 2)
+    };
+    let armed_outcome = anytime_planner
+        .plan_with_budget(Strategy::AccPar, &armed())
+        .expect("armed plan");
+    let armed_ms = time_best_ms(reps, || {
+        anytime_planner
+            .plan_with_budget(Strategy::AccPar, &armed())
+            .expect("armed plan")
+    });
+    let armed_identical = armed_outcome.is_complete()
+        && armed_outcome.planned().plan() == unbudgeted_plan.plan()
+        && armed_outcome.planned().modeled_cost().to_bits() == unbudgeted_plan.modeled_cost().to_bits();
+    let anytime_overhead_pct = (armed_ms - unbudgeted_ms) / unbudgeted_ms * 100.0;
+    entries.push(Entry {
+        name: "anytime/vgg16_steady_unbudgeted".into(),
+        wall_ms: unbudgeted_ms,
+        threads,
+        cache_hit_rate: anytime_cache.stats().hit_rate(),
+    });
+    entries.push(Entry {
+        name: "anytime/vgg16_steady_armed".into(),
+        wall_ms: armed_ms,
+        threads,
+        cache_hit_rate: anytime_cache.stats().hit_rate(),
+    });
+    println!(
+        "anytime budget overhead (vgg16 steady): unbudgeted {unbudgeted_ms:.3} ms, armed {armed_ms:.3} ms ({anytime_overhead_pct:+.2}%), bit-identical: {armed_identical}"
+    );
+
+    // Time-to-first-feasible-plan across a node-budget sweep: even a
+    // zero budget returns a feasible (data-parallel) plan immediately;
+    // larger budgets buy completeness.
+    let vgg_rows = vgg.train_view().expect("train view").weighted_len() as u64;
+    println!("time-to-first-feasible-plan across node budgets (vgg16, cold cache):");
+    for (label, nodes) in [
+        ("0", 0),
+        ("1x", vgg_rows),
+        ("4x", 4 * vgg_rows),
+        ("max", u64::MAX / 2),
+    ] {
+        let sweep_planner = Planner::builder(&vgg, &hetero)
+            .threads(threads)
+            .caching(false).build().unwrap();
+        let mut completeness = 0.0;
+        let ttfp_ms = time_best_ms(reps, || {
+            let outcome = sweep_planner
+                .plan_with_budget(Strategy::AccPar, &Budget::unlimited().max_nodes(nodes))
+                .expect("anytime plan");
+            completeness = outcome.completeness();
+            outcome
+        });
+        entries.push(Entry {
+            name: format!("anytime_ttfp/nodes_{label}"),
+            wall_ms: ttfp_ms,
+            threads,
+            cache_hit_rate: 0.0,
+        });
+        println!("  nodes={label:<4} {ttfp_ms:9.3} ms  completeness {:.0}%", completeness * 100.0);
+    }
+
     // Simulator throughput, both backends, on the evaluation-scale
     // array (bit-exact replay of the planner's objective).
     let big = AcceleratorArray::heterogeneous_tpu(128, 128);
@@ -270,6 +360,8 @@ fn main() -> ExitCode {
         ("zoo_speedup", Json::from(speedup)),
         ("zoo_speedup_cold", Json::from(cold_speedup)),
         ("bit_identical", Json::Bool(identical)),
+        ("anytime_overhead_pct", Json::from(anytime_overhead_pct)),
+        ("anytime_bit_identical", Json::Bool(armed_identical)),
         (
             "entries",
             Json::Arr(
@@ -315,8 +407,45 @@ fn main() -> ExitCode {
         );
     }
 
+    // A budget-stopped trace for `trace_check --expect-partial`: the
+    // node budget covers exactly the root level, so the children fall
+    // back and the trace carries `plan.partial` / `plan.level_fallback`.
+    if let Some(path) = &partial_trace_json {
+        let file = std::fs::File::create(path).expect("create partial trace file");
+        let subscriber = Arc::new(JsonLines::new(std::io::BufWriter::new(file)));
+        let obs = Obs::new(Arc::clone(&subscriber));
+        let outcome = Planner::builder(&vgg, &hetero)
+            .threads(threads)
+            .obs(obs.clone())
+            .build()
+            .expect("vgg16 configures cleanly")
+            .plan_with_budget(Strategy::AccPar, &Budget::unlimited().max_nodes(vgg_rows))
+            .expect("anytime plan");
+        obs.emit_metrics();
+        subscriber.flush();
+        let PlanOutcome::Partial(partial) = outcome else {
+            eprintln!("FAIL: the root-only budget unexpectedly completed the search");
+            return ExitCode::FAILURE;
+        };
+        println!(
+            "wrote {path} (partial vgg16: {:.0}% solved, stop: {})",
+            partial.completeness() * 100.0,
+            partial.reason()
+        );
+    }
+
     if !identical {
         eprintln!("FAIL: optimized engine's plans are not bit-identical to serial");
+        return ExitCode::FAILURE;
+    }
+    if !armed_identical {
+        eprintln!("FAIL: the armed-budget plan is not bit-identical to the unbudgeted plan");
+        return ExitCode::FAILURE;
+    }
+    if !quick && anytime_overhead_pct > 2.0 {
+        eprintln!(
+            "FAIL: armed-budget overhead {anytime_overhead_pct:.2}% exceeds the 2% target"
+        );
         return ExitCode::FAILURE;
     }
     if let Some(ceiling) = ceiling_ms {

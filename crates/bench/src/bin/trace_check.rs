@@ -22,7 +22,16 @@
 //!   paper's three partition types, `layer` / `node` are integers, and
 //!   `name` is a non-empty string (this covers the lowered attention
 //!   projections and embedding layers too — new layer kinds must still
-//!   speak the same decision vocabulary).
+//!   speak the same decision vocabulary);
+//! * every `plan.partial` / `plan.cancelled` payload is well-formed:
+//!   `completeness` in `[0, 1]`, `reason` one of `deadline` /
+//!   `node-budget` / `cancelled` (and `cancelled` for a
+//!   `plan.cancelled` event), integer `solved_levels` /
+//!   `fallback_levels`, boolean `baseline_adopted`.
+//!
+//! With `--expect-partial`, additionally fails unless the trace holds at
+//! least one `plan.partial` event and a `plan.level_fallback` event —
+//! the shape a budget-stopped anytime run must leave behind.
 //!
 //! Exits non-zero with one message per violation.
 
@@ -41,12 +50,22 @@ fn id_of(record: &Json, key: &str) -> Option<u64> {
 }
 
 fn main() -> ExitCode {
-    let path = match std::env::args().nth(1) {
-        Some(p) => p,
-        None => {
-            eprintln!("usage: trace_check TRACE.jsonl");
-            return ExitCode::FAILURE;
+    let mut path: Option<String> = None;
+    let mut expect_partial = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--expect-partial" => expect_partial = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: trace_check TRACE.jsonl [--expect-partial]");
+                return ExitCode::FAILURE;
+            }
         }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_check TRACE.jsonl [--expect-partial]");
+        return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -164,6 +183,35 @@ fn main() -> ExitCode {
                         )),
                     }
                 }
+                if name == "plan.partial" || name == "plan.cancelled" {
+                    let fields = record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                    match fields.get("completeness").and_then(Json::as_f64) {
+                        Some(c) if (0.0..=1.0).contains(&c) => {}
+                        _ => errors.push(format!(
+                            "line {no}: {name} `completeness` is not in [0, 1]"
+                        )),
+                    }
+                    match fields.get("reason").and_then(Json::as_str) {
+                        Some("cancelled") => {}
+                        Some("deadline" | "node-budget") if name == "plan.partial" => {}
+                        Some(other) => errors.push(format!(
+                            "line {no}: {name} has invalid reason `{other}`"
+                        )),
+                        None => {
+                            errors.push(format!("line {no}: {name} has no string `reason`"));
+                        }
+                    }
+                    for field in ["solved_levels", "fallback_levels"] {
+                        if id_of(&fields, field).is_none() {
+                            errors.push(format!("line {no}: {name} has no integer `{field}`"));
+                        }
+                    }
+                    if fields.get("baseline_adopted").and_then(Json::as_bool).is_none() {
+                        errors.push(format!(
+                            "line {no}: {name} has no boolean `baseline_adopted`"
+                        ));
+                    }
+                }
             }
             "metric" => {
                 match record.get("name").and_then(Json::as_str) {
@@ -202,6 +250,15 @@ fn main() -> ExitCode {
     for required in ["cost.cache.hits", "cost.cache.misses", "sim.steps"] {
         if !metric_names.contains(required) {
             errors.push(format!("no `{required}` metric in trace"));
+        }
+    }
+    if expect_partial {
+        for required in ["plan.partial", "plan.level_fallback"] {
+            if event_counts.get(required).copied().unwrap_or(0) == 0 {
+                errors.push(format!(
+                    "no `{required}` event in trace (required by --expect-partial)"
+                ));
+            }
         }
     }
 

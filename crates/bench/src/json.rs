@@ -64,6 +64,15 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Parses one JSON document (trailing whitespace allowed).
     ///
     /// # Errors

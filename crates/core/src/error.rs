@@ -34,6 +34,33 @@ pub enum PlanError {
     /// zero hierarchy depth); reported by
     /// [`PlannerBuilder::build`](crate::PlannerBuilder::build).
     Config(String),
+    /// A [`Budget`](accpar_runtime::Budget) stopped the search before
+    /// any plan could be assembled. The planner converts this into a
+    /// partial result internally; it only surfaces from direct
+    /// level-searcher use.
+    Interrupted(accpar_runtime::StopReason),
+    /// A worker closure panicked through every retry attempt and the
+    /// serial fallback; the panic was isolated instead of unwinding
+    /// through the planner.
+    WorkerPanic {
+        /// Total attempts made on the failing unit (retries + 1).
+        attempts: u32,
+        /// Panic payload, when it was a string.
+        message: String,
+    },
+    /// A cost table produced a non-finite value (NaN or infinity, e.g.
+    /// from a zero-bandwidth link under the full objective): the DP
+    /// `min` comparisons would silently drop such entries, so the
+    /// search refuses to run on them.
+    NonFinite(String),
+    /// A batch-serving request was shed because the queue exceeded the
+    /// configured bound (see [`ServeConfig`](crate::ServeConfig)).
+    Overloaded {
+        /// Requests in the submitted batch.
+        depth: usize,
+        /// Configured queue bound.
+        bound: usize,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -63,6 +90,21 @@ impl fmt::Display for PlanError {
             PlanError::Config(msg) => {
                 write!(f, "invalid planner configuration: {msg}")
             }
+            PlanError::Interrupted(reason) => {
+                write!(f, "search interrupted by its budget: {reason}")
+            }
+            PlanError::WorkerPanic { attempts, message } => {
+                write!(f, "worker panicked after {attempts} attempt(s): {message}")
+            }
+            PlanError::NonFinite(msg) => {
+                write!(f, "non-finite cost in the search space: {msg}")
+            }
+            PlanError::Overloaded { depth, bound } => {
+                write!(
+                    f,
+                    "request shed: queue depth {depth} exceeds the bound of {bound}"
+                )
+            }
         }
     }
 }
@@ -77,7 +119,11 @@ impl std::error::Error for PlanError {
             | PlanError::Infeasible { .. }
             | PlanError::ReplanInfeasible(_)
             | PlanError::Mismatch(_)
-            | PlanError::Config(_) => None,
+            | PlanError::Config(_)
+            | PlanError::Interrupted(_)
+            | PlanError::WorkerPanic { .. }
+            | PlanError::NonFinite(_)
+            | PlanError::Overloaded { .. } => None,
         }
     }
 }
@@ -97,6 +143,27 @@ impl From<HwError> for PlanError {
 impl From<SimError> for PlanError {
     fn from(e: SimError) -> Self {
         PlanError::Sim(e)
+    }
+}
+
+impl From<accpar_runtime::StopReason> for PlanError {
+    fn from(reason: accpar_runtime::StopReason) -> Self {
+        PlanError::Interrupted(reason)
+    }
+}
+
+impl From<accpar_runtime::WorkerPanic> for PlanError {
+    fn from(e: accpar_runtime::WorkerPanic) -> Self {
+        PlanError::WorkerPanic {
+            attempts: e.attempts,
+            message: e.message,
+        }
+    }
+}
+
+impl From<accpar_cost::NonFiniteCost> for PlanError {
+    fn from(e: accpar_cost::NonFiniteCost) -> Self {
+        PlanError::NonFinite(e.to_string())
     }
 }
 

@@ -13,8 +13,90 @@ use accpar_cost::{CostModel, PairEnv};
 use accpar_dnn::TrainView;
 use accpar_hw::GroupNode;
 use accpar_obs::Obs;
-use accpar_partition::{PlanTree, ShardScales};
-use accpar_runtime::Pool;
+use accpar_partition::{LayerPlan, NetworkPlan, PlanTree, ShardScales};
+use accpar_runtime::{Budget, Pool, StopReason};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// How much of a budgeted hierarchy walk was actually solved.
+///
+/// Levels are all-or-nothing: a level whose search the budget stopped
+/// falls back — together with its entire subtree — to the data-parallel
+/// baseline, so a partial plan is always feasible end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnytimeReport {
+    /// Bisection levels solved to DP optimality.
+    pub solved_levels: usize,
+    /// Levels that fell back to the data-parallel baseline.
+    pub fallback_levels: usize,
+    /// Why the walk stopped early, if it did.
+    pub stop: Option<StopReason>,
+}
+
+impl AnytimeReport {
+    /// All levels the walk visited.
+    #[must_use]
+    pub const fn total_levels(&self) -> usize {
+        self.solved_levels + self.fallback_levels
+    }
+
+    /// Fraction of levels solved to DP optimality (1.0 when there was
+    /// nothing to solve).
+    #[must_use]
+    pub fn completeness(&self) -> f64 {
+        if self.total_levels() == 0 {
+            1.0
+        } else {
+            self.solved_levels as f64 / self.total_levels() as f64
+        }
+    }
+
+    /// Whether every level was solved (no budget stop, no fallback).
+    #[must_use]
+    pub const fn is_complete(&self) -> bool {
+        self.fallback_levels == 0 && self.stop.is_none()
+    }
+}
+
+/// Shared mutable progress state for one budgeted walk: sibling levels
+/// may run in parallel, so the counters are atomics. The stop reason is
+/// first-writer-wins and, once set, makes every remaining level fall
+/// back without touching the budget again.
+#[derive(Debug, Default)]
+struct Progress {
+    solved: AtomicUsize,
+    fallback: AtomicUsize,
+    stop: AtomicU8,
+}
+
+impl Progress {
+    fn note_stop(&self, reason: StopReason) {
+        let code = match reason {
+            StopReason::Deadline => 1,
+            StopReason::NodeBudget => 2,
+            StopReason::Cancelled => 3,
+        };
+        let _ = self
+            .stop
+            .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    fn stopped(&self) -> Option<StopReason> {
+        match self.stop.load(Ordering::Relaxed) {
+            1 => Some(StopReason::Deadline),
+            2 => Some(StopReason::NodeBudget),
+            3 => Some(StopReason::Cancelled),
+            _ => None,
+        }
+    }
+
+    fn report(&self) -> AnytimeReport {
+        AnytimeReport {
+            solved_levels: self.solved.load(Ordering::Relaxed),
+            fallback_levels: self.fallback.load(Ordering::Relaxed),
+            stop: self.stopped(),
+        }
+    }
+}
 
 /// Recursively plans every bisection level below `node`.
 ///
@@ -81,12 +163,65 @@ pub fn plan_node_traced(
     obs: &Obs,
     parent: Option<u64>,
 ) -> Result<Option<PlanTree>, PlanError> {
+    plan_node_budgeted(
+        view,
+        node,
+        model,
+        config,
+        scales,
+        pool,
+        cache,
+        obs,
+        parent,
+        &Budget::unlimited(),
+    )
+    .map(|(tree, _)| tree)
+}
+
+/// Like [`plan_node_traced`], under a cooperative [`Budget`].
+///
+/// Every level charges one budget node per layer row (memo hits charge
+/// the same amount, so budget semantics are cache-independent). When
+/// the budget stops a level's search, that level and its whole subtree
+/// fall back to the per-layer data-parallel baseline and planning of
+/// the remaining tree continues without further budget charges — the
+/// returned [`AnytimeReport`] says how many levels kept their
+/// DP-optimal assignment and why the walk stopped.
+///
+/// Under a serial pool the solved set is deterministic: levels are
+/// visited in pre-order, so a given budget always solves the same
+/// prefix. Under a parallel pool sibling subtrees race for the shared
+/// budget; the result is always feasible but which levels solved may
+/// vary run to run.
+///
+/// # Errors
+///
+/// Propagates [`PlanError::EmptySearchSpace`],
+/// [`PlanError::WorkerPanic`] and [`PlanError::NonFinite`] from the
+/// level searcher. A budget stop is *not* an error — it is reported via
+/// the [`AnytimeReport`].
+#[allow(clippy::too_many_arguments)]
+pub fn plan_node_budgeted(
+    view: &TrainView,
+    node: &GroupNode,
+    model: &CostModel,
+    config: &SearchConfig,
+    scales: Option<&[ShardScales]>,
+    pool: Pool,
+    cache: Option<&SearchCache>,
+    obs: &Obs,
+    parent: Option<u64>,
+    budget: &Budget,
+) -> Result<(Option<PlanTree>, AnytimeReport), PlanError> {
+    let progress = Progress::default();
     let ctx = Ctx {
         view,
         model,
         config,
         cache,
         obs,
+        budget,
+        progress: &progress,
         // The fingerprint only ever enters cache keys; without a cache
         // the whole walk is skipped.
         fp: match cache {
@@ -105,7 +240,8 @@ pub fn plan_node_traced(
             &full
         }
     };
-    plan_rec(&ctx, node, scales, pool, parent, 0)
+    let tree = plan_rec(&ctx, node, scales, pool, parent, 0)?;
+    Ok((tree, progress.report()))
 }
 
 /// Per-plan invariants threaded through the recursion.
@@ -115,9 +251,30 @@ struct Ctx<'a> {
     config: &'a SearchConfig,
     cache: Option<&'a SearchCache>,
     obs: &'a Obs,
+    budget: &'a Budget,
+    progress: &'a Progress,
     /// View fingerprint ⊕ context hash — constant across the tree, so a
     /// level memo key only adds the (env, scales) bits that vary.
     fp: u64,
+}
+
+/// The per-level data-parallel baseline: Type-I, equal ratio, every
+/// layer — always feasible, and exactly what `core::baselines` builds.
+fn fallback_level(ctx: &Ctx<'_>) -> NetworkPlan {
+    NetworkPlan::uniform(ctx.view.weighted_len(), LayerPlan::data_parallel())
+}
+
+/// Builds the data-parallel subtree for `node` (mirroring its shape)
+/// and counts every level it covers as a fallback level.
+fn fallback_rec(ctx: &Ctx<'_>, node: &GroupNode) -> Option<PlanTree> {
+    node.children()?;
+    ctx.progress.fallback.fetch_add(1, Ordering::Relaxed);
+    let level = fallback_level(ctx);
+    let (child_a, child_b) = node.children().expect("checked above");
+    Some(match (fallback_rec(ctx, child_a), fallback_rec(ctx, child_b)) {
+        (Some(l), Some(r)) => PlanTree::branch(level, l, r),
+        _ => PlanTree::leaf(level),
+    })
 }
 
 fn plan_rec(
@@ -149,31 +306,76 @@ fn plan_rec(
         _ => None,
     };
     let cached_hit = cached.is_some();
-    let outcome = match cached {
-        Some(outcome) => {
-            // The level's cost table was served wholesale from the memo.
-            if let Some(c) = ctx.cache {
-                c.note_cells((ctx.config.types.len() * scales.len()) as u64);
+    // A level is all-or-nothing under the budget: either its search
+    // completes and keeps the DP-optimal assignment, or the level (and
+    // its whole subtree) falls back to the data-parallel baseline. Once
+    // any level stops, the rest of the walk falls back without touching
+    // the budget again, so a zero budget deterministically yields the
+    // pure data-parallel plan.
+    let searched: Result<_, StopReason> = if let Some(reason) = ctx.progress.stopped() {
+        Err(reason)
+    } else {
+        match cached {
+            Some(outcome) => {
+                // The level's cost table was served wholesale from the
+                // memo. Charge the same rows a cold build would have:
+                // budget semantics must not depend on cache warmth.
+                ctx.budget
+                    .try_charge(scales.len() as u64)
+                    .map(|()| {
+                        if let Some(c) = ctx.cache {
+                            c.note_cells((ctx.config.types.len() * scales.len()) as u64);
+                        }
+                        outcome
+                    })
             }
+            None => {
+                let timer = ctx.obs.timer("planner.level_search_ns");
+                let result = LevelSearcher::with_budget(
+                    ctx.view,
+                    ctx.model,
+                    ctx.config,
+                    &env,
+                    Some(scales),
+                    pool,
+                    ctx.cache,
+                    ctx.budget,
+                    ctx.obs,
+                )
+                .and_then(|searcher| {
+                    searcher
+                        .search_budgeted(ctx.budget)
+                        .map_err(PlanError::Interrupted)
+                });
+                drop(timer);
+                match result {
+                    Ok(outcome) => {
+                        if let (Some(c), Some(k)) = (ctx.cache, key) {
+                            c.level_insert(k, outcome.clone());
+                        }
+                        Ok(outcome)
+                    }
+                    Err(PlanError::Interrupted(reason)) => Err(reason),
+                    // Real failures (empty space, worker panic,
+                    // non-finite costs) are not budget stops.
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+    };
+    let outcome = match searched {
+        Ok(outcome) => {
+            ctx.progress.solved.fetch_add(1, Ordering::Relaxed);
             outcome
         }
-        None => {
-            let timer = ctx.obs.timer("planner.level_search_ns");
-            let searcher = LevelSearcher::with_cache(
-                ctx.view,
-                ctx.model,
-                ctx.config,
-                &env,
-                Some(scales),
-                pool,
-                ctx.cache,
-            )?;
-            let outcome = searcher.search();
-            drop(timer);
-            if let (Some(c), Some(k)) = (ctx.cache, key) {
-                c.level_insert(k, outcome.clone());
-            }
-            outcome
+        Err(reason) => {
+            ctx.progress.note_stop(reason);
+            span.event(
+                "plan.level_fallback",
+                &[("depth", depth.into()), ("reason", reason.label().into())],
+            );
+            // The fallback covers this level and its entire subtree.
+            return Ok(fallback_rec(ctx, node));
         }
     };
     span.event(

@@ -17,8 +17,16 @@
 //!   against a faulted array (stragglers, degraded links, dropped
 //!   boards) and adopt the new plan only when it beats the stale one on
 //!   the same degraded hardware.
+//! * [`serve`](mod@crate::serve) — supervised batch serving: a queue of
+//!   (network, hardware, budget) requests planned with per-request
+//!   panic isolation, overload shedding and a stall watchdog.
 //! * [`Planner`] — the one-stop API tying a network, an array, a
-//!   strategy and the evaluation together.
+//!   strategy and the evaluation together. Under a
+//!   [`Budget`] it is an *anytime* planner:
+//!   when the budget expires mid-search it returns
+//!   [`PlanOutcome::Partial`] — solved levels keep their DP-optimal
+//!   assignments, the rest falls back to data parallelism — never worse
+//!   than the pure data-parallel baseline.
 //!
 //! # Example
 //!
@@ -50,9 +58,16 @@ mod memo;
 mod planner;
 pub mod replan;
 pub mod search;
+pub mod serve;
 
 pub use error::PlanError;
+pub use hierarchy::AnytimeReport;
 pub use memo::{CacheStats, SearchCache};
-pub use planner::{PlannedNetwork, Planner, PlannerBuilder, Strategy};
+pub use planner::{PartialPlan, PlanOutcome, PlannedNetwork, Planner, PlannerBuilder, Strategy};
 pub use replan::{replan, FaultImpact, PlanDelta, ReplanConfig, ReplanOutcome};
 pub use search::{LevelSearcher, SearchConfig, SearchOutcome};
+pub use serve::{plan_many, PlanRequest, ServeConfig};
+
+// Re-export the budget vocabulary so `accpar_core` users don't need a
+// direct `accpar_runtime` dependency to bound a plan.
+pub use accpar_runtime::{Budget, CancelToken, RetryPolicy, StopReason};

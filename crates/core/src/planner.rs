@@ -1,6 +1,6 @@
 use crate::baselines::{data_parallel_plan, hypar_plan, owt_plan};
 use crate::error::PlanError;
-use crate::hierarchy::plan_node_traced;
+use crate::hierarchy::{plan_node_budgeted, AnytimeReport};
 use crate::memo::{CacheStats, SearchCache};
 use crate::search::SearchConfig;
 use accpar_cost::{CostConfig, CostModel, RatioSolver};
@@ -8,10 +8,11 @@ use accpar_dnn::{Network, TrainView};
 use accpar_hw::{AcceleratorArray, GroupTree};
 use accpar_obs::{Obs, Subscriber};
 use accpar_partition::PlanTree;
-use accpar_runtime::Pool;
+use accpar_runtime::{Budget, CancelToken, Pool, StopReason};
 use accpar_sim::{Optimizer, SimConfig, SimReport, Simulator};
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The partitioning schemes compared in §6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +97,118 @@ impl fmt::Display for PlannedNetwork {
     }
 }
 
+/// A plan whose search a [`Budget`] stopped early.
+///
+/// Levels the walk solved keep their DP-optimal assignments; the rest
+/// fell back to the per-layer data-parallel baseline. The plan carried
+/// here is additionally **never worse than pure data parallelism**: the
+/// planner simulates both and adopts whichever is cheaper (mirroring
+/// the `replan` module's never-worse contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialPlan {
+    planned: PlannedNetwork,
+    reason: StopReason,
+    solved_levels: usize,
+    fallback_levels: usize,
+    baseline_adopted: bool,
+}
+
+impl PartialPlan {
+    /// The best feasible plan found within the budget.
+    #[must_use]
+    pub const fn planned(&self) -> &PlannedNetwork {
+        &self.planned
+    }
+
+    /// Why the search stopped.
+    #[must_use]
+    pub const fn reason(&self) -> StopReason {
+        self.reason
+    }
+
+    /// Bisection levels solved to DP optimality.
+    #[must_use]
+    pub const fn solved_levels(&self) -> usize {
+        self.solved_levels
+    }
+
+    /// Levels that fell back to the data-parallel baseline.
+    #[must_use]
+    pub const fn fallback_levels(&self) -> usize {
+        self.fallback_levels
+    }
+
+    /// Fraction of levels solved to DP optimality, in `[0, 1)` for a
+    /// partial plan.
+    #[must_use]
+    pub fn completeness(&self) -> f64 {
+        let total = self.solved_levels + self.fallback_levels;
+        if total == 0 {
+            1.0
+        } else {
+            self.solved_levels as f64 / total as f64
+        }
+    }
+
+    /// Whether the pure data-parallel baseline simulated cheaper than
+    /// the stitched partial plan and was adopted in its place.
+    #[must_use]
+    pub const fn baseline_adopted(&self) -> bool {
+        self.baseline_adopted
+    }
+}
+
+/// The result of a budgeted plan: complete, or the best feasible plan
+/// the budget allowed.
+///
+/// With an unlimited budget the outcome is always
+/// [`Complete`](PlanOutcome::Complete) and bit-identical to
+/// [`Planner::plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOutcome {
+    /// The search ran to completion; the plan is DP-optimal.
+    Complete(PlannedNetwork),
+    /// The budget stopped the search; the plan is feasible, stitched
+    /// from solved levels plus the data-parallel fallback, and never
+    /// worse than pure data parallelism.
+    Partial(PartialPlan),
+}
+
+impl PlanOutcome {
+    /// The planned network, complete or partial.
+    #[must_use]
+    pub const fn planned(&self) -> &PlannedNetwork {
+        match self {
+            PlanOutcome::Complete(p) => p,
+            PlanOutcome::Partial(p) => p.planned(),
+        }
+    }
+
+    /// Consumes the outcome, keeping the planned network.
+    #[must_use]
+    pub fn into_planned(self) -> PlannedNetwork {
+        match self {
+            PlanOutcome::Complete(p) => p,
+            PlanOutcome::Partial(p) => p.planned,
+        }
+    }
+
+    /// Whether the search ran to completion.
+    #[must_use]
+    pub const fn is_complete(&self) -> bool {
+        matches!(self, PlanOutcome::Complete(_))
+    }
+
+    /// Fraction of levels solved to DP optimality (1.0 when complete).
+    #[must_use]
+    pub fn completeness(&self) -> f64 {
+        match self {
+            PlanOutcome::Complete(_) => 1.0,
+            PlanOutcome::Partial(p) => p.completeness(),
+        }
+    }
+}
+
 /// Default hierarchy depth: bisect down to single boards.
 fn default_levels(array: &AcceleratorArray) -> usize {
     let boards = array.len().max(1);
@@ -141,6 +254,9 @@ pub struct PlannerBuilder<'a> {
     cache: Option<Arc<SearchCache>>,
     memory_cap: Option<Optimizer>,
     obs: Obs,
+    deadline: Option<Duration>,
+    max_nodes: Option<u64>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> PlannerBuilder<'a> {
@@ -163,6 +279,9 @@ impl<'a> PlannerBuilder<'a> {
             cache: None,
             memory_cap: None,
             obs: Obs::off(),
+            deadline: None,
+            max_nodes: None,
+            cancel: None,
         }
     }
 
@@ -260,6 +379,35 @@ impl<'a> PlannerBuilder<'a> {
         self
     }
 
+    /// Bounds every AccPar search by a wall-clock deadline, measured
+    /// from the start of each [`Planner::plan_outcome`] /
+    /// [`Planner::plan`] call (not from `build`). On expiry the planner
+    /// returns the best-so-far anytime plan as
+    /// [`PlanOutcome::Partial`].
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the number of budget nodes (DP layer rows) each AccPar
+    /// search may expand. A cap of 0 forces the pure data-parallel
+    /// fallback — useful to bound worst-case latency deterministically.
+    #[must_use]
+    pub fn max_nodes(mut self, cap: u64) -> Self {
+        self.max_nodes = Some(cap);
+        self
+    }
+
+    /// Attaches an external cancellation token checked throughout the
+    /// search; cancel it from another thread to stop planning at the
+    /// next layer row.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Validates the configuration and builds the [`Planner`].
     ///
     /// # Errors
@@ -297,6 +445,9 @@ impl<'a> PlannerBuilder<'a> {
             cache: self.cache.unwrap_or_default(),
             memory_cap: self.memory_cap,
             obs: self.obs,
+            deadline: self.deadline,
+            max_nodes: self.max_nodes,
+            cancel: self.cancel,
         })
     }
 }
@@ -335,6 +486,9 @@ pub struct Planner<'a> {
     caching: bool,
     memory_cap: Option<Optimizer>,
     obs: Obs,
+    deadline: Option<Duration>,
+    max_nodes: Option<u64>,
+    cancel: Option<CancelToken>,
     /// Shared across clones so replans reuse the planning run's memo.
     cache: Arc<SearchCache>,
 }
@@ -363,6 +517,9 @@ impl<'a> Planner<'a> {
             caching: true,
             memory_cap: None,
             obs: Obs::off(),
+            deadline: None,
+            max_nodes: None,
+            cancel: None,
             cache: Arc::new(SearchCache::new()),
         }
     }
@@ -464,19 +621,79 @@ impl<'a> Planner<'a> {
         }
     }
 
+    /// A fresh [`Budget`] from the builder's `deadline` / `max_nodes` /
+    /// `cancel` knobs. The deadline clock starts *now* — each plan call
+    /// gets the full allowance.
+    #[must_use]
+    pub fn fresh_budget(&self) -> Budget {
+        let mut budget = Budget::unlimited();
+        if let Some(deadline) = self.deadline {
+            budget = budget.deadline(deadline);
+        }
+        if let Some(cap) = self.max_nodes {
+            budget = budget.max_nodes(cap);
+        }
+        if let Some(token) = &self.cancel {
+            budget = budget.cancel_token(token);
+        }
+        budget
+    }
+
     /// Plans the network under the given strategy and evaluates the plan
     /// with the simulator.
+    ///
+    /// When the builder configured a budget (`deadline` / `max_nodes` /
+    /// `cancel`) and it expires mid-search, the anytime plan is
+    /// returned; use [`Planner::plan_outcome`] to observe whether that
+    /// happened.
     ///
     /// # Errors
     ///
     /// Propagates network-analysis, bisection and simulation errors.
     pub fn plan(&self, strategy: Strategy) -> Result<PlannedNetwork, PlanError> {
-        self.plan_with_pool(strategy, Pool::new(self.threads()))
+        self.plan_outcome(strategy).map(PlanOutcome::into_planned)
+    }
+
+    /// Plans under the builder-configured budget and reports whether
+    /// the result is complete or the best-so-far anytime plan.
+    ///
+    /// # Errors
+    ///
+    /// See [`Planner::plan`]. A budget stop is not an error.
+    pub fn plan_outcome(&self, strategy: Strategy) -> Result<PlanOutcome, PlanError> {
+        self.plan_with_budget(strategy, &self.fresh_budget())
+    }
+
+    /// Plans under an explicit [`Budget`] (overriding the builder
+    /// knobs). The budget bounds the AccPar search — the three baseline
+    /// strategies are closed-form (or search a space too small to
+    /// matter) and always complete.
+    ///
+    /// # Errors
+    ///
+    /// See [`Planner::plan`]. A budget stop is not an error.
+    pub fn plan_with_budget(
+        &self,
+        strategy: Strategy,
+        budget: &Budget,
+    ) -> Result<PlanOutcome, PlanError> {
+        self.plan_budgeted_with_pool(strategy, Pool::new(self.threads()), budget)
     }
 
     /// [`Planner::plan`] with an explicit thread budget (used by
     /// [`Planner::plan_all`] to divide the budget across strategies).
     fn plan_with_pool(&self, strategy: Strategy, pool: Pool) -> Result<PlannedNetwork, PlanError> {
+        self.plan_budgeted_with_pool(strategy, pool, &Budget::unlimited())
+            .map(PlanOutcome::into_planned)
+    }
+
+    fn plan_budgeted_with_pool(
+        &self,
+        strategy: Strategy,
+        pool: Pool,
+        budget: &Budget,
+    ) -> Result<PlanOutcome, PlanError> {
+        let started = Instant::now();
         let view = self.network.train_view()?;
         let levels = self.levels();
         let tree = GroupTree::bisect(self.array, levels)?;
@@ -495,10 +712,15 @@ impl<'a> Planner<'a> {
             ],
         );
 
-        let plan = match strategy {
-            Strategy::DataParallel => data_parallel_plan(&view, levels),
-            Strategy::Owt => owt_plan(&view, levels),
-            Strategy::HyPar => hypar_plan(&view, &tree)?,
+        let complete = AnytimeReport {
+            solved_levels: 0,
+            fallback_levels: 0,
+            stop: None,
+        };
+        let (plan, anytime) = match strategy {
+            Strategy::DataParallel => (data_parallel_plan(&view, levels), complete),
+            Strategy::Owt => (owt_plan(&view, levels), complete),
+            Strategy::HyPar => (hypar_plan(&view, &tree)?, complete),
             Strategy::AccPar => {
                 let model = CostModel::new(self.cost_config);
                 let config = SearchConfig {
@@ -506,7 +728,7 @@ impl<'a> Planner<'a> {
                     solver: self.solver,
                 };
                 let cache = self.caching.then(|| &*self.cache);
-                plan_node_traced(
+                let (plan, anytime) = plan_node_budgeted(
                     &view,
                     tree.root(),
                     &model,
@@ -516,16 +738,80 @@ impl<'a> Planner<'a> {
                     cache,
                     obs,
                     span.id(),
-                )?
-                .ok_or_else(|| {
+                    budget,
+                )?;
+                let plan = plan.ok_or_else(|| {
                     PlanError::Mismatch("the bisected tree has no levels to plan".into())
-                })?
+                })?;
+                (plan, anytime)
             }
+        };
+
+        let report = Simulator::new(self.sim_config)
+            .with_obs(obs.clone())
+            .simulate(&view, &plan, &tree, None)?;
+        let planned = PlannedNetwork {
+            strategy,
+            plan,
+            report,
+        };
+
+        // Anytime contract: a partial plan is adopted only if it beats
+        // the pure data-parallel baseline it would otherwise degrade to
+        // (mirroring the replan module's never-worse rule).
+        let outcome = if anytime.is_complete() {
+            PlanOutcome::Complete(planned)
+        } else {
+            let reason = anytime
+                .stop
+                .expect("a fallback level implies a stop reason");
+            let baseline_plan = data_parallel_plan(&view, levels);
+            let baseline_report = Simulator::new(self.sim_config)
+                .with_obs(obs.clone())
+                .simulate(&view, &baseline_plan, &tree, None)?;
+            let baseline_adopted = baseline_report.total_secs < planned.report.total_secs;
+            let planned = if baseline_adopted {
+                PlannedNetwork {
+                    strategy,
+                    plan: baseline_plan,
+                    report: baseline_report,
+                }
+            } else {
+                planned
+            };
+            PlanOutcome::Partial(PartialPlan {
+                planned,
+                reason,
+                solved_levels: anytime.solved_levels,
+                fallback_levels: anytime.fallback_levels,
+                baseline_adopted,
+            })
         };
 
         if obs.enabled() {
             obs.counter("planner.plans").inc();
-            emit_decisions(obs, span.id(), &view, &plan);
+            obs.histogram("planner.ttfp_ns")
+                .record(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            emit_decisions(obs, span.id(), &view, outcome.planned().plan());
+            if let PlanOutcome::Partial(partial) = &outcome {
+                obs.counter("planner.partial_plans").inc();
+                match partial.reason() {
+                    StopReason::Deadline => obs.counter("planner.deadline_hits").inc(),
+                    StopReason::NodeBudget => obs.counter("planner.node_budget_hits").inc(),
+                    StopReason::Cancelled => obs.counter("planner.cancellations").inc(),
+                }
+                let fields = [
+                    ("completeness", partial.completeness().into()),
+                    ("reason", partial.reason().label().into()),
+                    ("solved_levels", partial.solved_levels().into()),
+                    ("fallback_levels", partial.fallback_levels().into()),
+                    ("baseline_adopted", partial.baseline_adopted().into()),
+                ];
+                span.event("plan.partial", &fields);
+                if partial.reason() == StopReason::Cancelled {
+                    span.event("plan.cancelled", &fields);
+                }
+            }
             if self.caching {
                 let stats = self.cache.stats();
                 obs.gauge("planner.cache.hit_rate").set(stats.hit_rate());
@@ -547,14 +833,7 @@ impl<'a> Planner<'a> {
             }
         }
 
-        let report = Simulator::new(self.sim_config)
-            .with_obs(obs.clone())
-            .simulate(&view, &plan, &tree, None)?;
-        Ok(PlannedNetwork {
-            strategy,
-            plan,
-            report,
-        })
+        Ok(outcome)
     }
 
     /// Plans under `strategy`, then repairs the plan for memory
@@ -643,6 +922,18 @@ impl<'a> Planner<'a> {
             .par_map(&Strategy::ALL, |_, &s| self.plan_with_pool(s, inner))
             .into_iter()
             .collect()
+    }
+
+    /// Plans a batch of independent requests with per-request panic
+    /// isolation, overload shedding and a stall watchdog. Convenience
+    /// alias for [`crate::serve::plan_many`]; see the
+    /// [`serve`](crate::serve) module docs for the contract.
+    #[must_use]
+    pub fn plan_many(
+        requests: &[crate::serve::PlanRequest<'_>],
+        config: &crate::serve::ServeConfig,
+    ) -> Vec<Result<PlanOutcome, PlanError>> {
+        crate::serve::plan_many(requests, config)
     }
 }
 

@@ -32,8 +32,28 @@ use crate::memo::{BlockKey, BlockTransfer, SearchCache};
 use accpar_cost::{layer_ratio_cost, CostModel, PairEnv, RatioSolver};
 use accpar_dnn::{TrainElem, TrainLayer, TrainView};
 use accpar_partition::{LayerPlan, NetworkPlan, PartitionType, Ratio, ShardScales};
-use accpar_runtime::Pool;
+use accpar_runtime::{Budget, Pool, RetryPolicy, StopReason};
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Packs a [`StopReason`] into an `AtomicU8` (0 = still running) so
+/// parallel table-build workers can record the first reason they hit.
+const fn stop_code(reason: StopReason) -> u8 {
+    match reason {
+        StopReason::Deadline => 1,
+        StopReason::NodeBudget => 2,
+        StopReason::Cancelled => 3,
+    }
+}
+
+const fn decode_stop(code: u8) -> Option<StopReason> {
+    match code {
+        1 => Some(StopReason::Deadline),
+        2 => Some(StopReason::NodeBudget),
+        3 => Some(StopReason::Cancelled),
+        _ => None,
+    }
+}
 
 /// Configuration of a level search: the admissible partition types and
 /// the ratio policy.
@@ -203,6 +223,44 @@ impl<'a> LevelSearcher<'a> {
         pool: Pool,
         cache: Option<&'a SearchCache>,
     ) -> Result<Self, PlanError> {
+        Self::with_budget(
+            view,
+            model,
+            config,
+            env,
+            scales,
+            pool,
+            cache,
+            &Budget::unlimited(),
+            &accpar_obs::Obs::off(),
+        )
+    }
+
+    /// Like [`LevelSearcher::with_cache`], under a cooperative
+    /// [`Budget`]: the cost-table build charges one budget node per
+    /// layer row, worker closures run panic-isolated (retried with
+    /// seeded backoff, then degraded to the serial path), and every
+    /// scalarized cost is checked finite before it can enter a DP `min`.
+    ///
+    /// # Errors
+    ///
+    /// As [`LevelSearcher::new`], plus [`PlanError::Interrupted`] when
+    /// the budget stops the build, [`PlanError::WorkerPanic`] when a
+    /// row's closure panics through every retry *and* the serial
+    /// fallback, and [`PlanError::NonFinite`] when a cost table entry
+    /// is NaN or infinite.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_budget(
+        view: &'a TrainView,
+        model: &'a CostModel,
+        config: &'a SearchConfig,
+        env: &'a PairEnv,
+        scales: Option<&'a [ShardScales]>,
+        pool: Pool,
+        cache: Option<&'a SearchCache>,
+        budget: &Budget,
+        obs: &accpar_obs::Obs,
+    ) -> Result<Self, PlanError> {
         if config.types.is_empty() {
             return Err(PlanError::EmptySearchSpace);
         }
@@ -221,30 +279,87 @@ impl<'a> LevelSearcher<'a> {
         }
         // One row per layer: solve the ratio and scalarize the cost for
         // every admissible type, through the shared memo when present.
-        // `par_map` returns rows in layer order, so the tables are
-        // identical to a serial build.
-        let rows: Vec<(Vec<Ratio>, Vec<f64>)> = pool.par_map(&layers, |l, layer| match cache {
-            Some(c) => match c.layer_row(model, &config.solver, layer, &config.types, env, scales[l])
-            {
-                // A row hit is a stack copy — no heap traffic.
-                Some(row) => row[..config.types.len()].iter().copied().unzip(),
-                // Type sets wider than a row entry memoize per cell.
+        // The fallible map returns rows in layer order, so the tables
+        // are identical to a serial build. Each row charges one budget
+        // node *before* consulting the memo — budget semantics must not
+        // depend on cache warmth.
+        let stop = AtomicU8::new(0);
+        let build_row = |l: usize, layer: &&'a TrainLayer| -> Option<(Vec<Ratio>, Vec<f64>)> {
+            if stop.load(Ordering::Relaxed) != 0 {
+                return None;
+            }
+            if let Err(reason) = budget.try_charge(1) {
+                let _ = stop.compare_exchange(
+                    0,
+                    stop_code(reason),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return None;
+            }
+            Some(match cache {
+                Some(c) => match c.layer_row(
+                    model,
+                    &config.solver,
+                    layer,
+                    &config.types,
+                    env,
+                    scales[l],
+                ) {
+                    // A row hit is a stack copy — no heap traffic.
+                    Some(row) => row[..config.types.len()].iter().copied().unzip(),
+                    // Type sets wider than a row entry memoize per cell.
+                    None => config
+                        .types
+                        .iter()
+                        .map(|&t| c.layer_cell(model, &config.solver, layer, t, env, scales[l]))
+                        .unzip(),
+                },
                 None => config
                     .types
                     .iter()
-                    .map(|&t| c.layer_cell(model, &config.solver, layer, t, env, scales[l]))
+                    .map(|&t| layer_ratio_cost(model, &config.solver, layer, t, env, scales[l]))
                     .unzip(),
-            },
-            None => config
-                .types
-                .iter()
-                .map(|&t| layer_ratio_cost(model, &config.solver, layer, t, env, scales[l]))
-                .unzip(),
-        });
+            })
+        };
+        let rows = match pool.try_par_map(&layers, &RetryPolicy::default(), obs, build_row) {
+            Ok(rows) => rows,
+            // A unit that panicked through every retry: degrade to the
+            // serial path once before giving up with the typed error.
+            Err(panic) => {
+                if obs.enabled() {
+                    obs.counter("pool.serial_degrades").inc();
+                }
+                match Pool::serial().try_par_map(&layers, &RetryPolicy::none(), obs, build_row) {
+                    Ok(rows) => rows,
+                    Err(_) => return Err(panic.into()),
+                }
+            }
+        };
+        if let Some(reason) = decode_stop(stop.load(Ordering::Relaxed)) {
+            return Err(PlanError::Interrupted(reason));
+        }
+        let rows: Vec<(Vec<Ratio>, Vec<f64>)> = rows
+            .into_iter()
+            .map(|row| row.expect("no stop reason was recorded, so every row completed"))
+            .collect();
         if let Some(c) = cache {
             c.note_cells((config.types.len() * layers.len()) as u64);
         }
-        let (ratios, layer_costs) = rows.into_iter().unzip();
+        let (ratios, layer_costs): (Vec<Vec<Ratio>>, Vec<Vec<f64>>) = rows.into_iter().unzip();
+        // Non-finite guard: a NaN would silently lose every `min`
+        // comparison in the DP; reject it up front with a typed error.
+        for (l, costs) in layer_costs.iter().enumerate() {
+            for (ti, &c) in costs.iter().enumerate() {
+                if !c.is_finite() {
+                    return Err(PlanError::NonFinite(format!(
+                        "layer {} scalarized to {c} under {}",
+                        layers[l].index(),
+                        config.types[ti]
+                    )));
+                }
+            }
+        }
         let ctx = crate::memo::context_hash(&model.config(), &config.solver, &config.types);
         Ok(Self {
             view,
@@ -654,7 +769,24 @@ impl<'a> LevelSearcher<'a> {
     /// this level.
     #[must_use]
     pub fn search(&self) -> SearchOutcome {
-        self.search_constrained(None)
+        match self.search_constrained(None, &Budget::unlimited()) {
+            Ok(outcome) => outcome,
+            Err(_) => unreachable!("an unlimited budget never stops the DP"),
+        }
+    }
+
+    /// [`search`](LevelSearcher::search) under a cooperative budget:
+    /// the trunk scan checks for cancellation and deadline expiry at
+    /// every element (the per-row node charges were already paid in
+    /// [`with_budget`](LevelSearcher::with_budget)).
+    ///
+    /// # Errors
+    ///
+    /// The [`StopReason`] when the budget stops the scan; the level is
+    /// then all-or-nothing — callers fall back to the data-parallel
+    /// baseline for the whole level.
+    pub fn search_budgeted(&self, budget: &Budget) -> Result<SearchOutcome, StopReason> {
+        self.search_constrained(None, budget)
     }
 
     /// Evaluates a *fixed* per-layer type assignment under the search's
@@ -693,11 +825,19 @@ impl<'a> LevelSearcher<'a> {
                     })
             })
             .collect::<Result<_, _>>()?;
-        Ok(self.search_constrained(Some(&forced)).cost)
+        match self.search_constrained(Some(&forced), &Budget::unlimited()) {
+            Ok(outcome) => Ok(outcome.cost),
+            Err(_) => unreachable!("an unlimited budget never stops the DP"),
+        }
     }
 
-    /// The DP with an optional per-layer forced type assignment.
-    fn search_constrained(&self, forced: Option<&[usize]>) -> SearchOutcome {
+    /// The DP with an optional per-layer forced type assignment, under
+    /// a cooperative budget (checked once per trunk element).
+    fn search_constrained(
+        &self,
+        forced: Option<&[usize]>,
+        budget: &Budget,
+    ) -> Result<SearchOutcome, StopReason> {
         let k = self.k();
         let allowed = |l: usize, ti: usize| forced.is_none_or(|f| f[l] == ti);
         let mut cost: Option<Vec<f64>> = None;
@@ -705,6 +845,7 @@ impl<'a> LevelSearcher<'a> {
         let mut steps: Vec<Step> = Vec::new();
 
         for elem in self.view.elems() {
+            budget.check()?;
             match elem {
                 TrainElem::Layer(layer) => {
                     let l = layer.index();
@@ -838,11 +979,14 @@ impl<'a> LevelSearcher<'a> {
         }
 
         let cost = cost.expect("a train view has at least one element");
+        // `total_cmp` orders identically to `partial_cmp` on the finite
+        // values the constructor guarantees, and cannot panic if a NaN
+        // ever slipped through (it sorts last instead of losing `min`).
         let (mut ti, best) = cost
             .iter()
             .enumerate()
             .map(|(i, &c)| (i, c))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("at least one state");
 
         // Backtrack.
@@ -868,10 +1012,10 @@ impl<'a> LevelSearcher<'a> {
             }
         }
 
-        SearchOutcome {
+        Ok(SearchOutcome {
             plan: NetworkPlan::new(plan),
             cost: best,
-        }
+        })
     }
 
     /// Brute-force reference: enumerates every combination of trunk

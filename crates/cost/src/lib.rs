@@ -48,5 +48,5 @@ mod model;
 pub mod ratio;
 
 pub use cache::{layer_ratio_cost, CostCache, LayerSig};
-pub use model::{CostConfig, CostModel, Objective, PairCost, PairEnv};
+pub use model::{CostConfig, CostModel, NonFiniteCost, Objective, PairCost, PairEnv};
 pub use ratio::RatioSolver;

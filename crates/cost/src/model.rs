@@ -143,7 +143,34 @@ impl PairCost {
             b: self.b + other.b,
         }
     }
+
+    /// Whether both sides are finite. A NaN or infinite cost (a
+    /// degenerate ratio, a zero-bandwidth link under the full
+    /// objective) would silently lose every `min` comparison in the DP;
+    /// callers should reject it with [`NonFiniteCost`] instead.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.a.is_finite() && self.b.is_finite()
+    }
 }
+
+/// A cost that came out NaN or infinite where the DP needs a finite
+/// scalar (see [`PairCost::is_finite`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonFiniteCost {
+    /// What produced the value (layer, partition type, objective).
+    pub context: String,
+    /// The offending pair.
+    pub cost: PairCost,
+}
+
+impl fmt::Display for NonFiniteCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "non-finite cost {} from {}", self.cost, self.context)
+    }
+}
+
+impl std::error::Error for NonFiniteCost {}
 
 impl fmt::Display for PairCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -337,6 +364,25 @@ impl CostModel {
         match self.config.objective {
             Objective::Full => cost.makespan(),
             Objective::CommOnly => cost.total(),
+        }
+    }
+
+    /// [`scalarize`](CostModel::scalarize) that rejects non-finite
+    /// costs with a typed error instead of letting NaN/inf leak into
+    /// (and silently lose) the DP's `min` comparisons.
+    pub fn checked_scalarize(
+        &self,
+        cost: PairCost,
+        context: impl fmt::Display,
+    ) -> Result<f64, NonFiniteCost> {
+        let scalar = self.scalarize(cost);
+        if scalar.is_finite() {
+            Ok(scalar)
+        } else {
+            Err(NonFiniteCost {
+                context: context.to_string(),
+                cost,
+            })
         }
     }
 }
@@ -567,5 +613,26 @@ mod tests {
         let env = hetero_env();
         // 180 / (180 + 420) = 0.3
         assert!((env.flops_share_a() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_scalarize_rejects_non_finite_costs() {
+        let model = CostModel::new(CostConfig::default());
+        let good = PairCost { a: 1.0, b: 2.0 };
+        assert!(good.is_finite());
+        assert_eq!(model.checked_scalarize(good, "layer conv1"), Ok(2.0));
+
+        for bad in [
+            PairCost { a: f64::NAN, b: 1.0 },
+            PairCost { a: 1.0, b: f64::INFINITY },
+            PairCost { a: f64::NEG_INFINITY, b: f64::NAN },
+        ] {
+            assert!(!bad.is_finite());
+            let err = model
+                .checked_scalarize(bad, "layer conv1 Type-II")
+                .expect_err("non-finite must be rejected");
+            assert!(err.context.contains("conv1"));
+            assert!(err.to_string().contains("non-finite"));
+        }
     }
 }

@@ -62,6 +62,7 @@ fn usage() -> &'static str {
   accpar models
   accpar plan     --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
                   [--strategy dp|owt|hypar|accpar|all] [--json] [--explain]
+                  [--deadline-ms N] [--max-nodes N]
   accpar simulate --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
                   [--strategy dp|owt|hypar|accpar] [--optimizer sgd|momentum|adam]
   accpar memory   --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
@@ -186,24 +187,58 @@ fn cmd_models() -> Result<(), String> {
     Ok(())
 }
 
+/// Parses an optional `--<name> N` flag as `u64`.
+fn u64_flag(args: &Args, name: &str) -> Result<Option<u64>, String> {
+    match args.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--{name} expects a non-negative integer, got `{v}`")),
+    }
+}
+
 fn cmd_plan(args: &Args) -> Result<(), String> {
     let setup = setup(args)?;
-    let planner = planner(&setup)?;
+    let mut b = builder(&setup);
+    if let Some(ms) = u64_flag(args, "deadline-ms")? {
+        b = b.deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(nodes) = u64_flag(args, "max-nodes")? {
+        b = b.max_nodes(nodes);
+    }
+    let planner = b.build().map_err(|e| e.to_string())?;
     let strategies: Vec<Strategy> = match args.get("strategy").unwrap_or("accpar") {
         "all" => Strategy::ALL.to_vec(),
         name => vec![parse_strategy(name)?],
     };
     let mut dp_ms = None;
     for strategy in strategies {
-        let planned = planner.plan(strategy).map_err(|e| e.to_string())?;
+        let outcome = planner.plan_outcome(strategy).map_err(|e| e.to_string())?;
+        let stop_note = match &outcome {
+            PlanOutcome::Complete(_) => String::new(),
+            PlanOutcome::Partial(p) => format!(
+                "   [partial: {:.0}% solved, stop: {}]",
+                p.completeness() * 100.0,
+                p.reason()
+            ),
+        };
+        let completeness = outcome.completeness();
+        let stop_json = match &outcome {
+            PlanOutcome::Complete(_) => String::from("null"),
+            PlanOutcome::Partial(p) => format!("\"{}\"", p.reason().label()),
+        };
+        let planned = outcome.into_planned();
         let ms = planned.modeled_cost() * 1e3;
         if args.has("json") {
             println!(
-                "{{\n  \"network\": \"{}\",\n  \"strategy\": \"{}\",\n  \"levels\": {},\n  \"step_ms\": {},\n  \"plan\": {}\n}}",
+                "{{\n  \"network\": \"{}\",\n  \"strategy\": \"{}\",\n  \"levels\": {},\n  \"step_ms\": {},\n  \"completeness\": {},\n  \"stop\": {},\n  \"plan\": {}\n}}",
                 json_escape(setup.network.name()),
                 strategy,
                 planned.plan().depth(),
                 ms,
+                completeness,
+                stop_json,
                 plan_tree_json(planned.plan()),
             );
         } else {
@@ -215,7 +250,7 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
                 dp_ms = Some(ms);
             }
             println!(
-                "{:>6}: {ms:10.3} ms/step{speedup}   top-level {}",
+                "{:>6}: {ms:10.3} ms/step{speedup}   top-level {}{stop_note}",
                 strategy.to_string(),
                 planned.plan().plan().type_string()
             );

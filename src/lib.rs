@@ -27,7 +27,9 @@
 //! * [`exec`] — the executable semantics oracle: numerically runs
 //!   partitioned training on virtual devices and verifies both the
 //!   results and the communication volumes against the cost model;
-//! * [`runtime`] — the std-only thread pool behind parallel planning;
+//! * [`runtime`] — the std-only thread pool behind parallel planning,
+//!   plus the [`prelude::Budget`] / [`prelude::CancelToken`] vocabulary
+//!   for deadlines, node budgets and cooperative cancellation;
 //! * [`obs`] — structured tracing, metrics and profiling hooks
 //!   ([`obs::Obs`], [`obs::Subscriber`], [`obs::Metrics`]).
 //!
@@ -103,8 +105,9 @@ pub use error::AccParError;
 pub mod prelude {
     pub use crate::error::AccParError;
     pub use accpar_core::{
-        baselines, replan, CacheStats, PlanError, PlannedNetwork, Planner, PlannerBuilder,
-        ReplanConfig, ReplanOutcome, SearchCache, Strategy,
+        baselines, plan_many, replan, AnytimeReport, Budget, CacheStats, CancelToken, PartialPlan,
+        PlanError, PlanOutcome, PlanRequest, PlannedNetwork, Planner, PlannerBuilder, ReplanConfig,
+        ReplanOutcome, RetryPolicy, SearchCache, ServeConfig, StopReason, Strategy,
     };
     pub use accpar_cost::{CostConfig, CostModel, PairEnv, RatioSolver};
     pub use accpar_dnn::{zoo, Network, NetworkBuilder};

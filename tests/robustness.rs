@@ -6,6 +6,10 @@
 
 use accpar::prelude::*;
 use accpar_sim::simulate_des;
+use std::sync::Arc;
+use std::time::Duration;
+
+mod common;
 
 /// The acceptance scenario: leaf 0 (a TPU-v2 board in
 /// `heterogeneous_tpu`) at 0.5x compute, cut 1 at 0.25x bandwidth.
@@ -158,4 +162,244 @@ fn dropout_forces_a_feasible_plan_on_the_survivors() {
     assert_eq!(outcome.array.len(), 3);
     assert!(outcome.degraded_secs > 0.0);
     assert_eq!(outcome.degraded_old_secs, None);
+}
+
+// ---------------------------------------------------------------------
+// Anytime planning: budgets, cancellation, panic isolation, serving.
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_node_budget_yields_the_pure_data_parallel_plan() {
+    let (network, array) = setup();
+    let planner = Planner::builder(&network, &array)
+        .levels(2)
+        .threads(1)
+        .max_nodes(0)
+        .build()
+        .unwrap();
+
+    let outcome = planner.plan_outcome(Strategy::AccPar).unwrap();
+    let PlanOutcome::Partial(partial) = outcome else {
+        panic!("a zero budget cannot complete the search");
+    };
+    assert_eq!(partial.reason(), StopReason::NodeBudget);
+    assert_eq!(partial.completeness(), 0.0);
+    assert_eq!(partial.solved_levels(), 0);
+
+    // With nothing solved, the anytime fallback IS the pure
+    // data-parallel baseline, tree and cost alike.
+    let dp = planner.plan(Strategy::DataParallel).unwrap();
+    assert_eq!(partial.planned().plan(), dp.plan());
+    assert_eq!(
+        partial.planned().modeled_cost().to_bits(),
+        dp.modeled_cost().to_bits()
+    );
+}
+
+#[test]
+fn plan_quality_is_monotone_in_the_node_budget() {
+    // A seeded random MLP: as the node budget grows, the solved
+    // fraction never shrinks and the plan never gets more expensive —
+    // every partial plan also stays within the data-parallel baseline.
+    let mut g = common::Gen(0x5EED_CAFE);
+    let mut dims = vec![g.range(64, 257)];
+    for _ in 0..6 {
+        dims.push(g.range(64, 257));
+    }
+    let network = common::mlp(g.range(32, 129), &dims);
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    let planner = Planner::builder(&network, &array)
+        .levels(2)
+        .threads(1)
+        .build()
+        .unwrap();
+    let dp_cost = planner.plan(Strategy::DataParallel).unwrap().modeled_cost();
+
+    let rows = network.train_view().unwrap().weighted_len() as u64;
+    let mut last_completeness = -1.0f64;
+    let mut last_cost = f64::INFINITY;
+    for budget_rows in [0, rows, 2 * rows, 3 * rows, u64::MAX] {
+        let budget = Budget::unlimited().max_nodes(budget_rows);
+        let outcome = planner
+            .plan_with_budget(Strategy::AccPar, &budget)
+            .unwrap();
+        let completeness = outcome.completeness();
+        let cost = outcome.planned().modeled_cost();
+        assert!(
+            completeness >= last_completeness,
+            "completeness fell from {last_completeness} to {completeness} at {budget_rows} rows"
+        );
+        assert!(
+            cost <= last_cost * (1.0 + 1e-12),
+            "cost rose from {last_cost} to {cost} at {budget_rows} rows"
+        );
+        assert!(cost <= dp_cost * (1.0 + 1e-12), "worse than pure DP");
+        last_completeness = completeness;
+        last_cost = cost;
+    }
+    assert_eq!(last_completeness, 1.0, "an effectively unlimited budget completes");
+}
+
+#[test]
+fn cancellation_mid_hierarchy_yields_a_simulatable_plan() {
+    let (network, array) = setup();
+    let view = network.train_view().unwrap();
+    let tree = GroupTree::bisect(&array, 2).unwrap();
+
+    // Budget sized to solve exactly the root level: the children fall
+    // back, and the stitched plan still runs on the BSP simulator.
+    let rows = view.weighted_len() as u64;
+    let planner = Planner::builder(&network, &array)
+        .levels(2)
+        .threads(1)
+        .max_nodes(rows)
+        .build()
+        .unwrap();
+    let outcome = planner.plan_outcome(Strategy::AccPar).unwrap();
+    let PlanOutcome::Partial(partial) = outcome else {
+        panic!("a root-only budget cannot finish the children");
+    };
+    assert_eq!(partial.solved_levels(), 1);
+    assert_eq!(partial.fallback_levels(), 2);
+    assert!(partial.completeness() > 0.0 && partial.completeness() < 1.0);
+    let sim = Simulator::new(SimConfig::default());
+    let report = sim
+        .simulate(&view, partial.planned().plan(), &tree, None)
+        .expect("the partial plan must be feasible");
+    assert!(report.total_secs > 0.0);
+
+    // A token cancelled before planning starts degrades everything —
+    // and the result is still a feasible, simulatable plan.
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = Planner::builder(&network, &array)
+        .levels(2)
+        .threads(1)
+        .cancel(token)
+        .build()
+        .unwrap()
+        .plan_outcome(Strategy::AccPar)
+        .unwrap();
+    let PlanOutcome::Partial(partial) = cancelled else {
+        panic!("a pre-cancelled token cannot complete");
+    };
+    assert_eq!(partial.reason(), StopReason::Cancelled);
+    assert_eq!(partial.completeness(), 0.0);
+    sim.simulate(&view, partial.planned().plan(), &tree, None)
+        .expect("the cancelled plan must be feasible");
+}
+
+#[test]
+fn an_injected_worker_panic_is_retried_to_a_bit_identical_plan() {
+    let (network, array) = setup();
+
+    let serial = Planner::builder(&network, &array)
+        .levels(2)
+        .threads(1)
+        .build()
+        .unwrap()
+        .plan(Strategy::AccPar)
+        .unwrap();
+
+    let collector = Arc::new(Collector::new());
+    let planner = Planner::builder(&network, &array)
+        .levels(2)
+        .threads(4)
+        .subscriber(Arc::clone(&collector))
+        .build()
+        .unwrap();
+    let chaos = Budget::unlimited().chaos_panic_at_node(5);
+    let outcome = planner.plan_with_budget(Strategy::AccPar, &chaos).unwrap();
+    assert!(outcome.is_complete(), "the retried search still completes");
+    assert_eq!(outcome.planned().plan(), serial.plan());
+    assert_eq!(
+        outcome.planned().modeled_cost().to_bits(),
+        serial.modeled_cost().to_bits()
+    );
+
+    planner.obs().emit_metrics();
+    let snap = collector.last_metrics().unwrap();
+    assert!(snap.counter("pool.panics_caught") >= 1, "the panic fired");
+    assert!(
+        snap.counter("pool.panics_recovered") >= 1,
+        "and the retry recovered it"
+    );
+}
+
+#[test]
+fn plan_many_exhibits_all_four_outcomes() {
+    // The acceptance battery: one batch showing a completed plan, a
+    // budget-limited partial plan, a recovered worker panic, and a shed
+    // request — each observable through the metrics.
+    let lenet = zoo::lenet(64).unwrap();
+    let alexnet = zoo::alexnet(128).unwrap();
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+
+    let requests = vec![
+        PlanRequest::new(&lenet, &array).levels(2),
+        PlanRequest::new(&alexnet, &array)
+            .levels(2)
+            .budget(Budget::unlimited().max_nodes(1)),
+        PlanRequest::new(&lenet, &array)
+            .levels(1)
+            .budget(Budget::unlimited().chaos_panic_at_node(2)),
+        PlanRequest::new(&lenet, &array).levels(1),
+    ];
+    let collector = Arc::new(Collector::new());
+    let config = ServeConfig {
+        max_queue: 3,
+        workers: 2,
+        obs: Obs::new(Arc::clone(&collector)),
+        ..ServeConfig::default()
+    };
+    let results = Planner::plan_many(&requests, &config);
+    assert_eq!(results.len(), 4);
+
+    // 1: complete.
+    assert!(matches!(results[0], Ok(PlanOutcome::Complete(_))));
+    // 2: partial under the node budget, never worse than pure DP.
+    let Ok(PlanOutcome::Partial(partial)) = &results[1] else {
+        panic!("one row of budget cannot finish AlexNet");
+    };
+    assert_eq!(partial.reason(), StopReason::NodeBudget);
+    assert!(partial.completeness() < 1.0);
+    // 3: the injected panic was recovered and the plan completed.
+    assert!(matches!(results[2], Ok(PlanOutcome::Complete(_))));
+    // 4: shed beyond the queue bound.
+    assert!(matches!(
+        results[3],
+        Err(PlanError::Overloaded { depth: 4, bound: 3 })
+    ));
+
+    config.obs.emit_metrics();
+    let snap = collector.last_metrics().unwrap();
+    assert_eq!(snap.counter("serve.completed"), 2);
+    assert_eq!(snap.counter("serve.partial"), 1);
+    assert_eq!(snap.counter("serve.node_budget_hits"), 1);
+    assert_eq!(snap.counter("serve.sheds"), 1);
+    assert!(snap.counter("pool.panics_recovered") >= 1);
+    assert_eq!(collector.events_named("plan.partial").len(), 1);
+}
+
+#[test]
+fn the_watchdog_flags_a_stalled_request() {
+    let network = zoo::bert_base(8, 64).unwrap();
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    let requests = vec![PlanRequest::new(&network, &array).levels(2)];
+    let collector = Arc::new(Collector::new());
+    let config = ServeConfig {
+        workers: 1,
+        // A zero stall threshold: every request exceeds it, so the
+        // stall accounting (watchdog sampling + exact settlement at
+        // completion) must flag the request exactly once.
+        watchdog_stall: Some(Duration::ZERO),
+        obs: Obs::new(Arc::clone(&collector)),
+        ..ServeConfig::default()
+    };
+    let results = plan_many(&requests, &config);
+    assert!(results[0].is_ok());
+    config.obs.emit_metrics();
+    let snap = collector.last_metrics().unwrap();
+    assert!(snap.counter("serve.stalled") >= 1);
+    assert!(!collector.events_named("serve.stalled").is_empty());
 }

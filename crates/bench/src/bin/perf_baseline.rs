@@ -35,13 +35,26 @@
 //! vocabulary (`plan.partial`, `plan.level_fallback`). Validate it with
 //! `trace_check PATH --expect-partial`.
 //!
+//! `--cache-trace-json PATH` runs one VGG-16 plan twice through an
+//! observed plan cache (a miss that admits the plan, then a validated
+//! hit), so the trace carries the cache vocabulary (`cache.miss` /
+//! `cache.hit` counters, the `cache.validate` span and its outcome
+//! event). Validate it with `trace_check PATH --expect-cache-hit`.
+//!
+//! The `serve_cache` legs time the crash-safe plan cache as deployed:
+//! one cold plan, the steady-state served-hit latency (all per-hit
+//! admission validation included, gated at < 5% of a cold plan), and
+//! the first-serve BSP cross-check broken out on its own.
+//!
 //! The anytime legs measure what the budget machinery costs when armed
 //! but never tripped (`anytime_overhead_pct`, acceptance target < 2%
 //! against the steady-state leg) and the time-to-first-feasible-plan
 //! across a node-budget sweep.
 
 use accpar_bench::json::Json;
-use accpar_core::{Budget, PlanOutcome, PlannedNetwork, Planner, SearchCache, Strategy};
+use accpar_core::{
+    Budget, CacheOutcome, PlanCache, PlanOutcome, PlannedNetwork, Planner, SearchCache, Strategy,
+};
 use accpar_dnn::{zoo, Network};
 use accpar_hw::{AcceleratorArray, GroupTree};
 use accpar_obs::{JsonLines, Obs};
@@ -98,6 +111,7 @@ fn main() -> ExitCode {
     let mut ceiling_ms: Option<f64> = None;
     let mut trace_json: Option<String> = None;
     let mut partial_trace_json: Option<String> = None;
+    let mut cache_trace_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -107,6 +121,9 @@ fn main() -> ExitCode {
             "--partial-trace-json" => {
                 partial_trace_json =
                     Some(args.next().expect("--partial-trace-json needs a path"));
+            }
+            "--cache-trace-json" => {
+                cache_trace_json = Some(args.next().expect("--cache-trace-json needs a path"));
             }
             "--ceiling-ms" => {
                 ceiling_ms = Some(
@@ -353,6 +370,86 @@ fn main() -> ExitCode {
     });
     println!("simulator throughput (resnet18, 256 boards): bsp {bsp_ms:.3} ms, des {des_ms:.3} ms");
 
+    // Crash-safe plan-cache serving: steady-state served-hit latency
+    // against the cold plan it replaces. Every hit pays the admission
+    // check (shape/topology on every serve; the BSP cross-check runs in
+    // full on a record's first serve, then its verified report is
+    // memoized in memory), so the steady-state hit carries the whole
+    // per-hit validation overhead — gated at < 5% of a cold plan. The
+    // first-serve cross-check (what a disk-loaded record pays once) is
+    // broken out as its own leg.
+    let cache_dir = std::env::temp_dir().join(format!(
+        "accpar-bench-plan-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let r50 = zoo::resnet50(batch).expect("resnet50 builds");
+    let plan_cache = Arc::new(PlanCache::open(&cache_dir, 64, Obs::off()));
+    let cached_planner = Planner::builder(&r50, &hetero)
+        .threads(threads)
+        .plan_cache(Arc::clone(&plan_cache))
+        .build()
+        .expect("resnet50 configures cleanly");
+    let cold_plan_ms = time_best_ms(reps, || {
+        Planner::builder(&r50, &hetero)
+            .threads(threads)
+            .build()
+            .expect("resnet50 configures cleanly")
+            .plan(Strategy::AccPar)
+            .expect("cold plan")
+    });
+    let (first, first_outcome) = cached_planner
+        .plan_with_budget_cached(Strategy::AccPar, &Budget::unlimited())
+        .expect("cache fill");
+    assert_eq!(first_outcome, CacheOutcome::Miss, "fresh cache must miss");
+    let cache_truth = first.into_planned();
+    let hit_reps = if quick { 3 } else { 20 };
+    let mut hit_identical = true;
+    let hit_ms = time_best_ms(hit_reps, || {
+        let (outcome, provenance) = cached_planner
+            .plan_with_budget_cached(Strategy::AccPar, &Budget::unlimited())
+            .expect("served hit");
+        let planned = outcome.into_planned();
+        hit_identical &= provenance == CacheOutcome::Hit
+            && planned.plan() == cache_truth.plan()
+            && planned.modeled_cost().to_bits() == cache_truth.modeled_cost().to_bits();
+        planned
+    });
+    // The first-serve cross-check: the BSP re-simulation a record loaded
+    // from disk must pass before its report is memoized.
+    let r50_view = r50.train_view().expect("train view");
+    let r50_tree = GroupTree::bisect(&hetero, cache_truth.plan().depth()).expect("bisect");
+    let validate_ms = time_best_ms(hit_reps, || {
+        Simulator::new(SimConfig::cost_model_aligned())
+            .simulate(&r50_view, cache_truth.plan(), &r50_tree, None)
+            .expect("validation sim")
+    });
+    let cache_validation_overhead_pct = hit_ms / cold_plan_ms * 100.0;
+    entries.push(Entry {
+        name: "serve_cache/resnet50_cold_plan".into(),
+        wall_ms: cold_plan_ms,
+        threads,
+        cache_hit_rate: 0.0,
+    });
+    entries.push(Entry {
+        name: "serve_cache/resnet50_served_hit".into(),
+        wall_ms: hit_ms,
+        threads,
+        cache_hit_rate: 1.0,
+    });
+    entries.push(Entry {
+        name: "serve_cache/resnet50_first_serve_crosscheck".into(),
+        wall_ms: validate_ms,
+        threads: 1,
+        cache_hit_rate: 1.0,
+    });
+    println!(
+        "plan-cache serving (resnet50): cold {cold_plan_ms:.3} ms, served hit {:.1} us ({cache_validation_overhead_pct:.2}% of cold; first-serve cross-check {:.1} us), bit-identical: {hit_identical}",
+        hit_ms * 1e3,
+        validate_ms * 1e3
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     let json = Json::obj(vec![
         ("bench", Json::str("planner")),
         ("quick", Json::Bool(quick)),
@@ -362,6 +459,12 @@ fn main() -> ExitCode {
         ("bit_identical", Json::Bool(identical)),
         ("anytime_overhead_pct", Json::from(anytime_overhead_pct)),
         ("anytime_bit_identical", Json::Bool(armed_identical)),
+        ("serve_cache_hit_us", Json::from(hit_ms * 1e3)),
+        (
+            "cache_validation_overhead_pct",
+            Json::from(cache_validation_overhead_pct),
+        ),
+        ("cache_hit_bit_identical", Json::Bool(hit_identical)),
         (
             "entries",
             Json::Arr(
@@ -434,8 +537,46 @@ fn main() -> ExitCode {
         );
     }
 
+    // A traced cache miss + validated hit for `trace_check
+    // --expect-cache-hit`: the trace carries `cache.miss` / `cache.hit`
+    // counters and the `cache.validate` span with its outcome event.
+    if let Some(path) = &cache_trace_json {
+        let file = std::fs::File::create(path).expect("create cache trace file");
+        let subscriber = Arc::new(JsonLines::new(std::io::BufWriter::new(file)));
+        let obs = Obs::new(Arc::clone(&subscriber));
+        let traced_cache = Arc::new(PlanCache::memory(64).with_obs(obs.clone()));
+        let traced_planner = Planner::builder(&vgg, &hetero)
+            .threads(threads)
+            .obs(obs.clone())
+            .plan_cache(Arc::clone(&traced_cache))
+            .build()
+            .expect("vgg16 configures cleanly");
+        for expected in [CacheOutcome::Miss, CacheOutcome::Hit] {
+            let (_, outcome) = traced_planner
+                .plan_with_budget_cached(Strategy::AccPar, &Budget::unlimited())
+                .expect("traced cached plan");
+            assert_eq!(outcome, expected, "traced run must miss then hit");
+        }
+        obs.emit_metrics();
+        subscriber.flush();
+        println!(
+            "wrote {path} (vgg16 cache miss + validated hit, {} record cached)",
+            traced_cache.len()
+        );
+    }
+
     if !identical {
         eprintln!("FAIL: optimized engine's plans are not bit-identical to serial");
+        return ExitCode::FAILURE;
+    }
+    if !hit_identical {
+        eprintln!("FAIL: a validated cache hit served a plan that differs from the cold plan");
+        return ExitCode::FAILURE;
+    }
+    if !quick && cache_validation_overhead_pct > 5.0 {
+        eprintln!(
+            "FAIL: a steady-state served hit (admission validation included) costs {cache_validation_overhead_pct:.2}% of a cold plan, exceeding the 5% target"
+        );
         return ExitCode::FAILURE;
     }
     if !armed_identical {

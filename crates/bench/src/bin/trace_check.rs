@@ -33,6 +33,19 @@
 //! least one `plan.partial` event and a `plan.level_fallback` event —
 //! the shape a budget-stopped anytime run must leave behind.
 //!
+//! The plan-cache vocabulary is schema-checked wherever it appears:
+//! every `cache.validate` span carries a 32-hex-digit `key`, a
+//! `strategy` string and an integer `levels`; every
+//! `cache.validate.outcome` event carries a `result` in `hit` / `miss` /
+//! `invalid` / `poisoned` / `disabled` (and, for a hit, a numeric `cost`
+//! plus a boolean `fresh_sim`); `cache.quarantine` / `cache.degraded` /
+//! `cache.demote` payloads are shape-checked; every `serve.shed` event
+//! carries a `shed_reason` of `queue-full` or `budget-expiry`. With
+//! `--expect-cache-hit`, additionally fails unless the trace holds a
+//! `cache.validate` span, a `cache.validate.outcome` event with
+//! `result: "hit"`, and a `cache.hit` metric — the shape a served cache
+//! hit must leave behind.
+//!
 //! Exits non-zero with one message per violation.
 
 use accpar_bench::json::Json;
@@ -52,19 +65,21 @@ fn id_of(record: &Json, key: &str) -> Option<u64> {
 fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut expect_partial = false;
+    let mut expect_cache_hit = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--expect-partial" => expect_partial = true,
+            "--expect-cache-hit" => expect_cache_hit = true,
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: trace_check TRACE.jsonl [--expect-partial]");
+                eprintln!("usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit]");
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: trace_check TRACE.jsonl [--expect-partial]");
+        eprintln!("usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit]");
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
@@ -81,6 +96,7 @@ fn main() -> ExitCode {
     let mut span_names: HashMap<u64, String> = HashMap::new();
     let mut event_counts: HashMap<String, usize> = HashMap::new();
     let mut metric_names: HashSet<String> = HashSet::new();
+    let mut cache_hit_outcomes = 0usize;
     let mut lines = 0usize;
 
     for (no, line) in text.lines().enumerate() {
@@ -114,6 +130,29 @@ fn main() -> ExitCode {
                 }
                 if let Some(name) = record.get("name").and_then(Json::as_str) {
                     span_names.insert(id, name.to_string());
+                    if name == "cache.validate" {
+                        let fields =
+                            record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                        match fields.get("key").and_then(Json::as_str) {
+                            Some(key)
+                                if key.len() == 32
+                                    && key.chars().all(|c| c.is_ascii_hexdigit()) => {}
+                            _ => errors.push(format!(
+                                "line {no}: cache.validate `key` is not 32 hex digits"
+                            )),
+                        }
+                        match fields.get("strategy").and_then(Json::as_str) {
+                            Some(s) if !s.is_empty() => {}
+                            _ => errors.push(format!(
+                                "line {no}: cache.validate has no non-empty `strategy`"
+                            )),
+                        }
+                        if id_of(&fields, "levels").is_none() {
+                            errors.push(format!(
+                                "line {no}: cache.validate has no integer `levels`"
+                            ));
+                        }
+                    }
                 } else {
                     errors.push(format!("line {no}: span_start has no `name`"));
                 }
@@ -181,6 +220,83 @@ fn main() -> ExitCode {
                         _ => errors.push(format!(
                             "line {no}: plan.decision `ratio` is not in [0, 1]"
                         )),
+                    }
+                }
+                if name == "cache.validate.outcome" {
+                    let fields = record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                    match fields.get("result").and_then(Json::as_str) {
+                        Some("hit") => {
+                            cache_hit_outcomes += 1;
+                            match fields.get("cost").and_then(Json::as_f64) {
+                                Some(c) if c >= 0.0 => {}
+                                _ => errors.push(format!(
+                                    "line {no}: a hit outcome has no non-negative `cost`"
+                                )),
+                            }
+                            if fields.get("fresh_sim").and_then(Json::as_bool).is_none() {
+                                errors.push(format!(
+                                    "line {no}: a hit outcome has no boolean `fresh_sim`"
+                                ));
+                            }
+                        }
+                        Some("miss" | "invalid" | "poisoned" | "disabled") => {}
+                        Some(other) => errors.push(format!(
+                            "line {no}: cache.validate.outcome has unknown result `{other}`"
+                        )),
+                        None => errors.push(format!(
+                            "line {no}: cache.validate.outcome has no string `result`"
+                        )),
+                    }
+                }
+                if name == "serve.shed" {
+                    let fields = record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                    match fields.get("shed_reason").and_then(Json::as_str) {
+                        Some("queue-full" | "budget-expiry") => {}
+                        Some(other) => errors.push(format!(
+                            "line {no}: serve.shed has unknown shed_reason `{other}`"
+                        )),
+                        None => errors.push(format!(
+                            "line {no}: serve.shed has no string `shed_reason`"
+                        )),
+                    }
+                }
+                if name == "cache.quarantine" {
+                    let fields = record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                    match fields.get("reason").and_then(Json::as_str) {
+                        Some(r) if !r.is_empty() => {}
+                        _ => errors.push(format!(
+                            "line {no}: cache.quarantine has no non-empty `reason`"
+                        )),
+                    }
+                    if id_of(&fields, "bytes").is_none() {
+                        errors.push(format!(
+                            "line {no}: cache.quarantine has no integer `bytes`"
+                        ));
+                    }
+                }
+                if name == "cache.degraded" {
+                    let fields = record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                    for field in ["op", "error"] {
+                        match fields.get(field).and_then(Json::as_str) {
+                            Some(v) if !v.is_empty() => {}
+                            _ => errors.push(format!(
+                                "line {no}: cache.degraded has no non-empty `{field}`"
+                            )),
+                        }
+                    }
+                }
+                if name == "cache.demote" {
+                    let fields = record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                    match fields.get("strategy").and_then(Json::as_str) {
+                        Some(s) if !s.is_empty() => {}
+                        _ => errors.push(format!(
+                            "line {no}: cache.demote has no non-empty `strategy`"
+                        )),
+                    }
+                    if id_of(&fields, "faults").is_none() {
+                        errors.push(format!(
+                            "line {no}: cache.demote has no integer `faults`"
+                        ));
                     }
                 }
                 if name == "plan.partial" || name == "plan.cancelled" {
@@ -259,6 +375,20 @@ fn main() -> ExitCode {
                     "no `{required}` event in trace (required by --expect-partial)"
                 ));
             }
+        }
+    }
+    if expect_cache_hit {
+        if spans_named("cache.validate") == 0 {
+            errors.push("no `cache.validate` span in trace (required by --expect-cache-hit)".into());
+        }
+        if cache_hit_outcomes == 0 {
+            errors.push(
+                "no `cache.validate.outcome` event with result `hit` in trace (required by --expect-cache-hit)"
+                    .into(),
+            );
+        }
+        if !metric_names.contains("cache.hit") {
+            errors.push("no `cache.hit` metric in trace (required by --expect-cache-hit)".into());
         }
     }
 

@@ -51,6 +51,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod baselines;
+pub mod cache;
 mod error;
 pub mod feasible;
 pub mod hierarchy;
@@ -60,6 +61,7 @@ pub mod replan;
 pub mod search;
 pub mod serve;
 
+pub use cache::{CacheOutcome, LoadReport, PlanCache, PlanCacheStats, PlanKey, PlanRecord};
 pub use error::PlanError;
 pub use hierarchy::AnytimeReport;
 pub use memo::{CacheStats, SearchCache};

@@ -339,6 +339,16 @@ pub(crate) fn context_hash(
 /// layer signatures and indices, fork shapes and branch arrangements.
 pub(crate) fn view_fingerprint(view: &TrainView, config: &CostConfig) -> u64 {
     let mut h = FxHasher::default();
+    hash_view(&mut h, view, config);
+    h.finish()
+}
+
+/// Feeds the canonical view structure into an arbitrary hasher state.
+/// Shared between the single-lane [`view_fingerprint`] above and the
+/// plan cache's two-lane content key, which primes each lane with a
+/// different seed before hashing the same byte stream.
+pub(crate) fn hash_view(h: &mut impl std::hash::Hasher, view: &TrainView, config: &CostConfig) {
+    let mut h = h;
     for elem in view.elems() {
         match elem {
             TrainElem::Layer(l) => {
@@ -360,5 +370,30 @@ pub(crate) fn view_fingerprint(view: &TrainView, config: &CostConfig) -> u64 {
             }
         }
     }
-    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CacheStats;
+
+    #[test]
+    fn empty_cache_rates_are_zero_not_nan() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.lookup_hit_rate(), 0.0);
+        assert!(stats.hit_rate().is_finite());
+        assert!(stats.lookup_hit_rate().is_finite());
+    }
+
+    #[test]
+    fn rates_behave_once_lookups_arrive() {
+        let stats = CacheStats {
+            layer_hits: 3,
+            layer_misses: 1,
+            cells_requested: 4,
+            ..CacheStats::default()
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((stats.lookup_hit_rate() - 0.75).abs() < 1e-12);
+    }
 }

@@ -1,4 +1,5 @@
 use crate::baselines::{data_parallel_plan, hypar_plan, owt_plan};
+use crate::cache::{self, CacheOutcome, PlanCache, PlanRecord};
 use crate::error::PlanError;
 use crate::hierarchy::{plan_node_budgeted, AnytimeReport};
 use crate::memo::{CacheStats, SearchCache};
@@ -82,6 +83,17 @@ impl PlannedNetwork {
     #[must_use]
     pub const fn report(&self) -> &SimReport {
         &self.report
+    }
+
+    /// In-crate constructor for plans that did not come out of
+    /// [`Planner::plan`] directly — validated cache hits and degraded
+    /// (replanned) serving results.
+    pub(crate) const fn from_parts(strategy: Strategy, plan: PlanTree, report: SimReport) -> Self {
+        Self {
+            strategy,
+            plan,
+            report,
+        }
     }
 }
 
@@ -252,6 +264,7 @@ pub struct PlannerBuilder<'a> {
     threads: Option<usize>,
     caching: bool,
     cache: Option<Arc<SearchCache>>,
+    plan_cache: Option<Arc<PlanCache>>,
     memory_cap: Option<Optimizer>,
     obs: Obs,
     deadline: Option<Duration>,
@@ -277,6 +290,7 @@ impl<'a> PlannerBuilder<'a> {
             threads: None,
             caching: true,
             cache: None,
+            plan_cache: None,
             memory_cap: None,
             obs: Obs::off(),
             deadline: None,
@@ -350,6 +364,19 @@ impl<'a> PlannerBuilder<'a> {
     #[must_use]
     pub fn cache(mut self, cache: Arc<SearchCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a crash-safe [`PlanCache`]: whole finished plans are
+    /// served from validated cache hits and admitted on cold misses.
+    /// Every hit is re-validated before serving (shape match plus a BSP
+    /// simulation cross-check), so attaching a cache never changes a
+    /// served plan — a cold miss is bit-identical to the uncached
+    /// planner, and a poisoned record is evicted and re-planned. See
+    /// the [`cache`](crate::cache) module docs.
+    #[must_use]
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
         self
     }
 
@@ -443,6 +470,7 @@ impl<'a> PlannerBuilder<'a> {
             threads: self.threads,
             caching: self.caching,
             cache: self.cache.unwrap_or_default(),
+            plan_cache: self.plan_cache,
             memory_cap: self.memory_cap,
             obs: self.obs,
             deadline: self.deadline,
@@ -491,6 +519,9 @@ pub struct Planner<'a> {
     cancel: Option<CancelToken>,
     /// Shared across clones so replans reuse the planning run's memo.
     cache: Arc<SearchCache>,
+    /// Whole-plan serving cache (see [`crate::cache`]); absent by
+    /// default.
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl<'a> Planner<'a> {
@@ -521,6 +552,7 @@ impl<'a> Planner<'a> {
             max_nodes: None,
             cancel: None,
             cache: Arc::new(SearchCache::new()),
+            plan_cache: None,
         }
     }
 
@@ -677,6 +709,23 @@ impl<'a> Planner<'a> {
         strategy: Strategy,
         budget: &Budget,
     ) -> Result<PlanOutcome, PlanError> {
+        self.plan_with_budget_cached(strategy, budget)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`Planner::plan_with_budget`], additionally reporting how the
+    /// attached [`PlanCache`] participated ([`CacheOutcome::Disabled`]
+    /// when none is attached). The serving layer uses the provenance to
+    /// demote hits when the request targets degraded hardware.
+    ///
+    /// # Errors
+    ///
+    /// See [`Planner::plan`]. A budget stop is not an error.
+    pub fn plan_with_budget_cached(
+        &self,
+        strategy: Strategy,
+        budget: &Budget,
+    ) -> Result<(PlanOutcome, CacheOutcome), PlanError> {
         self.plan_budgeted_with_pool(strategy, Pool::new(self.threads()), budget)
     }
 
@@ -684,7 +733,47 @@ impl<'a> Planner<'a> {
     /// [`Planner::plan_all`] to divide the budget across strategies).
     fn plan_with_pool(&self, strategy: Strategy, pool: Pool) -> Result<PlannedNetwork, PlanError> {
         self.plan_budgeted_with_pool(strategy, pool, &Budget::unlimited())
-            .map(PlanOutcome::into_planned)
+            .map(|(outcome, _)| outcome.into_planned())
+    }
+
+    /// Admission validation of a cached record before serving: shape /
+    /// topology match on every hit, then a BSP simulation cross-check
+    /// of the stored cost (which also proves feasibility against the
+    /// *current* array — an infeasible plan fails to simulate). The
+    /// cross-check is skipped when `verified` carries a report this
+    /// record already earned in this process (see the
+    /// [`cache`](crate::cache) module docs): the key is value-complete
+    /// and the simulator pure, so the memoized report is the bit-exact
+    /// value the re-simulation would recompute. Either way the returned
+    /// report is identical to what a cold plan would produce for the
+    /// same tree, so serving a validated hit is bit-identical to
+    /// re-planning. The boolean reports whether a fresh simulation ran.
+    fn validate_record(
+        &self,
+        record: &PlanRecord,
+        verified: Option<SimReport>,
+        view: &TrainView,
+        tree: &GroupTree,
+        strategy: Strategy,
+        levels: usize,
+    ) -> Result<(SimReport, bool), CacheOutcome> {
+        let shape_ok = record.strategy == strategy
+            && record.levels == levels
+            && record.plan.depth() == levels
+            && record.plan.plan().len() == view.weighted_len();
+        if !shape_ok {
+            return Err(CacheOutcome::Invalid);
+        }
+        if let Some(report) = verified {
+            return Ok((report, false));
+        }
+        let report = Simulator::new(self.sim_config)
+            .simulate(view, &record.plan, tree, None)
+            .map_err(|_| CacheOutcome::Invalid)?;
+        if (report.total_secs - record.cost).abs() > cache::POISON_TOLERANCE {
+            return Err(CacheOutcome::Poisoned);
+        }
+        Ok((report, true))
     }
 
     fn plan_budgeted_with_pool(
@@ -692,7 +781,7 @@ impl<'a> Planner<'a> {
         strategy: Strategy,
         pool: Pool,
         budget: &Budget,
-    ) -> Result<PlanOutcome, PlanError> {
+    ) -> Result<(PlanOutcome, CacheOutcome), PlanError> {
         let started = Instant::now();
         let view = self.network.train_view()?;
         let levels = self.levels();
@@ -711,6 +800,70 @@ impl<'a> Planner<'a> {
                 ("threads", pool.threads().into()),
             ],
         );
+
+        // Plan-cache consult: a validated hit short-circuits the whole
+        // search; everything else falls through to the normal (cold,
+        // bit-identical) path and admits the finished plan.
+        let mut cache_outcome = CacheOutcome::Disabled;
+        let cache_key = self.plan_cache.as_ref().map(|plan_cache| {
+            let key = cache::plan_key(
+                &view,
+                self.array,
+                strategy,
+                levels,
+                &self.cost_config,
+                &self.solver,
+                &self.sim_config,
+                budget,
+            );
+            (Arc::clone(plan_cache), key)
+        });
+        if let Some((plan_cache, key)) = &cache_key {
+            cache_outcome = CacheOutcome::Miss;
+            if let Some((record, verified)) = plan_cache.lookup(key) {
+                let vspan = obs.span(
+                    "cache.validate",
+                    &[
+                        ("key", key.to_hex().into()),
+                        ("strategy", strategy.to_string().into()),
+                        ("levels", levels.into()),
+                    ],
+                );
+                match self.validate_record(&record, verified, &view, &tree, strategy, levels) {
+                    Ok((report, fresh_sim)) => {
+                        vspan.event(
+                            "cache.validate.outcome",
+                            &[
+                                ("result", CacheOutcome::Hit.label().into()),
+                                ("cost", report.total_secs.into()),
+                                ("fresh_sim", fresh_sim.into()),
+                            ],
+                        );
+                        if fresh_sim {
+                            plan_cache.mark_verified(key, report.clone());
+                        }
+                        if obs.enabled() {
+                            obs.counter("planner.plans").inc();
+                            obs.histogram("planner.ttfp_ns").record(
+                                started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                            );
+                        }
+                        let planned = PlannedNetwork::from_parts(strategy, record.plan, report);
+                        return Ok((PlanOutcome::Complete(planned), CacheOutcome::Hit));
+                    }
+                    Err(outcome) => {
+                        vspan.event(
+                            "cache.validate.outcome",
+                            &[("result", outcome.label().into())],
+                        );
+                        if outcome == CacheOutcome::Poisoned {
+                            plan_cache.evict(key);
+                        }
+                        cache_outcome = outcome;
+                    }
+                }
+            }
+        }
 
         let complete = AnytimeReport {
             solved_levels: 0,
@@ -788,6 +941,24 @@ impl<'a> Planner<'a> {
             })
         };
 
+        // Only complete plans are admitted: a partial plan is an
+        // artifact of this request's remaining budget, not of the
+        // request content the key fingerprints.
+        if let Some((plan_cache, key)) = &cache_key {
+            if let PlanOutcome::Complete(planned) = &outcome {
+                plan_cache.insert_verified(
+                    PlanRecord {
+                        key: *key,
+                        strategy,
+                        levels,
+                        cost: planned.report.total_secs,
+                        plan: planned.plan.clone(),
+                    },
+                    planned.report.clone(),
+                );
+            }
+        }
+
         if obs.enabled() {
             obs.counter("planner.plans").inc();
             obs.histogram("planner.ttfp_ns")
@@ -833,7 +1004,7 @@ impl<'a> Planner<'a> {
             }
         }
 
-        Ok(outcome)
+        Ok((outcome, cache_outcome))
     }
 
     /// Plans under `strategy`, then repairs the plan for memory

@@ -7,9 +7,19 @@
 //! [`PlanError::WorkerPanic`] — the rest of the batch is unaffected.
 //! Requests beyond [`ServeConfig::max_queue`] are **shed** up front
 //! with [`PlanError::Overloaded`] (predictable latency beats unbounded
-//! queueing), and a **watchdog** thread flags requests that have been
-//! in flight longer than [`ServeConfig::watchdog_stall`] via the
-//! `serve.stalled` counter/event.
+//! queueing), requests whose [`Budget`] is already spent when a worker
+//! picks them up are shed with [`PlanError::Interrupted`] *before* any
+//! fingerprinting or planning work (`serve.shed` events carry a
+//! `shed_reason` of `queue-full` or `budget-expiry`), and a
+//! **watchdog** thread flags requests that have been in flight longer
+//! than [`ServeConfig::watchdog_stall`] via the `serve.stalled`
+//! counter/event.
+//!
+//! With [`ServeConfig::cache`] attached, finished plans are served from
+//! the crash-safe [`PlanCache`] after admission validation; requests
+//! carrying a [`PlanRequest::faults`] model demote cache hits into
+//! warm-starts for the never-worse replanner instead of serving a
+//! healthy-hardware plan verbatim.
 //!
 //! Everything is instrumented through [`ServeConfig::obs`]: counters
 //! `serve.completed` / `serve.partial` / `serve.errors` /
@@ -18,17 +28,18 @@
 //! `serve.node_budget_hits`, and the `serve.ttfp_ns` histogram of
 //! time-to-first-feasible-plan per request.
 
+use crate::cache::{CacheOutcome, PlanCache};
 use crate::error::PlanError;
-use crate::planner::{PlanOutcome, Planner, Strategy};
+use crate::planner::{PlanOutcome, PlannedNetwork, Planner, Strategy};
 use accpar_cost::{CostConfig, RatioSolver};
 use accpar_dnn::Network;
-use accpar_hw::AcceleratorArray;
+use accpar_hw::{AcceleratorArray, FaultModel};
 use accpar_obs::Obs;
 use accpar_runtime::{lock_unpoisoned, Budget, Pool, StopReason};
-use accpar_sim::SimConfig;
+use accpar_sim::{SimConfig, Simulator};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -45,6 +56,13 @@ pub struct PlanRequest<'a> {
     pub levels: Option<usize>,
     /// The request's execution budget (default unlimited).
     pub budget: Budget,
+    /// Current hardware condition (default: healthy). A faulted request
+    /// is answered with a plan adapted to the degraded array: the
+    /// healthy plan (cache hit or fresh) seeds
+    /// [`Planner::replan`]'s never-worse delta machinery, and a cache
+    /// hit used this way is counted as a *demotion* — the stored plan
+    /// was computed for healthy hardware and must not be served as-is.
+    pub faults: Option<&'a FaultModel>,
 }
 
 impl<'a> PlanRequest<'a> {
@@ -58,6 +76,7 @@ impl<'a> PlanRequest<'a> {
             strategy: Strategy::AccPar,
             levels: None,
             budget: Budget::unlimited(),
+            faults: None,
         }
     }
 
@@ -79,6 +98,14 @@ impl<'a> PlanRequest<'a> {
     #[must_use]
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Declares the current hardware condition (see
+    /// [`PlanRequest::faults`]).
+    #[must_use]
+    pub fn faults(mut self, faults: &'a FaultModel) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -106,6 +133,10 @@ pub struct ServeConfig {
     pub sim_config: SimConfig,
     /// Observability handle; inert by default.
     pub obs: Obs,
+    /// Crash-safe plan cache shared by every request (default: none).
+    /// See the [`cache`](crate::cache) module docs for the hit
+    /// validation and demotion contract.
+    pub cache: Option<Arc<PlanCache>>,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +149,7 @@ impl Default for ServeConfig {
             solver: RatioSolver::default(),
             sim_config: SimConfig::cost_model_aligned(),
             obs: Obs::off(),
+            cache: None,
         }
     }
 }
@@ -148,9 +180,44 @@ fn serve_one(
     if let Some(levels) = request.levels {
         builder = builder.levels(levels);
     }
-    builder
-        .build()?
-        .plan_with_budget(request.strategy, &request.budget)
+    if let Some(cache) = &config.cache {
+        builder = builder.plan_cache(Arc::clone(cache));
+    }
+    let planner = builder.build()?;
+    let (outcome, provenance) =
+        planner.plan_with_budget_cached(request.strategy, &request.budget)?;
+    let Some(faults) = request.faults else {
+        return Ok(outcome);
+    };
+    // Degraded hardware: the cached/fresh plan was computed for the
+    // healthy array, so it is *never* served as-is. A cache hit is
+    // demoted to a warm-start seeding the never-worse replanner.
+    if provenance == CacheOutcome::Hit {
+        if let Some(cache) = &config.cache {
+            cache.note_demotion();
+        }
+        config.obs.event(
+            "cache.demote",
+            &[
+                ("strategy", request.strategy.to_string().into()),
+                ("faults", request.faults.map_or(0, |f| f.faults().len()).into()),
+            ],
+        );
+    }
+    let healthy = outcome.into_planned();
+    let replanned = planner.replan(&healthy, faults)?;
+    let view = request.network.train_view()?;
+    let report = Simulator::new(config.sim_config).simulate(
+        &view,
+        &replanned.plan,
+        &replanned.tree,
+        Some(&replanned.faults),
+    )?;
+    Ok(PlanOutcome::Complete(PlannedNetwork::from_parts(
+        request.strategy,
+        replanned.plan,
+        report,
+    )))
 }
 
 /// Plans a batch of requests with per-request isolation, overload
@@ -185,6 +252,7 @@ pub fn plan_many(
                 ("shed", shed.into()),
                 ("depth", requests.len().into()),
                 ("bound", config.max_queue.into()),
+                ("shed_reason", "queue-full".into()),
             ],
         );
     }
@@ -262,6 +330,25 @@ pub fn plan_many(
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= admitted {
                         break;
+                    }
+                    // A request whose budget is already spent is shed
+                    // *before* any fingerprinting or planning work —
+                    // queueing consumed its allowance.
+                    if let Err(reason) = requests[i].budget.check() {
+                        if obs.enabled() {
+                            obs.counter("serve.sheds").inc();
+                            span.event(
+                                "serve.shed",
+                                &[
+                                    ("shed", 1u64.into()),
+                                    ("request", i.into()),
+                                    ("shed_reason", "budget-expiry".into()),
+                                    ("reason", reason.label().into()),
+                                ],
+                            );
+                        }
+                        lock_unpoisoned(&slots)[i] = Some(Err(PlanError::Interrupted(reason)));
+                        continue;
                     }
                     let started = Instant::now();
                     lock_unpoisoned(&starts)[i] = Some(started);

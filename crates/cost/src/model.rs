@@ -375,8 +375,11 @@ impl CostModel {
         cost: PairCost,
         context: impl fmt::Display,
     ) -> Result<f64, NonFiniteCost> {
+        // Check the pair, not the scalar: `makespan` is a `max`, and
+        // `f64::max(NaN, x)` returns `x` — a NaN lane would scalarize
+        // to a finite value and leak into the DP's `min` comparisons.
         let scalar = self.scalarize(cost);
-        if scalar.is_finite() {
+        if cost.is_finite() && scalar.is_finite() {
             Ok(scalar)
         } else {
             Err(NonFiniteCost {

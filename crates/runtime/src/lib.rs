@@ -424,6 +424,33 @@ impl Budget {
         self.inner.is_none()
     }
 
+    /// A stable *class* descriptor for content-addressed caching: which
+    /// limit kinds are armed, plus the node cap (the only limit whose
+    /// value is reproducible across processes — deadlines are absolute
+    /// [`Instant`]s and cancel tokens are runtime handles, so only
+    /// their presence is encoded). Two budgets in the same class stop
+    /// the search for the same reasons, which is what a plan-cache key
+    /// needs; the exact wall-clock remaining is deliberately excluded.
+    #[must_use]
+    pub fn class_bits(&self) -> u64 {
+        let Some(inner) = &self.inner else {
+            return 0;
+        };
+        let s = &inner.spec;
+        let mut bits = 1u64; // bounded
+        if s.deadline.is_some() {
+            bits |= 1 << 1;
+        }
+        if s.cancel.is_some() {
+            bits |= 1 << 2;
+        }
+        if let Some(cap) = s.max_nodes {
+            bits |= 1 << 3;
+            bits ^= cap.rotate_left(8);
+        }
+        bits
+    }
+
     /// Nodes charged so far across all clones.
     #[must_use]
     pub fn nodes_expanded(&self) -> u64 {

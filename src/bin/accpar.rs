@@ -63,12 +63,18 @@ fn usage() -> &'static str {
   accpar plan     --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
                   [--strategy dp|owt|hypar|accpar|all] [--json] [--explain]
                   [--deadline-ms N] [--max-nodes N]
+                  [--cache-dir PATH] [--cache-cap N] [--no-cache]
   accpar simulate --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
                   [--strategy dp|owt|hypar|accpar] [--optimizer sgd|momentum|adam]
   accpar memory   --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
                   [--strategy dp|owt|hypar|accpar] [--optimizer sgd|momentum|adam]
 
-defaults: --batch 512 --v2 4 --v3 4 --strategy accpar"
+defaults: --batch 512 --v2 4 --v3 4 --strategy accpar --cache-cap 256
+
+the plan cache: --cache-dir enables the crash-safe persistent plan
+cache (hits are re-validated before serving; corrupt records are
+quarantined, never served); --cache-cap alone enables a memory-only
+cache; --no-cache disables caching entirely"
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
@@ -198,6 +204,31 @@ fn u64_flag(args: &Args, name: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// Builds the plan cache requested by `--cache-dir` / `--cache-cap`,
+/// or `None` when caching is off (`--no-cache`, or neither flag given).
+/// A persistent cache that cannot reach its directory degrades to
+/// memory-only inside [`PlanCache::open`] — never an error here.
+fn cache_from_args(args: &Args) -> Result<Option<std::sync::Arc<PlanCache>>, String> {
+    if args.has("no-cache") {
+        return Ok(None);
+    }
+    let cap = args.usize_or("cache-cap", 256)?;
+    if cap == 0 {
+        return Err("--cache-cap must be at least 1 (or pass --no-cache)".into());
+    }
+    match args.get("cache-dir") {
+        Some(dir) => Ok(Some(std::sync::Arc::new(PlanCache::open(
+            std::path::Path::new(dir),
+            cap,
+            Obs::off(),
+        )))),
+        None if args.get("cache-cap").is_some() => {
+            Ok(Some(std::sync::Arc::new(PlanCache::memory(cap))))
+        }
+        None => Ok(None),
+    }
+}
+
 fn cmd_plan(args: &Args) -> Result<(), String> {
     let setup = setup(args)?;
     let mut b = builder(&setup);
@@ -206,6 +237,23 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     }
     if let Some(nodes) = u64_flag(args, "max-nodes")? {
         b = b.max_nodes(nodes);
+    }
+    let cache = cache_from_args(args)?;
+    if let Some(cache) = &cache {
+        b = b.plan_cache(std::sync::Arc::clone(cache));
+        if cache.persistent() {
+            let report = cache.load_report();
+            eprintln!(
+                "cache: {} record(s) warm-loaded from {}{}",
+                report.loaded,
+                args.get("cache-dir").unwrap_or("?"),
+                if report.quarantined > 0 {
+                    format!(", {} quarantined", report.quarantined)
+                } else {
+                    String::new()
+                }
+            );
+        }
     }
     let planner = b.build().map_err(|e| e.to_string())?;
     let strategies: Vec<Strategy> = match args.get("strategy").unwrap_or("accpar") {
@@ -275,6 +323,20 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
                 }
             }
         }
+    }
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        eprintln!(
+            "cache: {} hit(s), {} miss(es){}{}",
+            stats.hits,
+            stats.misses,
+            if stats.poisoned > 0 {
+                format!(", {} poisoned", stats.poisoned)
+            } else {
+                String::new()
+            },
+            if cache.persistent() { "" } else { " (memory-only)" }
+        );
     }
     Ok(())
 }
@@ -407,6 +469,44 @@ mod tests {
         assert!(parse_strategy("zzz").is_err());
         assert_eq!(parse_optimizer("adam").unwrap(), Optimizer::Adam);
         assert!(parse_optimizer("lion").is_err());
+    }
+
+    #[test]
+    fn cache_flags_select_the_right_mode() {
+        // Default: no cache.
+        let args = Args::parse(&argv(&["--model", "lenet"])).unwrap();
+        assert!(cache_from_args(&args).unwrap().is_none());
+        // --no-cache wins even when a directory is given.
+        let args = Args::parse(&argv(&[
+            "--model", "lenet", "--cache-dir", "/tmp/x", "--no-cache",
+        ]))
+        .unwrap();
+        assert!(cache_from_args(&args).unwrap().is_none());
+        // --cache-cap alone enables a memory-only cache.
+        let args =
+            Args::parse(&argv(&["--model", "lenet", "--cache-cap", "8"])).unwrap();
+        let cache = cache_from_args(&args).unwrap().expect("memory cache");
+        assert!(!cache.persistent());
+        // Zero capacity is rejected with a pointer to --no-cache.
+        let args =
+            Args::parse(&argv(&["--model", "lenet", "--cache-cap", "0"])).unwrap();
+        assert!(cache_from_args(&args).is_err());
+    }
+
+    #[test]
+    fn cache_dir_flag_opens_a_persistent_cache() {
+        let dir = std::env::temp_dir().join(format!(
+            "accpar-cli-cache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_owned();
+        let args =
+            Args::parse(&argv(&["--model", "lenet", "--cache-dir", &dir_s])).unwrap();
+        let cache = cache_from_args(&args).unwrap().expect("persistent cache");
+        assert!(cache.persistent());
+        assert_eq!(cache.load_report().loaded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -105,9 +105,10 @@ pub use error::AccParError;
 pub mod prelude {
     pub use crate::error::AccParError;
     pub use accpar_core::{
-        baselines, plan_many, replan, AnytimeReport, Budget, CacheStats, CancelToken, PartialPlan,
-        PlanError, PlanOutcome, PlanRequest, PlannedNetwork, Planner, PlannerBuilder, ReplanConfig,
-        ReplanOutcome, RetryPolicy, SearchCache, ServeConfig, StopReason, Strategy,
+        baselines, plan_many, replan, AnytimeReport, Budget, CacheOutcome, CacheStats, CancelToken,
+        PartialPlan, PlanCache, PlanCacheStats, PlanError, PlanOutcome, PlanRequest, PlannedNetwork,
+        Planner, PlannerBuilder, ReplanConfig, ReplanOutcome, RetryPolicy, SearchCache, ServeConfig,
+        StopReason, Strategy,
     };
     pub use accpar_cost::{CostConfig, CostModel, PairEnv, RatioSolver};
     pub use accpar_dnn::{zoo, Network, NetworkBuilder};

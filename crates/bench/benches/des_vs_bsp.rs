@@ -6,7 +6,7 @@ use accpar_bench::harness::{bench, group};
 use accpar_core::baselines::data_parallel_plan;
 use accpar_dnn::zoo;
 use accpar_hw::{AcceleratorArray, GroupTree};
-use accpar_sim::{simulate_des, SimConfig, Simulator};
+use accpar_sim::{simulate_des, simulate_des_in, DesArena, SimConfig, Simulator};
 use std::hint::black_box;
 
 fn main() {
@@ -23,5 +23,11 @@ fn main() {
     });
     bench("des/resnet18_h8", || {
         black_box(simulate_des(&config, &view, &plan, &tree, None).unwrap())
+    });
+    // The sweep shape: one arena amortized across simulations, so the
+    // steady-state iteration allocates nothing.
+    let mut arena = DesArena::new();
+    bench("des_arena_reuse/resnet18_h8", || {
+        black_box(simulate_des_in(&mut arena, &config, &view, &plan, &tree, None).unwrap())
     });
 }

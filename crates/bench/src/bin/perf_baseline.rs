@@ -7,7 +7,9 @@
 //! state (one persistent [`SearchCache`] across sweeps, the engine as
 //! deployed for `replan` and fault-sensitivity scans) — verifies all
 //! configurations produce bit-identical plans, times a depth-3
-//! hierarchy and both simulator backends, and writes the results to
+//! hierarchy, both simulator backends and a DES-backed fault
+//! sensitivity sweep (eight single-fault scenarios through one reused
+//! [`DesArena`] — the `replan_with_des` leg), and writes the results to
 //! `BENCH_planner.json` so future PRs have a trajectory to compare
 //! against.
 //!
@@ -19,16 +21,21 @@
 //!
 //! `--quick` runs one repetition per measurement (CI smoke mode);
 //! `--ceiling-ms` makes the process fail when zoo-wide planning under
-//! the optimized engine exceeds the given wall-clock ceiling. The
-//! process also fails if the optimized engine's plans are not
-//! bit-identical to the serial engine's.
+//! the optimized engine exceeds the given wall-clock ceiling, and
+//! `--des-ceiling-ms` does the same for the `sim_des/resnet18_h8` leg.
+//! The process also fails if the optimized engine's plans are not
+//! bit-identical to the serial engine's, or (outside `--quick`) if the
+//! DES leg regresses below 10x over the pre-overhaul clone-heavy engine
+//! (the `des_speedup` field).
 //!
 //! `--trace-json PATH` additionally runs one fully traced VGG-16 plan
-//! (after all timing legs, so instrumentation cannot skew them) and
-//! writes the JSON-lines trace — `plan` / `plan.level` / `sim.step`
-//! spans, per-layer `plan.decision` events, memo hit/miss counters and
-//! per-phase simulator timings — to `PATH`. Validate it with the
-//! `trace_check` binary.
+//! plus one traced DES simulation (after all timing legs, so
+//! instrumentation cannot skew them) and writes the JSON-lines trace —
+//! `plan` / `plan.level` / `sim.step` spans, per-layer `plan.decision`
+//! events, memo hit/miss counters, per-phase simulator timings and the
+//! `des.*` vocabulary (`des.build_us` / `des.schedule_us` phase timers,
+//! `des.sims` / `des.tasks` / `des.dep_edges` counters) — to `PATH`.
+//! Validate it with the `trace_check` binary (`--expect-des`).
 //!
 //! `--partial-trace-json PATH` runs one VGG-16 plan under a node budget
 //! sized to solve only the root level, so the trace carries the anytime
@@ -56,13 +63,19 @@ use accpar_core::{
     Budget, CacheOutcome, PlanCache, PlanOutcome, PlannedNetwork, Planner, SearchCache, Strategy,
 };
 use accpar_dnn::{zoo, Network};
-use accpar_hw::{AcceleratorArray, GroupTree};
+use accpar_hw::{AcceleratorArray, FaultModel, GroupTree};
 use accpar_obs::{JsonLines, Obs};
 use accpar_runtime::Pool;
-use accpar_sim::{simulate_des, SimConfig, Simulator};
+use accpar_sim::{simulate_des, simulate_des_in, DesArena, SimConfig, Simulator};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The `sim_des/resnet18_h8` wall time recorded by the last
+/// pre-overhaul run of this benchmark (clone-heavy graph builder,
+/// quadratic dependency fan-in). The overhauled arena engine is gated
+/// at >= 10x over this number.
+const DES_PRE_OVERHAUL_MS: f64 = 104.636109;
 
 /// One `BENCH_planner.json` entry.
 struct Entry {
@@ -109,6 +122,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut out = String::from("BENCH_planner.json");
     let mut ceiling_ms: Option<f64> = None;
+    let mut des_ceiling_ms: Option<f64> = None;
     let mut trace_json: Option<String> = None;
     let mut partial_trace_json: Option<String> = None;
     let mut cache_trace_json: Option<String> = None;
@@ -130,6 +144,13 @@ fn main() -> ExitCode {
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .expect("--ceiling-ms needs a number"),
+                );
+            }
+            "--des-ceiling-ms" => {
+                des_ceiling_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--des-ceiling-ms needs a number"),
                 );
             }
             other => {
@@ -368,7 +389,49 @@ fn main() -> ExitCode {
         threads: 1,
         cache_hit_rate: 0.0,
     });
-    println!("simulator throughput (resnet18, 256 boards): bsp {bsp_ms:.3} ms, des {des_ms:.3} ms");
+    let des_speedup = DES_PRE_OVERHAUL_MS / des_ms;
+    println!(
+        "simulator throughput (resnet18, 256 boards): bsp {bsp_ms:.3} ms, des {des_ms:.3} ms ({des_speedup:.1}x over pre-overhaul {DES_PRE_OVERHAUL_MS:.1} ms)"
+    );
+
+    // DES-backed fault-sensitivity sweep — the replan loop's inner
+    // measurement as deployed: eight single-fault scenarios (degraded
+    // leaves and degraded cuts) replayed through one reusable arena, so
+    // only the first simulation of the sweep pays any allocation.
+    let fault_scenarios: Vec<FaultModel> = (0..4)
+        .map(|i| {
+            FaultModel::with_seed(i as u64)
+                .slow_leaf(i, 0.5)
+                .expect("leaf fault")
+        })
+        .chain((0..4).map(|i| {
+            FaultModel::with_seed(16 + i as u64)
+                .degrade_cut(i, 0.25)
+                .expect("cut fault")
+        }))
+        .collect();
+    let mut des_arena = DesArena::new();
+    let replan_des_ms = time_best_ms(reps, || {
+        fault_scenarios
+            .iter()
+            .map(|faults| {
+                simulate_des_in(&mut des_arena, &config, &view, &plan, &big_tree, Some(faults))
+                    .expect("faulted des sim")
+                    .total_secs
+            })
+            .fold(0.0_f64, f64::max)
+    });
+    entries.push(Entry {
+        name: "replan_with_des/resnet18_fault_sweep".into(),
+        wall_ms: replan_des_ms,
+        threads: 1,
+        cache_hit_rate: 0.0,
+    });
+    println!(
+        "DES fault-sensitivity sweep ({} scenarios, shared arena): {replan_des_ms:.3} ms ({:.3} ms/scenario)",
+        fault_scenarios.len(),
+        replan_des_ms / fault_scenarios.len() as f64
+    );
 
     // Crash-safe plan-cache serving: steady-state served-hit latency
     // against the cold plan it replaces. Every hit pays the admission
@@ -459,6 +522,7 @@ fn main() -> ExitCode {
         ("bit_identical", Json::Bool(identical)),
         ("anytime_overhead_pct", Json::from(anytime_overhead_pct)),
         ("anytime_bit_identical", Json::Bool(armed_identical)),
+        ("des_speedup", Json::from(des_speedup)),
         ("serve_cache_hit_us", Json::from(hit_ms * 1e3)),
         (
             "cache_validation_overhead_pct",
@@ -501,6 +565,9 @@ fn main() -> ExitCode {
             .expect("vgg16 configures cleanly")
             .plan(Strategy::AccPar)
             .expect("traced plan");
+        // One DES simulation under the installed global obs, so the
+        // trace carries the `des.*` vocabulary for `--expect-des`.
+        simulate_des(&config, &view, &plan, &big_tree, None).expect("traced des sim");
         obs.emit_metrics();
         subscriber.flush();
         println!(
@@ -589,9 +656,21 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if !quick && des_speedup < 10.0 {
+        eprintln!(
+            "FAIL: DES leg {des_ms:.3} ms is only {des_speedup:.2}x over the pre-overhaul {DES_PRE_OVERHAUL_MS:.1} ms baseline (target >= 10x)"
+        );
+        return ExitCode::FAILURE;
+    }
     if let Some(ceiling) = ceiling_ms {
         if cold_ms > ceiling {
             eprintln!("FAIL: zoo planning {cold_ms:.1} ms exceeds ceiling {ceiling:.1} ms");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(ceiling) = des_ceiling_ms {
+        if des_ms > ceiling {
+            eprintln!("FAIL: DES leg {des_ms:.3} ms exceeds ceiling {ceiling:.1} ms");
             return ExitCode::FAILURE;
         }
     }

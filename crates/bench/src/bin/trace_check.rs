@@ -46,6 +46,14 @@
 //! `result: "hit"`, and a `cache.hit` metric — the shape a served cache
 //! hit must leave behind.
 //!
+//! The DES vocabulary is schema-checked wherever it appears: every
+//! `des.*` metric must use a known name — the counters `des.sims`,
+//! `des.tasks` and `des.dep_edges` (non-negative integer `value`) and
+//! the build/schedule phase timers `des.build_us` / `des.schedule_us`
+//! (histograms with integer `count >= 1` and numeric `sum >= 0`). With
+//! `--expect-des`, additionally fails unless the trace holds all five —
+//! the shape a traced discrete-event simulation must leave behind.
+//!
 //! Exits non-zero with one message per violation.
 
 use accpar_bench::json::Json;
@@ -66,20 +74,26 @@ fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut expect_partial = false;
     let mut expect_cache_hit = false;
+    let mut expect_des = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--expect-partial" => expect_partial = true,
             "--expect-cache-hit" => expect_cache_hit = true,
+            "--expect-des" => expect_des = true,
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit]");
+                eprintln!(
+                    "usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit] [--expect-des]"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit]");
+        eprintln!(
+            "usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit] [--expect-des]"
+        );
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
@@ -330,14 +344,55 @@ fn main() -> ExitCode {
                 }
             }
             "metric" => {
-                match record.get("name").and_then(Json::as_str) {
+                let name = match record.get("name").and_then(Json::as_str) {
                     Some(name) => {
                         metric_names.insert(name.to_string());
+                        name.to_string()
                     }
-                    None => errors.push(format!("line {no}: metric has no `name`")),
-                }
-                if record.get("type").and_then(Json::as_str).is_none() {
+                    None => {
+                        errors.push(format!("line {no}: metric has no `name`"));
+                        String::new()
+                    }
+                };
+                let mtype = record.get("type").and_then(Json::as_str).map(str::to_string);
+                if mtype.is_none() {
                     errors.push(format!("line {no}: metric has no `type`"));
+                }
+                // The des.* vocabulary is closed: three counters and two
+                // phase timers, each with a fixed payload shape.
+                if name.starts_with("des.") {
+                    match name.as_str() {
+                        "des.sims" | "des.tasks" | "des.dep_edges" => {
+                            if mtype.as_deref() != Some("counter") {
+                                errors.push(format!("line {no}: `{name}` is not a counter"));
+                            }
+                            if id_of(&record, "value").is_none() {
+                                errors.push(format!(
+                                    "line {no}: `{name}` has no non-negative integer `value`"
+                                ));
+                            }
+                        }
+                        "des.build_us" | "des.schedule_us" => {
+                            if mtype.as_deref() != Some("histogram") {
+                                errors.push(format!("line {no}: `{name}` is not a histogram"));
+                            }
+                            match id_of(&record, "count") {
+                                Some(c) if c >= 1 => {}
+                                _ => errors.push(format!(
+                                    "line {no}: `{name}` has no integer `count` >= 1"
+                                )),
+                            }
+                            match record.get("sum").and_then(Json::as_f64) {
+                                Some(s) if s >= 0.0 => {}
+                                _ => errors.push(format!(
+                                    "line {no}: `{name}` has no numeric `sum` >= 0"
+                                )),
+                            }
+                        }
+                        other => errors.push(format!(
+                            "line {no}: unknown des.* metric `{other}`"
+                        )),
+                    }
                 }
             }
             other => errors.push(format!("line {no}: unknown record kind `{other}`")),
@@ -389,6 +444,21 @@ fn main() -> ExitCode {
         }
         if !metric_names.contains("cache.hit") {
             errors.push("no `cache.hit` metric in trace (required by --expect-cache-hit)".into());
+        }
+    }
+    if expect_des {
+        for required in [
+            "des.sims",
+            "des.tasks",
+            "des.dep_edges",
+            "des.build_us",
+            "des.schedule_us",
+        ] {
+            if !metric_names.contains(required) {
+                errors.push(format!(
+                    "no `{required}` metric in trace (required by --expect-des)"
+                ));
+            }
         }
     }
 

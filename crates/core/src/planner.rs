@@ -876,10 +876,7 @@ impl<'a> Planner<'a> {
             Strategy::HyPar => (hypar_plan(&view, &tree)?, complete),
             Strategy::AccPar => {
                 let model = CostModel::new(self.cost_config);
-                let config = SearchConfig {
-                    types: accpar_partition::PartitionType::ALL.to_vec(),
-                    solver: self.solver,
-                };
+                let config = SearchConfig::accpar_with(self.solver);
                 let cache = self.caching.then(|| &*self.cache);
                 let (plan, anytime) = plan_node_budgeted(
                     &view,

@@ -25,7 +25,7 @@ use accpar_cost::{CostConfig, CostModel, RatioSolver};
 use accpar_dnn::TrainView;
 use accpar_hw::{AcceleratorArray, Fault, FaultKind, FaultModel, FaultTarget, GroupTree};
 use accpar_obs::Obs;
-use accpar_partition::{LayerPlan, PartitionType, PlanTree};
+use accpar_partition::{LayerPlan, PlanTree};
 use accpar_runtime::Pool;
 use accpar_sim::{SimConfig, Simulator};
 use std::fmt;
@@ -308,10 +308,7 @@ fn replan_inner(
     // Re-run the layer-wise DP against the degraded capabilities.
     let degraded_tree = surv_tree.degraded(&eff_faults).map_err(PlanError::Hw)?;
     let model = CostModel::new(config.cost_config);
-    let search = SearchConfig {
-        types: PartitionType::ALL.to_vec(),
-        solver: config.solver,
-    };
+    let search = SearchConfig::accpar_with(config.solver);
     let candidate =
         plan_node_with(view, degraded_tree.root(), &model, &search, None, pool, cache)?
             .ok_or_else(|| {

@@ -34,6 +34,7 @@ use accpar_dnn::{TrainElem, TrainLayer, TrainView};
 use accpar_partition::{LayerPlan, NetworkPlan, PartitionType, Ratio, ShardScales};
 use accpar_runtime::{Budget, Pool, RetryPolicy, StopReason};
 use std::borrow::Cow;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Packs a [`StopReason`] into an `AtomicU8` (0 = still running) so
@@ -57,22 +58,37 @@ const fn decode_stop(code: u8) -> Option<StopReason> {
 
 /// Configuration of a level search: the admissible partition types and
 /// the ratio policy.
+///
+/// The type set is a [`Cow`] so the stock configurations
+/// ([`accpar`](SearchConfig::accpar), [`hypar`](SearchConfig::hypar))
+/// borrow `'static` slices — constructing one allocates nothing, which
+/// matters on the replan and serve paths that build a fresh config per
+/// request. Custom sets still work with `vec![...].into()`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchConfig {
     /// The admissible types (the DP's state set).
-    pub types: Vec<PartitionType>,
+    pub types: Cow<'static, [PartitionType]>,
     /// How per-layer ratios are chosen.
     pub solver: RatioSolver,
 }
+
+/// The HyPar state set: data/model parallelism only.
+const HYPAR_TYPES: &[PartitionType] = &[PartitionType::TypeI, PartitionType::TypeII];
 
 impl SearchConfig {
     /// AccPar: the complete three-type space with the Eq. 10 ratio
     /// solver (in its exact-balance form; see [`RatioSolver`]).
     #[must_use]
     pub fn accpar() -> Self {
+        Self::accpar_with(RatioSolver::default())
+    }
+
+    /// AccPar's complete type space under a specific ratio solver.
+    #[must_use]
+    pub fn accpar_with(solver: RatioSolver) -> Self {
         Self {
-            types: PartitionType::ALL.to_vec(),
-            solver: RatioSolver::default(),
+            types: Cow::Borrowed(PartitionType::ALL_SLICE),
+            solver,
         }
     }
 
@@ -82,7 +98,7 @@ impl SearchConfig {
     #[must_use]
     pub fn hypar() -> Self {
         Self {
-            types: vec![PartitionType::TypeI, PartitionType::TypeII],
+            types: Cow::Borrowed(HYPAR_TYPES),
             solver: RatioSolver::Fixed(Ratio::EQUAL),
         }
     }
@@ -107,42 +123,63 @@ pub struct SearchOutcome {
 /// A layer state: its partition type and solved ratio.
 pub(crate) type State = (PartitionType, Ratio);
 
+/// Backpointer sentinel: "no predecessor" (the first trunk element, or
+/// no finite transition). Backtracking leaves the state index unchanged
+/// when it meets one, exactly like the old `Option::None`.
+const NO_PREV: u32 = u32::MAX;
+
 /// The chain DP of one branch up to (excluding) the junction re-layout:
-/// per-type accumulated cost at the last layer plus the backtracking
-/// choices. Empty for identity branches.
+/// per-type accumulated cost at the last layer plus the flat
+/// backtracking table (`back[w * k + ti]` = the type index chosen at
+/// window `w`'s first layer when its second is `ti`). Empty for
+/// identity branches. Both vectors come from (and return to) the
+/// searcher's [`Scratch`] pool.
 struct BranchDp {
     cost: Vec<f64>,
-    back: Vec<Vec<usize>>,
+    back: Vec<u32>,
 }
 
 /// Entry-independent tables of one branch, hoisted out of the per-entry
 /// DP of a block transfer build (see
-/// [`LevelSearcher::block_transfer`]).
+/// [`LevelSearcher::block_transfer`]). Flat, scratch-pooled layouts.
 struct BranchPre {
-    /// `trans[w][ti][tt]`: window `w`'s transition cost from its first
-    /// layer at type index `tt` into its second at `ti`.
-    trans: Vec<Vec<Vec<f64>>>,
-    /// `exit_relay[e][ti]`: re-layout from the branch's last layer at
+    /// `trans[w*k*k + ti*k + tt]`: window `w`'s transition cost from its
+    /// first layer at type index `tt` into its second at `ti`.
+    trans: Vec<f64>,
+    /// `exit_relay[e*k + ti]`: re-layout from the branch's last layer at
     /// type index `ti` into the junction state of exit index `e`.
     /// Empty for identity branches.
-    exit_relay: Vec<Vec<f64>>,
+    exit_relay: Vec<f64>,
     /// The branch's (scaled) contribution to the join tensor.
     exit_elems: u64,
 }
 
-/// Backtracking record for one trunk element.
-enum Step {
-    /// A trunk layer: for each exit state, the best predecessor state.
-    Layer {
-        index: usize,
-        prev: Vec<Option<usize>>,
-    },
-    /// A block: predecessor choices plus, per exit state, the chosen
-    /// types of every branch layer.
-    Block {
-        prev: Vec<Option<usize>>,
-        assignments: Vec<Vec<(usize, usize)>>,
-    },
+/// Backtracking record for one trunk element. Predecessor choices live
+/// in the trunk's flat backpointer table (`back[step*k + ti]`, stride
+/// `k`); a block's chosen branch assignments per exit state are
+/// `(offset, len)` ranges into the flat assignment pool.
+enum StepKind {
+    /// A trunk layer.
+    Layer { index: usize },
+    /// A block: `ranges[range_base + ti]` locates exit state `ti`'s
+    /// `(layer index, type index)` assignment list in the pool.
+    Block { range_base: usize },
+}
+
+/// Reusable buffers behind every DP table the searcher builds: trunk
+/// cost/state rows, flat backpointer tables, branch transition tables
+/// and assignment pools. Buffers are taken out for the duration of one
+/// table build and returned cleared, so repeated searches and
+/// `evaluate_plan` sweeps on one searcher run allocation-free in steady
+/// state. Interior mutability keeps the public `&self` search API; the
+/// searcher is used from one thread at a time (the table *build* in
+/// `with_budget` parallelizes before `Self` exists).
+#[derive(Debug, Default)]
+struct Scratch {
+    f64s: Vec<Vec<f64>>,
+    u32s: Vec<Vec<u32>>,
+    states: Vec<Vec<State>>,
+    pairs: Vec<Vec<(u32, u32)>>,
 }
 
 /// The per-level searcher: precomputes per-(layer, type) ratios and
@@ -184,6 +221,8 @@ pub struct LevelSearcher<'a> {
     cache: Option<&'a SearchCache>,
     /// Context hash for cache keys (cost config + solver + type set).
     ctx: u64,
+    /// Pooled DP buffers (see [`Scratch`]).
+    scratch: RefCell<Scratch>,
 }
 
 impl<'a> LevelSearcher<'a> {
@@ -372,7 +411,59 @@ impl<'a> LevelSearcher<'a> {
             layer_costs,
             cache,
             ctx,
+            scratch: RefCell::new(Scratch::default()),
         })
+    }
+
+    // Scratch-pool accessors. Each borrow is momentary (a pop or a
+    // push), so table-building code can hold any number of taken
+    // buffers without aliasing hazards.
+    fn take_f64(&self) -> Vec<f64> {
+        self.scratch.borrow_mut().f64s.pop().unwrap_or_default()
+    }
+
+    fn put_f64(&self, mut v: Vec<f64>) {
+        v.clear();
+        self.scratch.borrow_mut().f64s.push(v);
+    }
+
+    fn take_u32(&self) -> Vec<u32> {
+        self.scratch.borrow_mut().u32s.pop().unwrap_or_default()
+    }
+
+    fn put_u32(&self, mut v: Vec<u32>) {
+        v.clear();
+        self.scratch.borrow_mut().u32s.push(v);
+    }
+
+    fn take_states(&self) -> Vec<State> {
+        self.scratch.borrow_mut().states.pop().unwrap_or_default()
+    }
+
+    fn put_states(&self, mut v: Vec<State>) {
+        v.clear();
+        self.scratch.borrow_mut().states.push(v);
+    }
+
+    fn take_pairs(&self) -> Vec<(u32, u32)> {
+        self.scratch.borrow_mut().pairs.pop().unwrap_or_default()
+    }
+
+    fn put_pairs(&self, mut v: Vec<(u32, u32)>) {
+        v.clear();
+        self.scratch.borrow_mut().pairs.push(v);
+    }
+
+    /// Returns a finished [`BranchDp`]'s buffers to the pool.
+    fn recycle_dp(&self, dp: BranchDp) {
+        self.put_f64(dp.cost);
+        self.put_u32(dp.back);
+    }
+
+    /// Returns a finished [`BranchPre`]'s buffers to the pool.
+    fn recycle_pre(&self, pre: BranchPre) {
+        self.put_f64(pre.trans);
+        self.put_f64(pre.exit_relay);
     }
 
     /// Number of admissible types.
@@ -451,7 +542,9 @@ impl<'a> LevelSearcher<'a> {
         exit_elems: u64,
     ) -> (f64, Vec<(usize, usize)>) {
         let dp = self.branch_dp(branch, entry);
-        self.branch_finish(branch, &dp, entry, exit, exit_elems)
+        let result = self.branch_finish(branch, &dp, entry, exit, exit_elems);
+        self.recycle_dp(dp);
+        result
     }
 
     /// The entry-dependent part of [`branch_best`](Self::branch_best):
@@ -460,39 +553,39 @@ impl<'a> LevelSearcher<'a> {
     #[allow(clippy::needless_range_loop)]
     fn branch_dp(&self, branch: &[TrainLayer], entry: Option<State>) -> BranchDp {
         let k = self.k();
+        let mut cost = self.take_f64();
+        let back = self.take_u32();
         let Some(first) = branch.first() else {
-            return BranchDp {
-                cost: Vec::new(),
-                back: Vec::new(),
-            };
+            return BranchDp { cost, back };
         };
-        let mut cost: Vec<f64> = (0..k)
-            .map(|ti| {
-                let edge = entry.map_or(0.0, |e| self.consume_cost(e, first.index(), ti));
-                edge + self.layer_costs[first.index()][ti]
-            })
-            .collect();
-        let mut back: Vec<Vec<usize>> = Vec::new();
+        cost.extend((0..k).map(|ti| {
+            let edge = entry.map_or(0.0, |e| self.consume_cost(e, first.index(), ti));
+            edge + self.layer_costs[first.index()][ti]
+        }));
+        let mut dp = BranchDp { cost, back };
+        let mut next_cost = self.take_f64();
         for pair in branch.windows(2) {
             let cur = pair[1].index();
             let prev_layer = pair[0].index();
-            let mut next_cost = vec![f64::INFINITY; k];
-            let mut choice = vec![0usize; k];
+            next_cost.clear();
+            next_cost.resize(k, f64::INFINITY);
+            let row = dp.back.len();
+            dp.back.resize(row + k, 0);
             for ti in 0..k {
                 for tt in 0..k {
-                    let c = cost[tt]
+                    let c = dp.cost[tt]
                         + self.consume_cost(self.state(prev_layer, tt), cur, ti)
                         + self.layer_costs[cur][ti];
                     if c < next_cost[ti] {
                         next_cost[ti] = c;
-                        choice[ti] = tt;
+                        dp.back[row + ti] = tt as u32;
                     }
                 }
             }
-            cost = next_cost;
-            back.push(choice);
+            std::mem::swap(&mut dp.cost, &mut next_cost);
         }
-        BranchDp { cost, back }
+        self.put_f64(next_cost);
+        dp
     }
 
     /// The exit-dependent part of [`branch_best`](Self::branch_best):
@@ -524,20 +617,30 @@ impl<'a> LevelSearcher<'a> {
                 best_ti = ti;
             }
         }
-        // Backtrack type choices along the branch.
-        let mut types_rev = vec![best_ti];
-        let mut ti = best_ti;
-        for choice in dp.back.iter().rev() {
-            ti = choice[ti];
-            types_rev.push(ti);
-        }
-        types_rev.reverse();
-        let assignment = branch
-            .iter()
-            .zip(types_rev)
-            .map(|(layer, ti)| (layer.index(), ti))
-            .collect();
+        // Backtrack type choices along the branch over the flat table.
+        let assignment = self.backtrack_branch(branch, dp, best_ti);
         (best, assignment)
+    }
+
+    /// Walks a branch DP's flat backpointer table from the last layer's
+    /// chosen type index back to the first, returning the per-layer
+    /// `(layer index, type index)` assignment in forward order.
+    fn backtrack_branch(
+        &self,
+        branch: &[TrainLayer],
+        dp: &BranchDp,
+        best_ti: usize,
+    ) -> Vec<(usize, usize)> {
+        let k = self.k();
+        let windows = dp.back.len() / k.max(1);
+        let mut assignment = vec![(0usize, 0usize); branch.len()];
+        let mut ti = best_ti;
+        assignment[branch.len() - 1] = (branch[branch.len() - 1].index(), ti);
+        for w in (0..windows).rev() {
+            ti = dp.back[w * k + ti] as usize;
+            assignment[w] = (branch[w].index(), ti);
+        }
+        assignment
     }
 
     /// The full block transfer table: `table[entry][exit]` (one pseudo
@@ -567,7 +670,7 @@ impl<'a> LevelSearcher<'a> {
             .iter()
             .map(|b| self.branch_pre(b, &exits, fork_elems))
             .collect();
-        entry_list
+        let table = entry_list
             .iter()
             .map(|&entry| {
                 let dps: Vec<BranchDp> = branches
@@ -575,7 +678,7 @@ impl<'a> LevelSearcher<'a> {
                     .zip(&pres)
                     .map(|(b, pre)| self.branch_dp_pre(b, pre, entry))
                     .collect();
-                (0..k)
+                let row = (0..k)
                     .map(|ti| {
                         let mut total = 0.0;
                         let mut slots: Vec<(usize, usize)> = Vec::new();
@@ -593,9 +696,17 @@ impl<'a> LevelSearcher<'a> {
                         }
                         (total, slots)
                     })
-                    .collect()
+                    .collect();
+                for dp in dps {
+                    self.recycle_dp(dp);
+                }
+                row
             })
-            .collect()
+            .collect();
+        for pre in pres {
+            self.recycle_pre(pre);
+        }
+        table
     }
 
     /// Entry-independent tables of one branch: interior transition
@@ -603,39 +714,32 @@ impl<'a> LevelSearcher<'a> {
     fn branch_pre(&self, branch: &[TrainLayer], exits: &[State], fork_elems: u64) -> BranchPre {
         let k = self.k();
         let exit_elems = self.branch_exit_elems(branch, fork_elems);
-        // trans[w][ti][tt]: from window w's first layer at type tt into
-        // its second at type ti (the order `branch_dp`'s loops visit).
-        let trans: Vec<Vec<Vec<f64>>> = branch
-            .windows(2)
-            .map(|pair| {
-                let cur = pair[1].index();
-                let prev_layer = pair[0].index();
-                (0..k)
-                    .map(|ti| {
-                        (0..k)
-                            .map(|tt| self.consume_cost(self.state(prev_layer, tt), cur, ti))
-                            .collect()
-                    })
-                    .collect()
-            })
-            .collect();
-        // exit_relay[e][ti]: from the branch's last layer at type ti
+        // trans[w*k*k + ti*k + tt]: from window w's first layer at type
+        // tt into its second at type ti (the order `branch_dp`'s loops
+        // visit).
+        let mut trans = self.take_f64();
+        for pair in branch.windows(2) {
+            let cur = pair[1].index();
+            let prev_layer = pair[0].index();
+            for ti in 0..k {
+                for tt in 0..k {
+                    trans.push(self.consume_cost(self.state(prev_layer, tt), cur, ti));
+                }
+            }
+        }
+        // exit_relay[e*k + ti]: from the branch's last layer at type ti
         // into the junction state `exits[e]`. Empty for identity
         // branches, whose re-layout starts at the (entry-dependent)
         // fork state instead.
-        let exit_relay: Vec<Vec<f64>> = match branch.last() {
-            Some(last) => exits
-                .iter()
-                .map(|&exit| {
-                    (0..k)
-                        .map(|ti| {
-                            self.relayout_cost(self.state(last.index(), ti), exit, exit_elems)
-                        })
-                        .collect()
-                })
-                .collect(),
-            None => Vec::new(),
-        };
+        let mut exit_relay = self.take_f64();
+        if let Some(last) = branch.last() {
+            for &exit in exits {
+                for ti in 0..k {
+                    exit_relay
+                        .push(self.relayout_cost(self.state(last.index(), ti), exit, exit_elems));
+                }
+            }
+        }
         BranchPre {
             trans,
             exit_relay,
@@ -653,36 +757,37 @@ impl<'a> LevelSearcher<'a> {
         entry: Option<State>,
     ) -> BranchDp {
         let k = self.k();
+        let mut cost = self.take_f64();
+        let back = self.take_u32();
         let Some(first) = branch.first() else {
-            return BranchDp {
-                cost: Vec::new(),
-                back: Vec::new(),
-            };
+            return BranchDp { cost, back };
         };
-        let mut cost: Vec<f64> = (0..k)
-            .map(|ti| {
-                let edge = entry.map_or(0.0, |e| self.consume_cost(e, first.index(), ti));
-                edge + self.layer_costs[first.index()][ti]
-            })
-            .collect();
-        let mut back: Vec<Vec<usize>> = Vec::new();
+        cost.extend((0..k).map(|ti| {
+            let edge = entry.map_or(0.0, |e| self.consume_cost(e, first.index(), ti));
+            edge + self.layer_costs[first.index()][ti]
+        }));
+        let mut dp = BranchDp { cost, back };
+        let mut next_cost = self.take_f64();
         for (w, pair) in branch.windows(2).enumerate() {
             let cur = pair[1].index();
-            let mut next_cost = vec![f64::INFINITY; k];
-            let mut choice = vec![0usize; k];
+            next_cost.clear();
+            next_cost.resize(k, f64::INFINITY);
+            let row = dp.back.len();
+            dp.back.resize(row + k, 0);
             for ti in 0..k {
                 for tt in 0..k {
-                    let c = cost[tt] + pre.trans[w][ti][tt] + self.layer_costs[cur][ti];
+                    let c =
+                        dp.cost[tt] + pre.trans[(w * k + ti) * k + tt] + self.layer_costs[cur][ti];
                     if c < next_cost[ti] {
                         next_cost[ti] = c;
-                        choice[ti] = tt;
+                        dp.back[row + ti] = tt as u32;
                     }
                 }
             }
-            cost = next_cost;
-            back.push(choice);
+            std::mem::swap(&mut dp.cost, &mut next_cost);
         }
-        BranchDp { cost, back }
+        self.put_f64(next_cost);
+        dp
     }
 
     /// [`branch_finish`](Self::branch_finish) over the precomputed exit
@@ -705,24 +810,13 @@ impl<'a> LevelSearcher<'a> {
         }
         let (mut best, mut best_ti) = (f64::INFINITY, 0);
         for ti in 0..k {
-            let c = dp.cost[ti] + pre.exit_relay[exit_ti][ti];
+            let c = dp.cost[ti] + pre.exit_relay[exit_ti * k + ti];
             if c < best {
                 best = c;
                 best_ti = ti;
             }
         }
-        let mut types_rev = vec![best_ti];
-        let mut ti = best_ti;
-        for choice in dp.back.iter().rev() {
-            ti = choice[ti];
-            types_rev.push(ti);
-        }
-        types_rev.reverse();
-        let assignment = branch
-            .iter()
-            .zip(types_rev)
-            .map(|(layer, ti)| (layer.index(), ti))
-            .collect();
+        let assignment = self.backtrack_branch(branch, dp, best_ti);
         (best, assignment)
     }
 
@@ -833,6 +927,14 @@ impl<'a> LevelSearcher<'a> {
 
     /// The DP with an optional per-layer forced type assignment, under
     /// a cooperative budget (checked once per trunk element).
+    ///
+    /// Every table is flat and scratch-pooled: the cost and
+    /// producer-state rows ping-pong between two `k`-wide buffers, the
+    /// backpointers live in one step-major `u32` table
+    /// ([`NO_PREV`]-sentinelled), and block assignments are
+    /// `(offset, len)` ranges into a shared pool — repeated searches on
+    /// one searcher allocate nothing new in steady state, with arithmetic
+    /// and comparison order identical to the nested-`Vec` formulation.
     fn search_constrained(
         &self,
         forced: Option<&[usize]>,
@@ -840,56 +942,66 @@ impl<'a> LevelSearcher<'a> {
     ) -> Result<SearchOutcome, StopReason> {
         let k = self.k();
         let allowed = |l: usize, ti: usize| forced.is_none_or(|f| f[l] == ti);
-        let mut cost: Option<Vec<f64>> = None;
-        let mut info: Vec<State> = Vec::new();
-        let mut steps: Vec<Step> = Vec::new();
+        let mut cur = self.take_f64();
+        let mut next = self.take_f64();
+        let mut cur_info = self.take_states();
+        let mut next_info = self.take_states();
+        let mut back = self.take_u32();
+        let mut ranges = self.take_pairs();
+        let mut assign_pool = self.take_pairs();
+        let mut slot_layers = self.take_u32();
+        let mut steps: Vec<StepKind> = Vec::with_capacity(self.view.elems().len());
+        // Whether no element has been processed yet (the old
+        // `Option<Vec<f64>>` None state).
+        let mut first = true;
 
         for elem in self.view.elems() {
+            // A budget stop abandons the taken buffers to the allocator
+            // (not the pool) — correct, merely unthrifty on a path that
+            // ends the whole level search anyway.
             budget.check()?;
+            next.clear();
+            next.resize(k, f64::INFINITY);
+            let row = back.len();
+            back.resize(row + k, NO_PREV);
             match elem {
                 TrainElem::Layer(layer) => {
                     let l = layer.index();
-                    let mut next = vec![f64::INFINITY; k];
-                    let mut prev = vec![None; k];
                     for ti in 0..k {
                         if !allowed(l, ti) {
                             continue;
                         }
-                        match &cost {
-                            None => {
-                                next[ti] = self.layer_costs[l][ti];
-                            }
-                            Some(c) => {
-                                for tt in 0..k {
-                                    if c[tt].is_infinite() {
-                                        continue;
-                                    }
-                                    let v = c[tt]
-                                        + self.consume_cost(info[tt], l, ti)
-                                        + self.layer_costs[l][ti];
-                                    if v < next[ti] {
-                                        next[ti] = v;
-                                        prev[ti] = Some(tt);
-                                    }
+                        if first {
+                            next[ti] = self.layer_costs[l][ti];
+                        } else {
+                            for tt in 0..k {
+                                if cur[tt].is_infinite() {
+                                    continue;
+                                }
+                                let v = cur[tt]
+                                    + self.consume_cost(cur_info[tt], l, ti)
+                                    + self.layer_costs[l][ti];
+                                if v < next[ti] {
+                                    next[ti] = v;
+                                    back[row + ti] = tt as u32;
                                 }
                             }
                         }
                     }
-                    steps.push(Step::Layer { index: l, prev });
-                    cost = Some(next);
-                    info = (0..k).map(|ti| self.state(l, ti)).collect();
+                    steps.push(StepKind::Layer { index: l });
+                    next_info.clear();
+                    next_info.extend((0..k).map(|ti| self.state(l, ti)));
                 }
                 TrainElem::Block { branches, fork, .. } => {
                     let fork_elems = self.scaled_fork_elems(branches, fork.size());
-                    let mut next = vec![f64::INFINITY; k];
-                    let mut prev = vec![None; k];
-                    let mut assignments: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k];
+                    let range_base = ranges.len();
+                    ranges.resize(range_base + k, (0, 0));
                     // The memoized path is only taken for free searches:
                     // a forced assignment changes branch costs without
                     // entering the key, so it always recomputes.
                     let table = match (self.cache, forced) {
                         (Some(cache), None) => {
-                            let entries = cost.as_ref().map(|_| info.as_slice());
+                            let entries = (!first).then_some(cur_info.as_slice());
                             let key = BlockKey::new(
                                 branches,
                                 &self.scales,
@@ -910,108 +1022,128 @@ impl<'a> LevelSearcher<'a> {
                     };
                     // Slot → weighted-layer-index map for memoized
                     // assignments (branch-major, matching the table).
-                    let slot_layers: Vec<usize> = match &table {
-                        Some(_) => branches.iter().flatten().map(|l| l.index()).collect(),
-                        None => Vec::new(),
-                    };
-                    let remap = |slots: &[(usize, usize)]| -> Vec<(usize, usize)> {
-                        slots.iter().map(|&(s, t)| (slot_layers[s], t)).collect()
-                    };
+                    slot_layers.clear();
+                    if table.is_some() {
+                        slot_layers
+                            .extend(branches.iter().flatten().map(|l| l.index() as u32));
+                    }
+                    // Records exit state `ti`'s winning assignment as a
+                    // fresh pool range; superseded candidates leave dead
+                    // entries behind (bounded by k·k per block).
+                    let mut record =
+                        |pool: &mut Vec<(u32, u32)>, ti: usize, a: &[(usize, usize)], remap: bool| {
+                            let off = pool.len() as u32;
+                            pool.extend(a.iter().map(|&(s, t)| {
+                                let layer = if remap { slot_layers[s] } else { s as u32 };
+                                (layer, t as u32)
+                            }));
+                            ranges[range_base + ti] = (off, a.len() as u32);
+                        };
                     for ti in 0..k {
-                        match &cost {
-                            None => match &table {
+                        if first {
+                            match &table {
                                 Some(t) => {
                                     let (c, a) = &t[0][ti];
                                     next[ti] = *c;
-                                    assignments[ti] = remap(a);
+                                    record(&mut assign_pool, ti, a, true);
                                 }
                                 None => {
                                     let exit = self.junction_state(branches, ti);
                                     let (c, a) =
                                         self.block_cost(branches, None, exit, fork_elems, forced);
                                     next[ti] = c;
-                                    assignments[ti] = a;
+                                    record(&mut assign_pool, ti, &a, false);
                                 }
-                            },
-                            Some(cur) => {
-                                for tt in 0..k {
-                                    if cur[tt].is_infinite() {
-                                        continue;
-                                    }
-                                    match &table {
-                                        Some(t) => {
-                                            let (c, a) = &t[tt][ti];
-                                            let v = cur[tt] + c;
-                                            if v < next[ti] {
-                                                next[ti] = v;
-                                                prev[ti] = Some(tt);
-                                                assignments[ti] = remap(a);
-                                            }
+                            }
+                        } else {
+                            for tt in 0..k {
+                                if cur[tt].is_infinite() {
+                                    continue;
+                                }
+                                match &table {
+                                    Some(t) => {
+                                        let (c, a) = &t[tt][ti];
+                                        let v = cur[tt] + c;
+                                        if v < next[ti] {
+                                            next[ti] = v;
+                                            back[row + ti] = tt as u32;
+                                            record(&mut assign_pool, ti, a, true);
                                         }
-                                        None => {
-                                            let exit = self.junction_state(branches, ti);
-                                            let (c, a) = self.block_cost(
-                                                branches,
-                                                Some(info[tt]),
-                                                exit,
-                                                fork_elems,
-                                                forced,
-                                            );
-                                            let v = cur[tt] + c;
-                                            if v < next[ti] {
-                                                next[ti] = v;
-                                                prev[ti] = Some(tt);
-                                                assignments[ti] = a;
-                                            }
+                                    }
+                                    None => {
+                                        let exit = self.junction_state(branches, ti);
+                                        let (c, a) = self.block_cost(
+                                            branches,
+                                            Some(cur_info[tt]),
+                                            exit,
+                                            fork_elems,
+                                            forced,
+                                        );
+                                        let v = cur[tt] + c;
+                                        if v < next[ti] {
+                                            next[ti] = v;
+                                            back[row + ti] = tt as u32;
+                                            record(&mut assign_pool, ti, &a, false);
                                         }
                                     }
                                 }
                             }
                         }
                     }
-                    let junction: Vec<State> =
-                        (0..k).map(|ti| self.junction_state(branches, ti)).collect();
-                    steps.push(Step::Block { prev, assignments });
-                    cost = Some(next);
-                    info = junction;
+                    steps.push(StepKind::Block { range_base });
+                    next_info.clear();
+                    next_info.extend((0..k).map(|ti| self.junction_state(branches, ti)));
                 }
             }
+            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(&mut cur_info, &mut next_info);
+            first = false;
         }
 
-        let cost = cost.expect("a train view has at least one element");
+        assert!(!first, "a train view has at least one element");
         // `total_cmp` orders identically to `partial_cmp` on the finite
         // values the constructor guarantees, and cannot panic if a NaN
         // ever slipped through (it sorts last instead of losing `min`).
-        let (mut ti, best) = cost
+        let (mut ti, best) = cur
             .iter()
             .enumerate()
             .map(|(i, &c)| (i, c))
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("at least one state");
 
-        // Backtrack.
+        // Backtrack over the flat tables.
         let n_layers = self.layers.len();
         let mut plan = vec![LayerPlan::data_parallel(); n_layers];
-        for step in steps.iter().rev() {
+        for (s, step) in steps.iter().enumerate().rev() {
             match step {
-                Step::Layer { index, prev } => {
+                StepKind::Layer { index } => {
                     plan[*index] = LayerPlan::new(self.config.types[ti], self.ratios[*index][ti]);
-                    if let Some(p) = prev[ti] {
-                        ti = p;
-                    }
                 }
-                Step::Block { prev, assignments } => {
-                    for &(layer_idx, a_ti) in &assignments[ti] {
+                StepKind::Block { range_base } => {
+                    let (off, len) = ranges[range_base + ti];
+                    for &(layer_idx, a_ti) in
+                        &assign_pool[off as usize..(off + len) as usize]
+                    {
+                        let (layer_idx, a_ti) = (layer_idx as usize, a_ti as usize);
                         plan[layer_idx] =
                             LayerPlan::new(self.config.types[a_ti], self.ratios[layer_idx][a_ti]);
                     }
-                    if let Some(p) = prev[ti] {
-                        ti = p;
-                    }
                 }
+            }
+            let p = back[s * k + ti];
+            if p != NO_PREV {
+                ti = p as usize;
             }
         }
 
+        self.put_f64(cur);
+        self.put_f64(next);
+        self.put_states(cur_info);
+        self.put_states(next_info);
+        self.put_u32(back);
+        self.put_u32(slot_layers);
+        self.put_pairs(ranges);
+        self.put_pairs(assign_pool);
         Ok(SearchOutcome {
             plan: NetworkPlan::new(plan),
             cost: best,
@@ -1316,7 +1448,7 @@ mod tests {
         let dp_types = [0usize; 2];
         let mut dp_cost = 0.0;
         let equal_config = SearchConfig {
-            types: vec![PartitionType::TypeI],
+            types: vec![PartitionType::TypeI].into(),
             solver: RatioSolver::Fixed(Ratio::EQUAL),
         };
         let dp_search = LevelSearcher::new(&view, &model, &equal_config, &env, None).unwrap();
@@ -1334,7 +1466,7 @@ mod tests {
         let env = hetero_env();
         let model = CostModel::new(CostConfig::default());
         let config = SearchConfig {
-            types: vec![],
+            types: Vec::new().into(),
             solver: RatioSolver::PaperLinear,
         };
         let view = fc_view(8, &[4, 4]);
@@ -1360,7 +1492,7 @@ mod tests {
             vec![PartitionType::TypeII, PartitionType::TypeIII],
         ] {
             let config = SearchConfig {
-                types: subset.clone(),
+                types: subset.clone().into(),
                 solver: RatioSolver::PaperLinear,
             };
             let cost = LevelSearcher::new(&view, &model, &config, &env, None)

@@ -67,6 +67,11 @@ impl PartitionType {
     pub const ALL: [PartitionType; 3] =
         [PartitionType::TypeI, PartitionType::TypeII, PartitionType::TypeIII];
 
+    /// [`ALL`](Self::ALL) as a `'static` slice, so search configurations
+    /// can borrow the full state set instead of allocating a copy per
+    /// construction.
+    pub const ALL_SLICE: &'static [PartitionType] = &Self::ALL;
+
     /// The dimension this type partitions.
     #[must_use]
     pub const fn dim(self) -> PartitionDim {

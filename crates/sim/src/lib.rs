@@ -63,7 +63,9 @@ pub mod trace;
 pub mod tracefile;
 
 pub use config::{MemModel, Optimizer, SimConfig};
-pub use des::{simulate_des, DesReport};
+pub use des::{simulate_des, simulate_des_in, DesArena, DesReport};
+#[doc(hidden)]
+pub use des::simulate_des_naive;
 pub use error::SimError;
 pub use memory::{memory_report, MemoryReport};
 pub use simulator::{LayerBreakdown, SimReport, Simulator};

@@ -118,6 +118,8 @@ pub mod prelude {
         StderrSubscriber, Subscriber,
     };
     pub use accpar_partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, PlanTree, Ratio};
-    pub use accpar_sim::{simulate, simulate_des, SimConfig, SimReport, Simulator};
+    pub use accpar_sim::{
+        simulate, simulate_des, simulate_des_in, DesArena, SimConfig, SimReport, Simulator,
+    };
     pub use accpar_tensor::{ConvGeometry, DataFormat, FeatureShape, KernelShape};
 }

@@ -1,0 +1,197 @@
+//! Golden bit-identity battery for the overhauled DES engine.
+//!
+//! The arena-based engine (flat dependency pool + synthetic join
+//! barriers) must reproduce the pre-overhaul naive expansion — kept in
+//! the tree as `simulate_des_naive` — *bitwise*: `total_secs`, both
+//! busy vectors and the scheduled-task count, across the zoo (CNNs and
+//! transformers), with and without faults, for every partition type in
+//! the plan. `f64::max` over a fixed value set is exact, so routing
+//! fan-ins through zero-duration barriers must not move any finish time
+//! by even one ulp; these tests pin that argument to the real networks.
+
+mod common;
+
+use accpar::partition::{HierPlan, LayerPlan, NetworkPlan, PartitionType, PlanTree, Ratio};
+use accpar::prelude::*;
+use accpar::sim::{simulate_des, simulate_des_in, simulate_des_naive, DesArena, SimConfig};
+use common::Gen;
+
+/// All-Type-I data parallelism at every level.
+fn dp_plan(n: usize, levels: usize) -> PlanTree {
+    HierPlan::new(vec![
+        NetworkPlan::uniform(n, LayerPlan::data_parallel());
+        levels
+    ])
+    .to_tree()
+}
+
+/// A deterministic mixed-type plan: layer `l` at level `v` uses type
+/// `(l + v) mod 3`, exercising psum exchanges in every phase.
+fn striped_plan(n: usize, levels: usize) -> PlanTree {
+    HierPlan::new(
+        (0..levels)
+            .map(|v| {
+                (0..n)
+                    .map(|l| {
+                        LayerPlan::new(PartitionType::ALL[(l + v) % 3], Ratio::EQUAL)
+                    })
+                    .collect::<NetworkPlan>()
+            })
+            .collect(),
+    )
+    .to_tree()
+}
+
+fn assert_bit_identical(
+    label: &str,
+    config: &SimConfig,
+    view: &accpar::dnn::TrainView,
+    plan: &PlanTree,
+    tree: &GroupTree,
+    faults: Option<&FaultModel>,
+) {
+    let fast = simulate_des(config, view, plan, tree, faults).unwrap();
+    let naive = simulate_des_naive(config, view, plan, tree, faults).unwrap();
+    assert_eq!(fast, naive, "{label}: full report mismatch");
+    assert_eq!(
+        fast.total_secs.to_bits(),
+        naive.total_secs.to_bits(),
+        "{label}: total_secs differs bitwise"
+    );
+    for (i, (a, b)) in fast
+        .leaf_busy_secs
+        .iter()
+        .zip(&naive.leaf_busy_secs)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: leaf busy[{i}]");
+    }
+    for (i, (a, b)) in fast
+        .link_busy_secs
+        .iter()
+        .zip(&naive.link_busy_secs)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: link busy[{i}]");
+    }
+}
+
+#[test]
+fn zoo_cnns_match_naive_goldens() {
+    let config = SimConfig::default();
+    let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(4, 4), 3).unwrap();
+    let nets: Vec<(&str, Network)> = vec![
+        ("alexnet", zoo::alexnet(8).unwrap()),
+        ("resnet18", zoo::resnet18(8).unwrap()),
+        ("vgg11", zoo::vgg11(4).unwrap()),
+    ];
+    for (name, net) in &nets {
+        let view = net.train_view().unwrap();
+        let n = view.weighted_len();
+        for (plan_name, plan) in [("dp", dp_plan(n, 3)), ("striped", striped_plan(n, 3))] {
+            assert_bit_identical(
+                &format!("{name}/{plan_name}"),
+                &config,
+                &view,
+                &plan,
+                &tree,
+                None,
+            );
+        }
+    }
+}
+
+#[test]
+fn zoo_transformers_match_naive_goldens() {
+    let config = SimConfig::default();
+    let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(4, 4), 3).unwrap();
+    let nets: Vec<(&str, Network)> = vec![
+        ("bert_base", zoo::bert_base(2, 16).unwrap()),
+        ("gpt2_small", zoo::gpt2_small(2, 16).unwrap()),
+        ("vit_b16", zoo::vit_b16(2).unwrap()),
+    ];
+    for (name, net) in &nets {
+        let view = net.train_view().unwrap();
+        let n = view.weighted_len();
+        for (plan_name, plan) in [("dp", dp_plan(n, 3)), ("striped", striped_plan(n, 3))] {
+            assert_bit_identical(
+                &format!("{name}/{plan_name}"),
+                &config,
+                &view,
+                &plan,
+                &tree,
+                None,
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_zoo_matches_naive_goldens() {
+    // Rate faults (degraded leaves/cuts) and transient stalls all flow
+    // through the same graph builder — the barrier collapse must stay
+    // exact under every fault class.
+    let config = SimConfig::default();
+    let tree = GroupTree::bisect(&AcceleratorArray::heterogeneous_tpu(4, 4), 3).unwrap();
+    let faults = FaultModel::with_seed(7)
+        .slow_leaf(0, 0.5)
+        .unwrap()
+        .degrade_cut(1, 0.25)
+        .unwrap()
+        .stall_leaf(3, 2e-4)
+        .unwrap();
+    let nets: Vec<(&str, Network)> = vec![
+        ("resnet18", zoo::resnet18(8).unwrap()),
+        ("bert_base", zoo::bert_base(2, 16).unwrap()),
+    ];
+    for (name, net) in &nets {
+        let view = net.train_view().unwrap();
+        let n = view.weighted_len();
+        for (plan_name, plan) in [("dp", dp_plan(n, 3)), ("striped", striped_plan(n, 3))] {
+            assert_bit_identical(
+                &format!("{name}/{plan_name}/faulted"),
+                &config,
+                &view,
+                &plan,
+                &tree,
+                Some(&faults),
+            );
+        }
+    }
+}
+
+#[test]
+fn random_encoders_barrier_collapse_is_exact() {
+    // Property: on randomized encoder chains, trees and plans, the
+    // barrier-collapsed dependency graph schedules to exactly the same
+    // finish times as the naive quadratic expansion — asserted through
+    // the full report (makespan is max over final finish[], busy vectors
+    // are per-resource sums). One arena serves the whole sweep, so this
+    // doubles as a reuse soak test.
+    let mut g = Gen(0x5eed_0007);
+    let config = SimConfig::default();
+    let mut arena = DesArena::new();
+    for case in 0..12 {
+        let blocks = g.range(1, 4);
+        let net = common::random_encoder(&mut g, blocks);
+        let view = net.train_view().unwrap();
+        let n = view.weighted_len();
+        let levels = g.range(1, 4);
+        let boards = 1usize << levels;
+        let array = if g.next().is_multiple_of(2) {
+            AcceleratorArray::heterogeneous_tpu(boards / 2, boards / 2)
+        } else {
+            AcceleratorArray::homogeneous_tpu_v3(boards)
+        };
+        let tree = GroupTree::bisect(&array, levels).unwrap();
+        let plan = if g.next().is_multiple_of(2) {
+            dp_plan(n, levels)
+        } else {
+            striped_plan(n, levels)
+        };
+        let fast = simulate_des_in(&mut arena, &config, &view, &plan, &tree, None).unwrap();
+        let naive = simulate_des_naive(&config, &view, &plan, &tree, None).unwrap();
+        assert_eq!(fast, naive, "case {case} ({blocks} blocks, {levels} levels)");
+        assert_eq!(fast.total_secs.to_bits(), naive.total_secs.to_bits());
+    }
+}

@@ -48,6 +48,20 @@
 //! `cache.hit` counters, the `cache.validate` span and its outcome
 //! event). Validate it with `trace_check PATH --expect-cache-hit`.
 //!
+//! `--iso-trace-json PATH` runs one traced 48-block encoder-stack plan,
+//! so the trace carries the isomorphism-collapse vocabulary (the
+//! `plan.iso` span, `iso.classes` / `iso.stamped_rows` counters and the
+//! `iso.collapse_ratio` gauge). Validate it with
+//! `trace_check PATH --expect-iso`.
+//!
+//! The `iso_depth` legs plan synthetic encoder stacks of growing depth
+//! cold (caching off, so the structural collapse — not the memo —
+//! carries the speedup) with isomorphism collapse on and off. The class
+//! count is constant in depth, so collapsed planning stays near-flat
+//! while the uncollapsed engine scales linearly; outside `--quick` the
+//! 96-block stack is gated at >= 5x (`iso_speedup`), and collapsed
+//! plans must stay bit-identical to uncollapsed ones at every depth.
+//!
 //! The `serve_cache` legs time the crash-safe plan cache as deployed:
 //! one cold plan, the steady-state served-hit latency (all per-hit
 //! admission validation included, gated at < 5% of a cold plan), and
@@ -126,6 +140,7 @@ fn main() -> ExitCode {
     let mut trace_json: Option<String> = None;
     let mut partial_trace_json: Option<String> = None;
     let mut cache_trace_json: Option<String> = None;
+    let mut iso_trace_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -138,6 +153,9 @@ fn main() -> ExitCode {
             }
             "--cache-trace-json" => {
                 cache_trace_json = Some(args.next().expect("--cache-trace-json needs a path"));
+            }
+            "--iso-trace-json" => {
+                iso_trace_json = Some(args.next().expect("--iso-trace-json needs a path"));
             }
             "--ceiling-ms" => {
                 ceiling_ms = Some(
@@ -513,6 +531,83 @@ fn main() -> ExitCode {
     );
     let _ = std::fs::remove_dir_all(&cache_dir);
 
+    // Isomorphism-collapse depth scaling: synthetic encoder stacks of
+    // growing depth, planned cold with the memo off on both sides (the
+    // shared cost cache would otherwise dedupe identical rows itself and
+    // mask the structural collapse). The stack has a constant number of
+    // layer equivalence classes regardless of depth, so collapsed
+    // planning time stays near-flat while the uncollapsed engine pays
+    // one DP row per layer per level.
+    let iso_depths: &[usize] = if quick { &[12, 24] } else { &[12, 24, 48, 96] };
+    let iso_batch = 64;
+    let mut iso_speedup = f64::NAN;
+    let mut iso_identical = true;
+    let iso_tree = GroupTree::bisect(&hetero, 3).expect("bisect");
+    let iso_model = accpar_cost::CostModel::new(accpar_cost::CostConfig::default());
+    let iso_config = |collapse: bool| accpar_core::SearchConfig {
+        collapse,
+        ..accpar_core::SearchConfig::accpar()
+    };
+    println!("iso depth scaling (encoder stacks, cold, caching off, {threads} threads):");
+    for &blocks in iso_depths {
+        let net = zoo::deep_stack(iso_batch, 128, blocks).expect("deep stack builds");
+        // Bit-identity through the whole pipeline (plan + simulate)...
+        let plan_deep = |iso: bool| {
+            Planner::builder(&net, &hetero)
+                .threads(threads)
+                .caching(false)
+                .iso(iso)
+                .build()
+                .expect("deep stack configures cleanly")
+                .plan(Strategy::AccPar)
+                .expect("deep stack plan")
+        };
+        let on = plan_deep(true);
+        let off = plan_deep(false);
+        iso_identical &= on.plan() == off.plan()
+            && on.modeled_cost().to_bits() == off.modeled_cost().to_bits();
+        // ...but the timed quantity is the search itself: the BSP
+        // evaluation after planning is O(layers) on both sides and
+        // would otherwise dilute the collapse into the noise.
+        let deep_view = net.train_view().expect("train view");
+        let search_deep = |collapse: bool| {
+            accpar_core::hierarchy::plan_node_with(
+                &deep_view,
+                iso_tree.root(),
+                &iso_model,
+                &iso_config(collapse),
+                None,
+                Pool::new(threads),
+                None,
+            )
+            .expect("deep stack search")
+            .expect("the bisected tree has levels")
+        };
+        iso_identical &= search_deep(true) == search_deep(false);
+        let on_ms = time_best_ms(reps, || search_deep(true));
+        let off_ms = time_best_ms(reps, || search_deep(false));
+        entries.push(Entry {
+            name: format!("iso_depth/deep{blocks}_collapsed"),
+            wall_ms: on_ms,
+            threads,
+            cache_hit_rate: 0.0,
+        });
+        entries.push(Entry {
+            name: format!("iso_depth/deep{blocks}_uncollapsed"),
+            wall_ms: off_ms,
+            threads,
+            cache_hit_rate: 0.0,
+        });
+        let ratio = off_ms / on_ms;
+        if blocks == *iso_depths.last().expect("non-empty depth sweep") {
+            iso_speedup = ratio;
+        }
+        println!(
+            "  deep{blocks:<3} collapsed {on_ms:9.3} ms, uncollapsed {off_ms:9.3} ms ({ratio:.2}x)"
+        );
+    }
+    println!("  bit-identical: {iso_identical}");
+
     let json = Json::obj(vec![
         ("bench", Json::str("planner")),
         ("quick", Json::Bool(quick)),
@@ -523,6 +618,8 @@ fn main() -> ExitCode {
         ("anytime_overhead_pct", Json::from(anytime_overhead_pct)),
         ("anytime_bit_identical", Json::Bool(armed_identical)),
         ("des_speedup", Json::from(des_speedup)),
+        ("iso_speedup", Json::from(iso_speedup)),
+        ("iso_bit_identical", Json::Bool(iso_identical)),
         ("serve_cache_hit_us", Json::from(hit_ms * 1e3)),
         (
             "cache_validation_overhead_pct",
@@ -632,8 +729,43 @@ fn main() -> ExitCode {
         );
     }
 
+    // A traced collapsed plan for `trace_check --expect-iso`: a deep
+    // encoder stack collapses hard, so the trace carries the `plan.iso`
+    // span, the `iso.classes` / `iso.stamped_rows` counters and the
+    // `iso.collapse_ratio` gauge.
+    if let Some(path) = &iso_trace_json {
+        let file = std::fs::File::create(path).expect("create iso trace file");
+        let subscriber = Arc::new(JsonLines::new(std::io::BufWriter::new(file)));
+        let obs = Obs::new(Arc::clone(&subscriber));
+        let deep = zoo::deep_stack(iso_batch, 128, 48).expect("deep stack builds");
+        let traced = Planner::builder(&deep, &hetero)
+            .threads(threads)
+            .obs(obs.clone())
+            .build()
+            .expect("deep stack configures cleanly")
+            .plan(Strategy::AccPar)
+            .expect("traced collapsed plan");
+        obs.emit_metrics();
+        subscriber.flush();
+        println!(
+            "wrote {path} (deep48 on 4+4 boards, {} layers, modeled {:.3} ms)",
+            traced.plan().plan().len(),
+            traced.modeled_cost() * 1e3
+        );
+    }
+
     if !identical {
         eprintln!("FAIL: optimized engine's plans are not bit-identical to serial");
+        return ExitCode::FAILURE;
+    }
+    if !iso_identical {
+        eprintln!("FAIL: collapsed plans are not bit-identical to uncollapsed plans");
+        return ExitCode::FAILURE;
+    }
+    if !quick && iso_speedup < 5.0 {
+        eprintln!(
+            "FAIL: isomorphism collapse is only {iso_speedup:.2}x on the 96-block stack (target >= 5x)"
+        );
         return ExitCode::FAILURE;
     }
     if !hit_identical {

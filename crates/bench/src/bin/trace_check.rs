@@ -54,6 +54,16 @@
 //! `--expect-des`, additionally fails unless the trace holds all five —
 //! the shape a traced discrete-event simulation must leave behind.
 //!
+//! The isomorphism-collapse vocabulary is schema-checked wherever it
+//! appears: every `plan.iso` span carries integer `classes >= 1` and
+//! `layers >= 1` fields and a `collapse_ratio` in `(0, 1]`; every
+//! `iso.*` metric must use a known name — the counters `iso.classes`
+//! and `iso.stamped_rows` (non-negative integer `value`) and the gauge
+//! `iso.collapse_ratio` (numeric `value` in `(0, 1]`). With
+//! `--expect-iso`, additionally fails unless the trace holds a
+//! `plan.iso` span and all three metrics — the shape a traced collapsed
+//! planner run must leave behind.
+//!
 //! Exits non-zero with one message per violation.
 
 use accpar_bench::json::Json;
@@ -75,16 +85,18 @@ fn main() -> ExitCode {
     let mut expect_partial = false;
     let mut expect_cache_hit = false;
     let mut expect_des = false;
+    let mut expect_iso = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--expect-partial" => expect_partial = true,
             "--expect-cache-hit" => expect_cache_hit = true,
             "--expect-des" => expect_des = true,
+            "--expect-iso" => expect_iso = true,
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit] [--expect-des]"
+                    "usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit] [--expect-des] [--expect-iso]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -92,7 +104,7 @@ fn main() -> ExitCode {
     }
     let Some(path) = path else {
         eprintln!(
-            "usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit] [--expect-des]"
+            "usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit] [--expect-des] [--expect-iso]"
         );
         return ExitCode::FAILURE;
     };
@@ -165,6 +177,24 @@ fn main() -> ExitCode {
                             errors.push(format!(
                                 "line {no}: cache.validate has no integer `levels`"
                             ));
+                        }
+                    }
+                    if name == "plan.iso" {
+                        let fields =
+                            record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                        for field in ["classes", "layers"] {
+                            match id_of(&fields, field) {
+                                Some(v) if v >= 1 => {}
+                                _ => errors.push(format!(
+                                    "line {no}: plan.iso has no integer `{field}` >= 1"
+                                )),
+                            }
+                        }
+                        match fields.get("collapse_ratio").and_then(Json::as_f64) {
+                            Some(r) if r > 0.0 && r <= 1.0 => {}
+                            _ => errors.push(format!(
+                                "line {no}: plan.iso `collapse_ratio` is not in (0, 1]"
+                            )),
                         }
                     }
                 } else {
@@ -394,6 +424,36 @@ fn main() -> ExitCode {
                         )),
                     }
                 }
+                // The iso.* vocabulary is closed: two counters and the
+                // collapse-ratio gauge, each with a fixed payload shape.
+                if name.starts_with("iso.") {
+                    match name.as_str() {
+                        "iso.classes" | "iso.stamped_rows" => {
+                            if mtype.as_deref() != Some("counter") {
+                                errors.push(format!("line {no}: `{name}` is not a counter"));
+                            }
+                            if id_of(&record, "value").is_none() {
+                                errors.push(format!(
+                                    "line {no}: `{name}` has no non-negative integer `value`"
+                                ));
+                            }
+                        }
+                        "iso.collapse_ratio" => {
+                            if mtype.as_deref() != Some("gauge") {
+                                errors.push(format!("line {no}: `{name}` is not a gauge"));
+                            }
+                            match record.get("value").and_then(Json::as_f64) {
+                                Some(r) if r > 0.0 && r <= 1.0 => {}
+                                _ => errors.push(format!(
+                                    "line {no}: `{name}` has no numeric `value` in (0, 1]"
+                                )),
+                            }
+                        }
+                        other => errors.push(format!(
+                            "line {no}: unknown iso.* metric `{other}`"
+                        )),
+                    }
+                }
             }
             other => errors.push(format!("line {no}: unknown record kind `{other}`")),
         }
@@ -457,6 +517,18 @@ fn main() -> ExitCode {
             if !metric_names.contains(required) {
                 errors.push(format!(
                     "no `{required}` metric in trace (required by --expect-des)"
+                ));
+            }
+        }
+    }
+    if expect_iso {
+        if spans_named("plan.iso") == 0 {
+            errors.push("no `plan.iso` span in trace (required by --expect-iso)".into());
+        }
+        for required in ["iso.classes", "iso.stamped_rows", "iso.collapse_ratio"] {
+            if !metric_names.contains(required) {
+                errors.push(format!(
+                    "no `{required}` metric in trace (required by --expect-iso)"
                 ));
             }
         }

@@ -121,6 +121,7 @@ impl fmt::Display for PlanKey {
 fn lane(
     seed: u64,
     view: &TrainView,
+    iso: &accpar_dnn::iso::IsoClasses,
     array: &AcceleratorArray,
     strategy: Strategy,
     levels: usize,
@@ -131,8 +132,9 @@ fn lane(
 ) -> u64 {
     let mut h = FxHasher::default();
     h.write_u64(seed);
-    // Layer DAG: canonical element walk with interned signatures.
-    hash_view(&mut h, view, cost_config);
+    // Layer DAG: the canonical class multiset (classified once by the
+    // caller — it prices both lanes).
+    hash_view(&mut h, view, iso, cost_config);
     // Hardware: every board's full capability vector, in array order.
     h.write_usize(array.len());
     for board in array.boards() {
@@ -190,9 +192,10 @@ pub fn plan_key(
     sim_config: &SimConfig,
     budget: &Budget,
 ) -> PlanKey {
+    let iso = accpar_dnn::iso::IsoClasses::of(view);
     let h = |seed| {
         lane(
-            seed, view, array, strategy, levels, cost_config, solver, sim_config, budget,
+            seed, view, &iso, array, strategy, levels, cost_config, solver, sim_config, budget,
         )
     };
     PlanKey {

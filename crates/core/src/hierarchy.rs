@@ -222,6 +222,11 @@ pub fn plan_node_budgeted(
         obs,
         budget,
         progress: &progress,
+        // Classification is a pure function of the view: compute it
+        // once here and share it across every level of the tree.
+        iso: config
+            .collapse
+            .then(|| accpar_dnn::iso::IsoClasses::of(view)),
         // The fingerprint only ever enters cache keys; without a cache
         // the whole walk is skipped.
         fp: match cache {
@@ -253,6 +258,9 @@ struct Ctx<'a> {
     obs: &'a Obs,
     budget: &'a Budget,
     progress: &'a Progress,
+    /// The per-plan isomorphism classification (`Some` iff
+    /// [`SearchConfig::collapse`] is on), shared by every level.
+    iso: Option<accpar_dnn::iso::IsoClasses>,
     /// View fingerprint ⊕ context hash — constant across the tree, so a
     /// level memo key only adds the (env, scales) bits that vary.
     fp: u64,
@@ -320,18 +328,24 @@ fn plan_rec(
                 // The level's cost table was served wholesale from the
                 // memo. Charge the same rows a cold build would have:
                 // budget semantics must not depend on cache warmth.
+                // Under isomorphism collapse a cold build charges one
+                // node per equivalence class, so the hit does too.
+                let rows = match &ctx.iso {
+                    Some(iso) => crate::search::collapse_group_count(iso, scales),
+                    None => scales.len() as u64,
+                };
                 ctx.budget
-                    .try_charge(scales.len() as u64)
+                    .try_charge(rows)
                     .map(|()| {
                         if let Some(c) = ctx.cache {
-                            c.note_cells((ctx.config.types.len() * scales.len()) as u64);
+                            c.note_cells(ctx.config.types.len() as u64 * rows);
                         }
                         outcome
                     })
             }
             None => {
                 let timer = ctx.obs.timer("planner.level_search_ns");
-                let result = LevelSearcher::with_budget(
+                let result = LevelSearcher::with_budget_iso(
                     ctx.view,
                     ctx.model,
                     ctx.config,
@@ -341,6 +355,7 @@ fn plan_rec(
                     ctx.cache,
                     ctx.budget,
                     ctx.obs,
+                    ctx.iso.as_ref(),
                 )
                 .and_then(|searcher| {
                     searcher

@@ -67,7 +67,7 @@ pub use hierarchy::AnytimeReport;
 pub use memo::{CacheStats, SearchCache};
 pub use planner::{PartialPlan, PlanOutcome, PlannedNetwork, Planner, PlannerBuilder, Strategy};
 pub use replan::{replan, FaultImpact, PlanDelta, ReplanConfig, ReplanOutcome};
-pub use search::{LevelSearcher, SearchConfig, SearchOutcome};
+pub use search::{level_class_keys, LevelSearcher, SearchConfig, SearchOutcome};
 pub use serve::{plan_many, PlanRequest, ServeConfig};
 
 // Re-export the budget vocabulary so `accpar_core` users don't need a

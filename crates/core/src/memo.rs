@@ -339,22 +339,47 @@ pub(crate) fn context_hash(
 /// layer signatures and indices, fork shapes and branch arrangements.
 pub(crate) fn view_fingerprint(view: &TrainView, config: &CostConfig) -> u64 {
     let mut h = FxHasher::default();
-    hash_view(&mut h, view, config);
+    let iso = accpar_dnn::iso::IsoClasses::of(view);
+    hash_view(&mut h, view, &iso, config);
     h.finish()
 }
 
 /// Feeds the canonical view structure into an arbitrary hasher state.
 /// Shared between the single-lane [`view_fingerprint`] above and the
 /// plan cache's two-lane content key, which primes each lane with a
-/// different seed before hashing the same byte stream.
-pub(crate) fn hash_view(h: &mut impl std::hash::Hasher, view: &TrainView, config: &CostConfig) {
+/// different seed before hashing the same byte stream. Classification
+/// is the expensive half of the fingerprint, so callers hashing more
+/// than one lane pass the same [`IsoClasses`] to each.
+///
+/// The structure lane is the *canonical class multiset* of the view:
+/// the element walk as a sequence of [`IsoClasses`] element class ids,
+/// then each class's full content exactly once (via its representative
+/// element). Raw layer indices never enter — they are determined by
+/// walk order anyway — so the collapsed and uncollapsed planning paths
+/// hash bit-identically by construction: the hash is a function of the
+/// view alone, never of how the search will traverse it. A cache entry
+/// written by either path therefore validates and hits from the other.
+///
+/// [`IsoClasses`]: accpar_dnn::iso::IsoClasses
+pub(crate) fn hash_view(
+    h: &mut impl std::hash::Hasher,
+    view: &TrainView,
+    iso: &accpar_dnn::iso::IsoClasses,
+    config: &CostConfig,
+) {
     let mut h = h;
-    for elem in view.elems() {
-        match elem {
+    // The walk, collapsed to class ids (order-preserving).
+    view.elems().len().hash(&mut h);
+    for id in iso.elem_class_ids() {
+        id.hash(&mut h);
+    }
+    // Each class's value-complete content, once, in class-id order.
+    for class in 0..iso.elem_classes() {
+        match &view.elems()[iso.elem_rep(class)] {
             TrainElem::Layer(l) => {
                 0u8.hash(&mut h);
-                l.index().hash(&mut h);
                 LayerSig::of(l, config).hash(&mut h);
+                l.heads().hash(&mut h);
             }
             TrainElem::Block { branches, fork, .. } => {
                 1u8.hash(&mut h);
@@ -363,8 +388,8 @@ pub(crate) fn hash_view(h: &mut impl std::hash::Hasher, view: &TrainView, config
                 for b in branches {
                     b.len().hash(&mut h);
                     for l in b {
-                        l.index().hash(&mut h);
                         LayerSig::of(l, config).hash(&mut h);
+                        l.heads().hash(&mut h);
                     }
                 }
             }

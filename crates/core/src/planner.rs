@@ -263,6 +263,7 @@ pub struct PlannerBuilder<'a> {
     sim_config: SimConfig,
     threads: Option<usize>,
     caching: bool,
+    iso: bool,
     cache: Option<Arc<SearchCache>>,
     plan_cache: Option<Arc<PlanCache>>,
     memory_cap: Option<Optimizer>,
@@ -289,6 +290,7 @@ impl<'a> PlannerBuilder<'a> {
             sim_config: SimConfig::cost_model_aligned(),
             threads: None,
             caching: true,
+            iso: true,
             cache: None,
             plan_cache: None,
             memory_cap: None,
@@ -364,6 +366,19 @@ impl<'a> PlannerBuilder<'a> {
     #[must_use]
     pub fn cache(mut self, cache: Arc<SearchCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Enables or disables isomorphism collapse in the AccPar search
+    /// (default: enabled). When on, structurally identical layers are
+    /// grouped into equivalence classes and each DP cost-table row is
+    /// computed once per class, then stamped onto every member —
+    /// bit-identical to the uncollapsed search, since a row is a pure
+    /// function of the class key. Disable (the `--no-iso` escape hatch)
+    /// only to cross-check or to measure the collapse speedup itself.
+    #[must_use]
+    pub fn iso(mut self, on: bool) -> Self {
+        self.iso = on;
         self
     }
 
@@ -469,6 +484,7 @@ impl<'a> PlannerBuilder<'a> {
             sim_config: self.sim_config,
             threads: self.threads,
             caching: self.caching,
+            iso: self.iso,
             cache: self.cache.unwrap_or_default(),
             plan_cache: self.plan_cache,
             memory_cap: self.memory_cap,
@@ -512,6 +528,7 @@ pub struct Planner<'a> {
     sim_config: SimConfig,
     threads: Option<usize>,
     caching: bool,
+    iso: bool,
     memory_cap: Option<Optimizer>,
     obs: Obs,
     deadline: Option<Duration>,
@@ -546,6 +563,7 @@ impl<'a> Planner<'a> {
             sim_config: SimConfig::cost_model_aligned(),
             threads: None,
             caching: true,
+            iso: true,
             memory_cap: None,
             obs: Obs::off(),
             deadline: None,
@@ -876,7 +894,23 @@ impl<'a> Planner<'a> {
             Strategy::HyPar => (hypar_plan(&view, &tree)?, complete),
             Strategy::AccPar => {
                 let model = CostModel::new(self.cost_config);
-                let config = SearchConfig::accpar_with(self.solver);
+                let mut config = SearchConfig::accpar_with(self.solver);
+                config.collapse = self.iso;
+                if self.iso && obs.enabled() {
+                    let iso = accpar_dnn::iso::IsoClasses::of(&view);
+                    let classes = iso.layer_classes();
+                    obs.span_at(
+                        "plan.iso",
+                        span.id(),
+                        &[
+                            ("classes", classes.into()),
+                            ("layers", view.weighted_len().into()),
+                            ("collapse_ratio", iso.collapse_ratio().into()),
+                        ],
+                    );
+                    obs.counter("iso.classes").add(classes as u64);
+                    obs.gauge("iso.collapse_ratio").set(iso.collapse_ratio());
+                }
                 let cache = self.caching.then(|| &*self.cache);
                 let (plan, anytime) = plan_node_budgeted(
                     &view,
@@ -1059,6 +1093,7 @@ impl<'a> Planner<'a> {
             sensitivity: true,
             threads: Some(self.threads()),
             obs: self.obs.clone(),
+            iso: self.iso,
         };
         crate::replan::replan_with(
             &view,

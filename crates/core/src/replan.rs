@@ -54,6 +54,11 @@ pub struct ReplanConfig {
     /// default ([`Obs::off`]) is inert; instrumentation never changes
     /// the outcome.
     pub obs: Obs,
+    /// Isomorphism collapse in the degraded search (default: enabled).
+    /// Bit-identical either way — degraded capabilities enter the class
+    /// keys through the environment, so only the classes a fault
+    /// actually touches re-split. See [`SearchConfig::collapse`].
+    pub iso: bool,
 }
 
 impl Default for ReplanConfig {
@@ -65,6 +70,7 @@ impl Default for ReplanConfig {
             sensitivity: true,
             threads: None,
             obs: Obs::off(),
+            iso: true,
         }
     }
 }
@@ -308,7 +314,8 @@ fn replan_inner(
     // Re-run the layer-wise DP against the degraded capabilities.
     let degraded_tree = surv_tree.degraded(&eff_faults).map_err(PlanError::Hw)?;
     let model = CostModel::new(config.cost_config);
-    let search = SearchConfig::accpar_with(config.solver);
+    let mut search = SearchConfig::accpar_with(config.solver);
+    search.collapse = config.iso;
     let candidate =
         plan_node_with(view, degraded_tree.root(), &model, &search, None, pool, cache)?
             .ok_or_else(|| {

@@ -29,7 +29,9 @@
 
 use crate::error::PlanError;
 use crate::memo::{BlockKey, BlockTransfer, SearchCache};
+use accpar_cost::cache::{env_bits, scales_bits, FxHashMap, FxHasher};
 use accpar_cost::{layer_ratio_cost, CostModel, PairEnv, RatioSolver};
+use accpar_dnn::iso::IsoClasses;
 use accpar_dnn::{TrainElem, TrainLayer, TrainView};
 use accpar_partition::{LayerPlan, NetworkPlan, PartitionType, Ratio, ShardScales};
 use accpar_runtime::{Budget, Pool, RetryPolicy, StopReason};
@@ -70,6 +72,16 @@ pub struct SearchConfig {
     pub types: Cow<'static, [PartitionType]>,
     /// How per-layer ratios are chosen.
     pub solver: RatioSolver,
+    /// Isomorphism collapse: group the level's layers into structural
+    /// equivalence classes ([`accpar_dnn::iso::IsoClasses`] refined by
+    /// shard-scale bits), compute one cost-table row per class and
+    /// stamp it across members, and share block transfer tables between
+    /// identical blocks within the level. A row is a pure function of
+    /// (layer signature, scales, env, context), so collapsed plans are
+    /// bit-identical to uncollapsed ones; only the work — and the
+    /// budget charge, one node per *class* — shrinks. On by default;
+    /// disable for A/B debugging (`--no-iso` on the CLI).
+    pub collapse: bool,
 }
 
 /// The HyPar state set: data/model parallelism only.
@@ -89,6 +101,7 @@ impl SearchConfig {
         Self {
             types: Cow::Borrowed(PartitionType::ALL_SLICE),
             solver,
+            collapse: true,
         }
     }
 
@@ -100,6 +113,7 @@ impl SearchConfig {
         Self {
             types: Cow::Borrowed(HYPAR_TYPES),
             solver: RatioSolver::Fixed(Ratio::EQUAL),
+            collapse: true,
         }
     }
 }
@@ -108,6 +122,114 @@ impl Default for SearchConfig {
     fn default() -> Self {
         Self::accpar()
     }
+}
+
+/// The level-scope collapse partition: [`IsoClasses`] layer classes
+/// refined by shard-scale bits (layers whose enclosing levels sharded
+/// them differently must not share a row). Returns one group id per
+/// weighted layer, first-occurrence numbered in layer-index order.
+/// `iso` is precomputed by the caller — classification is a pure
+/// function of the view, so the hierarchy computes it once per plan
+/// and shares it across every level.
+pub(crate) fn collapse_groups(iso: &IsoClasses, scales: &[ShardScales]) -> Vec<usize> {
+    // Uniform fast path: when every layer carries bitwise-equal scales
+    // (always at the root; at any child whose parent assigned one
+    // (type, ratio) across the level), the scale refinement is a no-op
+    // and the groups are exactly the class ids — which are already
+    // first-occurrence numbered in walk order.
+    if let Some((&first, rest)) = scales.split_first() {
+        let bits = scales_bits(first);
+        if rest.iter().all(|&s| scales_bits(s) == bits) {
+            return iso.layer_class_ids().to_vec();
+        }
+    }
+    // Per-class linear intern: within one level the members of a class
+    // rarely see more than a couple of distinct shard scales (siblings
+    // shrink a class's members through near-identical plan entries), so
+    // a short scan beats hashing the (class, bits) pair per layer. Ids
+    // are first-occurrence numbered in layer-index order, exactly as a
+    // global intern would assign them.
+    let mut per_class: Vec<Vec<([u64; 4], usize)>> = vec![Vec::new(); iso.layer_classes()];
+    let mut next = 0usize;
+    scales
+        .iter()
+        .zip(iso.layer_class_ids())
+        .map(|(&s, &class)| {
+            let bits = scales_bits(s);
+            let seen = &mut per_class[class];
+            match seen.iter().find(|&&(b, _)| b == bits) {
+                Some(&(_, gid)) => gid,
+                None => {
+                    let gid = next;
+                    next += 1;
+                    seen.push((bits, gid));
+                    gid
+                }
+            }
+        })
+        .collect()
+}
+
+/// Number of collapse groups one level search would charge its budget:
+/// the budget-class rule's charge for a level-memo hit must equal what
+/// the cold build would have charged.
+pub(crate) fn collapse_group_count(iso: &IsoClasses, scales: &[ShardScales]) -> u64 {
+    let mut per_class: Vec<Vec<[u64; 4]>> = vec![Vec::new(); iso.layer_classes()];
+    let mut count = 0u64;
+    for (l, &s) in scales.iter().enumerate() {
+        let bits = scales_bits(s);
+        let seen = &mut per_class[iso.layer_class(l)];
+        if !seen.contains(&bits) {
+            seen.push(bits);
+            count += 1;
+        }
+    }
+    count
+}
+
+/// The value-complete per-layer equivalence-class key of one level, in
+/// weighted-layer-index order: two layers get equal keys exactly when
+/// the collapsed search would share a cost-table row between them at
+/// this level — same structural class ([`IsoClasses`], which folds in
+/// kind, shapes, meta-dims, attention stage and fan-in context), same
+/// shard scales, same pair environment (so a fault-degraded group
+/// splits every class of the levels it touches) and same search
+/// context (cost config, solver, type set).
+#[must_use]
+pub fn level_class_keys(
+    view: &TrainView,
+    model: &CostModel,
+    config: &SearchConfig,
+    env: &PairEnv,
+    scales: Option<&[ShardScales]>,
+) -> Vec<u64> {
+    use std::hash::{Hash, Hasher};
+    let iso = IsoClasses::of(view);
+    let env_b = env_bits(env);
+    let ctx = crate::memo::context_hash(&model.config(), &config.solver, &config.types);
+    let full;
+    let scales = match scales {
+        Some(s) => s,
+        None => {
+            full = vec![ShardScales::full(); view.weighted_len()];
+            &full
+        }
+    };
+    let mut layers: Vec<&TrainLayer> = view.layers().collect();
+    layers.sort_by_key(|l| l.index());
+    layers
+        .iter()
+        .map(|l| {
+            let mut h = FxHasher::default();
+            iso.layer_class(l.index()).hash(&mut h);
+            accpar_cost::LayerSig::of(l, &model.config()).hash(&mut h);
+            l.heads().hash(&mut h);
+            scales_bits(scales[l.index()]).hash(&mut h);
+            env_b.hash(&mut h);
+            ctx.hash(&mut h);
+            h.finish()
+        })
+        .collect()
 }
 
 /// The result of a level search.
@@ -213,9 +335,14 @@ pub struct LevelSearcher<'a> {
     config: &'a SearchConfig,
     env: &'a PairEnv,
     scales: Cow<'a, [ShardScales]>,
-    /// `ratios[layer][type index]`.
+    /// `group_of[layer]` → row group. Identity when collapse is off;
+    /// under collapse, class members share their representative's group
+    /// so stamping is an index lookup, not a row copy.
+    group_of: Vec<usize>,
+    /// `ratios[group][type index]` — read through [`Self::ratio_of`].
     ratios: Vec<Vec<Ratio>>,
-    /// `layer_costs[layer][type index]`, scalarized.
+    /// `layer_costs[group][type index]`, scalarized — read through
+    /// [`Self::cost_of`].
     layer_costs: Vec<Vec<f64>>,
     /// Shared memo (block transfer tables); `None` disables memoization.
     cache: Option<&'a SearchCache>,
@@ -223,6 +350,37 @@ pub struct LevelSearcher<'a> {
     ctx: u64,
     /// Pooled DP buffers (see [`Scratch`]).
     scratch: RefCell<Scratch>,
+    /// Searcher-local block transfer memo for the collapse path when no
+    /// shared [`SearchCache`] is attached: identical blocks within one
+    /// level (the 48 q|k|v blocks of a deep stack) compute one table.
+    /// With a shared cache the shared tier already dedupes.
+    local_blocks: RefCell<FxHashMap<LocalBlockKey, std::sync::Arc<BlockTransfer>>>,
+    /// Element index → interned block shape id (collapse path only;
+    /// empty when collapse is off). Interned once at build so the DP
+    /// hot path keys its block memo without re-walking the branches.
+    block_shape: Vec<u32>,
+    /// Memoized [`Self::consume_cost`] evaluations (collapse path
+    /// only), keyed `(prev ratio bits, prev type | ti | group of to)`.
+    trans_memo: RefCell<FxHashMap<(u64, u64), f64>>,
+}
+
+/// Key of the searcher-local block memo. Value-complete *within one
+/// searcher*: env, ctx and the model config are constant across the
+/// level, and a row-group id fixes both the member's layer class (which
+/// pins its [`accpar_cost::LayerSig`]) and its shard-scale bits — so
+/// branch structure over group ids plus entry states and fork size pin
+/// the transfer table exactly as the shared cache's `BlockKey` would,
+/// at a fraction of the build cost on the DP hot path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LocalBlockKey {
+    /// Interned block shape id (see `LevelSearcher::block_shape`): two
+    /// blocks share an id iff their branch-major row-group id sequences
+    /// and branch delimitation are equal.
+    shape: u32,
+    /// Entry states as `(type, ratio bits)` per type index; `None` when
+    /// the block opens the network.
+    entries: Option<Vec<(PartitionType, u64)>>,
+    fork_elems: u64,
 }
 
 impl<'a> LevelSearcher<'a> {
@@ -300,6 +458,26 @@ impl<'a> LevelSearcher<'a> {
         budget: &Budget,
         obs: &accpar_obs::Obs,
     ) -> Result<Self, PlanError> {
+        Self::with_budget_iso(view, model, config, env, scales, pool, cache, budget, obs, None)
+    }
+
+    /// [`LevelSearcher::with_budget`] with an optionally precomputed
+    /// isomorphism classification. Classification is a pure function of
+    /// the view, so the hierarchy computes it once per plan and shares
+    /// it across every level instead of re-deriving it per searcher.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn with_budget_iso(
+        view: &'a TrainView,
+        model: &'a CostModel,
+        config: &'a SearchConfig,
+        env: &'a PairEnv,
+        scales: Option<&'a [ShardScales]>,
+        pool: Pool,
+        cache: Option<&'a SearchCache>,
+        budget: &Budget,
+        obs: &accpar_obs::Obs,
+        iso: Option<&IsoClasses>,
+    ) -> Result<Self, PlanError> {
         if config.types.is_empty() {
             return Err(PlanError::EmptySearchSpace);
         }
@@ -316,9 +494,43 @@ impl<'a> LevelSearcher<'a> {
                 layers.len()
             )));
         }
-        // One row per layer: solve the ratio and scalarize the cost for
+        // Isomorphism collapse: the units the table build iterates are
+        // equivalence classes, not layers. A row is a pure function of
+        // (LayerSig, scales, env, ctx), and two class members agree on
+        // all four, so stamping the representative's row onto every
+        // member is bitwise identical to recomputing it. Budget-class
+        // rule: one node is charged per *class* (before its memo
+        // consult), members stamp for free — so an armed budget travels
+        // exactly as far through the level whether the memo is warm or
+        // cold, but further than an uncollapsed build would.
+        let owned_iso;
+        let groups: Option<Vec<usize>> = if config.collapse {
+            let iso = match iso {
+                Some(shared) => shared,
+                None => {
+                    owned_iso = IsoClasses::of(view);
+                    &owned_iso
+                }
+            };
+            Some(collapse_groups(iso, &scales))
+        } else {
+            None
+        };
+        let units: Vec<usize> = match &groups {
+            Some(g) => {
+                let mut reps = Vec::new();
+                for (l, &gid) in g.iter().enumerate() {
+                    if gid == reps.len() {
+                        reps.push(l);
+                    }
+                }
+                reps
+            }
+            None => (0..layers.len()).collect(),
+        };
+        // One row per unit: solve the ratio and scalarize the cost for
         // every admissible type, through the shared memo when present.
-        // The fallible map returns rows in layer order, so the tables
+        // The fallible map returns rows in unit order, so the tables
         // are identical to a serial build. Each row charges one budget
         // node *before* consulting the memo — budget semantics must not
         // depend on cache warmth.
@@ -361,7 +573,8 @@ impl<'a> LevelSearcher<'a> {
                     .unzip(),
             })
         };
-        let rows = match pool.try_par_map(&layers, &RetryPolicy::default(), obs, build_row) {
+        let build_unit = |_u: usize, l: &usize| build_row(*l, &layers[*l]);
+        let rows = match pool.try_par_map(&units, &RetryPolicy::default(), obs, build_unit) {
             Ok(rows) => rows,
             // A unit that panicked through every retry: degrade to the
             // serial path once before giving up with the typed error.
@@ -369,7 +582,7 @@ impl<'a> LevelSearcher<'a> {
                 if obs.enabled() {
                     obs.counter("pool.serial_degrades").inc();
                 }
-                match Pool::serial().try_par_map(&layers, &RetryPolicy::none(), obs, build_row) {
+                match Pool::serial().try_par_map(&units, &RetryPolicy::none(), obs, build_unit) {
                     Ok(rows) => rows,
                     Err(_) => return Err(panic.into()),
                 }
@@ -383,13 +596,27 @@ impl<'a> LevelSearcher<'a> {
             .map(|row| row.expect("no stop reason was recorded, so every row completed"))
             .collect();
         if let Some(c) = cache {
-            c.note_cells((config.types.len() * layers.len()) as u64);
+            c.note_cells((config.types.len() * units.len()) as u64);
         }
+        // Stamp class rows across members by indirection: rows stay one
+        // per group and `group_of` maps every member onto its
+        // representative's row — bit-identical to a per-layer copy by
+        // purity (see above), without the O(layers) clone traffic.
         let (ratios, layer_costs): (Vec<Vec<Ratio>>, Vec<Vec<f64>>) = rows.into_iter().unzip();
+        let group_of: Vec<usize> = match groups {
+            Some(g) => {
+                let stamped = layers.len() - units.len();
+                if stamped > 0 && obs.enabled() {
+                    obs.counter("iso.stamped_rows").add(stamped as u64);
+                }
+                g
+            }
+            None => (0..layers.len()).collect(),
+        };
         // Non-finite guard: a NaN would silently lose every `min`
         // comparison in the DP; reject it up front with a typed error.
-        for (l, costs) in layer_costs.iter().enumerate() {
-            for (ti, &c) in costs.iter().enumerate() {
+        for (l, &gid) in group_of.iter().enumerate() {
+            for (ti, &c) in layer_costs[gid].iter().enumerate() {
                 if !c.is_finite() {
                     return Err(PlanError::NonFinite(format!(
                         "layer {} scalarized to {c} under {}",
@@ -399,6 +626,32 @@ impl<'a> LevelSearcher<'a> {
                 }
             }
         }
+        // Intern each block element's branch-major group-id shape once:
+        // two blocks share a shape id iff their branches list the same
+        // row groups in the same arrangement, which (groups folding
+        // class + scales, env/ctx constant per searcher) is exactly the
+        // sharing condition of the shared cache's `BlockKey`.
+        let block_shape: Vec<u32> = if config.collapse {
+            let mut ids: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+            view.elems()
+                .iter()
+                .map(|elem| match elem {
+                    TrainElem::Block { branches, .. } => {
+                        let slots: usize = branches.iter().map(Vec::len).sum();
+                        let mut shape = Vec::with_capacity(branches.len() + slots);
+                        for b in branches {
+                            shape.push(b.len() as u32);
+                            shape.extend(b.iter().map(|l| group_of[l.index()] as u32));
+                        }
+                        let next = ids.len() as u32;
+                        *ids.entry(shape).or_insert(next)
+                    }
+                    TrainElem::Layer(_) => 0,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let ctx = crate::memo::context_hash(&model.config(), &config.solver, &config.types);
         Ok(Self {
             view,
@@ -407,12 +660,46 @@ impl<'a> LevelSearcher<'a> {
             config,
             env,
             scales,
+            group_of,
             ratios,
             layer_costs,
             cache,
             ctx,
             scratch: RefCell::new(Scratch::default()),
+            local_blocks: RefCell::new(FxHashMap::default()),
+            block_shape,
+            trans_memo: RefCell::new(FxHashMap::default()),
         })
+    }
+
+    /// Solved ratio for layer `l` under type index `ti`, through the
+    /// group indirection.
+    #[inline]
+    fn ratio_of(&self, l: usize, ti: usize) -> Ratio {
+        self.ratios[self.group_of[l]][ti]
+    }
+
+    /// Scalarized cost for layer `l` under type index `ti`, through the
+    /// group indirection.
+    #[inline]
+    fn cost_of(&self, l: usize, ti: usize) -> f64 {
+        self.layer_costs[self.group_of[l]][ti]
+    }
+
+    /// Builds the searcher-local block memo key for the block at
+    /// element index `e` (see [`LocalBlockKey`]).
+    fn local_block_key(
+        &self,
+        e: usize,
+        entries: Option<&[State]>,
+        fork_elems: u64,
+    ) -> LocalBlockKey {
+        LocalBlockKey {
+            shape: self.block_shape[e],
+            entries: entries
+                .map(|es| es.iter().map(|&(t, r)| (t, r.value().to_bits())).collect()),
+            fork_elems,
+        }
     }
 
     // Scratch-pool accessors. Each borrow is momentary (a pop or a
@@ -473,12 +760,37 @@ impl<'a> LevelSearcher<'a> {
 
     /// The state of layer `l` under type index `ti`.
     fn state(&self, l: usize, ti: usize) -> State {
-        (self.config.types[ti], self.ratios[l][ti])
+        (self.config.types[ti], self.ratio_of(l, ti))
     }
 
     /// Conversion cost from a producer state into layer `to` at type
     /// index `ti` (Table 5, consumer-boundary convention).
+    ///
+    /// Under collapse the result is memoized per
+    /// `(prev state, row group of to, ti)`: the group pins the
+    /// consumer's boundary (class fixes `in_fmap`, the group folds the
+    /// scale bits) and its `(type, ratio)` row entry, and env/model are
+    /// constant per searcher — so a memo hit returns the exact `f64` a
+    /// fresh evaluation would. A deep stack's trunk repeats the same
+    /// handful of transitions hundreds of times per level.
     fn consume_cost(&self, prev: State, to: usize, ti: usize) -> f64 {
+        if self.config.collapse {
+            let key = (
+                prev.1.value().to_bits(),
+                prev.0 as u64 | ((ti as u64) << 8) | ((self.group_of[to] as u64) << 32),
+            );
+            if let Some(&c) = self.trans_memo.borrow().get(&key) {
+                return c;
+            }
+            let c = self.consume_cost_raw(prev, to, ti);
+            self.trans_memo.borrow_mut().insert(key, c);
+            return c;
+        }
+        self.consume_cost_raw(prev, to, ti)
+    }
+
+    /// The unmemoized [`Self::consume_cost`] evaluation.
+    fn consume_cost_raw(&self, prev: State, to: usize, ti: usize) -> f64 {
         let boundary =
             (self.layers[to].in_fmap().size() as f64 * self.scales[to].f_in).round() as u64;
         let (t, r) = self.state(to, ti);
@@ -560,7 +872,7 @@ impl<'a> LevelSearcher<'a> {
         };
         cost.extend((0..k).map(|ti| {
             let edge = entry.map_or(0.0, |e| self.consume_cost(e, first.index(), ti));
-            edge + self.layer_costs[first.index()][ti]
+            edge + self.cost_of(first.index(), ti)
         }));
         let mut dp = BranchDp { cost, back };
         let mut next_cost = self.take_f64();
@@ -575,7 +887,7 @@ impl<'a> LevelSearcher<'a> {
                 for tt in 0..k {
                     let c = dp.cost[tt]
                         + self.consume_cost(self.state(prev_layer, tt), cur, ti)
-                        + self.layer_costs[cur][ti];
+                        + self.cost_of(cur, ti);
                     if c < next_cost[ti] {
                         next_cost[ti] = c;
                         dp.back[row + ti] = tt as u32;
@@ -764,7 +1076,7 @@ impl<'a> LevelSearcher<'a> {
         };
         cost.extend((0..k).map(|ti| {
             let edge = entry.map_or(0.0, |e| self.consume_cost(e, first.index(), ti));
-            edge + self.layer_costs[first.index()][ti]
+            edge + self.cost_of(first.index(), ti)
         }));
         let mut dp = BranchDp { cost, back };
         let mut next_cost = self.take_f64();
@@ -777,7 +1089,7 @@ impl<'a> LevelSearcher<'a> {
             for ti in 0..k {
                 for tt in 0..k {
                     let c =
-                        dp.cost[tt] + pre.trans[(w * k + ti) * k + tt] + self.layer_costs[cur][ti];
+                        dp.cost[tt] + pre.trans[(w * k + ti) * k + tt] + self.cost_of(cur, ti);
                     if c < next_cost[ti] {
                         next_cost[ti] = c;
                         dp.back[row + ti] = tt as u32;
@@ -955,7 +1267,7 @@ impl<'a> LevelSearcher<'a> {
         // `Option<Vec<f64>>` None state).
         let mut first = true;
 
-        for elem in self.view.elems() {
+        for (e, elem) in self.view.elems().iter().enumerate() {
             // A budget stop abandons the taken buffers to the allocator
             // (not the pool) — correct, merely unthrifty on a path that
             // ends the whole level search anyway.
@@ -972,7 +1284,7 @@ impl<'a> LevelSearcher<'a> {
                             continue;
                         }
                         if first {
-                            next[ti] = self.layer_costs[l][ti];
+                            next[ti] = self.cost_of(l, ti);
                         } else {
                             for tt in 0..k {
                                 if cur[tt].is_infinite() {
@@ -980,7 +1292,7 @@ impl<'a> LevelSearcher<'a> {
                                 }
                                 let v = cur[tt]
                                     + self.consume_cost(cur_info[tt], l, ti)
-                                    + self.layer_costs[l][ti];
+                                    + self.cost_of(l, ti);
                                 if v < next[ti] {
                                     next[ti] = v;
                                     back[row + ti] = tt as u32;
@@ -1016,6 +1328,25 @@ impl<'a> LevelSearcher<'a> {
                                     key,
                                     self.block_transfer(branches, entries, fork_elems),
                                 )
+                            }))
+                        }
+                        // Collapse without a shared cache: identical
+                        // blocks within this level share one table via
+                        // the searcher-local memo (same value-complete
+                        // key, same table build — bit-identical to both
+                        // the shared-cache and the direct path).
+                        (None, None) if self.config.collapse => {
+                            let entries = (!first).then_some(cur_info.as_slice());
+                            let key = self.local_block_key(e, entries, fork_elems);
+                            let hit = self.local_blocks.borrow().get(&key).cloned();
+                            Some(hit.unwrap_or_else(|| {
+                                let table = std::sync::Arc::new(self.block_transfer(
+                                    branches, entries, fork_elems,
+                                ));
+                                self.local_blocks
+                                    .borrow_mut()
+                                    .insert(key, std::sync::Arc::clone(&table));
+                                table
                             }))
                         }
                         _ => None,
@@ -1117,7 +1448,7 @@ impl<'a> LevelSearcher<'a> {
         for (s, step) in steps.iter().enumerate().rev() {
             match step {
                 StepKind::Layer { index } => {
-                    plan[*index] = LayerPlan::new(self.config.types[ti], self.ratios[*index][ti]);
+                    plan[*index] = LayerPlan::new(self.config.types[ti], self.ratio_of(*index, ti));
                 }
                 StepKind::Block { range_base } => {
                     let (off, len) = ranges[range_base + ti];
@@ -1126,7 +1457,7 @@ impl<'a> LevelSearcher<'a> {
                     {
                         let (layer_idx, a_ti) = (layer_idx as usize, a_ti as usize);
                         plan[layer_idx] =
-                            LayerPlan::new(self.config.types[a_ti], self.ratios[layer_idx][a_ti]);
+                            LayerPlan::new(self.config.types[a_ti], self.ratio_of(layer_idx, a_ti));
                     }
                 }
             }
@@ -1184,8 +1515,8 @@ impl<'a> LevelSearcher<'a> {
                     let l = layer.index();
                     for ti in 0..k {
                         let edge = entry.map_or(0.0, |e| s.consume_cost(e, l, ti));
-                        let c = acc + edge + s.layer_costs[l][ti];
-                        plan[l] = LayerPlan::new(s.config.types[ti], s.ratios[l][ti]);
+                        let c = acc + edge + s.cost_of(l, ti);
+                        plan[l] = LayerPlan::new(s.config.types[ti], s.ratio_of(l, ti));
                         recurse(s, rest, Some(s.state(l, ti)), c, plan, best_cost, best_plan, k);
                     }
                 }
@@ -1240,7 +1571,7 @@ impl<'a> LevelSearcher<'a> {
                 let c = s.branch_cost_fixed(branch, &assignment, entry, exit, exit_elems);
                 for (layer, &ti) in branch.iter().zip(&assignment) {
                     plan[layer.index()] =
-                        LayerPlan::new(s.config.types[ti], s.ratios[layer.index()][ti]);
+                        LayerPlan::new(s.config.types[ti], s.ratio_of(layer.index(), ti));
                 }
                 enumerate_branches(
                     s, branches, b + 1, entry, exit, fork_elems, acc + c, plan, best_cost,
@@ -1294,11 +1625,11 @@ impl<'a> LevelSearcher<'a> {
         if let Some(e) = entry {
             cost += self.consume_cost(e, first.index(), assignment[0]);
         }
-        cost += self.layer_costs[first.index()][assignment[0]];
+        cost += self.cost_of(first.index(), assignment[0]);
         for (i, pair) in branch.windows(2).enumerate() {
             let prev = self.state(pair[0].index(), assignment[i]);
             cost += self.consume_cost(prev, pair[1].index(), assignment[i + 1]);
-            cost += self.layer_costs[pair[1].index()][assignment[i + 1]];
+            cost += self.cost_of(pair[1].index(), assignment[i + 1]);
         }
         let last = branch.last().expect("non-empty");
         let last_state = self.state(last.index(), assignment[assignment.len() - 1]);
@@ -1450,10 +1781,11 @@ mod tests {
         let equal_config = SearchConfig {
             types: vec![PartitionType::TypeI].into(),
             solver: RatioSolver::Fixed(Ratio::EQUAL),
+            collapse: true,
         };
         let dp_search = LevelSearcher::new(&view, &model, &equal_config, &env, None).unwrap();
         for (l, &ti) in dp_types.iter().enumerate() {
-            dp_cost += dp_search.layer_costs[l][ti];
+            dp_cost += dp_search.cost_of(l, ti);
             if l > 0 {
                 dp_cost += dp_search.consume_cost(dp_search.state(l - 1, ti), l, ti);
             }
@@ -1468,6 +1800,7 @@ mod tests {
         let config = SearchConfig {
             types: Vec::new().into(),
             solver: RatioSolver::PaperLinear,
+            collapse: true,
         };
         let view = fc_view(8, &[4, 4]);
         let err = LevelSearcher::new(&view, &model, &config, &env, None).unwrap_err();
@@ -1494,6 +1827,7 @@ mod tests {
             let config = SearchConfig {
                 types: subset.clone().into(),
                 solver: RatioSolver::PaperLinear,
+                collapse: true,
             };
             let cost = LevelSearcher::new(&view, &model, &config, &env, None)
                 .unwrap()

@@ -32,86 +32,14 @@ use accpar_dnn::{AttnStage, TrainLayer, WeightedKind};
 use accpar_partition::{PartitionType, Ratio, ShardScales};
 use accpar_tensor::{FeatureShape, KernelShape};
 use accpar_obs::{Counter, Histo, Obs};
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-/// A fast, deterministic, non-cryptographic hasher (the multiply-rotate
-/// scheme of Firefox's `FxHash`) for the memo maps on the planner's hot
-/// path. Cache keys are ~200 bytes of struct fields, and `SipHash`'s
-/// per-write cost dominates sub-microsecond table cells; the memo maps
-/// are never exposed to untrusted keys, so HashDoS resistance buys
-/// nothing here. Lookup results never depend on iteration order, but
-/// determinism is free: the hash is seed-free and identical across
-/// processes.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for chunk in &mut chunks {
-            let mut word = [0u8; 8];
-            word.copy_from_slice(chunk);
-            self.add(u64::from_le_bytes(word));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut word = [0u8; 8];
-            word[..rest.len()].copy_from_slice(rest);
-            self.add(u64::from_le_bytes(word) ^ rest.len() as u64);
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, n: u8) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u16(&mut self, n: u16) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.add(n);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.add(n as u64);
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-}
-
-/// [`HashMap`] state plugging [`FxHasher`] in.
-pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
-
-/// A [`HashMap`] keyed with [`FxHasher`].
-pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+// The memo maps' hasher lives in `accpar-tensor` (the workspace's
+// lowest layer) so structural passes in `accpar-dnn` can share it;
+// re-exported here because every cache key in this module hashes
+// through it and downstream crates import it from this path.
+pub use accpar_tensor::hash::{FxBuildHasher, FxHashMap, FxHasher};
 
 /// The canonical, position-independent signature of a weighted layer
 /// (see the [module docs](self)).

@@ -1,0 +1,393 @@
+//! Structural isomorphism classes over a [`TrainView`].
+//!
+//! Transformer graphs are dozens of *identical* encoder blocks, so the
+//! layer-wise DP would redo the same cost-table row once per repeat.
+//! This module canonicalizes each weighted layer — its kind, every
+//! resolved shape and meta-dimension, the attention stage, the
+//! first-layer position rule and its *fan-in context* (what structurally
+//! feeds it) — into a value-complete equivalence-class key, and
+//! partitions the view into classes of mutually isomorphic layers and
+//! elements.
+//!
+//! Two layers land in the same class only if every field that can enter
+//! a cost-table row is bitwise equal *and* their predecessors are
+//! themselves class-equal, so a search row computed for one member can
+//! be replayed bit-identically for every other member (see
+//! `accpar-core::search`). Class ids are assigned in first-occurrence
+//! order over the deterministic element walk, so the partition itself is
+//! deterministic — no hasher state leaks into ids.
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_dnn::{iso::IsoClasses, zoo};
+//!
+//! // 12 identical encoder blocks: q/k/v/o/ffn_up/ffn_down repeat, so
+//! // only the first block (plus the embedding) contributes classes.
+//! let view = zoo::bert_base(8, 128)?.train_view()?;
+//! let classes = IsoClasses::of(&view);
+//! assert!(classes.layer_classes() < view.weighted_len() / 4);
+//! # Ok::<(), accpar_dnn::NetworkError>(())
+//! ```
+
+use crate::train::{AttnStage, TrainElem, TrainLayer, TrainView};
+use crate::WeightedKind;
+use accpar_tensor::hash::FxHashMap;
+use accpar_tensor::{FeatureShape, KernelShape};
+
+/// What structurally feeds a layer — the fan-in component of its class
+/// key. Expressed in *content* class ids (the fan-in-free partition of
+/// the first pass), so repeated blocks converge: from the second repeat
+/// on, every repeat is fed by content-identical structure and merges.
+/// A full-context recursion would never merge a chain — each repeat's
+/// predecessor class would differ just because *its* predecessor did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum FanIn {
+    /// The layer opens the network.
+    Start,
+    /// A trunk layer fed by the previous element (its content class).
+    Elem(usize),
+    /// The first layer of a block branch, fed by the fork (the content
+    /// class of the element before the block, if any).
+    Fork(Option<usize>),
+    /// A branch layer fed by the previous layer in its branch (that
+    /// layer's content class).
+    Chain(usize),
+}
+
+/// Value-complete *content* key of one weighted layer: everything a
+/// cost-table row can depend on. The final class key adds the fan-in
+/// context on top ([`FanIn`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LayerKey {
+    kind: WeightedKind,
+    d_in: usize,
+    d_out: usize,
+    in_fmap: FeatureShape,
+    out_fmap: FeatureShape,
+    weight: KernelShape,
+    attn: Option<AttnStage>,
+    heads: Option<usize>,
+    /// The skip-first-backward position rule: layer 0 never merges with
+    /// a repeat, whatever the cost configuration says.
+    first: bool,
+}
+
+impl LayerKey {
+    fn of(l: &TrainLayer) -> Self {
+        Self {
+            kind: l.kind(),
+            d_in: l.d_in(),
+            d_out: l.d_out(),
+            in_fmap: l.in_fmap(),
+            out_fmap: l.out_fmap(),
+            weight: l.weight(),
+            attn: l.attn(),
+            heads: l.heads(),
+            first: l.index() == 0,
+        }
+    }
+}
+
+/// Content key of one chain element: a trunk layer collapses to its
+/// layer content class; a block is its fork/join shapes plus its
+/// branches as layer content class sequences.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ElemKey {
+    Layer(usize),
+    Block {
+        fork: FeatureShape,
+        join: FeatureShape,
+        branches: Vec<Vec<usize>>,
+    },
+}
+
+/// The structural class partition of one [`TrainView`]: every weighted
+/// layer and every chain element mapped to an equivalence class, with
+/// one representative (the first occurrence) per class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsoClasses {
+    /// Weighted-layer index → layer class id.
+    layer_class: Vec<usize>,
+    /// Layer class id → representative weighted-layer index.
+    layer_rep: Vec<usize>,
+    /// Element index → element class id.
+    elem_class: Vec<usize>,
+    /// Element class id → representative element index.
+    elem_rep: Vec<usize>,
+}
+
+impl IsoClasses {
+    /// Partitions the view. Two deterministic passes over the element
+    /// walk — content classes first, then content + fan-in context —
+    /// in `O(weighted layers)` time and space.
+    #[must_use]
+    pub fn of(view: &TrainView) -> Self {
+        // Pass 1: fan-in-free content classes for layers and elements.
+        let mut layer_content_ids: FxHashMap<LayerKey, usize> = FxHashMap::default();
+        let mut elem_content_ids: FxHashMap<ElemKey, usize> = FxHashMap::default();
+        let mut layer_content = vec![0usize; view.weighted_len()];
+        let mut elem_content = Vec::with_capacity(view.elems().len());
+        for elem in view.elems() {
+            let key = match elem {
+                TrainElem::Layer(l) => {
+                    let next = layer_content_ids.len();
+                    let id = *layer_content_ids.entry(LayerKey::of(l)).or_insert(next);
+                    layer_content[l.index()] = id;
+                    ElemKey::Layer(id)
+                }
+                TrainElem::Block {
+                    branches,
+                    fork,
+                    join,
+                } => ElemKey::Block {
+                    fork: *fork,
+                    join: *join,
+                    branches: branches
+                        .iter()
+                        .map(|b| {
+                            b.iter()
+                                .map(|l| {
+                                    let next = layer_content_ids.len();
+                                    let id = *layer_content_ids
+                                        .entry(LayerKey::of(l))
+                                        .or_insert(next);
+                                    layer_content[l.index()] = id;
+                                    id
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                },
+            };
+            let next = elem_content_ids.len();
+            elem_content.push(*elem_content_ids.entry(key).or_insert(next));
+        }
+
+        // Pass 2: refine by fan-in context. Two layers are class-equal
+        // iff their content and their *feeding* content are equal, so
+        // repeat 2..N of an identical block all merge (each is fed by a
+        // content-identical repeat) while repeat 1 — fed by whatever
+        // precedes the stack — stays its own class.
+        let mut layer_ids: FxHashMap<(usize, FanIn), usize> = FxHashMap::default();
+        let mut elem_ids: FxHashMap<(usize, Option<usize>), usize> = FxHashMap::default();
+        let mut layer_class = vec![0usize; view.weighted_len()];
+        let mut layer_rep = Vec::new();
+        let mut elem_class = Vec::with_capacity(view.elems().len());
+        let mut elem_rep = Vec::new();
+
+        let mut intern_layer = |layer_rep: &mut Vec<usize>, index: usize, fan_in| {
+            let next = layer_rep.len();
+            let id = *layer_ids.entry((layer_content[index], fan_in)).or_insert(next);
+            if id == next {
+                layer_rep.push(index);
+            }
+            id
+        };
+
+        let mut prev: Option<usize> = None;
+        for (e, elem) in view.elems().iter().enumerate() {
+            match elem {
+                TrainElem::Layer(l) => {
+                    let fan_in = prev.map_or(FanIn::Start, FanIn::Elem);
+                    layer_class[l.index()] = intern_layer(&mut layer_rep, l.index(), fan_in);
+                }
+                TrainElem::Block { branches, .. } => {
+                    for b in branches {
+                        let mut prev_layer: Option<usize> = None;
+                        for l in b {
+                            let fan_in = prev_layer.map_or(FanIn::Fork(prev), FanIn::Chain);
+                            layer_class[l.index()] =
+                                intern_layer(&mut layer_rep, l.index(), fan_in);
+                            prev_layer = Some(layer_content[l.index()]);
+                        }
+                    }
+                }
+            }
+            let next = elem_rep.len();
+            let id = *elem_ids.entry((elem_content[e], prev)).or_insert(next);
+            if id == next {
+                elem_rep.push(e);
+            }
+            elem_class.push(id);
+            prev = Some(elem_content[e]);
+        }
+
+        Self {
+            layer_class,
+            layer_rep,
+            elem_class,
+            elem_rep,
+        }
+    }
+
+    /// Number of distinct layer classes.
+    #[must_use]
+    pub fn layer_classes(&self) -> usize {
+        self.layer_rep.len()
+    }
+
+    /// Number of distinct element classes.
+    #[must_use]
+    pub fn elem_classes(&self) -> usize {
+        self.elem_rep.len()
+    }
+
+    /// Number of weighted layers partitioned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layer_class.len()
+    }
+
+    /// Whether the view had no weighted layers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layer_class.is_empty()
+    }
+
+    /// The class id of one weighted layer (by its weighted index).
+    #[must_use]
+    pub fn layer_class(&self, layer: usize) -> usize {
+        self.layer_class[layer]
+    }
+
+    /// All layer class ids, indexed by weighted-layer index.
+    #[must_use]
+    pub fn layer_class_ids(&self) -> &[usize] {
+        &self.layer_class
+    }
+
+    /// The class id of one chain element (by element index).
+    #[must_use]
+    pub fn elem_class(&self, elem: usize) -> usize {
+        self.elem_class[elem]
+    }
+
+    /// All element class ids, in element-walk order.
+    #[must_use]
+    pub fn elem_class_ids(&self) -> &[usize] {
+        &self.elem_class
+    }
+
+    /// The representative (first-occurring) weighted-layer index of a
+    /// layer class.
+    #[must_use]
+    pub fn layer_rep(&self, class: usize) -> usize {
+        self.layer_rep[class]
+    }
+
+    /// The representative (first-occurring) element index of an element
+    /// class.
+    #[must_use]
+    pub fn elem_rep(&self, class: usize) -> usize {
+        self.elem_rep[class]
+    }
+
+    /// `classes / layers` — 1.0 means nothing collapsed; a 96-block
+    /// stack collapses towards `O(1/depth)`.
+    #[must_use]
+    pub fn collapse_ratio(&self) -> f64 {
+        if self.layer_class.is_empty() {
+            return 1.0;
+        }
+        self.layer_rep.len() as f64 / self.layer_class.len() as f64
+    }
+
+    /// Rows a collapsed cost-table build stamps instead of computing:
+    /// `layers − classes`.
+    #[must_use]
+    pub fn stamped(&self) -> usize {
+        self.layer_class.len() - self.layer_rep.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use crate::{Layer, NetworkBuilder};
+    use accpar_tensor::ConvGeometry;
+
+    #[test]
+    fn identical_repeats_share_a_class() {
+        // Three identical FC layers after the first: the first is its
+        // own class (position rule + Start fan-in), the second starts
+        // the repeating context, the rest merge into it.
+        let net = NetworkBuilder::new("t", FeatureShape::fc(8, 64))
+            .linear("a", 64, 64)
+            .linear("b", 64, 64)
+            .linear("c", 64, 64)
+            .linear("d", 64, 64)
+            .build()
+            .unwrap();
+        let view = net.train_view().unwrap();
+        let c = IsoClasses::of(&view);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.layer_classes(), 3);
+        assert_ne!(c.layer_class(0), c.layer_class(1));
+        // `b` is fed by the unique first layer; `c` and `d` are both
+        // fed by a repeat — only those two merge.
+        assert_ne!(c.layer_class(1), c.layer_class(2));
+        assert_eq!(c.layer_class(2), c.layer_class(3));
+        assert_eq!(c.layer_rep(c.layer_class(3)), 2);
+        assert_eq!(c.stamped(), 1);
+    }
+
+    #[test]
+    fn shape_differences_split_classes() {
+        let net = NetworkBuilder::new("t", FeatureShape::fc(8, 64))
+            .linear("a", 64, 64)
+            .linear("b", 64, 64)
+            .linear("c", 64, 128)
+            .build()
+            .unwrap();
+        let view = net.train_view().unwrap();
+        let c = IsoClasses::of(&view);
+        assert_eq!(c.layer_classes(), 3);
+    }
+
+    #[test]
+    fn deep_encoder_stacks_collapse_near_constant() {
+        // The whole point: class count must not grow with depth.
+        let shallow = IsoClasses::of(&zoo::deep_stack(4, 32, 8).unwrap().train_view().unwrap());
+        let deep = IsoClasses::of(&zoo::deep_stack(4, 32, 32).unwrap().train_view().unwrap());
+        assert_eq!(shallow.layer_classes(), deep.layer_classes());
+        assert!(deep.collapse_ratio() < shallow.collapse_ratio());
+        assert!(deep.layer_classes() <= 14, "{}", deep.layer_classes());
+    }
+
+    #[test]
+    fn residual_blocks_classify_as_elements() {
+        let net = NetworkBuilder::new("r", FeatureShape::conv(8, 8, 8, 8))
+            .conv2d("stem", 8, 8, ConvGeometry::same(3))
+            .residual(
+                vec![Layer::conv2d("b1", 8, 8, ConvGeometry::same(3))],
+                vec![],
+            )
+            .residual(
+                vec![Layer::conv2d("b2", 8, 8, ConvGeometry::same(3))],
+                vec![],
+            )
+            .build()
+            .unwrap();
+        let view = net.train_view().unwrap();
+        let c = IsoClasses::of(&view);
+        assert_eq!(view.elems().len(), 3);
+        // The first block is fed by the unique stem; the second by a
+        // block — distinct fan-in context, distinct element classes.
+        assert_eq!(c.elem_classes(), 3);
+        assert_eq!(c.elem_rep(c.elem_class(2)), 2);
+    }
+
+    #[test]
+    fn class_ids_are_first_occurrence_ordered() {
+        let view = zoo::bert_base(4, 32).unwrap().train_view().unwrap();
+        let c = IsoClasses::of(&view);
+        let mut seen = 0;
+        for &id in c.layer_class_ids() {
+            assert!(id <= seen, "id {id} before its first occurrence");
+            seen = seen.max(id + 1);
+        }
+        assert_eq!(seen, c.layer_classes());
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`NetworkBuilder`] — fluent construction;
 //! * [`graph::LayerGraph`] — an explicit DAG form with a series-parallel
 //!   decomposition back into a [`Network`];
+//! * [`iso::IsoClasses`] — structural isomorphism classes over a
+//!   [`TrainView`]: repeated encoder blocks collapse into equivalence
+//!   classes the partition search plans once and stamps across repeats;
 //! * [`TrainView`] — the view the partition search consumes: only the
 //!   *weighted* layers (those carrying a kernel `W_l`), each annotated
 //!   with its `F_l` / `F_{l+1}` feature shapes, `D_{i,l}`, `D_{o,l}` and
@@ -39,6 +42,7 @@
 mod builder;
 mod error;
 pub mod graph;
+pub mod iso;
 mod layer;
 mod network;
 mod stats;

@@ -29,7 +29,9 @@ pub use alexnet::alexnet;
 pub use googlenet::googlenet;
 pub use lenet::lenet;
 pub use resnet::{resnet, resnet101, resnet152, resnet18, resnet34, resnet50, ResnetConfig};
-pub use transformer::{bert_base, gpt2_small, vit_b16, BERT_VOCAB, GPT2_VOCAB};
+pub use transformer::{
+    bert_base, deep_stack, gpt2_small, gpt2_xl, vit_b16, BERT_VOCAB, GPT2_VOCAB,
+};
 pub use vgg::{vgg, vgg11, vgg13, vgg16, vgg19, VggConfig};
 
 use crate::error::NetworkError;
@@ -84,6 +86,9 @@ pub fn by_name(name: &str, batch: usize) -> Result<Network, NetworkError> {
         "googlenet" => googlenet(batch),
         "bert_base" => bert_base(batch, DEFAULT_SEQ_LEN),
         "gpt2_small" => gpt2_small(batch, DEFAULT_SEQ_LEN),
+        "gpt2_xl" => gpt2_xl(batch, DEFAULT_SEQ_LEN),
+        "deep48" => deep_stack(batch, DEFAULT_SEQ_LEN, 48),
+        "deep96" => deep_stack(batch, DEFAULT_SEQ_LEN, 96),
         "vit_b16" => vit_b16(batch),
         other => Err(NetworkError::InvalidGraph(format!(
             "unknown zoo network `{other}`"

@@ -87,6 +87,44 @@ pub fn vit_b16(batch: usize) -> Result<Network, NetworkError> {
         .build()
 }
 
+/// GPT-2-XL-class depth (Radford et al.): 48 encoder blocks with
+/// 25 heads over `d_model = 1600` (`d_head = 64`) behind the GPT-2
+/// vocabulary — the configuration that makes planning time *depth*-bound
+/// rather than width-bound, exercised by the isomorphism-collapse path.
+///
+/// # Errors
+///
+/// Construction is infallible for positive `batch` / `seq`; errors
+/// indicate a bug in this function.
+pub fn gpt2_xl(batch: usize, seq: usize) -> Result<Network, NetworkError> {
+    let b = NetworkBuilder::new("gpt2_xl", FeatureShape::seq(batch, seq, 1))
+        .embedding("embed", GPT2_VOCAB, 1600);
+    encoder_stack(b, 48, 25, 1600).layer_norm("final_ln").build()
+}
+
+/// A synthetic deep stack for depth-scaling studies: `blocks` identical
+/// BERT-base-shaped encoder blocks (12 heads, `d_model = 768`) with no
+/// embedding, named `deep{blocks}`. Every block is isomorphic to its
+/// neighbours, so the planner's structural-hash collapse reduces the
+/// whole stack to a handful of layer classes regardless of `blocks`.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::InvalidGraph`] for `blocks == 0`; otherwise
+/// construction is infallible for positive `batch` / `seq`.
+pub fn deep_stack(batch: usize, seq: usize, blocks: usize) -> Result<Network, NetworkError> {
+    if blocks == 0 {
+        return Err(NetworkError::InvalidGraph(
+            "deep_stack needs at least one block".into(),
+        ));
+    }
+    let b = NetworkBuilder::new(
+        format!("deep{blocks}"),
+        FeatureShape::seq(batch, seq, 768),
+    );
+    encoder_stack(b, blocks, 12, 768).layer_norm("final_ln").build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +156,28 @@ mod tests {
         let embed = view.layers().next().unwrap();
         assert_eq!(embed.d_in(), GPT2_VOCAB);
         assert_eq!(embed.d_out(), 768);
+    }
+
+    #[test]
+    fn gpt2_xl_is_48_wide_blocks() {
+        let net = gpt2_xl(2, 32).unwrap();
+        assert_eq!(net.output(), FeatureShape::seq(2, 32, 1600));
+        let view = net.train_view().unwrap();
+        assert_eq!(view.weighted_len(), 1 + 48 * 6);
+        let q = view.layers().find(|l| l.heads().is_some()).unwrap();
+        assert_eq!(q.heads(), Some(25));
+        assert_eq!(q.d_out(), 1600); // 25 heads × d_head 64
+    }
+
+    #[test]
+    fn deep_stack_scales_by_blocks_only() {
+        let d48 = deep_stack(2, 32, 48).unwrap();
+        let d96 = deep_stack(2, 32, 96).unwrap();
+        assert_eq!(d48.name(), "deep48");
+        assert_eq!(d96.name(), "deep96");
+        assert_eq!(d48.train_view().unwrap().weighted_len(), 48 * 6);
+        assert_eq!(d96.train_view().unwrap().weighted_len(), 96 * 6);
+        assert!(deep_stack(2, 32, 0).is_err());
     }
 
     #[test]

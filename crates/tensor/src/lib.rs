@@ -38,6 +38,7 @@
 mod conv;
 mod error;
 mod format;
+pub mod hash;
 mod shape;
 pub mod split;
 

@@ -62,7 +62,7 @@ fn usage() -> &'static str {
   accpar models
   accpar plan     --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
                   [--strategy dp|owt|hypar|accpar|all] [--json] [--explain]
-                  [--deadline-ms N] [--max-nodes N]
+                  [--deadline-ms N] [--max-nodes N] [--no-iso]
                   [--cache-dir PATH] [--cache-cap N] [--no-cache]
   accpar simulate --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
                   [--strategy dp|owt|hypar|accpar] [--optimizer sgd|momentum|adam]
@@ -74,7 +74,11 @@ defaults: --batch 512 --v2 4 --v3 4 --strategy accpar --cache-cap 256
 the plan cache: --cache-dir enables the crash-safe persistent plan
 cache (hits are re-validated before serving; corrupt records are
 quarantined, never served); --cache-cap alone enables a memory-only
-cache; --no-cache disables caching entirely"
+cache; --no-cache disables caching entirely
+
+--no-iso disables isomorphism collapse in the AccPar search (plans are
+bit-identical either way; the switch exists to cross-check and to
+measure the collapse speedup)"
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
@@ -186,7 +190,7 @@ fn cmd_models() -> Result<(), String> {
         println!("  {name:<10} {}", net.stats());
     }
     println!("extensions:");
-    for name in ["resnet101", "resnet152", "googlenet"] {
+    for name in ["resnet101", "resnet152", "googlenet", "gpt2_xl", "deep48", "deep96"] {
         let net = zoo::by_name(name, 1).map_err(|e| e.to_string())?;
         println!("  {name:<10} {}", net.stats());
     }
@@ -237,6 +241,9 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     }
     if let Some(nodes) = u64_flag(args, "max-nodes")? {
         b = b.max_nodes(nodes);
+    }
+    if args.has("no-iso") {
+        b = b.iso(false);
     }
     let cache = cache_from_args(args)?;
     if let Some(cache) = &cache {

@@ -253,6 +253,48 @@ fn poisoned_record_is_evicted_and_replanned() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Cross-path round trip: the fingerprint's structure lane hashes the
+/// *canonical class multiset* of the view — never the traversal the
+/// search will use — so a record written by the uncollapsed planner
+/// validates and hits from the collapsed planner, and vice versa. A
+/// repeated-block transformer maximizes the difference between the two
+/// paths' internal traversals.
+#[test]
+fn cache_entries_round_trip_across_collapse_paths() {
+    let network = zoo::bert_base(4, 32).expect("zoo network");
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    let dir = cache_dir("crosspath");
+    for (writer_iso, reader_iso) in [(false, true), (true, false)] {
+        let _ = fs::remove_dir_all(&dir);
+        let cache = Arc::new(PlanCache::open(&dir, 64, Obs::off()));
+        let plan_with = |iso: bool| {
+            Planner::builder(&network, &array)
+                .levels(2)
+                .iso(iso)
+                .plan_cache(Arc::clone(&cache))
+                .build()
+                .expect("planner builds")
+                .plan_with_budget_cached(Strategy::AccPar, &Budget::unlimited())
+                .expect("network plans")
+        };
+        let (cold, cold_outcome) = plan_with(writer_iso);
+        assert_eq!(cold_outcome, CacheOutcome::Miss);
+        let (warm, warm_outcome) = plan_with(reader_iso);
+        assert_eq!(
+            warm_outcome,
+            CacheOutcome::Hit,
+            "record written with iso={writer_iso} must hit from iso={reader_iso}"
+        );
+        assert_eq!(cold.planned().plan(), warm.planned().plan());
+        assert_eq!(
+            cold.planned().modeled_cost().to_bits(),
+            warm.planned().modeled_cost().to_bits(),
+            "the cross-path hit must serve a bit-identical cost"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn io_failure_degrades_to_memory_only_serving() {
     let (network, array) = setup();

@@ -53,6 +53,16 @@ pub fn mlp(batch: usize, dims: &[usize]) -> Network {
     b.build().expect("valid MLP")
 }
 
+/// A random repeated-block network: one randomized encoder block
+/// repeated `N ∈ 1..=32` times — the worst case (for an uncollapsed
+/// planner) and best case (for the isomorphism collapse) of the
+/// structures the zoo's transformers exhibit. Returns the repeat count
+/// alongside the network so tests can scale assertions by depth.
+pub fn random_repeated_blocks(g: &mut Gen) -> (Network, usize) {
+    let blocks = g.range(1, 33);
+    (random_encoder(g, blocks), blocks)
+}
+
 /// A random transformer encoder chain of `blocks` pre-norm blocks with
 /// randomized head count, model width, sequence length, and batch.
 pub fn random_encoder(g: &mut Gen, blocks: usize) -> Network {

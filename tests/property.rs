@@ -96,6 +96,7 @@ fn search_never_loses_to_data_parallelism_on_its_own_objective() {
         let dp_only = SearchConfig {
             types: vec![PartitionType::TypeI].into(),
             solver: accpar::cost::RatioSolver::Fixed(Ratio::EQUAL),
+            collapse: true,
         };
         let dp = LevelSearcher::new(&view, &model, &dp_only, &env, None)
             .unwrap()

@@ -73,6 +73,67 @@ fn transformer_golden_plans() {
     }
 }
 
+/// Golden-plan snapshots for the synthetic deep stacks and GPT-2 XL.
+/// Their chains are periodic — one encoder block's 6-layer type pattern
+/// repeated per block, with only the chain-opening layers special — so
+/// the goldens are written as `prefix + block × repeats` instead of
+/// 300-character literals. Any search or cost-model change that moves
+/// them must be deliberate; regenerate by printing `type_string()` and
+/// `modeled_cost()` under this exact config.
+#[test]
+fn deep_stack_golden_plans() {
+    fn periodic(prefix: &str, block: &str, repeats: usize) -> String {
+        let mut s = String::from(prefix);
+        for _ in 0..repeats {
+            s.push_str(block);
+        }
+        s
+    }
+    // (name, cost, level 0, level 1a, level 1b)
+    let goldens = [
+        (
+            "deep48",
+            4.554_918_873_380_588_4e-1,
+            periodic("III232", "333232", 47),
+            periodic("222", "I", 285),
+            periodic("III232", "333232", 47),
+        ),
+        (
+            "deep96",
+            9.109_837_746_760_895e-1,
+            periodic("III232", "333232", 95),
+            periodic("222", "I", 573),
+            periodic("III232", "333232", 95),
+        ),
+        (
+            "gpt2_xl",
+            9.586_460_244_450_378e-1,
+            periodic("2", "333232", 48),
+            periodic("", "I", 289),
+            periodic("3222232", "333232", 47),
+        ),
+    ];
+    let array = AcceleratorArray::heterogeneous_tpu(2, 2);
+    for (name, golden_cost, l0, l1a, l1b) in goldens {
+        let net = zoo::by_name(name, 8).unwrap();
+        let planned = Planner::builder(&net, &array)
+            .levels(2)
+            .build()
+            .unwrap()
+            .plan(Strategy::AccPar)
+            .unwrap();
+        assert_eq!(planned.plan().plan().type_string(), l0, "{name} level 0");
+        let (a, b) = planned.plan().children().expect("two levels");
+        assert_eq!(a.plan().type_string(), l1a, "{name} level 1a");
+        assert_eq!(b.plan().type_string(), l1b, "{name} level 1b");
+        let cost = planned.modeled_cost();
+        assert!(
+            (cost - golden_cost).abs() <= 1e-9 * golden_cost,
+            "{name}: cost {cost:.17e} vs golden {golden_cost:.17e}"
+        );
+    }
+}
+
 #[test]
 fn baseline_type_constraints() {
     let array = AcceleratorArray::heterogeneous_tpu(2, 2);

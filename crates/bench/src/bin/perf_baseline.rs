@@ -54,6 +54,22 @@
 //! `iso.collapse_ratio` gauge). Validate it with
 //! `trace_check PATH --expect-iso`.
 //!
+//! `--health-trace-json PATH` runs one traced plan plus a supervised
+//! replay of a short seeded health timeline, so the trace carries the
+//! live-replanning vocabulary (`health.event` / `supervise.decision`
+//! events, the `supervise.decide` span and the `supervise.*` metrics).
+//! Validate it with `trace_check PATH --expect-health`.
+//!
+//! The `supervise` legs time the live-replanning supervisor. The
+//! steady-state event→serving-decision latency (a within-tolerance
+//! degrade lands on the hold rung: fold the event, simulate the
+//! incumbent on the degraded tree, decide) is gated outside `--quick`
+//! at <= 10% of a cold plan of the same network on the same array
+//! (`supervise_reaction_pct`). The full replanning excursion (a forced
+//! Degrade/Recover round trip through the supervisor's persistent warm
+//! cache) is reported alongside, and the post-recovery serving plan
+//! must be bit-identical to the healthy baseline.
+//!
 //! The `iso_depth` legs plan synthetic encoder stacks of growing depth
 //! cold (caching off, so the structural collapse — not the memo —
 //! carries the speedup) with isomorphism collapse on and off. The class
@@ -75,9 +91,10 @@
 use accpar_bench::json::Json;
 use accpar_core::{
     Budget, CacheOutcome, PlanCache, PlanOutcome, PlannedNetwork, Planner, SearchCache, Strategy,
+    SuperviseConfig, Supervisor,
 };
 use accpar_dnn::{zoo, Network};
-use accpar_hw::{AcceleratorArray, FaultModel, GroupTree};
+use accpar_hw::{AcceleratorArray, FaultModel, GroupTree, HealthEvent, HealthEventKind, HealthSchedule};
 use accpar_obs::{JsonLines, Obs};
 use accpar_runtime::Pool;
 use accpar_sim::{simulate_des, simulate_des_in, DesArena, SimConfig, Simulator};
@@ -141,6 +158,7 @@ fn main() -> ExitCode {
     let mut partial_trace_json: Option<String> = None;
     let mut cache_trace_json: Option<String> = None;
     let mut iso_trace_json: Option<String> = None;
+    let mut health_trace_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -156,6 +174,10 @@ fn main() -> ExitCode {
             }
             "--iso-trace-json" => {
                 iso_trace_json = Some(args.next().expect("--iso-trace-json needs a path"));
+            }
+            "--health-trace-json" => {
+                health_trace_json =
+                    Some(args.next().expect("--health-trace-json needs a path"));
             }
             "--ceiling-ms" => {
                 ceiling_ms = Some(
@@ -608,6 +630,120 @@ fn main() -> ExitCode {
     }
     println!("  bit-identical: {iso_identical}");
 
+    // Live-replanning supervisor reaction. Two rungs are timed:
+    //
+    //   hold   — the steady-state event→serving-decision latency: a
+    //            within-tolerance degrade arrives, the supervisor folds
+    //            it, simulates the incumbent on the degraded tree and
+    //            decides to hold. This is the common case under jitter
+    //            and must stay a small fraction of planning from
+    //            scratch — gated (outside --quick) at <= 10% of a cold
+    //            plan of the same network on the same array.
+    //   replan — the full excursion: a forced Degrade/Recover round
+    //            trip, settled after every event so both decisions
+    //            replan from the healthy baseline through the
+    //            supervisor's persistent warm cache (reported, not
+    //            gated; the round trip restores the pre-excursion
+    //            state, and the recovered plan must be bit-identical
+    //            to the healthy baseline).
+    let sup_cold_ms = time_best_ms(reps, || {
+        Planner::builder(&r50, &hetero)
+            .threads(threads)
+            .build()
+            .expect("resnet50 configures cleanly")
+            .plan(Strategy::AccPar)
+            .expect("cold plan")
+    });
+    let mut supervisor = Supervisor::new(
+        &r50,
+        &hetero,
+        None,
+        SuperviseConfig {
+            threads: Some(threads),
+            ..SuperviseConfig::default()
+        },
+    )
+    .expect("supervisor builds");
+    let mut sup_clock = 0.0_f64;
+    let excursion = |sup: &mut Supervisor, clock: &mut f64| {
+        for kind in [
+            HealthEventKind::Degrade { leaf: 0, factor: 0.5 },
+            HealthEventKind::Recover { leaf: 0 },
+        ] {
+            *clock += 1.0;
+            sup.observe(HealthEvent { at: *clock, kind }).expect("health event observed");
+            sup.settle().expect("supervised decision");
+        }
+    };
+    excursion(&mut supervisor, &mut sup_clock); // warm the supervisor's cache
+    let replan_ms =
+        time_best_ms(reps, || excursion(&mut supervisor, &mut sup_clock)) / 2.0;
+    // The hold rung: mild degrades (well inside the 1.25x tolerance
+    // band) spaced past the debounce window, so every `observe` decides
+    // the previous event without searching. The factor alternates so
+    // consecutive events are distinct; set-semantics folding keeps the
+    // fault set at one entry throughout.
+    let mut held = 0usize;
+    sup_clock += 1.0;
+    supervisor
+        .observe(HealthEvent {
+            at: sup_clock,
+            kind: HealthEventKind::Degrade { leaf: 0, factor: 0.97 },
+        })
+        .expect("health event observed");
+    let hold_reps = if quick { 3 } else { 20 };
+    let hold_ms = time_best_ms(hold_reps, || {
+        sup_clock += 1.0;
+        let factor = if (sup_clock as u64).is_multiple_of(2) { 0.97 } else { 0.96 };
+        supervisor
+            .observe(HealthEvent {
+                at: sup_clock,
+                kind: HealthEventKind::Degrade { leaf: 0, factor },
+            })
+            .expect("health event observed");
+        held += 1;
+    });
+    assert!(
+        supervisor
+            .decisions()
+            .iter()
+            .rev()
+            .take(held)
+            .all(|d| d.action == accpar_core::SuperviseAction::Hold),
+        "mild degrades must land on the hold rung"
+    );
+    // Restore the supervisor to clean health and check it re-promotes
+    // the healthy baseline bit for bit.
+    sup_clock += 1.0;
+    supervisor
+        .observe(HealthEvent { at: sup_clock, kind: HealthEventKind::Recover { leaf: 0 } })
+        .expect("health event observed");
+    supervisor.settle().expect("supervised decision");
+    let supervise_recovered = supervisor.plan() == Some(supervisor.healthy_plan());
+    let supervise_reaction_pct = hold_ms / sup_cold_ms * 100.0;
+    entries.push(Entry {
+        name: "supervise/resnet50_cold_plan".into(),
+        wall_ms: sup_cold_ms,
+        threads,
+        cache_hit_rate: 0.0,
+    });
+    entries.push(Entry {
+        name: "supervise/resnet50_hold_reaction".into(),
+        wall_ms: hold_ms,
+        threads,
+        cache_hit_rate: 0.0,
+    });
+    entries.push(Entry {
+        name: "supervise/resnet50_replan_excursion".into(),
+        wall_ms: replan_ms,
+        threads,
+        cache_hit_rate: 0.0,
+    });
+    println!(
+        "supervisor reaction (resnet50): cold plan {sup_cold_ms:.3} ms, hold {:.1} us ({supervise_reaction_pct:.2}% of cold), replan excursion {replan_ms:.3} ms, recovered to healthy plan: {supervise_recovered}",
+        hold_ms * 1e3
+    );
+
     let json = Json::obj(vec![
         ("bench", Json::str("planner")),
         ("quick", Json::Bool(quick)),
@@ -620,6 +756,8 @@ fn main() -> ExitCode {
         ("des_speedup", Json::from(des_speedup)),
         ("iso_speedup", Json::from(iso_speedup)),
         ("iso_bit_identical", Json::Bool(iso_identical)),
+        ("supervise_reaction_pct", Json::from(supervise_reaction_pct)),
+        ("supervise_recovered", Json::Bool(supervise_recovered)),
         ("serve_cache_hit_us", Json::from(hit_ms * 1e3)),
         (
             "cache_validation_overhead_pct",
@@ -754,6 +892,52 @@ fn main() -> ExitCode {
         );
     }
 
+    // A traced supervised run for `trace_check --expect-health`: one
+    // traced plan carries the base contract (plan spans, decisions, the
+    // sim report), then a short seeded health timeline through the
+    // supervisor adds the `health.event` / `supervise.decision` events,
+    // the `supervise.decide` span and the `supervise.*` metrics (the
+    // final settle always replans, so `supervise.replans` is present).
+    if let Some(path) = &health_trace_json {
+        let file = std::fs::File::create(path).expect("create health trace file");
+        let subscriber = Arc::new(JsonLines::new(std::io::BufWriter::new(file)));
+        let obs = Obs::new(Arc::clone(&subscriber));
+        Planner::builder(&vgg, &hetero)
+            .threads(threads)
+            .obs(obs.clone())
+            .build()
+            .expect("vgg16 configures cleanly")
+            .plan(Strategy::AccPar)
+            .expect("traced plan");
+        let mut traced_sup = Supervisor::new(
+            &vgg,
+            &hetero,
+            None,
+            SuperviseConfig {
+                threads: Some(threads),
+                obs: obs.clone(),
+                ..SuperviseConfig::default()
+            },
+        )
+        .expect("supervisor builds");
+        let schedule = HealthSchedule::random(
+            11,
+            traced_sup.leaf_count(),
+            traced_sup.cut_count(),
+            12,
+        )
+        .expect("schedule builds");
+        let traced_report = traced_sup.run(&schedule).expect("supervised run");
+        obs.emit_metrics();
+        subscriber.flush();
+        println!(
+            "wrote {path} (vgg16 supervised through {} health events: {} decisions, {} replans)",
+            traced_report.events,
+            traced_report.decisions.len(),
+            traced_report.replans
+        );
+    }
+
     if !identical {
         eprintln!("FAIL: optimized engine's plans are not bit-identical to serial");
         return ExitCode::FAILURE;
@@ -785,6 +969,18 @@ fn main() -> ExitCode {
     if !quick && anytime_overhead_pct > 2.0 {
         eprintln!(
             "FAIL: armed-budget overhead {anytime_overhead_pct:.2}% exceeds the 2% target"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !supervise_recovered {
+        eprintln!(
+            "FAIL: the supervisor did not return to the healthy baseline plan after recovery"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !quick && supervise_reaction_pct > 10.0 {
+        eprintln!(
+            "FAIL: the supervisor's hold reaction {hold_ms:.3} ms is {supervise_reaction_pct:.2}% of a cold plan, exceeding the 10% target"
         );
         return ExitCode::FAILURE;
     }

@@ -64,6 +64,25 @@
 //! `plan.iso` span and all three metrics — the shape a traced collapsed
 //! planner run must leave behind.
 //!
+//! The live-replanning vocabulary is schema-checked wherever it
+//! appears: every `supervise.decide` span carries an integer `events`
+//! and a boolean `reconcile`; every `health.event` payload carries a
+//! `kind` in `degrade` / `fail` / `recover` / `bandwidth-jitter`, an
+//! integer `target` and a numeric `at >= 0`; every `supervise.decision`
+//! payload carries an `action` in `hold` / `adopt` / `keep` /
+//! `promote` / `fallback` / `shed`, integer `events`, numeric
+//! `at >= 0`, a boolean `replanned` and a positive `degradation`
+//! (`null` for a shed decision — non-finite values serialize as null);
+//! every `supervise.*` metric must use a known name — the counters
+//! `supervise.events` / `.debounced` / `.decisions` / `.replans` /
+//! `.retries` / `.held` / `.adopted` / `.kept` / `.promotions` /
+//! `.fallbacks` / `.sheds`, the `supervise.degradation` gauge and the
+//! `supervise.reaction_ns` histogram. With `--expect-health`,
+//! additionally fails unless the trace holds a `supervise.decide` span,
+//! a `health.event` and a `supervise.decision` event, and the
+//! `supervise.events` / `supervise.decisions` / `supervise.replans`
+//! metrics — the shape a traced supervised run must leave behind.
+//!
 //! Exits non-zero with one message per violation.
 
 use accpar_bench::json::Json;
@@ -86,17 +105,19 @@ fn main() -> ExitCode {
     let mut expect_cache_hit = false;
     let mut expect_des = false;
     let mut expect_iso = false;
+    let mut expect_health = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--expect-partial" => expect_partial = true,
             "--expect-cache-hit" => expect_cache_hit = true,
             "--expect-des" => expect_des = true,
             "--expect-iso" => expect_iso = true,
+            "--expect-health" => expect_health = true,
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit] [--expect-des] [--expect-iso]"
+                    "usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit] [--expect-des] [--expect-iso] [--expect-health]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -104,7 +125,7 @@ fn main() -> ExitCode {
     }
     let Some(path) = path else {
         eprintln!(
-            "usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit] [--expect-des] [--expect-iso]"
+            "usage: trace_check TRACE.jsonl [--expect-partial] [--expect-cache-hit] [--expect-des] [--expect-iso] [--expect-health]"
         );
         return ExitCode::FAILURE;
     };
@@ -195,6 +216,20 @@ fn main() -> ExitCode {
                             _ => errors.push(format!(
                                 "line {no}: plan.iso `collapse_ratio` is not in (0, 1]"
                             )),
+                        }
+                    }
+                    if name == "supervise.decide" {
+                        let fields =
+                            record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                        if id_of(&fields, "events").is_none() {
+                            errors.push(format!(
+                                "line {no}: supervise.decide has no integer `events`"
+                            ));
+                        }
+                        if fields.get("reconcile").and_then(Json::as_bool).is_none() {
+                            errors.push(format!(
+                                "line {no}: supervise.decide has no boolean `reconcile`"
+                            ));
                         }
                     }
                 } else {
@@ -343,6 +378,65 @@ fn main() -> ExitCode {
                         ));
                     }
                 }
+                if name == "health.event" {
+                    let fields = record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                    match fields.get("kind").and_then(Json::as_str) {
+                        Some("degrade" | "fail" | "recover" | "bandwidth-jitter") => {}
+                        Some(other) => errors.push(format!(
+                            "line {no}: health.event has unknown kind `{other}`"
+                        )),
+                        None => errors
+                            .push(format!("line {no}: health.event has no string `kind`")),
+                    }
+                    if id_of(&fields, "target").is_none() {
+                        errors.push(format!(
+                            "line {no}: health.event has no integer `target`"
+                        ));
+                    }
+                    match fields.get("at").and_then(Json::as_f64) {
+                        Some(at) if at >= 0.0 => {}
+                        _ => errors.push(format!(
+                            "line {no}: health.event has no numeric `at` >= 0"
+                        )),
+                    }
+                }
+                if name == "supervise.decision" {
+                    let fields = record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
+                    match fields.get("action").and_then(Json::as_str) {
+                        Some("hold" | "adopt" | "keep" | "promote" | "fallback" | "shed") => {}
+                        Some(other) => errors.push(format!(
+                            "line {no}: supervise.decision has unknown action `{other}`"
+                        )),
+                        None => errors.push(format!(
+                            "line {no}: supervise.decision has no string `action`"
+                        )),
+                    }
+                    if id_of(&fields, "events").is_none() {
+                        errors.push(format!(
+                            "line {no}: supervise.decision has no integer `events`"
+                        ));
+                    }
+                    match fields.get("at").and_then(Json::as_f64) {
+                        Some(at) if at >= 0.0 => {}
+                        _ => errors.push(format!(
+                            "line {no}: supervise.decision has no numeric `at` >= 0"
+                        )),
+                    }
+                    if fields.get("replanned").and_then(Json::as_bool).is_none() {
+                        errors.push(format!(
+                            "line {no}: supervise.decision has no boolean `replanned`"
+                        ));
+                    }
+                    // A shed decision's infinite degradation serializes
+                    // as null; anything servable must be positive.
+                    match fields.get("degradation") {
+                        Some(Json::Null) => {}
+                        Some(d) if d.as_f64().is_some_and(|d| d > 0.0) => {}
+                        _ => errors.push(format!(
+                            "line {no}: supervise.decision `degradation` is neither positive nor null"
+                        )),
+                    }
+                }
                 if name == "plan.partial" || name == "plan.cancelled" {
                     let fields = record.get("fields").cloned().unwrap_or(Json::obj(vec![]));
                     match fields.get("completeness").and_then(Json::as_f64) {
@@ -454,6 +548,60 @@ fn main() -> ExitCode {
                         )),
                     }
                 }
+                // The supervise.* vocabulary is closed: eleven
+                // counters, the degradation gauge and the reaction
+                // histogram, each with a fixed payload shape.
+                if name.starts_with("supervise.") {
+                    match name.as_str() {
+                        "supervise.events" | "supervise.debounced" | "supervise.decisions"
+                        | "supervise.replans" | "supervise.retries" | "supervise.held"
+                        | "supervise.adopted" | "supervise.kept" | "supervise.promotions"
+                        | "supervise.fallbacks" | "supervise.sheds" => {
+                            if mtype.as_deref() != Some("counter") {
+                                errors.push(format!("line {no}: `{name}` is not a counter"));
+                            }
+                            if id_of(&record, "value").is_none() {
+                                errors.push(format!(
+                                    "line {no}: `{name}` has no non-negative integer `value`"
+                                ));
+                            }
+                        }
+                        "supervise.degradation" => {
+                            if mtype.as_deref() != Some("gauge") {
+                                errors.push(format!("line {no}: `{name}` is not a gauge"));
+                            }
+                            // Shedding sets the gauge to infinity,
+                            // which serializes as null.
+                            match record.get("value") {
+                                Some(Json::Null) => {}
+                                Some(v) if v.as_f64().is_some_and(|v| v > 0.0) => {}
+                                _ => errors.push(format!(
+                                    "line {no}: `{name}` has no positive-or-null `value`"
+                                )),
+                            }
+                        }
+                        "supervise.reaction_ns" => {
+                            if mtype.as_deref() != Some("histogram") {
+                                errors.push(format!("line {no}: `{name}` is not a histogram"));
+                            }
+                            match id_of(&record, "count") {
+                                Some(c) if c >= 1 => {}
+                                _ => errors.push(format!(
+                                    "line {no}: `{name}` has no integer `count` >= 1"
+                                )),
+                            }
+                            match record.get("sum").and_then(Json::as_f64) {
+                                Some(s) if s >= 0.0 => {}
+                                _ => errors.push(format!(
+                                    "line {no}: `{name}` has no numeric `sum` >= 0"
+                                )),
+                            }
+                        }
+                        other => errors.push(format!(
+                            "line {no}: unknown supervise.* metric `{other}`"
+                        )),
+                    }
+                }
             }
             other => errors.push(format!("line {no}: unknown record kind `{other}`")),
         }
@@ -529,6 +677,25 @@ fn main() -> ExitCode {
             if !metric_names.contains(required) {
                 errors.push(format!(
                     "no `{required}` metric in trace (required by --expect-iso)"
+                ));
+            }
+        }
+    }
+    if expect_health {
+        if spans_named("supervise.decide") == 0 {
+            errors.push("no `supervise.decide` span in trace (required by --expect-health)".into());
+        }
+        for required in ["health.event", "supervise.decision"] {
+            if event_counts.get(required).copied().unwrap_or(0) == 0 {
+                errors.push(format!(
+                    "no `{required}` event in trace (required by --expect-health)"
+                ));
+            }
+        }
+        for required in ["supervise.events", "supervise.decisions", "supervise.replans"] {
+            if !metric_names.contains(required) {
+                errors.push(format!(
+                    "no `{required}` metric in trace (required by --expect-health)"
                 ));
             }
         }

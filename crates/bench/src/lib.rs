@@ -2,14 +2,16 @@
 //! table and figure of the paper's evaluation (§6).
 //!
 //! The binaries (`fig5`, `fig6`, `fig7`, `fig8`, `tables`, `ablations`,
-//! `experiments`, `robustness`) print the same rows/series the paper
-//! reports — plus the fault-injection ablation; the benches in
-//! `benches/` measure the implementation itself (search and simulator
-//! throughput) and regenerate the figure data under timing.
+//! `experiments`, `robustness`, `chaos`) print the same rows/series the
+//! paper reports — plus the fault-injection ablation and the seeded
+//! health-timeline chaos harness; the benches in `benches/` measure the
+//! implementation itself (search and simulator throughput) and
+//! regenerate the figure data under timing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod harness;
 pub mod json;

@@ -20,6 +20,10 @@
 //! * [`serve`](mod@crate::serve) — supervised batch serving: a queue of
 //!   (network, hardware, budget) requests planned with per-request
 //!   panic isolation, overload shedding and a stall watchdog.
+//! * [`supervise`](mod@crate::supervise) — live replanning: a
+//!   [`Supervisor`] owns the serving plan and walks a degradation
+//!   ladder (hold → never-worse replan → fallback → shed) over a
+//!   debounced stream of hardware health events.
 //! * [`Planner`] — the one-stop API tying a network, an array, a
 //!   strategy and the evaluation together. Under a
 //!   [`Budget`] it is an *anytime* planner:
@@ -60,6 +64,7 @@ mod planner;
 pub mod replan;
 pub mod search;
 pub mod serve;
+pub mod supervise;
 
 pub use cache::{CacheOutcome, LoadReport, PlanCache, PlanCacheStats, PlanKey, PlanRecord};
 pub use error::PlanError;
@@ -69,6 +74,7 @@ pub use planner::{PartialPlan, PlanOutcome, PlannedNetwork, Planner, PlannerBuil
 pub use replan::{replan, FaultImpact, PlanDelta, ReplanConfig, ReplanOutcome};
 pub use search::{level_class_keys, LevelSearcher, SearchConfig, SearchOutcome};
 pub use serve::{plan_many, PlanRequest, ServeConfig};
+pub use supervise::{Decision, SuperviseAction, SuperviseConfig, SuperviseReport, Supervisor};
 
 // Re-export the budget vocabulary so `accpar_core` users don't need a
 // direct `accpar_runtime` dependency to bound a plan.

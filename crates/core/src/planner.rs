@@ -1094,6 +1094,7 @@ impl<'a> Planner<'a> {
             threads: Some(self.threads()),
             obs: self.obs.clone(),
             iso: self.iso,
+            budget: accpar_runtime::Budget::unlimited(),
         };
         crate::replan::replan_with(
             &view,

@@ -18,7 +18,7 @@
 //! [`ReplanOutcome::discarded`].
 
 use crate::error::PlanError;
-use crate::hierarchy::plan_node_with;
+use crate::hierarchy::plan_node_budgeted;
 use crate::memo::SearchCache;
 use crate::search::SearchConfig;
 use accpar_cost::{CostConfig, CostModel, RatioSolver};
@@ -26,7 +26,7 @@ use accpar_dnn::TrainView;
 use accpar_hw::{AcceleratorArray, Fault, FaultKind, FaultModel, FaultTarget, GroupTree};
 use accpar_obs::Obs;
 use accpar_partition::{LayerPlan, PlanTree};
-use accpar_runtime::Pool;
+use accpar_runtime::{Budget, Pool};
 use accpar_sim::{SimConfig, Simulator};
 use std::fmt;
 
@@ -59,6 +59,13 @@ pub struct ReplanConfig {
     /// keys through the environment, so only the classes a fault
     /// actually touches re-split. See [`SearchConfig::collapse`].
     pub iso: bool,
+    /// Execution budget for the degraded search (default: unlimited).
+    /// A budget stop is not an error: stopped levels fall back to the
+    /// data-parallel baseline and the never-worse gate still applies to
+    /// whatever the search produced. Budget clones share counters, so
+    /// pass a *fresh* capped budget per call rather than reusing one
+    /// config across replans.
+    pub budget: Budget,
 }
 
 impl Default for ReplanConfig {
@@ -71,6 +78,7 @@ impl Default for ReplanConfig {
             threads: None,
             obs: Obs::off(),
             iso: true,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -139,6 +147,10 @@ pub struct ReplanOutcome {
     /// Step time of the adopted plan on the degraded hardware. Never
     /// greater than `degraded_old_secs` when that is `Some`.
     pub degraded_secs: f64,
+    /// Whether the degraded search ran to DP optimality on every level.
+    /// `false` when a [`ReplanConfig::budget`] stop forced some levels
+    /// onto the data-parallel fallback.
+    pub complete: bool,
     /// Layer-wise differences between the old and adopted plans (empty
     /// when the tree changed shape and entries are not comparable).
     pub deltas: Vec<PlanDelta>,
@@ -294,13 +306,7 @@ fn replan_inner(
     // Survive dropout: remove dropped boards and carry the remaining
     // faults over to the rebuilt tree.
     let dropped = faults.dropped_leaves();
-    let (surv_array, surv_tree, eff_faults, discarded) = if dropped.is_empty() {
-        (array.clone(), tree.clone(), faults.clone(), Vec::new())
-    } else {
-        let (reduced, rebuilt) = tree.without_leaves(array, &dropped)?;
-        let (eff, discarded) = carry_over(tree, &rebuilt, faults, &dropped)?;
-        (reduced, rebuilt, eff, discarded)
-    };
+    let (surv_array, surv_tree, eff_faults, discarded) = survive(array, tree, faults)?;
 
     let degraded_old_secs = if dropped.is_empty() {
         Some(
@@ -316,13 +322,23 @@ fn replan_inner(
     let model = CostModel::new(config.cost_config);
     let mut search = SearchConfig::accpar_with(config.solver);
     search.collapse = config.iso;
-    let candidate =
-        plan_node_with(view, degraded_tree.root(), &model, &search, None, pool, cache)?
-            .ok_or_else(|| {
-                PlanError::ReplanInfeasible(
-                    "the surviving array cannot be bisected into a hierarchy".into(),
-                )
-            })?;
+    let (candidate, report) = plan_node_budgeted(
+        view,
+        degraded_tree.root(),
+        &model,
+        &search,
+        None,
+        pool,
+        cache,
+        &Obs::off(),
+        None,
+        &config.budget,
+    )?;
+    let candidate = candidate.ok_or_else(|| {
+        PlanError::ReplanInfeasible(
+            "the surviving array cannot be bisected into a hierarchy".into(),
+        )
+    })?;
     let candidate_secs = sim
         .simulate(view, &candidate, &surv_tree, Some(&eff_faults))?
         .total_secs;
@@ -388,9 +404,29 @@ fn replan_inner(
         nominal_secs,
         degraded_old_secs,
         degraded_secs,
+        complete: report.is_complete(),
         deltas,
         sensitivity,
     })
+}
+
+/// Folds dropout out of a fault model: removes the dropped boards from
+/// the array/tree and carries the remaining faults over to the rebuilt
+/// shape. With no dropout this is a plain clone. Returns the surviving
+/// array, tree, effective faults, and the faults discarded because they
+/// could not be re-targeted.
+pub(crate) fn survive(
+    array: &AcceleratorArray,
+    tree: &GroupTree,
+    faults: &FaultModel,
+) -> Result<(AcceleratorArray, GroupTree, FaultModel, Vec<Fault>), PlanError> {
+    let dropped = faults.dropped_leaves();
+    if dropped.is_empty() {
+        return Ok((array.clone(), tree.clone(), faults.clone(), Vec::new()));
+    }
+    let (reduced, rebuilt) = tree.without_leaves(array, &dropped)?;
+    let (eff, discarded) = carry_over(tree, &rebuilt, faults, &dropped)?;
+    Ok((reduced, rebuilt, eff, discarded))
 }
 
 /// Carries the non-dropout faults of `faults` over from `old` to the

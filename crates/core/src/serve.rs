@@ -154,8 +154,44 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Rejects configurations that would stall or shed every request at
+    /// runtime: a zero `max_queue` sheds the whole batch, zero `workers`
+    /// can never drain the queue, and a zero watchdog threshold flags
+    /// every request as stalled the moment it starts.
+    ///
+    /// [`plan_many`] validates up front, so a misconfiguration surfaces
+    /// as a typed [`PlanError::Config`] on every result instead of a
+    /// silent runtime stall.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Config`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if self.max_queue == 0 {
+            return Err(PlanError::Config(
+                "serve max_queue must be at least 1: a zero bound sheds every request".into(),
+            ));
+        }
+        if self.workers == 0 {
+            return Err(PlanError::Config(
+                "serve workers must be at least 1: a zero pool never drains the queue".into(),
+            ));
+        }
+        if let Some(stall) = self.watchdog_stall {
+            if stall.is_zero() {
+                return Err(PlanError::Config(
+                    "serve watchdog_stall must be positive (use None to disable the watchdog)"
+                        .into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Best-effort extraction of a panic payload's message.
-fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -233,6 +269,9 @@ pub fn plan_many(
     requests: &[PlanRequest<'_>],
     config: &ServeConfig,
 ) -> Vec<Result<PlanOutcome, PlanError>> {
+    if let Err(err) = config.validate() {
+        return requests.iter().map(|_| Err(err.clone())).collect();
+    }
     let obs = &config.obs;
     let admitted = requests.len().min(config.max_queue);
     let shed = requests.len() - admitted;
@@ -481,6 +520,44 @@ mod tests {
         config.obs.emit_metrics();
         let snap = collector.last_metrics().unwrap();
         assert_eq!(snap.counter("serve.sheds"), 2);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_up_front() {
+        let net = zoo::lenet(32).unwrap();
+        let array = AcceleratorArray::homogeneous_tpu_v3(2);
+        let requests = vec![
+            PlanRequest::new(&net, &array).levels(1),
+            PlanRequest::new(&net, &array).levels(1),
+        ];
+        for bad in [
+            ServeConfig {
+                max_queue: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                watchdog_stall: Some(Duration::ZERO),
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+            let results = plan_many(&requests, &bad);
+            assert_eq!(results.len(), 2);
+            for result in results {
+                assert!(matches!(result, Err(PlanError::Config(_))));
+            }
+        }
+        // Disabling the watchdog outright stays legal.
+        assert!(ServeConfig {
+            watchdog_stall: None,
+            ..ServeConfig::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub enum HwError {
     /// A fault was malformed or targeted a leaf/cut the tree does not
     /// have.
     InvalidFault(String),
+    /// Two faults in the same model contradict each other, e.g. a rate
+    /// fault on a leaf that an earlier entry already dropped.
+    ContradictoryFault(String),
 }
 
 impl fmt::Display for HwError {
@@ -31,6 +34,7 @@ impl fmt::Display for HwError {
             ),
             HwError::InvalidSpec(msg) => write!(f, "invalid accelerator spec: {msg}"),
             HwError::InvalidFault(msg) => write!(f, "invalid fault: {msg}"),
+            HwError::ContradictoryFault(msg) => write!(f, "contradictory fault: {msg}"),
         }
     }
 }

@@ -154,6 +154,16 @@ pub struct FaultModel {
 }
 
 impl FaultModel {
+    /// Floor for composed compute/bandwidth factors.
+    ///
+    /// Each individual fault factor is validated into `(0, 1]`, but a
+    /// chain of repeated faults on one target multiplies factors and can
+    /// underflow toward zero, producing effectively-infinite simulated
+    /// times and ill-conditioned planner costs. Composed factors are
+    /// clamped to this epsilon: a target is never *slower* than a
+    /// millionth of nominal short of being dropped outright.
+    pub const FACTOR_FLOOR: f64 = 1e-6;
+
     /// An empty fault model (seed 0, no faults).
     #[must_use]
     pub fn new() -> Self {
@@ -219,12 +229,30 @@ impl FaultModel {
 
     /// Adds a validated fault.
     ///
+    /// Pushing a [`FaultKind::Dropout`] supersedes any rate/stall faults
+    /// already targeting that leaf (a dead board has no remaining rate)
+    /// and is idempotent.
+    ///
     /// # Errors
     ///
     /// Returns [`HwError::InvalidFault`] when the kind's parameters are
-    /// out of range (see [`FaultKind::validate`]).
+    /// out of range (see [`FaultKind::validate`]), and
+    /// [`HwError::ContradictoryFault`] when a rate or stall fault
+    /// targets a leaf an earlier entry already dropped.
     pub fn push(mut self, fault: Fault) -> Result<Self, HwError> {
         fault.kind.validate()?;
+        if let FaultTarget::Leaf(leaf) = fault.target {
+            match fault.kind {
+                FaultKind::Dropout => return Ok(self.drop_leaf(leaf)),
+                _ if self.is_dropped(leaf) => {
+                    return Err(HwError::ContradictoryFault(format!(
+                        "cannot add `{}` on leaf {leaf}: it is already dropped",
+                        fault.kind
+                    )));
+                }
+                _ => {}
+            }
+        }
         self.faults.push(fault);
         Ok(self)
     }
@@ -270,12 +298,43 @@ impl FaultModel {
     }
 
     /// Drops a leaf entirely.
+    ///
+    /// Supersedes any rate/stall faults already targeting the leaf — a
+    /// dead board has no remaining compute or stall behavior — and is
+    /// idempotent, so `drop_leaf(i)` twice records one dropout.
     #[must_use]
     pub fn drop_leaf(mut self, leaf: usize) -> Self {
+        self.faults.retain(|f| f.target != FaultTarget::Leaf(leaf));
         self.faults.push(Fault {
             target: FaultTarget::Leaf(leaf),
             kind: FaultKind::Dropout,
         });
+        self
+    }
+
+    /// Revokes every fault targeting a leaf: the inverse of
+    /// [`slow_leaf`](Self::slow_leaf) / [`stall_leaf`](Self::stall_leaf)
+    /// / [`drop_leaf`](Self::drop_leaf) for that leaf.
+    ///
+    /// On a model with no prior faults on `leaf` this is an identity, so
+    /// `m.slow_leaf(l, f)?.recovered(l) == m` bit-exactly — the
+    /// `degrade ∘ recover == identity` invariant the live-replanning
+    /// supervisor relies on to fold health-event streams.
+    #[must_use]
+    pub fn recovered(mut self, leaf: usize) -> Self {
+        self.faults.retain(|f| f.target != FaultTarget::Leaf(leaf));
+        self
+    }
+
+    /// Revokes every fault targeting a cut: the inverse of
+    /// [`degrade_cut`](Self::degrade_cut) for that cut.
+    ///
+    /// Like [`recovered`](Self::recovered), this is an exact inverse:
+    /// `m.degrade_cut(c, f)?.restore_cut(c) == m` when `m` had no prior
+    /// faults on `c`.
+    #[must_use]
+    pub fn restore_cut(mut self, cut: usize) -> Self {
+        self.faults.retain(|f| f.target != FaultTarget::Cut(cut));
         self
     }
 
@@ -298,7 +357,8 @@ impl FaultModel {
     }
 
     /// Remaining compute capability of a leaf: the product of all
-    /// compute-slowdown factors targeting it (1.0 when unfaulted).
+    /// compute-slowdown factors targeting it (1.0 when unfaulted),
+    /// clamped below at [`FACTOR_FLOOR`](Self::FACTOR_FLOOR).
     #[must_use]
     pub fn compute_factor(&self, leaf: usize) -> f64 {
         self.faults
@@ -309,11 +369,13 @@ impl FaultModel {
                 }
                 _ => None,
             })
-            .product()
+            .product::<f64>()
+            .max(Self::FACTOR_FLOOR)
     }
 
     /// Remaining bandwidth capability of a cut: the product of all
-    /// bandwidth-degradation factors targeting it (1.0 when unfaulted).
+    /// bandwidth-degradation factors targeting it (1.0 when unfaulted),
+    /// clamped below at [`FACTOR_FLOOR`](Self::FACTOR_FLOOR).
     #[must_use]
     pub fn bandwidth_factor(&self, cut: usize) -> f64 {
         self.faults
@@ -324,7 +386,34 @@ impl FaultModel {
                 }
                 _ => None,
             })
-            .product()
+            .product::<f64>()
+            .max(Self::FACTOR_FLOOR)
+    }
+
+    /// The most pessimistic multiplicative capability left anywhere in
+    /// the model: the minimum over targets of their composed compute or
+    /// bandwidth factor (`Some(1.0)` for an empty model). Every term a
+    /// simulator charges is stretched by at most `1 / worst`, so
+    /// `nominal / worst` upper-bounds any fixed plan's step time under
+    /// this model. Returns `None` when the model contains a dropout or
+    /// a transient stall — neither is a multiplicative slowdown, so no
+    /// such bound exists.
+    #[must_use]
+    pub fn worst_factor(&self) -> Option<f64> {
+        let mut worst = 1.0_f64;
+        for fault in &self.faults {
+            match (fault.target, fault.kind) {
+                (_, FaultKind::Dropout | FaultKind::TransientStall { .. }) => return None,
+                (FaultTarget::Leaf(i), FaultKind::ComputeSlowdown { .. }) => {
+                    worst = worst.min(self.compute_factor(i));
+                }
+                (FaultTarget::Cut(i), FaultKind::BandwidthDegradation { .. }) => {
+                    worst = worst.min(self.bandwidth_factor(i));
+                }
+                _ => {}
+            }
+        }
+        Some(worst)
     }
 
     /// Total per-step stall window of a leaf, in seconds.
@@ -457,6 +546,100 @@ mod tests {
             .unwrap();
         assert_eq!(m.compute_factor(0), 0.25);
         assert!((m.stall_secs(0) - 0.003).abs() < 1e-15);
+    }
+
+    #[test]
+    fn compounded_factors_are_floored() {
+        let mut m = FaultModel::new();
+        for _ in 0..40 {
+            m = m.slow_leaf(0, 0.5).unwrap().degrade_cut(1, 0.5).unwrap();
+        }
+        // 0.5^40 ≈ 9e-13 would underflow usefulness; the floor holds.
+        assert_eq!(m.compute_factor(0), FaultModel::FACTOR_FLOOR);
+        assert_eq!(m.bandwidth_factor(1), FaultModel::FACTOR_FLOOR);
+        assert_eq!(m.compute_factor(1), 1.0);
+    }
+
+    #[test]
+    fn rate_fault_on_dropped_leaf_is_contradictory() {
+        let m = FaultModel::new().drop_leaf(2);
+        assert!(matches!(
+            m.clone().slow_leaf(2, 0.5),
+            Err(HwError::ContradictoryFault(_))
+        ));
+        assert!(matches!(
+            m.clone().stall_leaf(2, 0.001),
+            Err(HwError::ContradictoryFault(_))
+        ));
+        // Other targets are unaffected.
+        assert!(m.slow_leaf(1, 0.5).is_ok());
+    }
+
+    #[test]
+    fn dropout_supersedes_rate_faults_and_is_idempotent() {
+        let m = FaultModel::new()
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .stall_leaf(0, 0.002)
+            .unwrap()
+            .drop_leaf(0)
+            .drop_leaf(0);
+        assert_eq!(m.faults().len(), 1);
+        assert!(m.is_dropped(0));
+        assert_eq!(m.compute_factor(0), 1.0);
+        assert_eq!(m.stall_secs(0), 0.0);
+        // push(Dropout) routes through the same supersede path.
+        let via_push = FaultModel::new()
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .push(Fault {
+                target: FaultTarget::Leaf(0),
+                kind: FaultKind::Dropout,
+            })
+            .unwrap();
+        assert_eq!(via_push.faults().len(), 1);
+    }
+
+    #[test]
+    fn recover_inverts_degrade_bit_exactly() {
+        let base = FaultModel::with_seed(11)
+            .slow_leaf(1, 0.7)
+            .unwrap()
+            .degrade_cut(2, 0.4)
+            .unwrap();
+        // Leaf round-trips: slowdown, stall, dropout.
+        assert_eq!(base.clone().slow_leaf(3, 0.5).unwrap().recovered(3), base);
+        assert_eq!(base.clone().stall_leaf(3, 0.01).unwrap().recovered(3), base);
+        assert_eq!(base.clone().drop_leaf(3).recovered(3), base);
+        // Cut round-trip.
+        assert_eq!(base.clone().degrade_cut(0, 0.9).unwrap().restore_cut(0), base);
+        // Recovery on an unfaulted target is an identity.
+        assert_eq!(base.clone().recovered(6), base);
+        assert_eq!(base.clone().restore_cut(6), base);
+    }
+
+    #[test]
+    fn worst_factor_bounds_multiplicative_models_only() {
+        assert_eq!(FaultModel::new().worst_factor(), Some(1.0));
+        let faults = FaultModel::new()
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .degrade_cut(1, 0.25)
+            .unwrap();
+        assert_eq!(faults.worst_factor(), Some(0.25));
+        // Compounded factors on one target compose before the min.
+        let compounded = FaultModel::new()
+            .slow_leaf(0, 0.5)
+            .unwrap()
+            .slow_leaf(0, 0.4)
+            .unwrap();
+        assert_eq!(compounded.worst_factor(), Some(0.2));
+        // Dropouts and stalls are not multiplicative: no bound.
+        assert_eq!(FaultModel::new().drop_leaf(0).worst_factor(), None);
+        assert_eq!(
+            FaultModel::new().stall_leaf(0, 0.1).unwrap().worst_factor(),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! Hardware health events: a timeline of degradations and recoveries.
+//!
+//! A [`FaultModel`](crate::FaultModel) is a *snapshot* of fleet health;
+//! a [`HealthSchedule`] is a *timeline*. Each [`HealthEvent`] names a
+//! target (leaf or cut, in the same index spaces faults use) and what
+//! happened to it at a point in schedule time:
+//!
+//! * [`Degrade`](HealthEventKind::Degrade) — a leaf now computes at
+//!   `factor` of nominal (thermal throttle, shared-host straggler);
+//! * [`Fail`](HealthEventKind::Fail) — a leaf is gone (board death,
+//!   preemption) and plans touching it cannot run;
+//! * [`Recover`](HealthEventKind::Recover) — a leaf is back at full
+//!   health, revoking whatever Degrade/Fail state it carried;
+//! * [`BandwidthJitter`](HealthEventKind::BandwidthJitter) — the link at
+//!   one cut moves bytes at `factor` of nominal; `factor == 1` restores
+//!   the link.
+//!
+//! Events fold into a running fault model with **set semantics**: each
+//! event first revokes the target's previous state, then applies the
+//! new one. The running model therefore carries at most one fault per
+//! target and is a pure function of the *latest* event per target —
+//! which is what makes a supervisor's terminal state comparable
+//! bit-for-bit against planning from scratch on the terminal fault set.
+//!
+//! # Example
+//!
+//! ```
+//! use accpar_hw::{FaultModel, HealthEventKind, HealthSchedule};
+//!
+//! let schedule = HealthSchedule::with_seed(7)
+//!     .push(0.0, HealthEventKind::Degrade { leaf: 1, factor: 0.5 })?
+//!     .push(0.4, HealthEventKind::Fail { leaf: 0 })?
+//!     .push(1.2, HealthEventKind::Recover { leaf: 1 })?;
+//! let terminal = schedule.fold_all(FaultModel::new())?;
+//! assert_eq!(terminal.compute_factor(1), 1.0); // leaf 1 recovered
+//! assert!(terminal.is_dropped(0)); // leaf 0 still down
+//! # Ok::<(), accpar_hw::HwError>(())
+//! ```
+
+use crate::error::HwError;
+use crate::fault::FaultModel;
+use crate::rng::StdRng;
+use std::fmt;
+
+/// What happened to a target at one point in the health timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum HealthEventKind {
+    /// A leaf now computes at `factor` of its nominal FLOP/s
+    /// (`0 < factor <= 1`), replacing any previous degradation on it.
+    Degrade {
+        /// The leaf, counted left to right.
+        leaf: usize,
+        /// Remaining compute capability.
+        factor: f64,
+    },
+    /// A leaf is gone entirely, superseding any degradation on it.
+    Fail {
+        /// The leaf, counted left to right.
+        leaf: usize,
+    },
+    /// A leaf is back at full health, revoking prior Degrade/Fail state.
+    Recover {
+        /// The leaf, counted left to right.
+        leaf: usize,
+    },
+    /// The link at a cut moves bytes at `factor` of its nominal rate
+    /// (`0 < factor <= 1`); `factor == 1` restores the link.
+    BandwidthJitter {
+        /// The cut, counted in pre-order.
+        cut: usize,
+        /// Remaining bandwidth capability.
+        factor: f64,
+    },
+}
+
+impl HealthEventKind {
+    /// Stable label for logs and trace events.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            HealthEventKind::Degrade { .. } => "degrade",
+            HealthEventKind::Fail { .. } => "fail",
+            HealthEventKind::Recover { .. } => "recover",
+            HealthEventKind::BandwidthJitter { .. } => "bandwidth-jitter",
+        }
+    }
+
+    /// The leaf or cut index the event targets.
+    #[must_use]
+    pub const fn target(&self) -> usize {
+        match *self {
+            HealthEventKind::Degrade { leaf, .. }
+            | HealthEventKind::Fail { leaf }
+            | HealthEventKind::Recover { leaf } => leaf,
+            HealthEventKind::BandwidthJitter { cut, .. } => cut,
+        }
+    }
+
+    /// Whether the event can only improve the target's health
+    /// (a `Recover`, or a jitter back to full rate).
+    #[must_use]
+    pub fn is_recovery(&self) -> bool {
+        match *self {
+            HealthEventKind::Recover { .. } => true,
+            HealthEventKind::BandwidthJitter { factor, .. } => factor >= 1.0,
+            _ => false,
+        }
+    }
+
+    /// Validates the event's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when a factor is outside
+    /// `(0, 1]`.
+    pub fn validate(&self) -> Result<(), HwError> {
+        match *self {
+            HealthEventKind::Degrade { factor, .. }
+            | HealthEventKind::BandwidthJitter { factor, .. } => {
+                if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                    return Err(HwError::InvalidFault(format!(
+                        "health factor must be in (0, 1], got {factor}"
+                    )));
+                }
+                Ok(())
+            }
+            HealthEventKind::Fail { .. } | HealthEventKind::Recover { .. } => Ok(()),
+        }
+    }
+
+    /// Folds this event into a running fault model with set semantics:
+    /// the target's previous state is revoked first, then the new state
+    /// applied, so the model carries at most one fault per target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when the event carries an
+    /// out-of-range factor.
+    pub fn fold_into(&self, faults: FaultModel) -> Result<FaultModel, HwError> {
+        self.validate()?;
+        match *self {
+            HealthEventKind::Degrade { leaf, factor } => {
+                faults.recovered(leaf).slow_leaf(leaf, factor)
+            }
+            HealthEventKind::Fail { leaf } => Ok(faults.recovered(leaf).drop_leaf(leaf)),
+            HealthEventKind::Recover { leaf } => Ok(faults.recovered(leaf)),
+            HealthEventKind::BandwidthJitter { cut, factor } => {
+                let restored = faults.restore_cut(cut);
+                if factor >= 1.0 {
+                    Ok(restored)
+                } else {
+                    restored.degrade_cut(cut, factor)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for HealthEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthEventKind::Degrade { leaf, factor } => {
+                write!(f, "degrade leaf {leaf} to {factor:.2}x")
+            }
+            HealthEventKind::Fail { leaf } => write!(f, "fail leaf {leaf}"),
+            HealthEventKind::Recover { leaf } => write!(f, "recover leaf {leaf}"),
+            HealthEventKind::BandwidthJitter { cut, factor } => {
+                write!(f, "jitter cut {cut} to {factor:.2}x")
+            }
+        }
+    }
+}
+
+/// One timestamped health event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthEvent {
+    /// Schedule time the event lands at, in arbitrary (but consistent)
+    /// time units. Events in a schedule are non-decreasing in `at`.
+    pub at: f64,
+    /// What happened.
+    pub kind: HealthEventKind,
+}
+
+impl fmt::Display for HealthEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}: {}", self.at, self.kind)
+    }
+}
+
+/// A deterministic, seeded timeline of health events.
+///
+/// Build explicitly with [`push`](Self::push) or sample with
+/// [`random`](Self::random); both keep events ordered by time. The seed
+/// is carried so a scenario can always be reported and regenerated.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthSchedule {
+    seed: u64,
+    events: Vec<HealthEvent>,
+}
+
+impl HealthSchedule {
+    /// An empty schedule (seed 0).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty schedule carrying an explicit seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends a validated event at time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when the kind carries an
+    /// out-of-range factor, `at` is non-finite or negative, or `at`
+    /// precedes the last event already in the schedule.
+    pub fn push(mut self, at: f64, kind: HealthEventKind) -> Result<Self, HwError> {
+        kind.validate()?;
+        if !at.is_finite() || at < 0.0 {
+            return Err(HwError::InvalidFault(format!(
+                "event time must be non-negative and finite, got {at}"
+            )));
+        }
+        if let Some(last) = self.events.last() {
+            if at < last.at {
+                return Err(HwError::InvalidFault(format!(
+                    "event at t={at} precedes the schedule's last event at t={}",
+                    last.at
+                )));
+            }
+        }
+        self.events.push(HealthEvent { at, kind });
+        Ok(self)
+    }
+
+    /// Samples `n_events` events over `n_leaves` leaves and `n_cuts`
+    /// cuts, fully determined by `seed`.
+    ///
+    /// The generator mixes degradations, failures, recoveries, and
+    /// bandwidth jitter, tracking which targets are currently unhealthy
+    /// so recoveries land on targets that actually have state to revoke.
+    /// Inter-event gaps alternate between bursts (many events close
+    /// together, exercising a supervisor's debouncing) and quiet spells.
+    /// A `Fail` is never emitted when it would leave fewer than two
+    /// healthy leaves, so every prefix of a random schedule keeps a
+    /// servable array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when `n_leaves < 2` (the
+    /// generator could not honor its fail-floor invariant).
+    pub fn random(
+        seed: u64,
+        n_leaves: usize,
+        n_cuts: usize,
+        n_events: usize,
+    ) -> Result<Self, HwError> {
+        if n_leaves < 2 {
+            return Err(HwError::InvalidFault(
+                "health schedules need at least two leaves".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut schedule = Self::with_seed(seed);
+        let mut degraded = vec![false; n_leaves];
+        let mut failed = vec![false; n_leaves];
+        let mut jittered = vec![false; n_cuts];
+        let mut at = 0.0_f64;
+        for _ in 0..n_events {
+            // Burst ~40% of the time: tiny gaps that should debounce
+            // into one supervisor decision.
+            at += if rng.gen_unit() < 0.4 {
+                rng.gen_range_f64(1e-3, 1e-2)
+            } else {
+                rng.gen_range_f64(0.2, 2.0)
+            };
+            let healthy = failed.iter().filter(|&&f| !f).count();
+            let unhealthy_leaves: Vec<usize> = (0..n_leaves)
+                .filter(|&l| degraded[l] || failed[l])
+                .collect();
+            let jittered_cuts: Vec<usize> =
+                (0..n_cuts).filter(|&c| jittered[c]).collect();
+            let roll = rng.gen_range(0, 100);
+            let kind = if roll < 35 {
+                let leaf = rng.gen_range(0, n_leaves);
+                if failed[leaf] {
+                    // A failed leaf cannot throttle; bring it back.
+                    failed[leaf] = false;
+                    HealthEventKind::Recover { leaf }
+                } else {
+                    degraded[leaf] = true;
+                    HealthEventKind::Degrade {
+                        leaf,
+                        factor: rng.gen_range_f64(0.3, 0.95),
+                    }
+                }
+            } else if roll < 50 && n_cuts > 0 {
+                let cut = rng.gen_range(0, n_cuts);
+                jittered[cut] = true;
+                HealthEventKind::BandwidthJitter {
+                    cut,
+                    factor: rng.gen_range_f64(0.2, 0.95),
+                }
+            } else if roll < 80 && !(unhealthy_leaves.is_empty() && jittered_cuts.is_empty()) {
+                // Recovery: prefer leaves, fall back to restoring a cut.
+                if unhealthy_leaves.is_empty() {
+                    let cut = jittered_cuts[rng.gen_range(0, jittered_cuts.len())];
+                    jittered[cut] = false;
+                    HealthEventKind::BandwidthJitter { cut, factor: 1.0 }
+                } else {
+                    let leaf = unhealthy_leaves[rng.gen_range(0, unhealthy_leaves.len())];
+                    degraded[leaf] = false;
+                    failed[leaf] = false;
+                    HealthEventKind::Recover { leaf }
+                }
+            } else if healthy > 2 {
+                // Fail only while at least two healthy leaves remain.
+                let live: Vec<usize> = (0..n_leaves).filter(|&l| !failed[l]).collect();
+                let leaf = live[rng.gen_range(0, live.len())];
+                failed[leaf] = true;
+                degraded[leaf] = false;
+                HealthEventKind::Fail { leaf }
+            } else {
+                let leaf = rng.gen_range(0, n_leaves);
+                if failed[leaf] {
+                    failed[leaf] = false;
+                    HealthEventKind::Recover { leaf }
+                } else {
+                    degraded[leaf] = true;
+                    HealthEventKind::Degrade {
+                        leaf,
+                        factor: rng.gen_range_f64(0.3, 0.95),
+                    }
+                }
+            };
+            schedule = schedule.push(at, kind)?;
+        }
+        Ok(schedule)
+    }
+
+    /// The seed this schedule was built with.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The events, in time order.
+    #[must_use]
+    pub fn events(&self) -> &[HealthEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Folds every event into `base` in time order, returning the
+    /// terminal fault model. With set semantics, the result depends only
+    /// on each target's latest event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when any event carries an
+    /// out-of-range factor.
+    pub fn fold_all(&self, base: FaultModel) -> Result<FaultModel, HwError> {
+        self.events
+            .iter()
+            .try_fold(base, |model, event| event.kind.fold_into(model))
+    }
+
+    /// Checks every event's target against a tree shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidFault`] when a leaf target is `>=
+    /// n_leaves` or a cut target is `>= n_cuts`.
+    pub fn validate_for(&self, n_leaves: usize, n_cuts: usize) -> Result<(), HwError> {
+        for event in &self.events {
+            let target = event.kind.target();
+            let (bound, what) = match event.kind {
+                HealthEventKind::BandwidthJitter { .. } => (n_cuts, "cuts"),
+                _ => (n_leaves, "leaves"),
+            };
+            if target >= bound {
+                return Err(HwError::InvalidFault(format!(
+                    "health event `{}` targets index {target} but the tree has {bound} {what}",
+                    event.kind.label()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for HealthSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} health events (seed {})",
+            self.events.len(),
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_orders_and_validates() {
+        let s = HealthSchedule::with_seed(3)
+            .push(0.0, HealthEventKind::Degrade { leaf: 0, factor: 0.5 })
+            .unwrap()
+            .push(0.5, HealthEventKind::Recover { leaf: 0 })
+            .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.seed(), 3);
+        assert!(s
+            .clone()
+            .push(0.1, HealthEventKind::Fail { leaf: 1 })
+            .is_err());
+        assert!(s
+            .clone()
+            .push(f64::NAN, HealthEventKind::Fail { leaf: 1 })
+            .is_err());
+        assert!(s
+            .push(1.0, HealthEventKind::Degrade { leaf: 0, factor: 0.0 })
+            .is_err());
+    }
+
+    #[test]
+    fn fold_keeps_one_fault_per_target() {
+        let model = HealthSchedule::new()
+            .push(0.0, HealthEventKind::Degrade { leaf: 0, factor: 0.9 })
+            .unwrap()
+            .push(0.1, HealthEventKind::Degrade { leaf: 0, factor: 0.4 })
+            .unwrap()
+            .push(0.2, HealthEventKind::BandwidthJitter { cut: 1, factor: 0.5 })
+            .unwrap()
+            .push(0.3, HealthEventKind::BandwidthJitter { cut: 1, factor: 0.8 })
+            .unwrap()
+            .fold_all(FaultModel::new())
+            .unwrap();
+        // Latest event wins: factors replace, never compound.
+        assert_eq!(model.compute_factor(0), 0.4);
+        assert_eq!(model.bandwidth_factor(1), 0.8);
+        assert_eq!(model.faults().len(), 2);
+    }
+
+    #[test]
+    fn fold_recover_is_exact_inverse() {
+        let base = FaultModel::new().slow_leaf(2, 0.6).unwrap();
+        let kind = HealthEventKind::Degrade { leaf: 0, factor: 0.5 };
+        let degraded = kind.fold_into(base.clone()).unwrap();
+        let recovered = HealthEventKind::Recover { leaf: 0 }
+            .fold_into(degraded)
+            .unwrap();
+        assert_eq!(recovered, base);
+        // Fail then recover also round-trips.
+        let failed = HealthEventKind::Fail { leaf: 0 }.fold_into(base.clone()).unwrap();
+        assert!(failed.is_dropped(0));
+        let back = HealthEventKind::Recover { leaf: 0 }.fold_into(failed).unwrap();
+        assert_eq!(back, base);
+        // Jitter at full rate restores the cut.
+        let jittered = HealthEventKind::BandwidthJitter { cut: 3, factor: 0.5 }
+            .fold_into(base.clone())
+            .unwrap();
+        let restored = HealthEventKind::BandwidthJitter { cut: 3, factor: 1.0 }
+            .fold_into(jittered)
+            .unwrap();
+        assert_eq!(restored, base);
+    }
+
+    #[test]
+    fn degrade_after_fail_replaces_dropout() {
+        // A Degrade on a failed leaf revokes the dropout first — no
+        // ContradictoryFault surfaces from folding a legal stream.
+        let failed = HealthEventKind::Fail { leaf: 1 }
+            .fold_into(FaultModel::new())
+            .unwrap();
+        let throttled = HealthEventKind::Degrade { leaf: 1, factor: 0.5 }
+            .fold_into(failed)
+            .unwrap();
+        assert!(!throttled.is_dropped(1));
+        assert_eq!(throttled.compute_factor(1), 0.5);
+    }
+
+    #[test]
+    fn random_schedules_are_reproducible_and_in_range() {
+        let a = HealthSchedule::random(42, 8, 7, 50).unwrap();
+        let b = HealthSchedule::random(42, 8, 7, 50).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert_ne!(a, HealthSchedule::random(43, 8, 7, 50).unwrap());
+        assert!(a.validate_for(8, 7).is_ok());
+        // Times are non-decreasing.
+        for pair in a.events().windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        assert!(HealthSchedule::random(1, 1, 0, 3).is_err());
+    }
+
+    #[test]
+    fn random_schedules_never_fail_below_two_leaves() {
+        for seed in 0..20 {
+            let s = HealthSchedule::random(seed, 4, 3, 120).unwrap();
+            let mut model = FaultModel::new();
+            for event in s.events() {
+                model = event.kind.fold_into(model).unwrap();
+                assert!(
+                    4 - model.dropped_leaves().len() >= 2,
+                    "seed {seed} dropped below two healthy leaves"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_all_matches_manual_fold() {
+        let s = HealthSchedule::random(9, 6, 5, 40).unwrap();
+        let mut manual = FaultModel::new();
+        for event in s.events() {
+            manual = event.kind.fold_into(manual).unwrap();
+        }
+        assert_eq!(s.fold_all(FaultModel::new()).unwrap(), manual);
+    }
+
+    #[test]
+    fn labels_and_display() {
+        let kind = HealthEventKind::Degrade { leaf: 2, factor: 0.5 };
+        assert_eq!(kind.label(), "degrade");
+        assert_eq!(kind.target(), 2);
+        assert!(!kind.is_recovery());
+        assert!(HealthEventKind::Recover { leaf: 0 }.is_recovery());
+        assert!(HealthEventKind::BandwidthJitter { cut: 0, factor: 1.0 }.is_recovery());
+        let event = HealthEvent { at: 1.5, kind };
+        assert!(event.to_string().contains("t=1.500"));
+        assert!(HealthSchedule::new().to_string().contains("0 health events"));
+    }
+}

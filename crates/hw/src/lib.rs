@@ -16,7 +16,11 @@
 //! * [`FaultModel`] — deterministic, seeded fault injection (straggler
 //!   slowdowns, degraded cut links, transient stalls, device dropout),
 //!   folded into a degraded tree via [`GroupTree::degraded`] and
-//!   [`GroupTree::without_leaf`].
+//!   [`GroupTree::without_leaf`]; faults are revocable via
+//!   [`FaultModel::recovered`] / [`FaultModel::restore_cut`];
+//! * [`HealthSchedule`] / [`HealthEvent`] — a seeded timeline of
+//!   degradations, failures, and recoveries that folds into a running
+//!   `FaultModel` with set semantics (latest event per target wins).
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@ mod array;
 mod error;
 mod fault;
 mod group;
+mod health;
 pub mod rng;
 mod spec;
 
@@ -48,4 +53,5 @@ pub use array::AcceleratorArray;
 pub use error::HwError;
 pub use fault::{Fault, FaultKind, FaultModel, FaultTarget};
 pub use group::{Group, GroupCaps, GroupNode, GroupTree, Share};
+pub use health::{HealthEvent, HealthEventKind, HealthSchedule};
 pub use spec::AcceleratorSpec;

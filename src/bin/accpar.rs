@@ -8,6 +8,8 @@
 //!                 [--strategy accpar] [--optimizer sgd|momentum|adam]
 //! accpar memory   --model vgg16 --batch 512 --v2 4 --v3 4
 //!                 [--strategy accpar] [--optimizer adam]
+//! accpar supervise --model alexnet --batch 256 --v2 2 --v3 2
+//!                 [--seed N] [--events N]
 //! ```
 
 use accpar::prelude::*;
@@ -68,8 +70,16 @@ fn usage() -> &'static str {
                   [--strategy dp|owt|hypar|accpar] [--optimizer sgd|momentum|adam]
   accpar memory   --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
                   [--strategy dp|owt|hypar|accpar] [--optimizer sgd|momentum|adam]
+  accpar supervise --model <name> [--batch N] [--v2 N] [--v3 N] [--levels H]
+                  [--seed N] [--events N]
 
 defaults: --batch 512 --v2 4 --v3 4 --strategy accpar --cache-cap 256
+
+supervise replays a seeded random hardware-health timeline (degrade /
+fail / recover / bandwidth-jitter, --events of them) through the live
+replanning supervisor and prints every debounced decision plus the
+availability / MTTR summary; the same --seed reproduces the run
+byte-for-byte
 
 the plan cache: --cache-dir enables the crash-safe persistent plan
 cache (hits are re-validated before serving; corrupt records are
@@ -407,6 +417,56 @@ fn cmd_memory(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays a seeded health timeline through the live-replanning
+/// supervisor and prints the decision log and aggregate metrics.
+fn cmd_supervise(args: &Args) -> Result<(), String> {
+    let setup = setup(args)?;
+    let seed = u64_flag(args, "seed")?.unwrap_or(0xacc9a7);
+    let events = args.usize_or("events", 80)?;
+    let mut sup = Supervisor::new(
+        &setup.network,
+        &setup.array,
+        setup.levels,
+        SuperviseConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let schedule = HealthSchedule::random(seed, sup.leaf_count(), sup.cut_count(), events)
+        .map_err(|e| e.to_string())?;
+    let report = sup.run(&schedule).map_err(|e| e.to_string())?;
+    println!(
+        "{} on {} (seed {seed}, {events} health events):",
+        setup.network.name(),
+        setup.array
+    );
+    for decision in &report.decisions {
+        println!("  {decision}");
+    }
+    let mttr = report
+        .mttr
+        .map_or_else(|| String::from("n/a"), |m| format!("{m:.3}"));
+    println!(
+        "  {} decision(s), {} replan(s), {} retrie(s), availability {:.4}, \
+         mttr {mttr}, steady degradation {:.3}x",
+        report.decisions.len(),
+        report.replans,
+        report.retries,
+        report.availability,
+        report.steady_degradation,
+    );
+    match sup.plan() {
+        Some(plan) => println!(
+            "  serving: {} (healthy baseline: {})",
+            plan.plan().type_string(),
+            if plan == sup.healthy_plan() { "yes" } else { "no" }
+        ),
+        None => println!("  serving: shed (no viable plan on the surviving hardware)"),
+    }
+    if !sup.faults().is_empty() {
+        println!("  terminal faults: {}", sup.faults());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
@@ -418,6 +478,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&args),
         "simulate" => cmd_simulate(&args),
         "memory" => cmd_memory(&args),
+        "supervise" => cmd_supervise(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

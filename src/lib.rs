@@ -22,8 +22,9 @@
 //! * [`sim`] — a trace-based discrete-event performance simulator for
 //!   accelerator arrays;
 //! * [`core`] — the layer-wise dynamic-programming search (Eq. 9),
-//!   multi-path handling, hierarchical planning and the DP / OWT / HyPar
-//!   baselines;
+//!   multi-path handling, hierarchical planning, the DP / OWT / HyPar
+//!   baselines, and the live-replanning [`prelude::Supervisor`] that
+//!   reacts to hardware health events;
 //! * [`exec`] — the executable semantics oracle: numerically runs
 //!   partitioned training on virtual devices and verifies both the
 //!   results and the communication volumes against the cost model;
@@ -108,11 +109,14 @@ pub mod prelude {
         baselines, plan_many, replan, AnytimeReport, Budget, CacheOutcome, CacheStats, CancelToken,
         PartialPlan, PlanCache, PlanCacheStats, PlanError, PlanOutcome, PlanRequest, PlannedNetwork,
         Planner, PlannerBuilder, ReplanConfig, ReplanOutcome, RetryPolicy, SearchCache, ServeConfig,
-        StopReason, Strategy,
+        StopReason, Strategy, SuperviseAction, SuperviseConfig, SuperviseReport, Supervisor,
     };
     pub use accpar_cost::{CostConfig, CostModel, PairEnv, RatioSolver};
     pub use accpar_dnn::{zoo, Network, NetworkBuilder};
-    pub use accpar_hw::{AcceleratorArray, AcceleratorSpec, FaultModel, GroupTree};
+    pub use accpar_hw::{
+        AcceleratorArray, AcceleratorSpec, FaultModel, GroupTree, HealthEvent, HealthEventKind,
+        HealthSchedule,
+    };
     pub use accpar_obs::{
         Collector, JsonLines, Metrics, MetricsSnapshot, NoopSubscriber, Obs, ScopedTimer,
         StderrSubscriber, Subscriber,

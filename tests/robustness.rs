@@ -389,10 +389,11 @@ fn the_watchdog_flags_a_stalled_request() {
     let collector = Arc::new(Collector::new());
     let config = ServeConfig {
         workers: 1,
-        // A zero stall threshold: every request exceeds it, so the
-        // stall accounting (watchdog sampling + exact settlement at
-        // completion) must flag the request exactly once.
-        watchdog_stall: Some(Duration::ZERO),
+        // A 1ns stall threshold (zero is rejected by validation):
+        // every request exceeds it, so the stall accounting (watchdog
+        // sampling + exact settlement at completion) must flag the
+        // request exactly once.
+        watchdog_stall: Some(Duration::from_nanos(1)),
         obs: Obs::new(Arc::clone(&collector)),
         ..ServeConfig::default()
     };
